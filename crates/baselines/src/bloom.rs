@@ -1,0 +1,187 @@
+//! A standard Bloom filter (Bloom 1970), used by the sketch-based
+//! persistent-items adaptation to deduplicate appearances within one period
+//! (paper §II-B: "we maintain a standard Bloom filter to record whether it
+//! has appeared in the current period").
+
+use ltc_common::{ItemId, MemoryBudget, MemoryUsage};
+use ltc_hash::{HashFamily, SeededHash};
+
+/// Bit-array Bloom filter with `k` independent hash probes and O(1) clear
+/// via epoch-stamped words.
+///
+/// # Examples
+///
+/// ```
+/// use ltc_baselines::BloomFilter;
+///
+/// let mut bf = BloomFilter::new(1 << 12, 4, 7);
+/// assert!(!bf.insert(99)); // first time: not yet present
+/// assert!(bf.contains(99));
+/// bf.clear();              // O(1) period reset
+/// assert!(!bf.contains(99));
+/// ```
+///
+/// Clearing at every period boundary is on the hot path for the persistent
+/// baselines (up to thousands of clears per run), so instead of zeroing the
+/// array we stamp each 64-bit word with the epoch it was last written in;
+/// reads treat stale words as zero. `clear()` is then a single increment.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    words: Vec<u64>,
+    epochs: Vec<u32>,
+    epoch: u32,
+    bits: usize,
+    hashes: Vec<SeededHash>,
+}
+
+impl BloomFilter {
+    /// A filter of `bits` bits with `k` hash functions.
+    pub fn new(bits: usize, k: usize, seed: u64) -> Self {
+        assert!(bits > 0, "Bloom filter needs at least one bit");
+        assert!(k > 0, "Bloom filter needs at least one hash");
+        let words = bits.div_ceil(64);
+        Self {
+            words: vec![0; words],
+            epochs: vec![0; words],
+            epoch: 1,
+            bits,
+            hashes: HashFamily::new(seed).members(k as u32),
+        }
+    }
+
+    /// Size for a memory budget (8 bits per byte), with the given hash count.
+    pub fn with_memory(budget: MemoryBudget, k: usize, seed: u64) -> Self {
+        Self::new((budget.as_bytes() * 8).max(1), k, seed)
+    }
+
+    /// Number of bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Insert `id`. Returns `true` if it was (possibly) already present —
+    /// i.e. every probed bit was already set.
+    pub fn insert(&mut self, id: ItemId) -> bool {
+        let mut all_set = true;
+        for h in 0..self.hashes.len() {
+            let bit = self.hashes[h].index(id, self.bits);
+            let (w, b) = (bit / 64, bit % 64);
+            if self.epochs[w] != self.epoch {
+                self.epochs[w] = self.epoch;
+                self.words[w] = 0;
+            }
+            let mask = 1u64 << b;
+            if self.words[w] & mask == 0 {
+                all_set = false;
+                self.words[w] |= mask;
+            }
+        }
+        all_set
+    }
+
+    /// Whether `id` is (possibly) present. No false negatives.
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.hashes.iter().all(|h| {
+            let bit = h.index(id, self.bits);
+            let (w, b) = (bit / 64, bit % 64);
+            self.epochs[w] == self.epoch && self.words[w] & (1u64 << b) != 0
+        })
+    }
+
+    /// Reset to empty in O(1).
+    pub fn clear(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped (after 2^32 clears): physically zero to stay safe.
+            self.words.fill(0);
+            self.epochs.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Expected false-positive rate after `n` insertions:
+    /// `(1 - e^{-kn/m})^k`.
+    pub fn expected_fpr(&self, n: usize) -> f64 {
+        let k = self.hashes.len() as f64;
+        let m = self.bits as f64;
+        (1.0 - (-k * n as f64 / m).exp()).powf(k)
+    }
+}
+
+impl MemoryUsage for BloomFilter {
+    fn memory_bytes(&self) -> usize {
+        // Charged as a plain bit array, as the paper does; the epoch stamps
+        // are an implementation detail standing in for the O(m) clear.
+        self.bits.div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut bf = BloomFilter::new(1 << 12, 4, 1);
+        for id in 0..200u64 {
+            bf.insert(id);
+        }
+        for id in 0..200u64 {
+            assert!(bf.contains(id), "false negative for {id}");
+        }
+    }
+
+    #[test]
+    fn insert_reports_first_occurrence() {
+        let mut bf = BloomFilter::new(1 << 12, 4, 2);
+        assert!(!bf.insert(9), "first insert: not yet present");
+        assert!(bf.insert(9), "second insert: already present");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut bf = BloomFilter::new(1 << 10, 3, 3);
+        bf.insert(1);
+        bf.insert(2);
+        bf.clear();
+        assert!(!bf.contains(1));
+        assert!(!bf.contains(2));
+        assert!(!bf.insert(1), "fresh after clear");
+    }
+
+    #[test]
+    fn repeated_clears_stay_correct() {
+        let mut bf = BloomFilter::new(1 << 10, 3, 4);
+        for round in 0..1_000u64 {
+            assert!(!bf.insert(round), "round {round}: stale bit leaked");
+            assert!(bf.contains(round));
+            bf.clear();
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_in_expected_ballpark() {
+        let mut bf = BloomFilter::new(1 << 14, 4, 5);
+        let n = 1_500usize;
+        for id in 0..n as u64 {
+            bf.insert(id);
+        }
+        let fp = (0..20_000u64)
+            .map(|i| 1_000_000 + i)
+            .filter(|&id| bf.contains(id))
+            .count();
+        let observed = fp as f64 / 20_000.0;
+        let expected = bf.expected_fpr(n);
+        assert!(
+            observed < expected * 3.0 + 0.01,
+            "observed FPR {observed} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn with_memory_uses_all_bits() {
+        let bf = BloomFilter::with_memory(MemoryBudget::kilobytes(1), 3, 6);
+        assert_eq!(bf.bits(), 8 * 1024);
+        assert_eq!(bf.memory_bytes(), 1024);
+    }
+}

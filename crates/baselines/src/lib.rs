@@ -1,0 +1,47 @@
+//! # ltc-baselines — every algorithm the LTC paper compares against
+//!
+//! The paper (§II, §V) evaluates LTC against two families:
+//!
+//! * **Counter-based frequent-item algorithms** — [`SpaceSaving`] with a
+//!   proper O(1) Stream-Summary, [`LossyCounting`], and [`MisraGries`];
+//! * **Sketch-based algorithms** — [`CountMinSketch`] (CM), [`CuSketch`]
+//!   (conservative update), and [`CountSketch`], each paired with a top-k
+//!   [`TopKHeap`] via [`SketchTopK`].
+//!
+//! Because no prior work solves persistent or significant items with one
+//! structure, the paper *constructs* baselines for those problems and so do
+//! we:
+//!
+//! * [`PersistentSketch`] — a sketch counts per-period first appearances,
+//!   deduplicated by a standard [`BloomFilter`] that is cleared at every
+//!   period boundary (half the memory goes to the filter, as in §V-C);
+//! * [`SignificantCombiner`] — a frequent-item structure and a
+//!   persistent-item structure run side by side on half the memory each,
+//!   and top-k significance is computed over the union of their candidates.
+//!
+//! All structures implement the shared [`ltc_common::StreamProcessor`] /
+//! [`ltc_common::SignificanceQuery`] traits so the experiment harness drives
+//! them interchangeably with LTC.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod coordinated_sampling;
+pub mod lossy_counting;
+pub mod misra_gries;
+pub mod persistent;
+pub mod significant;
+pub mod sketch;
+pub mod space_saving;
+pub mod topk;
+
+pub use bloom::BloomFilter;
+pub use coordinated_sampling::CoordinatedSampling;
+pub use lossy_counting::LossyCounting;
+pub use misra_gries::MisraGries;
+pub use persistent::PersistentSketch;
+pub use significant::SignificantCombiner;
+pub use sketch::{CountMinSketch, CountSketch, CuSketch, FrequencySketch, SketchTopK};
+pub use space_saving::SpaceSaving;
+pub use topk::TopKHeap;

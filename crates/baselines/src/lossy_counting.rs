@@ -1,0 +1,249 @@
+//! Lossy Counting (Manku & Motwani), "LC" in the paper.
+//!
+//! The stream is conceptually divided into windows of `width = ⌈1/ε⌉`
+//! records. Each tracked entry stores `(f, Δ)` where `Δ` is the window index
+//! at insertion — the maximum number of occurrences the entry might have
+//! missed. At every window boundary, entries with `f + Δ ≤ current window`
+//! are pruned. Guarantees: no false negatives above `εN`, and estimates
+//! underestimate by at most `εN`.
+//!
+//! For the paper's head-to-head memory comparison we derive ε from the entry
+//! budget (`ε = 1/capacity`, i.e. window = capacity) and additionally
+//! hard-enforce the budget: if the table outgrows it mid-window (possible on
+//! adversarially spread streams), the largest-`Δ`, smallest-`f` entries are
+//! pruned first. This keeps LC honest about memory without changing its
+//! behaviour on the long-tailed workloads the experiments use.
+
+use ltc_common::{
+    memory::COUNTER_ENTRY_BYTES, top_k_of, Estimate, ItemId, MemoryBudget, MemoryUsage,
+    SignificanceQuery, StreamProcessor,
+};
+use ltc_hash::FxHashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    freq: u64,
+    delta: u64,
+}
+
+/// Lossy Counting. See the module docs.
+#[derive(Debug, Clone)]
+pub struct LossyCounting {
+    entries: FxHashMap<ItemId, Entry>,
+    capacity: usize,
+    /// Window width `w = ⌈1/ε⌉`.
+    width: u64,
+    /// Records processed so far.
+    processed: u64,
+    /// Current window index (1-based, `b_current` in the paper).
+    window: u64,
+}
+
+impl LossyCounting {
+    /// Track roughly `capacity` entries (ε = 1/capacity).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Lossy Counting needs capacity >= 1");
+        Self {
+            entries: FxHashMap::default(),
+            capacity,
+            width: capacity as u64,
+            processed: 0,
+            window: 1,
+        }
+    }
+
+    /// Size for a memory budget at 16 B/entry.
+    pub fn with_memory(budget: MemoryBudget) -> Self {
+        Self::new(budget.entries(COUNTER_ENTRY_BYTES))
+    }
+
+    /// Number of tracked entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The error parameter ε this instance was sized with.
+    pub fn epsilon(&self) -> f64 {
+        1.0 / self.width as f64
+    }
+
+    /// `(f, Δ)` for `id`, if tracked.
+    pub fn entry_of(&self, id: ItemId) -> Option<(u64, u64)> {
+        self.entries.get(&id).map(|e| (e.freq, e.delta))
+    }
+
+    /// Record one occurrence.
+    pub fn insert(&mut self, id: ItemId) {
+        self.processed += 1;
+        match self.entries.get_mut(&id) {
+            Some(e) => e.freq += 1,
+            None => {
+                let delta = self.window - 1;
+                self.entries.insert(id, Entry { freq: 1, delta });
+                if self.entries.len() > self.capacity {
+                    self.enforce_budget();
+                }
+            }
+        }
+        if self.processed.is_multiple_of(self.width) {
+            self.prune();
+            self.window += 1;
+        }
+    }
+
+    /// Standard boundary prune: drop `f + Δ ≤ b_current`.
+    fn prune(&mut self) {
+        let b = self.window;
+        self.entries.retain(|_, e| e.freq + e.delta > b);
+    }
+
+    /// Budget overflow: drop the weakest entries (smallest `f + Δ`, i.e. the
+    /// ones the next boundary would prune first) down to capacity.
+    fn enforce_budget(&mut self) {
+        let excess = self.entries.len().saturating_sub(self.capacity);
+        if excess == 0 {
+            return;
+        }
+        let mut scored: Vec<(u64, ItemId)> = self
+            .entries
+            .iter()
+            .map(|(&id, e)| (e.freq + e.delta, id))
+            .collect();
+        scored.sort_unstable();
+        for &(_, id) in scored.iter().take(excess) {
+            self.entries.remove(&id);
+        }
+    }
+
+    /// Iterate `(id, f, Δ)` (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, u64, u64)> + '_ {
+        self.entries.iter().map(|(&id, e)| (id, e.freq, e.delta))
+    }
+}
+
+impl StreamProcessor for LossyCounting {
+    #[inline]
+    fn insert(&mut self, id: ItemId) {
+        LossyCounting::insert(self, id);
+    }
+
+    fn name(&self) -> &'static str {
+        "LC"
+    }
+}
+
+impl SignificanceQuery for LossyCounting {
+    fn estimate(&self, id: ItemId) -> Option<f64> {
+        self.entries.get(&id).map(|e| e.freq as f64)
+    }
+
+    fn top_k(&self, k: usize) -> Vec<Estimate> {
+        top_k_of(
+            self.entries
+                .iter()
+                .map(|(&id, e)| Estimate::new(id, e.freq as f64))
+                .collect(),
+            k,
+        )
+    }
+}
+
+impl MemoryUsage for LossyCounting {
+    fn memory_bytes(&self) -> usize {
+        self.capacity * COUNTER_ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_for_small_streams() {
+        let mut lc = LossyCounting::new(100);
+        for _ in 0..7 {
+            lc.insert(1);
+        }
+        for _ in 0..3 {
+            lc.insert(2);
+        }
+        assert_eq!(lc.entry_of(1), Some((7, 0)));
+        assert_eq!(lc.entry_of(2), Some((3, 0)));
+    }
+
+    #[test]
+    fn never_overestimates() {
+        // LC's tracked f counts only observed occurrences.
+        let mut lc = LossyCounting::new(16);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..5_000u64 {
+            let id = (i * 31) % 97;
+            lc.insert(id);
+            *truth.entry(id).or_insert(0u64) += 1;
+        }
+        for (id, f, _) in lc.iter() {
+            assert!(f <= truth[&id], "id {id}: {f} > {}", truth[&id]);
+        }
+    }
+
+    #[test]
+    fn underestimate_bounded_by_epsilon_n() {
+        let mut lc = LossyCounting::new(50);
+        let n = 20_000u64;
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..n {
+            // Zipf-ish: id 0 heavy, the rest spread.
+            let id = if i % 3 == 0 { 0 } else { 1 + (i % 200) };
+            lc.insert(id);
+            *truth.entry(id).or_insert(0u64) += 1;
+        }
+        let eps_n = (lc.epsilon() * n as f64).ceil() as u64;
+        // Heavy hitter must be present with error ≤ εN.
+        let (f, _) = lc.entry_of(0).expect("heavy hitter pruned");
+        assert!(
+            truth[&0] - f <= eps_n,
+            "error {} > εN {eps_n}",
+            truth[&0] - f
+        );
+    }
+
+    #[test]
+    fn prunes_cold_items() {
+        let mut lc = LossyCounting::new(10);
+        // 10 windows of width 10; singletons from early windows must be gone.
+        for i in 0..100u64 {
+            lc.insert(1_000 + i); // all distinct
+        }
+        assert!(
+            lc.len() <= 10,
+            "cold singletons retained: {} entries",
+            lc.len()
+        );
+    }
+
+    #[test]
+    fn budget_hard_enforced() {
+        let mut lc = LossyCounting::new(8);
+        for i in 0..1_000u64 {
+            lc.insert(i);
+        }
+        assert!(lc.len() <= 8, "budget exceeded: {}", lc.len());
+    }
+
+    #[test]
+    fn top_k_by_frequency() {
+        let mut lc = LossyCounting::new(100);
+        for (id, n) in [(1u64, 30usize), (2, 20), (3, 10)] {
+            for _ in 0..n {
+                lc.insert(id);
+            }
+        }
+        let ids: Vec<ItemId> = lc.top_k(2).iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+}

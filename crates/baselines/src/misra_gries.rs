@@ -1,0 +1,199 @@
+//! Misra–Gries / the *Frequent* algorithm — the third counter-based
+//! frequent-items family the paper cites alongside SS and LC (§II-A).
+//!
+//! `capacity` counters. A hit increments; a miss with a free counter claims
+//! it; a miss on a full table decrements **every** counter by one (zeroed
+//! counters are freed). Guarantees: tracked count underestimates by at most
+//! `N/(capacity+1)`, and any item with true frequency above that bound is
+//! present.
+//!
+//! The decrement-all step is implemented with a global offset so that it is
+//! O(1) amortised: each entry stores `value = f + base` and the table-wide
+//! `base` rises by one per decrement-all; entries whose stored value falls
+//! to `base` are lazily reclaimed.
+
+use ltc_common::{
+    memory::COUNTER_ENTRY_BYTES, top_k_of, Estimate, ItemId, MemoryBudget, MemoryUsage,
+    SignificanceQuery, StreamProcessor,
+};
+use ltc_hash::FxHashMap;
+
+/// Misra–Gries summary. See the module docs.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    /// id → f + base (always > base for live entries).
+    entries: FxHashMap<ItemId, u64>,
+    /// Global decrement offset.
+    base: u64,
+    capacity: usize,
+}
+
+impl MisraGries {
+    /// Track at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Misra-Gries needs capacity >= 1");
+        Self {
+            entries: FxHashMap::default(),
+            base: 0,
+            capacity,
+        }
+    }
+
+    /// Size for a memory budget at 16 B/entry.
+    pub fn with_memory(budget: MemoryBudget) -> Self {
+        Self::new(budget.entries(COUNTER_ENTRY_BYTES))
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tracked count of `id` (an underestimate of its true frequency).
+    pub fn count_of(&self, id: ItemId) -> Option<u64> {
+        self.entries.get(&id).map(|&v| v - self.base)
+    }
+
+    /// Record one occurrence.
+    pub fn insert(&mut self, id: ItemId) {
+        if let Some(v) = self.entries.get_mut(&id) {
+            *v += 1;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(id, self.base + 1);
+            return;
+        }
+        // Decrement-all: bump the offset; reclaim entries that reached zero.
+        self.base += 1;
+        let base = self.base;
+        self.entries.retain(|_, &mut v| v > base);
+        // The incoming item is *not* inserted on a decrement step — classic
+        // Misra-Gries semantics: its "count of one" cancels against the
+        // global decrement.
+    }
+
+    /// Iterate `(id, count)` (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, u64)> + '_ {
+        let base = self.base;
+        self.entries.iter().map(move |(&id, &v)| (id, v - base))
+    }
+}
+
+impl StreamProcessor for MisraGries {
+    #[inline]
+    fn insert(&mut self, id: ItemId) {
+        MisraGries::insert(self, id);
+    }
+
+    fn name(&self) -> &'static str {
+        "MG"
+    }
+}
+
+impl SignificanceQuery for MisraGries {
+    fn estimate(&self, id: ItemId) -> Option<f64> {
+        self.count_of(id).map(|c| c as f64)
+    }
+
+    fn top_k(&self, k: usize) -> Vec<Estimate> {
+        top_k_of(
+            self.iter()
+                .map(|(id, c)| Estimate::new(id, c as f64))
+                .collect(),
+            k,
+        )
+    }
+}
+
+impl MemoryUsage for MisraGries {
+    fn memory_bytes(&self) -> usize {
+        self.capacity * COUNTER_ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let mut mg = MisraGries::new(4);
+        for (id, n) in [(1u64, 3usize), (2, 2)] {
+            for _ in 0..n {
+                mg.insert(id);
+            }
+        }
+        assert_eq!(mg.count_of(1), Some(3));
+        assert_eq!(mg.count_of(2), Some(2));
+    }
+
+    #[test]
+    fn never_overestimates() {
+        let mut mg = MisraGries::new(8);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..10_000u64 {
+            let id = (i * 13) % 61;
+            mg.insert(id);
+            *truth.entry(id).or_insert(0u64) += 1;
+        }
+        for (id, c) in mg.iter() {
+            assert!(c <= truth[&id], "id {id}: {c} > {}", truth[&id]);
+        }
+    }
+
+    #[test]
+    fn underestimate_bounded() {
+        // MG bound: true - tracked ≤ N/(capacity+1).
+        let cap = 9usize;
+        let n = 10_000u64;
+        let mut mg = MisraGries::new(cap);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..n {
+            let id = if i % 2 == 0 { 0 } else { 1 + (i % 500) };
+            mg.insert(id);
+            *truth.entry(id).or_insert(0u64) += 1;
+        }
+        let bound = n / (cap as u64 + 1);
+        let tracked = mg.count_of(0).expect("majority item must survive");
+        assert!(
+            truth[&0] - tracked <= bound,
+            "error {} > bound {bound}",
+            truth[&0] - tracked
+        );
+    }
+
+    #[test]
+    fn majority_item_always_present() {
+        let mut mg = MisraGries::new(2);
+        for i in 0..9_999u64 {
+            mg.insert(if i % 2 == 0 { 7 } else { 100 + i });
+        }
+        assert!(mg.count_of(7).is_some(), "majority item lost");
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut mg = MisraGries::new(5);
+        for i in 0..1_000u64 {
+            mg.insert(i);
+        }
+        assert!(mg.len() <= 5);
+    }
+
+    #[test]
+    fn decrement_reclaims_slots() {
+        let mut mg = MisraGries::new(2);
+        mg.insert(1);
+        mg.insert(2);
+        mg.insert(3); // decrement-all: both drop to 0, slots reclaimed
+        assert_eq!(mg.len(), 0);
+        mg.insert(4);
+        assert_eq!(mg.count_of(4), Some(1));
+    }
+}

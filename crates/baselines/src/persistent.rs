@@ -1,0 +1,186 @@
+//! The sketch-based **persistent-items** adaptation (paper §II-B, §V-C).
+//!
+//! "The thorniest problem is that some items might appear more than once in
+//! one period" — so a standard Bloom filter deduplicates appearances within
+//! the current period (cleared at every boundary), the sketch counts one
+//! update per item per period (i.e. persistency), and a min-heap tracks the
+//! top-k. Following the paper's setup, **half** the memory goes to the Bloom
+//! filter and the rest to sketch + heap.
+
+use crate::bloom::BloomFilter;
+use crate::sketch::FrequencySketch;
+use crate::topk::TopKHeap;
+use ltc_common::{
+    memory::{HEAP_ENTRY_BYTES, SKETCH_COUNTER_BYTES},
+    Estimate, ItemId, MemoryBudget, MemoryUsage, SignificanceQuery, StreamProcessor,
+};
+
+/// Bloom-deduplicated persistency sketch + top-k heap. See the module docs.
+#[derive(Debug, Clone)]
+pub struct PersistentSketch<S> {
+    filter: BloomFilter,
+    sketch: S,
+    heap: TopKHeap,
+    name: &'static str,
+}
+
+fn persistent_name(base: &'static str) -> &'static str {
+    match base {
+        "CM" => "CM+BF",
+        "CU" => "CU+BF",
+        "Count" => "Count+BF",
+        _ => "Sketch+BF",
+    }
+}
+
+impl<S: FrequencySketch> PersistentSketch<S> {
+    /// Build from explicit geometry: `filter_bits` Bloom bits (with
+    /// `bloom_hashes` probes), a `rows × width` sketch, a `k`-entry heap.
+    pub fn new(
+        filter_bits: usize,
+        bloom_hashes: usize,
+        rows: usize,
+        width: usize,
+        k: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            filter: BloomFilter::new(filter_bits, bloom_hashes, seed ^ 0xb1f0),
+            sketch: S::new(rows, width, seed),
+            heap: TopKHeap::new(k),
+            name: persistent_name(S::NAME),
+        }
+    }
+
+    /// The paper's memory split: half to the Bloom filter, the remainder to
+    /// heap (k entries) + sketch (`rows` arrays).
+    pub fn with_memory(budget: MemoryBudget, k: usize, rows: usize, seed: u64) -> Self {
+        let half = budget.as_bytes() / 2;
+        let filter_bits = (half * 8).max(64);
+        let rest = budget.as_bytes() - half;
+        let sketch_bytes = rest.saturating_sub(k * HEAP_ENTRY_BYTES);
+        let width = (sketch_bytes / (rows * SKETCH_COUNTER_BYTES)).max(1);
+        Self::new(filter_bits, 3, rows, width, k, seed)
+    }
+
+    /// The per-period dedup filter.
+    pub fn filter(&self) -> &BloomFilter {
+        &self.filter
+    }
+
+    /// The persistency sketch.
+    pub fn sketch(&self) -> &S {
+        &self.sketch
+    }
+}
+
+impl<S: FrequencySketch> StreamProcessor for PersistentSketch<S> {
+    #[inline]
+    fn insert(&mut self, id: ItemId) {
+        // Count only the first appearance in the current period. A Bloom
+        // false positive silently *drops* a persistency increment — the
+        // error source the paper's analysis of these baselines points at.
+        if !self.filter.insert(id) {
+            let p = self.sketch.increment(id) as f64;
+            if p > self.heap.threshold() || self.heap.value_of(id).is_some() {
+                self.heap.offer(id, p);
+            }
+        }
+    }
+
+    fn end_period(&mut self) {
+        self.filter.clear();
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl<S: FrequencySketch> SignificanceQuery for PersistentSketch<S> {
+    fn estimate(&self, id: ItemId) -> Option<f64> {
+        self.heap
+            .value_of(id)
+            .or_else(|| Some(self.sketch.estimate(id) as f64))
+    }
+
+    fn top_k(&self, k: usize) -> Vec<Estimate> {
+        self.heap.top_k(k)
+    }
+}
+
+impl<S: FrequencySketch> MemoryUsage for PersistentSketch<S> {
+    fn memory_bytes(&self) -> usize {
+        self.filter.memory_bytes()
+            + self.sketch.memory_bytes()
+            + self.heap.capacity() * HEAP_ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::{CountMinSketch, CuSketch};
+
+    /// 5 periods; item 1 in every period, item 2 in two, item 3 in one —
+    /// each with many repeats per period.
+    fn drive<S: FrequencySketch>(ps: &mut PersistentSketch<S>) {
+        for period in 0..5u64 {
+            for rep in 0..10u64 {
+                ps.insert(1);
+                if period < 2 {
+                    ps.insert(2);
+                }
+                if period == 0 {
+                    ps.insert(3);
+                }
+                ps.insert(1_000 + period * 10 + rep); // per-period noise
+            }
+            ps.end_period();
+        }
+    }
+
+    #[test]
+    fn counts_periods_not_occurrences() {
+        let mut ps = PersistentSketch::<CountMinSketch>::new(1 << 14, 3, 3, 1 << 12, 8, 7);
+        drive(&mut ps);
+        assert_eq!(ps.estimate(1), Some(5.0));
+        assert_eq!(ps.estimate(2), Some(2.0));
+        assert_eq!(ps.estimate(3), Some(1.0));
+    }
+
+    #[test]
+    fn top_k_ranks_by_persistency() {
+        let mut ps = PersistentSketch::<CuSketch>::new(1 << 14, 3, 3, 1 << 12, 3, 7);
+        drive(&mut ps);
+        let top = ps.top_k(3);
+        assert_eq!(top[0].id, 1);
+        assert!((top[0].value - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_memory_splits_half_to_filter() {
+        let ps =
+            PersistentSketch::<CountMinSketch>::with_memory(MemoryBudget::kilobytes(64), 100, 3, 1);
+        let total = 64 * 1024;
+        assert_eq!(ps.filter().memory_bytes(), total / 2);
+        assert!(ps.memory_bytes() <= total);
+    }
+
+    #[test]
+    fn tiny_filter_drops_but_never_inflates() {
+        // With a saturated Bloom filter persistency can only be *under*
+        // counted (increments dropped), never overcounted.
+        let mut ps = PersistentSketch::<CountMinSketch>::new(64, 3, 3, 1 << 12, 8, 9);
+        for _period in 0..10 {
+            for id in 0..200u64 {
+                ps.insert(id);
+            }
+            ps.end_period();
+        }
+        for id in 0..200u64 {
+            let est = ps.sketch().estimate(id);
+            assert!(est <= 10, "id {id}: persistency {est} > 10 periods");
+        }
+    }
+}

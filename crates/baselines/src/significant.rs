@@ -1,0 +1,224 @@
+//! The two-structure **significant-items** baseline (paper §II, §V-H).
+//!
+//! "There is no prior work on finding significant items, thus we combine the
+//! best algorithm on finding frequent items with the best algorithm on
+//! finding persistent items": one structure of each kind runs side by side,
+//! each on **half** the memory, and top-k significance is computed over the
+//! union of their candidate sets with `ŝ = α·f̂ + β·p̂`.
+
+use crate::persistent::PersistentSketch;
+use crate::sketch::{FrequencySketch, SketchTopK};
+use ltc_common::{
+    top_k_of, Estimate, ItemId, MemoryBudget, MemoryUsage, SignificanceQuery, StreamProcessor,
+    Weights,
+};
+use ltc_hash::FxHashSet;
+
+/// Frequent-finder + persistent-finder glued by the significance formula.
+/// `S` is the sketch family used on both sides (CM or CU in the paper's
+/// experiments).
+#[derive(Debug, Clone)]
+pub struct SignificantCombiner<S> {
+    frequent: SketchTopK<S>,
+    persistent: PersistentSketch<S>,
+    weights: Weights,
+    name: &'static str,
+}
+
+fn combiner_name(base: &'static str) -> &'static str {
+    match base {
+        "CM" => "CM-SIG",
+        "CU" => "CU-SIG",
+        "Count" => "Count-SIG",
+        _ => "Sketch-SIG",
+    }
+}
+
+impl<S: FrequencySketch> SignificantCombiner<S> {
+    /// Split `budget` evenly between the frequent and the persistent side.
+    /// Each side keeps its own `k`-entry heap; `rows` sketch arrays each.
+    pub fn with_memory(
+        budget: MemoryBudget,
+        k: usize,
+        rows: usize,
+        weights: Weights,
+        seed: u64,
+    ) -> Self {
+        let halves = budget.split(2);
+        Self {
+            frequent: SketchTopK::with_memory(halves[0], k, rows, seed),
+            persistent: PersistentSketch::with_memory(halves[1], k, rows, seed ^ 0x51f1),
+            weights,
+            name: combiner_name(S::NAME),
+        }
+    }
+
+    /// The frequent-items half.
+    pub fn frequent(&self) -> &SketchTopK<S> {
+        &self.frequent
+    }
+
+    /// The persistent-items half.
+    pub fn persistent(&self) -> &PersistentSketch<S> {
+        &self.persistent
+    }
+
+    /// The significance weights.
+    pub fn weights(&self) -> Weights {
+        self.weights
+    }
+
+    fn significance_of(&self, id: ItemId) -> f64 {
+        let f = self.frequent.estimate(id).unwrap_or(0.0);
+        let p = self.persistent.estimate(id).unwrap_or(0.0);
+        self.weights.alpha * f + self.weights.beta * p
+    }
+}
+
+impl<S: FrequencySketch> StreamProcessor for SignificantCombiner<S> {
+    #[inline]
+    fn insert(&mut self, id: ItemId) {
+        self.frequent.insert(id);
+        self.persistent.insert(id);
+    }
+
+    fn end_period(&mut self) {
+        self.frequent.end_period();
+        self.persistent.end_period();
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl<S: FrequencySketch> SignificanceQuery for SignificantCombiner<S> {
+    fn estimate(&self, id: ItemId) -> Option<f64> {
+        Some(self.significance_of(id))
+    }
+
+    fn top_k(&self, k: usize) -> Vec<Estimate> {
+        // Candidates: anything either heap considered top-k worthy. Each is
+        // re-scored with the *combined* significance (point queries hit the
+        // sketches for the side that did not track the item).
+        let mut candidates: FxHashSet<ItemId> = FxHashSet::default();
+        for e in self.frequent.heap().iter() {
+            candidates.insert(e.id);
+        }
+        for e in self.persistent.top_k(usize::MAX) {
+            candidates.insert(e.id);
+        }
+        top_k_of(
+            candidates
+                .into_iter()
+                .map(|id| Estimate::new(id, self.significance_of(id)))
+                .collect(),
+            k,
+        )
+    }
+}
+
+impl<S: FrequencySketch> MemoryUsage for SignificantCombiner<S> {
+    fn memory_bytes(&self) -> usize {
+        self.frequent.memory_bytes() + self.persistent.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::{CountMinSketch, CuSketch};
+
+    /// Stream with a frequent-only item (burst), a persistent-only item, and
+    /// a significant item that is both.
+    fn drive(c: &mut impl StreamProcessor) {
+        for period in 0..10u64 {
+            for rep in 0..20u64 {
+                c.insert(1); // significant: 20/period, every period
+                if period == 0 {
+                    c.insert(2); // burst: frequent in period 0 only
+                    c.insert(2);
+                    c.insert(2);
+                }
+                if rep == 0 {
+                    c.insert(3); // persistent: once per period
+                }
+                c.insert(10_000 + period * 100 + rep);
+            }
+            c.end_period();
+        }
+    }
+
+    #[test]
+    fn significant_item_wins_balanced_weights() {
+        let mut c = SignificantCombiner::<CountMinSketch>::with_memory(
+            MemoryBudget::kilobytes(64),
+            8,
+            3,
+            Weights::BALANCED,
+            11,
+        );
+        drive(&mut c);
+        assert_eq!(c.top_k(1)[0].id, 1);
+    }
+
+    #[test]
+    fn beta_heavy_weights_favor_persistent() {
+        let mut c = SignificantCombiner::<CuSketch>::with_memory(
+            MemoryBudget::kilobytes(64),
+            8,
+            3,
+            Weights::new(1.0, 100.0),
+            11,
+        );
+        drive(&mut c);
+        let top: Vec<ItemId> = c.top_k(3).iter().map(|e| e.id).collect();
+        // Item 1 (p=10) and item 3 (p=10) dominate the burst (p=1).
+        assert!(top.contains(&1) && top.contains(&3), "{top:?}");
+        assert!(!top.is_empty() && top[0] == 1 || top[0] == 3);
+    }
+
+    #[test]
+    fn alpha_heavy_weights_favor_frequent() {
+        let mut c = SignificantCombiner::<CuSketch>::with_memory(
+            MemoryBudget::kilobytes(64),
+            8,
+            3,
+            Weights::new(100.0, 1.0),
+            11,
+        );
+        drive(&mut c);
+        let top: Vec<ItemId> = c.top_k(2).iter().map(|e| e.id).collect();
+        assert_eq!(top[0], 1, "most frequent overall");
+    }
+
+    #[test]
+    fn memory_split_stays_within_budget() {
+        let budget = MemoryBudget::kilobytes(100);
+        let c = SignificantCombiner::<CountMinSketch>::with_memory(
+            budget,
+            100,
+            3,
+            Weights::BALANCED,
+            1,
+        );
+        assert!(c.memory_bytes() <= budget.as_bytes());
+    }
+
+    #[test]
+    fn estimate_combines_both_sides() {
+        let mut c = SignificantCombiner::<CountMinSketch>::with_memory(
+            MemoryBudget::kilobytes(64),
+            8,
+            3,
+            Weights::new(2.0, 3.0),
+            5,
+        );
+        for _ in 0..4 {
+            c.insert(9);
+        }
+        c.end_period();
+        // f̂ = 4, p̂ = 1 → s = 2·4 + 3·1 = 11.
+        assert_eq!(c.estimate(9), Some(11.0));
+    }
+}

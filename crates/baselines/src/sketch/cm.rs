@@ -1,0 +1,122 @@
+//! The Count-Min sketch (Cormode & Muthukrishnan), "CM" in the paper.
+
+use super::FrequencySketch;
+use ltc_common::{memory::SKETCH_COUNTER_BYTES, ItemId};
+use ltc_hash::{HashFamily, SeededHash};
+
+/// Count-Min: `rows` arrays of `width` counters; update increments one
+/// counter per row, query takes the row minimum. Estimates only ever
+/// overestimate (every counter an item maps to receives all of its updates,
+/// plus collisions).
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    counters: Vec<u32>,
+    hashes: Vec<SeededHash>,
+    width: usize,
+}
+
+impl CountMinSketch {
+    /// Counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.hashes.len()
+    }
+
+    #[inline]
+    fn slot(&self, row: usize, id: ItemId) -> usize {
+        row * self.width + self.hashes[row].index(id, self.width)
+    }
+}
+
+impl FrequencySketch for CountMinSketch {
+    const NAME: &'static str = "CM";
+
+    fn new(rows: usize, width: usize, seed: u64) -> Self {
+        assert!(rows > 0 && width > 0, "CM needs rows >= 1 and width >= 1");
+        Self {
+            counters: vec![0; rows * width],
+            hashes: HashFamily::new(seed).members(rows as u32),
+            width,
+        }
+    }
+
+    #[inline]
+    fn increment(&mut self, id: ItemId) -> u64 {
+        let mut min = u32::MAX;
+        for row in 0..self.rows() {
+            let slot = self.slot(row, id);
+            let c = self.counters[slot].saturating_add(1);
+            self.counters[slot] = c;
+            min = min.min(c);
+        }
+        u64::from(min)
+    }
+
+    #[inline]
+    fn estimate(&self, id: ItemId) -> u64 {
+        let mut min = u32::MAX;
+        for row in 0..self.rows() {
+            min = min.min(self.counters[self.slot(row, id)]);
+        }
+        u64::from(min)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.counters.len() * SKETCH_COUNTER_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_uncontended() {
+        let mut cm = CountMinSketch::new(3, 1 << 14, 1);
+        for _ in 0..57 {
+            cm.increment(9);
+        }
+        assert_eq!(cm.estimate(9), 57);
+    }
+
+    #[test]
+    fn never_underestimates() {
+        // Tiny sketch, many colliding items: CM's one-sided error guarantee.
+        let mut cm = CountMinSketch::new(3, 16, 2);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..2_000u64 {
+            let id = i % 37;
+            cm.increment(id);
+            *truth.entry(id).or_insert(0u64) += 1;
+        }
+        for (&id, &real) in &truth {
+            assert!(cm.estimate(id) >= real, "id {id} underestimated");
+        }
+    }
+
+    #[test]
+    fn increment_returns_post_update_estimate() {
+        let mut cm = CountMinSketch::new(3, 1 << 12, 3);
+        assert_eq!(cm.increment(5), 1);
+        assert_eq!(cm.increment(5), 2);
+    }
+
+    #[test]
+    fn unseen_reads_zero_in_big_sketch() {
+        let mut cm = CountMinSketch::new(3, 1 << 16, 4);
+        for i in 0..100u64 {
+            cm.increment(i);
+        }
+        assert_eq!(cm.estimate(999_999), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows >= 1")]
+    fn zero_rows_rejected() {
+        let _ = CountMinSketch::new(0, 16, 1);
+    }
+}

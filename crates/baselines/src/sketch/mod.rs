@@ -1,0 +1,178 @@
+//! Sketch-based frequency estimators (paper §II-A, "sketch-based").
+//!
+//! All three sketches share the same geometry: `rows` equal-width arrays of
+//! counters, one independent hash per row (the paper sets the number of
+//! arrays to 3, §V-C). They differ in the update/query rule:
+//!
+//! * [`CountMinSketch`] — increment every mapped counter; query the minimum.
+//!   Overestimates only.
+//! * [`CuSketch`] — *conservative update* (Estan & Varghese): increment only
+//!   the minimal mapped counter(s). Still overestimate-only, strictly
+//!   tighter than CM.
+//! * [`CountSketch`] — signed updates (`±1` by a sign hash); query the
+//!   median of the signed reads. Unbiased, two-sided error.
+//!
+//! [`SketchTopK`] pairs any of them with a [`TopKHeap`] to answer top-k
+//! frequent-item queries, which is exactly how the paper runs them.
+
+pub mod cm;
+pub mod count;
+pub mod cu;
+
+pub use cm::CountMinSketch;
+pub use count::CountSketch;
+pub use cu::CuSketch;
+
+use crate::topk::TopKHeap;
+use ltc_common::{
+    memory::{HEAP_ENTRY_BYTES, SKETCH_COUNTER_BYTES},
+    Estimate, ItemId, MemoryBudget, MemoryUsage, SignificanceQuery, StreamProcessor,
+};
+
+/// A streaming frequency estimator: one update and one point query.
+pub trait FrequencySketch {
+    /// Display name ("CM", "CU", "Count").
+    const NAME: &'static str;
+
+    /// Construct with `rows` arrays of `width` counters, hashed under `seed`.
+    fn new(rows: usize, width: usize, seed: u64) -> Self;
+
+    /// Record one occurrence of `id`; returns the post-update estimate
+    /// (cheap for all three sketches, and what the top-k heap needs anyway).
+    fn increment(&mut self, id: ItemId) -> u64;
+
+    /// Point-estimate the frequency of `id`.
+    fn estimate(&self, id: ItemId) -> u64;
+
+    /// Bytes under the workspace cost model.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// Sketch + min-heap: the paper's sketch-based top-k frequent-items
+/// algorithm. The whole memory budget is split between the heap (k entries)
+/// and the sketch (the rest), as in §V-C.
+#[derive(Debug, Clone)]
+pub struct SketchTopK<S> {
+    sketch: S,
+    heap: TopKHeap,
+}
+
+impl<S: FrequencySketch> SketchTopK<S> {
+    /// Build from explicit sketch geometry and heap capacity.
+    pub fn new(rows: usize, width: usize, k: usize, seed: u64) -> Self {
+        Self {
+            sketch: S::new(rows, width, seed),
+            heap: TopKHeap::new(k),
+        }
+    }
+
+    /// Build from a memory budget: `k` heap entries first, remaining bytes
+    /// shared equally by `rows` counter arrays.
+    pub fn with_memory(budget: MemoryBudget, k: usize, rows: usize, seed: u64) -> Self {
+        let heap_bytes = k * HEAP_ENTRY_BYTES;
+        let sketch_bytes = budget.as_bytes().saturating_sub(heap_bytes);
+        let width = (sketch_bytes / (rows * SKETCH_COUNTER_BYTES)).max(1);
+        Self::new(rows, width, k, seed)
+    }
+
+    /// The wrapped sketch.
+    pub fn sketch(&self) -> &S {
+        &self.sketch
+    }
+
+    /// The top-k heap.
+    pub fn heap(&self) -> &TopKHeap {
+        &self.heap
+    }
+}
+
+impl<S: FrequencySketch> StreamProcessor for SketchTopK<S> {
+    #[inline]
+    fn insert(&mut self, id: ItemId) {
+        let est = self.sketch.increment(id);
+        let est = est as f64;
+        if est > self.heap.threshold() || self.heap.value_of(id).is_some() {
+            self.heap.offer(id, est);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        S::NAME
+    }
+}
+
+impl<S: FrequencySketch> SignificanceQuery for SketchTopK<S> {
+    fn estimate(&self, id: ItemId) -> Option<f64> {
+        // The heap holds the tracked top-k; other ids still get a sketch
+        // point query (sketches answer everything).
+        self.heap
+            .value_of(id)
+            .or_else(|| Some(self.sketch.estimate(id) as f64))
+    }
+
+    fn top_k(&self, k: usize) -> Vec<Estimate> {
+        self.heap.top_k(k)
+    }
+}
+
+impl<S: FrequencySketch> MemoryUsage for SketchTopK<S> {
+    fn memory_bytes(&self) -> usize {
+        self.sketch.memory_bytes() + self.heap.capacity() * HEAP_ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise<S: FrequencySketch>() {
+        let mut s = SketchTopK::<S>::new(3, 1024, 4, 99);
+        // Heavy hitters 1..4 with distinct counts, plus noise.
+        for (id, reps) in [(1u64, 400usize), (2, 300), (3, 200), (4, 100)] {
+            for _ in 0..reps {
+                s.insert(id);
+            }
+        }
+        for i in 0..500u64 {
+            s.insert(10_000 + i);
+        }
+        let ids: Vec<ItemId> = s.top_k(4).iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4], "{}", S::NAME);
+        let est = s.estimate(1).unwrap();
+        assert!(
+            (350.0..=450.0).contains(&est),
+            "{}: estimate {est} far from 400",
+            S::NAME
+        );
+    }
+
+    #[test]
+    fn cm_topk_finds_heavy_hitters() {
+        exercise::<CountMinSketch>();
+    }
+
+    #[test]
+    fn cu_topk_finds_heavy_hitters() {
+        exercise::<CuSketch>();
+    }
+
+    #[test]
+    fn count_topk_finds_heavy_hitters() {
+        exercise::<CountSketch>();
+    }
+
+    #[test]
+    fn with_memory_splits_budget() {
+        let s = SketchTopK::<CountMinSketch>::with_memory(MemoryBudget::kilobytes(10), 100, 3, 1);
+        // 10240 - 1600 heap = 8640 sketch bytes → 720 counters per row.
+        assert_eq!(s.sketch().width(), 720);
+        assert_eq!(s.memory_bytes(), 720 * 3 * 4 + 1600);
+    }
+
+    #[test]
+    fn unseen_id_estimates_small_not_none() {
+        let s = SketchTopK::<CountMinSketch>::new(3, 4096, 4, 7);
+        // Sketches answer point queries for anything; an unseen id reads 0.
+        assert_eq!(s.estimate(424242), Some(0.0));
+    }
+}

@@ -1,0 +1,449 @@
+//! Space-Saving (Metwally, Agrawal, El Abbadi), "SS" in the paper, with the
+//! original **Stream-Summary** structure for O(1) updates.
+//!
+//! `capacity` counters hold `⟨id, count, err⟩`. A hit increments the item's
+//! counter; a miss on a full table overwrites the item with the *minimum*
+//! count: the newcomer inherits `count_min + 1` and records `err = count_min`
+//! (its possible overestimation). The paper contrasts exactly this inherit-
+//! and-overwrite rule with LTC's decrement-and-restore Long-tail Replacement
+//! (§I-C, §V-F analysis: "the strategy of increment would lead to huge
+//! overestimation error").
+//!
+//! The Stream-Summary keeps counters grouped in buckets of equal count,
+//! buckets linked in ascending order, so "find min" and "move to count+1"
+//! are both O(1). We realise the two doubly-linked lists in index arenas
+//! (no `unsafe`, no per-node allocation).
+
+use ltc_common::{
+    memory::COUNTER_ENTRY_BYTES, top_k_of, Estimate, ItemId, MemoryBudget, MemoryUsage,
+    SignificanceQuery, StreamProcessor,
+};
+use ltc_hash::FxHashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Counter {
+    id: ItemId,
+    count: u64,
+    /// Maximum possible overestimation: the count the evicted predecessor
+    /// had when this item took over its counter.
+    err: u64,
+    bucket: usize,
+    prev: usize,
+    next: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    count: u64,
+    head: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// Space-Saving with Stream-Summary. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use ltc_baselines::SpaceSaving;
+/// use ltc_common::SignificanceQuery;
+///
+/// let mut ss = SpaceSaving::new(4);
+/// for _ in 0..10 { ss.insert(1); }
+/// for _ in 0..3 { ss.insert(2); }
+/// assert_eq!(ss.top_k(1)[0].id, 1);
+/// // count ≥ truth, count − err ≤ truth:
+/// let (count, err) = ss.count_of(1).unwrap();
+/// assert!(count >= 10 && count - err <= 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    counters: Vec<Counter>,
+    buckets: Vec<Bucket>,
+    free_buckets: Vec<usize>,
+    /// Bucket with the smallest count (list head), NIL while empty.
+    min_bucket: usize,
+    index: FxHashMap<ItemId, usize>,
+    capacity: usize,
+}
+
+impl SpaceSaving {
+    /// Track at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Space-Saving needs capacity >= 1");
+        Self {
+            counters: Vec::with_capacity(capacity),
+            buckets: Vec::new(),
+            free_buckets: Vec::new(),
+            min_bucket: NIL,
+            index: FxHashMap::default(),
+            capacity,
+        }
+    }
+
+    /// Size for a memory budget at the paper's 16 B/entry model.
+    pub fn with_memory(budget: MemoryBudget) -> Self {
+        Self::new(budget.entries(COUNTER_ENTRY_BYTES))
+    }
+
+    /// Number of tracked items.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current minimum count (0 while not full).
+    pub fn min_count(&self) -> u64 {
+        if self.index.len() < self.capacity || self.min_bucket == NIL {
+            0
+        } else {
+            self.buckets[self.min_bucket].count
+        }
+    }
+
+    /// `(count, err)` of `id`, if tracked. `count - err` is a guaranteed
+    /// lower bound on the true frequency.
+    pub fn count_of(&self, id: ItemId) -> Option<(u64, u64)> {
+        self.index.get(&id).map(|&c| {
+            let ctr = &self.counters[c];
+            (ctr.count, ctr.err)
+        })
+    }
+
+    /// Record one occurrence of `id`.
+    pub fn insert(&mut self, id: ItemId) {
+        if let Some(&c) = self.index.get(&id) {
+            self.increment(c);
+        } else if self.counters.len() < self.capacity {
+            let c = self.counters.len();
+            self.counters.push(Counter {
+                id,
+                count: 0, // placed below
+                err: 0,
+                bucket: NIL,
+                prev: NIL,
+                next: NIL,
+            });
+            self.place(c, 1, NIL);
+            self.counters[c].count = 1;
+            self.index.insert(id, c);
+        } else {
+            // Replace the minimum: Space-Saving's characteristic move.
+            let c = self.buckets[self.min_bucket].head;
+            debug_assert_ne!(c, NIL);
+            let old_id = self.counters[c].id;
+            let old_count = self.counters[c].count;
+            self.index.remove(&old_id);
+            self.counters[c].id = id;
+            self.counters[c].err = old_count;
+            self.index.insert(id, c);
+            self.increment(c);
+        }
+    }
+
+    /// Move counter `c` from its bucket to the bucket for `count + 1`.
+    fn increment(&mut self, c: usize) {
+        let old_bucket = self.counters[c].bucket;
+        let new_count = self.counters[c].count + 1;
+        self.counters[c].count = new_count;
+        self.detach(c);
+        // The destination is either the very next bucket (if its count
+        // matches) or a fresh bucket spliced right after the old one.
+        let after = self.buckets[old_bucket].next;
+        if after != NIL && self.buckets[after].count == new_count {
+            self.attach(c, after);
+        } else {
+            let nb = self.new_bucket(new_count, old_bucket);
+            self.attach(c, nb);
+        }
+        if self.buckets[old_bucket].head == NIL {
+            self.remove_bucket(old_bucket);
+        }
+    }
+
+    /// First placement of a fresh counter at `count` (which is always 1, so
+    /// its bucket is the minimum bucket or a new head).
+    fn place(&mut self, c: usize, count: u64, _hint: usize) {
+        if self.min_bucket != NIL && self.buckets[self.min_bucket].count == count {
+            let b = self.min_bucket;
+            self.attach(c, b);
+        } else {
+            // New minimum bucket at the head of the bucket list.
+            let nb = self.alloc_bucket(count);
+            self.buckets[nb].prev = NIL;
+            self.buckets[nb].next = self.min_bucket;
+            if self.min_bucket != NIL {
+                self.buckets[self.min_bucket].prev = nb;
+            }
+            self.min_bucket = nb;
+            self.attach(c, nb);
+        }
+    }
+
+    fn detach(&mut self, c: usize) {
+        let (b, prev, next) = {
+            let ctr = &self.counters[c];
+            (ctr.bucket, ctr.prev, ctr.next)
+        };
+        if prev != NIL {
+            self.counters[prev].next = next;
+        } else {
+            self.buckets[b].head = next;
+        }
+        if next != NIL {
+            self.counters[next].prev = prev;
+        }
+        self.counters[c].prev = NIL;
+        self.counters[c].next = NIL;
+        self.counters[c].bucket = NIL;
+    }
+
+    fn attach(&mut self, c: usize, b: usize) {
+        let head = self.buckets[b].head;
+        self.counters[c].prev = NIL;
+        self.counters[c].next = head;
+        self.counters[c].bucket = b;
+        if head != NIL {
+            self.counters[head].prev = c;
+        }
+        self.buckets[b].head = c;
+    }
+
+    fn alloc_bucket(&mut self, count: u64) -> usize {
+        if let Some(b) = self.free_buckets.pop() {
+            self.buckets[b] = Bucket {
+                count,
+                head: NIL,
+                prev: NIL,
+                next: NIL,
+            };
+            b
+        } else {
+            self.buckets.push(Bucket {
+                count,
+                head: NIL,
+                prev: NIL,
+                next: NIL,
+            });
+            self.buckets.len() - 1
+        }
+    }
+
+    /// Allocate a bucket with `count`, spliced immediately after `prev_b`.
+    fn new_bucket(&mut self, count: u64, prev_b: usize) -> usize {
+        let nb = self.alloc_bucket(count);
+        let next = self.buckets[prev_b].next;
+        self.buckets[nb].prev = prev_b;
+        self.buckets[nb].next = next;
+        self.buckets[prev_b].next = nb;
+        if next != NIL {
+            self.buckets[next].prev = nb;
+        }
+        nb
+    }
+
+    fn remove_bucket(&mut self, b: usize) {
+        let (prev, next) = (self.buckets[b].prev, self.buckets[b].next);
+        if prev != NIL {
+            self.buckets[prev].next = next;
+        } else {
+            self.min_bucket = next;
+        }
+        if next != NIL {
+            self.buckets[next].prev = prev;
+        }
+        self.free_buckets.push(b);
+    }
+
+    /// Iterate `(id, count, err)` over all tracked items (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, u64, u64)> + '_ {
+        self.index.iter().map(move |(&id, &c)| {
+            let ctr = &self.counters[c];
+            (id, ctr.count, ctr.err)
+        })
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        // Buckets strictly ascending; every counter's count equals its
+        // bucket's count; index maps to the right counter.
+        let mut b = self.min_bucket;
+        let mut last = 0u64;
+        let mut seen = 0usize;
+        while b != NIL {
+            let bucket = &self.buckets[b];
+            assert!(bucket.count > last || (last == 0 && bucket.count >= 1));
+            last = bucket.count;
+            let mut c = bucket.head;
+            assert_ne!(c, NIL, "empty bucket {b} not removed");
+            while c != NIL {
+                assert_eq!(self.counters[c].count, bucket.count);
+                assert_eq!(self.counters[c].bucket, b);
+                assert_eq!(self.index[&self.counters[c].id], c);
+                seen += 1;
+                c = self.counters[c].next;
+            }
+            b = bucket.next;
+        }
+        assert_eq!(seen, self.index.len());
+    }
+}
+
+impl StreamProcessor for SpaceSaving {
+    #[inline]
+    fn insert(&mut self, id: ItemId) {
+        SpaceSaving::insert(self, id);
+    }
+
+    fn name(&self) -> &'static str {
+        "SS"
+    }
+}
+
+impl SignificanceQuery for SpaceSaving {
+    fn estimate(&self, id: ItemId) -> Option<f64> {
+        self.count_of(id).map(|(c, _)| c as f64)
+    }
+
+    fn top_k(&self, k: usize) -> Vec<Estimate> {
+        top_k_of(
+            self.iter()
+                .map(|(id, c, _)| Estimate::new(id, c as f64))
+                .collect(),
+            k,
+        )
+    }
+}
+
+impl MemoryUsage for SpaceSaving {
+    fn memory_bytes(&self) -> usize {
+        self.capacity * COUNTER_ENTRY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_exact_below_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for (id, n) in [(1u64, 5usize), (2, 3), (3, 1)] {
+            for _ in 0..n {
+                ss.insert(id);
+            }
+        }
+        ss.check_invariants();
+        assert_eq!(ss.count_of(1), Some((5, 0)));
+        assert_eq!(ss.count_of(2), Some((3, 0)));
+        assert_eq!(ss.count_of(3), Some((1, 0)));
+        assert_eq!(ss.min_count(), 0, "not full yet");
+    }
+
+    #[test]
+    fn eviction_inherits_min_plus_one() {
+        let mut ss = SpaceSaving::new(2);
+        ss.insert(1);
+        ss.insert(1); // (1: 2)
+        ss.insert(2); // (2: 1)
+        ss.insert(3); // evicts 2 → (3: count 2, err 1)
+        ss.check_invariants();
+        assert_eq!(ss.count_of(2), None);
+        assert_eq!(ss.count_of(3), Some((2, 1)));
+    }
+
+    #[test]
+    fn never_underestimates() {
+        // SS guarantee: tracked count ≥ true count.
+        let mut ss = SpaceSaving::new(8);
+        let mut truth = std::collections::HashMap::new();
+        for i in 0..5_000u64 {
+            let id = (i * 7919) % 53;
+            ss.insert(id);
+            *truth.entry(id).or_insert(0u64) += 1;
+        }
+        ss.check_invariants();
+        for (id, count, err) in ss.iter() {
+            let real = truth[&id];
+            assert!(count >= real, "id {id}: {count} < {real}");
+            assert!(count - err <= real, "id {id}: lower bound broken");
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_n_over_m() {
+        // Classic SS bound: min_count ≤ N/m, so overestimation ≤ N/m.
+        let m = 16;
+        let n = 10_000u64;
+        let mut ss = SpaceSaving::new(m);
+        for i in 0..n {
+            ss.insert(i % 100);
+        }
+        assert!(
+            ss.min_count() <= n / m as u64,
+            "min {} > N/m {}",
+            ss.min_count(),
+            n / m as u64
+        );
+    }
+
+    #[test]
+    fn heavy_hitter_survives_churn() {
+        let mut ss = SpaceSaving::new(4);
+        for i in 0..10_000u64 {
+            ss.insert(if i % 2 == 0 { 42 } else { 1_000 + i });
+        }
+        ss.check_invariants();
+        let top = ss.top_k(1);
+        assert_eq!(top[0].id, 42);
+        assert!(ss.count_of(42).unwrap().0 >= 5_000);
+    }
+
+    #[test]
+    fn bucket_reuse_under_long_streams() {
+        // Exercise the free-list: counts spread out then collapse repeatedly.
+        let mut ss = SpaceSaving::new(4);
+        for round in 0..50u64 {
+            for id in 0..8u64 {
+                for _ in 0..=(id % 3) {
+                    ss.insert(round * 100 + id);
+                }
+            }
+        }
+        ss.check_invariants();
+        assert!(
+            ss.buckets.len() <= 64,
+            "bucket arena leaked: {} slots",
+            ss.buckets.len()
+        );
+    }
+
+    #[test]
+    fn top_k_is_by_count_descending() {
+        let mut ss = SpaceSaving::new(8);
+        for (id, n) in [(1u64, 9usize), (2, 7), (3, 5), (4, 3)] {
+            for _ in 0..n {
+                ss.insert(id);
+            }
+        }
+        let ids: Vec<ItemId> = ss.top_k(3).iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_rejected() {
+        let _ = SpaceSaving::new(0);
+    }
+}

@@ -1,0 +1,235 @@
+//! A bounded min-heap tracking the top-k `(item, value)` pairs seen so far.
+//!
+//! Sketch-based algorithms "need to maintain a min-heap to record and update
+//! top-k frequent items" (paper §II-A). Values for a given item only ever
+//! grow in our use (frequencies and persistencies are monotone), so the heap
+//! supports *increase-or-insert*: if the item is already tracked its value is
+//! raised in place; otherwise it displaces the current minimum when larger.
+//!
+//! Implementation: array-backed binary min-heap plus an id→slot index map so
+//! updates are `O(log k)` instead of `O(k)`.
+
+use ltc_common::{top_k_of, Estimate, ItemId};
+use ltc_hash::FxHashMap;
+
+/// Bounded top-k tracker (min-heap + index map). See the module docs.
+#[derive(Debug, Clone)]
+pub struct TopKHeap {
+    /// Heap slots, ordered by the min-heap property on `value`.
+    slots: Vec<Estimate>,
+    /// id → slot index.
+    index: FxHashMap<ItemId, usize>,
+    capacity: usize,
+}
+
+impl TopKHeap {
+    /// A heap tracking at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "top-k heap needs capacity >= 1");
+        Self {
+            slots: Vec::with_capacity(capacity),
+            index: FxHashMap::default(),
+            capacity,
+        }
+    }
+
+    /// Number of tracked items.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing is tracked yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Configured capacity `k`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current minimum tracked value (0 when not yet full, so any
+    /// positive value qualifies for insertion).
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        if self.slots.len() < self.capacity {
+            0.0
+        } else {
+            self.slots[0].value
+        }
+    }
+
+    /// Current value of `id`, if tracked.
+    pub fn value_of(&self, id: ItemId) -> Option<f64> {
+        self.index.get(&id).map(|&i| self.slots[i].value)
+    }
+
+    /// Offer `(id, value)`. If `id` is tracked, its value is raised to
+    /// `value` (offers never lower a value). Otherwise it is inserted,
+    /// displacing the minimum if the heap is full and `value` beats it.
+    pub fn offer(&mut self, id: ItemId, value: f64) {
+        debug_assert!(value.is_finite());
+        if let Some(&slot) = self.index.get(&id) {
+            if value > self.slots[slot].value {
+                self.slots[slot].value = value;
+                self.sift_down(slot);
+            }
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            let slot = self.slots.len();
+            self.slots.push(Estimate::new(id, value));
+            self.index.insert(id, slot);
+            self.sift_up(slot);
+        } else if value > self.slots[0].value {
+            let evicted = self.slots[0].id;
+            self.index.remove(&evicted);
+            self.slots[0] = Estimate::new(id, value);
+            self.index.insert(id, 0);
+            self.sift_down(0);
+        }
+    }
+
+    /// The tracked items, largest first.
+    pub fn top_k(&self, k: usize) -> Vec<Estimate> {
+        top_k_of(self.slots.clone(), k)
+    }
+
+    /// Iterate over tracked items in heap (arbitrary) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Estimate> {
+        self.slots.iter()
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.slots[i].value < self.slots[parent].value {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.slots.len() && self.slots[l].value < self.slots[smallest].value {
+                smallest = l;
+            }
+            if r < self.slots.len() && self.slots[r].value < self.slots[smallest].value {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.slots.swap(a, b);
+        self.index.insert(self.slots[a].id, a);
+        self.index.insert(self.slots[b].id, b);
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for i in 1..self.slots.len() {
+            let parent = (i - 1) / 2;
+            assert!(
+                self.slots[parent].value <= self.slots[i].value,
+                "heap violated at {i}"
+            );
+        }
+        assert_eq!(self.index.len(), self.slots.len());
+        for (i, e) in self.slots.iter().enumerate() {
+            assert_eq!(self.index[&e.id], i, "index desync for {}", e.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_largest_k() {
+        let mut h = TopKHeap::new(3);
+        for (id, v) in [(1, 5.0), (2, 1.0), (3, 9.0), (4, 7.0), (5, 2.0)] {
+            h.offer(id, v);
+            h.check_invariants();
+        }
+        let ids: Vec<ItemId> = h.top_k(3).iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![3, 4, 1]);
+    }
+
+    #[test]
+    fn update_raises_in_place() {
+        let mut h = TopKHeap::new(2);
+        h.offer(1, 1.0);
+        h.offer(2, 2.0);
+        h.offer(1, 10.0); // raise, not duplicate
+        h.check_invariants();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.value_of(1), Some(10.0));
+        assert_eq!(h.top_k(2)[0].id, 1);
+    }
+
+    #[test]
+    fn offers_never_lower() {
+        let mut h = TopKHeap::new(2);
+        h.offer(1, 5.0);
+        h.offer(1, 3.0);
+        assert_eq!(h.value_of(1), Some(5.0));
+    }
+
+    #[test]
+    fn small_values_rejected_when_full() {
+        let mut h = TopKHeap::new(2);
+        h.offer(1, 5.0);
+        h.offer(2, 6.0);
+        h.offer(3, 1.0);
+        assert_eq!(h.value_of(3), None);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn threshold_tracks_minimum() {
+        let mut h = TopKHeap::new(2);
+        assert_eq!(h.threshold(), 0.0);
+        h.offer(1, 5.0);
+        assert_eq!(h.threshold(), 0.0, "not full yet");
+        h.offer(2, 8.0);
+        assert_eq!(h.threshold(), 5.0);
+        h.offer(3, 7.0);
+        assert_eq!(h.threshold(), 7.0, "5 evicted by 7");
+    }
+
+    #[test]
+    fn heavy_churn_keeps_invariants() {
+        let mut h = TopKHeap::new(16);
+        for i in 0..10_000u64 {
+            // Mix of new ids and updates to a small recurring set.
+            let id = if i % 3 == 0 { i % 7 } else { i };
+            h.offer(id, (i % 997) as f64);
+            if i % 251 == 0 {
+                h.check_invariants();
+            }
+        }
+        h.check_invariants();
+        assert_eq!(h.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_rejected() {
+        let _ = TopKHeap::new(0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the baseline algorithms' textbook guarantees.
+
+use ltc_baselines::{
+    BloomFilter, CountMinSketch, CountSketch, CuSketch, FrequencySketch, LossyCounting, MisraGries,
+    SpaceSaving, TopKHeap,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn truth(stream: &[u64]) -> HashMap<u64, u64> {
+    let mut m = HashMap::new();
+    for &id in stream {
+        *m.entry(id).or_insert(0) += 1;
+    }
+    m
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..64, 1..800)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Space-Saving: count ≥ truth and count − err ≤ truth, for every
+    /// tracked item, under any stream and capacity.
+    #[test]
+    fn space_saving_sandwich(stream in stream_strategy(), cap in 1usize..32) {
+        let mut ss = SpaceSaving::new(cap);
+        for &id in &stream {
+            ss.insert(id);
+        }
+        let real = truth(&stream);
+        for (id, count, err) in ss.iter() {
+            let t = real[&id];
+            prop_assert!(count >= t, "id {id}: {count} < {t}");
+            prop_assert!(count - err <= t, "id {id}: lower bound {} > {t}", count - err);
+        }
+    }
+
+    /// Space-Saving: any item with true count > N/cap is tracked
+    /// (the frequent-items guarantee).
+    #[test]
+    fn space_saving_no_false_negatives(stream in stream_strategy(), cap in 1usize..32) {
+        let mut ss = SpaceSaving::new(cap);
+        for &id in &stream {
+            ss.insert(id);
+        }
+        let n = stream.len() as u64;
+        for (&id, &t) in &truth(&stream) {
+            if t > n / cap as u64 {
+                prop_assert!(ss.count_of(id).is_some(), "frequent id {id} (f={t}) missing");
+            }
+        }
+    }
+
+    /// Misra-Gries: never overestimates; underestimates by ≤ N/(cap+1).
+    #[test]
+    fn misra_gries_bounds(stream in stream_strategy(), cap in 1usize..32) {
+        let mut mg = MisraGries::new(cap);
+        for &id in &stream {
+            mg.insert(id);
+        }
+        let real = truth(&stream);
+        let bound = stream.len() as u64 / (cap as u64 + 1);
+        for (id, c) in mg.iter() {
+            prop_assert!(c <= real[&id]);
+        }
+        for (&id, &t) in &real {
+            let tracked = mg.count_of(id).unwrap_or(0);
+            prop_assert!(t - tracked <= bound, "id {id}: err {} > {bound}", t - tracked);
+        }
+    }
+
+    /// Lossy Counting: never overestimates; any item above εN survives with
+    /// error ≤ εN (for streams that respect the entry budget).
+    #[test]
+    fn lossy_counting_bounds(stream in stream_strategy(), cap in 8usize..64) {
+        let mut lc = LossyCounting::new(cap);
+        for &id in &stream {
+            lc.insert(id);
+        }
+        let real = truth(&stream);
+        for (id, f, _) in lc.iter() {
+            prop_assert!(f <= real[&id]);
+        }
+        let eps_n = (lc.epsilon() * stream.len() as f64).ceil() as u64;
+        for (&id, &t) in &real {
+            if t > eps_n {
+                let f = lc.entry_of(id).map(|(f, _)| f).unwrap_or(0);
+                prop_assert!(t - f <= eps_n, "id {id}: err {} > εN {eps_n}", t - f);
+            }
+        }
+    }
+
+    /// CM and CU never underestimate; CU never exceeds CM cell-for-cell.
+    #[test]
+    fn cm_cu_one_sided_and_dominated(
+        stream in stream_strategy(),
+        width in 4usize..64,
+        seed in 0u64..1000,
+    ) {
+        let mut cm = CountMinSketch::new(3, width, seed);
+        let mut cu = CuSketch::new(3, width, seed);
+        for &id in &stream {
+            cm.increment(id);
+            cu.increment(id);
+        }
+        for (&id, &t) in &truth(&stream) {
+            let (ecm, ecu) = (cm.estimate(id), cu.estimate(id));
+            prop_assert!(ecm >= t, "CM underestimated {id}");
+            prop_assert!(ecu >= t, "CU underestimated {id}");
+            prop_assert!(ecu <= ecm, "CU {ecu} above CM {ecm} for {id}");
+        }
+    }
+
+    /// Count sketch stays exact when collision-free (huge width) and finite
+    /// otherwise.
+    #[test]
+    fn count_sketch_exact_without_collisions(stream in prop::collection::vec(0u64..8, 1..300)) {
+        let mut cs = CountSketch::new(3, 1 << 16, 77);
+        for &id in &stream {
+            cs.increment(id);
+        }
+        for (&id, &t) in &truth(&stream) {
+            prop_assert_eq!(cs.estimate(id), t, "id {}", id);
+        }
+    }
+
+    /// Bloom filter: zero false negatives within a period, under any
+    /// insert/clear schedule.
+    #[test]
+    fn bloom_no_false_negatives(
+        periods in prop::collection::vec(prop::collection::vec(0u64..5000, 0..100), 1..8),
+        bits_pow in 8u32..14,
+    ) {
+        let mut bf = BloomFilter::new(1usize << bits_pow, 3, 5);
+        for period in &periods {
+            for &id in period {
+                bf.insert(id);
+            }
+            for &id in period {
+                prop_assert!(bf.contains(id), "false negative {id}");
+            }
+            bf.clear();
+        }
+    }
+
+    /// TopKHeap agrees with a sort-based oracle on final contents when every
+    /// item is offered its final value once.
+    #[test]
+    fn heap_matches_oracle(values in prop::collection::vec(0u64..10_000, 1..200), k in 1usize..16) {
+        let mut heap = TopKHeap::new(k);
+        for (i, &v) in values.iter().enumerate() {
+            heap.offer(i as u64, v as f64);
+        }
+        let mut oracle: Vec<(u64, usize)> = values.iter().map(|&v| (v, 0)).enumerate()
+            .map(|(i, (v, _))| (v, i)).collect();
+        oracle.sort_by(|a, b| b.cmp(a));
+        let expect: Vec<f64> = oracle.iter().take(k.min(values.len())).map(|&(v, _)| v as f64).collect();
+        let got: Vec<f64> = heap.top_k(k).iter().map(|e| e.value).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

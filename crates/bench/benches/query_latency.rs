@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks: top-k query latency after a loaded stream.
+//!
+//! The paper queries once at the end of each experiment; the interesting
+//! contrast is LTC's O(cells) table scan vs the heap-backed sketches'
+//! O(k log k) vs PIE's full joint decode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltc_common::{MemoryBudget, Weights};
+use ltc_eval::algorithms::{build_algorithm, AlgoSpec, BuildParams};
+use ltc_workloads::generator::zipf_samples;
+
+fn loaded(spec: AlgoSpec, weights: Weights) -> Box<dyn ltc_eval::Algorithm> {
+    let params = BuildParams {
+        budget: MemoryBudget::kilobytes(50),
+        k: 100,
+        weights,
+        records_per_period: 5_000,
+        seed: 7,
+    };
+    let stream = zipf_samples(50_000, 50_000, 1.0, 11);
+    let mut alg = build_algorithm(spec, &params);
+    for (i, &id) in stream.iter().enumerate() {
+        alg.insert(id);
+        if (i + 1) % 5_000 == 0 {
+            alg.end_period();
+        }
+    }
+    alg.finish();
+    alg
+}
+
+fn bench_top_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("top_k_100");
+    group.sample_size(20);
+    for (name, spec, weights) in [
+        (
+            "ltc",
+            AlgoSpec::Ltc(ltc_core::Variant::FULL),
+            Weights::BALANCED,
+        ),
+        ("space_saving", AlgoSpec::SpaceSaving, Weights::FREQUENT),
+        ("cu_topk", AlgoSpec::CuTopK, Weights::FREQUENT),
+        ("cu_persistent", AlgoSpec::CuPersistent, Weights::PERSISTENT),
+        ("cu_significant", AlgoSpec::CuSignificant, Weights::BALANCED),
+        ("pie_decode", AlgoSpec::Pie, Weights::PERSISTENT),
+    ] {
+        let alg = loaded(spec, weights);
+        group.bench_function(name, |b| b.iter(|| std::hint::black_box(alg.top_k(100))));
+    }
+    group.finish();
+}
+
+fn bench_point_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_estimate");
+    let alg = loaded(AlgoSpec::Ltc(ltc_core::Variant::FULL), Weights::BALANCED);
+    group.bench_function("ltc_hit_or_miss", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id = id.wrapping_add(0x9e37_79b9);
+            std::hint::black_box(alg.estimate(id))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_top_k, bench_point_query);
+criterion_main!(benches);

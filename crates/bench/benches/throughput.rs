@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks: per-record insertion cost of every algorithm
+//! on an i.i.d. Zipf stream (the statistically rigorous counterpart of the
+//! `speed_comparison` binary).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ltc_common::{MemoryBudget, Weights};
+use ltc_eval::algorithms::{build_algorithm, AlgoSpec, BuildParams};
+use ltc_workloads::generator::zipf_samples;
+
+const RECORDS: usize = 100_000;
+const PER_PERIOD: u64 = 10_000;
+
+fn params(weights: Weights) -> BuildParams {
+    BuildParams {
+        budget: MemoryBudget::kilobytes(50),
+        k: 100,
+        weights,
+        records_per_period: PER_PERIOD,
+        seed: 7,
+    }
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let stream = zipf_samples(RECORDS, 100_000, 1.0, 42);
+    let mut group = c.benchmark_group("insert_100k_zipf");
+    group.throughput(Throughput::Elements(RECORDS as u64));
+    group.sample_size(10);
+
+    let cases: Vec<(&str, AlgoSpec, Weights)> = vec![
+        (
+            "ltc",
+            AlgoSpec::Ltc(ltc_core::Variant::FULL),
+            Weights::BALANCED,
+        ),
+        (
+            "ltc_basic",
+            AlgoSpec::Ltc(ltc_core::Variant::BASIC),
+            Weights::BALANCED,
+        ),
+        ("space_saving", AlgoSpec::SpaceSaving, Weights::FREQUENT),
+        ("lossy_counting", AlgoSpec::LossyCounting, Weights::FREQUENT),
+        ("misra_gries", AlgoSpec::MisraGries, Weights::FREQUENT),
+        ("cm_topk", AlgoSpec::CmTopK, Weights::FREQUENT),
+        ("cu_topk", AlgoSpec::CuTopK, Weights::FREQUENT),
+        ("count_topk", AlgoSpec::CountTopK, Weights::FREQUENT),
+        ("cm_persistent", AlgoSpec::CmPersistent, Weights::PERSISTENT),
+        ("cu_persistent", AlgoSpec::CuPersistent, Weights::PERSISTENT),
+        ("pie", AlgoSpec::Pie, Weights::PERSISTENT),
+        ("cm_significant", AlgoSpec::CmSignificant, Weights::BALANCED),
+        ("cu_significant", AlgoSpec::CuSignificant, Weights::BALANCED),
+    ];
+
+    for (name, spec, weights) in cases {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || build_algorithm(spec, &params(weights)),
+                |mut alg| {
+                    for (i, &id) in stream.iter().enumerate() {
+                        alg.insert(id);
+                        if (i + 1) % PER_PERIOD as usize == 0 {
+                            alg.end_period();
+                        }
+                    }
+                    alg
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    use ltc_hash::{bob_hash_bytes, bob_hash_u64};
+    let mut group = c.benchmark_group("hashing");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("bob_hash_u64", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            std::hint::black_box(bob_hash_u64(k, 7))
+        })
+    });
+    group.bench_function("bob_hash_16_bytes", |b| {
+        let data = [0xabu8; 16];
+        b.iter(|| std::hint::black_box(bob_hash_bytes(&data, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_hashing);
+criterion_main!(benches);

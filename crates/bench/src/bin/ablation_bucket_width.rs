@@ -1,0 +1,73 @@
+//! Ablation (paper technical-report appendix): the effect of bucket width
+//! `d` at fixed total memory. The paper reports `d = 8` as the sweet spot
+//! and uses it as the default (§V-C).
+//!
+//! Fixed memory ⇒ `w·d` constant: wider buckets mean fewer, longer buckets —
+//! better protection against unlucky hashing, more candidates sharing one
+//! Significance-Decrementing pool.
+
+use ltc_bench::{dataset, emit, memory_sweep_kb};
+use ltc_common::{MemoryBudget, Weights};
+use ltc_core::{Ltc, LtcConfig, Variant};
+use ltc_eval::algorithms::{Algorithm, BuildParams};
+use ltc_eval::{run_algorithm, Oracle, Table};
+use ltc_workloads::profiles;
+
+fn build(d: usize, params: &BuildParams) -> Box<dyn Algorithm> {
+    Box::new(Ltc::new(
+        LtcConfig::with_memory(params.budget, d)
+            .weights(params.weights)
+            .records_per_period(params.records_per_period)
+            .variant(Variant::FULL)
+            .seed(params.seed)
+            .build(),
+    ))
+}
+
+fn main() {
+    let stream = dataset(profiles::network_like());
+    let oracle = Oracle::build(&stream);
+    let weights = Weights::BALANCED;
+    let k = 100;
+    let truth = oracle.top_k(k, &weights);
+    let ds = [1usize, 2, 4, 8, 16, 32];
+
+    let mut p_table = Table::new(
+        "ablation_d_precision",
+        "Precision vs bucket width d (Network, 1:1, k=100)",
+        "memory (KB)",
+        ds.iter().map(|d| format!("d={d}")).collect(),
+    );
+    let mut a_table = Table::new(
+        "ablation_d_are",
+        "ARE vs bucket width d (Network, 1:1, k=100)",
+        "memory (KB)",
+        ds.iter().map(|d| format!("d={d}")).collect(),
+    );
+    for kb in memory_sweep_kb(&[10, 25, 50, 100]) {
+        let mut p_row = Vec::new();
+        let mut a_row = Vec::new();
+        for &d in &ds {
+            let params = BuildParams {
+                budget: MemoryBudget::kilobytes(kb),
+                k,
+                weights,
+                records_per_period: stream.layout.records_per_period().unwrap(),
+                seed: 7,
+            };
+            let mut alg = build(d, &params);
+            let outcome = run_algorithm(alg.as_mut(), &stream, k);
+            p_row.push(outcome.tie_aware_precision(&truth, &oracle, &weights));
+            a_row.push(outcome.are(k, &oracle, &weights));
+            eprintln!(
+                "  [d={d:>2}] {kb:>4} KB  precision {:.3}  ARE {:.3e}",
+                p_row.last().unwrap(),
+                a_row.last().unwrap()
+            );
+        }
+        p_table.push_row(kb as f64, p_row);
+        a_table.push_row(kb as f64, a_row);
+    }
+    emit(&p_table);
+    emit(&a_table);
+}

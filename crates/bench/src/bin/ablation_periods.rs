@@ -1,0 +1,57 @@
+//! Ablation (paper technical-report appendix): varying the **number of
+//! periods** `T` on the persistent-items task. The paper reports LTC keeps
+//! the highest precision and lowest ARE "for all settings of the number of
+//! periods".
+
+use ltc_bench::{emit, memory_sweep_kb, sweep_point};
+use ltc_common::{MemoryBudget, Weights};
+use ltc_eval::algorithms::AlgoSpec;
+use ltc_eval::{Oracle, Table};
+use ltc_workloads::{generate, profiles};
+
+fn main() {
+    let weights = Weights::PERSISTENT;
+    let lineup = AlgoSpec::persistent_lineup();
+    let names: Vec<String> = ["LTC", "PIE", "CM+BF", "CU+BF"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let k = 100;
+    let kb = memory_sweep_kb(&[100])[0];
+
+    let mut p_table = Table::new(
+        "ablation_t_precision",
+        format!("Precision vs number of periods T (Network, 0:1, k=100, {kb} KB)"),
+        "periods T",
+        names.clone(),
+    );
+    let mut a_table = Table::new(
+        "ablation_t_are",
+        format!("ARE vs number of periods T (Network, 0:1, k=100, {kb} KB)"),
+        "periods T",
+        names,
+    );
+    for t in [100u64, 250, 500, 1000, 2000] {
+        let spec = profiles::network_like()
+            .scaled_down(ltc_bench::scale())
+            .with_periods(t);
+        eprintln!("[gen] Network with T={t}");
+        let stream = generate(&spec);
+        let oracle = Oracle::build(&stream);
+        let truth = oracle.top_k(k, &weights);
+        let point = sweep_point(
+            &lineup,
+            &stream,
+            &oracle,
+            &truth,
+            MemoryBudget::kilobytes(kb),
+            k,
+            weights,
+            7,
+        );
+        p_table.push_row(t as f64, point.precision);
+        a_table.push_row(t as f64, point.are);
+    }
+    emit(&p_table);
+    emit(&a_table);
+}

@@ -1,0 +1,126 @@
+//! Ablation: count-driven vs time-driven CLOCK stepping under non-uniform
+//! arrival rates.
+//!
+//! The paper's basic description assumes "the arriving speed of every item
+//! is the same" and then notes the time-driven extension ("In practice, the
+//! arriving speed of items could vary a lot", §III-B1). This ablation
+//! quantifies that: the same records are replayed with *bursty timestamps*
+//! (each period's records compressed into its first `burst_pct`%), and LTC
+//! is driven once count-based (pointer advances `m/n` per record —
+//! oblivious to time) and once time-based (pointer advances `(x−y)/t·m` —
+//! tracking wall clock).
+//!
+//! Finding this ablation demonstrates: with the **Deviation Eliminator**
+//! the two drivings are *exactly equivalent* — the sweep harvests only the
+//! previous period's flags and covers every cell exactly once per period,
+//! so its pacing inside the period cannot change the outcome. Pacing only
+//! matters for the **basic** single-flag variant, where a mid-period scan
+//! can double-harvest — i.e. DE buys robustness to arrival-rate variation
+//! on top of its exactness guarantee.
+
+use ltc_bench::{emit, memory_sweep_kb, scale};
+use ltc_common::{Estimate, MemoryBudget, SignificanceQuery, Weights};
+use ltc_core::{Ltc, LtcConfig, Variant};
+use ltc_eval::{metrics, Oracle, Table};
+use ltc_workloads::{generate, profiles};
+
+const PERIOD_UNITS: u64 = 1_000_000;
+
+fn build(kb: usize, time_driven: bool, n_per_period: u64, variant: Variant) -> Ltc {
+    let b = LtcConfig::with_memory(MemoryBudget::kilobytes(kb), 8)
+        .weights(Weights::PERSISTENT)
+        .variant(variant)
+        .seed(7);
+    let b = if time_driven {
+        b.time_units_per_period(PERIOD_UNITS)
+    } else {
+        b.records_per_period(n_per_period)
+    };
+    Ltc::new(b.build())
+}
+
+fn main() {
+    let spec = profiles::network_like().scaled_down(scale() * 10);
+    eprintln!("[gen] {}: {} records", spec.name, spec.total_records);
+    let stream = generate(&spec);
+    let oracle = Oracle::build(&stream);
+    let weights = Weights::PERSISTENT;
+    let k = 100;
+    let truth = oracle.top_k(k, &weights);
+    let n_per_period = stream.layout.records_per_period().unwrap();
+    let kb = memory_sweep_kb(&[50])[0];
+
+    let mut p_table = Table::new(
+        "ablation_clock_precision",
+        format!("Precision: count- vs time-driven CLOCK under burst (Network/10, 0:1, {kb} KB)"),
+        "burst concentration (% of period holding all records)",
+        vec![
+            "count+DE".into(),
+            "time+DE".into(),
+            "count basic".into(),
+            "time basic".into(),
+        ],
+    );
+    let mut a_table = Table::new(
+        "ablation_clock_are",
+        format!("ARE: count- vs time-driven CLOCK under burst (Network/10, 0:1, {kb} KB)"),
+        "burst concentration (% of period holding all records)",
+        vec![
+            "count+DE".into(),
+            "time+DE".into(),
+            "count basic".into(),
+            "time basic".into(),
+        ],
+    );
+
+    for burst_pct in [100u64, 50, 20, 5] {
+        // Timestamps: period i's records land uniformly inside its first
+        // burst_pct% of wall-clock.
+        let mut results: Vec<(f64, f64)> = Vec::new();
+        for (time_driven, variant) in [
+            (false, Variant::FULL),
+            (true, Variant::FULL),
+            (false, Variant::LONG_TAIL_ONLY),
+            (true, Variant::LONG_TAIL_ONLY),
+        ] {
+            let mut ltc = build(kb, time_driven, n_per_period, variant);
+            for (pi, period) in stream.periods().enumerate() {
+                let window = PERIOD_UNITS * burst_pct / 100;
+                let base = pi as u64 * PERIOD_UNITS;
+                let len = period.len().max(1) as u64;
+                for (ri, &id) in period.iter().enumerate() {
+                    if time_driven {
+                        let t = base + (ri as u64 * window) / len;
+                        ltc.insert_at(id, t);
+                    } else {
+                        ltc.insert(id);
+                    }
+                }
+                if !time_driven {
+                    ltc.end_period();
+                }
+            }
+            if time_driven {
+                ltc.end_period();
+            }
+            ltc.finalize();
+            let reported: Vec<Estimate> = ltc.top_k(k);
+            let p = metrics::tie_aware_precision(&reported, &truth, &oracle, &weights);
+            let a = metrics::are(&reported, k, &oracle, &weights);
+            eprintln!(
+                "  [{} {}] burst {burst_pct:>3}%  precision {p:.3}  ARE {a:.3e}",
+                if time_driven { "time " } else { "count" },
+                if variant.deviation_eliminator {
+                    "DE   "
+                } else {
+                    "basic"
+                },
+            );
+            results.push((p, a));
+        }
+        p_table.push_row(burst_pct as f64, results.iter().map(|r| r.0).collect());
+        a_table.push_row(burst_pct as f64, results.iter().map(|r| r.1).collect());
+    }
+    emit(&p_table);
+    emit(&a_table);
+}

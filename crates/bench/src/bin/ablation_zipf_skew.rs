@@ -1,0 +1,65 @@
+//! Ablation (paper technical-report appendix): synthetic Zipf streams with
+//! varying skew γ. Long-tail Replacement leans on the long-tail assumption
+//! (§III-D, "Shortcoming"), so flat streams (γ→0.5) should narrow — but not
+//! reverse — LTC's margin.
+
+use ltc_bench::{emit, memory_sweep_kb, scale, sweep_point};
+use ltc_common::{MemoryBudget, Weights};
+use ltc_eval::algorithms::AlgoSpec;
+use ltc_eval::{Oracle, Table};
+use ltc_workloads::{generate, StreamSpec};
+
+fn main() {
+    let weights = Weights::BALANCED;
+    let lineup = AlgoSpec::significant_lineup();
+    let names: Vec<String> = ["LTC", "CM-SIG", "CU-SIG"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let k = 100;
+    let kb = memory_sweep_kb(&[50])[0];
+    let s = scale();
+
+    let mut p_table = Table::new(
+        "ablation_skew_precision",
+        format!("Precision vs Zipf skew γ (synthetic, 1:1, k=100, {kb} KB)"),
+        "skew γ",
+        names.clone(),
+    );
+    let mut a_table = Table::new(
+        "ablation_skew_are",
+        format!("ARE vs Zipf skew γ (synthetic, 1:1, k=100, {kb} KB)"),
+        "skew γ",
+        names,
+    );
+    for skew in [0.6f64, 0.8, 1.0, 1.2, 1.5] {
+        let spec = StreamSpec {
+            name: "zipf-sweep",
+            total_records: (10_000_000 / s).max(10_000),
+            distinct_items: (1_000_000 / s).max(1_000),
+            periods: 500,
+            zipf_skew: skew,
+            burst_fraction: 0.3,
+            periodic_fraction: 0.1,
+            seed: 1_234,
+        };
+        eprintln!("[gen] zipf γ={skew}");
+        let stream = generate(&spec);
+        let oracle = Oracle::build(&stream);
+        let truth = oracle.top_k(k, &weights);
+        let point = sweep_point(
+            &lineup,
+            &stream,
+            &oracle,
+            &truth,
+            MemoryBudget::kilobytes(kb),
+            k,
+            weights,
+            7,
+        );
+        p_table.push_row(skew, point.precision);
+        a_table.push_row(skew, point.are);
+    }
+    emit(&p_table);
+    emit(&a_table);
+}

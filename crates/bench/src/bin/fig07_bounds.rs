@@ -1,0 +1,117 @@
+//! Figure 7: the §IV theory validated against measurement, on a synthetic
+//! Zipf stream (the §IV model: Zipf frequencies, uniform occupancy).
+//!
+//! * 7(a): correct-rate — measured real value vs theoretical lower bound,
+//!   k=1000, memory 10–150 KB;
+//! * 7(b): error — measured `Pr{sᵢ−ŝᵢ ≥ εN}` vs the Markov upper bound,
+//!   ε=2⁻¹⁸, k=1000, memory 10–100 KB.
+//!
+//! The theory applies to the basic version + Deviation Eliminator (no
+//! Long-tail Replacement, which trades the no-overestimation guarantee for
+//! accuracy), with α=1, β=0 so significance follows the Eq. 3 frequency
+//! model directly.
+
+use ltc_bench::{emit, k_sweep, memory_sweep_kb, scale};
+use ltc_common::{MemoryBudget, SignificanceQuery, Weights};
+use ltc_core::{Ltc, LtcConfig, Variant};
+use ltc_eval::theory;
+use ltc_eval::{Oracle, Table};
+use ltc_workloads::generator::zipf_stream;
+use ltc_workloads::GeneratedStream;
+
+const D: usize = 8;
+
+fn run_ltc(stream: &GeneratedStream, kb: usize) -> Ltc {
+    let mut ltc = Ltc::new(
+        LtcConfig::with_memory(MemoryBudget::kilobytes(kb), D)
+            .weights(Weights::FREQUENT)
+            .records_per_period(stream.layout.records_per_period().unwrap())
+            .variant(Variant::DEVIATION_ONLY)
+            .seed(7)
+            .build(),
+    );
+    for period in stream.periods() {
+        for &id in period {
+            ltc.insert(id);
+        }
+        ltc.end_period();
+    }
+    ltc.finalize();
+    ltc
+}
+
+/// Average a per-rank bound over `k` ranks, subsampled for tractability
+/// (the correct-rate DP is O(M·d) per rank).
+fn subsampled_avg(k: usize, mut f: impl FnMut(usize) -> f64) -> f64 {
+    let step = (k / 50).max(1);
+    let ranks: Vec<usize> = (0..k).step_by(step).collect();
+    ranks.iter().map(|&r| f(r)).sum::<f64>() / ranks.len() as f64
+}
+
+fn main() {
+    let s = scale();
+    let stream = zipf_stream(
+        (10_000_000 / s).max(10_000),
+        (1_000_000 / s).max(1_000),
+        1.0,
+        100,
+        42,
+    );
+    eprintln!("[gen] zipf: {} records", stream.len());
+    let oracle = Oracle::build(&stream);
+    let ranked = oracle.ranked_frequencies();
+    let n = oracle.total_records();
+    let k = k_sweep(&[1000])[0].1;
+    let truth = oracle.top_k(k, &Weights::FREQUENT);
+
+    // (a): correct rate.
+    let mut table_a = Table::new(
+        "fig07a",
+        "Correct rate: measured vs theoretical bound (Zipf, k=1000)",
+        "memory (KB)",
+        vec!["real value".into(), "theoretic bound".into()],
+    );
+    for kb in memory_sweep_kb(&[10, 30, 60, 90, 120, 150]) {
+        let ltc = run_ltc(&stream, kb);
+        let correct = truth
+            .iter()
+            .filter(|e| ltc.estimate(e.id) == Some(e.value))
+            .count();
+        let real = correct as f64 / truth.len() as f64;
+        let w = ltc.config().buckets;
+        let bound = subsampled_avg(k.min(ranked.len()), |r| {
+            theory::correct_rate_bound(&ranked, ranked[r], w, D)
+        });
+        eprintln!("  [{kb:>4} KB] real {real:.4}  bound {bound:.4}");
+        table_a.push_row(kb as f64, vec![real, bound]);
+    }
+    emit(&table_a);
+
+    // (b): error probability.
+    let epsilon = 2f64.powi(-18) * s as f64; // keep εN meaningful at scale
+    let mut table_b = Table::new(
+        "fig07b",
+        "Error Pr{s-ŝ ≥ εN}: measured vs Markov bound (Zipf, k=1000, ε=2^-18)",
+        "memory (KB)",
+        vec!["real value".into(), "theoretic bound".into()],
+    );
+    for kb in memory_sweep_kb(&[10, 25, 50, 75, 100]) {
+        let ltc = run_ltc(&stream, kb);
+        let threshold = epsilon * n as f64;
+        let exceeded = truth
+            .iter()
+            .filter(|e| {
+                let est = ltc.estimate(e.id).unwrap_or(0.0);
+                e.value - est >= threshold
+            })
+            .count();
+        let real = exceeded as f64 / truth.len() as f64;
+        let w = ltc.config().buckets;
+        let bound = subsampled_avg(k.min(ranked.len()), |r| {
+            theory::error_bound(&ranked, r, w, D, 1.0, 0.0, epsilon, n)
+        });
+        eprintln!("  [{kb:>4} KB] real {real:.4}  bound {bound:.4}");
+        table_b.push_row(kb as f64, vec![real, bound]);
+    }
+    emit(&table_b);
+}

@@ -1,0 +1,74 @@
+//! Figure 8: effect of **Long-tail Replacement** (optimized "Y" vs basic
+//! "N"), on the Network dataset.
+//!
+//! * 8(a): precision vs memory (50–300 KB), α=1, β=1, k=1000;
+//! * 8(b): precision vs weighting (1:0, 1:1, 10:1, 1:10, 0:1) at 50 KB.
+
+use ltc_bench::{dataset, emit, k_sweep, memory_sweep_kb, sweep_point};
+use ltc_common::{MemoryBudget, Weights};
+use ltc_core::Variant;
+use ltc_eval::algorithms::AlgoSpec;
+use ltc_eval::{Oracle, Table};
+use ltc_workloads::profiles;
+
+fn main() {
+    // Y = with LTR (paper default), N = without (Deviation Eliminator only).
+    let lineup = [
+        AlgoSpec::Ltc(Variant::FULL),
+        AlgoSpec::Ltc(Variant::DEVIATION_ONLY),
+    ];
+    let names = vec!["Y (with LTR)".to_string(), "N (without)".to_string()];
+    let stream = dataset(profiles::network_like());
+    let oracle = Oracle::build(&stream);
+    let k = k_sweep(&[1000])[0].1;
+
+    // (a): vs memory at α:β = 1:1.
+    let weights = Weights::BALANCED;
+    let truth = oracle.top_k(k, &weights);
+    let mut table_a = Table::new(
+        "fig08a",
+        "Long-tail Replacement: precision vs memory (Network, 1:1, k=1000)",
+        "memory (KB)",
+        names.clone(),
+    );
+    for kb in memory_sweep_kb(&[50, 100, 150, 200, 250, 300]) {
+        let p = sweep_point(
+            &lineup,
+            &stream,
+            &oracle,
+            &truth,
+            MemoryBudget::kilobytes(kb),
+            k,
+            weights,
+            7,
+        );
+        table_a.push_row(kb as f64, p.precision);
+    }
+    emit(&table_a);
+
+    // (b): vs α:β at 50 KB. X encoded as the sweep index; labels printed.
+    let mut table_b = Table::new(
+        "fig08b",
+        "Long-tail Replacement: precision vs parameters (Network, 50 KB) — x = index into [1:0, 1:1, 10:1, 1:10, 0:1]",
+        "weighting #",
+        names,
+    );
+    let kb = memory_sweep_kb(&[50])[0];
+    for (i, ratio) in ["1:0", "1:1", "10:1", "1:10", "0:1"].iter().enumerate() {
+        let weights: Weights = ratio.parse().expect("valid ratio");
+        let truth = oracle.top_k(k, &weights);
+        let p = sweep_point(
+            &lineup,
+            &stream,
+            &oracle,
+            &truth,
+            MemoryBudget::kilobytes(kb),
+            k,
+            weights,
+            7,
+        );
+        eprintln!("  (weighting {ratio})");
+        table_b.push_row(i as f64, p.precision);
+    }
+    emit(&table_b);
+}

@@ -1,0 +1,56 @@
+//! Figures 9 and 10: precision and ARE on finding **frequent** items
+//! (α=1, β=0), LTC vs SS/LC/MG/CM/CU/Count.
+//!
+//! * 9(a)–(c) / 10(a)–(c): vs memory (5–50 KB), k=100, three datasets;
+//! * 9(d) / 10(d): vs k (100–1000), 100 KB, Network.
+//!
+//! Both figures come from the same runs, so one binary emits all eight
+//! tables. `LTC_SCALE=n` shrinks datasets, budgets and k together.
+
+use ltc_bench::{dataset, emit, memory_sweep_kb, run_k_sweep, run_memory_sweep};
+use ltc_common::Weights;
+use ltc_eval::algorithms::AlgoSpec;
+use ltc_workloads::profiles;
+
+fn main() {
+    let weights = Weights::FREQUENT;
+    let lineup = AlgoSpec::frequent_lineup();
+    let names: Vec<String> = ["LTC", "SS", "LC", "MG", "CM", "CU", "Count"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let kbs = memory_sweep_kb(&[5, 10, 20, 35, 50]);
+
+    for (sub, spec) in ["a", "b", "c"].iter().zip(profiles::all()) {
+        let stream = dataset(spec);
+        let (p, a) = run_memory_sweep(
+            &lineup,
+            &names,
+            &stream,
+            &kbs,
+            100,
+            weights,
+            &format!("fig09{sub}"),
+            &format!("fig10{sub}"),
+            &format!("frequent items, vs memory ({})", spec.name),
+        );
+        emit(&p);
+        emit(&a);
+    }
+
+    let stream = dataset(profiles::network_like());
+    let kb = memory_sweep_kb(&[100])[0];
+    let (p, a) = run_k_sweep(
+        &lineup,
+        &names,
+        &stream,
+        kb,
+        &[100, 250, 500, 750, 1000],
+        weights,
+        "fig09d",
+        "fig10d",
+        "frequent items, vs k (Network)",
+    );
+    emit(&p);
+    emit(&a);
+}

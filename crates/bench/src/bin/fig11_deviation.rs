@@ -1,0 +1,46 @@
+//! Figure 11: effect of the **Deviation Eliminator** (optimized "Y" vs the
+//! single-flag basic version "N") on finding persistent items (α=0, β=1),
+//! Network dataset, k=1000, memory 10–50 KB.
+
+use ltc_bench::{dataset, emit, k_sweep, memory_sweep_kb, sweep_point};
+use ltc_common::{MemoryBudget, Weights};
+use ltc_core::Variant;
+use ltc_eval::algorithms::AlgoSpec;
+use ltc_eval::{Oracle, Table};
+use ltc_workloads::profiles;
+
+fn main() {
+    // Y = with DE (paper default), N = single flag (LTR stays on, as the
+    // paper enables LTR by default from §V-D onwards).
+    let lineup = [
+        AlgoSpec::Ltc(Variant::FULL),
+        AlgoSpec::Ltc(Variant::LONG_TAIL_ONLY),
+    ];
+    let names = vec!["Y (with DE)".to_string(), "N (single flag)".to_string()];
+    let stream = dataset(profiles::network_like());
+    let oracle = Oracle::build(&stream);
+    let weights = Weights::PERSISTENT;
+    let k = k_sweep(&[1000])[0].1;
+    let truth = oracle.top_k(k, &weights);
+
+    let mut table = Table::new(
+        "fig11",
+        "Deviation Eliminator: precision vs memory (Network, 0:1, k=1000)",
+        "memory (KB)",
+        names,
+    );
+    for kb in memory_sweep_kb(&[10, 20, 30, 40, 50]) {
+        let p = sweep_point(
+            &lineup,
+            &stream,
+            &oracle,
+            &truth,
+            MemoryBudget::kilobytes(kb),
+            k,
+            weights,
+            7,
+        );
+        table.push_row(kb as f64, p.precision);
+    }
+    emit(&table);
+}

@@ -1,0 +1,55 @@
+//! Figures 12 and 13: precision and ARE on finding **persistent** items
+//! (α=0, β=1), LTC vs PIE and the sketch+Bloom adaptations.
+//!
+//! * 12(a)–(c) / 13(a)–(c): vs memory (25–300 KB), k=100, three datasets;
+//! * 12(d) / 13(d): vs k (100–1000), 100 KB, Network.
+//!
+//! PIE receives the budget **per period** (`T×` total), as §V-C specifies.
+
+use ltc_bench::{dataset, emit, memory_sweep_kb, run_k_sweep, run_memory_sweep};
+use ltc_common::Weights;
+use ltc_eval::algorithms::AlgoSpec;
+use ltc_workloads::profiles;
+
+fn main() {
+    let weights = Weights::PERSISTENT;
+    let lineup = AlgoSpec::persistent_lineup();
+    let names: Vec<String> = ["LTC", "PIE", "CM+BF", "CU+BF"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let kbs = memory_sweep_kb(&[25, 50, 100, 200, 300]);
+
+    for (sub, spec) in ["a", "b", "c"].iter().zip(profiles::all()) {
+        let stream = dataset(spec);
+        let (p, a) = run_memory_sweep(
+            &lineup,
+            &names,
+            &stream,
+            &kbs,
+            100,
+            weights,
+            &format!("fig12{sub}"),
+            &format!("fig13{sub}"),
+            &format!("persistent items, vs memory ({})", spec.name),
+        );
+        emit(&p);
+        emit(&a);
+    }
+
+    let stream = dataset(profiles::network_like());
+    let kb = memory_sweep_kb(&[100])[0];
+    let (p, a) = run_k_sweep(
+        &lineup,
+        &names,
+        &stream,
+        kb,
+        &[100, 250, 500, 750, 1000],
+        weights,
+        "fig12d",
+        "fig13d",
+        "persistent items, vs k (Network)",
+    );
+    emit(&p);
+    emit(&a);
+}

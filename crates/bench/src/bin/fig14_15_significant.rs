@@ -1,0 +1,69 @@
+//! Figures 14 and 15: precision and ARE on finding **significant** items,
+//! LTC vs the CM- and CU-based two-structure combiners, on three weightings
+//! (α:β ∈ {1:10, 1:1, 10:1}).
+//!
+//! The paper's (b)–(d) subfigures sweep memory 25–300 KB at k=100 on
+//! CAIDA/Network/Social; each algorithm appears once per weighting, so each
+//! table has `3 algorithms × 3 weightings` series.
+
+use ltc_bench::{dataset, emit, memory_sweep_kb, sweep_point};
+use ltc_common::{MemoryBudget, Weights};
+use ltc_eval::algorithms::AlgoSpec;
+use ltc_eval::{Oracle, Table};
+use ltc_workloads::profiles;
+
+fn main() {
+    let lineup = AlgoSpec::significant_lineup();
+    let weightings: [(&str, Weights); 3] = [
+        ("1:10", Weights::new(1.0, 10.0)),
+        ("1:1", Weights::new(1.0, 1.0)),
+        ("10:1", Weights::new(10.0, 1.0)),
+    ];
+    let base_names = ["LTC", "CM-SIG", "CU-SIG"];
+    let series: Vec<String> = weightings
+        .iter()
+        .flat_map(|(ratio, _)| base_names.iter().map(move |n| format!("{n} {ratio}")))
+        .collect();
+    let kbs = memory_sweep_kb(&[25, 50, 100, 200, 300]);
+    let k = 100;
+
+    for (sub, spec) in ["b", "c", "d"].iter().zip(profiles::all()) {
+        let stream = dataset(spec);
+        let oracle = Oracle::build(&stream);
+        let mut p_table = Table::new(
+            format!("fig14{sub}"),
+            format!("Precision, significant items, vs memory ({})", spec.name),
+            "memory (KB)",
+            series.clone(),
+        );
+        let mut a_table = Table::new(
+            format!("fig15{sub}"),
+            format!("ARE, significant items, vs memory ({})", spec.name),
+            "memory (KB)",
+            series.clone(),
+        );
+        for &kb in &kbs {
+            let mut p_row = Vec::new();
+            let mut a_row = Vec::new();
+            for (_, weights) in weightings {
+                let truth = oracle.top_k(k, &weights);
+                let point = sweep_point(
+                    &lineup,
+                    &stream,
+                    &oracle,
+                    &truth,
+                    MemoryBudget::kilobytes(kb),
+                    k,
+                    weights,
+                    7,
+                );
+                p_row.extend(point.precision);
+                a_row.extend(point.are);
+            }
+            p_table.push_row(kb as f64, p_row);
+            a_table.push_row(kb as f64, a_row);
+        }
+        emit(&p_table);
+        emit(&a_table);
+    }
+}

@@ -1,0 +1,54 @@
+//! Seed-variance check: every figure in the paper (and in `results/`) is a
+//! single-seed run — this binary quantifies how much the headline numbers
+//! move across independently generated streams, so readers can judge the
+//! error bars the plots omit.
+//!
+//! Runs the significant-items line-up (Fig. 14's setting, 1:1 weights,
+//! 50 KB, k=100) over 5 stream seeds of the Network profile and prints
+//! mean ± std of precision and ARE per algorithm.
+
+use ltc_bench::{memory_sweep_kb, scale};
+use ltc_common::{MemoryBudget, Weights};
+use ltc_eval::algorithms::{build_algorithm, AlgoSpec, BuildParams};
+use ltc_eval::{run_trials, Table};
+use ltc_workloads::profiles;
+
+const TRIALS: usize = 5;
+
+fn main() {
+    let spec = profiles::network_like()
+        .scaled_down(scale() * 10)
+        .with_periods(profiles::network_like().periods);
+    let weights = Weights::BALANCED;
+    let k = 100;
+    let kb = memory_sweep_kb(&[50])[0];
+    eprintln!(
+        "[variance] Network/10 ({} records), {TRIALS} seeds, {kb} KB, k={k}",
+        spec.total_records
+    );
+
+    let mut table = Table::new(
+        "variance_check",
+        format!("Seed variance over {TRIALS} trials (Network/10, 1:1, {kb} KB, k=100) — rows: precision mean, precision std, ARE mean, ARE std"),
+        "algorithm #",
+        vec![
+            "precision mean".into(),
+            "precision std".into(),
+            "ARE mean".into(),
+            "ARE std".into(),
+        ],
+    );
+    for (i, algo) in AlgoSpec::significant_lineup().into_iter().enumerate() {
+        let params = BuildParams {
+            budget: MemoryBudget::kilobytes(kb),
+            k,
+            weights,
+            records_per_period: spec.layout().records_per_period().unwrap(),
+            seed: 9,
+        };
+        let (p, a) = run_trials(|| build_algorithm(algo, &params), &spec, k, weights, TRIALS);
+        eprintln!("  [{algo:?}] precision {p}  ARE {a}");
+        table.push_row(i as f64, vec![p.mean, p.std, a.mean, a.std]);
+    }
+    ltc_bench::emit(&table);
+}

@@ -1,0 +1,245 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every `fig*` / `ablation_*` binary follows the same pattern: build the
+//! datasets at a chosen scale, sweep a parameter, run a line-up of
+//! algorithms, and print one [`ltc_eval::Table`] per sub-figure (markdown to
+//! stdout, JSON to `target/experiments/<id>.json` for EXPERIMENTS.md).
+//!
+//! **Scale.** The paper's streams are 1.5M–10M records. Full scale
+//! regenerates faithfully but takes minutes per figure; `LTC_SCALE` divides
+//! every dataset dimension for quick looks:
+//!
+//! ```sh
+//! cargo run --release -p ltc-bench --bin fig09_freq_precision           # full
+//! LTC_SCALE=20 cargo run --release -p ltc-bench --bin fig09_freq_precision
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ltc_common::{Estimate, MemoryBudget, Weights};
+use ltc_eval::algorithms::{build_algorithm, AlgoSpec, BuildParams};
+use ltc_eval::{run_algorithm, Oracle, Table};
+use ltc_workloads::{generate, GeneratedStream, StreamSpec};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// The dataset down-scale factor from `LTC_SCALE` (default 1 = full size).
+pub fn scale() -> u64 {
+    std::env::var("LTC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1)
+}
+
+/// Generate `spec` at the configured scale, logging progress to stderr.
+///
+/// The **period count is preserved** when scaling: persistency is bounded
+/// by `T`, so shrinking `T` compresses the persistency range and creates
+/// top-k ties that do not exist at the paper's scale. Shrinking records and
+/// distinct items while keeping `T` preserves the metric's dynamic range.
+pub fn dataset(spec: StreamSpec) -> GeneratedStream {
+    let scaled = spec.scaled_down(scale()).with_periods(spec.periods);
+    eprintln!(
+        "[gen] {}: {} records, {} periods (scale 1/{})",
+        scaled.name,
+        scaled.total_records,
+        scaled.periods,
+        scale()
+    );
+    generate(&scaled)
+}
+
+/// One sweep point: run every algorithm in `lineup` on `stream` at `budget`
+/// and return `(precision, are)` per algorithm, in lineup order.
+pub struct SweepPoint {
+    /// Precision per algorithm.
+    pub precision: Vec<f64>,
+    /// ARE per algorithm.
+    pub are: Vec<f64>,
+    /// Insertion Mops per algorithm.
+    pub mops: Vec<f64>,
+    /// Algorithm names, lineup order.
+    pub names: Vec<&'static str>,
+}
+
+/// Run a full line-up at one `(budget, k, weights)` setting.
+#[allow(clippy::too_many_arguments)] // experiment axes, mirrors the paper's setup
+pub fn sweep_point(
+    lineup: &[AlgoSpec],
+    stream: &GeneratedStream,
+    oracle: &Oracle,
+    truth: &[Estimate],
+    budget: MemoryBudget,
+    k: usize,
+    weights: Weights,
+    seed: u64,
+) -> SweepPoint {
+    let params = BuildParams {
+        budget,
+        k,
+        weights,
+        records_per_period: stream.layout.records_per_period().unwrap(),
+        seed,
+    };
+    let mut point = SweepPoint {
+        precision: Vec::new(),
+        are: Vec::new(),
+        mops: Vec::new(),
+        names: Vec::new(),
+    };
+    for &spec in lineup {
+        let mut alg = build_algorithm(spec, &params);
+        let outcome = run_algorithm(alg.as_mut(), stream, k);
+        point.names.push(outcome.name);
+        point
+            .precision
+            .push(outcome.tie_aware_precision(truth, oracle, &weights));
+        point.are.push(outcome.are(k, oracle, &weights));
+        point.mops.push(outcome.mops());
+        eprintln!(
+            "  [{:>7}] {:>8} KB  precision {:.3}  ARE {:.3e}  {:.1} Mops",
+            outcome.name,
+            budget.as_bytes() / 1024,
+            point.precision.last().unwrap(),
+            point.are.last().unwrap(),
+            point.mops.last().unwrap()
+        );
+    }
+    point
+}
+
+/// Print a table as markdown and persist it as JSON under
+/// `target/experiments/`.
+pub fn emit(table: &Table) {
+    println!("{}", table.to_markdown());
+    let dir = PathBuf::from("target/experiments");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(format!("{}.json", table.id));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(serde_json::to_string_pretty(table).unwrap().as_bytes());
+            eprintln!("[emit] wrote {}", path.display());
+        }
+    }
+}
+
+/// The memory sweep (KB) used by a figure, shrunk when `LTC_SCALE` shrinks
+/// the datasets so the tight-memory regime is preserved.
+pub fn memory_sweep_kb(paper_points: &[usize]) -> Vec<usize> {
+    let s = scale() as usize;
+    paper_points.iter().map(|&kb| (kb / s).max(1)).collect()
+}
+
+/// Run `lineup` over a memory sweep on one dataset and build the paired
+/// precision/ARE tables (the paper always plots both for the same runs:
+/// Figs. 9+10, 12+13, 14+15).
+#[allow(clippy::too_many_arguments)]
+pub fn run_memory_sweep(
+    lineup: &[AlgoSpec],
+    names: &[String],
+    stream: &GeneratedStream,
+    kbs: &[usize],
+    k: usize,
+    weights: Weights,
+    precision_id: &str,
+    are_id: &str,
+    title: &str,
+) -> (Table, Table) {
+    let oracle = Oracle::build(stream);
+    let truth = oracle.top_k(k, &weights);
+    let mut p_table = Table::new(
+        precision_id,
+        format!("Precision, {title}"),
+        "memory (KB)",
+        names.to_vec(),
+    );
+    let mut a_table = Table::new(
+        are_id,
+        format!("ARE, {title}"),
+        "memory (KB)",
+        names.to_vec(),
+    );
+    for &kb in kbs {
+        let point = sweep_point(
+            lineup,
+            stream,
+            &oracle,
+            &truth,
+            MemoryBudget::kilobytes(kb),
+            k,
+            weights,
+            7,
+        );
+        p_table.push_row(kb as f64, point.precision);
+        a_table.push_row(kb as f64, point.are);
+    }
+    (p_table, a_table)
+}
+
+/// Run `lineup` over a k sweep at one budget and build the paired
+/// precision/ARE tables ("(d)" subfigures).
+#[allow(clippy::too_many_arguments)]
+pub fn run_k_sweep(
+    lineup: &[AlgoSpec],
+    names: &[String],
+    stream: &GeneratedStream,
+    kb: usize,
+    paper_ks: &[usize],
+    weights: Weights,
+    precision_id: &str,
+    are_id: &str,
+    title: &str,
+) -> (Table, Table) {
+    let oracle = Oracle::build(stream);
+    let mut p_table = Table::new(
+        precision_id,
+        format!("Precision, {title}"),
+        "k",
+        names.to_vec(),
+    );
+    let mut a_table = Table::new(are_id, format!("ARE, {title}"), "k", names.to_vec());
+    for (label_k, k) in k_sweep(paper_ks) {
+        let truth = oracle.top_k(k, &weights);
+        let point = sweep_point(
+            lineup,
+            stream,
+            &oracle,
+            &truth,
+            MemoryBudget::kilobytes(kb),
+            k,
+            weights,
+            7,
+        );
+        p_table.push_row(label_k as f64, point.precision);
+        a_table.push_row(label_k as f64, point.are);
+    }
+    (p_table, a_table)
+}
+
+/// The k sweep for "vs k" subfigures: at reduced scale both the memory
+/// budget and k shrink together (the regime that matters is cells-per-
+/// reported-item and items-per-cell); rows are labelled with the *paper's*
+/// k. Returns `(paper_k_label, effective_k)` pairs.
+pub fn k_sweep(paper_points: &[usize]) -> Vec<(usize, usize)> {
+    let s = scale() as usize;
+    paper_points.iter().map(|&k| (k, (k / s).max(10))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_one() {
+        // Env-var free test context.
+        std::env::remove_var("LTC_SCALE");
+        assert_eq!(scale(), 1);
+    }
+
+    #[test]
+    fn memory_sweep_scales_and_floors() {
+        std::env::remove_var("LTC_SCALE");
+        assert_eq!(memory_sweep_kb(&[5, 10, 50]), vec![5, 10, 50]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Reported estimates and top-k selection.
+
+use crate::item::ItemId;
+use serde::{Deserialize, Serialize};
+
+/// One reported `(item, estimated value)` pair. The value is a significance
+/// (α·f̂ + β·p̂), a frequency, or a persistency, depending on the query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// The reported item.
+    pub id: ItemId,
+    /// Its estimated value.
+    pub value: f64,
+}
+
+impl Estimate {
+    /// Construct an estimate.
+    #[inline]
+    pub const fn new(id: ItemId, value: f64) -> Self {
+        Self { id, value }
+    }
+}
+
+/// Select the `k` largest estimates, ties broken by smaller id (so results
+/// are deterministic), sorted descending by value.
+///
+/// Runs in `O(n log n)`; the inputs here are table scans of at most a few
+/// hundred thousand cells, queried once per experiment, so a partial-select
+/// optimisation would buy nothing measurable.
+pub fn top_k_of(mut candidates: Vec<Estimate>, k: usize) -> Vec<Estimate> {
+    candidates.sort_unstable_by(|a, b| {
+        b.value
+            .partial_cmp(&a.value)
+            .expect("estimate values must not be NaN")
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    candidates.truncate(k);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(id: ItemId, v: f64) -> Estimate {
+        Estimate::new(id, v)
+    }
+
+    #[test]
+    fn selects_largest_k() {
+        let got = top_k_of(vec![e(1, 5.0), e(2, 9.0), e(3, 1.0), e(4, 7.0)], 2);
+        assert_eq!(got, vec![e(2, 9.0), e(4, 7.0)]);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let got = top_k_of(vec![e(9, 5.0), e(3, 5.0), e(7, 5.0)], 2);
+        assert_eq!(got, vec![e(3, 5.0), e(7, 5.0)]);
+    }
+
+    #[test]
+    fn k_larger_than_input_returns_all_sorted() {
+        let got = top_k_of(vec![e(1, 1.0), e(2, 2.0)], 10);
+        assert_eq!(got, vec![e(2, 2.0), e(1, 1.0)]);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        assert!(top_k_of(vec![e(1, 1.0)], 0).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared vocabulary for the `significant-items` workspace.
+//!
+//! Everything the LTC core, the baselines, the workload generators and the
+//! evaluation harness need to agree on lives here:
+//!
+//! * [`item`] — item ids and timestamped stream records;
+//! * [`period`] — how a stream is cut into the `T` equal periods of the
+//!   paper's problem definition, in count-driven or time-driven form;
+//! * [`significance`] — the significance function `s = α·f + β·p` and its
+//!   user-facing weight type;
+//! * [`traits`] — the interfaces every algorithm implements so that one
+//!   experiment harness can drive LTC and all baselines identically;
+//! * [`estimate`] — reported `(item, value)` pairs and top-k selection
+//!   helpers;
+//! * [`memory`] — the byte-cost model used for head-to-head memory budgets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod item;
+pub mod memory;
+pub mod period;
+pub mod significance;
+pub mod traits;
+
+pub use estimate::{top_k_of, Estimate};
+pub use item::{ItemId, StreamRecord, Timestamp};
+pub use memory::MemoryBudget;
+pub use period::{PeriodLayout, PeriodPartition};
+pub use significance::Weights;
+pub use traits::{MemoryUsage, SignificanceQuery, StreamProcessor};

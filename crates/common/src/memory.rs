@@ -1,0 +1,130 @@
+//! The byte-cost model used for head-to-head memory budgets.
+//!
+//! The paper compares every algorithm at the *same* memory size (§V-C). That
+//! only means something if every structure translates bytes → entries with
+//! one consistent model. We follow the paper's field widths:
+//!
+//! * item id: 8 bytes (the paper's flow keys are 4–13 bytes; we standardise
+//!   on 64-bit ids and charge everyone equally);
+//! * a frequency counter: 4 bytes;
+//! * an LTC persistency field: 4 bytes — a 30-bit counter plus the 2 CLOCK
+//!   flag bits ("we just use two flags (two bits) for every cell", §V-G);
+//! * a sketch counter: 4 bytes;
+//! * a Bloom-filter bit: 1 bit.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes in one LTC cell: id (8) + frequency (4) + persistency-with-flags (4).
+pub const LTC_CELL_BYTES: usize = 16;
+
+/// Bytes per counter-algorithm entry (Space-Saving, Lossy Counting,
+/// Misra-Gries): id (8) + count (4) + auxiliary field (4) — Space-Saving's
+/// overestimation bound, Lossy Counting's Δ, Misra-Gries' padding. All three
+/// are charged identically, as in the paper's setup.
+pub const COUNTER_ENTRY_BYTES: usize = 16;
+
+/// Bytes per sketch counter cell (Count-Min / CU / Count sketch).
+pub const SKETCH_COUNTER_BYTES: usize = 4;
+
+/// Bytes per min-heap entry used to track top-k alongside a sketch:
+/// id (8) + value (4) + heap index bookkeeping (4).
+pub const HEAP_ENTRY_BYTES: usize = 16;
+
+/// A memory budget in bytes, with the KB convenience the paper's x-axes use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MemoryBudget {
+    bytes: usize,
+}
+
+impl MemoryBudget {
+    /// A budget of `bytes` bytes.
+    #[inline]
+    pub const fn bytes(bytes: usize) -> Self {
+        Self { bytes }
+    }
+
+    /// A budget of `kb` kilobytes (the paper's KB are 1024-byte KiB).
+    #[inline]
+    pub const fn kilobytes(kb: usize) -> Self {
+        Self { bytes: kb * 1024 }
+    }
+
+    /// Total bytes available.
+    #[inline]
+    pub const fn as_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// How many entries of `entry_bytes` fit. Never returns 0: every
+    /// algorithm needs at least one entry to be runnable at all.
+    #[inline]
+    pub const fn entries(&self, entry_bytes: usize) -> usize {
+        let n = self.bytes / entry_bytes;
+        if n == 0 {
+            1
+        } else {
+            n
+        }
+    }
+
+    /// Split the budget into `parts` equal sub-budgets (used by the
+    /// two-structure significant-items baseline and the sketch+BF persistent
+    /// adaptation, which halve memory).
+    pub fn split(&self, parts: usize) -> Vec<MemoryBudget> {
+        assert!(parts > 0, "cannot split into zero parts");
+        vec![MemoryBudget::bytes(self.bytes / parts); parts]
+    }
+
+    /// Scale the budget by an integer factor (the paper gives PIE `T×` the
+    /// default memory).
+    #[inline]
+    pub const fn scaled(&self, factor: usize) -> Self {
+        Self {
+            bytes: self.bytes * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kb_is_1024() {
+        assert_eq!(MemoryBudget::kilobytes(10).as_bytes(), 10_240);
+    }
+
+    #[test]
+    fn entries_floor_division() {
+        let b = MemoryBudget::bytes(100);
+        assert_eq!(b.entries(16), 6);
+        assert_eq!(b.entries(4), 25);
+    }
+
+    #[test]
+    fn entries_never_zero() {
+        assert_eq!(MemoryBudget::bytes(1).entries(16), 1);
+    }
+
+    #[test]
+    fn split_evenly() {
+        let parts = MemoryBudget::kilobytes(100).split(2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].as_bytes(), 51_200);
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        assert_eq!(
+            MemoryBudget::kilobytes(50).scaled(200).as_bytes(),
+            50 * 1024 * 200
+        );
+    }
+
+    #[test]
+    fn paper_cell_math() {
+        // 10 KB of LTC cells with d=8 → w = 640/8 = 80 buckets.
+        let cells = MemoryBudget::kilobytes(10).entries(LTC_CELL_BYTES);
+        assert_eq!(cells, 640);
+    }
+}

@@ -1,0 +1,173 @@
+//! Period partitioning.
+//!
+//! The significant-items problem divides a stream into `T` equal periods
+//! (paper §I, Definition of Significant Items). Two equally valid readings of
+//! "equal" appear in the paper and we support both:
+//!
+//! * **count-driven** — every period contains the same number `n` of records
+//!   (how the experiment datasets are pre-split, and how LTC's CLOCK step
+//!   `m/n` is described in §III-B);
+//! * **time-driven** — every period spans the same wall-clock length `t`
+//!   (the "easily extended when the period is defined by time" variant with
+//!   step `(x−y)/t·m`).
+
+use crate::item::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// How a stream is cut into periods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PeriodPartition {
+    /// Each period contains exactly this many records.
+    ByCount {
+        /// Records per period (`n` in the paper). Must be ≥ 1.
+        records_per_period: u64,
+    },
+    /// Each period spans exactly this many timestamp units.
+    ByTime {
+        /// Timestamp units per period (`t` in the paper). Must be ≥ 1.
+        units_per_period: u64,
+    },
+}
+
+impl PeriodPartition {
+    /// Count-driven partition. Panics if `records_per_period == 0`.
+    pub fn by_count(records_per_period: u64) -> Self {
+        assert!(records_per_period > 0, "a period must contain records");
+        Self::ByCount { records_per_period }
+    }
+
+    /// Time-driven partition. Panics if `units_per_period == 0`.
+    pub fn by_time(units_per_period: u64) -> Self {
+        assert!(units_per_period > 0, "a period must span time");
+        Self::ByTime { units_per_period }
+    }
+
+    /// The period index of a record, given its position and timestamp.
+    #[inline]
+    pub fn period_of(&self, record_index: u64, time: Timestamp) -> u64 {
+        match *self {
+            Self::ByCount { records_per_period } => record_index / records_per_period,
+            Self::ByTime { units_per_period } => time / units_per_period,
+        }
+    }
+}
+
+/// A concrete layout: partition plus total span, answering "how many periods
+/// does this stream have" — needed by ground truth and by PIE (one filter per
+/// period).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodLayout {
+    partition: PeriodPartition,
+    total_periods: u64,
+}
+
+impl PeriodLayout {
+    /// Layout with exactly `total_periods` periods of `records_per_period`
+    /// records each.
+    pub fn count_driven(records_per_period: u64, total_periods: u64) -> Self {
+        assert!(total_periods > 0, "need at least one period");
+        Self {
+            partition: PeriodPartition::by_count(records_per_period),
+            total_periods,
+        }
+    }
+
+    /// Layout covering `total_periods` periods of `units_per_period` time
+    /// units each.
+    pub fn time_driven(units_per_period: u64, total_periods: u64) -> Self {
+        assert!(total_periods > 0, "need at least one period");
+        Self {
+            partition: PeriodPartition::by_time(units_per_period),
+            total_periods,
+        }
+    }
+
+    /// Derive a count-driven layout for a stream of `total_records` records
+    /// split into `total_periods` equal periods (the paper's dataset setup).
+    /// `total_records` must be divisible into non-empty periods.
+    pub fn split_evenly(total_records: u64, total_periods: u64) -> Self {
+        assert!(total_periods > 0, "need at least one period");
+        let per = (total_records / total_periods).max(1);
+        Self::count_driven(per, total_periods)
+    }
+
+    /// The partition rule.
+    #[inline]
+    pub const fn partition(&self) -> PeriodPartition {
+        self.partition
+    }
+
+    /// Total number of periods `T`.
+    #[inline]
+    pub const fn total_periods(&self) -> u64 {
+        self.total_periods
+    }
+
+    /// Period index of a record (clamped to the final period, so stragglers
+    /// from integer division stay in-range).
+    #[inline]
+    pub fn period_of(&self, record_index: u64, time: Timestamp) -> u64 {
+        self.partition
+            .period_of(record_index, time)
+            .min(self.total_periods - 1)
+    }
+
+    /// Records per period, if count-driven.
+    #[inline]
+    pub fn records_per_period(&self) -> Option<u64> {
+        match self.partition {
+            PeriodPartition::ByCount { records_per_period } => Some(records_per_period),
+            PeriodPartition::ByTime { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_partition_assigns_periods() {
+        let p = PeriodPartition::by_count(10);
+        assert_eq!(p.period_of(0, 999), 0);
+        assert_eq!(p.period_of(9, 0), 0);
+        assert_eq!(p.period_of(10, 0), 1);
+        assert_eq!(p.period_of(25, 0), 2);
+    }
+
+    #[test]
+    fn time_partition_assigns_periods() {
+        let p = PeriodPartition::by_time(100);
+        assert_eq!(p.period_of(0, 0), 0);
+        assert_eq!(p.period_of(12345, 99), 0);
+        assert_eq!(p.period_of(0, 100), 1);
+        assert_eq!(p.period_of(0, 1050), 10);
+    }
+
+    #[test]
+    fn layout_clamps_to_last_period() {
+        let l = PeriodLayout::count_driven(10, 3);
+        assert_eq!(l.period_of(29, 0), 2);
+        assert_eq!(l.period_of(35, 0), 2, "straggler clamped");
+    }
+
+    #[test]
+    fn split_evenly_matches_paper_datasets() {
+        // "10M items ... divide it into 1000 periods"
+        let l = PeriodLayout::split_evenly(10_000_000, 1000);
+        assert_eq!(l.records_per_period(), Some(10_000));
+        assert_eq!(l.total_periods(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "a period must contain records")]
+    fn zero_count_rejected() {
+        let _ = PeriodPartition::by_count(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one period")]
+    fn zero_periods_rejected() {
+        let _ = PeriodLayout::count_driven(5, 0);
+    }
+}

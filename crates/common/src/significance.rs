@@ -1,0 +1,167 @@
+//! The significance function `s = α·f + β·p` (paper Eq. 1).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// User-chosen weights for frequency (`alpha`) and persistency (`beta`).
+///
+/// * `Weights::FREQUENT`   (α=1, β=0) — degenerate to top-k frequent items;
+/// * `Weights::PERSISTENT` (α=0, β=1) — degenerate to top-k persistent items;
+/// * anything else — the paper's new significant-items problem. The
+///   experiments use 1:10, 1:1 and 10:1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    /// Frequency coefficient α ≥ 0.
+    pub alpha: f64,
+    /// Persistency coefficient β ≥ 0.
+    pub beta: f64,
+}
+
+impl Weights {
+    /// α=1, β=0: pure frequency.
+    pub const FREQUENT: Self = Self {
+        alpha: 1.0,
+        beta: 0.0,
+    };
+
+    /// α=0, β=1: pure persistency.
+    pub const PERSISTENT: Self = Self {
+        alpha: 0.0,
+        beta: 1.0,
+    };
+
+    /// α=1, β=1: the balanced significant-items setting.
+    pub const BALANCED: Self = Self {
+        alpha: 1.0,
+        beta: 1.0,
+    };
+
+    /// Construct weights. Both must be finite, non-negative, and not both
+    /// zero (a significance that is identically zero ranks nothing).
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha.is_finite() && beta.is_finite() && alpha >= 0.0 && beta >= 0.0,
+            "weights must be finite and non-negative, got α={alpha} β={beta}"
+        );
+        assert!(
+            alpha > 0.0 || beta > 0.0,
+            "at least one of α, β must be positive"
+        );
+        Self { alpha, beta }
+    }
+
+    /// The significance of an item with frequency `f` and persistency `p`.
+    #[inline]
+    pub fn significance(&self, frequency: u64, persistency: u64) -> f64 {
+        self.alpha * frequency as f64 + self.beta * persistency as f64
+    }
+
+    /// True when only frequency matters (β = 0).
+    #[inline]
+    pub fn frequency_only(&self) -> bool {
+        self.beta == 0.0
+    }
+
+    /// True when only persistency matters (α = 0).
+    #[inline]
+    pub fn persistency_only(&self) -> bool {
+        self.alpha == 0.0
+    }
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Self::BALANCED
+    }
+}
+
+impl fmt::Display for Weights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.alpha, self.beta)
+    }
+}
+
+/// Parse the paper's `α:β` notation, e.g. `"1:10"`, `"1:0"`, `"0:1"`.
+impl FromStr for Weights {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (a, b) = s
+            .split_once(':')
+            .ok_or_else(|| format!("expected `alpha:beta`, got {s:?}"))?;
+        let alpha: f64 = a
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad alpha {a:?}: {e}"))?;
+        let beta: f64 = b
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad beta {b:?}: {e}"))?;
+        if !(alpha.is_finite() && beta.is_finite() && alpha >= 0.0 && beta >= 0.0) {
+            return Err(format!("weights must be finite and non-negative: {s:?}"));
+        }
+        if alpha == 0.0 && beta == 0.0 {
+            return Err("at least one of alpha, beta must be positive".into());
+        }
+        Ok(Self { alpha, beta })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn significance_is_linear() {
+        let w = Weights::new(2.0, 3.0);
+        assert_eq!(w.significance(0, 0), 0.0);
+        assert_eq!(w.significance(5, 0), 10.0);
+        assert_eq!(w.significance(0, 7), 21.0);
+        assert_eq!(w.significance(5, 7), 31.0);
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        assert!(Weights::FREQUENT.frequency_only());
+        assert!(!Weights::FREQUENT.persistency_only());
+        assert!(Weights::PERSISTENT.persistency_only());
+        assert!(!Weights::BALANCED.frequency_only());
+    }
+
+    #[test]
+    fn parses_paper_ratios() {
+        for (s, a, b) in [
+            ("1:0", 1.0, 0.0),
+            ("0:1", 0.0, 1.0),
+            ("1:1", 1.0, 1.0),
+            ("1:10", 1.0, 10.0),
+            ("10:1", 10.0, 1.0),
+        ] {
+            let w: Weights = s.parse().expect(s);
+            assert_eq!((w.alpha, w.beta), (a, b), "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("".parse::<Weights>().is_err());
+        assert!("1".parse::<Weights>().is_err());
+        assert!("0:0".parse::<Weights>().is_err());
+        assert!("-1:1".parse::<Weights>().is_err());
+        assert!("nan:1".parse::<Weights>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn both_zero_rejected() {
+        let _ = Weights::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        let w = Weights::new(1.0, 10.0);
+        let back: Weights = w.to_string().parse().unwrap();
+        assert_eq!(w, back);
+    }
+}

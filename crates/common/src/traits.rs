@@ -1,0 +1,111 @@
+//! Interfaces every stream algorithm in the workspace implements, so a
+//! single experiment harness can drive LTC and all baselines identically.
+
+use crate::estimate::Estimate;
+use crate::item::ItemId;
+
+/// A one-pass stream algorithm driven record-by-record.
+///
+/// The harness feeds records in order and calls [`end_period`] at every
+/// period boundary (after the last record of the period, before the first of
+/// the next). Algorithms that track persistency use the boundary signal;
+/// frequency-only algorithms may ignore it.
+///
+/// [`end_period`]: StreamProcessor::end_period
+pub trait StreamProcessor {
+    /// Process one record of the stream.
+    fn insert(&mut self, id: ItemId);
+
+    /// The current period has ended; the next record belongs to a new period.
+    fn end_period(&mut self) {}
+
+    /// The stream is over (after the final `end_period`); perform any final
+    /// bookkeeping before queries. LTC harvests the last period's CLOCK
+    /// flags here; most algorithms need nothing.
+    fn finish(&mut self) {}
+
+    /// Short display name for experiment tables (e.g. `"LTC"`, `"SS"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Point and top-k queries over the algorithm's notion of value — the
+/// significance under the weights it was configured with (which degenerates
+/// to frequency or persistency for α:β = 1:0 / 0:1).
+pub trait SignificanceQuery {
+    /// Estimated value of `id`, or `None` if the structure no longer tracks
+    /// it ("this item did not appear", §III-B2).
+    fn estimate(&self, id: ItemId) -> Option<f64>;
+
+    /// The `k` items with the largest estimated value, descending.
+    fn top_k(&self, k: usize) -> Vec<Estimate>;
+}
+
+/// Actual memory footprint under the workspace cost model, for reporting and
+/// for asserting budget compliance in tests.
+pub trait MemoryUsage {
+    /// Bytes consumed under the cost model of [`crate::memory`].
+    fn memory_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::top_k_of;
+
+    /// A trivial exact processor, to pin down trait ergonomics (object
+    /// safety, default method) — also used as a doc-level example.
+    struct Exact {
+        counts: std::collections::BTreeMap<ItemId, u64>,
+    }
+
+    impl StreamProcessor for Exact {
+        fn insert(&mut self, id: ItemId) {
+            *self.counts.entry(id).or_insert(0) += 1;
+        }
+        fn name(&self) -> &'static str {
+            "Exact"
+        }
+    }
+
+    impl SignificanceQuery for Exact {
+        fn estimate(&self, id: ItemId) -> Option<f64> {
+            self.counts.get(&id).map(|&c| c as f64)
+        }
+        fn top_k(&self, k: usize) -> Vec<Estimate> {
+            top_k_of(
+                self.counts
+                    .iter()
+                    .map(|(&id, &c)| Estimate::new(id, c as f64))
+                    .collect(),
+                k,
+            )
+        }
+    }
+
+    #[test]
+    fn traits_are_object_safe() {
+        let mut boxed: Box<dyn StreamProcessor> = Box::new(Exact {
+            counts: Default::default(),
+        });
+        boxed.insert(1);
+        boxed.insert(1);
+        boxed.insert(2);
+        boxed.end_period(); // default no-op
+        assert_eq!(boxed.name(), "Exact");
+    }
+
+    #[test]
+    fn exact_reference_behaviour() {
+        let mut e = Exact {
+            counts: Default::default(),
+        };
+        for id in [5u64, 5, 5, 9, 9, 1] {
+            e.insert(id);
+        }
+        assert_eq!(e.estimate(5), Some(3.0));
+        assert_eq!(e.estimate(42), None);
+        let top = e.top_k(2);
+        assert_eq!(top[0].id, 5);
+        assert_eq!(top[1].id, 9);
+    }
+}

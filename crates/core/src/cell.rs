@@ -1,0 +1,215 @@
+//! A single LTC cell: `⟨ID, frequency, persistency⟩` plus CLOCK flags.
+//!
+//! The paper's persistency field is "a counter to store the estimated
+//! persistency and a flag bit" (two flag bits with the Deviation Eliminator).
+//! We store the flags in a separate byte for clarity; the *memory-accounting*
+//! model still charges the paper's 16 bytes per cell
+//! ([`ltc_common::memory::LTC_CELL_BYTES`]) because the flags logically live
+//! in two spare bits of the 32-bit persistency word.
+
+use ltc_common::{ItemId, Weights};
+
+/// Flag bit for even-numbered periods (also the only flag the basic,
+/// non-Deviation-Eliminator variant uses).
+pub const FLAG_EVEN: u8 = 0b01;
+/// Flag bit for odd-numbered periods (Deviation Eliminator only).
+pub const FLAG_ODD: u8 = 0b10;
+/// Occupancy marker. The paper calls a cell empty iff "the ID field is NULL
+/// and the significance equals 0"; since a freshly inserted item can
+/// legitimately have significance 0 (e.g. α=0 and persistency still 0), we
+/// track occupancy explicitly rather than overloading the id.
+const FLAG_OCCUPIED: u8 = 0b100;
+
+/// One cell of the lossy table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cell {
+    /// Stored item id (meaningless while unoccupied).
+    pub id: ItemId,
+    /// Estimated frequency `f̂`.
+    pub freq: u32,
+    /// Estimated persistency counter `p̂` (the harvested part; flags below
+    /// hold the not-yet-harvested current/previous period bits).
+    pub persist: u32,
+    flags: u8,
+}
+
+impl Cell {
+    /// An empty cell.
+    pub const EMPTY: Cell = Cell {
+        id: 0,
+        freq: 0,
+        persist: 0,
+        flags: 0,
+    };
+
+    /// Whether the cell currently holds an item.
+    #[inline]
+    pub fn occupied(&self) -> bool {
+        self.flags & FLAG_OCCUPIED != 0
+    }
+
+    /// Occupy the cell with `id`, starting from the given counters, clearing
+    /// all period flags.
+    #[inline]
+    pub fn occupy(&mut self, id: ItemId, freq: u32, persist: u32) {
+        self.id = id;
+        self.freq = freq;
+        self.persist = persist;
+        self.flags = FLAG_OCCUPIED;
+    }
+
+    /// Expel the item: the cell becomes empty (paper: "the item is expelled
+    /// and the cell is made empty").
+    #[inline]
+    pub fn clear(&mut self) {
+        *self = Cell::EMPTY;
+    }
+
+    /// Raise the appearance flag for the given period parity (`0` = even,
+    /// `1` = odd). The basic variant always passes parity 0.
+    #[inline]
+    pub fn set_flag(&mut self, parity: u8) {
+        debug_assert!(parity < 2);
+        self.flags |= FLAG_EVEN << parity;
+    }
+
+    /// Whether the appearance flag for `parity` is raised.
+    #[inline]
+    pub fn flag(&self, parity: u8) -> bool {
+        debug_assert!(parity < 2);
+        self.flags & (FLAG_EVEN << parity) != 0
+    }
+
+    /// CLOCK harvest: if the `parity` flag is raised, consume it and add one
+    /// persistency. Returns whether a harvest happened.
+    #[inline]
+    pub fn harvest(&mut self, parity: u8) -> bool {
+        let bit = FLAG_EVEN << parity;
+        if self.flags & bit != 0 {
+            self.flags &= !bit;
+            self.persist = self.persist.saturating_add(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The cell's significance under `weights`. Unoccupied cells have
+    /// significance 0 by definition.
+    #[inline]
+    pub fn significance(&self, weights: &Weights) -> f64 {
+        if self.occupied() {
+            weights.significance(u64::from(self.freq), u64::from(self.persist))
+        } else {
+            0.0
+        }
+    }
+
+    /// Exact zero-significance test, avoiding float rounding: `α·f + β·p` is
+    /// zero iff each term is zero.
+    #[inline]
+    pub fn significance_is_zero(&self, weights: &Weights) -> bool {
+        (weights.alpha == 0.0 || self.freq == 0) && (weights.beta == 0.0 || self.persist == 0)
+    }
+
+    /// Raw flag byte (snapshot support).
+    #[inline]
+    pub(crate) fn raw_flags(&self) -> u8 {
+        self.flags
+    }
+
+    /// Rebuild a cell from raw parts (snapshot support). Unknown flag bits
+    /// are masked off so corrupt snapshots cannot create impossible states.
+    #[inline]
+    pub(crate) fn from_raw(id: ItemId, freq: u32, persist: u32, flags: u8) -> Self {
+        Self {
+            id,
+            freq,
+            persist,
+            flags: flags & (FLAG_EVEN | FLAG_ODD | FLAG_OCCUPIED),
+        }
+    }
+
+    /// Significance-Decrementing (paper §III-B1): decrement the persistency
+    /// counter, then the frequency, each floored at 0 ("we can avoid such a
+    /// case by keeping 0 if it is already 0"). The *caller* expels the cell
+    /// if its significance is zero afterwards.
+    #[inline]
+    pub fn significance_decrement(&mut self) {
+        self.persist = self.persist.saturating_sub(1);
+        self.freq = self.freq.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cell_is_unoccupied_zero_significance() {
+        let c = Cell::EMPTY;
+        assert!(!c.occupied());
+        assert_eq!(c.significance(&Weights::BALANCED), 0.0);
+        assert!(c.significance_is_zero(&Weights::BALANCED));
+    }
+
+    #[test]
+    fn occupy_sets_state_and_clears_flags() {
+        let mut c = Cell::EMPTY;
+        c.set_flag(0); // stray flag from a previous occupant must not leak
+        c.occupy(42, 3, 1);
+        assert!(c.occupied());
+        assert_eq!((c.id, c.freq, c.persist), (42, 3, 1));
+        assert!(!c.flag(0));
+        assert!(!c.flag(1));
+    }
+
+    #[test]
+    fn harvest_consumes_flag_once() {
+        let mut c = Cell::EMPTY;
+        c.occupy(1, 1, 0);
+        c.set_flag(1);
+        assert!(c.harvest(1));
+        assert_eq!(c.persist, 1);
+        assert!(!c.harvest(1), "flag already consumed");
+        assert_eq!(c.persist, 1);
+    }
+
+    #[test]
+    fn harvest_checks_requested_parity_only() {
+        let mut c = Cell::EMPTY;
+        c.occupy(1, 1, 0);
+        c.set_flag(0);
+        assert!(!c.harvest(1), "odd harvest must not see even flag");
+        assert!(c.flag(0), "even flag untouched");
+    }
+
+    #[test]
+    fn decrement_floors_at_zero() {
+        let mut c = Cell::EMPTY;
+        c.occupy(1, 2, 0);
+        c.significance_decrement();
+        assert_eq!((c.freq, c.persist), (1, 0));
+        c.significance_decrement();
+        assert_eq!((c.freq, c.persist), (0, 0));
+        c.significance_decrement();
+        assert_eq!((c.freq, c.persist), (0, 0), "never negative");
+    }
+
+    #[test]
+    fn zero_significance_respects_weights() {
+        let mut c = Cell::EMPTY;
+        c.occupy(1, 5, 0);
+        assert!(!c.significance_is_zero(&Weights::FREQUENT));
+        // With α=0 a cell with persistency 0 has significance 0 even at f=5.
+        assert!(c.significance_is_zero(&Weights::PERSISTENT));
+    }
+
+    #[test]
+    fn significance_matches_weights() {
+        let mut c = Cell::EMPTY;
+        c.occupy(1, 10, 3);
+        let w = Weights::new(2.0, 5.0);
+        assert_eq!(c.significance(&w), 35.0);
+    }
+}

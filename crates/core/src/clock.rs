@@ -1,0 +1,205 @@
+//! The CLOCK pointer (paper §III-B1, Figure 3).
+//!
+//! Every cell of the lossy table is a "time slot"; a pointer sweeps the table
+//! so that **each period scans every cell exactly once**. With `m` cells and
+//! `n` records per period the pointer must advance `m/n` slots per record —
+//! a fraction in general. The paper phrases this as a step size; we realise
+//! it with an integer Bresenham accumulator, which guarantees *exactly* `m`
+//! scans per `n` records with no floating-point drift:
+//!
+//! ```text
+//! acc += m        (per record; or += Δtime·m in time-driven mode)
+//! while acc >= n: scan(pos); pos = (pos+1) mod m; acc -= n
+//! ```
+//!
+//! A property test in the core crate pins the exactly-once-per-period
+//! invariant.
+
+/// The sweep pointer over `m` cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockPointer {
+    /// Next cell index to scan.
+    pos: usize,
+    /// Total cells `m`.
+    total: usize,
+    /// Bresenham accumulator (numerator units).
+    acc: u64,
+    /// Cells scanned since the last period reset.
+    scanned_this_period: u64,
+}
+
+impl ClockPointer {
+    /// A pointer over `total` cells, parked at slot 0.
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "a CLOCK needs at least one slot");
+        Self {
+            pos: 0,
+            total,
+            acc: 0,
+            scanned_this_period: 0,
+        }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Next slot the pointer will scan.
+    #[inline]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Cells scanned since the period began.
+    #[inline]
+    pub fn scanned_this_period(&self) -> u64 {
+        self.scanned_this_period
+    }
+
+    /// Advance by `numerator/denominator` of a full sweep, scanning each slot
+    /// passed. Count-driven callers use `numerator = m`, `denominator = n`
+    /// once per record; time-driven callers use `numerator = Δt·m`,
+    /// `denominator = t`.
+    #[inline]
+    pub fn tick(&mut self, numerator: u64, denominator: u64, mut scan: impl FnMut(usize)) {
+        debug_assert!(denominator > 0);
+        self.acc += numerator;
+        while self.acc >= denominator {
+            self.acc -= denominator;
+            // Cap at one full sweep per period: once every cell has been
+            // scanned, further progress within the period is a no-op (can
+            // only happen on over-long periods in time-driven mode).
+            if self.scanned_this_period < self.total as u64 {
+                scan(self.pos);
+                self.pos = (self.pos + 1) % self.total;
+                self.scanned_this_period += 1;
+            } else {
+                self.acc = 0;
+                break;
+            }
+        }
+    }
+
+    /// Complete the current sweep: scan every not-yet-visited cell of this
+    /// period so the pointer returns to its period-start position, then reset
+    /// for the next period. Called by `end_period`; guarantees the
+    /// exactly-once-per-period invariant even when a period holds fewer
+    /// records than expected.
+    pub fn finish_period(&mut self, mut scan: impl FnMut(usize)) {
+        while self.scanned_this_period < self.total as u64 {
+            scan(self.pos);
+            self.pos = (self.pos + 1) % self.total;
+            self.scanned_this_period += 1;
+        }
+        self.acc = 0;
+        self.scanned_this_period = 0;
+    }
+
+    /// Scan every cell once *without* touching period state — used for the
+    /// final harvest after the stream ends.
+    pub fn full_sweep(&self, mut scan: impl FnMut(usize)) {
+        for i in 0..self.total {
+            scan((self.pos + i) % self.total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive `records` ticks of `m/n` and return the scan counts per slot.
+    fn drive(total: usize, n: u64, records: u64) -> Vec<u32> {
+        let mut clock = ClockPointer::new(total);
+        let mut counts = vec![0u32; total];
+        for _ in 0..records {
+            clock.tick(total as u64, n, |i| counts[i] += 1);
+        }
+        clock.finish_period(|i| counts[i] += 1);
+        counts
+    }
+
+    #[test]
+    fn exactly_once_per_period_m_less_than_n() {
+        // 8 cells, 100 records per period.
+        let counts = drive(8, 100, 100);
+        assert!(counts.iter().all(|&c| c == 1), "{counts:?}");
+    }
+
+    #[test]
+    fn exactly_once_per_period_m_greater_than_n() {
+        // 64 cells, only 10 records per period → 6.4 scans per record.
+        let counts = drive(64, 10, 10);
+        assert!(counts.iter().all(|&c| c == 1), "{counts:?}");
+    }
+
+    #[test]
+    fn exactly_once_even_with_short_period() {
+        // Period ends after 3 of its 10 records; finish_period covers the rest.
+        let counts = drive(16, 10, 3);
+        assert!(counts.iter().all(|&c| c == 1), "{counts:?}");
+    }
+
+    #[test]
+    fn pointer_returns_to_start_each_period() {
+        let mut clock = ClockPointer::new(12);
+        for _period in 0..5 {
+            for _ in 0..30 {
+                clock.tick(12, 30, |_| {});
+            }
+            clock.finish_period(|_| {});
+            assert_eq!(clock.position(), 0, "wrapped to the start");
+        }
+    }
+
+    #[test]
+    fn consecutive_periods_independent() {
+        let mut clock = ClockPointer::new(8);
+        let mut counts = vec![0u32; 8];
+        for _period in 0..3 {
+            for _ in 0..20 {
+                clock.tick(8, 20, |i| counts[i] += 1);
+            }
+            clock.finish_period(|i| counts[i] += 1);
+        }
+        assert!(counts.iter().all(|&c| c == 3), "{counts:?}");
+    }
+
+    #[test]
+    fn time_driven_tick_scans_proportionally() {
+        // m=10 slots, period t=1000 units; advancing 500 units scans 5 slots.
+        let mut clock = ClockPointer::new(10);
+        let mut scanned = 0;
+        clock.tick(500 * 10, 1000, |_| scanned += 1);
+        assert_eq!(scanned, 5);
+        // The rest of the period covers the remaining 5.
+        clock.tick(500 * 10, 1000, |_| scanned += 1);
+        assert_eq!(scanned, 10);
+    }
+
+    #[test]
+    fn overshoot_capped_at_one_sweep() {
+        // Advancing 3 periods' worth of time in one tick must still scan each
+        // cell at most once before the period is closed.
+        let mut clock = ClockPointer::new(6);
+        let mut counts = vec![0u32; 6];
+        clock.tick(3_000 * 6, 1_000, |i| counts[i] += 1);
+        assert!(counts.iter().all(|&c| c == 1), "{counts:?}");
+    }
+
+    #[test]
+    fn full_sweep_touches_everything_once() {
+        let clock = ClockPointer::new(9);
+        let mut counts = [0u32; 9];
+        clock.full_sweep(|i| counts[i] += 1);
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _ = ClockPointer::new(0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Merging LTC tables — the "global solution" extension.
+//!
+//! Use case 3 of the paper (§I-A) closes with: *"If persistent flows all
+//! over the data center can be efficiently identified, we can make a global
+//! solution to schedule the persistent flows."* That requires combining
+//! per-switch LTC tables into one view. The paper leaves this as motivation;
+//! we provide the natural merge:
+//!
+//! Two tables with the **same configuration** (same `w`, `d`, weights and
+//! hash seed — so every item maps to the same bucket in both) merge bucket
+//! by bucket:
+//!
+//! 1. items present in both tables add their counters (`f = f_a + f_b`,
+//!    `p = p_a + p_b`, each saturating) — each side observed a disjoint
+//!    sub-stream, so degrees add;
+//! 2. items present in only one table are re-inserted into the merged
+//!    bucket; when the bucket overflows, the smallest-significance cells are
+//!    dropped — exactly the information a single LTC of the same size would
+//!    also have sacrificed.
+//!
+//! The merge is an *estimate-combining* operation: like Space-Saving merges
+//! (Agarwal et al.'s mergeable summaries), the result may differ from the
+//! table a single LTC would have built over the concatenated stream, but
+//! top-k candidates survive whenever their combined significance ranks them
+//! inside their bucket's top `d`.
+
+use crate::cell::Cell;
+use crate::table::Ltc;
+
+/// Error returned when two tables cannot be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot merge LTC tables: {}", self.reason)
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl Ltc {
+    /// Merge `other` into `self` (see the module docs). Both tables should
+    /// be finalized (flags harvested) first; pending flags in `other` are
+    /// ignored.
+    ///
+    /// # Errors
+    /// Fails if the configurations differ in shape, weights, or hash seed.
+    pub fn merge_from(&mut self, other: &Ltc) -> Result<(), MergeError> {
+        let (a, b) = (self.config(), other.config());
+        if a.buckets != b.buckets || a.cells_per_bucket != b.cells_per_bucket {
+            return Err(MergeError {
+                reason: format!(
+                    "shape mismatch: {}x{} vs {}x{}",
+                    a.buckets, a.cells_per_bucket, b.buckets, b.cells_per_bucket
+                ),
+            });
+        }
+        if a.weights != b.weights {
+            return Err(MergeError {
+                reason: "weights mismatch".into(),
+            });
+        }
+        if a.seed != b.seed {
+            return Err(MergeError {
+                reason: "hash seed mismatch (items would map to different buckets)".into(),
+            });
+        }
+        let d = a.cells_per_bucket;
+        let weights = a.weights;
+
+        for bucket in 0..a.buckets {
+            let base = bucket * d;
+            // Combine both sides' occupied cells, summing duplicates.
+            let mut combined: Vec<Cell> = Vec::with_capacity(2 * d);
+            for c in self.bucket_cells(base, d).iter().filter(|c| c.occupied()) {
+                combined.push(*c);
+            }
+            for c in other.bucket_cells(base, d).iter().filter(|c| c.occupied()) {
+                if let Some(existing) = combined.iter_mut().find(|e| e.id == c.id) {
+                    existing.freq = existing.freq.saturating_add(c.freq);
+                    existing.persist = existing.persist.saturating_add(c.persist);
+                } else {
+                    combined.push(*c);
+                }
+            }
+            // Keep the top-d by significance.
+            combined.sort_by(|x, y| {
+                y.significance(&weights)
+                    .partial_cmp(&x.significance(&weights))
+                    .expect("significance is never NaN")
+            });
+            combined.truncate(d);
+            self.replace_bucket(base, d, &combined);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LtcConfig, Variant};
+    use ltc_common::{SignificanceQuery, Weights};
+
+    fn table(seed: u64) -> Ltc {
+        Ltc::new(
+            LtcConfig::builder()
+                .buckets(32)
+                .cells_per_bucket(4)
+                .weights(Weights::BALANCED)
+                .records_per_period(100)
+                .variant(Variant::FULL)
+                .seed(seed)
+                .build(),
+        )
+    }
+
+    fn feed(ltc: &mut Ltc, items: &[(u64, usize)]) {
+        for &(id, n) in items {
+            for _ in 0..n {
+                ltc.insert(id);
+            }
+        }
+        ltc.end_period();
+        ltc.finalize();
+    }
+
+    #[test]
+    fn merge_sums_shared_items() {
+        let mut a = table(1);
+        let mut b = table(1);
+        feed(&mut a, &[(7, 10)]);
+        feed(&mut b, &[(7, 5)]);
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.frequency_of(7), Some(15));
+        assert_eq!(a.persistency_of(7), Some(2), "one period on each switch");
+    }
+
+    #[test]
+    fn merge_keeps_disjoint_items() {
+        let mut a = table(1);
+        let mut b = table(1);
+        feed(&mut a, &[(1, 8)]);
+        feed(&mut b, &[(2, 6)]);
+        a.merge_from(&b).unwrap();
+        assert_eq!(a.frequency_of(1), Some(8));
+        assert_eq!(a.frequency_of(2), Some(6));
+    }
+
+    #[test]
+    fn merged_top_k_ranks_globally() {
+        // Item 9 is modest on each switch but big globally.
+        let mut a = table(3);
+        let mut b = table(3);
+        feed(&mut a, &[(9, 30), (1, 40)]);
+        feed(&mut b, &[(9, 30), (2, 40)]);
+        a.merge_from(&b).unwrap();
+        let top = a.top_k(1);
+        assert_eq!(top[0].id, 9, "global heavy hitter wins after merge");
+    }
+
+    #[test]
+    fn overflow_drops_smallest() {
+        // One bucket of 1 cell: the merged winner is the more significant.
+        let cfg = LtcConfig::builder()
+            .buckets(1)
+            .cells_per_bucket(1)
+            .weights(Weights::FREQUENT)
+            .records_per_period(100)
+            .seed(5)
+            .build();
+        let mut a = Ltc::new(cfg);
+        let mut b = Ltc::new(cfg);
+        for _ in 0..3 {
+            a.insert(1);
+        }
+        for _ in 0..9 {
+            b.insert(2);
+        }
+        a.merge_from(&b).unwrap();
+        assert!(!a.contains(1));
+        assert_eq!(a.frequency_of(2), Some(9));
+    }
+
+    #[test]
+    fn mismatched_configs_rejected() {
+        let mut a = table(1);
+        let b = table(2); // different seed
+        assert!(a.merge_from(&b).is_err());
+        let c = Ltc::new(
+            LtcConfig::builder()
+                .buckets(16)
+                .cells_per_bucket(4)
+                .seed(1)
+                .build(),
+        );
+        assert!(a.merge_from(&c).is_err(), "shape mismatch");
+    }
+
+    #[test]
+    fn merge_is_usable_after() {
+        // The merged table keeps accepting stream records.
+        let mut a = table(1);
+        let mut b = table(1);
+        feed(&mut a, &[(1, 5)]);
+        feed(&mut b, &[(1, 5)]);
+        a.merge_from(&b).unwrap();
+        for _ in 0..5 {
+            a.insert(1);
+        }
+        assert_eq!(a.frequency_of(1), Some(15));
+    }
+}

@@ -1,0 +1,228 @@
+//! Hash-sharded LTC — scale-out across cores or switches.
+//!
+//! A single LTC is single-writer. To use `N` cores (or aggregate `N`
+//! monitoring points, the paper's data-center scenario), partition the item
+//! space by hash: shard `i` owns the ids whose shard-hash maps to `i` and
+//! runs an independent LTC over its sub-stream. Because the partition is by
+//! *item*, every occurrence of an item lands in the same shard, so per-item
+//! frequency/persistency are as accurate as a single table of the shard's
+//! size — and the global top-k is the top-k of the union of shard
+//! candidates (no cross-shard error, unlike splitting the stream randomly).
+//!
+//! [`ShardedLtc`] is the single-threaded container (routing, fan-out of
+//! period boundaries, merged queries). For actual parallelism, move the
+//! shards into worker threads with [`ShardedLtc::into_shards`], feed each
+//! its own sub-stream (routing with [`shard_of`](ShardedLtc::shard_of)'s
+//! standalone twin [`shard_of_id`]), and reassemble with
+//! [`ShardedLtc::from_shards`] — see `examples/parallel_shards.rs`.
+
+use crate::config::LtcConfig;
+use crate::table::Ltc;
+use ltc_common::{top_k_of, Estimate, ItemId, MemoryUsage, SignificanceQuery, StreamProcessor};
+use ltc_hash::bob_hash_u64;
+
+/// Seed for the shard-routing hash. Distinct from every table seed so that
+/// routing is independent of bucket placement.
+const SHARD_SEED: u32 = 0x5aa2_d001;
+
+/// Which shard of `n` owns `id`.
+#[inline]
+pub fn shard_of_id(id: ItemId, n: usize) -> usize {
+    debug_assert!(n > 0);
+    (bob_hash_u64(id, SHARD_SEED) % n as u64) as usize
+}
+
+/// Hash-partitioned collection of LTC tables. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ShardedLtc {
+    shards: Vec<Ltc>,
+}
+
+impl ShardedLtc {
+    /// `n` shards, each an LTC built from `config` (same shape each; the
+    /// per-shard seed is perturbed so tables hash independently).
+    pub fn new(config: LtcConfig, n: usize) -> Self {
+        assert!(n > 0, "need at least one shard");
+        let shards = (0..n)
+            .map(|i| {
+                let mut cfg = config;
+                cfg.seed = config.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9);
+                Ltc::new(cfg)
+            })
+            .collect();
+        Self { shards }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns `id`.
+    #[inline]
+    pub fn shard_of(&self, id: ItemId) -> usize {
+        shard_of_id(id, self.shards.len())
+    }
+
+    /// Take the shards out for parallel feeding.
+    pub fn into_shards(self) -> Vec<Ltc> {
+        self.shards
+    }
+
+    /// Reassemble from independently fed shards (must be the full set, in
+    /// shard order).
+    pub fn from_shards(shards: Vec<Ltc>) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        Self { shards }
+    }
+
+    /// Access a shard.
+    pub fn shard(&self, i: usize) -> &Ltc {
+        &self.shards[i]
+    }
+
+    /// Finalize every shard (harvest last-period flags).
+    pub fn finalize(&mut self) {
+        for s in &mut self.shards {
+            s.finalize();
+        }
+    }
+}
+
+impl StreamProcessor for ShardedLtc {
+    #[inline]
+    fn insert(&mut self, id: ItemId) {
+        let s = self.shard_of(id);
+        self.shards[s].insert(id);
+    }
+
+    fn end_period(&mut self) {
+        for s in &mut self.shards {
+            s.end_period();
+        }
+    }
+
+    fn finish(&mut self) {
+        self.finalize();
+    }
+
+    fn name(&self) -> &'static str {
+        "LTC-sharded"
+    }
+}
+
+impl SignificanceQuery for ShardedLtc {
+    fn estimate(&self, id: ItemId) -> Option<f64> {
+        self.shards[self.shard_of(id)].estimate(id)
+    }
+
+    fn top_k(&self, k: usize) -> Vec<Estimate> {
+        // Union of per-shard top-k is a superset of the global top-k.
+        let candidates: Vec<Estimate> = self.shards.iter().flat_map(|s| s.top_k(k)).collect();
+        top_k_of(candidates, k)
+    }
+}
+
+impl MemoryUsage for ShardedLtc {
+    fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.memory_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_common::Weights;
+
+    fn config() -> LtcConfig {
+        LtcConfig::builder()
+            .buckets(32)
+            .cells_per_bucket(4)
+            .weights(Weights::BALANCED)
+            .records_per_period(100)
+            .seed(7)
+            .build()
+    }
+
+    #[test]
+    fn routing_is_stable_and_balanced() {
+        let t = ShardedLtc::new(config(), 4);
+        let mut counts = [0usize; 4];
+        for id in 0..4_000u64 {
+            let s = t.shard_of(id);
+            assert_eq!(s, t.shard_of(id));
+            counts[s] += 1;
+        }
+        for &c in &counts {
+            assert!((800..=1200).contains(&c), "imbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_agrees_with_oracle_on_heavy_hitter() {
+        // DE-only variant: no overestimation, so the bound below is exact.
+        let mut cfg = config();
+        cfg.variant = crate::config::Variant::DEVIATION_ONLY;
+        let mut t = ShardedLtc::new(cfg, 3);
+        for period in 0..5u64 {
+            for i in 0..100u64 {
+                // Noise ids offset so they can never collide with 42.
+                t.insert(if i % 4 == 0 {
+                    42
+                } else {
+                    1_000 + period * 100 + i
+                });
+            }
+            t.end_period();
+        }
+        t.finalize();
+        assert_eq!(t.top_k(1)[0].id, 42);
+        // True significance: f=125, p=5 → 130. Never overestimated, and the
+        // heavy hitter is barely contended so it stays near-exact.
+        let est = t.estimate(42).unwrap();
+        assert!((120.0..=130.0).contains(&est), "estimate {est}");
+    }
+
+    #[test]
+    fn global_top_k_merges_across_shards() {
+        let mut t = ShardedLtc::new(config(), 4);
+        // Ten heavy items spread across shards by hash.
+        for rep in 0..20 {
+            for id in 0..10u64 {
+                for _ in 0..=(10 - id) as usize {
+                    t.insert(id);
+                }
+            }
+            let _ = rep;
+        }
+        t.end_period();
+        t.finalize();
+        let top: Vec<ItemId> = t.top_k(3).iter().map(|e| e.id).collect();
+        assert_eq!(top, vec![0, 1, 2], "global order across shards");
+    }
+
+    #[test]
+    fn into_and_from_shards_roundtrip() {
+        let mut t = ShardedLtc::new(config(), 2);
+        for i in 0..200u64 {
+            t.insert(i % 20);
+        }
+        t.end_period();
+        let before = t.top_k(5);
+        let shards = t.into_shards();
+        let t2 = ShardedLtc::from_shards(shards);
+        assert_eq!(t2.top_k(5), before);
+    }
+
+    #[test]
+    fn memory_sums_over_shards() {
+        let t = ShardedLtc::new(config(), 3);
+        assert_eq!(t.memory_bytes(), 3 * 32 * 4 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardedLtc::new(config(), 0);
+    }
+}

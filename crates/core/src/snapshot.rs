@@ -1,0 +1,213 @@
+//! Checkpointing: serialise an LTC table's cell state to a compact binary
+//! snapshot and restore it later.
+//!
+//! Long-running monitors (the paper's DDoS / congestion use cases run
+//! indefinitely) need to survive restarts without losing accumulated
+//! frequencies and persistencies. A snapshot captures the cell array plus
+//! the period/parity state; the configuration is *not* stored — the caller
+//! re-creates the table from its own configuration and the snapshot refuses
+//! to load into a table of a different shape (a checksum of the shape is
+//! embedded).
+//!
+//! Format (little-endian, versioned):
+//!
+//! ```text
+//! magic  "LTC1"        4 bytes
+//! shape  w, d           2 × u32
+//! state  parity, periods_completed   u8, u64
+//! cells  w·d × (id u64, freq u32, persist u32, flags u8)
+//! ```
+
+use crate::cell::Cell;
+use crate::table::Ltc;
+
+const MAGIC: &[u8; 4] = b"LTC1";
+
+/// Error restoring a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Not an LTC snapshot or unsupported version.
+    BadMagic,
+    /// Snapshot was taken from a table of a different shape.
+    ShapeMismatch {
+        /// Shape in the snapshot.
+        snapshot: (u32, u32),
+        /// Shape of the receiving table.
+        table: (u32, u32),
+    },
+    /// Snapshot is truncated or padded.
+    BadLength,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not an LTC snapshot (bad magic)"),
+            SnapshotError::ShapeMismatch { snapshot, table } => write!(
+                f,
+                "snapshot shape {}x{} does not match table shape {}x{}",
+                snapshot.0, snapshot.1, table.0, table.1
+            ),
+            SnapshotError::BadLength => write!(f, "snapshot truncated or oversized"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Bytes per serialised cell: id 8 + freq 4 + persist 4 + flags 1.
+const CELL_BYTES: usize = 17;
+const HEADER_BYTES: usize = 4 + 4 + 4 + 1 + 8;
+
+impl Ltc {
+    /// Serialise the table state. See the module docs for the format.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let w = self.config().buckets as u32;
+        let d = self.config().cells_per_bucket as u32;
+        let mut out = Vec::with_capacity(HEADER_BYTES + self.capacity_cells() * CELL_BYTES);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&w.to_le_bytes());
+        out.extend_from_slice(&d.to_le_bytes());
+        out.push(self.snapshot_parity());
+        out.extend_from_slice(&self.periods_completed().to_le_bytes());
+        for cell in self.cells() {
+            out.extend_from_slice(&cell.id.to_le_bytes());
+            out.extend_from_slice(&cell.freq.to_le_bytes());
+            out.extend_from_slice(&cell.persist.to_le_bytes());
+            out.push(cell.raw_flags());
+        }
+        out
+    }
+
+    /// Restore state from a snapshot into this (same-shaped) table,
+    /// replacing its current contents.
+    ///
+    /// # Errors
+    /// See [`SnapshotError`].
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        if bytes.len() < HEADER_BYTES || &bytes[..4] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let w = u32::from_le_bytes(bytes[4..8].try_into().expect("sized"));
+        let d = u32::from_le_bytes(bytes[8..12].try_into().expect("sized"));
+        let my_w = self.config().buckets as u32;
+        let my_d = self.config().cells_per_bucket as u32;
+        if (w, d) != (my_w, my_d) {
+            return Err(SnapshotError::ShapeMismatch {
+                snapshot: (w, d),
+                table: (my_w, my_d),
+            });
+        }
+        let cells = (w as usize) * (d as usize);
+        if bytes.len() != HEADER_BYTES + cells * CELL_BYTES {
+            return Err(SnapshotError::BadLength);
+        }
+        let parity = bytes[12];
+        let periods = u64::from_le_bytes(bytes[13..21].try_into().expect("sized"));
+        let mut offset = HEADER_BYTES;
+        for slot in self.cells_mut() {
+            let id = u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("sized"));
+            let freq =
+                u32::from_le_bytes(bytes[offset + 8..offset + 12].try_into().expect("sized"));
+            let persist =
+                u32::from_le_bytes(bytes[offset + 12..offset + 16].try_into().expect("sized"));
+            let flags = bytes[offset + 16];
+            *slot = Cell::from_raw(id, freq, persist, flags);
+            offset += CELL_BYTES;
+        }
+        self.restore_state(parity, periods);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LtcConfig;
+    use ltc_common::{SignificanceQuery, Weights};
+
+    fn table() -> Ltc {
+        Ltc::new(
+            LtcConfig::builder()
+                .buckets(16)
+                .cells_per_bucket(4)
+                .weights(Weights::BALANCED)
+                .records_per_period(50)
+                .seed(9)
+                .build(),
+        )
+    }
+
+    fn loaded() -> Ltc {
+        let mut ltc = table();
+        for period in 0..4u64 {
+            for i in 0..50u64 {
+                ltc.insert(if i % 5 == 0 { 7 } else { period * 100 + i });
+            }
+            ltc.end_period();
+        }
+        ltc
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let original = loaded();
+        let snap = original.to_snapshot();
+        let mut restored = table();
+        restored.restore_snapshot(&snap).unwrap();
+        assert_eq!(restored.frequency_of(7), original.frequency_of(7));
+        assert_eq!(restored.persistency_of(7), original.persistency_of(7));
+        assert_eq!(restored.periods_completed(), original.periods_completed());
+        assert_eq!(restored.top_k(10), original.top_k(10));
+    }
+
+    #[test]
+    fn restored_table_continues_correctly() {
+        // Pending flags and parity survive: continuing the stream after a
+        // restore gives the same result as never snapshotting.
+        let mut a = loaded();
+        let snap = a.to_snapshot();
+        let mut b = table();
+        b.restore_snapshot(&snap).unwrap();
+        for ltc in [&mut a, &mut b] {
+            for _ in 0..50 {
+                ltc.insert(7);
+            }
+            ltc.end_period();
+            ltc.finalize();
+        }
+        assert_eq!(a.frequency_of(7), b.frequency_of(7));
+        assert_eq!(a.persistency_of(7), b.persistency_of(7));
+    }
+
+    #[test]
+    fn wrong_shape_rejected() {
+        let snap = loaded().to_snapshot();
+        let mut other = Ltc::new(
+            LtcConfig::builder()
+                .buckets(8)
+                .cells_per_bucket(4)
+                .records_per_period(50)
+                .build(),
+        );
+        assert!(matches!(
+            other.restore_snapshot(&snap),
+            Err(SnapshotError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let mut t = table();
+        assert_eq!(t.restore_snapshot(b"nope"), Err(SnapshotError::BadMagic));
+        let mut snap = loaded().to_snapshot();
+        snap.truncate(snap.len() - 1);
+        assert_eq!(t.restore_snapshot(&snap), Err(SnapshotError::BadLength));
+    }
+
+    #[test]
+    fn snapshot_size_is_deterministic() {
+        let t = loaded();
+        assert_eq!(t.to_snapshot().len(), 21 + 16 * 4 * 17);
+    }
+}

@@ -1,0 +1,104 @@
+//! Operational counters for an LTC table.
+//!
+//! A production deployment wants to see *why* the structure behaves the way
+//! it does: how much of the stream hits tracked items, how hard the
+//! Significance-Decrementing churn is working, how often the CLOCK actually
+//! harvests. These counters cost one branch-free `u64` increment on paths
+//! that already touch the cell, and they power the `ablation_bucket_width`
+//! analysis (a d=2 table shows its LTR pathology directly in
+//! `admissions` × inherited values).
+
+/// Counters accumulated over the table's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LtcStats {
+    /// Records processed.
+    pub inserts: u64,
+    /// Case 1: record matched a tracked item.
+    pub hits: u64,
+    /// Case 2: record took an empty cell.
+    pub fills: u64,
+    /// Case 3 arrivals that only decremented (no admission).
+    pub decrements: u64,
+    /// Case 3 arrivals that expelled the smallest cell and moved in.
+    pub admissions: u64,
+    /// CLOCK harvests (persistency increments).
+    pub harvests: u64,
+    /// Periods completed.
+    pub periods: u64,
+}
+
+impl LtcStats {
+    /// Fraction of records that hit a tracked item (`hits / inserts`).
+    pub fn hit_rate(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.inserts as f64
+        }
+    }
+
+    /// Average decrements paid per admission — how expensive evicting the
+    /// resident minimum is (`decrements / admissions`).
+    pub fn churn_cost(&self) -> f64 {
+        if self.admissions == 0 {
+            0.0
+        } else {
+            self.decrements as f64 / self.admissions as f64
+        }
+    }
+}
+
+impl std::fmt::Display for LtcStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "inserts={} hits={} ({:.1}%) fills={} decrements={} admissions={} (churn {:.1}) harvests={} periods={}",
+            self.inserts,
+            self.hits,
+            100.0 * self.hit_rate(),
+            self.fills,
+            self.decrements,
+            self.admissions,
+            self.churn_cost(),
+            self.harvests,
+            self.periods,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = LtcStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.churn_cost(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let s = LtcStats {
+            inserts: 10,
+            hits: 5,
+            fills: 2,
+            decrements: 6,
+            admissions: 3,
+            harvests: 4,
+            periods: 1,
+        };
+        let text = s.to_string();
+        for needle in [
+            "inserts=10",
+            "hits=5",
+            "fills=2",
+            "admissions=3",
+            "harvests=4",
+        ] {
+            assert!(text.contains(needle), "{text}");
+        }
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((s.churn_cost() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,767 @@
+//! The LTC lossy table (paper §III).
+
+use crate::cell::Cell;
+use crate::clock::ClockPointer;
+use crate::config::{LtcConfig, PeriodMode};
+use crate::stats::LtcStats;
+use ltc_common::{
+    memory::LTC_CELL_BYTES, top_k_of, Estimate, ItemId, MemoryUsage, SignificanceQuery,
+    StreamProcessor, Timestamp, Weights,
+};
+use ltc_hash::SeededHash;
+
+/// The Long-Tail CLOCK structure: `w` buckets × `d` cells, a CLOCK pointer
+/// for persistency, and the two optional optimizations.
+///
+/// Drive it with [`insert`](Ltc::insert) (count-driven periods) or
+/// [`insert_at`](Ltc::insert_at) (time-driven), signal period boundaries with
+/// [`end_period`](Ltc::end_period), and — once the stream is over — call
+/// [`finalize`](Ltc::finalize) to harvest the final period's appearance flags
+/// before querying.
+#[derive(Debug, Clone)]
+pub struct Ltc {
+    config: LtcConfig,
+    cells: Vec<Cell>,
+    clock: ClockPointer,
+    bucket_hash: SeededHash,
+    /// Parity of the current period (0 = even). Only meaningful with the
+    /// Deviation Eliminator; the basic variant always uses flag 0.
+    parity: u8,
+    periods_completed: u64,
+    /// Time-driven bookkeeping: timestamp at which the current period began
+    /// and the last record's timestamp (for Δt clock stepping).
+    period_start_time: Timestamp,
+    last_time: Timestamp,
+    stats: LtcStats,
+}
+
+impl Ltc {
+    /// Create an LTC table from a configuration.
+    pub fn new(config: LtcConfig) -> Self {
+        let total = config.total_cells();
+        Self {
+            config,
+            cells: vec![Cell::EMPTY; total],
+            clock: ClockPointer::new(total),
+            bucket_hash: SeededHash::new(config.seed as u32),
+            parity: 0,
+            periods_completed: 0,
+            period_start_time: 0,
+            last_time: 0,
+            stats: LtcStats::default(),
+        }
+    }
+
+    /// The configuration this table was built with.
+    #[inline]
+    pub fn config(&self) -> &LtcConfig {
+        &self.config
+    }
+
+    /// Total number of cells `m = w·d`.
+    #[inline]
+    pub fn capacity_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of periods ended so far.
+    #[inline]
+    pub fn periods_completed(&self) -> u64 {
+        self.periods_completed
+    }
+
+    /// Lifetime operation counters (see [`LtcStats`]).
+    #[inline]
+    pub fn stats(&self) -> LtcStats {
+        self.stats
+    }
+
+    /// The flag parity arrivals set right now.
+    #[inline]
+    fn set_parity(&self) -> u8 {
+        if self.config.variant.deviation_eliminator {
+            self.parity
+        } else {
+            0
+        }
+    }
+
+    /// The flag parity the CLOCK sweep harvests right now.
+    #[inline]
+    fn harvest_parity(&self) -> u8 {
+        if self.config.variant.deviation_eliminator {
+            1 - self.parity
+        } else {
+            0
+        }
+    }
+
+    /// Insert one record (count-driven mode).
+    ///
+    /// # Panics
+    /// Panics if the table was configured time-driven; use
+    /// [`insert_at`](Ltc::insert_at) there.
+    #[inline]
+    pub fn insert(&mut self, id: ItemId) {
+        let n = match self.config.period_mode {
+            PeriodMode::ByCount { records_per_period } => records_per_period,
+            PeriodMode::ByTime { .. } => {
+                panic!("time-driven LTC must be fed via insert_at(id, time)")
+            }
+        };
+        self.process(id);
+        self.tick(self.cells.len() as u64, n);
+    }
+
+    /// Insert one record with a timestamp (time-driven mode). Periods roll
+    /// over automatically when `time` crosses a boundary; timestamps must be
+    /// non-decreasing.
+    ///
+    /// # Panics
+    /// Panics if the table was configured count-driven.
+    pub fn insert_at(&mut self, id: ItemId, time: Timestamp) {
+        let t = match self.config.period_mode {
+            PeriodMode::ByTime { units_per_period } => units_per_period,
+            PeriodMode::ByCount { .. } => {
+                panic!("count-driven LTC must be fed via insert(id)")
+            }
+        };
+        debug_assert!(
+            time >= self.last_time || time >= self.period_start_time,
+            "timestamps must be non-decreasing"
+        );
+        // Complete any periods the stream skipped over.
+        while time >= self.period_start_time + t {
+            self.end_period();
+        }
+        // Advance the pointer by the fraction of the period that elapsed
+        // since the previous record (paper: "let the pointer p pass
+        // (x−y)/t·m time slots").
+        let reference = self.last_time.max(self.period_start_time);
+        let elapsed = time.saturating_sub(reference);
+        self.tick(elapsed * self.cells.len() as u64, t);
+        self.last_time = time;
+        self.process(id);
+    }
+
+    /// End the current period: complete the CLOCK sweep so every cell was
+    /// scanned exactly once, then (with the Deviation Eliminator) flip the
+    /// flag parity — the "refreshment elimination" of §III-C.
+    pub fn end_period(&mut self) {
+        let hp = self.harvest_parity();
+        let cells = &mut self.cells;
+        let mut harvested = 0;
+        self.clock.finish_period(|i| {
+            if cells[i].harvest(hp) {
+                harvested += 1;
+            }
+        });
+        self.stats.harvests += harvested;
+        if self.config.variant.deviation_eliminator {
+            self.parity ^= 1;
+        }
+        self.periods_completed += 1;
+        self.stats.periods += 1;
+        if let PeriodMode::ByTime { units_per_period } = self.config.period_mode {
+            self.period_start_time += units_per_period;
+        }
+    }
+
+    /// Harvest the previous period's not-yet-swept appearance flags so
+    /// queries see every completed period.
+    ///
+    /// With the Deviation Eliminator the sweep during period `i+1` harvests
+    /// period `i`'s flags, so without this call the final period would never
+    /// be counted. Because a harvest consumes its flag, calling this any
+    /// number of times — including mid-stream for a fresher snapshot — never
+    /// double-counts; the regular sweep simply finds those flags already
+    /// consumed.
+    pub fn finalize(&mut self) {
+        let hp = self.harvest_parity();
+        let cells = &mut self.cells;
+        let mut harvested = 0;
+        self.clock.full_sweep(|i| {
+            if cells[i].harvest(hp) {
+                harvested += 1;
+            }
+        });
+        self.stats.harvests += harvested;
+    }
+
+    /// Whether `id` currently occupies a cell.
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.bucket(id).iter().any(|c| c.occupied() && c.id == id)
+    }
+
+    /// Estimated frequency of `id`, if tracked.
+    pub fn frequency_of(&self, id: ItemId) -> Option<u64> {
+        self.find(id).map(|c| u64::from(c.freq))
+    }
+
+    /// Estimated persistency of `id`, if tracked.
+    pub fn persistency_of(&self, id: ItemId) -> Option<u64> {
+        self.find(id).map(|c| u64::from(c.persist))
+    }
+
+    /// Iterate over all cells (diagnostics, tests, theory validation).
+    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.iter()
+    }
+
+    /// Cells scanned by the CLOCK since the current period began.
+    pub fn clock_scans_this_period(&self) -> u64 {
+        self.clock.scanned_this_period()
+    }
+
+    /// The bucket index `h(id)`.
+    #[inline]
+    pub fn bucket_index(&self, id: ItemId) -> usize {
+        self.bucket_hash.index(id, self.config.buckets)
+    }
+
+    #[inline]
+    fn bucket(&self, id: ItemId) -> &[Cell] {
+        let d = self.config.cells_per_bucket;
+        let base = self.bucket_index(id) * d;
+        &self.cells[base..base + d]
+    }
+
+    #[inline]
+    fn find(&self, id: ItemId) -> Option<&Cell> {
+        self.bucket(id).iter().find(|c| c.occupied() && c.id == id)
+    }
+
+    /// Raw view of one bucket (merge support).
+    pub(crate) fn bucket_cells(&self, base: usize, d: usize) -> &[Cell] {
+        &self.cells[base..base + d]
+    }
+
+    /// Overwrite one bucket with up to `d` cells, clearing the rest
+    /// (merge support).
+    pub(crate) fn replace_bucket(&mut self, base: usize, d: usize, cells: &[Cell]) {
+        debug_assert!(cells.len() <= d);
+        for (i, slot) in self.cells[base..base + d].iter_mut().enumerate() {
+            *slot = cells.get(i).copied().unwrap_or(Cell::EMPTY);
+        }
+    }
+
+    /// Raw cell snapshot/restore support: the full cell array.
+    pub(crate) fn cells_mut(&mut self) -> &mut [Cell] {
+        &mut self.cells
+    }
+
+    /// Current parity (snapshot support).
+    pub(crate) fn snapshot_parity(&self) -> u8 {
+        self.parity
+    }
+
+    /// Restore period bookkeeping (snapshot support). The CLOCK pointer
+    /// restarts from slot 0: a snapshot is taken at a period boundary in
+    /// practice, and mid-period restores merely shift which cells the
+    /// remaining sweep covers — harvests stay consume-once either way.
+    pub(crate) fn restore_state(&mut self, parity: u8, periods_completed: u64) {
+        self.parity = parity & 1;
+        self.periods_completed = periods_completed;
+        self.clock = ClockPointer::new(self.cells.len());
+    }
+
+    /// All tracked items whose estimated significance is at least
+    /// `threshold`, descending — the "report everything significant" query
+    /// shape (threshold form of top-k).
+    pub fn items_above(&self, threshold: f64) -> Vec<Estimate> {
+        let weights = self.config.weights;
+        let mut out: Vec<Estimate> = self
+            .cells
+            .iter()
+            .filter(|c| c.occupied())
+            .map(|c| Estimate::new(c.id, c.significance(&weights)))
+            .filter(|e| e.value >= threshold)
+            .collect();
+        out.sort_unstable_by(|a, b| {
+            b.value
+                .partial_cmp(&a.value)
+                .expect("significance is never NaN")
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        out
+    }
+
+    /// Advance the CLOCK by `numerator/denominator` of a sweep, harvesting.
+    #[inline]
+    fn tick(&mut self, numerator: u64, denominator: u64) {
+        let hp = self.harvest_parity();
+        let cells = &mut self.cells;
+        let mut harvested = 0;
+        self.clock.tick(numerator, denominator, |i| {
+            if cells[i].harvest(hp) {
+                harvested += 1;
+            }
+        });
+        self.stats.harvests += harvested;
+    }
+
+    /// The insertion state machine of §III-B1 (cases 1–3) with the
+    /// Long-tail Replacement admission rule of §III-D when enabled.
+    fn process(&mut self, id: ItemId) {
+        let weights = self.config.weights;
+        let variant = self.config.variant;
+        let parity = self.set_parity();
+        let d = self.config.cells_per_bucket;
+        let base = self.bucket_index(id) * d;
+
+        self.stats.inserts += 1;
+        let mut empty_slot = None;
+        let mut min_slot = base;
+        let mut min_sig = f64::INFINITY;
+        for i in base..base + d {
+            let c = &self.cells[i];
+            if c.occupied() {
+                if c.id == id {
+                    // Case 1: raise the current-period flag, count the hit.
+                    self.stats.hits += 1;
+                    let c = &mut self.cells[i];
+                    c.freq = c.freq.saturating_add(1);
+                    c.set_flag(parity);
+                    return;
+                }
+                let sig = c.significance(&weights);
+                if sig < min_sig {
+                    min_sig = sig;
+                    min_slot = i;
+                }
+            } else if empty_slot.is_none() {
+                empty_slot = Some(i);
+            }
+        }
+
+        if let Some(i) = empty_slot {
+            // Case 2: fresh item in an empty cell, counters (1, 0).
+            self.stats.fills += 1;
+            let c = &mut self.cells[i];
+            c.occupy(id, 1, 0);
+            c.set_flag(parity);
+            return;
+        }
+
+        // Case 3: Significance-Decrement the smallest cell; admit the new
+        // item only once that cell's significance is worn down to zero.
+        let c = &mut self.cells[min_slot];
+        c.significance_decrement();
+        if !c.significance_is_zero(&weights) {
+            self.stats.decrements += 1;
+            return;
+        }
+        {
+            self.stats.admissions += 1;
+            let c = &mut self.cells[min_slot];
+            c.clear();
+            let (f0, p0) = if variant.long_tail_replacement {
+                self.long_tail_initial(base, d, &weights)
+            } else {
+                (1, 0)
+            };
+            let c = &mut self.cells[min_slot];
+            c.occupy(id, f0, p0);
+            c.set_flag(parity);
+        }
+    }
+
+    /// Long-tail Replacement initial counters: the second-smallest cell of
+    /// the original bucket is, after the expulsion, the smallest remaining
+    /// occupied cell. The paper sets the new item's value to "the second
+    /// smallest value minus 1" so the admitted cell is still the bucket's
+    /// smallest; with combined significance it copies the second-smallest
+    /// frequency and persistency. We copy `(f₂, p₂)` and decrement the
+    /// α-weighted coordinate (or the β-weighted one when α = 0), which keeps
+    /// the admitted cell no larger than its neighbours under any weights.
+    fn long_tail_initial(&self, base: usize, d: usize, weights: &Weights) -> (u32, u32) {
+        let second = self.cells[base..base + d]
+            .iter()
+            .filter(|c| c.occupied())
+            .min_by(|a, b| {
+                a.significance(weights)
+                    .partial_cmp(&b.significance(weights))
+                    .expect("significance is never NaN")
+            });
+        match second {
+            Some(c) => {
+                if weights.alpha > 0.0 {
+                    (c.freq.saturating_sub(1).max(1), c.persist)
+                } else {
+                    (c.freq.max(1), c.persist.saturating_sub(1))
+                }
+            }
+            // Bucket held only the expelled item (d = 1): no long tail to
+            // borrow from, fall back to the basic initial value.
+            None => (1, 0),
+        }
+    }
+}
+
+impl StreamProcessor for Ltc {
+    #[inline]
+    fn insert(&mut self, id: ItemId) {
+        Ltc::insert(self, id);
+    }
+
+    fn end_period(&mut self) {
+        Ltc::end_period(self);
+    }
+
+    fn finish(&mut self) {
+        Ltc::finalize(self);
+    }
+
+    fn name(&self) -> &'static str {
+        "LTC"
+    }
+}
+
+impl SignificanceQuery for Ltc {
+    fn estimate(&self, id: ItemId) -> Option<f64> {
+        self.find(id).map(|c| c.significance(&self.config.weights))
+    }
+
+    fn top_k(&self, k: usize) -> Vec<Estimate> {
+        let weights = self.config.weights;
+        let candidates = self
+            .cells
+            .iter()
+            .filter(|c| c.occupied())
+            .map(|c| Estimate::new(c.id, c.significance(&weights)))
+            .collect();
+        top_k_of(candidates, k)
+    }
+}
+
+impl MemoryUsage for Ltc {
+    fn memory_bytes(&self) -> usize {
+        self.cells.len() * LTC_CELL_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+
+    fn config(w: usize, d: usize, n: u64, weights: Weights, variant: Variant) -> LtcConfig {
+        LtcConfig::builder()
+            .buckets(w)
+            .cells_per_bucket(d)
+            .records_per_period(n)
+            .weights(weights)
+            .variant(variant)
+            .seed(7)
+            .build()
+    }
+
+    #[test]
+    fn case1_hit_increments_frequency() {
+        let mut ltc = Ltc::new(config(4, 4, 100, Weights::FREQUENT, Variant::BASIC));
+        for _ in 0..5 {
+            ltc.insert(9);
+        }
+        assert_eq!(ltc.frequency_of(9), Some(5));
+    }
+
+    #[test]
+    fn case2_vacancy_starts_at_one() {
+        let mut ltc = Ltc::new(config(4, 4, 100, Weights::FREQUENT, Variant::BASIC));
+        ltc.insert(1);
+        assert_eq!(ltc.frequency_of(1), Some(1));
+        assert_eq!(ltc.persistency_of(1), Some(0), "persistency via CLOCK only");
+    }
+
+    #[test]
+    fn case3_decrements_smallest_until_replacement() {
+        // One bucket of two cells so collisions are guaranteed.
+        let mut ltc = Ltc::new(config(1, 2, 1_000, Weights::FREQUENT, Variant::BASIC));
+        for _ in 0..5 {
+            ltc.insert(100); // f = 5
+        }
+        for _ in 0..2 {
+            ltc.insert(200); // f = 2
+        }
+        // Item 300 misses a full bucket: each arrival decrements the
+        // smallest (200). Two arrivals empty it; the third admits 300.
+        ltc.insert(300);
+        assert_eq!(ltc.frequency_of(200), Some(1));
+        assert!(!ltc.contains(300));
+        ltc.insert(300);
+        assert!(!ltc.contains(200), "200 expelled at significance 0");
+        assert!(ltc.contains(300), "replacement admits on the same arrival");
+        assert_eq!(ltc.frequency_of(300), Some(1), "basic variant starts at 1");
+        assert_eq!(ltc.frequency_of(100), Some(5), "non-smallest untouched");
+    }
+
+    #[test]
+    fn long_tail_replacement_borrows_second_smallest() {
+        let mut ltc = Ltc::new(config(
+            1,
+            2,
+            1_000,
+            Weights::FREQUENT,
+            Variant::LONG_TAIL_ONLY,
+        ));
+        for _ in 0..5 {
+            ltc.insert(100);
+        }
+        for _ in 0..2 {
+            ltc.insert(200);
+        }
+        ltc.insert(300);
+        ltc.insert(300); // admits 300 with f = second smallest (5) - 1 = 4
+        assert_eq!(ltc.frequency_of(300), Some(4));
+    }
+
+    #[test]
+    fn long_tail_single_cell_bucket_falls_back_to_basic() {
+        let mut ltc = Ltc::new(config(
+            1,
+            1,
+            1_000,
+            Weights::FREQUENT,
+            Variant::LONG_TAIL_ONLY,
+        ));
+        ltc.insert(1); // f=1
+        ltc.insert(2); // decrement -> expel -> admit with no neighbour
+        assert_eq!(ltc.frequency_of(2), Some(1));
+    }
+
+    #[test]
+    fn persistency_counts_periods_not_occurrences() {
+        let mut ltc = Ltc::new(config(8, 4, 10, Weights::PERSISTENT, Variant::FULL));
+        for _period in 0..4 {
+            for _ in 0..10 {
+                ltc.insert(5); // many occurrences per period
+            }
+            ltc.end_period();
+        }
+        ltc.finalize();
+        assert_eq!(
+            ltc.persistency_of(5),
+            Some(4),
+            "+1 per period regardless of repetition"
+        );
+    }
+
+    #[test]
+    fn persistency_skips_absent_periods() {
+        let mut ltc = Ltc::new(config(8, 4, 10, Weights::BALANCED, Variant::FULL));
+        for period in 0..6u64 {
+            for i in 0..10u64 {
+                // item 5 appears only in even periods
+                let id = if period % 2 == 0 && i == 0 {
+                    5
+                } else {
+                    1000 + i
+                };
+                ltc.insert(id);
+            }
+            ltc.end_period();
+        }
+        ltc.finalize();
+        assert_eq!(ltc.persistency_of(5), Some(3));
+    }
+
+    #[test]
+    fn basic_variant_can_double_count_across_deviation() {
+        // Reproduce Figure 4: one appearance straddling the CLOCK phase can
+        // be harvested twice by the basic variant. Construct: the item's
+        // cell is scanned mid-period; it appears before and after the scan
+        // within period 1 plus once in period 2, truth p = 2, but the single
+        // flag yields 3 with an adversarial arrival pattern. We only assert
+        // the weaker, always-true property here — basic may exceed DE — and
+        // pin the exact deviation scenario in the integration tests.
+        let mk = |variant| {
+            let mut ltc = Ltc::new(config(2, 2, 4, Weights::PERSISTENT, variant));
+            for _period in 0..3 {
+                for _ in 0..4 {
+                    ltc.insert(7);
+                }
+                ltc.end_period();
+            }
+            ltc.finalize();
+            ltc.persistency_of(7).unwrap()
+        };
+        let de = mk(Variant::FULL);
+        assert_eq!(de, 3, "DE is exact: one per period");
+        assert!(mk(Variant::BASIC) >= de - 1);
+    }
+
+    #[test]
+    fn no_overestimation_of_frequency_basic() {
+        // Theorem IV.1 (basic + DE): estimated ≤ real. Adversarial small
+        // table with heavy collisions.
+        let mut ltc = Ltc::new(config(2, 2, 50, Weights::FREQUENT, Variant::DEVIATION_ONLY));
+        let mut truth = std::collections::HashMap::new();
+        let ids = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        for i in 0..500u64 {
+            let id = ids[(i % 8) as usize];
+            ltc.insert(id);
+            *truth.entry(id).or_insert(0u64) += 1;
+        }
+        for (&id, &real) in &truth {
+            if let Some(est) = ltc.frequency_of(id) {
+                assert!(est <= real, "id {id}: est {est} > real {real}");
+            }
+        }
+    }
+
+    #[test]
+    fn clock_sweeps_exactly_once_per_period() {
+        let mut ltc = Ltc::new(config(10, 8, 37, Weights::BALANCED, Variant::FULL));
+        for _ in 0..37 {
+            ltc.insert(1);
+        }
+        // Before end_period the sweep may be mid-flight…
+        assert!(ltc.clock_scans_this_period() <= 80);
+        ltc.end_period();
+        // …after it, the sweep counter has been reset having covered all m.
+        assert_eq!(ltc.clock_scans_this_period(), 0);
+    }
+
+    #[test]
+    fn top_k_orders_by_significance() {
+        let mut ltc = Ltc::new(config(64, 8, 1_000, Weights::new(1.0, 1.0), Variant::FULL));
+        for _ in 0..100 {
+            ltc.insert(1);
+        }
+        for _ in 0..50 {
+            ltc.insert(2);
+        }
+        for _ in 0..10 {
+            ltc.insert(3);
+        }
+        ltc.end_period();
+        ltc.finalize();
+        let top = ltc.top_k(3);
+        assert_eq!(top[0].id, 1);
+        assert_eq!(top[1].id, 2);
+        assert_eq!(top[2].id, 3);
+        assert!(top[0].value >= 101.0, "f=100 + p=1");
+    }
+
+    #[test]
+    fn estimate_unknown_is_none() {
+        let ltc = Ltc::new(config(8, 8, 10, Weights::BALANCED, Variant::FULL));
+        assert_eq!(ltc.estimate(12345), None);
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let mut ltc = Ltc::new(config(8, 8, 10, Weights::PERSISTENT, Variant::FULL));
+        for _ in 0..10 {
+            ltc.insert(3);
+        }
+        ltc.end_period();
+        ltc.finalize();
+        let p1 = ltc.persistency_of(3);
+        ltc.finalize();
+        assert_eq!(ltc.persistency_of(3), p1);
+    }
+
+    #[test]
+    fn time_driven_periods_roll_over() {
+        let cfg = LtcConfig::builder()
+            .buckets(8)
+            .cells_per_bucket(4)
+            .time_units_per_period(100)
+            .weights(Weights::PERSISTENT)
+            .variant(Variant::FULL)
+            .seed(7)
+            .build();
+        let mut ltc = Ltc::new(cfg);
+        // Item 5 appears in periods 0, 1 and 3 (times 10, 150, 350).
+        ltc.insert_at(5, 10);
+        ltc.insert_at(5, 150);
+        ltc.insert_at(5, 350);
+        // Close period 3 and harvest.
+        ltc.end_period();
+        ltc.finalize();
+        assert_eq!(ltc.periods_completed(), 4);
+        assert_eq!(ltc.persistency_of(5), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-driven LTC")]
+    fn count_insert_on_time_mode_panics() {
+        let cfg = LtcConfig::builder().time_units_per_period(10).build();
+        Ltc::new(cfg).insert(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "count-driven LTC")]
+    fn time_insert_on_count_mode_panics() {
+        let cfg = LtcConfig::builder().records_per_period(10).build();
+        Ltc::new(cfg).insert_at(1, 0);
+    }
+
+    #[test]
+    fn stats_count_the_four_paths() {
+        let mut ltc = Ltc::new(config(1, 2, 1_000, Weights::FREQUENT, Variant::BASIC));
+        ltc.insert(1); // fill
+        ltc.insert(2); // fill
+        ltc.insert(1); // hit
+        ltc.insert(3); // decrement (2: f 1→0 → expel+admit? sig 0 → admission)
+        let s = ltc.stats();
+        assert_eq!(s.inserts, 4);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.fills, 2);
+        assert_eq!(s.admissions, 1, "2 expelled at f=0, 3 admitted");
+        ltc.insert(1); // hit (f=2)
+        ltc.insert(4); // decrements 3 (f 1→0) and admits 4
+        ltc.insert(5); // decrements 4 → admits 5
+        let s = ltc.stats();
+        assert_eq!(s.admissions, 3);
+        ltc.end_period();
+        assert_eq!(ltc.stats().periods, 1);
+        assert!(ltc.stats().harvests >= 1, "flagged cells harvested");
+    }
+
+    #[test]
+    fn items_above_threshold_query() {
+        let mut ltc = Ltc::new(config(16, 4, 1_000, Weights::FREQUENT, Variant::FULL));
+        for (id, n) in [(1u64, 50usize), (2, 30), (3, 10)] {
+            for _ in 0..n {
+                ltc.insert(id);
+            }
+        }
+        let above = ltc.items_above(30.0);
+        let ids: Vec<_> = above.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 2], "descending, inclusive threshold");
+        assert!(ltc.items_above(1e9).is_empty());
+        // Threshold 0 returns every occupied cell.
+        assert_eq!(ltc.items_above(0.0).len(), 3);
+    }
+
+    #[test]
+    fn memory_accounting_uses_paper_model() {
+        let ltc = Ltc::new(config(100, 8, 10, Weights::BALANCED, Variant::FULL));
+        assert_eq!(ltc.memory_bytes(), 100 * 8 * 16);
+    }
+
+    #[test]
+    fn multi_period_mixed_weights_end_to_end() {
+        // Significance blends both metrics: a persistent-but-light item must
+        // outrank a single-burst item under β-heavy weights.
+        let w = Weights::new(1.0, 10.0);
+        let mut ltc = Ltc::new(config(128, 8, 100, w, Variant::FULL));
+        for period in 0..10u64 {
+            for i in 0..100u64 {
+                let id = match i {
+                    0..=4 => 11,                       // persistent: every period
+                    5..=59 if period == 0 => 22,       // burst: period 0 only
+                    _ => 1_000_000 + period * 100 + i, // noise
+                };
+                ltc.insert(id);
+            }
+            ltc.end_period();
+        }
+        ltc.finalize();
+        // s(11) = 50 + 10*10 = 150; s(22) = 55 + 10*1 = 65.
+        let top = ltc.top_k(1);
+        assert_eq!(top[0].id, 11, "persistency dominates under 1:10");
+    }
+}

@@ -1,0 +1,292 @@
+//! Uniform construction of LTC and every baseline from the paper's
+//! experiment parameters `(memory budget, k, weights)`.
+//!
+//! Memory allocation follows §V-C exactly:
+//!
+//! * LTC / SS / LC / MG — the whole budget buys table entries;
+//! * sketch+heap (frequent) — `k` heap entries, rest to a 3-row sketch;
+//! * sketch+BF+heap (persistent) — half to the Bloom filter, rest to
+//!   heap + sketch;
+//! * two-structure combiners (significant) — budget split evenly;
+//! * PIE — **`T×` the budget**: one full budget per period ("we use T times
+//!   of the default memory size for PIE … to make its performance
+//!   comparable").
+
+use ltc_baselines::{
+    CountMinSketch, CountSketch, CuSketch, LossyCounting, MisraGries, PersistentSketch,
+    SignificantCombiner, SketchTopK, SpaceSaving,
+};
+use ltc_common::{MemoryBudget, MemoryUsage, SignificanceQuery, StreamProcessor, Weights};
+use ltc_core::{Ltc, LtcConfig, Variant};
+use ltc_pie::{Pie, PieConfig};
+
+/// Rows per sketch — the paper "set\[s\] the number of arrays to 3".
+pub const SKETCH_ROWS: usize = 3;
+
+/// Object-safe bundle of the three capabilities the harness needs.
+pub trait Algorithm: StreamProcessor + SignificanceQuery + MemoryUsage {}
+impl<T: StreamProcessor + SignificanceQuery + MemoryUsage> Algorithm for T {}
+
+/// Which algorithm to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgoSpec {
+    /// LTC with the given optimizations (paper default: `Variant::FULL`).
+    Ltc(Variant),
+    /// Space-Saving.
+    SpaceSaving,
+    /// Lossy Counting.
+    LossyCounting,
+    /// Misra-Gries.
+    MisraGries,
+    /// Count-Min sketch + heap (frequent items).
+    CmTopK,
+    /// CU sketch + heap (frequent items).
+    CuTopK,
+    /// Count sketch + heap (frequent items).
+    CountTopK,
+    /// CM + Bloom filter + heap (persistent items).
+    CmPersistent,
+    /// CU + Bloom filter + heap (persistent items).
+    CuPersistent,
+    /// Count sketch + Bloom filter + heap (persistent items).
+    CountPersistent,
+    /// PIE (persistent items; gets `T×` memory per the paper).
+    Pie,
+    /// Coordinated bottom-k sampling (persistent items; the §II-B related
+    /// work the paper cites but does not plot — available for ablations).
+    CoordinatedSampling,
+    /// CM-based frequent+persistent combiner (significant items).
+    CmSignificant,
+    /// CU-based frequent+persistent combiner (significant items).
+    CuSignificant,
+}
+
+impl AlgoSpec {
+    /// The frequent-items line-up of Figs. 9–10.
+    pub fn frequent_lineup() -> Vec<AlgoSpec> {
+        vec![
+            AlgoSpec::Ltc(Variant::FULL),
+            AlgoSpec::SpaceSaving,
+            AlgoSpec::LossyCounting,
+            AlgoSpec::MisraGries,
+            AlgoSpec::CmTopK,
+            AlgoSpec::CuTopK,
+            AlgoSpec::CountTopK,
+        ]
+    }
+
+    /// The persistent-items line-up of Figs. 12–13.
+    pub fn persistent_lineup() -> Vec<AlgoSpec> {
+        vec![
+            AlgoSpec::Ltc(Variant::FULL),
+            AlgoSpec::Pie,
+            AlgoSpec::CmPersistent,
+            AlgoSpec::CuPersistent,
+        ]
+    }
+
+    /// The significant-items line-up of Figs. 14–15.
+    pub fn significant_lineup() -> Vec<AlgoSpec> {
+        vec![
+            AlgoSpec::Ltc(Variant::FULL),
+            AlgoSpec::CmSignificant,
+            AlgoSpec::CuSignificant,
+        ]
+    }
+}
+
+/// Experiment parameters shared by every algorithm instantiation.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildParams {
+    /// The per-algorithm memory budget (PIE receives this *per period*).
+    pub budget: MemoryBudget,
+    /// Top-k target.
+    pub k: usize,
+    /// Significance weights.
+    pub weights: Weights,
+    /// Records per period `n` (drives LTC's CLOCK step).
+    pub records_per_period: u64,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+/// Instantiate `spec` under `params`.
+pub fn build_algorithm(spec: AlgoSpec, params: &BuildParams) -> Box<dyn Algorithm> {
+    let BuildParams {
+        budget,
+        k,
+        weights,
+        records_per_period,
+        seed,
+    } = *params;
+    match spec {
+        AlgoSpec::Ltc(variant) => Box::new(Ltc::new(
+            LtcConfig::with_memory(budget, 8)
+                .weights(weights)
+                .records_per_period(records_per_period)
+                .variant(variant)
+                .seed(seed)
+                .build(),
+        )),
+        AlgoSpec::SpaceSaving => Box::new(SpaceSaving::with_memory(budget)),
+        AlgoSpec::LossyCounting => Box::new(LossyCounting::with_memory(budget)),
+        AlgoSpec::MisraGries => Box::new(MisraGries::with_memory(budget)),
+        AlgoSpec::CmTopK => Box::new(SketchTopK::<CountMinSketch>::with_memory(
+            budget,
+            k,
+            SKETCH_ROWS,
+            seed,
+        )),
+        AlgoSpec::CuTopK => Box::new(SketchTopK::<CuSketch>::with_memory(
+            budget,
+            k,
+            SKETCH_ROWS,
+            seed,
+        )),
+        AlgoSpec::CountTopK => Box::new(SketchTopK::<CountSketch>::with_memory(
+            budget,
+            k,
+            SKETCH_ROWS,
+            seed,
+        )),
+        AlgoSpec::CmPersistent => Box::new(PersistentSketch::<CountMinSketch>::with_memory(
+            budget,
+            k,
+            SKETCH_ROWS,
+            seed,
+        )),
+        AlgoSpec::CuPersistent => Box::new(PersistentSketch::<CuSketch>::with_memory(
+            budget,
+            k,
+            SKETCH_ROWS,
+            seed,
+        )),
+        AlgoSpec::CountPersistent => Box::new(PersistentSketch::<CountSketch>::with_memory(
+            budget,
+            k,
+            SKETCH_ROWS,
+            seed,
+        )),
+        AlgoSpec::Pie => Box::new(Pie::new(PieConfig::with_memory_per_period(budget, 2, seed))),
+        AlgoSpec::CoordinatedSampling => Box::new(ltc_baselines::CoordinatedSampling::with_memory(
+            budget, seed,
+        )),
+        AlgoSpec::CmSignificant => Box::new(SignificantCombiner::<CountMinSketch>::with_memory(
+            budget,
+            k,
+            SKETCH_ROWS,
+            weights,
+            seed,
+        )),
+        AlgoSpec::CuSignificant => Box::new(SignificantCombiner::<CuSketch>::with_memory(
+            budget,
+            k,
+            SKETCH_ROWS,
+            weights,
+            seed,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BuildParams {
+        BuildParams {
+            budget: MemoryBudget::kilobytes(50),
+            k: 100,
+            weights: Weights::BALANCED,
+            records_per_period: 1_000,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn every_spec_builds_and_runs() {
+        let specs = [
+            AlgoSpec::Ltc(Variant::FULL),
+            AlgoSpec::Ltc(Variant::BASIC),
+            AlgoSpec::SpaceSaving,
+            AlgoSpec::LossyCounting,
+            AlgoSpec::MisraGries,
+            AlgoSpec::CmTopK,
+            AlgoSpec::CuTopK,
+            AlgoSpec::CountTopK,
+            AlgoSpec::CmPersistent,
+            AlgoSpec::CuPersistent,
+            AlgoSpec::CountPersistent,
+            AlgoSpec::Pie,
+            AlgoSpec::CoordinatedSampling,
+            AlgoSpec::CmSignificant,
+            AlgoSpec::CuSignificant,
+        ];
+        for spec in specs {
+            let mut alg = build_algorithm(spec, &params());
+            // 8 periods: enough for PIE's fountain decode (≥ 4 independent
+            // symbols) so even the persistent baselines report something.
+            for period in 0..8u64 {
+                for i in 0..50u64 {
+                    alg.insert(if i % 5 == 0 { 42 } else { period * 100 + i });
+                }
+                alg.end_period();
+            }
+            alg.finish();
+            let top = alg.top_k(5);
+            assert!(!top.is_empty(), "{:?} reported nothing", spec);
+            assert!(!alg.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn budgets_respected_within_model() {
+        // Every non-PIE algorithm must fit its budget under the cost model.
+        let p = params();
+        for spec in [
+            AlgoSpec::Ltc(Variant::FULL),
+            AlgoSpec::SpaceSaving,
+            AlgoSpec::LossyCounting,
+            AlgoSpec::MisraGries,
+            AlgoSpec::CmTopK,
+            AlgoSpec::CuTopK,
+            AlgoSpec::CountTopK,
+            AlgoSpec::CmPersistent,
+            AlgoSpec::CuPersistent,
+            AlgoSpec::CmSignificant,
+            AlgoSpec::CuSignificant,
+        ] {
+            let alg = build_algorithm(spec, &p);
+            assert!(
+                alg.memory_bytes() <= p.budget.as_bytes(),
+                "{spec:?} uses {} > {}",
+                alg.memory_bytes(),
+                p.budget.as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn pie_budget_is_per_period() {
+        let p = params();
+        let mut pie = build_algorithm(AlgoSpec::Pie, &p);
+        // After T periods PIE holds T+1 filters of one budget each.
+        for _ in 0..4 {
+            pie.end_period();
+        }
+        let per = p.budget.as_bytes();
+        let used = pie.memory_bytes();
+        assert!(used >= 5 * (per - per / 50), "{used} < ~5 budgets");
+    }
+
+    #[test]
+    fn lineups_are_nonempty_and_start_with_ltc() {
+        for lineup in [
+            AlgoSpec::frequent_lineup(),
+            AlgoSpec::persistent_lineup(),
+            AlgoSpec::significant_lineup(),
+        ] {
+            assert!(matches!(lineup[0], AlgoSpec::Ltc(_)));
+            assert!(lineup.len() >= 3);
+        }
+    }
+}

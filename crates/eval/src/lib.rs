@@ -1,0 +1,32 @@
+//! # ltc-eval — ground truth, metrics, theory bounds, experiment runner
+//!
+//! Everything needed to regenerate the paper's evaluation:
+//!
+//! * [`oracle`] — exact per-item frequency/persistency over a generated
+//!   stream, and the true top-k significant set;
+//! * [`metrics`] — the paper's two metrics (§V-A): **Precision**
+//!   `|φ∩ψ|/k` and **ARE** `(1/k)·Σ|sᵢ−ŝᵢ|/sᵢ`, plus AAE for completeness;
+//! * [`algorithms`] — a uniform way to instantiate LTC and every baseline
+//!   from `(memory budget, k, weights)`, exactly as §V-C allocates memory;
+//! * [`runner`] — drives any algorithm over a stream period by period and
+//!   collects timing + reported top-k;
+//! * [`theory`] — the §IV correct-rate and error bounds, for the Fig. 7
+//!   validation experiments;
+//! * [`report`] — experiment result rows and the table printer the bench
+//!   binaries share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod metrics;
+pub mod oracle;
+pub mod report;
+pub mod runner;
+pub mod theory;
+
+pub use algorithms::{build_algorithm, AlgoSpec, Algorithm};
+pub use metrics::{aae, are, f1, precision, rank_quality, recall, tie_aware_precision};
+pub use oracle::Oracle;
+pub use report::{ExperimentRecord, Table};
+pub use runner::{run_algorithm, run_trials, RunOutcome, TrialStats};

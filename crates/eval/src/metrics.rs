@@ -1,0 +1,265 @@
+//! The paper's evaluation metrics (§V-A).
+
+use crate::oracle::Oracle;
+use ltc_common::{Estimate, Weights};
+use ltc_hash::FxHashSet;
+
+/// Precision: `|φ ∩ ψ| / k`, where `φ` is the true top-k set, `ψ` the
+/// reported set, and `k = |φ|`.
+pub fn precision(reported: &[Estimate], truth: &[Estimate]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let truth_ids: FxHashSet<u64> = truth.iter().map(|e| e.id).collect();
+    let hits = reported
+        .iter()
+        .filter(|e| truth_ids.contains(&e.id))
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Tie-aware precision: a reported item counts as correct if its **true**
+/// value is at least the true k-th value. Identical to [`precision`] when
+/// all true values are distinct, but fair when several items tie at the
+/// top-k boundary (any of them is an equally correct answer; plain set
+/// intersection would punish the algorithm for the oracle's arbitrary
+/// tie-break).
+pub fn tie_aware_precision(
+    reported: &[Estimate],
+    truth: &[Estimate],
+    oracle: &Oracle,
+    weights: &Weights,
+) -> f64 {
+    let Some(threshold) = truth.last().map(|e| e.value) else {
+        return 1.0;
+    };
+    let k = truth.len();
+    let mut seen = FxHashSet::default();
+    let hits = reported
+        .iter()
+        .take(k)
+        .filter(|e| seen.insert(e.id) && oracle.significance(e.id, weights) >= threshold)
+        .count();
+    hits as f64 / k as f64
+}
+
+/// ARE (average relative error): `(1/k) Σᵢ |sᵢ − ŝᵢ| / sᵢ` over the
+/// **reported** items, with `sᵢ` the real significance (§V-A).
+///
+/// A reported item that never actually appeared has `sᵢ = 0`; its relative
+/// error is counted as 1 (a wholly wrong report) rather than dividing by
+/// zero. Reporting fewer than `k` items counts the missing slots as
+/// relative error 1 as well — otherwise an algorithm could trim its ARE by
+/// reporting nothing, which the paper's PIE-under-tight-memory discussion
+/// clearly does not intend.
+pub fn are(reported: &[Estimate], k: usize, oracle: &Oracle, weights: &Weights) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for e in reported.iter().take(k) {
+        let real = oracle.significance(e.id, weights);
+        if real > 0.0 {
+            total += (real - e.value).abs() / real;
+        } else {
+            total += 1.0;
+        }
+    }
+    total += (k.saturating_sub(reported.len())) as f64;
+    total / k as f64
+}
+
+/// Recall of the true top-k: the fraction of the true set that was
+/// reported. With `|reported| = |truth| = k` (every experiment here),
+/// recall equals [`precision`]; it diverges for threshold-style queries
+/// where the report size floats.
+pub fn recall(reported: &[Estimate], truth: &[Estimate]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let reported_ids: FxHashSet<u64> = reported.iter().map(|e| e.id).collect();
+    truth
+        .iter()
+        .filter(|e| reported_ids.contains(&e.id))
+        .count() as f64
+        / truth.len() as f64
+}
+
+/// F1: harmonic mean of report-size-normalised precision and recall.
+pub fn f1(reported: &[Estimate], truth: &[Estimate]) -> f64 {
+    if reported.is_empty() || truth.is_empty() {
+        return if reported.is_empty() && truth.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    let truth_ids: FxHashSet<u64> = truth.iter().map(|e| e.id).collect();
+    let hits = reported
+        .iter()
+        .filter(|e| truth_ids.contains(&e.id))
+        .count() as f64;
+    let p = hits / reported.len() as f64;
+    let r = hits / truth.len() as f64;
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Rank quality of the reported list against the oracle's true values:
+/// the normalised number of *concordant* adjacent pairs — 1.0 when the
+/// reported order agrees with the true significance order everywhere,
+/// 0.0 when fully reversed. (A cheap O(k) proxy for Kendall's τ, adequate
+/// for comparing algorithms whose reports are already near-sorted.)
+pub fn rank_quality(reported: &[Estimate], oracle: &Oracle, weights: &Weights) -> f64 {
+    if reported.len() < 2 {
+        return 1.0;
+    }
+    let real: Vec<f64> = reported
+        .iter()
+        .map(|e| oracle.significance(e.id, weights))
+        .collect();
+    let concordant = real.windows(2).filter(|w| w[0] >= w[1]).count();
+    concordant as f64 / (real.len() - 1) as f64
+}
+
+/// AAE (average absolute error): `(1/k) Σᵢ |sᵢ − ŝᵢ|` over the reported
+/// items. The paper drops AAE because it is dominated by the α, β scaling;
+/// we keep it available for diagnostics.
+pub fn aae(reported: &[Estimate], k: usize, oracle: &Oracle, weights: &Weights) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for e in reported.iter().take(k) {
+        let real = oracle.significance(e.id, weights);
+        total += (real - e.value).abs();
+    }
+    total / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_common::ItemId;
+
+    fn e(id: ItemId, v: f64) -> Estimate {
+        Estimate::new(id, v)
+    }
+
+    fn toy_oracle() -> Oracle {
+        // id 1: f=4,p=1; id 2: f=2,p=1; id 3: f=1,p=1.
+        Oracle::from_periods(std::iter::once(&[1u64, 1, 1, 1, 2, 2, 3][..]))
+    }
+
+    #[test]
+    fn precision_counts_overlap() {
+        let truth = vec![e(1, 4.0), e(2, 2.0)];
+        assert_eq!(precision(&[e(1, 4.0), e(3, 1.0)], &truth), 0.5);
+        assert_eq!(precision(&[e(1, 4.0), e(2, 2.0)], &truth), 1.0);
+        assert_eq!(precision(&[], &truth), 0.0);
+    }
+
+    #[test]
+    fn precision_ignores_reported_values() {
+        let truth = vec![e(1, 4.0)];
+        assert_eq!(precision(&[e(1, 999.0)], &truth), 1.0);
+    }
+
+    #[test]
+    fn tie_aware_accepts_equal_value_substitutes() {
+        // Two periods; ids 1 and 2 both have f=2 (tied), id 3 has f=1.
+        let o = Oracle::from_periods(std::iter::once(&[1u64, 1, 2, 2, 3][..]));
+        let w = Weights::FREQUENT;
+        let truth = o.top_k(1, &w); // picks id 1 by tie-break
+        assert_eq!(truth[0].id, 1);
+        // Reporting the *other* tied item is equally correct.
+        assert_eq!(tie_aware_precision(&[e(2, 2.0)], &truth, &o, &w), 1.0);
+        assert_eq!(precision(&[e(2, 2.0)], &truth), 0.0, "set-based differs");
+        // Reporting the below-threshold item is not.
+        assert_eq!(tie_aware_precision(&[e(3, 1.0)], &truth, &o, &w), 0.0);
+    }
+
+    #[test]
+    fn tie_aware_ignores_duplicates_and_extras() {
+        let o = Oracle::from_periods(std::iter::once(&[1u64, 1, 2][..]));
+        let w = Weights::FREQUENT;
+        let truth = o.top_k(2, &w);
+        // Duplicate reports must not double count; only first k considered.
+        let rep = vec![e(1, 2.0), e(1, 2.0), e(2, 1.0)];
+        assert_eq!(tie_aware_precision(&rep, &truth, &o, &w), 0.5);
+    }
+
+    #[test]
+    fn are_exact_reports_zero() {
+        let o = toy_oracle();
+        let w = Weights::FREQUENT;
+        let reported = vec![e(1, 4.0), e(2, 2.0)];
+        assert_eq!(are(&reported, 2, &o, &w), 0.0);
+    }
+
+    #[test]
+    fn are_averages_relative_errors() {
+        let o = toy_oracle();
+        let w = Weights::FREQUENT;
+        // |4-3|/4 = 0.25 and |2-1|/2 = 0.5 → mean 0.375.
+        let reported = vec![e(1, 3.0), e(2, 1.0)];
+        assert!((are(&reported, 2, &o, &w) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn are_penalises_ghosts_and_missing_slots() {
+        let o = toy_oracle();
+        let w = Weights::FREQUENT;
+        // Ghost item 99 → rel err 1; one missing slot → 1. Mean = 1.
+        let reported = vec![e(99, 7.0)];
+        assert_eq!(are(&reported, 2, &o, &w), 1.0);
+        assert_eq!(are(&[], 2, &o, &w), 1.0);
+    }
+
+    #[test]
+    fn recall_counts_truth_coverage() {
+        let truth = vec![e(1, 4.0), e(2, 2.0)];
+        assert_eq!(recall(&[e(1, 4.0)], &truth), 0.5);
+        assert_eq!(recall(&[e(1, 4.0), e(2, 2.0), e(3, 1.0)], &truth), 1.0);
+        assert_eq!(recall(&[], &truth), 0.0);
+    }
+
+    #[test]
+    fn f1_balances_precision_and_recall() {
+        let truth = vec![e(1, 4.0), e(2, 2.0)];
+        // 1 hit of 1 reported (p=1) over 2 truth (r=0.5) → F1 = 2/3.
+        assert!((f1(&[e(1, 4.0)], &truth) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(f1(&[], &[]), 1.0);
+        assert_eq!(f1(&[e(9, 1.0)], &truth), 0.0);
+    }
+
+    #[test]
+    fn rank_quality_detects_misordering() {
+        let o = toy_oracle(); // real: 1→4, 2→2, 3→1
+        let w = Weights::FREQUENT;
+        assert_eq!(
+            rank_quality(&[e(1, 0.0), e(2, 0.0), e(3, 0.0)], &o, &w),
+            1.0
+        );
+        assert_eq!(
+            rank_quality(&[e(3, 0.0), e(2, 0.0), e(1, 0.0)], &o, &w),
+            0.0
+        );
+        assert_eq!(
+            rank_quality(&[e(1, 0.0), e(3, 0.0), e(2, 0.0)], &o, &w),
+            0.5
+        );
+        assert_eq!(rank_quality(&[e(1, 0.0)], &o, &w), 1.0, "trivial");
+    }
+
+    #[test]
+    fn aae_absolute() {
+        let o = toy_oracle();
+        let w = Weights::FREQUENT;
+        let reported = vec![e(1, 3.0), e(2, 4.0)];
+        assert!((aae(&reported, 2, &o, &w) - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Exact ground truth: per-item frequency and persistency, and the true
+//! top-k significant set.
+
+use ltc_common::{top_k_of, Estimate, ItemId, Weights};
+use ltc_hash::{FxHashMap, FxHashSet};
+use ltc_workloads::GeneratedStream;
+
+/// Exact `(frequency, persistency)` for every distinct item of a stream.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    table: FxHashMap<ItemId, (u64, u64)>,
+    total_records: u64,
+    total_periods: u64,
+}
+
+impl Oracle {
+    /// Build from per-period record slices.
+    pub fn from_periods<'a, I>(periods: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [ItemId]>,
+    {
+        let mut table: FxHashMap<ItemId, (u64, u64)> = FxHashMap::default();
+        let mut seen: FxHashSet<ItemId> = FxHashSet::default();
+        let mut total_records = 0u64;
+        let mut total_periods = 0u64;
+        for period in periods {
+            total_periods += 1;
+            seen.clear();
+            for &id in period {
+                total_records += 1;
+                let entry = table.entry(id).or_insert((0, 0));
+                entry.0 += 1;
+                if seen.insert(id) {
+                    entry.1 += 1;
+                }
+            }
+        }
+        Self {
+            table,
+            total_records,
+            total_periods,
+        }
+    }
+
+    /// Build from a generated stream.
+    pub fn build(stream: &GeneratedStream) -> Self {
+        Self::from_periods(stream.periods())
+    }
+
+    /// Exact frequency of `id` (0 if never seen).
+    pub fn frequency(&self, id: ItemId) -> u64 {
+        self.table.get(&id).map_or(0, |&(f, _)| f)
+    }
+
+    /// Exact persistency of `id` (0 if never seen).
+    pub fn persistency(&self, id: ItemId) -> u64 {
+        self.table.get(&id).map_or(0, |&(_, p)| p)
+    }
+
+    /// Exact significance of `id` under `weights`.
+    pub fn significance(&self, id: ItemId, weights: &Weights) -> f64 {
+        self.table
+            .get(&id)
+            .map_or(0.0, |&(f, p)| weights.significance(f, p))
+    }
+
+    /// The true top-k significant items under `weights`.
+    pub fn top_k(&self, k: usize, weights: &Weights) -> Vec<Estimate> {
+        top_k_of(
+            self.table
+                .iter()
+                .map(|(&id, &(f, p))| Estimate::new(id, weights.significance(f, p)))
+                .collect(),
+            k,
+        )
+    }
+
+    /// Number of distinct items.
+    pub fn distinct_items(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Total records `N`.
+    pub fn total_records(&self) -> u64 {
+        self.total_records
+    }
+
+    /// Total periods `T`.
+    pub fn total_periods(&self) -> u64 {
+        self.total_periods
+    }
+
+    /// Iterate `(id, frequency, persistency)` (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (ItemId, u64, u64)> + '_ {
+        self.table.iter().map(|(&id, &(f, p))| (id, f, p))
+    }
+
+    /// The frequency vector, heaviest first (used by Fig. 6 and by the
+    /// theory module, which needs Zipf-ranked frequencies).
+    pub fn ranked_frequencies(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.table.values().map(|&(f, _)| f).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle_of(periods: &[&[ItemId]]) -> Oracle {
+        Oracle::from_periods(periods.iter().copied())
+    }
+
+    #[test]
+    fn counts_frequency_and_persistency() {
+        let o = oracle_of(&[&[1, 1, 2], &[1, 3], &[3, 3, 3]]);
+        assert_eq!(o.frequency(1), 3);
+        assert_eq!(o.persistency(1), 2);
+        assert_eq!(o.frequency(3), 4);
+        assert_eq!(o.persistency(3), 2);
+        assert_eq!(o.frequency(2), 1);
+        assert_eq!(o.persistency(2), 1);
+        assert_eq!(o.frequency(99), 0);
+        assert_eq!(o.total_records(), 8);
+        assert_eq!(o.total_periods(), 3);
+        assert_eq!(o.distinct_items(), 3);
+    }
+
+    #[test]
+    fn significance_respects_weights() {
+        let o = oracle_of(&[&[1, 1, 2], &[1]]);
+        let w = Weights::new(1.0, 10.0);
+        assert_eq!(o.significance(1, &w), 3.0 + 20.0);
+    }
+
+    #[test]
+    fn top_k_switches_with_weights() {
+        // id 1: f=10, p=1. id 2: f=2, p=2.
+        let o = oracle_of(&[&[1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2], &[2]]);
+        assert_eq!(o.top_k(1, &Weights::FREQUENT)[0].id, 1);
+        assert_eq!(o.top_k(1, &Weights::PERSISTENT)[0].id, 2);
+    }
+
+    #[test]
+    fn ranked_frequencies_descending() {
+        let o = oracle_of(&[&[1, 2, 2, 3, 3, 3]]);
+        assert_eq!(o.ranked_frequencies(), vec![3, 2, 1]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Experiment result tables: the bench binaries print one [`Table`] per
+//! paper figure, in both human-readable markdown and machine-readable JSON,
+//! so `EXPERIMENTS.md` can quote them directly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One figure's worth of series data: an x-axis and one y-series per
+/// algorithm/variant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Figure id, e.g. `"fig09a"`.
+    pub id: String,
+    /// Human title, e.g. `"Precision on frequent items (CAIDA)"`.
+    pub title: String,
+    /// X-axis label, e.g. `"memory (KB)"`.
+    pub x_label: String,
+    /// Series names in column order.
+    pub series: Vec<String>,
+    /// Rows: x value then one y per series (`NaN`-free; missing = `None`).
+    pub rows: Vec<TableRow>,
+}
+
+/// One x position of a [`Table`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableRow {
+    /// X value.
+    pub x: f64,
+    /// One y per series.
+    pub y: Vec<f64>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        series: Vec<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            series,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. `y.len()` must equal the series count.
+    pub fn push_row(&mut self, x: f64, y: Vec<f64>) {
+        assert_eq!(
+            y.len(),
+            self.series.len(),
+            "row width {} != series count {}",
+            y.len(),
+            self.series.len()
+        );
+        self.rows.push(TableRow { x, y });
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = write!(out, "| {} |", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {s} |");
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "| {} |", trim_float(row.x));
+            for &v in &row.y {
+                let _ = write!(out, " {} |", format_value(v));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, ",{s}");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "{}", trim_float(row.x));
+            for &v in &row.y {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// A persisted experiment record (one per bench binary invocation).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Which figure this reproduces.
+    pub figure: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Free-form parameter description (k, weights, seeds, scale).
+    pub params: String,
+    /// The measured table.
+    pub table: Table,
+}
+
+/// Format a metric: precision-like values with 4 digits, ARE-like values in
+/// scientific notation when small/large.
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if (0.001..10_000.0).contains(&v.abs()) {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if x.fract() == 0.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "fig00",
+            "demo",
+            "memory (KB)",
+            vec!["LTC".into(), "SS".into()],
+        );
+        t.push_row(10.0, vec![0.99, 0.18]);
+        t.push_row(50.0, vec![1.0, 0.63]);
+        t
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = sample().to_markdown();
+        for needle in [
+            "fig00",
+            "memory (KB)",
+            "LTC",
+            "SS",
+            "0.9900",
+            "| 10 |",
+            "| 50 |",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+    }
+
+    #[test]
+    fn csv_round_trips_columns() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "memory (KB),LTC,SS");
+        assert_eq!(lines.next().unwrap(), "10,0.99,0.18");
+    }
+
+    #[test]
+    fn scientific_for_extremes() {
+        assert_eq!(format_value(0.00001), "1.000e-5");
+        assert!(format_value(123456789.0).contains('e'));
+        assert_eq!(format_value(0.5), "0.5000");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        sample().push_row(1.0, vec![1.0]);
+    }
+
+    #[test]
+    fn json_serialises() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rows.len(), 2);
+    }
+}

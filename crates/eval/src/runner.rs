@@ -1,0 +1,263 @@
+//! Drive an algorithm over a generated stream and collect its report.
+
+use crate::algorithms::Algorithm;
+use crate::metrics;
+use crate::oracle::Oracle;
+use ltc_common::{Estimate, Weights};
+use ltc_workloads::GeneratedStream;
+use std::time::{Duration, Instant};
+
+/// Everything one `(algorithm, stream)` run produces.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Algorithm display name.
+    pub name: &'static str,
+    /// Reported top-k, descending.
+    pub reported: Vec<Estimate>,
+    /// Wall-clock insertion time (excludes the final query).
+    pub insert_time: Duration,
+    /// Records processed.
+    pub records: u64,
+    /// Memory footprint after the run (PIE grows per period).
+    pub memory_bytes: usize,
+}
+
+impl RunOutcome {
+    /// Insertion throughput in million operations per second.
+    pub fn mops(&self) -> f64 {
+        self.records as f64 / self.insert_time.as_secs_f64() / 1e6
+    }
+
+    /// Precision against the true top-k (set intersection, §V-A).
+    pub fn precision(&self, truth: &[Estimate]) -> f64 {
+        metrics::precision(&self.reported, truth)
+    }
+
+    /// Tie-aware precision: equal-value substitutes at the top-k boundary
+    /// count as correct (see [`metrics::tie_aware_precision`]).
+    pub fn tie_aware_precision(
+        &self,
+        truth: &[Estimate],
+        oracle: &Oracle,
+        weights: &Weights,
+    ) -> f64 {
+        metrics::tie_aware_precision(&self.reported, truth, oracle, weights)
+    }
+
+    /// ARE against the oracle.
+    pub fn are(&self, k: usize, oracle: &Oracle, weights: &Weights) -> f64 {
+        metrics::are(&self.reported, k, oracle, weights)
+    }
+}
+
+/// Feed every period of `stream` into `alg`, call
+/// [`finish`](ltc_common::StreamProcessor::finish), query top-k once at the
+/// end (§V-C: "For every experiment, we query top-k items once at the end").
+pub fn run_algorithm(alg: &mut dyn Algorithm, stream: &GeneratedStream, k: usize) -> RunOutcome {
+    let start = Instant::now();
+    for period in stream.periods() {
+        for &id in period {
+            alg.insert(id);
+        }
+        alg.end_period();
+    }
+    alg.finish();
+    let insert_time = start.elapsed();
+    let reported = alg.top_k(k);
+    RunOutcome {
+        name: alg.name(),
+        reported,
+        insert_time,
+        records: stream.len() as u64,
+        memory_bytes: alg.memory_bytes(),
+    }
+}
+
+/// Aggregate of one metric over repeated trials (distinct stream seeds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialStats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single trial).
+    pub std: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+impl TrialStats {
+    /// Summarise a slice of observations.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "no trials to summarise");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Self {
+            mean,
+            std: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            trials: values.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for TrialStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} [{:.4}, {:.4}] (n={})",
+            self.mean, self.std, self.min, self.max, self.trials
+        )
+    }
+}
+
+/// Run one algorithm over `trials` freshly generated streams (the spec's
+/// seed is varied per trial) and aggregate precision and ARE. This is how
+/// a careful reader checks that a single-seed figure point is not a fluke.
+pub fn run_trials(
+    build: impl Fn() -> Box<dyn Algorithm>,
+    spec: &ltc_workloads::StreamSpec,
+    k: usize,
+    weights: Weights,
+    trials: usize,
+) -> (TrialStats, TrialStats) {
+    assert!(trials > 0, "need at least one trial");
+    let mut precisions = Vec::with_capacity(trials);
+    let mut ares = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let stream = ltc_workloads::generate(&spec.with_seed(spec.seed ^ (t as u64) << 32 | 1));
+        let oracle = Oracle::build(&stream);
+        let truth = oracle.top_k(k, &weights);
+        let mut alg = build();
+        let outcome = run_algorithm(alg.as_mut(), &stream, k);
+        precisions.push(outcome.tie_aware_precision(&truth, &oracle, &weights));
+        ares.push(outcome.are(k, &oracle, &weights));
+    }
+    (TrialStats::of(&precisions), TrialStats::of(&ares))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{build_algorithm, AlgoSpec, BuildParams};
+    use ltc_common::MemoryBudget;
+    use ltc_core::Variant;
+    use ltc_workloads::{generate, StreamSpec};
+
+    fn stream() -> GeneratedStream {
+        generate(&StreamSpec {
+            name: "runner-test",
+            total_records: 20_000,
+            distinct_items: 2_000,
+            periods: 20,
+            zipf_skew: 1.1,
+            burst_fraction: 0.2,
+            periodic_fraction: 0.1,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn ltc_achieves_high_precision_on_easy_budget() {
+        let s = stream();
+        let oracle = Oracle::build(&s);
+        let k = 50;
+        let weights = Weights::BALANCED;
+        let mut alg = build_algorithm(
+            AlgoSpec::Ltc(Variant::FULL),
+            &BuildParams {
+                budget: MemoryBudget::kilobytes(64),
+                k,
+                weights,
+                records_per_period: s.layout.records_per_period().unwrap(),
+                seed: 1,
+            },
+        );
+        let outcome = run_algorithm(alg.as_mut(), &s, k);
+        let truth = oracle.top_k(k, &weights);
+        let p = outcome.precision(&truth);
+        assert!(p >= 0.9, "LTC precision {p} < 0.9 with generous memory");
+        let a = outcome.are(k, &oracle, &weights);
+        assert!(a <= 0.1, "LTC ARE {a} too high with generous memory");
+    }
+
+    #[test]
+    fn outcome_tracks_records_and_time() {
+        let s = stream();
+        let mut alg = build_algorithm(
+            AlgoSpec::SpaceSaving,
+            &BuildParams {
+                budget: MemoryBudget::kilobytes(8),
+                k: 10,
+                weights: Weights::FREQUENT,
+                records_per_period: s.layout.records_per_period().unwrap(),
+                seed: 1,
+            },
+        );
+        let outcome = run_algorithm(alg.as_mut(), &s, 10);
+        assert_eq!(outcome.records, 20_000);
+        assert!(outcome.insert_time > Duration::ZERO);
+        assert!(outcome.mops() > 0.0);
+        assert_eq!(outcome.reported.len(), 10);
+    }
+
+    #[test]
+    fn trial_stats_math() {
+        let s = TrialStats::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        assert_eq!((s.min, s.max, s.trials), (1.0, 3.0, 3));
+        let single = TrialStats::of(&[5.0]);
+        assert_eq!((single.mean, single.std), (5.0, 0.0));
+        assert!(single.to_string().contains("n=1"));
+    }
+
+    #[test]
+    fn run_trials_aggregates_stable_ltc() {
+        use ltc_workloads::StreamSpec;
+        let spec = StreamSpec {
+            name: "trials",
+            total_records: 10_000,
+            distinct_items: 1_000,
+            periods: 20,
+            zipf_skew: 1.0,
+            burst_fraction: 0.2,
+            periodic_fraction: 0.1,
+            seed: 3,
+        };
+        let weights = Weights::BALANCED;
+        let (p, a) = run_trials(
+            || {
+                build_algorithm(
+                    AlgoSpec::Ltc(Variant::FULL),
+                    &BuildParams {
+                        budget: MemoryBudget::kilobytes(16),
+                        k: 25,
+                        weights,
+                        records_per_period: 500,
+                        seed: 9,
+                    },
+                )
+            },
+            &spec,
+            25,
+            weights,
+            4,
+        );
+        assert_eq!(p.trials, 4);
+        assert!(p.mean >= 0.9, "LTC unstable across seeds: {p}");
+        assert!(p.std <= 0.1, "high variance: {p}");
+        assert!(a.mean <= 0.05, "ARE across seeds: {a}");
+    }
+}

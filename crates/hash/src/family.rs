@@ -1,0 +1,144 @@
+//! Seeded hash families.
+//!
+//! Sketches need `r` hash functions that behave independently: row `i` of a
+//! Count-Min sketch, the `k` probes of a Bloom filter, the bucket hash of an
+//! LTC table. A [`HashFamily`] hands out [`SeededHash`] members derived from
+//! a master seed, so an experiment seeded with one integer is fully
+//! reproducible while different structures in the same experiment still use
+//! unrelated hash functions.
+
+use crate::bob::{bob_hash_u64, BobHasher};
+
+/// One member of a hash family: a Bob-Hash instance plus convenience mapping
+/// into table indices and ±1 signs (for Count sketch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeededHash {
+    hasher: BobHasher,
+}
+
+impl SeededHash {
+    /// Construct directly from a seed.
+    #[inline]
+    pub const fn new(seed: u32) -> Self {
+        Self {
+            hasher: BobHasher::new(seed),
+        }
+    }
+
+    /// The underlying 64-bit hash of `key`.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        self.hasher.hash_u64(key)
+    }
+
+    /// Map `key` into `[0, buckets)`.
+    #[inline]
+    pub fn index(&self, key: u64, buckets: usize) -> usize {
+        self.hasher.index(key, buckets)
+    }
+
+    /// A ±1 sign for `key`, taken from a high hash bit so it is independent
+    /// of the low bits [`Self::index`] consumes via the modulo.
+    #[inline]
+    pub fn sign(&self, key: u64) -> i64 {
+        if self.hash(key) & (1 << 63) == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// The seed of this member.
+    #[inline]
+    pub const fn seed(&self) -> u32 {
+        self.hasher.seed()
+    }
+}
+
+/// A reproducible family of hash functions derived from one master seed.
+///
+/// Member `i` is Bob Hash seeded with `mix(master, i)`; the mix itself is a
+/// `lookup3` call so that consecutive member indices do not produce related
+/// seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashFamily {
+    master: u64,
+}
+
+impl HashFamily {
+    /// Create a family from a master seed.
+    #[inline]
+    pub const fn new(master: u64) -> Self {
+        Self { master }
+    }
+
+    /// The `i`-th member of the family.
+    #[inline]
+    pub fn member(&self, i: u32) -> SeededHash {
+        // Derive the member seed by hashing the member index under the
+        // master seed's low 32 bits folded with its high 32 bits.
+        let folded = (self.master as u32) ^ ((self.master >> 32) as u32);
+        let seed = bob_hash_u64(u64::from(i), folded) as u32;
+        SeededHash::new(seed)
+    }
+
+    /// The first `n` members, materialised.
+    pub fn members(&self, n: u32) -> Vec<SeededHash> {
+        (0..n).map(|i| self.member(i)).collect()
+    }
+
+    /// The master seed.
+    #[inline]
+    pub const fn master(&self) -> u64 {
+        self.master
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_are_distinct() {
+        let fam = HashFamily::new(0xfeed_beef);
+        let seeds: std::collections::HashSet<u32> = (0..64).map(|i| fam.member(i).seed()).collect();
+        assert_eq!(seeds.len(), 64);
+    }
+
+    #[test]
+    fn members_reproducible() {
+        let a = HashFamily::new(7).member(3);
+        let b = HashFamily::new(7).member(3);
+        assert_eq!(a.hash(42), b.hash(42));
+    }
+
+    #[test]
+    fn different_masters_different_members() {
+        let a = HashFamily::new(1).member(0);
+        let b = HashFamily::new(2).member(0);
+        assert_ne!(a.hash(42), b.hash(42));
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let h = HashFamily::new(11).member(0);
+        let plus = (0..10_000u64).filter(|&k| h.sign(k) == 1).count();
+        assert!(
+            (4_500..=5_500).contains(&plus),
+            "sign bias: {plus} of 10000 positive"
+        );
+    }
+
+    #[test]
+    fn sign_independent_of_small_index() {
+        // Keys mapping to the same index should still get both signs.
+        let h = HashFamily::new(13).member(1);
+        let mut signs = std::collections::HashSet::new();
+        for k in 0..1000u64 {
+            if h.index(k, 4) == 0 {
+                signs.insert(h.sign(k));
+            }
+        }
+        assert_eq!(signs.len(), 2, "signs correlated with index");
+    }
+}

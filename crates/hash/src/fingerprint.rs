@@ -1,0 +1,92 @@
+//! Short fingerprints derived from full hashes.
+//!
+//! PIE's Space-Time Bloom Filter cells carry a small fingerprint of the
+//! stored item id so that decoding can reject cells polluted by hash
+//! collisions. A [`Fingerprint`] is a configurable-width (1..=32 bit) slice
+//! of a Bob hash, guaranteed non-zero so that 0 can mean "empty cell".
+
+use crate::bob::bob_hash_u64;
+
+/// A fingerprint function: maps item ids to non-zero `bits`-wide tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint {
+    seed: u32,
+    bits: u32,
+}
+
+impl Fingerprint {
+    /// Create a fingerprint function producing `bits`-wide tags (1..=32).
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or greater than 32.
+    pub fn new(seed: u32, bits: u32) -> Self {
+        assert!(
+            (1..=32).contains(&bits),
+            "fingerprint width must be 1..=32 bits, got {bits}"
+        );
+        Self { seed, bits }
+    }
+
+    /// Tag width in bits.
+    #[inline]
+    pub const fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Compute the tag of `key`. Always non-zero: an all-zero slice is
+    /// remapped to 1, costing a negligible bias.
+    #[inline]
+    pub fn tag(&self, key: u64) -> u32 {
+        let mask = if self.bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.bits) - 1
+        };
+        let t = (bob_hash_u64(key, self.seed) as u32) & mask;
+        if t == 0 {
+            1
+        } else {
+            t
+        }
+    }
+
+    /// Probability that two distinct keys share a tag (uniform model over the
+    /// `2^bits - 1` non-zero tags).
+    #[inline]
+    pub fn collision_probability(&self) -> f64 {
+        1.0 / (((1u64 << self.bits) - 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_fit_width_and_nonzero() {
+        for bits in [1, 4, 8, 12, 16, 32] {
+            let fp = Fingerprint::new(5, bits);
+            for key in 0..2_000u64 {
+                let t = fp.tag(key);
+                assert_ne!(t, 0);
+                if bits < 32 {
+                    assert!(t < (1 << bits), "tag {t} exceeds {bits} bits");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fingerprint width")]
+    fn zero_width_rejected() {
+        let _ = Fingerprint::new(0, 0);
+    }
+
+    #[test]
+    fn wide_tags_rarely_collide() {
+        let fp = Fingerprint::new(9, 16);
+        let tags: std::collections::HashSet<u32> = (0..1_000u64).map(|k| fp.tag(k)).collect();
+        // Birthday bound: ~1000 draws from 65535 values → expect ≥ 990 distinct.
+        assert!(tags.len() >= 985, "too many collisions: {}", tags.len());
+    }
+}

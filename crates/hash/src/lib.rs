@@ -1,0 +1,32 @@
+//! Hash functions for the `significant-items` workspace.
+//!
+//! The LTC paper hashes items with *Bob Hash* (Bob Jenkins' `lookup3`), so the
+//! centrepiece of this crate is a faithful Rust port of that function
+//! ([`bob`]). On top of it we provide:
+//!
+//! * [`family`] — seeded hash *families*: the sketches in the workspace
+//!   (Count-Min, CU, Count sketch, Bloom filters, PIE) each need several
+//!   independent hash functions, which we derive from `lookup3` with distinct
+//!   seeds.
+//! * [`fx`] — a port of the Firefox/rustc `FxHash` multiply-xor hasher, used
+//!   for the exact ground-truth oracle's hash maps where SipHash would be a
+//!   needless hot-path cost (and HashDoS is not a concern: we hash our own
+//!   synthetic streams).
+//! * [`fingerprint`] — short fingerprints derived from a full hash, used by
+//!   PIE's Space-Time Bloom Filter cells.
+//!
+//! All hashers here are deterministic across runs and platforms (given the
+//! same seed), which the experiment harness relies on for reproducibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bob;
+pub mod family;
+pub mod fingerprint;
+pub mod fx;
+
+pub use bob::{bob_hash_bytes, bob_hash_u64, BobHasher};
+pub use family::{HashFamily, SeededHash};
+pub use fingerprint::Fingerprint;
+pub use fx::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

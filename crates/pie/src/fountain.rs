@@ -1,0 +1,205 @@
+//! A systematic LT-style fountain code over GF(2), standing in for PIE's
+//! Raptor codes (see the crate docs for the substitution argument).
+//!
+//! The 64-bit item id is split into four 16-bit source blocks. Symbol `s`
+//! is the XOR of a non-empty subset of blocks chosen by a 4-bit *mask*
+//! derived from `s`: symbols 0–3 are **systematic** (mask = one block each,
+//! like Raptor's systematic prefix), later symbols use pseudo-random masks.
+//! Any set of symbols whose masks span GF(2)⁴ recovers the id by Gaussian
+//! elimination — four independent symbols suffice, mirroring Raptor's
+//! "slightly more than k symbols decode" property at our tiny k.
+
+use ltc_hash::bob_hash_u64;
+
+/// Number of 16-bit source blocks in a 64-bit id.
+pub const SOURCE_BLOCKS: usize = 4;
+
+/// The fountain code: pure functions of `(id, symbol index)` under a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FountainCode {
+    seed: u32,
+}
+
+impl FountainCode {
+    /// A code instance under `seed` (all encoders/decoders in one experiment
+    /// must share it).
+    pub const fn new(seed: u32) -> Self {
+        Self { seed }
+    }
+
+    /// The 4-bit non-zero block mask of symbol `s`.
+    #[inline]
+    pub fn mask(&self, s: u32) -> u8 {
+        if (s as usize) < SOURCE_BLOCKS {
+            1 << s // systematic prefix
+        } else {
+            let m = (bob_hash_u64(u64::from(s), self.seed) & 0xf) as u8;
+            if m == 0 {
+                0b1111
+            } else {
+                m
+            }
+        }
+    }
+
+    /// Encode symbol `s` of `id`: XOR of the masked 16-bit blocks.
+    #[inline]
+    pub fn encode(&self, id: u64, s: u32) -> u16 {
+        let mask = self.mask(s);
+        let mut out = 0u16;
+        for b in 0..SOURCE_BLOCKS {
+            if mask & (1 << b) != 0 {
+                out ^= (id >> (16 * b)) as u16;
+            }
+        }
+        out
+    }
+
+    /// Decode from `(symbol index, value)` equations by GF(2) Gauss–Jordan.
+    ///
+    /// Returns the unique id when the masks span all four blocks, `None`
+    /// when the system is underdetermined **or inconsistent** (inconsistency
+    /// means the equations mix two different items — collision noise — and
+    /// must not produce a bogus id).
+    pub fn decode(&self, equations: &[(u32, u16)]) -> Option<u64> {
+        // pivots[col]: a reduced row whose lowest set mask bit is `col`.
+        let mut pivots: [Option<(u8, u16)>; SOURCE_BLOCKS] = [None; SOURCE_BLOCKS];
+        for &(s, value) in equations {
+            let mut m = self.mask(s);
+            let mut v = value;
+            while m != 0 {
+                let col = m.trailing_zeros() as usize;
+                match pivots[col] {
+                    Some((pm, pv)) => {
+                        m ^= pm;
+                        v ^= pv;
+                    }
+                    None => {
+                        pivots[col] = Some((m, v));
+                        m = 0;
+                        v = 0;
+                    }
+                }
+            }
+            if v != 0 {
+                // 0 = v≠0: two distinct items' symbols got mixed.
+                return None;
+            }
+        }
+        // Back-substitute from the highest block down (each pivot's extra
+        // bits are strictly above its column).
+        let mut blocks = [0u16; SOURCE_BLOCKS];
+        for col in (0..SOURCE_BLOCKS).rev() {
+            let (pm, pv) = pivots[col]?;
+            let mut v = pv;
+            let mut rest = pm & !(1u8 << col);
+            while rest != 0 {
+                let c = rest.trailing_zeros() as usize;
+                v ^= blocks[c];
+                rest &= rest - 1;
+            }
+            blocks[col] = v;
+        }
+        let mut id = 0u64;
+        for (b, &block) in blocks.iter().enumerate() {
+            id |= u64::from(block) << (16 * b);
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IDS: [u64; 6] = [
+        0,
+        1,
+        0xdead_beef_cafe_f00d,
+        u64::MAX,
+        0x0123_4567_89ab_cdef,
+        42,
+    ];
+
+    #[test]
+    fn systematic_prefix_is_identity() {
+        let fc = FountainCode::new(9);
+        for &id in &IDS {
+            for s in 0..4u32 {
+                assert_eq!(fc.encode(id, s), (id >> (16 * s)) as u16);
+            }
+        }
+    }
+
+    #[test]
+    fn masks_nonzero() {
+        let fc = FountainCode::new(3);
+        for s in 0..1_000u32 {
+            assert_ne!(fc.mask(s), 0, "symbol {s}");
+            assert!(fc.mask(s) < 16);
+        }
+    }
+
+    #[test]
+    fn decode_from_systematic_symbols() {
+        let fc = FountainCode::new(1);
+        for &id in &IDS {
+            let eqs: Vec<(u32, u16)> = (0..4).map(|s| (s, fc.encode(id, s))).collect();
+            assert_eq!(fc.decode(&eqs), Some(id));
+        }
+    }
+
+    #[test]
+    fn decode_from_random_symbols() {
+        let fc = FountainCode::new(7);
+        for &id in &IDS {
+            // Symbols 10..30: masks are pseudo-random; 20 symbols span
+            // GF(2)^4 with overwhelming probability.
+            let eqs: Vec<(u32, u16)> = (10..30).map(|s| (s, fc.encode(id, s))).collect();
+            assert_eq!(fc.decode(&eqs), Some(id), "id {id:#x}");
+        }
+    }
+
+    #[test]
+    fn underdetermined_returns_none() {
+        let fc = FountainCode::new(7);
+        let id = 0x1111_2222_3333_4444u64;
+        // Two systematic symbols cover only blocks 0 and 1.
+        let eqs = vec![(0, fc.encode(id, 0)), (1, fc.encode(id, 1))];
+        assert_eq!(fc.decode(&eqs), None);
+    }
+
+    #[test]
+    fn inconsistent_mix_rejected() {
+        // Symbols from two different ids on the same symbol indices: the
+        // over-determined system must detect the contradiction.
+        let fc = FountainCode::new(7);
+        let (a, b) = (0xaaaa_bbbb_cccc_ddddu64, 0x1234_5678_9abc_def0u64);
+        let mut eqs: Vec<(u32, u16)> = (0..4).map(|s| (s, fc.encode(a, s))).collect();
+        eqs.extend((4..12).map(|s| (s, fc.encode(b, s))));
+        assert_eq!(fc.decode(&eqs), None, "mixed-item decode must fail");
+    }
+
+    #[test]
+    fn duplicate_symbols_are_harmless() {
+        let fc = FountainCode::new(7);
+        let id = 0x0f0f_1e1e_2d2d_3c3cu64;
+        let mut eqs: Vec<(u32, u16)> = (0..4).map(|s| (s, fc.encode(id, s))).collect();
+        eqs.extend_from_slice(&eqs.clone());
+        assert_eq!(fc.decode(&eqs), Some(id));
+    }
+
+    #[test]
+    fn roundtrip_random_subsets() {
+        // Any 8 consecutive symbol indices should decode (masks span w.h.p.;
+        // pinned deterministic since the code is seeded).
+        let fc = FountainCode::new(123);
+        let id = 0x9e37_79b9_7f4a_7c15u64;
+        for start in (0..200u32).step_by(13) {
+            let eqs: Vec<(u32, u16)> = (start..start + 8).map(|s| (s, fc.encode(id, s))).collect();
+            if let Some(got) = fc.decode(&eqs) {
+                assert_eq!(got, id, "start {start}");
+            }
+        }
+    }
+}

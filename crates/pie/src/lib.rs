@@ -1,0 +1,36 @@
+//! # ltc-pie — the PIE persistent-items baseline
+//!
+//! PIE ("Persistent Items in-stream Estimation"; the paper's state-of-the-art
+//! baseline \[16\] for finding top-k **persistent** items) works period by
+//! period:
+//!
+//! 1. during each period, distinct items are recorded in a **Space-Time
+//!    Bloom Filter** ([`stbf::Stbf`]) — an array of cells carrying a short
+//!    fingerprint and one *encoded fragment* of the item id; colliding cells
+//!    are marked unusable;
+//! 2. after the stream, the per-period filters are decoded jointly
+//!    ([`pie::Pie::decode`]): cells at the same index with the same
+//!    fingerprint across different periods belong (w.h.p.) to the same item,
+//!    and once enough independent fragments accumulate, the full id is
+//!    reconstructed; the number of contributing periods estimates the item's
+//!    persistency.
+//!
+//! **Substitution note** (see DESIGN.md §4): the original PIE encodes id
+//! fragments with Raptor codes. We use a systematic LT-style fountain code
+//! over GF(2) ([`fountain::FountainCode`]) with Gaussian-elimination
+//! decoding. The structural behaviour PIE's evaluation depends on is
+//! preserved: ids are spread across periods as rateless symbols, any
+//! sufficiently many clean cells recover the id, and accuracy collapses when
+//! memory (and thus clean-cell probability) is tight — exactly the regime
+//! the LTC paper exercises by granting PIE `T×` the memory of everyone else.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fountain;
+pub mod pie;
+pub mod stbf;
+
+pub use fountain::FountainCode;
+pub use pie::{Pie, PieConfig};
+pub use stbf::{Stbf, StbfCell};

@@ -1,0 +1,322 @@
+//! The PIE algorithm: one STBF per period + joint offline decoding.
+
+use crate::fountain::SOURCE_BLOCKS;
+use crate::stbf::{Stbf, STBF_CELL_BYTES};
+use ltc_common::{
+    top_k_of, Estimate, ItemId, MemoryBudget, MemoryUsage, SignificanceQuery, StreamProcessor,
+};
+use ltc_hash::{FxHashMap, FxHashSet};
+
+/// PIE configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PieConfig {
+    /// Cells in each period's STBF.
+    pub cells_per_period: usize,
+    /// Hash positions each item probes per period.
+    pub probes: usize,
+    /// Hash/fingerprint/code seed (shared by all periods).
+    pub seed: u64,
+}
+
+impl PieConfig {
+    /// Size the **per-period** filter for a memory budget (the paper grants
+    /// PIE `T×` the budget of the other algorithms — i.e. one full budget
+    /// per period; pass that per-period budget here).
+    pub fn with_memory_per_period(budget: MemoryBudget, probes: usize, seed: u64) -> Self {
+        Self {
+            cells_per_period: budget.entries(STBF_CELL_BYTES),
+            probes,
+            seed,
+        }
+    }
+}
+
+/// The PIE structure. Feed records with [`insert`](Pie::insert), close
+/// periods with [`end_period`](Pie::end_period), then [`decode`](Pie::decode)
+/// (or the [`SignificanceQuery`] methods, which decode on the fly) to
+/// recover persistent items.
+///
+/// # Examples
+///
+/// ```
+/// use ltc_pie::{Pie, PieConfig};
+///
+/// let mut pie = Pie::new(PieConfig { cells_per_period: 1024, probes: 2, seed: 1 });
+/// for _period in 0..8 {
+///     pie.insert(42); // every period → decodable, persistency 8
+///     pie.end_period();
+/// }
+/// let decoded = pie.decode();
+/// assert!(decoded.contains(&(42, 8)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pie {
+    config: PieConfig,
+    history: Vec<Stbf>,
+    current: Stbf,
+}
+
+impl Pie {
+    /// Create a PIE instance.
+    pub fn new(config: PieConfig) -> Self {
+        Self {
+            config,
+            history: Vec::new(),
+            current: Stbf::new(config.cells_per_period, config.probes, config.seed, 0),
+        }
+    }
+
+    /// Completed periods so far.
+    pub fn periods_completed(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Record one occurrence of `id` in the current period.
+    pub fn insert(&mut self, id: ItemId) {
+        self.current.insert(id);
+    }
+
+    /// Close the current period and open the next.
+    pub fn end_period(&mut self) {
+        let next_period = self.history.len() as u32 + 1;
+        let fresh = Stbf::new(
+            self.config.cells_per_period,
+            self.config.probes,
+            self.config.seed,
+            next_period,
+        );
+        self.history
+            .push(std::mem::replace(&mut self.current, fresh));
+    }
+
+    /// Joint decode over all recorded periods: returns `(id, persistency
+    /// estimate)` for every item whose id could be reconstructed.
+    ///
+    /// Cells are grouped by `(position, fingerprint)`; a group's symbols
+    /// across periods form a GF(2) system which — when solvable and
+    /// *verified* (fingerprint and probe positions re-checked against the
+    /// decoded id) — yields the id. The persistency estimate is the number
+    /// of distinct periods in which any of the item's cells was clean.
+    pub fn decode(&self) -> Vec<(ItemId, u64)> {
+        // (cell position, fingerprint) → [(period, symbol)].
+        let mut groups: FxHashMap<(u32, u32), Vec<(u32, u16)>> = FxHashMap::default();
+        for filter in self.history.iter().chain(std::iter::once(&self.current)) {
+            let period = filter.period();
+            for (pos, fp, symbol) in filter.clean_cells() {
+                groups
+                    .entry((pos as u32, fp))
+                    .or_default()
+                    .push((period, symbol));
+            }
+        }
+
+        let fingerprint = self.current.fingerprint();
+        let code = self.current.code();
+        let mut periods_of: FxHashMap<ItemId, FxHashSet<u32>> = FxHashMap::default();
+        for ((pos, fp), symbols) in &groups {
+            // Fewer symbols than source blocks can never span GF(2)^4.
+            if symbols.len() < SOURCE_BLOCKS {
+                continue;
+            }
+            let Some(id) = code.decode(symbols) else {
+                continue;
+            };
+            // Verification: the decoded id must actually produce this
+            // fingerprint and probe this cell; otherwise the group was
+            // cross-item noise that happened to be solvable.
+            if fingerprint.tag(id) != *fp {
+                continue;
+            }
+            if !self.current.positions(id).any(|p| p as u32 == *pos) {
+                continue;
+            }
+            let entry = periods_of.entry(id).or_default();
+            for &(period, _) in symbols {
+                entry.insert(period);
+            }
+        }
+
+        periods_of
+            .into_iter()
+            .map(|(id, periods)| (id, periods.len() as u64))
+            .collect()
+    }
+}
+
+impl StreamProcessor for Pie {
+    #[inline]
+    fn insert(&mut self, id: ItemId) {
+        Pie::insert(self, id);
+    }
+
+    fn end_period(&mut self) {
+        Pie::end_period(self);
+    }
+
+    fn name(&self) -> &'static str {
+        "PIE"
+    }
+}
+
+impl SignificanceQuery for Pie {
+    fn estimate(&self, id: ItemId) -> Option<f64> {
+        self.decode()
+            .into_iter()
+            .find(|&(d, _)| d == id)
+            .map(|(_, p)| p as f64)
+    }
+
+    fn top_k(&self, k: usize) -> Vec<Estimate> {
+        top_k_of(
+            self.decode()
+                .into_iter()
+                .map(|(id, p)| Estimate::new(id, p as f64))
+                .collect(),
+            k,
+        )
+    }
+}
+
+impl MemoryUsage for Pie {
+    fn memory_bytes(&self) -> usize {
+        (self.history.len() + 1) * self.config.cells_per_period * STBF_CELL_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pie(cells: usize) -> Pie {
+        Pie::new(PieConfig {
+            cells_per_period: cells,
+            probes: 2,
+            seed: 99,
+        })
+    }
+
+    #[test]
+    fn persistent_item_decoded_with_exact_persistency() {
+        let mut p = pie(1 << 10);
+        let persistent = 0xdead_beef_1234_5678u64;
+        for period in 0..12u64 {
+            for rep in 0..5u64 {
+                p.insert(persistent);
+                p.insert(1_000_000 + period * 10 + rep); // per-period noise
+            }
+            p.end_period();
+        }
+        let decoded = p.decode();
+        let hit = decoded.iter().find(|&&(id, _)| id == persistent);
+        let (_, pers) = hit.expect("persistent item not decoded");
+        assert_eq!(*pers, 12);
+    }
+
+    #[test]
+    fn short_lived_items_not_decodable() {
+        let mut p = pie(1 << 10);
+        let flash = 0xaaaa_bbbb_cccc_ddddu64;
+        // Appears in 2 periods < SOURCE_BLOCKS: cannot span GF(2)^4.
+        for period in 0..8u64 {
+            if period < 2 {
+                p.insert(flash);
+            }
+            p.insert(5_000 + period);
+            p.end_period();
+        }
+        assert!(
+            !p.decode().iter().any(|&(id, _)| id == flash),
+            "2-period item must be undecodable"
+        );
+    }
+
+    #[test]
+    fn decode_never_reports_ghost_ids() {
+        // Every decoded id must have actually been inserted.
+        let mut p = pie(128); // small: plenty of collisions
+        let mut inserted = std::collections::HashSet::new();
+        for period in 0..20u64 {
+            for i in 0..60u64 {
+                let id = (i * 2_654_435_761) ^ (period % 3);
+                p.insert(id);
+                inserted.insert(id);
+            }
+            p.end_period();
+        }
+        for (id, _) in p.decode() {
+            assert!(inserted.contains(&id), "ghost id {id:#x}");
+        }
+    }
+
+    #[test]
+    fn persistency_never_overestimated() {
+        let mut p = pie(1 << 9);
+        let mut truth: std::collections::HashMap<u64, u64> = Default::default();
+        for period in 0..16u64 {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..40u64 {
+                let id = i % 25 + if period % 2 == 0 { 0 } else { 10 };
+                p.insert(id);
+                if seen.insert(id) {
+                    *truth.entry(id).or_insert(0) += 1;
+                }
+            }
+            p.end_period();
+        }
+        for (id, pers) in p.decode() {
+            assert!(
+                pers <= truth[&id],
+                "id {id}: decoded persistency {pers} > true {}",
+                truth[&id]
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_ranks_by_persistency() {
+        let mut p = pie(1 << 10);
+        // id 101: every period; id 202: every other period. (An item seen in
+        // very few periods may not gather spanning symbols — that is PIE's
+        // designed behaviour, pinned by `short_lived_items_not_decodable`.)
+        for period in 0..16u64 {
+            p.insert(101);
+            if period % 2 == 0 {
+                p.insert(202);
+            }
+            p.end_period();
+        }
+        let top = p.top_k(2);
+        assert_eq!(top[0].id, 101);
+        assert_eq!(top[0].value, 16.0);
+        assert_eq!(top[1].id, 202);
+        assert_eq!(top[1].value, 8.0);
+    }
+
+    #[test]
+    fn tight_memory_collapses_decoding() {
+        // The effect the paper leans on: with tiny filters, collisions mark
+        // everything and PIE decodes (almost) nothing.
+        let mut p = pie(8);
+        for _period in 0..12u64 {
+            for i in 0..500u64 {
+                p.insert(i);
+            }
+            p.end_period();
+        }
+        assert!(
+            p.decode().len() < 5,
+            "tiny PIE should decode almost nothing, got {}",
+            p.decode().len()
+        );
+    }
+
+    #[test]
+    fn memory_grows_per_period() {
+        let mut p = pie(256);
+        let one = p.memory_bytes();
+        p.end_period();
+        p.end_period();
+        assert_eq!(p.memory_bytes(), 3 * one, "3 filters alive");
+        assert_eq!(one, 256 * 4);
+    }
+}

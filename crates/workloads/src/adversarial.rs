@@ -1,0 +1,214 @@
+//! Adversarial stream patterns — stress shapes the Zipf generator cannot
+//! produce, used by the differential tests to probe the algorithms where
+//! their assumptions are weakest.
+//!
+//! Long-tail Replacement explicitly *assumes* a long tail (§III-D,
+//! "Shortcoming: … may not work well for other distributions, such as the
+//! uniform distribution"); these patterns let tests and ablations measure
+//! exactly that edge:
+//!
+//! * [`round_robin`] — perfectly uniform frequencies, maximum eviction churn
+//!   (every bucket's cells tie, the worst case for "second smallest − 1");
+//! * [`all_distinct`] — every record is a new item: nothing is significant,
+//!   a structure must not invent heavy hitters;
+//! * [`sawtooth`] — items ramp up and vanish, so the recent loudest item is
+//!   never the most significant;
+//! * [`two_phase`] — the item population flips completely at half-stream
+//!   (a regime change: persistency splits into before/after cohorts).
+
+use crate::generator::GeneratedStream;
+use crate::spec::StreamSpec;
+use ltc_common::{ItemId, PeriodLayout};
+
+fn assemble(
+    name: &'static str,
+    period_bags: Vec<Vec<ItemId>>,
+    distinct_hint: u64,
+) -> GeneratedStream {
+    let total: usize = period_bags.iter().map(|b| b.len()).sum();
+    let periods = period_bags.len() as u64;
+    let mut records = Vec::with_capacity(total);
+    let mut period_sizes = Vec::with_capacity(period_bags.len());
+    for bag in period_bags {
+        period_sizes.push(bag.len());
+        records.extend(bag);
+    }
+    GeneratedStream {
+        records,
+        period_sizes,
+        layout: PeriodLayout::split_evenly(total.max(1) as u64, periods.max(1)),
+        spec: StreamSpec {
+            name,
+            total_records: total as u64,
+            distinct_items: distinct_hint,
+            periods,
+            zipf_skew: 0.0,
+            burst_fraction: 0.0,
+            periodic_fraction: 0.0,
+            seed: 0,
+        },
+    }
+}
+
+/// `items` ids cycled in order, `per_period` records per period for
+/// `periods` periods. Every item has (near-)identical frequency and
+/// persistency — the uniform distribution §III-D warns about.
+pub fn round_robin(items: u64, per_period: usize, periods: u64) -> GeneratedStream {
+    assert!(items > 0 && per_period > 0 && periods > 0);
+    let mut next = 0u64;
+    let bags = (0..periods)
+        .map(|_| {
+            (0..per_period)
+                .map(|_| {
+                    let id = next % items;
+                    next += 1;
+                    id
+                })
+                .collect()
+        })
+        .collect();
+    assemble("round-robin", bags, items)
+}
+
+/// Every record a brand-new id.
+pub fn all_distinct(per_period: usize, periods: u64) -> GeneratedStream {
+    assert!(per_period > 0 && periods > 0);
+    let mut next = 0u64;
+    let bags = (0..periods)
+        .map(|_| {
+            (0..per_period)
+                .map(|_| {
+                    next += 1;
+                    next
+                })
+                .collect()
+        })
+        .collect();
+    assemble("all-distinct", bags, per_period as u64 * periods)
+}
+
+/// Each period, one "tooth" item floods `ramp` records then never returns;
+/// a quiet `anchor` item appears `anchor_rate` times every period. The
+/// anchor is the only persistent item; every tooth outshouts it locally.
+pub fn sawtooth(ramp: usize, anchor_rate: usize, periods: u64) -> GeneratedStream {
+    assert!(ramp > 0 && anchor_rate > 0 && periods > 0);
+    const ANCHOR: ItemId = 0;
+    let bags = (0..periods)
+        .map(|p| {
+            let tooth = 1_000_000 + p;
+            let mut bag = vec![tooth; ramp];
+            bag.extend(std::iter::repeat_n(ANCHOR, anchor_rate));
+            // Interleave so the anchor is not clustered at the period end.
+            let mut out = Vec::with_capacity(bag.len());
+            let step = (bag.len() / anchor_rate).max(1);
+            let (teeth, anchors) = bag.split_at(ramp);
+            let mut ti = teeth.iter();
+            for (i, _) in anchors.iter().enumerate() {
+                out.extend(ti.by_ref().take(step - 1).copied());
+                out.push(ANCHOR);
+                let _ = i;
+            }
+            out.extend(ti.copied());
+            out
+        })
+        .collect();
+    assemble("sawtooth", bags, periods + 1)
+}
+
+/// Cohort A is the entire stream for the first half of the periods, cohort
+/// B for the second half. `items_per_cohort` ids each, uniform within the
+/// cohort.
+pub fn two_phase(items_per_cohort: u64, per_period: usize, periods: u64) -> GeneratedStream {
+    assert!(items_per_cohort > 0 && per_period > 0 && periods >= 2);
+    let bags = (0..periods)
+        .map(|p| {
+            let base = if p < periods / 2 { 0 } else { 1_000_000 };
+            (0..per_period)
+                .map(|i| base + (i as u64 % items_per_cohort))
+                .collect()
+        })
+        .collect();
+    assemble("two-phase", bags, 2 * items_per_cohort)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn freq(stream: &GeneratedStream) -> HashMap<ItemId, u64> {
+        let mut m = HashMap::new();
+        for &id in &stream.records {
+            *m.entry(id).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn round_robin_is_uniform() {
+        let s = round_robin(10, 100, 5);
+        assert_eq!(s.len(), 500);
+        let f = freq(&s);
+        assert_eq!(f.len(), 10);
+        assert!(f.values().all(|&c| c == 50), "{f:?}");
+    }
+
+    #[test]
+    fn all_distinct_never_repeats() {
+        let s = all_distinct(50, 4);
+        let set: HashSet<_> = s.records.iter().collect();
+        assert_eq!(set.len(), s.len());
+    }
+
+    #[test]
+    fn sawtooth_anchor_in_every_period_teeth_in_one() {
+        let s = sawtooth(90, 10, 6);
+        let mut anchor_periods = 0;
+        let mut tooth_period_counts: HashMap<ItemId, usize> = HashMap::new();
+        for period in s.periods() {
+            if period.contains(&0) {
+                anchor_periods += 1;
+            }
+            for &id in period.iter().collect::<HashSet<_>>() {
+                if id != 0 {
+                    *tooth_period_counts.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        assert_eq!(anchor_periods, 6, "anchor persistent");
+        assert!(
+            tooth_period_counts.values().all(|&c| c == 1),
+            "teeth one-shot"
+        );
+        // Each tooth is locally louder than the anchor.
+        let f = freq(&s);
+        assert!(f[&1_000_000] > f[&0] / 6 * 5);
+    }
+
+    #[test]
+    fn two_phase_cohorts_disjoint() {
+        let s = two_phase(20, 60, 8);
+        let first: HashSet<_> = s.periods().take(4).flatten().copied().collect();
+        let second: HashSet<_> = s.periods().skip(4).flatten().copied().collect();
+        assert!(first.iter().all(|id| *id < 1_000_000));
+        assert!(second.iter().all(|id| *id >= 1_000_000));
+    }
+
+    #[test]
+    fn period_sizes_consistent() {
+        for s in [
+            round_robin(5, 30, 3),
+            all_distinct(30, 3),
+            sawtooth(20, 5, 3),
+            two_phase(5, 30, 4),
+        ] {
+            assert_eq!(
+                s.period_sizes.iter().sum::<usize>(),
+                s.len(),
+                "{}",
+                s.spec.name
+            );
+            assert_eq!(s.periods().count() as u64, s.spec.periods);
+        }
+    }
+}

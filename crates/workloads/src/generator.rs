@@ -1,0 +1,279 @@
+//! Stream assembly: Zipf frequencies × temporal patterns → a shuffled,
+//! period-ordered record vector.
+
+use crate::spec::StreamSpec;
+use crate::temporal::TemporalPattern;
+use crate::zipf::ZipfCounts;
+use ltc_common::{ItemId, PeriodLayout};
+use ltc_hash::bob_hash_u64;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A fully materialised stream plus its period boundaries.
+///
+/// Period sizes *vary* (as in a real trace cut into fixed time windows:
+/// bursts make some windows heavier) — `period_sizes` records the true
+/// boundaries the harness drives `end_period` from, while `layout` carries
+/// the nominal `N/T` count used to configure count-driven CLOCK stepping.
+#[derive(Debug, Clone)]
+pub struct GeneratedStream {
+    /// Records in arrival order.
+    pub records: Vec<ItemId>,
+    /// Records in each period, in order; sums to `records.len()`.
+    pub period_sizes: Vec<usize>,
+    /// The nominal count-driven layout (`N/T` records per period).
+    pub layout: PeriodLayout,
+    /// The spec this stream was generated from.
+    pub spec: StreamSpec,
+}
+
+impl GeneratedStream {
+    /// Iterate the records of each period in order.
+    pub fn periods(&self) -> impl Iterator<Item = &[ItemId]> {
+        let mut rest = self.records.as_slice();
+        self.period_sizes.iter().map(move |&n| {
+            let (head, tail) = rest.split_at(n);
+            rest = tail;
+            head
+        })
+    }
+
+    /// Total records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Map a frequency rank to a pseudo-random, collision-free-w.h.p. 64-bit id
+/// so that item ids carry no rank information (mixing `seed` keeps distinct
+/// datasets disjoint).
+#[inline]
+pub fn rank_to_id(rank: u64, seed: u64) -> ItemId {
+    bob_hash_u64(rank, seed as u32) ^ (seed << 1)
+}
+
+/// Generate the stream described by `spec`. Deterministic in `spec.seed`.
+///
+/// # Examples
+///
+/// ```
+/// use ltc_workloads::{generate, StreamSpec};
+///
+/// let spec = StreamSpec {
+///     name: "demo", total_records: 10_000, distinct_items: 1_000,
+///     periods: 10, zipf_skew: 1.0,
+///     burst_fraction: 0.2, periodic_fraction: 0.1, seed: 7,
+/// };
+/// let stream = generate(&spec);
+/// assert_eq!(stream.len(), 10_000);
+/// assert_eq!(stream.periods().count(), 10);
+/// ```
+///
+/// Construction:
+/// 1. exact Zipf frequencies per rank ([`ZipfCounts`]);
+/// 2. a temporal pattern per item ([`TemporalPattern::sample`]);
+/// 3. each item's occurrences spread uniformly over its active periods;
+/// 4. every period's bag of records shuffled (Fisher–Yates).
+pub fn generate(spec: &StreamSpec) -> GeneratedStream {
+    let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let zipf = ZipfCounts::new(spec.total_records, spec.distinct_items, spec.zipf_skew);
+    let t = spec.periods;
+
+    // Period buckets, pre-sized to the expected share.
+    let expected = (spec.total_records / t + 1) as usize;
+    let mut periods: Vec<Vec<ItemId>> = (0..t).map(|_| Vec::with_capacity(expected)).collect();
+
+    for rank in 0..zipf.len() {
+        let id = rank_to_id(rank as u64, spec.seed);
+        let f = zipf.count(rank);
+        let pattern =
+            TemporalPattern::sample(&mut rng, t, spec.burst_fraction, spec.periodic_fraction);
+        let active = pattern.active_periods(t);
+        debug_assert!(!active.is_empty());
+        // Multinomial spreading: each occurrence lands in a uniformly random
+        // active period. (Deterministic even spreading would tie hundreds of
+        // items at persistency == |active| exactly, which real traces do not
+        // do and which makes top-k-by-persistency ill-defined.)
+        for _ in 0..f {
+            let p = active[rng.gen_range(0..active.len())];
+            periods[p as usize].push(id);
+        }
+    }
+
+    let mut records = Vec::with_capacity(spec.total_records as usize);
+    let mut period_sizes = Vec::with_capacity(periods.len());
+    for bag in &mut periods {
+        bag.shuffle(&mut rng);
+        period_sizes.push(bag.len());
+        records.append(bag);
+    }
+    debug_assert_eq!(records.len() as u64, spec.total_records);
+
+    GeneratedStream {
+        records,
+        period_sizes,
+        layout: spec.layout(),
+        spec: *spec,
+    }
+}
+
+/// Convenience: a plain Zipf stream with uniform occupancy (used by the
+/// theory-validation experiments, which assume the §IV model).
+pub fn zipf_stream(
+    total: u64,
+    distinct: u64,
+    skew: f64,
+    periods: u64,
+    seed: u64,
+) -> GeneratedStream {
+    generate(&StreamSpec {
+        name: "zipf",
+        total_records: total,
+        distinct_items: distinct,
+        periods,
+        zipf_skew: skew,
+        burst_fraction: 0.0,
+        periodic_fraction: 0.0,
+        seed,
+    })
+}
+
+/// Draw `n` records i.i.d. from a Zipf distribution (sampled, not exact) —
+/// used by throughput benches where arrival order must look like a live
+/// stream rather than a rebalanced trace.
+pub fn zipf_samples(n: usize, distinct: u64, skew: f64, seed: u64) -> Vec<ItemId> {
+    let zipf = ZipfCounts::new(n as u64 * 4, distinct, skew);
+    // Cumulative weights for inversion sampling.
+    let mut cum = Vec::with_capacity(zipf.len());
+    let mut acc = 0u64;
+    for &c in zipf.counts() {
+        acc += c;
+        cum.push(acc);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.gen_range(0..acc);
+            let rank = cum.partition_point(|&c| c <= x);
+            rank_to_id(rank as u64, seed)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn small_spec() -> StreamSpec {
+        StreamSpec {
+            name: "small",
+            total_records: 20_000,
+            distinct_items: 2_000,
+            periods: 40,
+            zipf_skew: 1.0,
+            burst_fraction: 0.25,
+            periodic_fraction: 0.15,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(&small_spec());
+        let b = generate(&small_spec());
+        assert_eq!(a.records, b.records);
+        let c = generate(&small_spec().with_seed(12));
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn conserves_total_and_zipf_frequencies() {
+        let s = generate(&small_spec());
+        assert_eq!(s.len(), 20_000);
+        let mut freq: HashMap<ItemId, u64> = HashMap::new();
+        for &id in &s.records {
+            *freq.entry(id).or_insert(0) += 1;
+        }
+        let zipf = ZipfCounts::new(20_000, 2_000, 1.0);
+        let mut observed: Vec<u64> = freq.values().copied().collect();
+        observed.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(observed.len(), zipf.len(), "distinct-item count");
+        assert_eq!(observed, zipf.counts(), "frequency vector must be exact");
+    }
+
+    #[test]
+    fn bursty_items_have_low_persistency() {
+        // With burst_fraction = 1 every item is confined to ≤ T/20-ish
+        // periods; persistency must reflect that.
+        let spec = StreamSpec {
+            burst_fraction: 1.0,
+            periodic_fraction: 0.0,
+            ..small_spec()
+        };
+        let s = generate(&spec);
+        let mut pers: HashMap<ItemId, HashSet<usize>> = HashMap::new();
+        for (i, chunk) in s.periods().enumerate() {
+            for &id in chunk {
+                pers.entry(id).or_default().insert(i);
+            }
+        }
+        let max_p = pers.values().map(|s| s.len()).max().unwrap();
+        // Burst windows are capped at max(2, T/20) = 2 periods.
+        assert!(max_p <= 2, "bursty item persisted {max_p} periods");
+    }
+
+    #[test]
+    fn uniform_heavy_items_are_persistent() {
+        let spec = StreamSpec {
+            burst_fraction: 0.0,
+            periodic_fraction: 0.0,
+            ..small_spec()
+        };
+        let s = generate(&spec);
+        // The heaviest item (500 occurrences over 40 periods) appears in
+        // essentially every period.
+        let heavy = rank_to_id(0, spec.seed);
+        let active = s.periods().filter(|chunk| chunk.contains(&heavy)).count();
+        assert_eq!(active, 40, "heavy uniform item must be in every period");
+    }
+
+    #[test]
+    fn ids_are_scrambled() {
+        // Rank order must not leak into id order.
+        let ids: Vec<ItemId> = (0..100).map(|r| rank_to_id(r, 7)).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_ne!(ids, sorted);
+        let distinct: HashSet<_> = ids.iter().collect();
+        assert_eq!(distinct.len(), 100, "id collision in rank_to_id");
+    }
+
+    #[test]
+    fn zipf_samples_skew_toward_head() {
+        let samples = zipf_samples(50_000, 1_000, 1.2, 3);
+        let mut freq: HashMap<ItemId, usize> = HashMap::new();
+        for &id in &samples {
+            *freq.entry(id).or_insert(0) += 1;
+        }
+        let head = freq[&rank_to_id(0, 3)];
+        assert!(
+            head > 50_000 / 20,
+            "head rank got {head} of 50000 — not skewed"
+        );
+    }
+
+    #[test]
+    fn periods_iterator_covers_stream() {
+        let s = generate(&small_spec());
+        let total: usize = s.periods().map(|p| p.len()).sum();
+        assert_eq!(total, s.len());
+        assert_eq!(s.periods().count(), 40);
+    }
+}

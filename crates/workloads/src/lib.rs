@@ -1,0 +1,37 @@
+//! # ltc-workloads — synthetic streams mirroring the paper's datasets
+//!
+//! The paper evaluates on three real traces (CAIDA 2016, a stack-exchange
+//! interaction network, a social-network message log). Those traces are not
+//! redistributable, so this crate generates synthetic equivalents that
+//! reproduce the two properties every compared algorithm is actually
+//! sensitive to (DESIGN.md §4):
+//!
+//! 1. **long-tailed frequencies** — item counts follow Zipf with the
+//!    dataset-appropriate skew (the paper's own Fig. 6 verifies exactly this
+//!    and nothing more about the datasets);
+//! 2. **structured temporal occupancy** — items are *uniform* (present
+//!    throughout), *bursty* (concentrated in a window of periods: frequent
+//!    but not persistent), or *periodic* (regular but sparse: persistent but
+//!    not frequent), so that frequency and persistency genuinely diverge —
+//!    the situation the significant-items problem exists for.
+//!
+//! Entry points: the [`profiles`] functions for the paper's three datasets,
+//! or [`spec::StreamSpec`] + [`generator::generate`] for custom sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod generator;
+pub mod profiles;
+pub mod spec;
+pub mod temporal;
+pub mod trace;
+pub mod zipf;
+
+pub use generator::{generate, GeneratedStream};
+pub use profiles::{caida_like, network_like, social_like};
+pub use spec::StreamSpec;
+pub use temporal::TemporalPattern;
+pub use trace::{read_csv, read_trace, write_trace, CsvRecord, TraceError};
+pub use zipf::ZipfCounts;

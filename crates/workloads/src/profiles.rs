@@ -1,0 +1,112 @@
+//! Dataset profiles mirroring the paper's three traces (§V-B).
+//!
+//! Sizes, period counts and skews follow the paper's descriptions; skews are
+//! chosen per the typical published measurements of each trace family (IP
+//! traffic is heavily skewed, Q&A interaction graphs flatter, social message
+//! senders in between-to-heavy). The experiments only rely on the long-tail
+//! property, which the paper itself verifies (Fig. 6) — see DESIGN.md §4.
+
+use crate::spec::StreamSpec;
+
+/// CAIDA-like: "Anonymized Internet Trace 2016 … 10M packets … 500 periods",
+/// item = source IP. Internet flow sizes are strongly heavy-tailed.
+pub fn caida_like() -> StreamSpec {
+    StreamSpec {
+        name: "CAIDA",
+        total_records: 10_000_000,
+        distinct_items: 400_000,
+        periods: 500,
+        zipf_skew: 1.1,
+        burst_fraction: 0.30,
+        periodic_fraction: 0.05,
+        seed: 0xca1d_a201,
+    }
+}
+
+/// Network-like: "temporal network of interactions on the stack exchange web
+/// site … 10M items … 1000 periods", item = answering user. Human activity:
+/// flatter tail, strong burstiness (threads flare and die).
+pub fn network_like() -> StreamSpec {
+    StreamSpec {
+        name: "Network",
+        total_records: 10_000_000,
+        distinct_items: 1_500_000,
+        periods: 1_000,
+        zipf_skew: 0.9,
+        burst_fraction: 0.45,
+        periodic_fraction: 0.10,
+        seed: 0x5e7_0f1a,
+    }
+}
+
+/// Social-like: "real social network … users' messages … 1.5M messages …
+/// 200 periods", item = sender. Message volume per user is very skewed.
+pub fn social_like() -> StreamSpec {
+    StreamSpec {
+        name: "Social",
+        total_records: 1_500_000,
+        distinct_items: 250_000,
+        periods: 200,
+        zipf_skew: 1.3,
+        burst_fraction: 0.25,
+        periodic_fraction: 0.10,
+        seed: 0x50c1_a100,
+    }
+}
+
+/// All three profiles, in the order the paper's figures present them.
+pub fn all() -> [StreamSpec; 3] {
+    [caida_like(), network_like(), social_like()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    #[test]
+    fn sizes_match_paper() {
+        let c = caida_like();
+        assert_eq!((c.total_records, c.periods), (10_000_000, 500));
+        let n = network_like();
+        assert_eq!((n.total_records, n.periods), (10_000_000, 1_000));
+        let s = social_like();
+        assert_eq!((s.total_records, s.periods), (1_500_000, 200));
+    }
+
+    #[test]
+    fn names_distinct() {
+        let names: std::collections::HashSet<_> = all().iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn scaled_profiles_generate_quickly() {
+        // The test-size variants must stay cheap: 100× down-scale.
+        for spec in all() {
+            let s = generate(&spec.scaled_down(100));
+            assert_eq!(s.len() as u64, spec.total_records / 100);
+        }
+    }
+
+    #[test]
+    fn long_tail_property_holds() {
+        // The property Fig. 6 verifies on the real traces: top items
+        // dominate. Top-20 of the scaled CAIDA profile should hold a large
+        // multiple of 20 average shares.
+        let spec = caida_like().scaled_down(100);
+        let s = generate(&spec);
+        let mut freq = std::collections::HashMap::new();
+        for &id in &s.records {
+            *freq.entry(id).or_insert(0u64) += 1;
+        }
+        let mut counts: Vec<u64> = freq.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top20: u64 = counts.iter().take(20).sum();
+        let avg20 = 20 * s.len() as u64 / counts.len() as u64;
+        assert!(
+            top20 > 20 * avg20,
+            "no long tail: top20 {top20} vs 20×avg {avg20}"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Workload specifications.
+
+use ltc_common::PeriodLayout;
+
+/// Full description of a synthetic stream. Feed to
+/// [`crate::generator::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSpec {
+    /// Human-readable name for experiment tables.
+    pub name: &'static str,
+    /// Total records `N`.
+    pub total_records: u64,
+    /// Nominal distinct items `M` (the realised count can be smaller: tail
+    /// ranks with a rounded share of zero are trimmed).
+    pub distinct_items: u64,
+    /// Number of periods `T`.
+    pub periods: u64,
+    /// Zipf skew γ.
+    pub zipf_skew: f64,
+    /// Fraction of items with bursty occupancy.
+    pub burst_fraction: f64,
+    /// Fraction of items with periodic occupancy.
+    pub periodic_fraction: f64,
+    /// RNG / id-hashing seed.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// The period layout induced by this spec (count-driven, `N/T` records
+    /// per period).
+    pub fn layout(&self) -> PeriodLayout {
+        PeriodLayout::split_evenly(self.total_records, self.periods)
+    }
+
+    /// A proportionally shrunken copy — same shape, `factor×` fewer records,
+    /// items and periods (≥ 1 each). Unit/integration tests use scaled-down
+    /// profiles; benches use the full sizes.
+    pub fn scaled_down(mut self, factor: u64) -> Self {
+        assert!(factor > 0);
+        self.total_records = (self.total_records / factor).max(1);
+        self.distinct_items = (self.distinct_items / factor).max(1);
+        self.periods = (self.periods / factor.min(self.periods)).max(1);
+        self
+    }
+
+    /// Copy with a different seed (for multi-trial experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Copy with a different period count (for the vary-T ablation).
+    pub fn with_periods(mut self, periods: u64) -> Self {
+        assert!(periods > 0);
+        self.periods = periods;
+        self
+    }
+
+    /// Copy with a different skew (for the Zipf-sweep ablation).
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        self.zipf_skew = skew;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> StreamSpec {
+        StreamSpec {
+            name: "test",
+            total_records: 10_000,
+            distinct_items: 1_000,
+            periods: 100,
+            zipf_skew: 1.0,
+            burst_fraction: 0.2,
+            periodic_fraction: 0.1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn layout_divides_evenly() {
+        let l = spec().layout();
+        assert_eq!(l.records_per_period(), Some(100));
+        assert_eq!(l.total_periods(), 100);
+    }
+
+    #[test]
+    fn scaled_down_preserves_shape() {
+        let s = spec().scaled_down(10);
+        assert_eq!(s.total_records, 1_000);
+        assert_eq!(s.distinct_items, 100);
+        assert_eq!(s.periods, 10);
+        assert_eq!(s.zipf_skew, 1.0);
+    }
+
+    #[test]
+    fn scaled_down_never_zero() {
+        let s = spec().scaled_down(1_000_000);
+        assert!(s.total_records >= 1 && s.distinct_items >= 1 && s.periods >= 1);
+    }
+
+    #[test]
+    fn with_modifiers() {
+        let s = spec().with_seed(9).with_periods(50).with_skew(0.6);
+        assert_eq!((s.seed, s.periods, s.zipf_skew), (9, 50, 0.6));
+    }
+}

@@ -1,0 +1,144 @@
+//! Temporal occupancy patterns: *when* an item's occurrences happen.
+//!
+//! Frequency and persistency only diverge when items differ in how their
+//! mass spreads over periods. Three archetypes cover the paper's motivating
+//! cases (§I-A use cases: DDoS bursts vs. sustained attack flows, fad
+//! websites vs. evergreen ones, bursty flows vs. stable elephants):
+//!
+//! * [`TemporalPattern::Uniform`] — active in every period;
+//! * [`TemporalPattern::Burst`] — active only in a contiguous window
+//!   (frequent but not persistent);
+//! * [`TemporalPattern::Periodic`] — active every `stride`-th period
+//!   (persistent-leaning but spread thin).
+
+use rand::Rng;
+
+/// An item's period-activity pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalPattern {
+    /// Active in all `T` periods.
+    Uniform,
+    /// Active in periods `[start, start + len)`.
+    Burst {
+        /// First active period.
+        start: u64,
+        /// Window length (≥ 1).
+        len: u64,
+    },
+    /// Active in periods `≡ phase (mod stride)`.
+    Periodic {
+        /// Offset of the first active period.
+        phase: u64,
+        /// Gap between active periods (≥ 1).
+        stride: u64,
+    },
+}
+
+impl TemporalPattern {
+    /// Whether the pattern is active in `period` (of `total` periods).
+    #[inline]
+    pub fn active_in(&self, period: u64, total: u64) -> bool {
+        debug_assert!(period < total);
+        match *self {
+            TemporalPattern::Uniform => true,
+            TemporalPattern::Burst { start, len } => {
+                period >= start && period < start.saturating_add(len)
+            }
+            TemporalPattern::Periodic { phase, stride } => period % stride == phase % stride,
+        }
+    }
+
+    /// The active periods, materialised (used to spread an item's
+    /// occurrences). Always non-empty for valid patterns within `total`.
+    pub fn active_periods(&self, total: u64) -> Vec<u64> {
+        (0..total).filter(|&p| self.active_in(p, total)).collect()
+    }
+
+    /// Sample a pattern mix: `burst_fraction` of items burst,
+    /// `periodic_fraction` cycle, the rest are uniform.
+    pub fn sample<R: Rng>(
+        rng: &mut R,
+        total_periods: u64,
+        burst_fraction: f64,
+        periodic_fraction: f64,
+    ) -> Self {
+        debug_assert!(burst_fraction + periodic_fraction <= 1.0 + 1e-12);
+        let roll: f64 = rng.gen();
+        if roll < burst_fraction {
+            // Short windows: 1..max(2, T/20) periods.
+            let max_len = (total_periods / 20).max(2);
+            let len = rng.gen_range(1..=max_len);
+            let start = rng.gen_range(0..total_periods.saturating_sub(len).max(1));
+            TemporalPattern::Burst { start, len }
+        } else if roll < burst_fraction + periodic_fraction {
+            let stride = rng.gen_range(2..=4u64.min(total_periods.max(2)));
+            let phase = rng.gen_range(0..stride);
+            TemporalPattern::Periodic { phase, stride }
+        } else {
+            TemporalPattern::Uniform
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_active_everywhere() {
+        let p = TemporalPattern::Uniform;
+        assert_eq!(p.active_periods(10).len(), 10);
+    }
+
+    #[test]
+    fn burst_window_respected() {
+        let p = TemporalPattern::Burst { start: 3, len: 2 };
+        assert_eq!(p.active_periods(10), vec![3, 4]);
+        assert!(!p.active_in(2, 10));
+        assert!(p.active_in(3, 10));
+        assert!(!p.active_in(5, 10));
+    }
+
+    #[test]
+    fn burst_clamps_at_end() {
+        let p = TemporalPattern::Burst { start: 8, len: 100 };
+        assert_eq!(p.active_periods(10), vec![8, 9]);
+    }
+
+    #[test]
+    fn periodic_stride() {
+        let p = TemporalPattern::Periodic {
+            phase: 1,
+            stride: 3,
+        };
+        assert_eq!(p.active_periods(10), vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn sample_respects_fractions() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut bursts = 0;
+        let mut periodic = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            match TemporalPattern::sample(&mut rng, 100, 0.3, 0.2) {
+                TemporalPattern::Burst { .. } => bursts += 1,
+                TemporalPattern::Periodic { .. } => periodic += 1,
+                TemporalPattern::Uniform => {}
+            }
+        }
+        assert!((2_700..=3_300).contains(&bursts), "bursts {bursts}");
+        assert!((1_700..=2_300).contains(&periodic), "periodic {periodic}");
+    }
+
+    #[test]
+    fn sampled_patterns_always_have_active_periods() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..2_000 {
+            let p = TemporalPattern::sample(&mut rng, 37, 0.4, 0.3);
+            assert!(!p.active_periods(37).is_empty(), "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Trace file I/O: persist generated streams and ingest external traces.
+//!
+//! Two formats:
+//!
+//! * **Binary trace** (`.ltct`) — the exact `GeneratedStream` (records +
+//!   period boundaries), so experiments can be re-run bit-identically or a
+//!   slow-to-generate stream shared between benchmark processes. Compact:
+//!   varint-free fixed `u64`s, one pass, no dependencies.
+//! * **CSV/TSV ingestion** — `key[,timestamp]` lines, the shape of real
+//!   exports (a CAIDA packet dump reduced to source IPs, a message log
+//!   reduced to senders). Keys that parse as `u64` are taken verbatim;
+//!   anything else is Bob-hashed to an id. With timestamps, periods are cut
+//!   time-driven; without, count-driven.
+
+use crate::generator::GeneratedStream;
+use crate::spec::StreamSpec;
+use ltc_common::{ItemId, PeriodLayout};
+use ltc_hash::bob_hash_bytes;
+use std::io::{self, BufRead, Read, Write};
+
+const MAGIC: &[u8; 4] = b"LTCT";
+
+/// Errors reading a binary trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a trace file / unsupported version.
+    BadMagic,
+    /// Structurally invalid (counts don't add up).
+    Corrupt(&'static str),
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not an LTC trace file"),
+            TraceError::Corrupt(what) => write!(f, "corrupt trace: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Write a stream as a binary trace.
+///
+/// Layout: magic, record count `u64`, period count `u64`, period sizes
+/// (`u64` each), records (`u64` each). Little-endian throughout.
+pub fn write_trace<W: Write>(stream: &GeneratedStream, mut out: W) -> io::Result<()> {
+    out.write_all(MAGIC)?;
+    out.write_all(&(stream.records.len() as u64).to_le_bytes())?;
+    out.write_all(&(stream.period_sizes.len() as u64).to_le_bytes())?;
+    for &n in &stream.period_sizes {
+        out.write_all(&(n as u64).to_le_bytes())?;
+    }
+    for &id in &stream.records {
+        out.write_all(&id.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Read a binary trace written by [`write_trace`]. The returned stream's
+/// `spec` is a placeholder describing the trace file (the original spec is
+/// not stored; layouts and records are).
+pub fn read_trace<R: Read>(mut input: R) -> Result<GeneratedStream, TraceError> {
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let total = read_u64(&mut input)? as usize;
+    let periods = read_u64(&mut input)? as usize;
+    if periods == 0 {
+        return Err(TraceError::Corrupt("zero periods"));
+    }
+    let mut period_sizes = Vec::with_capacity(periods);
+    let mut sum = 0usize;
+    for _ in 0..periods {
+        let n = read_u64(&mut input)? as usize;
+        sum += n;
+        period_sizes.push(n);
+    }
+    if sum != total {
+        return Err(TraceError::Corrupt("period sizes do not sum to total"));
+    }
+    let mut records = Vec::with_capacity(total);
+    for _ in 0..total {
+        records.push(read_u64(&mut input)?);
+    }
+    let spec = StreamSpec {
+        name: "trace-file",
+        total_records: total as u64,
+        distinct_items: 0, // unknown without a scan; oracle recomputes
+        periods: periods as u64,
+        zipf_skew: f64::NAN,
+        burst_fraction: f64::NAN,
+        periodic_fraction: f64::NAN,
+        seed: 0,
+    };
+    Ok(GeneratedStream {
+        records,
+        period_sizes,
+        layout: PeriodLayout::split_evenly(total.max(1) as u64, periods as u64),
+        spec,
+    })
+}
+
+/// Parse one CSV/TSV field into an item id: decimal `u64`s verbatim,
+/// anything else Bob-hashed (seeded so distinct keys collide only at the
+/// 2⁻⁶⁴ birthday level).
+pub fn key_to_id(field: &str) -> ItemId {
+    let field = field.trim();
+    field
+        .parse::<u64>()
+        .unwrap_or_else(|_| bob_hash_bytes(field.as_bytes(), 0x1d5e))
+}
+
+/// One parsed ingestion record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsvRecord {
+    /// The item id (parsed or hashed).
+    pub id: ItemId,
+    /// Timestamp, if the line had a second field.
+    pub time: Option<u64>,
+}
+
+/// Ingest `key[,timestamp]` lines (comma, tab or whitespace separated).
+/// Empty lines and `#` comments are skipped. Returns an error message with
+/// line number for malformed timestamps.
+pub fn read_csv<R: BufRead>(input: R) -> Result<Vec<CsvRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(2, [',', '\t', ' ']);
+        let key = parts.next().expect("splitn yields at least one part");
+        let time = match parts.next() {
+            Some(t) if !t.trim().is_empty() => Some(
+                t.trim()
+                    .parse::<u64>()
+                    .map_err(|e| format!("line {}: bad timestamp {t:?}: {e}", lineno + 1))?,
+            ),
+            _ => None,
+        };
+        out.push(CsvRecord {
+            id: key_to_id(key),
+            time,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    fn small() -> GeneratedStream {
+        generate(&StreamSpec {
+            name: "t",
+            total_records: 5_000,
+            distinct_items: 500,
+            periods: 10,
+            zipf_skew: 1.0,
+            burst_fraction: 0.2,
+            periodic_fraction: 0.1,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let stream = small();
+        let mut buf = Vec::new();
+        write_trace(&stream, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.records, stream.records);
+        assert_eq!(back.period_sizes, stream.period_sizes);
+        assert_eq!(back.layout.total_periods(), 10);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            read_trace(&b"NOPE            "[..]),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let stream = small();
+        let mut buf = Vec::new();
+        write_trace(&stream, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(read_trace(&buf[..]), Err(TraceError::Io(_))));
+    }
+
+    #[test]
+    fn inconsistent_sizes_detected() {
+        // Hand-craft a header whose period sizes exceed the record count.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"LTCT");
+        buf.extend_from_slice(&2u64.to_le_bytes()); // total = 2
+        buf.extend_from_slice(&1u64.to_le_bytes()); // periods = 1
+        buf.extend_from_slice(&5u64.to_le_bytes()); // size 5 != 2
+        assert!(matches!(read_trace(&buf[..]), Err(TraceError::Corrupt(_))));
+    }
+
+    #[test]
+    fn csv_parses_keys_and_timestamps() {
+        let input = "42,100\nalice,200\n# comment\n\n7\t300\nbare-key\n";
+        let recs = read_csv(io::BufReader::new(input.as_bytes())).unwrap();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(
+            recs[0],
+            CsvRecord {
+                id: 42,
+                time: Some(100)
+            }
+        );
+        assert_eq!(recs[1].time, Some(200));
+        assert_ne!(recs[1].id, 0, "string key hashed");
+        assert_eq!(
+            recs[2],
+            CsvRecord {
+                id: 7,
+                time: Some(300)
+            },
+            "tab sep"
+        );
+        assert_eq!(recs[3].time, None, "timestamp optional");
+    }
+
+    #[test]
+    fn csv_bad_timestamp_is_error_with_line() {
+        let input = "a,xyz\n";
+        let err = read_csv(io::BufReader::new(input.as_bytes())).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn string_keys_stable_and_distinct() {
+        assert_eq!(key_to_id("alice"), key_to_id("alice"));
+        assert_ne!(key_to_id("alice"), key_to_id("bob"));
+        assert_eq!(key_to_id(" 17 "), 17);
+    }
+}

@@ -1,0 +1,161 @@
+//! Exact Zipfian frequency assignment (paper Eq. 3).
+//!
+//! Rather than sampling items i.i.d. (which only *converges* to Zipf), we
+//! construct the frequency vector deterministically:
+//!
+//! ```text
+//! f_i = N / (i^γ · ζ(γ)),   ζ(γ) = Σ_{i=1..M} 1/i^γ
+//! ```
+//!
+//! rounded to integers with the residue pushed to the head ranks so that
+//! `Σ f_i = N` exactly. This matches the theory section's model (§IV-B) and
+//! makes the theoretical-bound experiments (Fig. 7) directly comparable.
+
+/// The exact per-rank frequencies of a Zipf stream.
+#[derive(Debug, Clone)]
+pub struct ZipfCounts {
+    counts: Vec<u64>,
+    skew: f64,
+}
+
+impl ZipfCounts {
+    /// Frequencies for `total` records over `distinct` ranks at skew `γ`.
+    ///
+    /// Ranks whose rounded share is zero are trimmed, so `len() ≤ distinct`
+    /// but every retained rank has `f ≥ 1`.
+    pub fn new(total: u64, distinct: u64, skew: f64) -> Self {
+        assert!(total > 0, "need a non-empty stream");
+        assert!(distinct > 0, "need at least one item");
+        assert!(skew.is_finite() && skew >= 0.0, "skew must be finite, >= 0");
+        let m = distinct as usize;
+        // ζ(γ) over the truncated support.
+        let mut zeta = 0.0f64;
+        let mut weights = Vec::with_capacity(m);
+        for i in 1..=m {
+            let w = (i as f64).powf(-skew);
+            weights.push(w);
+            zeta += w;
+        }
+        let mut counts: Vec<u64> = weights
+            .iter()
+            .map(|w| ((total as f64) * w / zeta).floor() as u64)
+            .collect();
+        // Trim zero-share tail ranks, then settle the rounding residue on
+        // the head (rank 1 absorbs what is left, preserving monotonicity).
+        counts.retain(|&c| c > 0);
+        if counts.is_empty() {
+            counts.push(0);
+        }
+        let assigned: u64 = counts.iter().sum();
+        debug_assert!(assigned <= total);
+        let mut residue = total - assigned;
+        let mut i = 0;
+        while residue > 0 {
+            counts[i] += 1;
+            residue -= 1;
+            i = (i + 1) % counts.len();
+        }
+        // One bubble pass repairs any monotonicity breaks from the residue
+        // round-robin (at most +1 per rank, so a single pass suffices).
+        for i in 1..counts.len() {
+            if counts[i] > counts[i - 1] {
+                counts.swap(i, i - 1);
+            }
+        }
+        Self { counts, skew }
+    }
+
+    /// Number of ranks with non-zero frequency.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the support is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The skew γ.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Frequency of rank `i` (0-based; rank 0 is the heaviest item).
+    pub fn count(&self, rank: usize) -> u64 {
+        self.counts[rank]
+    }
+
+    /// All frequencies, heaviest first.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total records.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_exactly_to_total() {
+        for (n, m, g) in [
+            (1_000u64, 100u64, 1.0),
+            (9_999, 57, 0.7),
+            (50_000, 5_000, 1.3),
+        ] {
+            let z = ZipfCounts::new(n, m, g);
+            assert_eq!(z.total(), n, "N={n} M={m} γ={g}");
+        }
+    }
+
+    #[test]
+    fn monotone_nonincreasing() {
+        let z = ZipfCounts::new(100_000, 1_000, 1.1);
+        for w in z.counts().windows(2) {
+            assert!(w[0] >= w[1], "ranks out of order: {} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn skew_controls_head_mass() {
+        let flat = ZipfCounts::new(100_000, 1_000, 0.5);
+        let steep = ZipfCounts::new(100_000, 1_000, 1.5);
+        assert!(
+            steep.count(0) > 3 * flat.count(0),
+            "steeper skew must concentrate mass: {} vs {}",
+            steep.count(0),
+            flat.count(0)
+        );
+    }
+
+    #[test]
+    fn ratio_follows_power_law() {
+        // f_1 / f_i ≈ i^γ for head ranks.
+        let z = ZipfCounts::new(10_000_000, 100_000, 1.0);
+        let ratio = z.count(0) as f64 / z.count(9) as f64;
+        assert!(
+            (8.0..12.5).contains(&ratio),
+            "f1/f10 = {ratio}, expected ≈ 10 at γ=1"
+        );
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let z = ZipfCounts::new(1_000, 10, 0.0);
+        assert_eq!(z.len(), 10);
+        assert!(z.counts().iter().all(|&c| c == 100));
+    }
+
+    #[test]
+    fn tiny_stream_trims_tail() {
+        // 10 records over 1000 nominal ranks: only a handful survive.
+        let z = ZipfCounts::new(10, 1_000, 1.0);
+        assert!(z.len() <= 10);
+        assert_eq!(z.total(), 10);
+        assert!(z.counts().iter().all(|&c| c >= 1));
+    }
+}

@@ -1,0 +1,75 @@
+//! Use case 2 of the paper (§I-A): website popularity ranking.
+//!
+//! "There are two key metrics of popularity: frequency and persistency …
+//! both … should be considered in ranking the popularity/significance of a
+//! website."
+//!
+//! This example exercises the **string-keyed** facade ([`KeyedLtc`]) and the
+//! **time-driven** CLOCK: page-view events arrive with millisecond
+//! timestamps, a period is one "day" (the pointer advances `(x−y)/t·m` slots
+//! between events, §III-B1), and the ranking is queried live at the end of
+//! every week.
+//!
+//! ```sh
+//! cargo run --release --example website_ranking
+//! ```
+
+use significant_items::core_::LtcConfig;
+use significant_items::prelude::*;
+
+const DAY_MS: u64 = 86_400_000;
+const DAYS: u64 = 28;
+
+/// (site, daily views, active-day predicate).
+type Site = (&'static str, u64, fn(u64) -> bool);
+
+/// A tiny catalogue of sites.
+fn catalogue() -> Vec<Site> {
+    vec![
+        ("evergreen.example", 400, |_| true),
+        ("news-spike.example", 4_000, |d| (7..9).contains(&d)),
+        ("weekly-zine.example", 900, |d| d % 7 == 0),
+        ("steady-blog.example", 250, |_| true),
+        ("flash-sale.example", 6_000, |d| d == 20),
+    ]
+}
+
+fn main() {
+    let ltc = Ltc::new(
+        LtcConfig::builder()
+            .buckets(256)
+            .cells_per_bucket(8)
+            .weights(Weights::new(1.0, 300.0)) // a persistent day ≈ 300 views
+            .time_units_per_period(DAY_MS)
+            .build(),
+    );
+    let mut ranking = KeyedLtc::new(ltc, 7);
+
+    println!("Ranking websites by significance, one period = one day\n");
+    for day in 0..DAYS {
+        // Interleave the sites' views through the day in timestamp order.
+        let mut events: Vec<(u64, &'static str)> = Vec::new();
+        for (site, daily_views, active) in catalogue() {
+            if active(day) {
+                let step = DAY_MS / daily_views;
+                events.extend((0..daily_views).map(|v| (day * DAY_MS + v * step, site)));
+            }
+        }
+        events.sort_unstable_by_key(|&(t, _)| t);
+        for (t, site) in events {
+            ranking.insert_at(&site.to_string(), t);
+        }
+        ranking.end_period();
+
+        if (day + 1) % 7 == 0 {
+            println!("after week {}:", (day + 1) / 7);
+            for (i, e) in ranking.top_k(3).iter().enumerate() {
+                println!("  #{} {:<22} ŝ = {:.0}", i + 1, e.key, e.value);
+            }
+            println!();
+        }
+    }
+
+    println!("Spikes (news, flash sale) out-shout everyone for a day or two,");
+    println!("but the evergreen site re-takes the top as persistency accrues.");
+}

@@ -1,0 +1,172 @@
+//! An adapter that lets LTC track arbitrary hashable keys (strings, tuples,
+//! IP addresses, …) instead of pre-assigned `u64` ids.
+//!
+//! The underlying structures work on [`ItemId`]s for speed. `KeyedLtc`
+//! hashes each key to an id with Bob Hash and keeps a small id→key side
+//! table *only for ids currently resident in the LTC table's candidate set*,
+//! so reported top-k results can be translated back to keys. Memory for the
+//! side table is bounded by the number of LTC cells, not the stream size.
+
+use ltc_common::{Estimate, ItemId, SignificanceQuery};
+use ltc_core::Ltc;
+use ltc_hash::{bob_hash_bytes, FxHashMap};
+use std::hash::Hash;
+
+/// LTC over arbitrary hashable keys. See the module docs.
+pub struct KeyedLtc<K> {
+    inner: Ltc,
+    names: FxHashMap<ItemId, K>,
+    seed: u32,
+}
+
+/// A top-k result translated back to the caller's key type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedEstimate<K> {
+    /// The reported key.
+    pub key: K,
+    /// Its estimated significance.
+    pub value: f64,
+}
+
+impl<K: Hash + Eq + Clone + serde_bytes_like::AsBytes> KeyedLtc<K> {
+    /// Wrap an LTC instance. `seed` drives key→id hashing.
+    pub fn new(inner: Ltc, seed: u32) -> Self {
+        Self {
+            inner,
+            names: FxHashMap::default(),
+            seed,
+        }
+    }
+
+    fn id_of(&self, key: &K) -> ItemId {
+        bob_hash_bytes(key.as_bytes(), self.seed)
+    }
+
+    /// Insert one occurrence of `key` (count-driven tables).
+    pub fn insert(&mut self, key: &K) {
+        let id = self.id_of(key);
+        self.inner.insert(id);
+        self.remember(id, key);
+    }
+
+    /// Insert one occurrence of `key` at `time` (time-driven tables).
+    pub fn insert_at(&mut self, key: &K, time: u64) {
+        let id = self.id_of(key);
+        self.inner.insert_at(id, time);
+        self.remember(id, key);
+    }
+
+    /// Track the name only while the id is resident; prune lazily when the
+    /// side table outgrows the candidate set by 2x.
+    fn remember(&mut self, id: ItemId, key: &K) {
+        if self.inner.contains(id) {
+            self.names.entry(id).or_insert_with(|| key.clone());
+            if self.names.len() > 2 * self.inner.capacity_cells() {
+                let inner = &self.inner;
+                self.names.retain(|&id, _| inner.contains(id));
+            }
+        }
+    }
+
+    /// Signal a period boundary.
+    pub fn end_period(&mut self) {
+        self.inner.end_period();
+    }
+
+    /// Harvest the final period's flags (call once after the stream, or any
+    /// time a fresh snapshot is wanted — see [`Ltc::finalize`]).
+    pub fn finish(&mut self) {
+        self.inner.finalize();
+    }
+
+    /// Estimated significance of `key`, if tracked.
+    pub fn estimate(&self, key: &K) -> Option<f64> {
+        self.inner.estimate(self.id_of(key))
+    }
+
+    /// Top-k by significance, translated back to keys. Ids whose key was
+    /// never captured (possible only if the id entered the table before this
+    /// wrapper saw it) are dropped.
+    pub fn top_k(&self, k: usize) -> Vec<KeyedEstimate<K>> {
+        self.inner
+            .top_k(k)
+            .into_iter()
+            .filter_map(|Estimate { id, value }| {
+                self.names.get(&id).map(|key| KeyedEstimate {
+                    key: key.clone(),
+                    value,
+                })
+            })
+            .collect()
+    }
+
+    /// Access the wrapped LTC.
+    pub fn inner(&self) -> &Ltc {
+        &self.inner
+    }
+}
+
+/// Minimal "give me bytes to hash" abstraction so `KeyedLtc` works for the
+/// common key shapes without a serde dependency on the hot path.
+pub mod serde_bytes_like {
+    /// Types that expose a stable byte representation for hashing.
+    pub trait AsBytes {
+        /// The bytes to hash. Must be stable for equal values.
+        fn as_bytes(&self) -> &[u8];
+    }
+
+    impl AsBytes for String {
+        fn as_bytes(&self) -> &[u8] {
+            self.as_str().as_bytes()
+        }
+    }
+
+    impl AsBytes for &str {
+        fn as_bytes(&self) -> &[u8] {
+            str::as_bytes(self)
+        }
+    }
+
+    impl AsBytes for Vec<u8> {
+        fn as_bytes(&self) -> &[u8] {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_core::LtcConfig;
+
+    fn small_ltc() -> Ltc {
+        Ltc::new(
+            LtcConfig::builder()
+                .buckets(64)
+                .cells_per_bucket(8)
+                .records_per_period(100)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn string_keys_roundtrip() {
+        let mut k = KeyedLtc::new(small_ltc(), 1);
+        for _ in 0..50 {
+            k.insert(&"alice".to_string());
+        }
+        for i in 0..20 {
+            k.insert(&format!("noise-{i}"));
+        }
+        k.end_period();
+        let top = k.top_k(1);
+        assert_eq!(top[0].key, "alice");
+        assert!(k.estimate(&"alice".to_string()).unwrap() >= 50.0);
+    }
+
+    #[test]
+    fn unseen_key_estimates_none() {
+        let k = KeyedLtc::<String>::new(small_ltc(), 1);
+        assert_eq!(k.estimate(&"ghost".to_string()), None);
+    }
+}

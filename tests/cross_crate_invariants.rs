@@ -1,0 +1,153 @@
+//! Cross-crate property tests: invariants that tie the whole stack together
+//! (generator → algorithms → oracle).
+
+use proptest::prelude::*;
+use significant_items::common::{MemoryBudget, SignificanceQuery, Weights};
+use significant_items::core_::{Ltc, LtcConfig, Variant};
+use significant_items::eval::Oracle;
+use significant_items::workloads::{generate, StreamSpec};
+
+fn spec_strategy() -> impl Strategy<Value = StreamSpec> {
+    (
+        1_000u64..8_000,
+        50u64..500,
+        4u64..30,
+        0.5f64..1.4,
+        0.0f64..0.6,
+        0.0f64..0.3,
+        0u64..1_000,
+    )
+        .prop_map(|(n, m, t, skew, burst, periodic, seed)| StreamSpec {
+            name: "prop",
+            total_records: n,
+            distinct_items: m,
+            periods: t,
+            zipf_skew: skew,
+            burst_fraction: burst,
+            periodic_fraction: periodic,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem IV.1 at system scale: basic+DE LTC never overestimates the
+    /// significance of any item, for generated workloads of any shape.
+    #[test]
+    fn no_overestimation_on_generated_workloads(spec in spec_strategy()) {
+        let stream = generate(&spec);
+        let oracle = Oracle::build(&stream);
+        let weights = Weights::BALANCED;
+        let mut ltc = Ltc::new(
+            LtcConfig::with_memory(MemoryBudget::kilobytes(4), 8)
+                .weights(weights)
+                .records_per_period(stream.layout.records_per_period().unwrap())
+                .variant(Variant::DEVIATION_ONLY)
+                .seed(spec.seed)
+                .build(),
+        );
+        for period in stream.periods() {
+            for &id in period {
+                ltc.insert(id);
+            }
+            ltc.end_period();
+        }
+        ltc.finalize();
+        for (id, f, p) in oracle.iter() {
+            if let Some(est) = ltc.estimate(id) {
+                let real = weights.significance(f, p);
+                prop_assert!(
+                    est <= real + 1e-9,
+                    "id {id}: ŝ {est} > s {real} (f={f}, p={p})"
+                );
+            }
+        }
+    }
+
+    /// The oracle and a brute-force recount agree (two independent paths
+    /// over the same stream).
+    #[test]
+    fn oracle_matches_brute_force(spec in spec_strategy()) {
+        let stream = generate(&spec);
+        let oracle = Oracle::build(&stream);
+        // Brute force with plain std collections.
+        let mut freq = std::collections::HashMap::new();
+        let mut pers = std::collections::HashMap::new();
+        for period in stream.periods() {
+            let distinct: std::collections::HashSet<_> = period.iter().copied().collect();
+            for &id in period {
+                *freq.entry(id).or_insert(0u64) += 1;
+            }
+            for id in distinct {
+                *pers.entry(id).or_insert(0u64) += 1;
+            }
+        }
+        prop_assert_eq!(oracle.distinct_items(), freq.len());
+        for (&id, &f) in &freq {
+            prop_assert_eq!(oracle.frequency(id), f);
+            prop_assert_eq!(oracle.persistency(id), pers[&id]);
+        }
+    }
+
+    /// Every algorithm in the frequent line-up reports at most k items, all
+    /// with finite non-negative values, on arbitrary workloads.
+    #[test]
+    fn reports_are_well_formed(spec in spec_strategy(), k in 1usize..40) {
+        use significant_items::eval::algorithms::{build_algorithm, AlgoSpec, BuildParams};
+        use significant_items::eval::run_algorithm;
+        let stream = generate(&spec);
+        let params = BuildParams {
+            budget: MemoryBudget::kilobytes(4),
+            k,
+            weights: Weights::FREQUENT,
+            records_per_period: stream.layout.records_per_period().unwrap(),
+            seed: spec.seed ^ 0xabc,
+        };
+        for algo in AlgoSpec::frequent_lineup() {
+            let mut alg = build_algorithm(algo, &params);
+            let outcome = run_algorithm(alg.as_mut(), &stream, k);
+            prop_assert!(outcome.reported.len() <= k);
+            for e in &outcome.reported {
+                prop_assert!(e.value.is_finite() && e.value >= 0.0, "{}", outcome.name);
+            }
+        }
+    }
+}
+
+/// Deterministic: the same spec and seed reproduce identical experiment
+/// outcomes end-to-end (generation, hashing, reporting).
+#[test]
+fn full_pipeline_is_deterministic() {
+    let spec = StreamSpec {
+        name: "det",
+        total_records: 30_000,
+        distinct_items: 3_000,
+        periods: 30,
+        zipf_skew: 1.0,
+        burst_fraction: 0.3,
+        periodic_fraction: 0.1,
+        seed: 424_242,
+    };
+    let run = || {
+        let stream = generate(&spec);
+        let mut ltc = Ltc::new(
+            LtcConfig::with_memory(MemoryBudget::kilobytes(8), 8)
+                .weights(Weights::BALANCED)
+                .records_per_period(stream.layout.records_per_period().unwrap())
+                .seed(7)
+                .build(),
+        );
+        for period in stream.periods() {
+            for &id in period {
+                ltc.insert(id);
+            }
+            ltc.end_period();
+        }
+        ltc.finalize();
+        ltc.top_k(100)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}

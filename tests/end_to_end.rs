@@ -1,0 +1,247 @@
+//! End-to-end integration tests: the full pipeline (workload generation →
+//! algorithms → oracle → metrics) at a reduced scale, asserting the *shape*
+//! of the paper's headline results.
+
+use significant_items::common::{MemoryBudget, Weights};
+use significant_items::core_::Variant;
+use significant_items::eval::algorithms::{build_algorithm, AlgoSpec, BuildParams};
+use significant_items::eval::{run_algorithm, Oracle};
+use significant_items::workloads::{generate, network_like, StreamSpec};
+
+fn test_stream(seed: u64) -> significant_items::workloads::GeneratedStream {
+    // Network-profile shape at 1/200 scale: 50k records, 7.5k items, 100
+    // periods — small enough for debug-mode CI, structured enough to rank
+    // algorithms.
+    let spec = StreamSpec {
+        seed,
+        ..network_like().scaled_down(200).with_periods(100)
+    };
+    generate(&spec)
+}
+
+fn run_lineup(
+    lineup: Vec<AlgoSpec>,
+    budget_kb: usize,
+    k: usize,
+    weights: Weights,
+    seed: u64,
+) -> Vec<(&'static str, f64, f64)> {
+    let stream = test_stream(seed);
+    let oracle = Oracle::build(&stream);
+    let truth = oracle.top_k(k, &weights);
+    let params = BuildParams {
+        budget: MemoryBudget::kilobytes(budget_kb),
+        k,
+        weights,
+        records_per_period: stream.layout.records_per_period().unwrap(),
+        seed: 99,
+    };
+    lineup
+        .into_iter()
+        .map(|spec| {
+            let mut alg = build_algorithm(spec, &params);
+            let outcome = run_algorithm(alg.as_mut(), &stream, k);
+            (
+                outcome.name,
+                // Tie-aware: at this reduced scale several items can tie at
+                // the top-k boundary, where any of them is a correct answer.
+                outcome.tie_aware_precision(&truth, &oracle, &weights),
+                outcome.are(k, &oracle, &weights),
+            )
+        })
+        .collect()
+}
+
+/// Precision ties at this scale are hash noise: the scaled-down test
+/// streams (50k records) cannot reproduce the paper's 10M-record regime
+/// where baselines collapse outright — the full-scale reproduction lives in
+/// the `ltc-bench` fig* binaries. Here we assert the robust shape: LTC's
+/// precision is within noise of the best, and its ARE strictly dominates
+/// (the no-overestimation + Long-tail-Replacement advantage shows at any
+/// scale).
+const PRECISION_NOISE: f64 = 0.05;
+
+#[test]
+fn ltc_wins_frequent_items_at_tight_memory() {
+    // Fig. 9/10 shape at reduced scale.
+    let results = run_lineup(AlgoSpec::frequent_lineup(), 4, 50, Weights::FREQUENT, 1);
+    let (ltc_name, ltc_p, ltc_are) = results[0];
+    assert_eq!(ltc_name, "LTC");
+    for &(name, p, a) in &results[1..] {
+        assert!(
+            ltc_p + PRECISION_NOISE >= p,
+            "LTC precision {ltc_p} below {name}'s {p} (full: {results:?})"
+        );
+        assert!(
+            ltc_are < a,
+            "LTC ARE {ltc_are} not below {name}'s {a} ({results:?})"
+        );
+    }
+    assert!(ltc_p >= 0.8, "LTC precision {ltc_p} too low at 4 KB");
+}
+
+#[test]
+fn ltc_wins_persistent_items() {
+    // Fig. 12/13 shape. PIE receives the budget per period (§V-C) — the
+    // paper itself observes that with T× memory PIE can reach parity
+    // ("the reason for the perfect performance of PIE…"), so PIE is held to
+    // the noise band on precision but not on ARE (its decode is near-exact
+    // when memory is ample). The sketch-based baselines collapse only once
+    // the per-period Bloom filter and sketch are overloaded, which needs a
+    // larger item universe than the other tests use.
+    let spec = StreamSpec {
+        seed: 2,
+        ..network_like().scaled_down(40).with_periods(100)
+    };
+    let stream = generate(&spec);
+    let oracle = Oracle::build(&stream);
+    let k = 50;
+    let weights = Weights::PERSISTENT;
+    let truth = oracle.top_k(k, &weights);
+    let params = BuildParams {
+        budget: MemoryBudget::kilobytes(8),
+        k,
+        weights,
+        records_per_period: stream.layout.records_per_period().unwrap(),
+        seed: 99,
+    };
+    let results: Vec<(&'static str, f64, f64)> = AlgoSpec::persistent_lineup()
+        .into_iter()
+        .map(|spec| {
+            let mut alg = build_algorithm(spec, &params);
+            let outcome = run_algorithm(alg.as_mut(), &stream, k);
+            (
+                outcome.name,
+                outcome.tie_aware_precision(&truth, &oracle, &weights),
+                outcome.are(k, &oracle, &weights),
+            )
+        })
+        .collect();
+    let (_, ltc_p, ltc_are) = results[0];
+    for &(name, p, a) in &results[1..] {
+        if name == "PIE" {
+            // PIE's T× grant (budget × 100 periods) makes it strong at this
+            // scale — the paper sees the same on its smallest dataset
+            // ("the reason for the perfect performance of PIE is that the
+            // memory size is T times that of the other three algorithms",
+            // §V-G1). Check PIE functions; the honest equal-universe
+            // comparison happens at full scale in the fig12 bench.
+            assert!(p >= 0.5, "PIE with T× memory unexpectedly weak: {p}");
+            continue;
+        }
+        assert!(
+            ltc_p + PRECISION_NOISE >= p,
+            "LTC {ltc_p} below {name} {p} ({results:?})"
+        );
+        assert!(ltc_are < a, "LTC ARE {ltc_are} not below {name} {a}");
+    }
+    // The paper's Fig. 12(b) reads ~75% at its tightest point; our analogous
+    // tight point lands in the same band.
+    assert!(ltc_p >= 0.55, "LTC persistent precision {ltc_p} too low");
+}
+
+#[test]
+fn ltc_wins_significant_items_across_weightings() {
+    // Fig. 14/15 shape, on the paper's three α:β pairs.
+    for (i, weights) in [
+        Weights::new(1.0, 10.0),
+        Weights::new(1.0, 1.0),
+        Weights::new(10.0, 1.0),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let results = run_lineup(AlgoSpec::significant_lineup(), 6, 50, weights, 3 + i as u64);
+        let (_, ltc_p, ltc_are) = results[0];
+        for &(name, p, a) in &results[1..] {
+            assert!(
+                ltc_p + PRECISION_NOISE >= p,
+                "{weights}: LTC {ltc_p} below {name} {p} ({results:?})"
+            );
+            assert!(
+                ltc_are < a,
+                "{weights}: LTC ARE {ltc_are} not below {name} {a} ({results:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn long_tail_replacement_improves_precision() {
+    // Fig. 8 shape: LTR on vs off at a tight budget.
+    let k = 100;
+    let weights = Weights::BALANCED;
+    let mut with = Vec::new();
+    for variant in [Variant::FULL, Variant::DEVIATION_ONLY] {
+        let stream = test_stream(7);
+        let oracle = Oracle::build(&stream);
+        let truth = oracle.top_k(k, &weights);
+        let mut alg = build_algorithm(
+            AlgoSpec::Ltc(variant),
+            &BuildParams {
+                budget: MemoryBudget::kilobytes(6),
+                k,
+                weights,
+                records_per_period: stream.layout.records_per_period().unwrap(),
+                seed: 99,
+            },
+        );
+        let outcome = run_algorithm(alg.as_mut(), &stream, k);
+        with.push(outcome.precision(&truth));
+    }
+    assert!(
+        with[0] >= with[1],
+        "LTR hurt precision: with {} vs without {}",
+        with[0],
+        with[1]
+    );
+}
+
+#[test]
+fn reported_set_is_k_sized_and_sorted() {
+    let stream = test_stream(11);
+    let params = BuildParams {
+        budget: MemoryBudget::kilobytes(32),
+        k: 25,
+        weights: Weights::BALANCED,
+        records_per_period: stream.layout.records_per_period().unwrap(),
+        seed: 1,
+    };
+    for spec in AlgoSpec::frequent_lineup() {
+        let mut alg = build_algorithm(spec, &params);
+        let outcome = run_algorithm(alg.as_mut(), &stream, 25);
+        assert_eq!(outcome.reported.len(), 25, "{}", outcome.name);
+        for w in outcome.reported.windows(2) {
+            assert!(w[0].value >= w[1].value, "{} unsorted", outcome.name);
+        }
+    }
+}
+
+#[test]
+fn more_memory_never_hurts_ltc_much() {
+    // Precision should be (weakly) monotone in memory, modulo hash noise.
+    let stream = test_stream(13);
+    let oracle = Oracle::build(&stream);
+    let weights = Weights::BALANCED;
+    let truth = oracle.top_k(100, &weights);
+    let mut last = 0.0f64;
+    for kb in [4, 16, 64] {
+        let mut alg = build_algorithm(
+            AlgoSpec::Ltc(Variant::FULL),
+            &BuildParams {
+                budget: MemoryBudget::kilobytes(kb),
+                k: 100,
+                weights,
+                records_per_period: stream.layout.records_per_period().unwrap(),
+                seed: 5,
+            },
+        );
+        let p = run_algorithm(alg.as_mut(), &stream, 100).precision(&truth);
+        assert!(
+            p + 0.05 >= last,
+            "precision dropped from {last} to {p} at {kb} KB"
+        );
+        last = p;
+    }
+    assert!(last >= 0.95, "64 KB should essentially solve this stream");
+}
