@@ -1,0 +1,109 @@
+//! Criterion microbenchmarks for the batched and parallel ingestion paths:
+//! scalar `insert` vs `insert_batch` on a single table, and the
+//! `ParallelLtc` runtime across thread counts. The `pipeline_speed` binary
+//! is the reproducible sweep that writes `BENCH_pipeline.json`; this bench
+//! is the statistically careful spot-check of the same paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ltc_common::{StreamProcessor, Weights};
+use ltc_core::{Ltc, LtcConfig, ParallelLtc, ShardedLtc, Variant};
+use ltc_workloads::generator::zipf_samples;
+
+const RECORDS: usize = 100_000;
+const PER_PERIOD: usize = 10_000;
+
+fn config() -> LtcConfig {
+    LtcConfig::builder()
+        .buckets(400)
+        .cells_per_bucket(8)
+        .records_per_period(PER_PERIOD as u64)
+        .weights(Weights::BALANCED)
+        .variant(Variant::FULL)
+        .seed(7)
+        .build()
+}
+
+fn bench_batch_vs_scalar(c: &mut Criterion) {
+    let stream = zipf_samples(RECORDS, 100_000, 1.0, 42);
+    let mut group = c.benchmark_group("ingest_100k_zipf");
+    group.throughput(Throughput::Elements(RECORDS as u64));
+    group.sample_size(10);
+
+    group.bench_function("ltc_scalar", |b| {
+        b.iter_batched(
+            || Ltc::new(config()),
+            |mut ltc| {
+                for chunk in stream.chunks(PER_PERIOD) {
+                    for &id in chunk {
+                        ltc.insert(id);
+                    }
+                    ltc.end_period();
+                }
+                ltc
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    for batch in [64usize, 256, 1024] {
+        group.bench_function(format!("ltc_batch_{batch}"), |b| {
+            b.iter_batched(
+                || Ltc::new(config()),
+                |mut ltc| {
+                    for period in stream.chunks(PER_PERIOD) {
+                        for chunk in period.chunks(batch) {
+                            ltc.insert_batch(chunk);
+                        }
+                        ltc.end_period();
+                    }
+                    ltc
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.bench_function("sharded4_batch_256", |b| {
+        b.iter_batched(
+            || ShardedLtc::new(config(), 4),
+            |mut sharded| {
+                for period in stream.chunks(PER_PERIOD) {
+                    for chunk in period.chunks(256) {
+                        sharded.insert_batch(chunk);
+                    }
+                    sharded.end_period();
+                }
+                sharded
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_parallel_runtime(c: &mut Criterion) {
+    let stream = zipf_samples(RECORDS, 100_000, 1.0, 42);
+    let mut group = c.benchmark_group("parallel_100k_zipf");
+    group.throughput(Throughput::Elements(RECORDS as u64));
+    group.sample_size(10);
+
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("pipeline_{threads}t"), |b| {
+            b.iter_batched(
+                || ParallelLtc::with_batch_size(config(), threads, 256),
+                |mut pipeline| {
+                    for period in stream.chunks(PER_PERIOD) {
+                        pipeline.insert_batch(period);
+                        pipeline.end_period();
+                    }
+                    // Reassembly joins the workers, so thread teardown is
+                    // inside the measurement for every thread count alike.
+                    pipeline.into_sharded()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_scalar, bench_parallel_runtime);
+criterion_main!(benches);

@@ -1,0 +1,220 @@
+//! Reproducible throughput baseline for the batched + parallel ingestion
+//! pipeline. Sweeps worker-thread count × hand-off batch size on a fixed
+//! Zipf workload and writes `BENCH_pipeline.json` (repo root) so the
+//! numbers — and the host they were measured on — are checked in alongside
+//! the code.
+//!
+//! ```sh
+//! cargo run --release -p ltc-bench --bin pipeline_speed
+//! LTC_SCALE=10 cargo run --release -p ltc-bench --bin pipeline_speed   # quick look
+//! ```
+//!
+//! Every configuration ingests the identical stream with the identical
+//! period boundaries; the equivalence tests guarantee identical results, so
+//! the sweep measures pure ingestion cost. Each point is the best of
+//! [`REPS`] runs (min wall-clock → least scheduler noise).
+
+use ltc_bench::scale;
+use ltc_common::{StreamProcessor, Weights};
+use ltc_core::{Ltc, LtcConfig, ParallelLtc, ShardedLtc, Variant};
+use ltc_workloads::generator::zipf_samples;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Paper-scale workload: 10M Zipf(1.0) records over 100 periods.
+const RECORDS: usize = 10_000_000;
+const DISTINCT: usize = 1_000_000;
+const PERIODS: usize = 100;
+const SKEW: f64 = 1.0;
+/// Runs per configuration; the minimum is reported.
+const REPS: usize = 3;
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const BATCH_SWEEP: [usize; 3] = [64, 256, 1024];
+
+#[derive(Serialize)]
+struct Workload {
+    records: u64,
+    distinct: u64,
+    periods: u64,
+    zipf_skew: f64,
+    seed: u64,
+    scale_divisor: u64,
+}
+
+#[derive(Serialize)]
+struct Host {
+    cpus: u64,
+    os: String,
+    arch: String,
+}
+
+#[derive(Serialize)]
+struct SweepPoint {
+    threads: u64,
+    batch_size: u64,
+    mops: f64,
+    speedup_vs_scalar: f64,
+}
+
+#[derive(Serialize)]
+struct BatchPoint {
+    batch_size: u64,
+    mops: f64,
+    speedup_vs_scalar: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    host: Host,
+    workload: Workload,
+    /// Single `Ltc`, record-at-a-time `insert` — the baseline.
+    scalar_mops: f64,
+    /// Single `Ltc`, `insert_batch` across the batch-size sweep.
+    batch: Vec<BatchPoint>,
+    /// Single-threaded `ShardedLtc` (4 shards) with batched routing, for
+    /// separating sharding overhead from thread hand-off overhead.
+    sharded4_batch256_mops: f64,
+    /// `ParallelLtc` across the threads × batch-size sweep.
+    parallel: Vec<SweepPoint>,
+}
+
+fn mops(records: usize, secs: f64) -> f64 {
+    records as f64 / secs / 1e6
+}
+
+/// Best-of-[`REPS`] wall-clock of `run` over the whole stream.
+fn measure(records: usize, mut run: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    mops(records, best)
+}
+
+fn config(per_period: usize, buckets: usize) -> LtcConfig {
+    LtcConfig::builder()
+        .buckets(buckets)
+        .cells_per_bucket(8)
+        .records_per_period(per_period as u64)
+        .weights(Weights::BALANCED)
+        .variant(Variant::FULL)
+        .seed(7)
+        .build()
+}
+
+fn main() {
+    let s = scale() as usize;
+    let records = (RECORDS / s).max(PERIODS);
+    let distinct = (DISTINCT / s).max(1_000);
+    let per_period = records / PERIODS;
+    // Keep the CLOCK's per-record scan cost (m/n cells) constant when the
+    // workload is scaled down, so scaled runs stay representative.
+    let buckets = (25_000 / s).max(64);
+    eprintln!(
+        "[gen] {records} Zipf({SKEW}) records, {distinct} distinct, {PERIODS} periods, \
+         {buckets}x8 cells"
+    );
+    let stream = zipf_samples(records, distinct as u64, SKEW, 42);
+
+    eprintln!("[run] scalar insert");
+    let scalar_mops = measure(records, || {
+        let mut ltc = Ltc::new(config(per_period, buckets));
+        for period in stream.chunks(per_period) {
+            for &id in period {
+                ltc.insert(id);
+            }
+            ltc.end_period();
+        }
+        std::hint::black_box(&ltc);
+    });
+    eprintln!("       {scalar_mops:.2} Mops");
+
+    let mut batch = Vec::new();
+    for batch_size in BATCH_SWEEP {
+        eprintln!("[run] insert_batch, batch {batch_size}");
+        let m = measure(records, || {
+            let mut ltc = Ltc::new(config(per_period, buckets));
+            for period in stream.chunks(per_period) {
+                for chunk in period.chunks(batch_size) {
+                    ltc.insert_batch(chunk);
+                }
+                ltc.end_period();
+            }
+            std::hint::black_box(&ltc);
+        });
+        eprintln!("       {m:.2} Mops ({:.2}x)", m / scalar_mops);
+        batch.push(BatchPoint {
+            batch_size: batch_size as u64,
+            mops: m,
+            speedup_vs_scalar: m / scalar_mops,
+        });
+    }
+
+    eprintln!("[run] sharded x4, insert_batch 256");
+    let sharded4_batch256_mops = measure(records, || {
+        let mut sharded = ShardedLtc::new(config(per_period, buckets), 4);
+        for period in stream.chunks(per_period) {
+            for chunk in period.chunks(256) {
+                sharded.insert_batch(chunk);
+            }
+            sharded.end_period();
+        }
+        std::hint::black_box(&sharded);
+    });
+    eprintln!("       {sharded4_batch256_mops:.2} Mops");
+
+    let mut parallel = Vec::new();
+    for threads in THREAD_SWEEP {
+        for batch_size in BATCH_SWEEP {
+            eprintln!("[run] pipeline, {threads} thread(s), batch {batch_size}");
+            let m = measure(records, || {
+                let mut pipeline =
+                    ParallelLtc::with_batch_size(config(per_period, buckets), threads, batch_size);
+                for period in stream.chunks(per_period) {
+                    pipeline.insert_batch(period);
+                    pipeline.end_period();
+                }
+                std::hint::black_box(pipeline.into_sharded());
+            });
+            eprintln!("       {m:.2} Mops ({:.2}x vs scalar)", m / scalar_mops);
+            parallel.push(SweepPoint {
+                threads: threads as u64,
+                batch_size: batch_size as u64,
+                mops: m,
+                speedup_vs_scalar: m / scalar_mops,
+            });
+        }
+    }
+
+    let report = Report {
+        bench: "pipeline_speed".to_string(),
+        host: Host {
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(0),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+        },
+        workload: Workload {
+            records: records as u64,
+            distinct: distinct as u64,
+            periods: PERIODS as u64,
+            zipf_skew: SKEW,
+            seed: 42,
+            scale_divisor: s as u64,
+        },
+        scalar_mops,
+        batch,
+        sharded4_batch256_mops,
+        parallel,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    let path = "BENCH_pipeline.json";
+    std::fs::write(path, format!("{json}\n")).expect("write BENCH_pipeline.json");
+    eprintln!("[emit] wrote {path}");
+    println!("{json}");
+}

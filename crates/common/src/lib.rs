@@ -29,4 +29,4 @@ pub use item::{ItemId, StreamRecord, Timestamp};
 pub use memory::MemoryBudget;
 pub use period::{PeriodLayout, PeriodPartition};
 pub use significance::Weights;
-pub use traits::{MemoryUsage, SignificanceQuery, StreamProcessor};
+pub use traits::{BatchStreamProcessor, MemoryUsage, SignificanceQuery, StreamProcessor};

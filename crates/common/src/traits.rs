@@ -28,6 +28,23 @@ pub trait StreamProcessor {
     fn name(&self) -> &'static str;
 }
 
+/// A [`StreamProcessor`] with a batched ingestion hot path.
+///
+/// Semantically `insert_batch(ids)` is *exactly* `for id in ids { insert(id) }`
+/// — same final state, same statistics — but implementations may reorganise
+/// the work (hash the whole batch up front, prefetch, amortise bookkeeping
+/// across records) as long as the result stays bit-identical to the scalar
+/// loop. The default implementation is that scalar loop, so every processor
+/// gets the batched entry point for free.
+pub trait BatchStreamProcessor: StreamProcessor {
+    /// Process a run of records, equivalent to inserting them one by one.
+    fn insert_batch(&mut self, ids: &[ItemId]) {
+        for &id in ids {
+            self.insert(id);
+        }
+    }
+}
+
 /// Point and top-k queries over the algorithm's notion of value — the
 /// significance under the weights it was configured with (which degenerates
 /// to frequency or persistency for α:β = 1:0 / 0:1).

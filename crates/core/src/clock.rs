@@ -62,24 +62,78 @@ impl ClockPointer {
     /// passed. Count-driven callers use `numerator = m`, `denominator = n`
     /// once per record; time-driven callers use `numerator = Δt·m`,
     /// `denominator = t`.
+    ///
+    /// The accumulator saturates instead of wrapping, so a pathological
+    /// timestamp jump (`Δt·m` near `u64::MAX`) degrades to "finish the
+    /// sweep" rather than corrupting the pointer. A zero `denominator`
+    /// (a period of zero records or zero time units) has no meaningful
+    /// step size and panics in all build profiles.
     #[inline]
     pub fn tick(&mut self, numerator: u64, denominator: u64, mut scan: impl FnMut(usize)) {
-        debug_assert!(denominator > 0);
-        self.acc += numerator;
-        while self.acc >= denominator {
-            self.acc -= denominator;
-            // Cap at one full sweep per period: once every cell has been
-            // scanned, further progress within the period is a no-op (can
-            // only happen on over-long periods in time-driven mode).
-            if self.scanned_this_period < self.total as u64 {
-                scan(self.pos);
-                self.pos = (self.pos + 1) % self.total;
-                self.scanned_this_period += 1;
-            } else {
-                self.acc = 0;
-                break;
-            }
+        assert!(
+            denominator > 0,
+            "CLOCK tick denominator (records or time units per period) must be positive"
+        );
+        self.acc = self.acc.saturating_add(numerator);
+        let due = self.acc / denominator;
+        if due == 0 {
+            return;
         }
+        // Cap at one full sweep per period: once every cell has been
+        // scanned, further progress within the period is a no-op (can
+        // only happen on over-long periods in time-driven mode).
+        let remaining = self.total as u64 - self.scanned_this_period;
+        let steps = if due > remaining {
+            self.acc = 0;
+            remaining
+        } else {
+            // `due * denominator <= acc`, so this cannot overflow.
+            self.acc -= due * denominator;
+            due
+        };
+        for _ in 0..steps {
+            scan(self.pos);
+            self.pos = (self.pos + 1) % self.total;
+        }
+        self.scanned_this_period += steps;
+    }
+
+    /// How many consecutive [`tick`](ClockPointer::tick)s of
+    /// `numerator/denominator` are guaranteed to scan nothing from the
+    /// current accumulator state. Batched callers process that many records
+    /// in a tight loop (no per-record pointer bookkeeping), advance the
+    /// accumulator once with [`advance_scan_free`], and only then pay for a
+    /// real tick.
+    ///
+    /// [`advance_scan_free`]: ClockPointer::advance_scan_free
+    #[inline]
+    pub fn ticks_before_scan(&self, numerator: u64, denominator: u64) -> u64 {
+        assert!(
+            denominator > 0,
+            "CLOCK tick denominator (records or time units per period) must be positive"
+        );
+        if numerator == 0 {
+            return u64::MAX;
+        }
+        if self.acc >= denominator {
+            return 0;
+        }
+        (denominator - 1 - self.acc) / numerator
+    }
+
+    /// Advance the accumulator by `count` ticks of `numerator` known (via
+    /// [`ticks_before_scan`](ClockPointer::ticks_before_scan)) to scan
+    /// nothing. Equivalent to `count` calls of `tick(numerator, denominator,
+    /// …)`, each of which would have scanned zero cells.
+    #[inline]
+    pub fn advance_scan_free(&mut self, count: u64, numerator: u64, denominator: u64) {
+        debug_assert!(
+            count <= self.ticks_before_scan(numerator, denominator),
+            "advance_scan_free would cross a scan boundary"
+        );
+        // count·numerator ≤ denominator − 1 − acc, so this stays below the
+        // denominator and cannot overflow.
+        self.acc += count * numerator;
     }
 
     /// Complete the current sweep: scan every not-yet-visited cell of this
@@ -201,5 +255,94 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         let _ = ClockPointer::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_rejected_in_every_profile() {
+        // A period of zero records/time units has no step size; the check is
+        // a hard assert (not debug_assert), so release builds panic too.
+        let mut clock = ClockPointer::new(4);
+        clock.tick(4, 0, |_| {});
+    }
+
+    #[test]
+    fn saturating_accumulator_survives_huge_time_jumps() {
+        // A corrupted or far-future timestamp produces Δt·m near u64::MAX.
+        // The accumulator must saturate (not wrap) and the sweep must still
+        // be capped at once per cell.
+        let mut clock = ClockPointer::new(8);
+        let mut counts = vec![0u32; 8];
+        clock.tick(u64::MAX, 1_000, |i| counts[i] += 1);
+        clock.tick(u64::MAX, 1_000, |i| counts[i] += 1);
+        assert!(counts.iter().all(|&c| c == 1), "{counts:?}");
+        // The pointer is parked where the cap left it; closing the period
+        // resets cleanly and the next period scans exactly once again.
+        clock.finish_period(|i| counts[i] += 1);
+        let mut second = vec![0u32; 8];
+        for _ in 0..16 {
+            clock.tick(8, 16, |i| second[i] += 1);
+        }
+        clock.finish_period(|i| second[i] += 1);
+        assert!(second.iter().all(|&c| c == 1), "{second:?}");
+    }
+
+    #[test]
+    fn zero_record_period_closed_by_finish() {
+        // A period can elapse with no records at all; finish_period alone
+        // must still deliver the exactly-once sweep.
+        let counts = drive(16, 10, 0);
+        assert!(counts.iter().all(|&c| c == 1), "{counts:?}");
+    }
+
+    #[test]
+    fn division_stepping_matches_unit_stepping() {
+        // The batched (division-based) tick must leave identical state to
+        // the one-unit-at-a-time Bresenham reference for any tick split.
+        fn reference_tick(
+            acc: &mut u64,
+            pos: &mut usize,
+            scanned: &mut u64,
+            total: usize,
+            numerator: u64,
+            denominator: u64,
+            scans: &mut Vec<usize>,
+        ) {
+            *acc += numerator;
+            while *acc >= denominator {
+                *acc -= denominator;
+                if *scanned < total as u64 {
+                    scans.push(*pos);
+                    *pos = (*pos + 1) % total;
+                    *scanned += 1;
+                } else {
+                    *acc = 0;
+                    break;
+                }
+            }
+        }
+
+        for &(total, denom) in &[(8usize, 3u64), (5, 17), (16, 16), (7, 1)] {
+            let mut clock = ClockPointer::new(total);
+            let (mut acc, mut pos, mut scanned) = (0u64, 0usize, 0u64);
+            let mut got = Vec::new();
+            let mut want = Vec::new();
+            // A mix of small and large numerators, including period overshoot.
+            for step in [1u64, 2, 5, 0, 40, 3, 100, 7] {
+                clock.tick(step, denom, |i| got.push(i));
+                reference_tick(
+                    &mut acc,
+                    &mut pos,
+                    &mut scanned,
+                    total,
+                    step,
+                    denom,
+                    &mut want,
+                );
+                assert_eq!(got, want, "total={total} denom={denom}");
+                assert_eq!(clock.position(), pos);
+                assert_eq!(clock.scanned_this_period(), scanned);
+            }
+        }
     }
 }

@@ -53,8 +53,10 @@ pub mod cell;
 pub mod clock;
 pub mod config;
 pub mod merge;
+pub mod pipeline;
 pub mod sharded;
 pub mod snapshot;
+pub mod spsc;
 pub mod stats;
 pub mod table;
 pub mod window;
@@ -63,8 +65,10 @@ pub use cell::Cell;
 pub use clock::ClockPointer;
 pub use config::{LtcConfig, LtcConfigBuilder, PeriodMode, Variant};
 pub use merge::MergeError;
+pub use pipeline::ParallelLtc;
 pub use sharded::ShardedLtc;
 pub use snapshot::SnapshotError;
+pub use spsc::SpscRing;
 pub use stats::LtcStats;
 pub use table::Ltc;
 pub use window::WindowedLtc;

@@ -1,0 +1,470 @@
+//! Multi-threaded sharded ingestion pipeline.
+//!
+//! [`ParallelLtc`] is the threaded runtime over the hash-sharding scheme of
+//! [`crate::sharded`]: `N` worker threads, each owning one [`Ltc`] shard,
+//! fed through bounded [`SpscRing`] queues with **batched hand-off** —
+//! the routing side accumulates each shard's records into a batch and sends
+//! whole batches, so queue synchronisation is paid once per batch while the
+//! workers ingest through the bit-exact [`Ltc::insert_batch`] hot path.
+//!
+//! ## Equivalence to the single-threaded runtime
+//!
+//! The shard tables are built by [`ShardedLtc::new`] itself (same per-shard
+//! seed perturbation) and records are routed by the same
+//! [`shard_of_id`] hash in stream order, so after the same records and the
+//! same period boundaries every shard is **bit-identical** to the
+//! corresponding shard of a single-threaded [`ShardedLtc`] fed the same
+//! stream — parallelism changes only who does the work, never the result.
+//! An integration test pins this.
+//!
+//! ## Period coordination
+//!
+//! [`end_period`](ParallelLtc::end_period) is an epoch barrier: it flushes
+//! every pending batch, enqueues an `EndPeriod` message behind them on every
+//! queue, and blocks until all workers acknowledge it. Because each queue is
+//! FIFO, every record inserted before the call lands in its shard before
+//! the period closes — the parallel stream observes exactly the same period
+//! boundaries as a sequential one.
+//!
+//! ## Queries
+//!
+//! [`estimate`](SignificanceQuery::estimate) and
+//! [`top_k`](SignificanceQuery::top_k) first drain the pipeline (flush +
+//! barrier), then read the shard tables under their locks and merge, so a
+//! query observes every record inserted before it.
+
+use crate::config::LtcConfig;
+use crate::sharded::{shard_of_id, ShardedLtc};
+use crate::spsc::SpscRing;
+use crate::table::Ltc;
+use ltc_common::{
+    top_k_of, BatchStreamProcessor, Estimate, ItemId, MemoryUsage, SignificanceQuery,
+    StreamProcessor,
+};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Records accumulated per shard before a batch is handed to its worker.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// Messages queued per worker before the router blocks (backpressure).
+const RING_CAPACITY: usize = 8;
+
+/// One unit of work for a shard worker.
+enum Msg {
+    /// Ingest a run of records (already routed to this shard, in order).
+    Batch(Vec<ItemId>),
+    /// Close the current period (epoch barrier point).
+    EndPeriod,
+    /// Stream over: harvest final-period flags.
+    Finish,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Monotone completion counter a worker bumps after every message, with a
+/// condvar so the router can wait for a target — the ack half of the epoch
+/// barrier.
+#[derive(Debug, Default)]
+struct Progress {
+    done: Mutex<u64>,
+    changed: Condvar,
+}
+
+impl Progress {
+    fn bump(&self) {
+        let mut done = self.done.lock().expect("progress poisoned");
+        *done += 1;
+        drop(done);
+        self.changed.notify_all();
+    }
+
+    fn wait_for(&self, target: u64) {
+        let mut done = self.done.lock().expect("progress poisoned");
+        while *done < target {
+            done = self.changed.wait(done).expect("progress poisoned");
+        }
+    }
+}
+
+/// Routing-side state that queries (which only hold `&self`) also need to
+/// mutate, so it lives behind one mutex. The insertion hot path reaches it
+/// through `Mutex::get_mut` — statically exclusive via `&mut self`, no
+/// runtime locking.
+#[derive(Debug)]
+struct Router {
+    /// Per-shard batch under construction.
+    pending: Vec<Vec<ItemId>>,
+    /// Messages enqueued per worker (the barrier's send-side count).
+    sent: Vec<u64>,
+}
+
+/// The multi-threaded sharded LTC runtime. See the module docs.
+pub struct ParallelLtc {
+    router: Mutex<Router>,
+    queues: Vec<Arc<SpscRing<Msg>>>,
+    progress: Vec<Arc<Progress>>,
+    shards: Vec<Arc<Mutex<Ltc>>>,
+    workers: Vec<JoinHandle<()>>,
+    batch_size: usize,
+}
+
+impl std::fmt::Debug for ParallelLtc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelLtc")
+            .field("num_shards", &self.shards.len())
+            .field("batch_size", &self.batch_size)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ParallelLtc {
+    /// Spawn `num_shards` workers, each owning an LTC shard identical to
+    /// shard `i` of `ShardedLtc::new(config, num_shards)`.
+    pub fn new(config: LtcConfig, num_shards: usize) -> Self {
+        Self::with_batch_size(config, num_shards, DEFAULT_BATCH_SIZE)
+    }
+
+    /// [`new`](ParallelLtc::new) with an explicit hand-off batch size.
+    /// Larger batches amortise queue synchronisation further but delay when
+    /// workers see records; [`DEFAULT_BATCH_SIZE`] suits most streams.
+    pub fn with_batch_size(config: LtcConfig, num_shards: usize, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        // Delegate shard construction so seeding matches ShardedLtc exactly.
+        let shards: Vec<Arc<Mutex<Ltc>>> = ShardedLtc::new(config, num_shards)
+            .into_shards()
+            .into_iter()
+            .map(|ltc| Arc::new(Mutex::new(ltc)))
+            .collect();
+        let queues: Vec<Arc<SpscRing<Msg>>> = (0..num_shards)
+            .map(|_| Arc::new(SpscRing::with_capacity(RING_CAPACITY)))
+            .collect();
+        let progress: Vec<Arc<Progress>> = (0..num_shards)
+            .map(|_| Arc::new(Progress::default()))
+            .collect();
+        let workers = (0..num_shards)
+            .map(|i| {
+                let queue = Arc::clone(&queues[i]);
+                let shard = Arc::clone(&shards[i]);
+                let progress = Arc::clone(&progress[i]);
+                std::thread::Builder::new()
+                    .name(format!("ltc-shard-{i}"))
+                    .spawn(move || worker_loop(&queue, &shard, &progress))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self {
+            router: Mutex::new(Router {
+                pending: vec![Vec::with_capacity(batch_size); num_shards],
+                sent: vec![0; num_shards],
+            }),
+            queues,
+            progress,
+            shards,
+            workers,
+            batch_size,
+        }
+    }
+
+    /// Number of shards (= worker threads).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Hand-off batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Route one record to its shard's pending batch; hand the batch off
+    /// when it fills. The hot path: one shard hash, one push, no locks
+    /// (`get_mut` proves exclusivity statically).
+    #[inline]
+    pub fn insert(&mut self, id: ItemId) {
+        let n = self.shards.len();
+        let shard = shard_of_id(id, n);
+        let router = self.router.get_mut().expect("router poisoned");
+        let pending = &mut router.pending[shard];
+        pending.push(id);
+        if pending.len() >= self.batch_size {
+            let batch = std::mem::replace(pending, Vec::with_capacity(self.batch_size));
+            router.sent[shard] += 1;
+            self.queues[shard].push(Msg::Batch(batch));
+        }
+    }
+
+    /// Route a whole run of records — one routing pass, then per-shard
+    /// hand-off of every batch that filled.
+    pub fn insert_batch(&mut self, ids: &[ItemId]) {
+        let n = self.shards.len();
+        let batch_size = self.batch_size;
+        let router = self.router.get_mut().expect("router poisoned");
+        for &id in ids {
+            let shard = shard_of_id(id, n);
+            let pending = &mut router.pending[shard];
+            pending.push(id);
+            if pending.len() >= batch_size {
+                let batch = std::mem::replace(pending, Vec::with_capacity(batch_size));
+                router.sent[shard] += 1;
+                self.queues[shard].push(Msg::Batch(batch));
+            }
+        }
+    }
+
+    /// Epoch barrier: every record routed so far reaches its shard, all
+    /// shards close the period, and the call returns only once every worker
+    /// has acknowledged — the parallel stream sees the same period boundary
+    /// on every shard.
+    pub fn end_period(&mut self) {
+        self.broadcast_and_wait(Msg::EndPeriod);
+    }
+
+    /// Flush + finalize every shard (harvest last-period CLOCK flags), with
+    /// the same barrier semantics as [`end_period`](ParallelLtc::end_period).
+    pub fn finish(&mut self) {
+        self.broadcast_and_wait(Msg::Finish);
+    }
+
+    /// Drain the pipeline: flush pending batches and wait until every
+    /// worker has processed everything sent. Queries call this first.
+    pub fn sync(&self) {
+        let targets: Vec<u64> = {
+            let mut router = self.router.lock().expect("router poisoned");
+            for shard in 0..self.queues.len() {
+                if !router.pending[shard].is_empty() {
+                    let batch = std::mem::replace(
+                        &mut router.pending[shard],
+                        Vec::with_capacity(self.batch_size),
+                    );
+                    router.sent[shard] += 1;
+                    self.queues[shard].push(Msg::Batch(batch));
+                }
+            }
+            router.sent.clone()
+        };
+        for (progress, &target) in self.progress.iter().zip(&targets) {
+            progress.wait_for(target);
+        }
+    }
+
+    /// Flush, enqueue `msg` on every queue, and wait for full acknowledgment.
+    fn broadcast_and_wait(&mut self, msg: Msg) {
+        let router = self.router.get_mut().expect("router poisoned");
+        for shard in 0..self.queues.len() {
+            if !router.pending[shard].is_empty() {
+                let batch = std::mem::replace(
+                    &mut router.pending[shard],
+                    Vec::with_capacity(self.batch_size),
+                );
+                router.sent[shard] += 1;
+                self.queues[shard].push(Msg::Batch(batch));
+            }
+            router.sent[shard] += 1;
+            self.queues[shard].push(match msg {
+                Msg::EndPeriod => Msg::EndPeriod,
+                Msg::Finish => Msg::Finish,
+                Msg::Shutdown => Msg::Shutdown,
+                Msg::Batch(_) => unreachable!("broadcast is for control messages"),
+            });
+        }
+        let targets = router.sent.clone();
+        for (progress, &target) in self.progress.iter().zip(&targets) {
+            progress.wait_for(target);
+        }
+    }
+
+    /// Stop the workers (after draining everything queued) and reassemble
+    /// the shards into a single-threaded [`ShardedLtc`] for further use —
+    /// the inverse of spinning the runtime up.
+    pub fn into_sharded(mut self) -> ShardedLtc {
+        self.broadcast_and_wait(Msg::Shutdown);
+        for worker in self.workers.drain(..) {
+            worker.join().expect("shard worker panicked");
+        }
+        let shards = self
+            .shards
+            .drain(..)
+            .map(|arc| {
+                Arc::try_unwrap(arc)
+                    .expect("workers have exited; no other handles remain")
+                    .into_inner()
+                    .expect("shard poisoned")
+            })
+            .collect();
+        ShardedLtc::from_shards(shards)
+    }
+}
+
+impl Drop for ParallelLtc {
+    fn drop(&mut self) {
+        // `into_sharded` already drained and joined; otherwise stop cleanly.
+        if !self.workers.is_empty() {
+            self.broadcast_and_wait(Msg::Shutdown);
+            for worker in self.workers.drain(..) {
+                // A panicked worker already surfaced its state as poisoned;
+                // don't double-panic in drop.
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(queue: &SpscRing<Msg>, shard: &Mutex<Ltc>, progress: &Progress) {
+    loop {
+        let msg = queue.pop();
+        let stop = matches!(msg, Msg::Shutdown);
+        match msg {
+            Msg::Batch(ids) => shard.lock().expect("shard poisoned").insert_batch(&ids),
+            Msg::EndPeriod => shard.lock().expect("shard poisoned").end_period(),
+            Msg::Finish => shard.lock().expect("shard poisoned").finalize(),
+            Msg::Shutdown => {}
+        }
+        progress.bump();
+        if stop {
+            return;
+        }
+    }
+}
+
+impl StreamProcessor for ParallelLtc {
+    #[inline]
+    fn insert(&mut self, id: ItemId) {
+        ParallelLtc::insert(self, id);
+    }
+
+    fn end_period(&mut self) {
+        ParallelLtc::end_period(self);
+    }
+
+    fn finish(&mut self) {
+        ParallelLtc::finish(self);
+    }
+
+    fn name(&self) -> &'static str {
+        "LTC-parallel"
+    }
+}
+
+impl BatchStreamProcessor for ParallelLtc {
+    #[inline]
+    fn insert_batch(&mut self, ids: &[ItemId]) {
+        ParallelLtc::insert_batch(self, ids);
+    }
+}
+
+impl SignificanceQuery for ParallelLtc {
+    fn estimate(&self, id: ItemId) -> Option<f64> {
+        self.sync();
+        let shard = shard_of_id(id, self.shards.len());
+        self.shards[shard]
+            .lock()
+            .expect("shard poisoned")
+            .estimate(id)
+    }
+
+    fn top_k(&self, k: usize) -> Vec<Estimate> {
+        self.sync();
+        let candidates: Vec<Estimate> = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.lock().expect("shard poisoned").top_k(k))
+            .collect();
+        top_k_of(candidates, k)
+    }
+}
+
+impl MemoryUsage for ParallelLtc {
+    fn memory_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().expect("shard poisoned").memory_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_common::Weights;
+
+    fn config() -> LtcConfig {
+        LtcConfig::builder()
+            .buckets(32)
+            .cells_per_bucket(4)
+            .weights(Weights::BALANCED)
+            .records_per_period(100)
+            .seed(7)
+            .build()
+    }
+
+    #[test]
+    fn single_shard_roundtrip() {
+        let mut p = ParallelLtc::new(config(), 1);
+        for i in 0..500u64 {
+            p.insert(i % 25);
+        }
+        p.end_period();
+        p.finish();
+        assert_eq!(p.top_k(5).len(), 5);
+    }
+
+    #[test]
+    fn matches_sharded_ltc_exactly() {
+        // The core equivalence: same records, same boundaries → every shard
+        // bit-identical to the single-threaded ShardedLtc (compared via the
+        // full Debug rendering, which covers cells, CLOCK and stats).
+        let shards = 4;
+        let mut reference = ShardedLtc::new(config(), shards);
+        let mut parallel = ParallelLtc::with_batch_size(config(), shards, 16);
+        for period in 0..5u64 {
+            for i in 0..200u64 {
+                let id = period * 7 + i * 3;
+                reference.insert(id);
+                parallel.insert(id);
+            }
+            reference.end_period();
+            parallel.end_period();
+        }
+        reference.finalize();
+        parallel.finish();
+        let reassembled = parallel.into_sharded();
+        for s in 0..shards {
+            assert_eq!(
+                format!("{:?}", reference.shard(s)),
+                format!("{:?}", reassembled.shard(s)),
+                "shard {s} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn queries_observe_all_prior_inserts() {
+        let mut p = ParallelLtc::with_batch_size(config(), 3, 64);
+        for _ in 0..10 {
+            p.insert(42);
+        }
+        // 42's batch is still pending; the query must flush + drain first.
+        assert_eq!(p.estimate(42), Some(10.0));
+    }
+
+    #[test]
+    fn drop_without_finish_is_clean() {
+        let mut p = ParallelLtc::new(config(), 2);
+        for i in 0..100u64 {
+            p.insert(i);
+        }
+        drop(p); // must not hang or leak threads
+    }
+
+    #[test]
+    fn memory_sums_over_shards() {
+        let p = ParallelLtc::new(config(), 3);
+        assert_eq!(p.memory_bytes(), 3 * 32 * 4 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_rejected() {
+        let _ = ParallelLtc::with_batch_size(config(), 2, 0);
+    }
+}

@@ -10,15 +10,24 @@
 //! candidates (no cross-shard error, unlike splitting the stream randomly).
 //!
 //! [`ShardedLtc`] is the single-threaded container (routing, fan-out of
-//! period boundaries, merged queries). For actual parallelism, move the
-//! shards into worker threads with [`ShardedLtc::into_shards`], feed each
-//! its own sub-stream (routing with [`shard_of`](ShardedLtc::shard_of)'s
-//! standalone twin [`shard_of_id`]), and reassemble with
-//! [`ShardedLtc::from_shards`] — see `examples/parallel_shards.rs`.
+//! period boundaries, merged queries). For actual parallelism use the
+//! ready-made runtime in [`crate::pipeline`]: [`ParallelLtc`] owns one
+//! worker thread per shard, routes batches over bounded queues with the
+//! same [`shard_of_id`] partition, and synchronises `end_period` with an
+//! epoch barrier — so its shards stay bit-identical to this container's
+//! (see `tests/parallel_pipeline.rs` and `examples/parallel_shards.rs`).
+//! The building blocks remain public for custom topologies: move shards
+//! into your own threads with [`ShardedLtc::into_shards`], route with
+//! [`shard_of_id`], reassemble with [`ShardedLtc::from_shards`].
+//!
+//! [`ParallelLtc`]: crate::pipeline::ParallelLtc
 
 use crate::config::LtcConfig;
 use crate::table::Ltc;
-use ltc_common::{top_k_of, Estimate, ItemId, MemoryUsage, SignificanceQuery, StreamProcessor};
+use ltc_common::{
+    top_k_of, BatchStreamProcessor, Estimate, ItemId, MemoryUsage, SignificanceQuery,
+    StreamProcessor,
+};
 use ltc_hash::bob_hash_u64;
 
 /// Seed for the shard-routing hash. Distinct from every table seed so that
@@ -87,6 +96,27 @@ impl ShardedLtc {
             s.finalize();
         }
     }
+
+    /// Route a batch: one scan over `ids` splits it into per-shard runs
+    /// (preserving each shard's record order), then every shard ingests its
+    /// run through [`Ltc::insert_batch`]. Equivalent to routing the records
+    /// one by one.
+    pub fn insert_batch(&mut self, ids: &[ItemId]) {
+        let n = self.shards.len();
+        if n == 1 {
+            self.shards[0].insert_batch(ids);
+            return;
+        }
+        let mut routed: Vec<Vec<ItemId>> = vec![Vec::with_capacity(ids.len() / n + 1); n];
+        for &id in ids {
+            routed[shard_of_id(id, n)].push(id);
+        }
+        for (shard, run) in self.shards.iter_mut().zip(&routed) {
+            if !run.is_empty() {
+                shard.insert_batch(run);
+            }
+        }
+    }
 }
 
 impl StreamProcessor for ShardedLtc {
@@ -108,6 +138,13 @@ impl StreamProcessor for ShardedLtc {
 
     fn name(&self) -> &'static str {
         "LTC-sharded"
+    }
+}
+
+impl BatchStreamProcessor for ShardedLtc {
+    #[inline]
+    fn insert_batch(&mut self, ids: &[ItemId]) {
+        ShardedLtc::insert_batch(self, ids);
     }
 }
 

@@ -1,0 +1,150 @@
+//! Bounded hand-off queues for the parallel pipeline.
+//!
+//! [`SpscRing`] is the rendezvous between the routing thread and one worker
+//! of [`crate::pipeline::ParallelLtc`]: a bounded FIFO ring used
+//! single-producer/single-consumer (the type itself is thread-safe for any
+//! number of parties; the pipeline simply never shares one ring between two
+//! producers). The bound is the pipeline's backpressure: when a worker falls
+//! behind, [`push`](SpscRing::push) blocks the router instead of queueing
+//! unbounded memory.
+//!
+//! The core crate forbids `unsafe`, so the ring is a `Mutex<VecDeque>` with
+//! two condition variables rather than an atomics-based ring. That costs one
+//! uncontended lock per *message* — which is why the pipeline hands off
+//! whole batches of records per message, amortising the lock to a fraction
+//! of a nanosecond per record.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded FIFO hand-off queue. See the module docs.
+#[derive(Debug)]
+pub struct SpscRing<T> {
+    inner: Mutex<VecDeque<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> SpscRing<T> {
+    /// A ring holding at most `capacity` messages.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued messages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring poisoned").len()
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue, blocking while the ring is full (backpressure).
+    pub fn push(&self, item: T) {
+        let mut q = self.inner.lock().expect("ring poisoned");
+        while q.len() >= self.capacity {
+            q = self.not_full.wait(q).expect("ring poisoned");
+        }
+        q.push_back(item);
+        drop(q);
+        self.not_empty.notify_one();
+    }
+
+    /// Dequeue, blocking while the ring is empty.
+    pub fn pop(&self) -> T {
+        let mut q = self.inner.lock().expect("ring poisoned");
+        while q.is_empty() {
+            q = self.not_empty.wait(q).expect("ring poisoned");
+        }
+        let item = q.pop_front().expect("non-empty after wait");
+        drop(q);
+        self.not_full.notify_one();
+        item
+    }
+
+    /// Dequeue if a message is ready; never blocks.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut q = self.inner.lock().expect("ring poisoned");
+        let item = q.pop_front();
+        if item.is_some() {
+            drop(q);
+            self.not_full.notify_one();
+        }
+        item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let ring = SpscRing::with_capacity(4);
+        ring.push(1);
+        ring.push(2);
+        ring.push(3);
+        assert_eq!(ring.pop(), 1);
+        assert_eq!(ring.pop(), 2);
+        assert_eq!(ring.pop(), 3);
+        assert!(ring.try_pop().is_none());
+    }
+
+    #[test]
+    fn blocks_until_capacity_frees() {
+        let ring = Arc::new(SpscRing::with_capacity(2));
+        ring.push(1);
+        ring.push(2);
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.push(3)) // blocks until a pop
+        };
+        assert_eq!(ring.pop(), 1);
+        producer.join().expect("producer completes after the pop");
+        assert_eq!(ring.pop(), 2);
+        assert_eq!(ring.pop(), 3);
+    }
+
+    #[test]
+    fn cross_thread_stream() {
+        let ring = Arc::new(SpscRing::with_capacity(8));
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                loop {
+                    match ring.pop() {
+                        0 => return sum,
+                        v => sum += v,
+                    }
+                }
+            })
+        };
+        for v in 1..=100u64 {
+            ring.push(v);
+        }
+        ring.push(0);
+        assert_eq!(consumer.join().unwrap(), 5050);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SpscRing::<u32>::with_capacity(0);
+    }
+}

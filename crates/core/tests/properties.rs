@@ -360,6 +360,148 @@ proptest! {
     }
 }
 
+/// Split `stream` into consecutive chunks whose lengths cycle through
+/// `sizes` (the tail chunk may be shorter). Drives the batch-equivalence
+/// tests below with arbitrary batch boundaries.
+fn chunks_by_sizes<'a, T>(stream: &'a [T], sizes: &'a [usize]) -> Vec<&'a [T]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    while start < stream.len() {
+        let len = sizes[i % sizes.len()].min(stream.len() - start);
+        out.push(&stream[start..start + len]);
+        start += len;
+        i += 1;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `insert_batch` is bit-identical to the scalar `insert` loop for any
+    /// stream, any batch split, any variant, with period boundaries mixed
+    /// in. The comparison is on the full `Debug` rendering, which covers
+    /// every field: cells, CLOCK pointer state (position, accumulator,
+    /// sweep progress), parity, period counters and statistics.
+    #[test]
+    fn batch_insert_matches_scalar_count_driven(
+        stream in prop::collection::vec(0u64..30, 1..500),
+        sizes in prop::collection::vec(1usize..40, 1..12),
+        per_period in 10u64..60,
+        de in any::<bool>(),
+        ltr in any::<bool>(),
+        boundary_every in 1usize..5,
+    ) {
+        let cfg = LtcConfig::builder()
+            .buckets(4)
+            .cells_per_bucket(4)
+            .records_per_period(per_period)
+            .weights(Weights::BALANCED)
+            .variant(Variant { deviation_eliminator: de, long_tail_replacement: ltr })
+            .seed(42)
+            .build();
+        let mut scalar = Ltc::new(cfg);
+        let mut batched = Ltc::new(cfg);
+        for (i, chunk) in chunks_by_sizes(&stream, &sizes).into_iter().enumerate() {
+            for &id in chunk {
+                scalar.insert(id);
+            }
+            batched.insert_batch(chunk);
+            if (i + 1) % boundary_every == 0 {
+                scalar.end_period();
+                batched.end_period();
+            }
+            prop_assert_eq!(
+                format!("{scalar:?}"),
+                format!("{batched:?}"),
+                "diverged after chunk {}", i
+            );
+        }
+        scalar.finalize();
+        batched.finalize();
+        prop_assert_eq!(format!("{scalar:?}"), format!("{batched:?}"));
+    }
+
+    /// `insert_batch_at` is bit-identical to the scalar `insert_at` loop
+    /// for any timestamped stream and any batch split, including batches
+    /// that straddle (or skip whole) period boundaries.
+    #[test]
+    fn batch_insert_matches_scalar_time_driven(
+        events in prop::collection::vec((0u64..30, 0u64..80), 1..400),
+        sizes in prop::collection::vec(1usize..40, 1..12),
+        period_len in 50u64..300,
+        de in any::<bool>(),
+        ltr in any::<bool>(),
+    ) {
+        let mut t = 0u64;
+        let timeline: Vec<(u64, u64)> = events
+            .iter()
+            .map(|&(id, gap)| {
+                t += gap;
+                (id, t)
+            })
+            .collect();
+        let cfg = LtcConfig::builder()
+            .buckets(4)
+            .cells_per_bucket(4)
+            .time_units_per_period(period_len)
+            .weights(Weights::BALANCED)
+            .variant(Variant { deviation_eliminator: de, long_tail_replacement: ltr })
+            .seed(42)
+            .build();
+        let mut scalar = Ltc::new(cfg);
+        let mut batched = Ltc::new(cfg);
+        for (i, chunk) in chunks_by_sizes(&timeline, &sizes).into_iter().enumerate() {
+            for &(id, at) in chunk {
+                scalar.insert_at(id, at);
+            }
+            batched.insert_batch_at(chunk);
+            prop_assert_eq!(
+                format!("{scalar:?}"),
+                format!("{batched:?}"),
+                "diverged after chunk {}", i
+            );
+        }
+        scalar.end_period();
+        batched.end_period();
+        scalar.finalize();
+        batched.finalize();
+        prop_assert_eq!(format!("{scalar:?}"), format!("{batched:?}"));
+    }
+
+    /// Sharded routing commutes with batching: feeding a `ShardedLtc`
+    /// record-by-record and batch-by-batch produces identical shard states.
+    #[test]
+    fn sharded_batch_matches_scalar(
+        stream in prop::collection::vec(0u64..200, 1..400),
+        sizes in prop::collection::vec(1usize..50, 1..8),
+        shards in 1usize..6,
+    ) {
+        use ltc_core::ShardedLtc;
+        use ltc_common::StreamProcessor;
+        let cfg = LtcConfig::builder()
+            .buckets(8)
+            .cells_per_bucket(4)
+            .records_per_period(50)
+            .weights(Weights::BALANCED)
+            .variant(Variant::FULL)
+            .seed(7)
+            .build();
+        let mut scalar = ShardedLtc::new(cfg, shards);
+        let mut batched = ShardedLtc::new(cfg, shards);
+        for chunk in chunks_by_sizes(&stream, &sizes) {
+            for &id in chunk {
+                scalar.insert(id);
+            }
+            batched.insert_batch(chunk);
+        }
+        scalar.end_period();
+        batched.end_period();
+        prop_assert_eq!(format!("{scalar:?}"), format!("{batched:?}"));
+    }
+}
+
 /// Deterministic regression: the Figure-4 deviation scenario. An item whose
 /// cell is scanned mid-period, appearing around the scan, gets double-counted
 /// by the basic variant but counted once by the Deviation Eliminator.

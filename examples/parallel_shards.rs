@@ -3,17 +3,19 @@
 //! flows all over the data center can be efficiently identified, we can
 //! make a global solution", use case 3) in miniature.
 //!
-//! Each worker owns one shard (an independent LTC) and one sub-stream; the
-//! partition is by *item hash*, so all occurrences of a flow land in the
-//! same shard and per-flow counts stay exact-ish. At the end, shards are
-//! reassembled and queried globally.
+//! `ParallelLtc` does the plumbing that used to live in this example by
+//! hand: it owns one worker thread per shard, routes every record to the
+//! shard owning its item hash (so per-flow counts stay exact-ish), hands
+//! batches over bounded queues, and broadcasts `end_period` through an
+//! epoch barrier so every shard closes the same period on the same records.
+//! The result is bit-identical to feeding a single-threaded `ShardedLtc`.
 //!
 //! ```sh
 //! cargo run --release --example parallel_shards
 //! ```
 
-use significant_items::core_::sharded::{shard_of_id, ShardedLtc};
-use significant_items::core_::{Ltc, LtcConfig};
+use significant_items::core_::sharded::shard_of_id;
+use significant_items::core_::{LtcConfig, ParallelLtc};
 use significant_items::prelude::*;
 use significant_items::workloads::{generate, StreamSpec};
 use std::time::Instant;
@@ -43,47 +45,27 @@ fn main() {
         .records_per_period(n_per_period / SHARDS as u64)
         .build();
 
-    // Pre-partition each period's records by owning shard.
-    println!("partitioning into {SHARDS} shards…");
-    let mut sub_streams: Vec<Vec<Vec<u64>>> = vec![Vec::new(); SHARDS];
-    for period in stream.periods() {
-        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); SHARDS];
-        for &id in period {
-            buckets[shard_of_id(id, SHARDS)].push(id);
-        }
-        for (s, b) in buckets.into_iter().enumerate() {
-            sub_streams[s].push(b);
-        }
-    }
-
-    // Feed each shard in its own thread.
+    // The ingest loop has the same shape as the single-threaded one: batch
+    // in, period boundary, repeat. Routing, thread hand-off, and the
+    // period barrier all happen behind `insert_batch`/`end_period`.
     let start = Instant::now();
-    let sharded = ShardedLtc::new(config, SHARDS);
-    let mut shards: Vec<Ltc> = sharded.into_shards();
-    std::thread::scope(|scope| {
-        for (shard, sub) in shards.iter_mut().zip(&sub_streams) {
-            scope.spawn(move || {
-                for period in sub {
-                    for &id in period {
-                        shard.insert(id);
-                    }
-                    shard.end_period();
-                }
-                shard.finalize();
-            });
-        }
-    });
+    let mut pipeline = ParallelLtc::new(config, SHARDS);
+    for period in stream.periods() {
+        pipeline.insert_batch(period);
+        pipeline.end_period();
+    }
+    pipeline.finish();
     let elapsed = start.elapsed();
-    let sharded = ShardedLtc::from_shards(shards);
 
     println!(
-        "processed {} records on {SHARDS} threads in {:.2?} ({:.1} Mops aggregate)\n",
+        "processed {} records on {SHARDS} worker threads in {:.2?} ({:.1} Mops)\n",
         stream.len(),
         elapsed,
         stream.len() as f64 / elapsed.as_secs_f64() / 1e6
     );
     println!("global top-10 significant flows (α=1, β=100):");
-    for (rank, e) in sharded.top_k(10).iter().enumerate() {
+    let live_top10 = pipeline.top_k(10);
+    for (rank, e) in live_top10.iter().enumerate() {
         println!(
             "  #{:<2} flow {:<20} ŝ = {:>8}   (shard {})",
             rank + 1,
@@ -94,6 +76,12 @@ fn main() {
     }
     println!(
         "\ntotal memory across shards: {} KB",
-        significant_items::common::MemoryUsage::memory_bytes(&sharded) / 1024
+        significant_items::common::MemoryUsage::memory_bytes(&pipeline) / 1024
     );
+
+    // Workers join here; the reassembled single-threaded `ShardedLtc`
+    // answers the same queries with no threads left running.
+    let sharded = pipeline.into_sharded();
+    assert_eq!(sharded.top_k(10), live_top10);
+    println!("reassembled ShardedLtc agrees with the live pipeline ✓");
 }

@@ -74,7 +74,8 @@ pub mod keyed;
 pub mod prelude {
     pub use crate::keyed::KeyedLtc;
     pub use ltc_common::{
-        Estimate, ItemId, MemoryBudget, PeriodLayout, SignificanceQuery, StreamProcessor, Weights,
+        BatchStreamProcessor, Estimate, ItemId, MemoryBudget, PeriodLayout, SignificanceQuery,
+        StreamProcessor, Weights,
     };
-    pub use ltc_core::{Ltc, LtcConfig, ShardedLtc, Variant, WindowedLtc};
+    pub use ltc_core::{Ltc, LtcConfig, ParallelLtc, ShardedLtc, Variant, WindowedLtc};
 }

@@ -1,0 +1,556 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the subset of the proptest 1.x API this workspace's property
+//! tests use: the [`Strategy`] trait over ranges, tuples and collections,
+//! [`arbitrary::any`], `prop::collection::vec`, the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, and the `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!` family.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its inputs verbatim; re-run
+//!   with the printed inputs to debug.
+//! * **Deterministic seeding.** Each test's RNG is seeded from the test's
+//!   module path and name, so failures reproduce across runs (similar to
+//!   running proptest with a fixed `ProptestConfig::rng_seed`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Strategies: how to generate random values of a type.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate with a strategy derived from each value (dependent
+        /// generation).
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Keep only values satisfying `f`; generation retries (up to a
+        /// cap) until one passes.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                f,
+                whence,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut SmallRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+        pub(crate) whence: &'static str,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut SmallRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 candidates: {}", self.whence);
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut SmallRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+}
+
+/// `any::<T>()`: the canonical full-range strategy per type.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut SmallRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            rng.gen::<u64>() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            // Finite values only: uniform in sign and magnitude-of-exponent,
+            // which is what the workspace's tests want from `any::<f64>()`.
+            let m: f64 = rng.gen();
+            let e: i32 = rng.gen_range(0u32..64) as i32 - 32;
+            let s = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+            s * m * 2f64.powi(e)
+        }
+    }
+
+    /// Strategy for [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<bool>()`, `any::<u8>()`, …).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange { lo, hi }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: `len` elements of `elem`, `len` drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-running machinery used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is retried.
+        Reject(String),
+        /// An assertion failed; the test fails.
+        Fail(String),
+    }
+
+    /// Deterministic RNG for a named test: failures reproduce across runs.
+    pub fn rng_for(test_name: &str) -> SmallRng {
+        // FNV-1a over the fully qualified test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SmallRng::seed_from_u64(h)
+    }
+}
+
+/// The macro-facing prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// The `prop::` module alias (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)*), l, r),
+            ));
+        }
+    }};
+}
+
+/// Fail the current case if `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Reject the current case (retried with fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Mirrors proptest's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in prop::collection::vec(0u32..10, 1..50)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            // Evaluate each strategy expression once, up front.
+            $(let $arg = $strat;)+
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            let __max_attempts = __cfg.cases.saturating_mul(20).max(100);
+            while __passed < __cfg.cases {
+                __attempts += 1;
+                if __attempts > __max_attempts {
+                    panic!(
+                        "proptest `{}`: too many rejected cases ({} attempts for {} passes)",
+                        stringify!($name), __attempts, __passed
+                    );
+                }
+                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)+
+                let __inputs = format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                    $(&$arg),+
+                );
+                let __outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => { __passed += 1; }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest `{}` failed: {}\ninputs:{}",
+                            stringify!($name), msg, __inputs
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 1usize..=4, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..=4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0u32..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for &x in &v {
+                prop_assert!(x < 10);
+            }
+        }
+
+        #[test]
+        fn tuples_and_map(
+            pair in (0u32..5, 10u32..20),
+            mapped in (0u64..100).prop_map(|x| x * 2),
+        ) {
+            prop_assert!(pair.0 < 5 && pair.1 >= 10);
+            prop_assert_eq!(mapped % 2, 0);
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::rng_for("some::test");
+        let mut b = crate::test_runner::rng_for("some::test");
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest `always_fails` failed")]
+    fn failing_case_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

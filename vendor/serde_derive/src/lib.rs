@@ -1,0 +1,301 @@
+//! Derive macros for the in-workspace `serde` stand-in.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` — the build
+//! environment is offline), supporting exactly the shapes this workspace
+//! derives on:
+//!
+//! * structs with named fields (any visibility, doc comments allowed);
+//! * enums whose variants are unit or have named fields.
+//!
+//! Serialization follows serde's externally-tagged default: structs become
+//! objects, unit variants become `"VariantName"` strings, and named-field
+//! variants become `{"VariantName": {fields…}}` objects. Generics, tuple
+//! structs, and container attributes are not supported and fail with a
+//! compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the item under the derive.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        /// `(variant_name, named_fields)`; unit variants have no fields.
+        variants: Vec<(String, Vec<String>)>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip attributes (`#[...]`, incl. expanded doc comments) and visibility
+/// (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parse the names of named fields inside a brace group's tokens.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(tt) = tokens.get(i) else { break };
+        let TokenTree::Ident(name) = tt else {
+            return Err(format!("expected field name, found `{tt}`"));
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        // Consume the type: everything until a `,` at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+    }
+    Ok(fields)
+}
+
+/// Parse enum variants from a brace group's tokens.
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<(String, Vec<String>)>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(tt) = tokens.get(i) else { break };
+        let TokenTree::Ident(name) = tt else {
+            return Err(format!("expected variant name, found `{tt}`"));
+        };
+        let name = name.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                variants.push((name, parse_named_fields(&inner)?));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!("tuple variant `{name}` is not supported"));
+            }
+            _ => variants.push((name, Vec::new())),
+        }
+        // Skip an optional discriminant and the trailing comma.
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("generic type `{name}` is not supported"));
+        }
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(i) else {
+        return Err(format!("unit/tuple {kind} `{name}` is not supported"));
+    };
+    if g.delimiter() != Delimiter::Brace {
+        return Err(format!("tuple {kind} `{name}` is not supported"));
+    }
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    Ok(if kind == "struct" {
+        Item::Struct {
+            name,
+            fields: parse_named_fields(&inner)?,
+        }
+    } else {
+        Item::Enum {
+            name,
+            variants: parse_variants(&inner)?,
+        }
+    })
+}
+
+/// Derive `serde::Serialize` (JSON-value form; see the crate docs for the
+/// supported shapes).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&format!("#[derive(Serialize)]: {e}")),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "obj.push(({f:?}.to_string(), ::serde::Serialize::to_json_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Obj(obj)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| {
+                    if fields.is_empty() {
+                        format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n")
+                    } else {
+                        let binds = fields.join(", ");
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "obj.push(({f:?}.to_string(), ::serde::Serialize::to_json_value({f})));\n"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                                 let mut obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                                 {pushes}\
+                                 ::serde::Value::Obj(vec![({v:?}.to_string(), ::serde::Value::Obj(obj))])\n\
+                             }}\n"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derive `serde::Deserialize` (JSON-value form; see the crate docs for the
+/// supported shapes).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&format!("#[derive(Deserialize)]: {e}")),
+    };
+    let field_expr = |f: &str, ctx: &str| {
+        format!(
+            "{f}: ::serde::Deserialize::from_json_value(\
+                 {ctx}.get_field({f:?}).ok_or_else(|| ::serde::Error::missing_field({f:?}))?\
+             )?,\n"
+        )
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields.iter().map(|f| field_expr(f, "v")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if !matches!(v, ::serde::Value::Obj(_)) {{\n\
+                             return ::std::result::Result::Err(::serde::Error::expected(\"object\", v));\n\
+                         }}\n\
+                         ::std::result::Result::Ok(Self {{\n{inits}\n}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| fields.is_empty())
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, fields)| !fields.is_empty())
+                .map(|(v, fields)| {
+                    let inits: String = fields.iter().map(|f| field_expr(f, "inner")).collect();
+                    format!("{v:?} => ::std::result::Result::Ok({name}::{v} {{\n{inits}\n}}),\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     format!(\"unknown unit variant `{{other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Obj(pairs) if pairs.len() == 1 => {{\n\
+                                 let (tag, inner) = &pairs[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                                         format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::expected(\"externally tagged enum\", v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
