@@ -75,27 +75,36 @@ impl ClockPointer {
             "CLOCK tick denominator (records or time units per period) must be positive"
         );
         self.acc = self.acc.saturating_add(numerator);
-        let due = self.acc / denominator;
+        let due = self.acc.checked_div(denominator).unwrap_or(0);
         if due == 0 {
             return;
         }
         // Cap at one full sweep per period: once every cell has been
         // scanned, further progress within the period is a no-op (can
         // only happen on over-long periods in time-driven mode).
-        let remaining = self.total as u64 - self.scanned_this_period;
+        let remaining = (self.total as u64).saturating_sub(self.scanned_this_period);
         let steps = if due > remaining {
             self.acc = 0;
             remaining
         } else {
-            // `due * denominator <= acc`, so this cannot overflow.
-            self.acc -= due * denominator;
+            // `due * denominator <= acc`, so neither op can saturate.
+            self.acc = self.acc.saturating_sub(due.saturating_mul(denominator));
             due
         };
         for _ in 0..steps {
             scan(self.pos);
-            self.pos = (self.pos + 1) % self.total;
+            self.advance_pos();
         }
-        self.scanned_this_period += steps;
+        self.scanned_this_period = self.scanned_this_period.saturating_add(steps);
+    }
+
+    /// One slot forward, wrapping at `total` without a modulo.
+    #[inline]
+    fn advance_pos(&mut self) {
+        self.pos = self.pos.wrapping_add(1);
+        if self.pos >= self.total {
+            self.pos = 0;
+        }
     }
 
     /// How many consecutive [`tick`](ClockPointer::tick)s of
@@ -118,7 +127,13 @@ impl ClockPointer {
         if self.acc >= denominator {
             return 0;
         }
-        (denominator - 1 - self.acc) / numerator
+        // `numerator > 0` (checked above); 0 on the unreachable division
+        // failure is the conservative answer — "no tick is scan-free".
+        denominator
+            .saturating_sub(1)
+            .saturating_sub(self.acc)
+            .checked_div(numerator)
+            .unwrap_or(0)
     }
 
     /// Advance the accumulator by `count` ticks of `numerator` known (via
@@ -132,8 +147,8 @@ impl ClockPointer {
             "advance_scan_free would cross a scan boundary"
         );
         // count·numerator ≤ denominator − 1 − acc, so this stays below the
-        // denominator and cannot overflow.
-        self.acc += count * numerator;
+        // denominator and cannot saturate.
+        self.acc = self.acc.saturating_add(count.saturating_mul(numerator));
     }
 
     /// Complete the current sweep: scan every not-yet-visited cell of this
@@ -144,8 +159,8 @@ impl ClockPointer {
     pub fn finish_period(&mut self, mut scan: impl FnMut(usize)) {
         while self.scanned_this_period < self.total as u64 {
             scan(self.pos);
-            self.pos = (self.pos + 1) % self.total;
-            self.scanned_this_period += 1;
+            self.advance_pos();
+            self.scanned_this_period = self.scanned_this_period.saturating_add(1);
         }
         self.acc = 0;
         self.scanned_this_period = 0;
@@ -154,8 +169,13 @@ impl ClockPointer {
     /// Scan every cell once *without* touching period state — used for the
     /// final harvest after the stream ends.
     pub fn full_sweep(&self, mut scan: impl FnMut(usize)) {
-        for i in 0..self.total {
-            scan((self.pos + i) % self.total);
+        let mut pos = self.pos;
+        for _ in 0..self.total {
+            scan(pos);
+            pos = pos.wrapping_add(1);
+            if pos >= self.total {
+                pos = 0;
+            }
         }
     }
 }

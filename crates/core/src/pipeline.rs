@@ -41,7 +41,7 @@ use ltc_common::{
     top_k_of, BatchStreamProcessor, Estimate, ItemId, MemoryUsage, SignificanceQuery,
     StreamProcessor,
 };
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 /// Records accumulated per shard before a batch is handed to its worker.
@@ -62,27 +62,73 @@ enum Msg {
     Shutdown,
 }
 
+/// Poison-tolerant lock. A worker that panicked is surfaced by the barrier
+/// (its progress counter stops advancing) or by `into_sharded`'s join
+/// check — not by cascading poison panics through every query path.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 /// Monotone completion counter a worker bumps after every message, with a
 /// condvar so the router can wait for a target — the ack half of the epoch
 /// barrier.
-#[derive(Debug, Default)]
-struct Progress {
-    done: Mutex<u64>,
-    changed: Condvar,
+///
+/// Built on [`crate::shim`] primitives and exposed (`#[doc(hidden)]`) so
+/// `tests/loom_barrier.rs` can model-check the wait/bump handshake under
+/// every bounded interleaving: `wait_for(t)` must never return before `t`
+/// bumps happened, and must never miss a wakeup (which the model would
+/// report as a deadlock). Not part of the public API.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct Progress {
+    done: crate::shim::Mutex<u64>,
+    changed: crate::shim::Condvar,
+}
+
+impl Default for Progress {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Progress {
-    fn bump(&self) {
-        let mut done = self.done.lock().expect("progress poisoned");
-        *done += 1;
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self {
+            done: crate::shim::Mutex::new(0),
+            changed: crate::shim::Condvar::new(),
+        }
+    }
+
+    /// Record one completed message and wake any waiting router.
+    pub fn bump(&self) {
+        let mut done = match self.done.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *done = done.saturating_add(1);
         drop(done);
         self.changed.notify_all();
     }
 
-    fn wait_for(&self, target: u64) {
-        let mut done = self.done.lock().expect("progress poisoned");
+    /// Block until at least `target` messages have completed. The
+    /// predicate is (re)checked under the same lock `bump` holds while
+    /// incrementing, so a wakeup between the check and the wait cannot be
+    /// lost — `tests/loom_barrier.rs` proves a check-then-wait variant
+    /// without that discipline deadlocks.
+    pub fn wait_for(&self, target: u64) {
+        let mut done = match self.done.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         while *done < target {
-            done = self.changed.wait(done).expect("progress poisoned");
+            done = match self.changed.wait(done) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
         }
     }
 }
@@ -139,18 +185,21 @@ impl ParallelLtc {
         let queues: Vec<Arc<SpscRing<Msg>>> = (0..num_shards)
             .map(|_| Arc::new(SpscRing::with_capacity(RING_CAPACITY)))
             .collect();
-        let progress: Vec<Arc<Progress>> = (0..num_shards)
-            .map(|_| Arc::new(Progress::default()))
-            .collect();
-        let workers = (0..num_shards)
-            .map(|i| {
-                let queue = Arc::clone(&queues[i]);
-                let shard = Arc::clone(&shards[i]);
-                let progress = Arc::clone(&progress[i]);
+        let progress: Vec<Arc<Progress>> =
+            (0..num_shards).map(|_| Arc::new(Progress::new())).collect();
+        let workers = queues
+            .iter()
+            .zip(&shards)
+            .zip(&progress)
+            .enumerate()
+            .map(|(i, ((queue, shard), progress))| {
+                let queue = Arc::clone(queue);
+                let shard = Arc::clone(shard);
+                let progress = Arc::clone(progress);
                 std::thread::Builder::new()
                     .name(format!("ltc-shard-{i}"))
                     .spawn(move || worker_loop(&queue, &shard, &progress))
-                    .expect("spawn shard worker")
+                    .expect("spawn shard worker") // lint:allow(no_panic): startup-only, cannot be handled locally
             })
             .collect();
         Self {
@@ -177,19 +226,23 @@ impl ParallelLtc {
     }
 
     /// Route one record to its shard's pending batch; hand the batch off
-    /// when it fills. The hot path: one shard hash, one push, no locks
-    /// (`get_mut` proves exclusivity statically).
+    /// when it fills. The hot path: one shard hash, one push, no locks.
     #[inline]
     pub fn insert(&mut self, id: ItemId) {
         let n = self.shards.len();
+        let batch_size = self.batch_size;
         let shard = shard_of_id(id, n);
-        let router = self.router.get_mut().expect("router poisoned");
-        let pending = &mut router.pending[shard];
-        pending.push(id);
-        if pending.len() >= self.batch_size {
-            let batch = std::mem::replace(pending, Vec::with_capacity(self.batch_size));
-            router.sent[shard] += 1;
-            self.queues[shard].push(Msg::Batch(batch));
+        let router = match self.router.get_mut() {
+            Ok(router) => router,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // `shard_of_id` returns a value below `n`, so the lookups succeed.
+        if let (Some(pending), Some(sent), Some(queue)) = (
+            router.pending.get_mut(shard),
+            router.sent.get_mut(shard),
+            self.queues.get(shard),
+        ) {
+            route_one(pending, sent, queue, batch_size, id);
         }
     }
 
@@ -198,15 +251,19 @@ impl ParallelLtc {
     pub fn insert_batch(&mut self, ids: &[ItemId]) {
         let n = self.shards.len();
         let batch_size = self.batch_size;
-        let router = self.router.get_mut().expect("router poisoned");
+        let queues = &self.queues;
+        let router = match self.router.get_mut() {
+            Ok(router) => router,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         for &id in ids {
             let shard = shard_of_id(id, n);
-            let pending = &mut router.pending[shard];
-            pending.push(id);
-            if pending.len() >= batch_size {
-                let batch = std::mem::replace(pending, Vec::with_capacity(batch_size));
-                router.sent[shard] += 1;
-                self.queues[shard].push(Msg::Batch(batch));
+            if let (Some(pending), Some(sent), Some(queue)) = (
+                router.pending.get_mut(shard),
+                router.sent.get_mut(shard),
+                queues.get(shard),
+            ) {
+                route_one(pending, sent, queue, batch_size, id);
             }
         }
     }
@@ -216,30 +273,21 @@ impl ParallelLtc {
     /// has acknowledged — the parallel stream sees the same period boundary
     /// on every shard.
     pub fn end_period(&mut self) {
-        self.broadcast_and_wait(Msg::EndPeriod);
+        self.broadcast_and_wait(|| Msg::EndPeriod);
     }
 
     /// Flush + finalize every shard (harvest last-period CLOCK flags), with
     /// the same barrier semantics as [`end_period`](ParallelLtc::end_period).
     pub fn finish(&mut self) {
-        self.broadcast_and_wait(Msg::Finish);
+        self.broadcast_and_wait(|| Msg::Finish);
     }
 
     /// Drain the pipeline: flush pending batches and wait until every
     /// worker has processed everything sent. Queries call this first.
     pub fn sync(&self) {
         let targets: Vec<u64> = {
-            let mut router = self.router.lock().expect("router poisoned");
-            for shard in 0..self.queues.len() {
-                if !router.pending[shard].is_empty() {
-                    let batch = std::mem::replace(
-                        &mut router.pending[shard],
-                        Vec::with_capacity(self.batch_size),
-                    );
-                    router.sent[shard] += 1;
-                    self.queues[shard].push(Msg::Batch(batch));
-                }
-            }
+            let mut router = lock_recover(&self.router);
+            flush_pending(&mut router, &self.queues, self.batch_size);
             router.sent.clone()
         };
         for (progress, &target) in self.progress.iter().zip(&targets) {
@@ -247,25 +295,18 @@ impl ParallelLtc {
         }
     }
 
-    /// Flush, enqueue `msg` on every queue, and wait for full acknowledgment.
-    fn broadcast_and_wait(&mut self, msg: Msg) {
-        let router = self.router.get_mut().expect("router poisoned");
-        for shard in 0..self.queues.len() {
-            if !router.pending[shard].is_empty() {
-                let batch = std::mem::replace(
-                    &mut router.pending[shard],
-                    Vec::with_capacity(self.batch_size),
-                );
-                router.sent[shard] += 1;
-                self.queues[shard].push(Msg::Batch(batch));
-            }
-            router.sent[shard] += 1;
-            self.queues[shard].push(match msg {
-                Msg::EndPeriod => Msg::EndPeriod,
-                Msg::Finish => Msg::Finish,
-                Msg::Shutdown => Msg::Shutdown,
-                Msg::Batch(_) => unreachable!("broadcast is for control messages"),
-            });
+    /// Flush, enqueue a control message (built by `make`) on every queue,
+    /// and wait for full acknowledgment.
+    fn broadcast_and_wait(&mut self, make: impl Fn() -> Msg) {
+        let queues = &self.queues;
+        let router = match self.router.get_mut() {
+            Ok(router) => router,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        flush_pending(router, queues, self.batch_size);
+        for (sent, queue) in router.sent.iter_mut().zip(queues) {
+            *sent = sent.saturating_add(1);
+            queue.push(make());
         }
         let targets = router.sent.clone();
         for (progress, &target) in self.progress.iter().zip(&targets) {
@@ -277,18 +318,23 @@ impl ParallelLtc {
     /// the shards into a single-threaded [`ShardedLtc`] for further use —
     /// the inverse of spinning the runtime up.
     pub fn into_sharded(mut self) -> ShardedLtc {
-        self.broadcast_and_wait(Msg::Shutdown);
+        self.broadcast_and_wait(|| Msg::Shutdown);
+        let mut panicked = false;
         for worker in self.workers.drain(..) {
-            worker.join().expect("shard worker panicked");
+            panicked |= worker.join().is_err();
         }
+        assert!(!panicked, "shard worker panicked");
         let shards = self
             .shards
             .drain(..)
-            .map(|arc| {
-                Arc::try_unwrap(arc)
-                    .expect("workers have exited; no other handles remain")
-                    .into_inner()
-                    .expect("shard poisoned")
+            .map(|arc| match Arc::try_unwrap(arc) {
+                Ok(mutex) => match mutex.into_inner() {
+                    Ok(shard) => shard,
+                    Err(poisoned) => poisoned.into_inner(),
+                },
+                // Unreachable once the workers (the only other handle
+                // owners) have exited; cloning keeps this total anyway.
+                Err(arc) => lock_recover(&arc).clone(),
             })
             .collect();
         ShardedLtc::from_shards(shards)
@@ -299,7 +345,7 @@ impl Drop for ParallelLtc {
     fn drop(&mut self) {
         // `into_sharded` already drained and joined; otherwise stop cleanly.
         if !self.workers.is_empty() {
-            self.broadcast_and_wait(Msg::Shutdown);
+            self.broadcast_and_wait(|| Msg::Shutdown);
             for worker in self.workers.drain(..) {
                 // A panicked worker already surfaced its state as poisoned;
                 // don't double-panic in drop.
@@ -309,14 +355,44 @@ impl Drop for ParallelLtc {
     }
 }
 
+/// Push `id` onto a shard's pending batch, handing the whole batch to the
+/// shard's queue once it fills.
+#[inline]
+fn route_one(
+    pending: &mut Vec<ItemId>,
+    sent: &mut u64,
+    queue: &SpscRing<Msg>,
+    batch_size: usize,
+    id: ItemId,
+) {
+    pending.push(id);
+    if pending.len() >= batch_size {
+        let batch = std::mem::replace(pending, Vec::with_capacity(batch_size));
+        *sent = sent.saturating_add(1);
+        queue.push(Msg::Batch(batch));
+    }
+}
+
+/// Hand off every non-empty pending batch to its worker's queue.
+fn flush_pending(router: &mut Router, queues: &[Arc<SpscRing<Msg>>], batch_size: usize) {
+    let batches = router.pending.iter_mut().zip(router.sent.iter_mut());
+    for ((pending, sent), queue) in batches.zip(queues) {
+        if !pending.is_empty() {
+            let batch = std::mem::replace(pending, Vec::with_capacity(batch_size));
+            *sent = sent.saturating_add(1);
+            queue.push(Msg::Batch(batch));
+        }
+    }
+}
+
 fn worker_loop(queue: &SpscRing<Msg>, shard: &Mutex<Ltc>, progress: &Progress) {
     loop {
         let msg = queue.pop();
         let stop = matches!(msg, Msg::Shutdown);
         match msg {
-            Msg::Batch(ids) => shard.lock().expect("shard poisoned").insert_batch(&ids),
-            Msg::EndPeriod => shard.lock().expect("shard poisoned").end_period(),
-            Msg::Finish => shard.lock().expect("shard poisoned").finalize(),
+            Msg::Batch(ids) => lock_recover(shard).insert_batch(&ids),
+            Msg::EndPeriod => lock_recover(shard).end_period(),
+            Msg::Finish => lock_recover(shard).finalize(),
             Msg::Shutdown => {}
         }
         progress.bump();
@@ -356,10 +432,9 @@ impl SignificanceQuery for ParallelLtc {
     fn estimate(&self, id: ItemId) -> Option<f64> {
         self.sync();
         let shard = shard_of_id(id, self.shards.len());
-        self.shards[shard]
-            .lock()
-            .expect("shard poisoned")
-            .estimate(id)
+        self.shards
+            .get(shard)
+            .and_then(|shard| lock_recover(shard).estimate(id))
     }
 
     fn top_k(&self, k: usize) -> Vec<Estimate> {
@@ -367,7 +442,7 @@ impl SignificanceQuery for ParallelLtc {
         let candidates: Vec<Estimate> = self
             .shards
             .iter()
-            .flat_map(|shard| shard.lock().expect("shard poisoned").top_k(k))
+            .flat_map(|shard| lock_recover(shard).top_k(k))
             .collect();
         top_k_of(candidates, k)
     }
@@ -377,7 +452,7 @@ impl MemoryUsage for ParallelLtc {
     fn memory_bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|shard| shard.lock().expect("shard poisoned").memory_bytes())
+            .map(|shard| lock_recover(shard).memory_bytes())
             .sum()
     }
 }

@@ -1,0 +1,43 @@
+//! Sync-primitive aliases for the concurrent runtime.
+//!
+//! Normal builds bind straight to `std`. Building with
+//! `--features loom-check` swaps in the vendored `loom` shadow types, so
+//! the model tests in `crates/core/tests/loom_*.rs` drive the *same* code
+//! paths as production — every atomic access, lock, condvar wait and
+//! `UnsafeCell` dereference becomes a scheduling point that the bounded
+//! interleaving explorer controls and race-checks.
+
+#[cfg(feature = "loom-check")]
+pub(crate) use loom::{
+    cell::UnsafeCell,
+    sync::{atomic, Condvar, Mutex, MutexGuard},
+};
+
+#[cfg(not(feature = "loom-check"))]
+pub(crate) use std::sync::{atomic, Condvar, Mutex, MutexGuard};
+
+#[cfg(not(feature = "loom-check"))]
+mod cell {
+    /// `std::cell::UnsafeCell` behind loom's closure-based access API, so
+    /// call sites are identical in both configurations.
+    pub(crate) struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    impl<T> UnsafeCell<T> {
+        pub(crate) fn new(data: T) -> Self {
+            Self(std::cell::UnsafeCell::new(data))
+        }
+
+        /// Shared access; see `loom::cell::UnsafeCell::with`.
+        pub(crate) fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Exclusive access; see `loom::cell::UnsafeCell::with_mut`.
+        pub(crate) fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+}
+
+#[cfg(not(feature = "loom-check"))]
+pub(crate) use cell::UnsafeCell;

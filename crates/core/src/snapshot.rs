@@ -18,6 +18,12 @@
 //! cells  w·d × (id u64, freq u32, persist u32, flags u8)
 //! ```
 
+// Off the per-record hot path: arithmetic here runs per period, merge or
+// snapshot, and the workspace test profile compiles it with overflow
+// checks. Migrating these modules to explicit checked/saturating ops is
+// tracked as a ROADMAP open item.
+#![allow(clippy::arithmetic_side_effects)]
+
 use crate::cell::Cell;
 use crate::table::Ltc;
 

@@ -1,40 +1,113 @@
 //! Bounded hand-off queues for the parallel pipeline.
 //!
 //! [`SpscRing`] is the rendezvous between the routing thread and one worker
-//! of [`crate::pipeline::ParallelLtc`]: a bounded FIFO ring used
-//! single-producer/single-consumer (the type itself is thread-safe for any
-//! number of parties; the pipeline simply never shares one ring between two
-//! producers). The bound is the pipeline's backpressure: when a worker falls
-//! behind, [`push`](SpscRing::push) blocks the router instead of queueing
-//! unbounded memory.
+//! of [`crate::pipeline::ParallelLtc`]: a bounded FIFO ring buffer used
+//! single-producer/single-consumer. The bound is the pipeline's
+//! backpressure: when a worker falls behind, [`push`](SpscRing::push)
+//! blocks the router instead of queueing unbounded memory.
 //!
-//! The core crate forbids `unsafe`, so the ring is a `Mutex<VecDeque>` with
-//! two condition variables rather than an atomics-based ring. That costs one
-//! uncontended lock per *message* — which is why the pipeline hands off
-//! whole batches of records per message, amortising the lock to a fraction
-//! of a nanosecond per record.
+//! The ring is a fixed array of [`MaybeUninit`] slots addressed by two
+//! monotonically increasing (wrapping) cursors. The common case — space to
+//! push, an item to pop — is lock-free: one atomic load, a slot move, one
+//! atomic store. Only the empty/full edges take a mutex, to park on a
+//! condvar until the peer makes progress.
+//!
+//! ## Memory-ordering protocol (verified by `tests/loom_spsc.rs`)
+//!
+//! * **Data publication** is release/acquire on the cursors: the producer's
+//!   slot write is published by its `tail` store, and the consumer reads
+//!   the slot only after an acquiring load of `tail`; slot *reuse* is gated
+//!   symmetrically on `head`. Weakening either to `Relaxed` makes the loom
+//!   model report a data race on the slot `UnsafeCell`.
+//! * **Parking** is a Dekker handshake on the `waiting` flag word: the
+//!   sleeper sets its bit (`SeqCst` RMW) and then re-reads the cursor
+//!   (`SeqCst`); the waker stores the cursor (`SeqCst`, which is why those
+//!   stores are not merely `Release`) and then reads `waiting` (`SeqCst`).
+//!   The single total order of `SeqCst` operations means the two sides
+//!   cannot both miss each other.
+//! * The residual window — waker reads `waiting` before the sleeper's RMW,
+//!   while the sleeper has checked but not yet slept — is closed by the
+//!   sleep mutex: the sleeper re-checks the cursor *under the mutex*, and
+//!   the waker locks and unlocks that mutex before notifying. Dropping any
+//!   of these steps shows up in the loom model as a deadlock (lost
+//!   wakeup).
+//!
+//! Slot storage is rounded up to a power of two and indexed as
+//! `cursor & mask`, so cursor arithmetic stays correct across `usize`
+//! wraparound (`wrapping_sub` for length, masked indexing for position).
 
-use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use crate::shim::atomic::{AtomicUsize, Ordering};
+use crate::shim::{Condvar, Mutex, MutexGuard, UnsafeCell};
+use std::mem::MaybeUninit;
 
-/// A bounded FIFO hand-off queue. See the module docs.
-#[derive(Debug)]
+/// Bit in [`SpscRing::waiting`]: the consumer is parked (or about to park)
+/// waiting for `not_empty`.
+const CONSUMER_PARKED: usize = 1;
+/// Bit in [`SpscRing::waiting`]: the producer is parked (or about to park)
+/// waiting for `not_full`.
+const PRODUCER_PARKED: usize = 2;
+
+/// Largest capacity whose slot count (next power of two) fits in `usize`.
+const MAX_CAPACITY: usize = (usize::MAX >> 1) + 1;
+
+/// A bounded FIFO hand-off queue. See the module docs for the concurrency
+/// protocol; the type is safe for exactly one producer thread and one
+/// consumer thread at a time (the pipeline's usage), which is what the
+/// loom model checks.
 pub struct SpscRing<T> {
-    inner: Mutex<VecDeque<T>>,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// `slots.len() - 1`, with `slots.len()` a power of two.
+    mask: usize,
+    capacity: usize,
+    /// Next cursor to pop; written only by the consumer.
+    head: AtomicUsize,
+    /// Next cursor to push; written only by the producer.
+    tail: AtomicUsize,
+    /// Dekker flag word: which sides are parked ([`CONSUMER_PARKED`] /
+    /// [`PRODUCER_PARKED`]).
+    waiting: AtomicUsize,
+    sleep: Mutex<()>,
     not_empty: Condvar,
     not_full: Condvar,
-    capacity: usize,
 }
+
+// SAFETY: the cursor protocol in the module docs makes every slot access
+// exclusive-by-construction (producer writes only vacant slots at `tail`,
+// consumer reads only published slots at `head`, each cursor has a single
+// writer), and the loom model in `tests/loom_spsc.rs` verifies exactly
+// that on every explored interleaving. `T: Send` suffices because values
+// only move between threads, they are never aliased.
+unsafe impl<T: Send> Send for SpscRing<T> {}
+// SAFETY: see the `Send` impl above.
+unsafe impl<T: Send> Sync for SpscRing<T> {}
 
 impl<T> SpscRing<T> {
     /// A ring holding at most `capacity` messages.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_base(capacity, 0)
+    }
+
+    /// Test seam: a ring whose cursors start at `base` instead of 0, so
+    /// unit tests can exercise `usize` cursor wraparound in a few pushes
+    /// instead of 2^64 of them. Not part of the public contract.
+    #[doc(hidden)]
+    pub fn with_capacity_and_base(capacity: usize, base: usize) -> Self {
         assert!(capacity > 0, "ring capacity must be positive");
+        assert!(capacity <= MAX_CAPACITY, "ring capacity too large");
+        let len = capacity.next_power_of_two();
+        let slots: Vec<UnsafeCell<MaybeUninit<T>>> = (0..len)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
         Self {
-            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            slots: slots.into_boxed_slice(),
+            mask: len.wrapping_sub(1),
+            capacity,
+            head: AtomicUsize::new(base),
+            tail: AtomicUsize::new(base),
+            waiting: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
-            capacity,
         }
     }
 
@@ -43,9 +116,11 @@ impl<T> SpscRing<T> {
         self.capacity
     }
 
-    /// Messages currently queued.
+    /// Messages currently queued (a racy snapshot when the peer is live).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("ring poisoned").len()
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        tail.wrapping_sub(head).min(self.capacity)
     }
 
     /// Whether the ring is currently empty.
@@ -53,44 +128,144 @@ impl<T> SpscRing<T> {
         self.len() == 0
     }
 
+    /// The physical slot for logical cursor `seq`. In range by
+    /// construction: `mask == slots.len() - 1` with a power-of-two length.
+    fn slot(&self, seq: usize) -> &UnsafeCell<MaybeUninit<T>> {
+        &self.slots[seq & self.mask] // lint: index-ok (masked by slots.len() - 1)
+    }
+
+    fn sleep_lock(&self) -> MutexGuard<'_, ()> {
+        match self.sleep.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Lock-then-unlock-then-notify: the lock round-trip orders this wake
+    /// after any sleeper's recheck-under-mutex, closing the lost-wakeup
+    /// window (module docs, bullet 3).
+    fn wake(&self, condvar: &Condvar) {
+        drop(self.sleep_lock());
+        condvar.notify_one();
+    }
+
     /// Enqueue, blocking while the ring is full (backpressure).
     pub fn push(&self, item: T) {
-        let mut q = self.inner.lock().expect("ring poisoned");
-        while q.len() >= self.capacity {
-            q = self.not_full.wait(q).expect("ring poisoned");
+        // Only the producer writes `tail`, so this plain read is exact.
+        // lint:allow(no_relaxed): single-writer cursor reading its own writes
+        let tail = self.tail.load(Ordering::Relaxed);
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            if tail.wrapping_sub(head) < self.capacity {
+                break;
+            }
+            // Full: park. Dekker flag first, then recheck under the mutex.
+            self.waiting.fetch_or(PRODUCER_PARKED, Ordering::SeqCst);
+            let guard = self.sleep_lock();
+            if tail.wrapping_sub(self.head.load(Ordering::SeqCst)) >= self.capacity {
+                drop(self.wait(&self.not_full, guard));
+            }
+            self.waiting.fetch_and(!PRODUCER_PARKED, Ordering::SeqCst);
         }
-        q.push_back(item);
-        drop(q);
-        self.not_empty.notify_one();
+        // SAFETY: `tail` is the producer's exclusive cursor and the loop
+        // above observed the slot as vacant via an acquiring load of
+        // `head`, so the consumer's last read of this slot happens-before
+        // this write and nothing else touches it.
+        self.slot(tail).with_mut(|p| unsafe {
+            (*p).write(item);
+        });
+        // SeqCst, not just Release: the store also anchors the Dekker
+        // handshake against a consumer concurrently deciding to park.
+        self.tail.store(tail.wrapping_add(1), Ordering::SeqCst);
+        if self.waiting.load(Ordering::SeqCst) & CONSUMER_PARKED != 0 {
+            self.wake(&self.not_empty);
+        }
     }
 
     /// Dequeue, blocking while the ring is empty.
     pub fn pop(&self) -> T {
-        let mut q = self.inner.lock().expect("ring poisoned");
-        while q.is_empty() {
-            q = self.not_empty.wait(q).expect("ring poisoned");
+        // Only the consumer writes `head`, so this plain read is exact.
+        // lint:allow(no_relaxed): single-writer cursor reading its own writes
+        let head = self.head.load(Ordering::Relaxed);
+        loop {
+            let tail = self.tail.load(Ordering::Acquire);
+            if tail != head {
+                break;
+            }
+            // Empty: park. Mirror image of the producer side.
+            self.waiting.fetch_or(CONSUMER_PARKED, Ordering::SeqCst);
+            let guard = self.sleep_lock();
+            if self.tail.load(Ordering::SeqCst) == head {
+                drop(self.wait(&self.not_empty, guard));
+            }
+            self.waiting.fetch_and(!CONSUMER_PARKED, Ordering::SeqCst);
         }
-        let item = q.pop_front().expect("non-empty after wait");
-        drop(q);
-        self.not_full.notify_one();
-        item
+        self.take(head)
     }
 
     /// Dequeue if a message is ready; never blocks.
     pub fn try_pop(&self) -> Option<T> {
-        let mut q = self.inner.lock().expect("ring poisoned");
-        let item = q.pop_front();
-        if item.is_some() {
-            drop(q);
-            self.not_full.notify_one();
+        // lint:allow(no_relaxed): single-writer cursor reading its own writes
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        Some(self.take(head))
+    }
+
+    /// Move the value out of the slot at `head` and publish the free slot.
+    fn take(&self, head: usize) -> T {
+        // SAFETY: a non-empty ring was observed via an acquiring load of
+        // `tail`, so the producer's initialisation of this slot
+        // happens-before this read; only the consumer moves values out,
+        // and only once per cursor position.
+        let item = self.slot(head).with(|p| unsafe { (*p).assume_init_read() });
+        // SeqCst for the same Dekker reason as the `tail` store in `push`.
+        self.head.store(head.wrapping_add(1), Ordering::SeqCst);
+        if self.waiting.load(Ordering::SeqCst) & PRODUCER_PARKED != 0 {
+            self.wake(&self.not_full);
         }
         item
+    }
+
+    fn wait<'a>(&self, condvar: &Condvar, guard: MutexGuard<'a, ()>) -> MutexGuard<'a, ()> {
+        match condvar.wait(guard) {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        let tail = self.tail.load(Ordering::Acquire);
+        let mut seq = self.head.load(Ordering::Acquire);
+        while seq != tail {
+            // SAFETY: `&mut self` is exclusive, and every slot in
+            // `[head, tail)` holds an initialised value that was never
+            // moved out.
+            self.slot(seq).with_mut(|p| unsafe {
+                (*p).assume_init_drop();
+            });
+            seq = seq.wrapping_add(1);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SpscRing<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpscRing")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
     use std::sync::Arc;
 
     #[test]
@@ -146,5 +321,115 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = SpscRing::<u32>::with_capacity(0);
+    }
+
+    #[test]
+    fn capacity_one_alternates_under_backpressure() {
+        let ring = Arc::new(SpscRing::with_capacity(1));
+        assert_eq!(ring.capacity(), 1);
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || (0..200).map(|_| ring.pop()).collect::<Vec<u32>>())
+        };
+        for v in 0..200u32 {
+            ring.push(v); // every push races the single free slot
+        }
+        let got = consumer.join().unwrap();
+        assert_eq!(got, (0..200).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn full_queue_reports_len_and_backpressure() {
+        let ring = SpscRing::with_capacity(3);
+        assert!(ring.is_empty());
+        ring.push(10);
+        ring.push(11);
+        ring.push(12);
+        assert_eq!(ring.len(), 3);
+        assert!(!ring.is_empty());
+        // try_pop frees exactly one slot; order is preserved.
+        assert_eq!(ring.try_pop(), Some(10));
+        assert_eq!(ring.len(), 2);
+        ring.push(13);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.pop(), 11);
+        assert_eq!(ring.pop(), 12);
+        assert_eq!(ring.pop(), 13);
+        assert!(ring.try_pop().is_none());
+    }
+
+    #[test]
+    fn survives_usize_cursor_wraparound() {
+        // Cursors start 2 below usize::MAX, so they wrap within a few
+        // pushes; capacity 3 also exercises non-power-of-two rounding.
+        let ring = SpscRing::with_capacity_and_base(3, usize::MAX - 2);
+        for round in 0..4u64 {
+            ring.push(round * 10);
+            ring.push(round * 10 + 1);
+            ring.push(round * 10 + 2);
+            assert_eq!(ring.len(), 3);
+            assert_eq!(ring.pop(), round * 10);
+            assert_eq!(ring.pop(), round * 10 + 1);
+            assert_eq!(ring.pop(), round * 10 + 2);
+        }
+        assert!(ring.try_pop().is_none());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stream_across_wraparound() {
+        let ring = Arc::new(SpscRing::with_capacity_and_base(4, usize::MAX - 7));
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut sum = 0u64;
+                loop {
+                    match ring.pop() {
+                        0 => return sum,
+                        v => sum += v,
+                    }
+                }
+            })
+        };
+        for v in 1..=100u64 {
+            ring.push(v);
+        }
+        ring.push(0);
+        assert_eq!(consumer.join().unwrap(), 5050);
+    }
+
+    struct DropCounter(Arc<StdAtomicUsize>);
+
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, StdOrdering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn dropping_the_ring_drops_items_in_flight() {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let ring = SpscRing::with_capacity(4);
+        for _ in 0..3 {
+            ring.push(DropCounter(Arc::clone(&drops)));
+        }
+        drop(ring.try_pop().expect("one item popped"));
+        assert_eq!(drops.load(StdOrdering::SeqCst), 1, "popped value dropped");
+        drop(ring);
+        assert_eq!(
+            drops.load(StdOrdering::SeqCst),
+            3,
+            "the two undelivered items must be dropped with the ring"
+        );
+    }
+
+    #[test]
+    fn empty_ring_drops_nothing_extra() {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let ring = SpscRing::with_capacity(2);
+        ring.push(DropCounter(Arc::clone(&drops)));
+        drop(ring.pop());
+        drop(ring);
+        assert_eq!(drops.load(StdOrdering::SeqCst), 1);
     }
 }

@@ -90,7 +90,7 @@ impl Ltc {
     #[inline]
     fn harvest_parity(&self) -> u8 {
         if self.config.variant.deviation_eliminator {
-            1 - self.parity
+            self.parity ^ 1
         } else {
             0
         }
@@ -106,6 +106,7 @@ impl Ltc {
         let n = match self.config.period_mode {
             PeriodMode::ByCount { records_per_period } => records_per_period,
             PeriodMode::ByTime { .. } => {
+                // lint:allow(no_panic): mode mismatch is a caller bug; documented contract
                 panic!("time-driven LTC must be fed via insert_at(id, time)")
             }
         };
@@ -137,6 +138,7 @@ impl Ltc {
         let n = match self.config.period_mode {
             PeriodMode::ByCount { records_per_period } => records_per_period,
             PeriodMode::ByTime { .. } => {
+                // lint:allow(no_panic): mode mismatch is a caller bug; documented contract
                 panic!("time-driven LTC must be fed via insert_batch_at(items)")
             }
         };
@@ -149,19 +151,22 @@ impl Ltc {
             let free = self
                 .clock
                 .ticks_before_scan(m, n)
-                .min((ids.len() - i) as u64) as usize;
-            for j in i..i + free {
+                .min(ids.len().saturating_sub(i) as u64) as usize;
+            let scan_free_end = i.saturating_add(free);
+            for j in i..scan_free_end {
                 self.prefetch_bucket(&bases, j);
-                self.process_at(ids[j], bases[j]);
+                if let (Some(&id), Some(&base)) = (ids.get(j), bases.get(j)) {
+                    self.process_at(id, base);
+                }
             }
             self.clock.advance_scan_free(free as u64, m, n);
-            i += free;
-            if i < ids.len() {
+            i = scan_free_end;
+            if let (Some(&id), Some(&base)) = (ids.get(i), bases.get(i)) {
                 // This record's tick performs the due scan(s).
                 self.prefetch_bucket(&bases, i);
-                self.process_at(ids[i], bases[i]);
+                self.process_at(id, base);
                 self.tick(m, n);
-                i += 1;
+                i = i.saturating_add(1);
             }
         }
     }
@@ -178,32 +183,37 @@ impl Ltc {
         let t = match self.config.period_mode {
             PeriodMode::ByTime { units_per_period } => units_per_period,
             PeriodMode::ByCount { .. } => {
+                // lint:allow(no_panic): mode mismatch is a caller bug; documented contract
                 panic!("count-driven LTC must be fed via insert_batch(ids)")
             }
         };
         let ids: Vec<ItemId> = items.iter().map(|&(id, _)| id).collect();
         let bases = self.hash_batch(&ids);
-        for (j, &(id, time)) in items.iter().enumerate() {
+        for (j, (&(id, time), &base)) in items.iter().zip(&bases).enumerate() {
             self.prefetch_bucket(&bases, j);
             debug_assert!(
                 time >= self.last_time || time >= self.period_start_time,
                 "timestamps must be non-decreasing"
             );
-            while time >= self.period_start_time + t {
+            while time >= self.period_start_time.saturating_add(t) {
                 self.end_period();
             }
             let reference = self.last_time.max(self.period_start_time);
             let elapsed = time.saturating_sub(reference);
-            self.tick(elapsed * self.cells.len() as u64, t);
+            self.tick(elapsed.saturating_mul(self.cells.len() as u64), t);
             self.last_time = time;
-            self.process_at(id, bases[j]);
+            self.process_at(id, base);
         }
     }
 
     /// Hash every id of a batch to its bucket base offset.
     fn hash_batch(&self, ids: &[ItemId]) -> Vec<usize> {
         let d = self.config.cells_per_bucket;
-        ids.iter().map(|&id| self.bucket_index(id) * d).collect()
+        // `bucket_index < buckets`, so `bucket_index * d < buckets * d`,
+        // which the cell vector's existence proves fits in usize.
+        ids.iter()
+            .map(|&id| self.bucket_index(id).saturating_mul(d))
+            .collect()
     }
 
     /// Touch the bucket a few records ahead so its cache line is in flight
@@ -213,8 +223,10 @@ impl Ltc {
     #[inline]
     fn prefetch_bucket(&self, bases: &[usize], j: usize) {
         const PREFETCH_DISTANCE: usize = 8;
-        if let Some(&base) = bases.get(j + PREFETCH_DISTANCE) {
-            std::hint::black_box(&self.cells[base]);
+        if let Some(&base) = bases.get(j.saturating_add(PREFETCH_DISTANCE)) {
+            if let Some(cell) = self.cells.get(base) {
+                std::hint::black_box(cell);
+            }
         }
     }
 
@@ -228,6 +240,7 @@ impl Ltc {
         let t = match self.config.period_mode {
             PeriodMode::ByTime { units_per_period } => units_per_period,
             PeriodMode::ByCount { .. } => {
+                // lint:allow(no_panic): mode mismatch is a caller bug; documented contract
                 panic!("count-driven LTC must be fed via insert(id)")
             }
         };
@@ -236,7 +249,7 @@ impl Ltc {
             "timestamps must be non-decreasing"
         );
         // Complete any periods the stream skipped over.
-        while time >= self.period_start_time + t {
+        while time >= self.period_start_time.saturating_add(t) {
             self.end_period();
         }
         // Advance the pointer by the fraction of the period that elapsed
@@ -244,7 +257,7 @@ impl Ltc {
         // (x−y)/t·m time slots").
         let reference = self.last_time.max(self.period_start_time);
         let elapsed = time.saturating_sub(reference);
-        self.tick(elapsed * self.cells.len() as u64, t);
+        self.tick(elapsed.saturating_mul(self.cells.len() as u64), t);
         self.last_time = time;
         self.process(id);
     }
@@ -255,20 +268,20 @@ impl Ltc {
     pub fn end_period(&mut self) {
         let hp = self.harvest_parity();
         let cells = &mut self.cells;
-        let mut harvested = 0;
+        let mut harvested = 0u64;
         self.clock.finish_period(|i| {
-            if cells[i].harvest(hp) {
-                harvested += 1;
+            if cells.get_mut(i).is_some_and(|c| c.harvest(hp)) {
+                harvested = harvested.saturating_add(1);
             }
         });
-        self.stats.harvests += harvested;
+        self.stats.harvests = self.stats.harvests.saturating_add(harvested);
         if self.config.variant.deviation_eliminator {
             self.parity ^= 1;
         }
-        self.periods_completed += 1;
-        self.stats.periods += 1;
+        self.periods_completed = self.periods_completed.saturating_add(1);
+        self.stats.periods = self.stats.periods.saturating_add(1);
         if let PeriodMode::ByTime { units_per_period } = self.config.period_mode {
-            self.period_start_time += units_per_period;
+            self.period_start_time = self.period_start_time.saturating_add(units_per_period);
         }
     }
 
@@ -284,13 +297,13 @@ impl Ltc {
     pub fn finalize(&mut self) {
         let hp = self.harvest_parity();
         let cells = &mut self.cells;
-        let mut harvested = 0;
+        let mut harvested = 0u64;
         self.clock.full_sweep(|i| {
-            if cells[i].harvest(hp) {
-                harvested += 1;
+            if cells.get_mut(i).is_some_and(|c| c.harvest(hp)) {
+                harvested = harvested.saturating_add(1);
             }
         });
-        self.stats.harvests += harvested;
+        self.stats.harvests = self.stats.harvests.saturating_add(harvested);
     }
 
     /// Whether `id` currently occupies a cell.
@@ -327,8 +340,8 @@ impl Ltc {
     #[inline]
     fn bucket(&self, id: ItemId) -> &[Cell] {
         let d = self.config.cells_per_bucket;
-        let base = self.bucket_index(id) * d;
-        &self.cells[base..base + d]
+        let base = self.bucket_index(id).saturating_mul(d);
+        self.cells.get(base..base.saturating_add(d)).unwrap_or(&[])
     }
 
     #[inline]
@@ -338,14 +351,18 @@ impl Ltc {
 
     /// Raw view of one bucket (merge support).
     pub(crate) fn bucket_cells(&self, base: usize, d: usize) -> &[Cell] {
-        &self.cells[base..base + d]
+        self.cells.get(base..base.saturating_add(d)).unwrap_or(&[])
     }
 
     /// Overwrite one bucket with up to `d` cells, clearing the rest
     /// (merge support).
     pub(crate) fn replace_bucket(&mut self, base: usize, d: usize, cells: &[Cell]) {
         debug_assert!(cells.len() <= d);
-        for (i, slot) in self.cells[base..base + d].iter_mut().enumerate() {
+        let bucket = self
+            .cells
+            .get_mut(base..base.saturating_add(d))
+            .unwrap_or_default();
+        for (i, slot) in bucket.iter_mut().enumerate() {
             *slot = cells.get(i).copied().unwrap_or(Cell::EMPTY);
         }
     }
@@ -382,12 +399,9 @@ impl Ltc {
             .map(|c| Estimate::new(c.id, c.significance(&weights)))
             .filter(|e| e.value >= threshold)
             .collect();
-        out.sort_unstable_by(|a, b| {
-            b.value
-                .partial_cmp(&a.value)
-                .expect("significance is never NaN")
-                .then_with(|| a.id.cmp(&b.id))
-        });
+        // `total_cmp` agrees with `partial_cmp` on every value significance
+        // can take (finite, non-negative) and needs no NaN escape hatch.
+        out.sort_unstable_by(|a, b| b.value.total_cmp(&a.value).then_with(|| a.id.cmp(&b.id)));
         out
     }
 
@@ -396,19 +410,21 @@ impl Ltc {
     fn tick(&mut self, numerator: u64, denominator: u64) {
         let hp = self.harvest_parity();
         let cells = &mut self.cells;
-        let mut harvested = 0;
+        let mut harvested = 0u64;
         self.clock.tick(numerator, denominator, |i| {
-            if cells[i].harvest(hp) {
-                harvested += 1;
+            if cells.get_mut(i).is_some_and(|c| c.harvest(hp)) {
+                harvested = harvested.saturating_add(1);
             }
         });
-        self.stats.harvests += harvested;
+        self.stats.harvests = self.stats.harvests.saturating_add(harvested);
     }
 
     /// The insertion state machine of §III-B1 (cases 1–3) with the
     /// Long-tail Replacement admission rule of §III-D when enabled.
     fn process(&mut self, id: ItemId) {
-        let base = self.bucket_index(id) * self.config.cells_per_bucket;
+        let base = self
+            .bucket_index(id)
+            .saturating_mul(self.config.cells_per_bucket);
         self.process_at(id, base);
     }
 
@@ -419,21 +435,19 @@ impl Ltc {
         let variant = self.config.variant;
         let parity = self.set_parity();
         let d = self.config.cells_per_bucket;
+        let end = base.saturating_add(d);
 
-        self.stats.inserts += 1;
+        self.stats.inserts = self.stats.inserts.saturating_add(1);
+        let mut hit_slot = None;
         let mut empty_slot = None;
         let mut min_slot = base;
         let mut min_sig = f64::INFINITY;
-        for i in base..base + d {
-            let c = &self.cells[i];
+        for (offset, c) in self.cells.get(base..end).unwrap_or(&[]).iter().enumerate() {
+            let i = base.saturating_add(offset);
             if c.occupied() {
                 if c.id == id {
-                    // Case 1: raise the current-period flag, count the hit.
-                    self.stats.hits += 1;
-                    let c = &mut self.cells[i];
-                    c.freq = c.freq.saturating_add(1);
-                    c.set_flag(parity);
-                    return;
+                    hit_slot = Some(i);
+                    break;
                 }
                 let sig = c.significance(&weights);
                 if sig < min_sig {
@@ -445,33 +459,46 @@ impl Ltc {
             }
         }
 
+        if let Some(i) = hit_slot {
+            // Case 1: raise the current-period flag, count the hit.
+            self.stats.hits = self.stats.hits.saturating_add(1);
+            if let Some(c) = self.cells.get_mut(i) {
+                c.freq = c.freq.saturating_add(1);
+                c.set_flag(parity);
+            }
+            return;
+        }
+
         if let Some(i) = empty_slot {
             // Case 2: fresh item in an empty cell, counters (1, 0).
-            self.stats.fills += 1;
-            let c = &mut self.cells[i];
-            c.occupy(id, 1, 0);
-            c.set_flag(parity);
+            self.stats.fills = self.stats.fills.saturating_add(1);
+            if let Some(c) = self.cells.get_mut(i) {
+                c.occupy(id, 1, 0);
+                c.set_flag(parity);
+            }
             return;
         }
 
         // Case 3: Significance-Decrement the smallest cell; admit the new
         // item only once that cell's significance is worn down to zero.
-        let c = &mut self.cells[min_slot];
+        let Some(c) = self.cells.get_mut(min_slot) else {
+            return;
+        };
         c.significance_decrement();
         if !c.significance_is_zero(&weights) {
-            self.stats.decrements += 1;
+            self.stats.decrements = self.stats.decrements.saturating_add(1);
             return;
         }
-        {
-            self.stats.admissions += 1;
-            let c = &mut self.cells[min_slot];
+        self.stats.admissions = self.stats.admissions.saturating_add(1);
+        if let Some(c) = self.cells.get_mut(min_slot) {
             c.clear();
-            let (f0, p0) = if variant.long_tail_replacement {
-                self.long_tail_initial(base, d, &weights)
-            } else {
-                (1, 0)
-            };
-            let c = &mut self.cells[min_slot];
+        }
+        let (f0, p0) = if variant.long_tail_replacement {
+            self.long_tail_initial(base, d, &weights)
+        } else {
+            (1, 0)
+        };
+        if let Some(c) = self.cells.get_mut(min_slot) {
             c.occupy(id, f0, p0);
             c.set_flag(parity);
         }
@@ -486,14 +513,13 @@ impl Ltc {
     /// α-weighted coordinate (or the β-weighted one when α = 0), which keeps
     /// the admitted cell no larger than its neighbours under any weights.
     fn long_tail_initial(&self, base: usize, d: usize, weights: &Weights) -> (u32, u32) {
-        let second = self.cells[base..base + d]
+        let second = self
+            .cells
+            .get(base..base.saturating_add(d))
+            .unwrap_or(&[])
             .iter()
             .filter(|c| c.occupied())
-            .min_by(|a, b| {
-                a.significance(weights)
-                    .partial_cmp(&b.significance(weights))
-                    .expect("significance is never NaN")
-            });
+            .min_by(|a, b| a.significance(weights).total_cmp(&b.significance(weights)));
         match second {
             Some(c) => {
                 if weights.alpha > 0.0 {
@@ -554,7 +580,7 @@ impl SignificanceQuery for Ltc {
 
 impl MemoryUsage for Ltc {
     fn memory_bytes(&self) -> usize {
-        self.cells.len() * LTC_CELL_BYTES
+        self.cells.len().saturating_mul(LTC_CELL_BYTES)
     }
 }
 

@@ -21,6 +21,12 @@
 //! Windows are capped at 64 periods by the bitmap width — enough for
 //! "last hour of minutes" or "last two months of days" dashboards.
 
+// Off the per-record hot path: arithmetic here runs per period, merge or
+// snapshot, and the workspace test profile compiles it with overflow
+// checks. Migrating these modules to explicit checked/saturating ops is
+// tracked as a ROADMAP open item.
+#![allow(clippy::arithmetic_side_effects)]
+
 use ltc_common::{
     top_k_of, Estimate, ItemId, MemoryUsage, SignificanceQuery, StreamProcessor, Weights,
 };

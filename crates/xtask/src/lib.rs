@@ -1,0 +1,710 @@
+//! Workspace invariant linter (`cargo run -p xtask -- lint`).
+//!
+//! Enforces the concurrency-and-overflow discipline that the loom models
+//! and the clippy configuration establish, so it cannot erode silently:
+//!
+//! * **unsafe_allowlist** — `unsafe` may appear only in the files listed
+//!   under `[unsafe_code] allow` in `lint.toml`.
+//! * **safety_comment** — every `unsafe` token (block or impl) must be
+//!   covered by a `// SAFETY:` comment on the same line or in the comment
+//!   block directly above it.
+//! * **no_panic** — hot-path files must not call `.unwrap()`, `.expect(`,
+//!   or the panicking macros (`panic!`, `unreachable!`, `todo!`,
+//!   `unimplemented!`). `assert!`/`debug_assert!` stay allowed: they state
+//!   entry-point contracts, not per-record control flow.
+//! * **no_index** — hot-path files must not use `expr[...]` indexing;
+//!   `.get()`-based access or an explicit waiver is required.
+//! * **counter_arith** — compound arithmetic assignment (`+=`, `-=`, `*=`)
+//!   on the configured counter fields is banned in hot-path files; the
+//!   overflow mode must be spelled out (`saturating_*`, `checked_*`,
+//!   `wrapping_*`).
+//! * **no_relaxed** — in the configured concurrency files, every
+//!   `Ordering::Relaxed` needs a written justification.
+//!
+//! The analysis is lexical, not syntactic: comments, string/char literals
+//! and raw strings are blanked first (preserving line structure), then the
+//! rules pattern-match the remaining code. `#[cfg(test)]` item bodies are
+//! exempt — unit tests may use `unwrap` and plain arithmetic, the test
+//! profile compiles them with overflow checks.
+//!
+//! Waivers, on the offending line or the line directly above:
+//!
+//! ```text
+//! // lint:allow(<rule>): <reason>
+//! // lint: index-ok (<reason>)        — shorthand for no_index
+//! ```
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation, formatted as `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Human-readable explanation with the expected fix.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Directories (relative to the workspace root) to lint.
+    pub roots: Vec<String>,
+    /// Directory names skipped anywhere under a root.
+    pub skip: Vec<String>,
+    /// Files allowed to contain `unsafe`.
+    pub unsafe_allow: Vec<String>,
+    /// Hot-path files subject to no_panic / no_index / counter_arith.
+    pub hot_path: Vec<String>,
+    /// Counter field names checked by counter_arith.
+    pub counter_fields: Vec<String>,
+    /// Files where `Ordering::Relaxed` needs a justification.
+    pub no_relaxed_files: Vec<String>,
+}
+
+/// Parse the TOML subset `lint.toml` uses: `[section]` headers and
+/// `key = "string"` / `key = ["array", "of", "strings"]` entries (arrays
+/// may span lines). Anything fancier is rejected loudly rather than
+/// misread silently.
+pub fn parse_config(text: &str) -> Result<Config, String> {
+    let mut config = Config::default();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            section = name.trim().to_string();
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("lint.toml:{}: expected `key = value`", idx + 1))?;
+        let key = key.trim();
+        let mut value = value.trim().to_string();
+        // Multiline array: keep consuming lines until the closing bracket.
+        if value.starts_with('[') && !balanced_array(&value) {
+            for (cont_idx, cont) in lines.by_ref() {
+                value.push(' ');
+                value.push_str(strip_toml_comment(cont).trim());
+                if balanced_array(&value) {
+                    break;
+                }
+                if cont_idx + 1 == text.lines().count() {
+                    return Err(format!("lint.toml:{}: unterminated array", idx + 1));
+                }
+            }
+        }
+        let values = parse_string_array(&value)
+            .map_err(|e| format!("lint.toml:{}: {} (key `{}`)", idx + 1, e, key))?;
+        match (section.as_str(), key) {
+            ("paths", "roots") => config.roots = values,
+            ("paths", "skip") => config.skip = values,
+            ("unsafe_code", "allow") => config.unsafe_allow = values,
+            ("hot_path", "files") => config.hot_path = values,
+            ("counters", "fields") => config.counter_fields = values,
+            ("orderings", "no_relaxed_files") => config.no_relaxed_files = values,
+            _ => {
+                return Err(format!(
+                    "lint.toml:{}: unknown key `{}` in section `[{}]`",
+                    idx + 1,
+                    key,
+                    section
+                ))
+            }
+        }
+    }
+    if config.roots.is_empty() {
+        return Err("lint.toml: `[paths] roots` must list at least one directory".to_string());
+    }
+    Ok(config)
+}
+
+/// Drop a `#` comment, respecting `"` quoting.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn balanced_array(value: &str) -> bool {
+    value.starts_with('[') && value.trim_end().ends_with(']')
+}
+
+/// Parse `"a"` or `["a", "b"]` into a vector of strings.
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    if let Some(inner) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let mut out = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue; // trailing comma
+            }
+            out.push(parse_string(part)?);
+        }
+        Ok(out)
+    } else {
+        Ok(vec![parse_string(value)?])
+    }
+}
+
+fn parse_string(value: &str) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a double-quoted string, got `{value}`"))
+}
+
+/// Blank comments, string literals, char literals and raw strings from
+/// Rust source, preserving every newline (so line numbers survive) and
+/// replacing other blanked characters with spaces. Lifetimes (`'a`) are
+/// left intact; nested block comments are handled.
+pub fn strip(source: &str) -> String {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    let blank = |out: &mut String, c: char| {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    };
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        if c == '/' && next == Some('/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+        } else if c == '/' && next == Some('*') {
+            let mut depth = 1usize;
+            blank(&mut out, bytes[i]);
+            blank(&mut out, bytes[i + 1]);
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    blank(&mut out, bytes[i]);
+                    blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    blank(&mut out, bytes[i]);
+                    blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                } else {
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+            }
+        } else if is_raw_string_start(&bytes, i) {
+            // r"...", r#"..."#, br#"..."# — skip prefix, count hashes.
+            let start = i;
+            while bytes[i] == 'b' || bytes[i] == 'r' {
+                out.push(bytes[i]);
+                i += 1;
+            }
+            let mut hashes = 0usize;
+            while bytes.get(i) == Some(&'#') {
+                out.push('#');
+                hashes += 1;
+                i += 1;
+            }
+            debug_assert!(bytes.get(i) == Some(&'"'), "raw string at {start}");
+            out.push('"');
+            i += 1;
+            'raw: while i < bytes.len() {
+                if bytes[i] == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push('#');
+                        }
+                        i += 1 + hashes;
+                        break 'raw;
+                    }
+                }
+                blank(&mut out, bytes[i]);
+                i += 1;
+            }
+        } else if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == '\\' {
+                    blank(&mut out, bytes[i]);
+                    if let Some(&esc) = bytes.get(i + 1) {
+                        blank(&mut out, esc);
+                    }
+                    i += 2;
+                } else if bytes[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+            }
+        } else if c == '\'' {
+            // Distinguish a char literal from a lifetime: 'x' / '\n' close
+            // with a quote; 'ident does not.
+            if next == Some('\\') {
+                out.push('\'');
+                i += 1;
+                while i < bytes.len() && bytes[i] != '\'' {
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+                if i < bytes.len() {
+                    out.push('\'');
+                    i += 1;
+                }
+            } else if bytes.get(i + 2) == Some(&'\'') {
+                out.push('\'');
+                blank(&mut out, bytes[i + 1]);
+                out.push('\'');
+                i += 3;
+            } else {
+                out.push('\'');
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // At an identifier boundary, match r" / r# / br" / br# .
+    if i > 0 && is_ident(bytes[i - 1]) {
+        return false;
+    }
+    let rest = &bytes[i..];
+    let after_prefix = match rest {
+        ['b', 'r', ..] => &rest[2..],
+        ['r', ..] => &rest[1..],
+        _ => return false,
+    };
+    let mut j = 0;
+    while after_prefix.get(j) == Some(&'#') {
+        j += 1;
+    }
+    after_prefix.get(j) == Some(&'"')
+}
+
+/// Per-line flags for `#[cfg(test)]` item bodies (true = exempt from the
+/// rules). Detection is brace-matching on blanked code: the attribute arms
+/// the next `{`, whose whole block is exempt.
+pub fn test_exempt_lines(code: &str) -> Vec<bool> {
+    let line_count = code.lines().count();
+    let mut exempt = vec![false; line_count];
+    let mut line = 0usize;
+    let mut depth = 0usize;
+    let mut armed = false;
+    let mut region_depth: Option<usize> = None;
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '\n' => line += 1,
+            '#' => {
+                let rest: String = chars[i..].iter().take(16).collect();
+                let compact: String = rest.chars().filter(|c| !c.is_whitespace()).collect();
+                if compact.starts_with("#[cfg(test)]") && region_depth.is_none() {
+                    armed = true;
+                    if let Some(slot) = exempt.get_mut(line) {
+                        *slot = true; // the attribute line itself
+                    }
+                }
+            }
+            '{' => {
+                if armed && region_depth.is_none() {
+                    region_depth = Some(depth);
+                    armed = false;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if region_depth == Some(depth) {
+                    region_depth = None;
+                    if let Some(slot) = exempt.get_mut(line) {
+                        *slot = true; // the closing-brace line
+                    }
+                }
+            }
+            _ => {}
+        }
+        if region_depth.is_some() || armed {
+            if let Some(slot) = exempt.get_mut(line) {
+                *slot = true;
+            }
+        }
+        i += 1;
+    }
+    exempt
+}
+
+/// Whether `raw_lines[line]` (or the line above) waives `rule`.
+fn waived(raw_lines: &[&str], line: usize, rule: &str) -> bool {
+    let marker = format!("lint:allow({rule})");
+    let check = |l: usize| raw_lines.get(l).is_some_and(|text| text.contains(&marker));
+    check(line) || (line > 0 && check(line - 1))
+}
+
+/// The no_index shorthand waiver.
+fn index_waived(raw_lines: &[&str], line: usize) -> bool {
+    let check = |l: usize| {
+        raw_lines.get(l).is_some_and(|text| {
+            text.contains("lint: index-ok") || text.contains("lint:allow(no_index)")
+        })
+    };
+    check(line) || (line > 0 && check(line - 1))
+}
+
+/// Whether the `unsafe` token on `line` is covered by a `SAFETY:` comment:
+/// on the same line, or in the contiguous `//` comment block directly
+/// above.
+fn safety_covered(raw_lines: &[&str], line: usize) -> bool {
+    if raw_lines.get(line).is_some_and(|l| l.contains("SAFETY:")) {
+        return true;
+    }
+    let mut l = line;
+    while l > 0 {
+        l -= 1;
+        let text = raw_lines.get(l).map_or("", |t| t.trim_start());
+        if text.starts_with("//") {
+            if text.contains("SAFETY:") {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Find word-boundary occurrences of `needle` in `haystack`, returning
+/// byte offsets.
+fn find_word(haystack: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0 || !haystack[..at].chars().next_back().is_some_and(is_ident);
+        let after = at + needle.len();
+        let after_ok = !haystack[after..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = after;
+    }
+    out
+}
+
+const KEYWORDS_BEFORE_BRACKET: &[&str] = &[
+    "let", "mut", "in", "if", "else", "match", "return", "break", "continue", "move", "ref", "as",
+    "dyn", "where", "unsafe", "const", "static", "pub", "use", "fn", "impl", "for", "while",
+    "loop", "box", "await", "yield",
+];
+
+/// Lint one source file. `rel` is the workspace-relative path with forward
+/// slashes; rules apply according to which config lists contain it.
+pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let code = strip(source);
+    let code_lines: Vec<&str> = code.lines().collect();
+    let exempt = test_exempt_lines(&code);
+
+    let unsafe_allowed = config.unsafe_allow.iter().any(|f| f == rel);
+    let hot = config.hot_path.iter().any(|f| f == rel);
+    let no_relaxed = config.no_relaxed_files.iter().any(|f| f == rel);
+
+    let mut push = |line: usize, rule: &'static str, message: String| {
+        violations.push(Violation {
+            file: rel.to_string(),
+            line: line + 1,
+            rule,
+            message,
+        });
+    };
+
+    for (idx, line) in code_lines.iter().enumerate() {
+        if exempt.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+
+        // unsafe_allowlist + safety_comment
+        if !find_word(line, "unsafe").is_empty() {
+            if !unsafe_allowed {
+                push(
+                    idx,
+                    "unsafe_allowlist",
+                    format!(
+                        "`unsafe` outside the allowlist ({}); move the code behind a safe \
+                         abstraction or extend `[unsafe_code] allow` in lint.toml",
+                        config.unsafe_allow.join(", ")
+                    ),
+                );
+            } else if !safety_covered(&raw_lines, idx) {
+                push(
+                    idx,
+                    "safety_comment",
+                    "`unsafe` without a `// SAFETY:` comment explaining why the invariants hold"
+                        .to_string(),
+                );
+            }
+        }
+
+        if hot {
+            // no_panic
+            for pattern in [
+                ".unwrap()",
+                ".expect(",
+                "panic!",
+                "unreachable!",
+                "todo!",
+                "unimplemented!",
+            ] {
+                if line.contains(pattern) && !waived(&raw_lines, idx, "no_panic") {
+                    push(
+                        idx,
+                        "no_panic",
+                        format!(
+                            "`{pattern}` in a hot-path module; handle the case or add \
+                             `// lint:allow(no_panic): <reason>`"
+                        ),
+                    );
+                }
+            }
+
+            // no_index
+            if !bracket_index_positions(line).is_empty() && !index_waived(&raw_lines, idx) {
+                push(
+                    idx,
+                    "no_index",
+                    "`[...]` indexing in a hot-path module; use `.get()` or add \
+                     `// lint: index-ok (<reason>)`"
+                        .to_string(),
+                );
+            }
+
+            // counter_arith
+            for field in &config.counter_fields {
+                for at in find_word(line, field) {
+                    let rest = line[at + field.len()..].trim_start();
+                    let compound =
+                        rest.starts_with("+=") || rest.starts_with("-=") || rest.starts_with("*=");
+                    if compound && !waived(&raw_lines, idx, "counter_arith") {
+                        push(
+                            idx,
+                            "counter_arith",
+                            format!(
+                                "compound arithmetic on counter `{field}`; use \
+                                 saturating_*/checked_*/wrapping_* instead"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // no_relaxed
+        if no_relaxed
+            && line.contains("Ordering::Relaxed")
+            && !waived(&raw_lines, idx, "no_relaxed")
+        {
+            push(
+                idx,
+                "no_relaxed",
+                "`Ordering::Relaxed` without a `// lint:allow(no_relaxed): <reason>` \
+                 justification"
+                    .to_string(),
+            );
+        }
+    }
+    violations
+}
+
+/// Byte offsets of `[` tokens that open an *index* expression: preceded
+/// (ignoring spaces) by an identifier, `)` or `]` — and not by a keyword,
+/// attribute `#`, or macro `!`.
+fn bracket_index_positions(line: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (at, c) in line.char_indices() {
+        if c != '[' {
+            continue;
+        }
+        let before = line[..at].trim_end();
+        let Some(prev) = before.chars().next_back() else {
+            continue;
+        };
+        if prev == ')' || prev == ']' {
+            out.push(at);
+        } else if is_ident(prev) {
+            let word_start = before
+                .char_indices()
+                .rev()
+                .take_while(|&(_, c)| is_ident(c))
+                .last()
+                .map_or(0, |(i, _)| i);
+            let word = &before[word_start..];
+            if !KEYWORDS_BEFORE_BRACKET.contains(&word) {
+                out.push(at);
+            }
+        }
+    }
+    out
+}
+
+/// Recursively lint every `.rs` file under the configured roots.
+pub fn lint_tree(root: &Path, config: &Config) -> Result<Vec<Violation>, String> {
+    let mut files = Vec::new();
+    for dir in &config.roots {
+        collect_rs_files(&root.join(dir), &config.skip, &mut files)?;
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for path in files {
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        violations.extend(lint_source(&rel, &source, config));
+    }
+    Ok(violations)
+}
+
+fn collect_rs_files(dir: &Path, skip: &[String], out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(_) => return Ok(()), // a configured root may not exist in a partial tree
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().to_string();
+        if path.is_dir() {
+            if !skip.contains(&name) {
+                collect_rs_files(&path, skip, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// CLI entry point; returns the process exit code. `args` excludes the
+/// binary name.
+pub fn run(args: &[String]) -> i32 {
+    let mut args = args.iter();
+    match args.next().map(String::as_str) {
+        Some("lint") => {}
+        other => {
+            if let Some(command) = other {
+                eprintln!("unknown command `{command}`");
+            }
+            eprintln!("usage: cargo run -p xtask -- lint [--root <dir>] [--config <lint.toml>]");
+            return 2;
+        }
+    }
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    while let Some(flag) = args.next() {
+        let value = args.next();
+        match (flag.as_str(), value) {
+            ("--root", Some(v)) => root = Some(PathBuf::from(v)),
+            ("--config", Some(v)) => config_path = Some(PathBuf::from(v)),
+            _ => {
+                eprintln!("unknown or incomplete option `{flag}`");
+                return 2;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("xtask lint: cannot read {}: {e}", config_path.display());
+            return 2;
+        }
+    };
+    let config = match parse_config(&config_text) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return 2;
+        }
+    };
+    match lint_tree(&root, &config) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean");
+            0
+        }
+        Ok(violations) => {
+            for violation in &violations {
+                println!("{violation}");
+            }
+            println!("xtask lint: {} violation(s)", violations.len());
+            1
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            2
+        }
+    }
+}
+
+/// The workspace root, two levels above this crate's manifest.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(Path::parent) {
+        Some(root) => root.to_path_buf(),
+        None => manifest,
+    }
+}

@@ -1,0 +1,285 @@
+//! Tests for the workspace invariant linter: each rule fires on a seeded
+//! violation, each waiver is honored, `#[cfg(test)]` bodies are exempt,
+//! and — the acceptance criterion — the shipped tree is clean while a
+//! seeded violation makes `xtask lint` exit nonzero.
+
+use xtask::{lint_source, lint_tree, parse_config, run, strip, test_exempt_lines, Config};
+
+fn test_config() -> Config {
+    Config {
+        roots: vec!["crates".to_string()],
+        skip: vec!["tests".to_string(), "target".to_string()],
+        unsafe_allow: vec!["crates/core/src/spsc.rs".to_string()],
+        hot_path: vec![
+            "crates/core/src/table.rs".to_string(),
+            "crates/core/src/spsc.rs".to_string(),
+        ],
+        counter_fields: vec!["freq".to_string(), "harvests".to_string()],
+        no_relaxed_files: vec!["crates/core/src/spsc.rs".to_string()],
+    }
+}
+
+fn rules(violations: &[xtask::Violation]) -> Vec<&'static str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn config_parses_sections_and_multiline_arrays() {
+    let toml = r#"
+# comment
+[paths]
+roots = ["crates"] # trailing comment
+skip = [
+    "tests",
+    "target",
+]
+
+[unsafe_code]
+allow = ["crates/core/src/spsc.rs"]
+
+[hot_path]
+files = ["a.rs", "b.rs"]
+
+[counters]
+fields = ["freq"]
+
+[orderings]
+no_relaxed_files = ["a.rs"]
+"#;
+    let config = parse_config(toml).expect("parses");
+    assert_eq!(config.roots, vec!["crates"]);
+    assert_eq!(config.skip, vec!["tests", "target"]);
+    assert_eq!(config.unsafe_allow, vec!["crates/core/src/spsc.rs"]);
+    assert_eq!(config.hot_path, vec!["a.rs", "b.rs"]);
+    assert_eq!(config.counter_fields, vec!["freq"]);
+    assert_eq!(config.no_relaxed_files, vec!["a.rs"]);
+}
+
+#[test]
+fn config_rejects_unknown_keys_and_missing_roots() {
+    assert!(parse_config("[paths]\nbogus = [\"x\"]\n").is_err());
+    assert!(
+        parse_config("[unsafe_code]\nallow = [\"a.rs\"]\n").is_err(),
+        "no roots"
+    );
+}
+
+#[test]
+fn strip_blanks_comments_strings_and_chars_but_keeps_lifetimes() {
+    let source = "let s = \"panic!\"; // panic!\nlet c = '['; /* [ */ fn f<'a>() {}";
+    let code = strip(source);
+    assert!(
+        !code.contains("panic!"),
+        "string and comment blanked: {code}"
+    );
+    assert!(
+        !code.contains('['),
+        "char literal and block comment blanked"
+    );
+    assert!(code.contains("<'a>"), "lifetime preserved: {code}");
+    assert_eq!(
+        source.lines().count(),
+        code.lines().count(),
+        "line structure preserved"
+    );
+}
+
+#[test]
+fn strip_handles_raw_strings_and_nested_block_comments() {
+    let source =
+        "let r = r#\"unsafe [0] panic!\"#;\n/* outer /* unsafe */ still comment */ let x = 1;";
+    let code = strip(source);
+    assert!(!code.contains("unsafe"));
+    assert!(!code.contains("panic"));
+    assert!(
+        code.contains("let x = 1;"),
+        "code after nested comment kept: {code}"
+    );
+}
+
+#[test]
+fn unsafe_outside_allowlist_is_flagged() {
+    let source = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    let violations = lint_source("crates/core/src/table.rs", source, &test_config());
+    assert!(
+        rules(&violations).contains(&"unsafe_allowlist"),
+        "{violations:?}"
+    );
+    let v = violations
+        .iter()
+        .find(|v| v.rule == "unsafe_allowlist")
+        .unwrap();
+    assert_eq!(v.line, 2);
+    assert_eq!(v.file, "crates/core/src/table.rs");
+}
+
+#[test]
+fn unsafe_in_allowlisted_file_requires_safety_comment() {
+    let bare = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    let violations = lint_source("crates/core/src/spsc.rs", bare, &test_config());
+    assert_eq!(rules(&violations), vec!["safety_comment"], "{violations:?}");
+
+    let commented = "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees validity.\n    unsafe { *p }\n}\n";
+    let violations = lint_source("crates/core/src/spsc.rs", commented, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    let same_line = "unsafe impl Send for X {} // SAFETY: no shared state.\n";
+    let violations = lint_source("crates/core/src/spsc.rs", same_line, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn panicking_calls_in_hot_path_are_flagged_unless_waived() {
+    let source = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let violations = lint_source("crates/core/src/table.rs", source, &test_config());
+    assert_eq!(rules(&violations), vec!["no_panic"]);
+
+    let waived = "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(no_panic): startup only\n    x.unwrap()\n}\n";
+    let violations = lint_source("crates/core/src/table.rs", waived, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    for call in [
+        "y.expect(\"msg\")",
+        "panic!(\"boom\")",
+        "unreachable!()",
+        "todo!()",
+    ] {
+        let source = format!("fn f() {{\n    {call};\n}}\n");
+        let violations = lint_source("crates/core/src/table.rs", &source, &test_config());
+        assert_eq!(rules(&violations), vec!["no_panic"], "for `{call}`");
+    }
+
+    // Not hot path → no rule.
+    let violations = lint_source("crates/core/src/other.rs", source, &test_config());
+    assert!(violations.is_empty());
+}
+
+#[test]
+fn indexing_in_hot_path_is_flagged_unless_waived() {
+    let source = "fn f(v: &[u32]) -> u32 {\n    v[0]\n}\n";
+    let violations = lint_source("crates/core/src/table.rs", source, &test_config());
+    assert_eq!(rules(&violations), vec!["no_index"]);
+
+    let waived = "fn f(v: &[u32]) -> u32 {\n    v[0] // lint: index-ok (caller checked)\n}\n";
+    let violations = lint_source("crates/core/src/table.rs", waived, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // Array types, attributes, macros and array literals are not indexing.
+    let benign = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\nfn g() -> Vec<u32> { vec![1, 2] }\nfn h() { let [a, _b] = [1, 2]; let _ = a; }\n";
+    let violations = lint_source("crates/core/src/table.rs", benign, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn counter_compound_assignment_is_flagged() {
+    let source = "fn f(s: &mut Stats) {\n    s.harvests += 1;\n}\n";
+    let violations = lint_source("crates/core/src/table.rs", source, &test_config());
+    assert_eq!(rules(&violations), vec!["counter_arith"]);
+
+    // saturating ops and non-counter fields are fine.
+    let fine = "fn f(s: &mut Stats) {\n    s.harvests = s.harvests.saturating_add(1);\n    s.other += 1;\n}\n";
+    let violations = lint_source("crates/core/src/table.rs", fine, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // `freq` must match as a word, not inside `frequency`.
+    let word = "fn f(s: &mut Stats) {\n    s.frequency += 1;\n}\n";
+    let violations = lint_source("crates/core/src/table.rs", word, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn relaxed_ordering_needs_a_justification() {
+    let source = "fn f(a: &AtomicUsize) -> usize {\n    a.load(Ordering::Relaxed)\n}\n";
+    let violations = lint_source("crates/core/src/spsc.rs", source, &test_config());
+    assert_eq!(rules(&violations), vec!["no_relaxed"]);
+
+    let waived = "fn f(a: &AtomicUsize) -> usize {\n    // lint:allow(no_relaxed): single-writer cursor\n    a.load(Ordering::Relaxed)\n}\n";
+    let violations = lint_source("crates/core/src/spsc.rs", waived, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // Not a configured concurrency file → no rule.
+    let violations = lint_source("crates/core/src/other.rs", source, &test_config());
+    assert!(violations.is_empty());
+}
+
+#[test]
+fn cfg_test_bodies_are_exempt() {
+    let source = "fn hot() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let v = vec![1];\n        assert_eq!(v[0], Some(1).unwrap());\n    }\n}\n";
+    let violations = lint_source("crates/core/src/table.rs", source, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    let exempt = test_exempt_lines(&strip(source));
+    assert!(!exempt[0], "hot code is not exempt");
+    assert!(exempt[7], "test body line is exempt");
+}
+
+#[test]
+fn violations_format_as_file_line_rule() {
+    let source = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let violations = lint_source("crates/core/src/table.rs", source, &test_config());
+    let rendered = violations[0].to_string();
+    assert!(
+        rendered.starts_with("crates/core/src/table.rs:2: [no_panic]"),
+        "diagnostic shape: {rendered}"
+    );
+}
+
+/// Acceptance criterion: the shipped tree passes its own linter.
+#[test]
+fn shipped_tree_is_clean() {
+    let root = xtask::workspace_root();
+    let config_text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists");
+    let config = parse_config(&config_text).expect("lint.toml parses");
+    let violations = lint_tree(&root, &config).expect("tree lints");
+    assert!(
+        violations.is_empty(),
+        "shipped tree must be lint-clean, found:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Acceptance criterion: a seeded violation makes `xtask lint` exit
+/// nonzero, end to end through the CLI entry point.
+#[test]
+fn seeded_violation_exits_nonzero() {
+    let scratch = std::env::temp_dir().join(format!("xtask-lint-seeded-{}", std::process::id()));
+    let src_dir = scratch.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("create scratch tree");
+    std::fs::write(
+        scratch.join("lint.toml"),
+        "[paths]\nroots = [\"crates\"]\nskip = []\n[unsafe_code]\nallow = []\n[hot_path]\nfiles = [\"crates/core/src/table.rs\"]\n[counters]\nfields = [\"freq\"]\n[orderings]\nno_relaxed_files = []\n",
+    )
+    .expect("write config");
+    std::fs::write(
+        src_dir.join("table.rs"),
+        "pub fn f(x: Option<u32>) -> u32 {\n    unsafe { x.unwrap() }\n}\n",
+    )
+    .expect("write seeded source");
+
+    let args: Vec<String> = ["lint", "--root"]
+        .iter()
+        .map(ToString::to_string)
+        .chain([scratch.to_string_lossy().to_string()])
+        .collect();
+    assert_eq!(run(&args), 1, "seeded violations must fail the build");
+
+    // Fix the file: the same tree must now pass with exit code 0.
+    std::fs::write(
+        src_dir.join("table.rs"),
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0)\n}\n",
+    )
+    .expect("write clean source");
+    assert_eq!(run(&args), 0, "clean tree must pass");
+
+    std::fs::remove_dir_all(&scratch).expect("cleanup scratch tree");
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    assert_eq!(run(&["frobnicate".to_string()]), 2);
+    assert_eq!(run(&[]), 2);
+}

@@ -1,0 +1,67 @@
+//! Shadow `UnsafeCell` whose accesses are vector-clock race-checked inside
+//! a model. This is where the checker earns its keep: an access is legal
+//! only if every conflicting access happens-before it, and happens-before
+//! is only created by `Acquire`/`Release` edges, locks, spawn and join —
+//! never by `Ordering::Relaxed`.
+
+use crate::rt;
+
+/// Shadow `UnsafeCell`. Unlike std's, access goes through [`Self::with`] /
+/// [`Self::with_mut`] so the model can interpose a scheduling point and a
+/// race check on every dereference.
+#[derive(Debug)]
+pub struct UnsafeCell<T> {
+    id: rt::ObjId,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: cross-thread access is the whole point of the shadow cell; the
+// model verifies on every explored interleaving that all conflicting
+// accesses are ordered by happens-before, and reports a data race (test
+// failure) otherwise. That dynamic check is what stands in for the static
+// guarantee these impls would normally require.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+// SAFETY: see the `Send` impl above.
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Shadow constructor.
+    pub fn new(data: T) -> Self {
+        Self {
+            id: rt::ObjId::new(),
+            data: std::cell::UnsafeCell::new(data),
+        }
+    }
+
+    /// Immutable access. Races with any concurrent `with_mut` are reported.
+    ///
+    /// # Safety contract (mirrors `loom`)
+    ///
+    /// The pointer is valid for the duration of `f`; the caller must not
+    /// let it escape.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if let Some(ctx) = rt::ctx() {
+            rt::cell_access(&ctx, &self.id, false);
+        }
+        f(self.data.get())
+    }
+
+    /// Mutable access. Races with any concurrent access are reported.
+    ///
+    /// # Safety contract (mirrors `loom`)
+    ///
+    /// The pointer is valid for the duration of `f`; the caller must not
+    /// let it escape and must guarantee exclusivity (which the model
+    /// verifies on every explored interleaving).
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        if let Some(ctx) = rt::ctx() {
+            rt::cell_access(&ctx, &self.id, true);
+        }
+        f(self.data.get())
+    }
+
+    /// Consume the cell, returning the wrapped value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline, in-workspace stand-in for the [`loom`] concurrency model
+//! checker.
+//!
+//! [`model`] runs a closure under a deterministic scheduler that
+//! systematically enumerates thread interleavings (depth-first over
+//! scheduling decisions, with CHESS-style preemption bounding) and checks
+//! every explored execution for:
+//!
+//! * **data races** on [`cell::UnsafeCell`] accesses, via vector-clock
+//!   happens-before tracking in which `Ordering::Relaxed` establishes no
+//!   edge — so an under-synchronized publish is caught even though the
+//!   observed *value* would be correct under sequential consistency;
+//! * **deadlocks** (every live thread blocked on a mutex, condvar wait
+//!   with no future notify, or join) — this is also how lost wakeups
+//!   surface;
+//! * **assertion failures / panics** in the model closure on *any*
+//!   explored interleaving, reported with the failing schedule.
+//!
+//! ## Fidelity limits (vs. real `loom`)
+//!
+//! Atomic *values* are sequentially consistent: a load observes the most
+//! recent store of the executed interleaving, and store-buffer style
+//! weak-memory value reordering is not enumerated. Happens-before *is*
+//! ordering-sensitive, which is what the race detector keys off. The
+//! exploration is bounded (preemption bound + interleaving cap) rather
+//! than exhaustive-with-reduction; [`Report::complete`] says whether the
+//! bounded space was fully enumerated.
+//!
+//! ## Usage
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! let report = loom::model(|| {
+//!     let a = Arc::new(AtomicUsize::new(0));
+//!     let a2 = Arc::clone(&a);
+//!     let t = loom::thread::spawn(move || {
+//!         a2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     a.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(a.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.complete);
+//! ```
+//!
+//! [`loom`]: https://docs.rs/loom
+
+pub mod cell;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use std::sync::Arc;
+
+/// Spin-loop hints map to scheduler yields so that spin-wait loops make
+/// progress visible to the bounded explorer instead of livelocking it.
+pub mod hint {
+    /// Shadow `std::hint::spin_loop`: yields to the model scheduler.
+    pub fn spin_loop() {
+        crate::thread::yield_now();
+    }
+}
+
+/// What an exploration did. Returned by [`model`] / [`Builder::check`]
+/// when no interleaving failed (failures panic instead).
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct interleavings executed.
+    pub interleavings: usize,
+    /// `true` if the bounded schedule space was exhausted; `false` if the
+    /// run stopped at [`Builder::max_interleavings`] first.
+    pub complete: bool,
+}
+
+/// Exploration configuration. [`model`] uses the defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct Builder {
+    /// Maximum number of *preemptive* context switches per execution
+    /// (switches away from a thread that could have kept running).
+    /// Switches forced by blocking are always free. CHESS-style results
+    /// show most concurrency bugs need very few preemptions.
+    pub preemption_bound: usize,
+    /// Stop after this many interleavings even if alternatives remain
+    /// (the [`Report`] then has `complete == false`).
+    pub max_interleavings: usize,
+    /// Per-execution step limit; exceeding it fails the model (livelock
+    /// guard).
+    pub max_steps: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            preemption_bound: 3,
+            max_interleavings: 20_000,
+            max_steps: 100_000,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Explore `f` under every schedule within the bounds, depth-first.
+    ///
+    /// Replays work by re-running `f` from scratch with a recorded prefix
+    /// of decisions, then taking the first untried alternative at the
+    /// deepest decision point — the classic stateless model-checking loop,
+    /// which requires `f` to be deterministic apart from scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any explored interleaving fails (data race, deadlock,
+    /// over-long execution, or a panic inside `f`), with the failing
+    /// schedule in the message.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut replay: Vec<usize> = Vec::new();
+        let mut interleavings = 0usize;
+        loop {
+            let outcome = rt::run_once(
+                Arc::clone(&f),
+                std::mem::take(&mut replay),
+                self.preemption_bound,
+                self.max_steps,
+            );
+            interleavings += 1;
+            if let Some(msg) = outcome.failed {
+                panic!(
+                    "loom: model failed on interleaving #{interleavings}: {msg}\n\
+                     failing schedule (thread id per decision): {:?}",
+                    outcome.trace
+                );
+            }
+            if interleavings >= self.max_interleavings {
+                return Report {
+                    interleavings,
+                    complete: false,
+                };
+            }
+            // Backtrack to the deepest decision on this path that still
+            // has an untried alternative; DFS order guarantees everything
+            // deeper is exhausted.
+            let mut next: Option<Vec<usize>> = None;
+            for i in (0..outcome.decisions.len()).rev() {
+                let (enabled_len, chosen) = outcome.decisions[i];
+                if chosen + 1 < enabled_len {
+                    let mut prefix: Vec<usize> =
+                        outcome.decisions[..i].iter().map(|&(_, c)| c).collect();
+                    prefix.push(chosen + 1);
+                    next = Some(prefix);
+                    break;
+                }
+            }
+            match next {
+                Some(prefix) => replay = prefix,
+                None => {
+                    return Report {
+                        interleavings,
+                        complete: true,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Explore `f` under the default [`Builder`] bounds. See [`Builder::check`].
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}

@@ -1,0 +1,736 @@
+//! The deterministic scheduler behind [`crate::model`].
+//!
+//! ## How interleavings are explored
+//!
+//! Every execution of the model closure runs on **real OS threads that are
+//! serialized by a baton**: before each visible operation (atomic access,
+//! lock, condvar op, `UnsafeCell` access, spawn, join, yield) the thread
+//! enters [`step`], where exactly one runnable thread is chosen to perform
+//! its next operation. Each such choice is a *decision point*; the chosen
+//! alternative and the full enabled set are recorded, and after the
+//! execution finishes the driver backtracks depth-first to the deepest
+//! decision with an untried alternative and replays the run with that
+//! prefix. The default choice is always "keep running the current thread",
+//! so switching to another thread while the current one is still runnable
+//! costs one unit of the **preemption bound** (CHESS-style bounding, which
+//! keeps the schedule space polynomial while catching the vast majority of
+//! interleaving bugs). Switches forced by blocking are free.
+//!
+//! ## What is and is not modeled
+//!
+//! * Values are **sequentially consistent**: a load always observes the
+//!   most recent store in the executed interleaving. Store-buffer style
+//!   weak-memory reorderings are *not* enumerated.
+//! * Happens-before **is** tracked precisely with vector clocks: `Acquire`
+//!   loads join the clock released by `Release` stores, mutexes carry the
+//!   releasing thread's clock, spawn/join edges are recorded, and
+//!   `Ordering::Relaxed` transfers *nothing*. Every [`crate::cell::UnsafeCell`]
+//!   access is checked against those clocks, so publishing data through a
+//!   `Relaxed` store (or reading it through a `Relaxed` load) is reported
+//!   as a data race even though the value itself would have been "correct"
+//!   under SC.
+//! * `Condvar::notify_one` wakes *every* waiter (a sound over-approximation:
+//!   std condvars may wake spuriously, so code must tolerate extra wakeups
+//!   anyway). A waiter that is never notified deadlocks, and deadlocks are
+//!   detected and reported with the full schedule.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// A vector clock: component `i` counts the operations thread `i` has
+/// performed that are visible to the clock's owner.
+pub(crate) type VClock = Vec<u64>;
+
+pub(crate) fn clock_join(into: &mut VClock, other: &VClock) {
+    if into.len() < other.len() {
+        into.resize(other.len(), 0);
+    }
+    for (slot, &v) in into.iter_mut().zip(other.iter()) {
+        if *slot < v {
+            *slot = v;
+        }
+    }
+}
+
+/// `a ≤ b` component-wise: everything `a` has seen, `b` has seen too.
+pub(crate) fn clock_leq(a: &VClock, b: &VClock) -> bool {
+    a.iter()
+        .enumerate()
+        .all(|(i, &v)| v <= b.get(i).copied().unwrap_or(0))
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Yielded,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ThreadRec {
+    status: Status,
+    clock: VClock,
+}
+
+struct MutexRec {
+    owner: Option<usize>,
+    clock: VClock,
+}
+
+#[derive(Default)]
+struct CellRec {
+    last_write: Option<(usize, VClock)>,
+    reads: Vec<(usize, VClock)>,
+}
+
+/// One scheduling decision: the ordered enabled set and the index chosen.
+pub(crate) struct Decision {
+    pub enabled: Vec<usize>,
+    pub chosen: usize,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadRec>,
+    current: usize,
+    replay: Vec<usize>,
+    pub decisions: Vec<Decision>,
+    preemptions: usize,
+    preemption_bound: usize,
+    steps: usize,
+    max_steps: usize,
+    pub failed: Option<String>,
+    finished: usize,
+    mutexes: Vec<MutexRec>,
+    condvars: Vec<Vec<usize>>,
+    atomics: Vec<VClock>,
+    cells: Vec<CellRec>,
+}
+
+pub(crate) struct Execution {
+    pub serial: u64,
+    state: StdMutex<ExecState>,
+    cv: StdCondvar,
+    pub handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+static SERIAL: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub exec: Arc<Execution>,
+    pub id: usize,
+}
+
+/// The calling thread's model context, or `None` outside a model run (or
+/// while unwinding from a model failure, so Drop impls that touch shadow
+/// primitives cannot double-panic).
+pub(crate) fn ctx() -> Option<Ctx> {
+    if std::thread::panicking() {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<Ctx>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Identity of a shadow object within one execution. Objects are usually
+/// created fresh by each run of the model closure; the serial number lets a
+/// stale object from a previous execution re-register instead of aliasing.
+#[derive(Debug)]
+pub(crate) struct ObjId {
+    slot: StdMutex<Option<(u64, usize)>>,
+}
+
+impl ObjId {
+    pub(crate) const fn new() -> Self {
+        Self {
+            slot: StdMutex::new(None),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ObjKind {
+    Mutex,
+    Condvar,
+    Atomic,
+    Cell,
+}
+
+impl Execution {
+    fn new(replay: Vec<usize>, preemption_bound: usize, max_steps: usize) -> Self {
+        Self {
+            serial: SERIAL.fetch_add(1, StdOrdering::Relaxed),
+            state: StdMutex::new(ExecState {
+                threads: Vec::new(),
+                current: 0,
+                replay,
+                decisions: Vec::new(),
+                preemptions: 0,
+                preemption_bound,
+                steps: 0,
+                max_steps,
+                failed: None,
+                finished: 0,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                atomics: Vec::new(),
+                cells: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+            handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> StdMutexGuard<'_, ExecState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+fn resolve(st: &mut ExecState, exec: &Execution, id: &ObjId, kind: ObjKind) -> usize {
+    let mut slot = match id.slot.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    if let Some((serial, idx)) = *slot {
+        if serial == exec.serial {
+            return idx;
+        }
+    }
+    let idx = match kind {
+        ObjKind::Mutex => {
+            st.mutexes.push(MutexRec {
+                owner: None,
+                clock: Vec::new(),
+            });
+            st.mutexes.len() - 1
+        }
+        ObjKind::Condvar => {
+            st.condvars.push(Vec::new());
+            st.condvars.len() - 1
+        }
+        ObjKind::Atomic => {
+            st.atomics.push(Vec::new());
+            st.atomics.len() - 1
+        }
+        ObjKind::Cell => {
+            st.cells.push(CellRec::default());
+            st.cells.len() - 1
+        }
+    };
+    *slot = Some((exec.serial, idx));
+    idx
+}
+
+/// Choose the next thread to run. `caller` is the thread making the choice
+/// (the one that just performed an operation or is about to block).
+fn pick_next(st: &mut ExecState, caller: usize) -> Result<Option<usize>, String> {
+    let mut enabled: Vec<usize> = st
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status == Status::Runnable)
+        .map(|(i, _)| i)
+        .collect();
+    if enabled.is_empty() {
+        let yielded: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Yielded)
+            .map(|(i, _)| i)
+            .collect();
+        if yielded.is_empty() {
+            if st.finished == st.threads.len() {
+                return Ok(None);
+            }
+            let stuck: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != Status::Finished)
+                .map(|(i, t)| format!("thread {i}: {:?}", t.status))
+                .collect();
+            return Err(format!(
+                "deadlock: every live thread is blocked [{}]",
+                stuck.join(", ")
+            ));
+        }
+        for &t in &yielded {
+            st.threads[t].status = Status::Runnable;
+        }
+        enabled = yielded;
+    }
+    let caller_enabled = enabled.contains(&caller);
+    if caller_enabled {
+        enabled.retain(|&t| t != caller);
+        enabled.insert(0, caller);
+        if st.preemptions >= st.preemption_bound {
+            enabled.truncate(1);
+        }
+    }
+    let depth = st.decisions.len();
+    let mut chosen = if depth < st.replay.len() {
+        st.replay[depth]
+    } else {
+        0
+    };
+    if chosen >= enabled.len() {
+        // A replay mismatch can only follow a nondeterministic model
+        // closure; degrade to the default rather than crash the explorer.
+        chosen = 0;
+    }
+    let next = enabled[chosen];
+    if caller_enabled && next != caller {
+        st.preemptions += 1;
+    }
+    st.decisions.push(Decision { enabled, chosen });
+    Ok(Some(next))
+}
+
+fn fail(exec: &Execution, mut st: StdMutexGuard<'_, ExecState>, msg: String) -> ! {
+    let primary = st.failed.is_none();
+    if primary {
+        st.failed = Some(msg.clone());
+    }
+    drop(st);
+    exec.cv.notify_all();
+    if primary {
+        panic!("loom model failure: {msg}");
+    } else {
+        panic!("loom: unwinding after failure elsewhere");
+    }
+}
+
+fn secondary_check(exec: &Execution, st: &StdMutexGuard<'_, ExecState>) {
+    if st.failed.is_some() {
+        exec.cv.notify_all();
+        panic!("loom: unwinding after failure elsewhere");
+    }
+}
+
+/// Park until this thread is scheduled, then stamp its clock.
+fn wait_scheduled(exec: &Execution, mut st: StdMutexGuard<'_, ExecState>, me: usize) {
+    loop {
+        secondary_check(exec, &st);
+        if st.current == me && st.threads[me].status == Status::Runnable {
+            if st.threads[me].clock.len() <= me {
+                st.threads[me].clock.resize(me + 1, 0);
+            }
+            st.threads[me].clock[me] += 1;
+            return;
+        }
+        st = match exec.cv.wait(st) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+    }
+}
+
+fn schedule(exec: &Execution, mut st: StdMutexGuard<'_, ExecState>, caller: usize) {
+    match pick_next(&mut st, caller) {
+        Err(msg) => fail(exec, st, msg),
+        Ok(None) => fail(exec, st, "scheduler ran out of threads".into()),
+        Ok(Some(next)) => {
+            let switch = next != st.current;
+            st.current = next;
+            if switch {
+                exec.cv.notify_all();
+            }
+            wait_scheduled(exec, st, caller);
+        }
+    }
+}
+
+/// The pre-operation scheduling point: decide who performs the next visible
+/// operation. Returns with the baton held by the caller.
+pub(crate) fn step(ctx: &Ctx) {
+    let exec = &*ctx.exec;
+    let mut st = exec.lock();
+    secondary_check(exec, &st);
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        let msg = format!(
+            "max_steps ({}) exceeded — livelock or a model too large to explore",
+            st.max_steps
+        );
+        fail(exec, st, msg);
+    }
+    schedule(exec, st, ctx.id);
+}
+
+/// Move the caller into `status` (a blocked/yielded state) and run others
+/// until the caller is runnable and scheduled again.
+fn block(ctx: &Ctx, status: Status) {
+    let exec = &*ctx.exec;
+    let mut st = exec.lock();
+    secondary_check(exec, &st);
+    st.threads[ctx.id].status = status;
+    schedule(exec, st, ctx.id);
+}
+
+pub(crate) fn yield_now(ctx: &Ctx) {
+    block(ctx, Status::Yielded);
+}
+
+// ---------------------------------------------------------------- mutexes
+
+pub(crate) fn mutex_lock(ctx: &Ctx, id: &ObjId) {
+    step(ctx);
+    loop {
+        let exec = &*ctx.exec;
+        let mut st = exec.lock();
+        secondary_check(exec, &st);
+        let mid = resolve(&mut st, exec, id, ObjKind::Mutex);
+        if st.mutexes[mid].owner.is_none() {
+            st.mutexes[mid].owner = Some(ctx.id);
+            let c = st.mutexes[mid].clock.clone();
+            clock_join(&mut st.threads[ctx.id].clock, &c);
+            return;
+        }
+        st.threads[ctx.id].status = Status::BlockedMutex(mid);
+        schedule(exec, st, ctx.id);
+    }
+}
+
+fn release_mutex_locked(st: &mut ExecState, mid: usize, me: usize) {
+    let tc = st.threads[me].clock.clone();
+    clock_join(&mut st.mutexes[mid].clock, &tc);
+    st.mutexes[mid].owner = None;
+    for t in st.threads.iter_mut() {
+        if t.status == Status::BlockedMutex(mid) {
+            t.status = Status::Runnable;
+        }
+    }
+}
+
+pub(crate) fn mutex_unlock(ctx: &Ctx, id: &ObjId) {
+    let exec = &*ctx.exec;
+    let mut st = exec.lock();
+    let mid = resolve(&mut st, exec, id, ObjKind::Mutex);
+    release_mutex_locked(&mut st, mid, ctx.id);
+    drop(st);
+    exec.cv.notify_all();
+}
+
+// --------------------------------------------------------------- condvars
+
+pub(crate) fn condvar_wait(ctx: &Ctx, cv: &ObjId, mx: &ObjId) {
+    step(ctx);
+    let exec = &*ctx.exec;
+    {
+        let mut st = exec.lock();
+        secondary_check(exec, &st);
+        let cid = resolve(&mut st, exec, cv, ObjKind::Condvar);
+        let mid = resolve(&mut st, exec, mx, ObjKind::Mutex);
+        release_mutex_locked(&mut st, mid, ctx.id);
+        st.condvars[cid].push(ctx.id);
+        st.threads[ctx.id].status = Status::BlockedCondvar(cid);
+        schedule(exec, st, ctx.id);
+    }
+    // Notified (or spuriously woken): re-acquire the mutex, contending.
+    loop {
+        let mut st = exec.lock();
+        secondary_check(exec, &st);
+        let mid = resolve(&mut st, exec, mx, ObjKind::Mutex);
+        if st.mutexes[mid].owner.is_none() {
+            st.mutexes[mid].owner = Some(ctx.id);
+            let c = st.mutexes[mid].clock.clone();
+            clock_join(&mut st.threads[ctx.id].clock, &c);
+            return;
+        }
+        st.threads[ctx.id].status = Status::BlockedMutex(mid);
+        schedule(exec, st, ctx.id);
+    }
+}
+
+/// `notify_one` and `notify_all` both wake every waiter: std condvars may
+/// wake spuriously, so waking extra threads only explores behaviors the
+/// real primitive is already allowed to produce.
+pub(crate) fn condvar_notify(ctx: &Ctx, cv: &ObjId) {
+    step(ctx);
+    let exec = &*ctx.exec;
+    let mut st = exec.lock();
+    secondary_check(exec, &st);
+    let cid = resolve(&mut st, exec, cv, ObjKind::Condvar);
+    let waiters = std::mem::take(&mut st.condvars[cid]);
+    for t in waiters {
+        if st.threads[t].status == Status::BlockedCondvar(cid) {
+            st.threads[t].status = Status::Runnable;
+        }
+    }
+    drop(st);
+    exec.cv.notify_all();
+}
+
+// ---------------------------------------------------------------- atomics
+
+/// Scheduling point + happens-before bookkeeping for one atomic access.
+/// `acquire`/`release` reflect the user's `Ordering`; `Relaxed` transfers
+/// no clock, which is exactly what lets the race detector flag it.
+pub(crate) fn atomic_access(ctx: &Ctx, id: &ObjId, acquire: bool, release: bool) {
+    step(ctx);
+    let exec = &*ctx.exec;
+    let mut st = exec.lock();
+    secondary_check(exec, &st);
+    let aid = resolve(&mut st, exec, id, ObjKind::Atomic);
+    if acquire {
+        let c = st.atomics[aid].clone();
+        clock_join(&mut st.threads[ctx.id].clock, &c);
+    }
+    if release {
+        let tc = st.threads[ctx.id].clock.clone();
+        clock_join(&mut st.atomics[aid], &tc);
+    }
+}
+
+/// Happens-before bookkeeping only, no scheduling point. Used by RMW ops
+/// that already took their [`step`] and apply the success/failure ordering
+/// once the outcome is known.
+pub(crate) fn atomic_hb(ctx: &Ctx, id: &ObjId, acquire: bool, release: bool) {
+    let exec = &*ctx.exec;
+    let mut st = exec.lock();
+    let aid = resolve(&mut st, exec, id, ObjKind::Atomic);
+    if acquire {
+        let c = st.atomics[aid].clone();
+        clock_join(&mut st.threads[ctx.id].clock, &c);
+    }
+    if release {
+        let tc = st.threads[ctx.id].clock.clone();
+        clock_join(&mut st.atomics[aid], &tc);
+    }
+}
+
+// ------------------------------------------------------------ UnsafeCell
+
+/// Scheduling point + vector-clock race check for one `UnsafeCell` access.
+pub(crate) fn cell_access(ctx: &Ctx, id: &ObjId, write: bool) {
+    step(ctx);
+    let exec = &*ctx.exec;
+    let mut st = exec.lock();
+    secondary_check(exec, &st);
+    let cid = resolve(&mut st, exec, id, ObjKind::Cell);
+    let me = ctx.id;
+    let my_clock = st.threads[me].clock.clone();
+    let rec = &mut st.cells[cid];
+    let mut race: Option<String> = None;
+    if let Some((writer, wc)) = &rec.last_write {
+        if *writer != me && !clock_leq(wc, &my_clock) {
+            race = Some(format!(
+                "data race on UnsafeCell: thread {me} {} concurrently with thread {writer}'s write",
+                if write { "writes" } else { "reads" }
+            ));
+        }
+    }
+    if write && race.is_none() {
+        for (reader, rc) in &rec.reads {
+            if *reader != me && !clock_leq(rc, &my_clock) {
+                race = Some(format!(
+                    "data race on UnsafeCell: thread {me} writes concurrently with thread {reader}'s read"
+                ));
+                break;
+            }
+        }
+    }
+    if let Some(msg) = race {
+        fail(exec, st, msg);
+    }
+    if write {
+        rec.reads.clear();
+        rec.last_write = Some((me, my_clock));
+    } else {
+        rec.reads.retain(|(t, _)| *t != me);
+        rec.reads.push((me, my_clock));
+    }
+}
+
+// ---------------------------------------------------------------- threads
+
+/// Register a child thread (happens-before edge from the parent) and
+/// return its id. The caller then spawns the real thread.
+pub(crate) fn register_thread(ctx: &Ctx) -> usize {
+    step(ctx);
+    let exec = &*ctx.exec;
+    let mut st = exec.lock();
+    secondary_check(exec, &st);
+    let id = st.threads.len();
+    let mut clock = st.threads[ctx.id].clock.clone();
+    if clock.len() <= id {
+        clock.resize(id + 1, 0);
+    }
+    clock[id] = 1;
+    st.threads.push(ThreadRec {
+        status: Status::Runnable,
+        clock,
+    });
+    id
+}
+
+/// Entry point of a controlled child thread: install the context and park
+/// until first scheduled.
+pub(crate) fn enter_thread(exec: &Arc<Execution>, id: usize) {
+    set_ctx(Some(Ctx {
+        exec: Arc::clone(exec),
+        id,
+    }));
+    let st = exec.lock();
+    wait_scheduled(exec, st, id);
+}
+
+/// Exit path of a controlled thread (also runs after a panic, so it must
+/// never panic itself): mark finished, wake joiners, hand the baton on.
+pub(crate) fn exit_thread(exec: &Arc<Execution>, id: usize) {
+    set_ctx(None);
+    let mut st = exec.lock();
+    st.threads[id].status = Status::Finished;
+    st.finished += 1;
+    for t in st.threads.iter_mut() {
+        if t.status == Status::BlockedJoin(id) {
+            t.status = Status::Runnable;
+        }
+    }
+    if st.finished == st.threads.len() || st.failed.is_some() {
+        drop(st);
+        exec.cv.notify_all();
+        return;
+    }
+    match pick_next(&mut st, id) {
+        Err(msg) => {
+            if st.failed.is_none() {
+                st.failed = Some(msg);
+            }
+        }
+        Ok(Some(next)) => st.current = next,
+        Ok(None) => {}
+    }
+    drop(st);
+    exec.cv.notify_all();
+}
+
+/// Block until `target` finishes, then join its clock into the caller's.
+pub(crate) fn join_thread(ctx: &Ctx, target: usize) {
+    step(ctx);
+    loop {
+        let exec = &*ctx.exec;
+        let mut st = exec.lock();
+        secondary_check(exec, &st);
+        if st.threads[target].status == Status::Finished {
+            let c = st.threads[target].clock.clone();
+            clock_join(&mut st.threads[ctx.id].clock, &c);
+            return;
+        }
+        st.threads[ctx.id].status = Status::BlockedJoin(target);
+        schedule(exec, st, ctx.id);
+    }
+}
+
+// ----------------------------------------------------------------- driver
+
+/// Record a panic payload as the primary model failure, unless a failure
+/// is already recorded or the payload is the secondary-unwind marker.
+pub(crate) fn record_failure(exec: &Execution, payload: &(dyn std::any::Any + Send)) {
+    let msg = panic_message(payload);
+    let mut st = exec.lock();
+    if st.failed.is_none() && !msg.starts_with("loom: unwinding") {
+        st.failed = Some(msg);
+    }
+    drop(st);
+    exec.cv.notify_all();
+}
+
+pub(crate) struct RunOutcome {
+    /// `(enabled_len, chosen)` per decision, in order.
+    pub decisions: Vec<(usize, usize)>,
+    /// Chosen thread id per decision (for failure traces).
+    pub trace: Vec<usize>,
+    pub failed: Option<String>,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+pub(crate) fn run_once(
+    f: Arc<dyn Fn() + Send + Sync>,
+    replay: Vec<usize>,
+    preemption_bound: usize,
+    max_steps: usize,
+) -> RunOutcome {
+    let exec = Arc::new(Execution::new(replay, preemption_bound, max_steps));
+    {
+        let mut st = exec.lock();
+        st.threads.push(ThreadRec {
+            status: Status::Runnable,
+            clock: vec![1],
+        });
+        st.current = 0;
+    }
+    let exec0 = Arc::clone(&exec);
+    let root = std::thread::Builder::new()
+        .name("loom-root".into())
+        .spawn(move || {
+            set_ctx(Some(Ctx {
+                exec: Arc::clone(&exec0),
+                id: 0,
+            }));
+            let result = catch_unwind(AssertUnwindSafe(|| f()));
+            if let Err(payload) = result {
+                let msg = panic_message(&*payload);
+                let mut st = exec0.lock();
+                if st.failed.is_none() && !msg.starts_with("loom: unwinding") {
+                    st.failed = Some(msg);
+                }
+                drop(st);
+                exec0.cv.notify_all();
+            }
+            exit_thread(&exec0, 0);
+        })
+        .expect("spawn loom root thread");
+    let _ = root.join();
+    // Child wrapper threads may still be draining; join them all so the
+    // next execution starts from a quiescent process.
+    loop {
+        let drained: Vec<std::thread::JoinHandle<()>> = {
+            let mut h = match exec.handles.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            h.drain(..).collect()
+        };
+        if drained.is_empty() {
+            break;
+        }
+        for h in drained {
+            let _ = h.join();
+        }
+    }
+    let st = exec.lock();
+    RunOutcome {
+        decisions: st
+            .decisions
+            .iter()
+            .map(|d| (d.enabled.len(), d.chosen))
+            .collect(),
+        trace: st.decisions.iter().map(|d| d.enabled[d.chosen]).collect(),
+        failed: st.failed.clone(),
+    }
+}

@@ -1,0 +1,444 @@
+//! Shadow `std::sync`: `Mutex`, `Condvar` and atomics that are scheduled
+//! and happens-before-tracked inside a model, plain passthroughs outside.
+
+use crate::rt;
+use std::sync::{
+    Condvar as StdCondvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+    TryLockError,
+};
+
+pub use std::sync::Arc;
+
+/// Shadow mutex. Inside a model the lock order is a scheduler decision and
+/// the guard carries the releasing thread's vector clock.
+pub struct Mutex<T> {
+    pub(crate) id: rt::ObjId,
+    data: StdMutex<T>,
+}
+
+/// Guard for [`Mutex`]. Dropping it releases the logical lock and wakes
+/// blocked threads inside a model.
+pub struct MutexGuard<'a, T> {
+    inner: Option<StdMutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
+    ctx: Option<rt::Ctx>,
+    skip_unlock: bool,
+}
+
+impl<T> Mutex<T> {
+    /// Shadow `Mutex::new`.
+    pub fn new(data: T) -> Self {
+        Self {
+            id: rt::ObjId::new(),
+            data: StdMutex::new(data),
+        }
+    }
+
+    fn relock(&self) -> StdMutexGuard<'_, T> {
+        match self.data.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("loom: logical lock held but std mutex contended")
+            }
+        }
+    }
+
+    /// Shadow `Mutex::lock`. Never returns `Err` inside a model (a panic
+    /// there fails the whole model instead of poisoning).
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::ctx() {
+            Some(ctx) => {
+                rt::mutex_lock(&ctx, &self.id);
+                Ok(MutexGuard {
+                    inner: Some(self.relock()),
+                    mutex: self,
+                    ctx: Some(ctx),
+                    skip_unlock: false,
+                })
+            }
+            None => match self.data.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: Some(g),
+                    mutex: self,
+                    ctx: None,
+                    skip_unlock: false,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(p.into_inner()),
+                    mutex: self,
+                    ctx: None,
+                    skip_unlock: false,
+                })),
+            },
+        }
+    }
+
+    /// Shadow `Mutex::get_mut` (statically exclusive, no scheduling point).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        match self.data.get_mut() {
+            Ok(v) => Ok(v),
+            Err(p) => Err(PoisonError::new(p.into_inner())),
+        }
+    }
+
+    /// Shadow `Mutex::into_inner`.
+    pub fn into_inner(self) -> LockResult<T> {
+        match self.data.into_inner() {
+            Ok(v) => Ok(v),
+            Err(p) => Err(PoisonError::new(p.into_inner())),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard still holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard still holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if self.skip_unlock {
+            return;
+        }
+        if let Some(ctx) = self.ctx.take() {
+            rt::mutex_unlock(&ctx, &self.mutex.id);
+        }
+    }
+}
+
+/// Shadow condvar. `notify_one` wakes every waiter inside a model (a sound
+/// over-approximation — std condvars may wake spuriously anyway), and a
+/// waiter that is never woken is reported as a deadlock.
+pub struct Condvar {
+    id: rt::ObjId,
+    std: StdCondvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Shadow `Condvar::new`.
+    pub fn new() -> Self {
+        Self {
+            id: rt::ObjId::new(),
+            std: StdCondvar::new(),
+        }
+    }
+
+    /// Shadow `Condvar::wait`.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.mutex;
+        match guard.ctx.clone() {
+            Some(ctx) => {
+                guard.skip_unlock = true;
+                guard.inner = None;
+                drop(guard);
+                rt::condvar_wait(&ctx, &self.id, &mutex.id);
+                Ok(MutexGuard {
+                    inner: Some(mutex.relock()),
+                    mutex,
+                    ctx: Some(ctx),
+                    skip_unlock: false,
+                })
+            }
+            None => {
+                let std_guard = guard.inner.take().expect("guard still holds the lock");
+                guard.skip_unlock = true;
+                drop(guard);
+                match self.std.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard {
+                        inner: Some(g),
+                        mutex,
+                        ctx: None,
+                        skip_unlock: false,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        inner: Some(p.into_inner()),
+                        mutex,
+                        ctx: None,
+                        skip_unlock: false,
+                    })),
+                }
+            }
+        }
+    }
+
+    /// Shadow `Condvar::notify_one` (wakes all inside a model; see type docs).
+    pub fn notify_one(&self) {
+        match rt::ctx() {
+            Some(ctx) => rt::condvar_notify(&ctx, &self.id),
+            None => self.std.notify_one(),
+        }
+    }
+
+    /// Shadow `Condvar::notify_all`.
+    pub fn notify_all(&self) {
+        match rt::ctx() {
+            Some(ctx) => rt::condvar_notify(&ctx, &self.id),
+            None => self.std.notify_all(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// Shadow atomics with vector-clock happens-before tracking.
+pub mod atomic {
+    use crate::rt;
+    use std::sync::Mutex as StdMutex;
+
+    pub use std::sync::atomic::Ordering;
+
+    fn acquires(order: Ordering) -> bool {
+        matches!(
+            order,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+
+    fn releases(order: Ordering) -> bool {
+        matches!(
+            order,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+
+    macro_rules! shadow_atomic_int {
+        ($name:ident, $ty:ty) => {
+            /// Shadow atomic integer. Values are sequentially consistent;
+            /// happens-before follows the given `Ordering`, so `Relaxed`
+            /// publishes nothing and the race detector can flag it.
+            pub struct $name {
+                v: StdMutex<$ty>,
+                id: rt::ObjId,
+            }
+
+            impl $name {
+                /// Shadow constructor.
+                pub fn new(v: $ty) -> Self {
+                    Self {
+                        v: StdMutex::new(v),
+                        id: rt::ObjId::new(),
+                    }
+                }
+
+                fn value(&self) -> std::sync::MutexGuard<'_, $ty> {
+                    match self.v.lock() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    }
+                }
+
+                /// Shadow `load`.
+                pub fn load(&self, order: Ordering) -> $ty {
+                    assert!(
+                        !matches!(order, Ordering::Release | Ordering::AcqRel),
+                        "invalid ordering for load"
+                    );
+                    if let Some(ctx) = rt::ctx() {
+                        rt::atomic_access(&ctx, &self.id, acquires(order), false);
+                    }
+                    *self.value()
+                }
+
+                /// Shadow `store`.
+                pub fn store(&self, v: $ty, order: Ordering) {
+                    assert!(
+                        !matches!(order, Ordering::Acquire | Ordering::AcqRel),
+                        "invalid ordering for store"
+                    );
+                    if let Some(ctx) = rt::ctx() {
+                        rt::atomic_access(&ctx, &self.id, false, releases(order));
+                    }
+                    *self.value() = v;
+                }
+
+                /// Shadow `swap`.
+                pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                    self.rmw(order, |_| v)
+                }
+
+                /// Shadow `fetch_add` (wrapping, like std).
+                pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                    self.rmw(order, |old| old.wrapping_add(v))
+                }
+
+                /// Shadow `fetch_sub` (wrapping, like std).
+                pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                    self.rmw(order, |old| old.wrapping_sub(v))
+                }
+
+                /// Shadow `fetch_or`.
+                pub fn fetch_or(&self, v: $ty, order: Ordering) -> $ty {
+                    self.rmw(order, |old| old | v)
+                }
+
+                /// Shadow `fetch_and`.
+                pub fn fetch_and(&self, v: $ty, order: Ordering) -> $ty {
+                    self.rmw(order, |old| old & v)
+                }
+
+                fn rmw(&self, order: Ordering, f: impl FnOnce($ty) -> $ty) -> $ty {
+                    match rt::ctx() {
+                        Some(ctx) => {
+                            rt::atomic_access(&ctx, &self.id, acquires(order), releases(order));
+                            let mut v = self.value();
+                            let old = *v;
+                            *v = f(old);
+                            old
+                        }
+                        None => {
+                            let mut v = self.value();
+                            let old = *v;
+                            *v = f(old);
+                            old
+                        }
+                    }
+                }
+
+                /// Shadow `compare_exchange`.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    match rt::ctx() {
+                        Some(ctx) => {
+                            rt::step(&ctx);
+                            let outcome = {
+                                let mut v = self.value();
+                                let old = *v;
+                                if old == current {
+                                    *v = new;
+                                    Ok(old)
+                                } else {
+                                    Err(old)
+                                }
+                            };
+                            match outcome {
+                                Ok(_) => rt::atomic_hb(
+                                    &ctx,
+                                    &self.id,
+                                    acquires(success),
+                                    releases(success),
+                                ),
+                                Err(_) => rt::atomic_hb(&ctx, &self.id, acquires(failure), false),
+                            }
+                            outcome
+                        }
+                        None => {
+                            let mut v = self.value();
+                            let old = *v;
+                            if old == current {
+                                *v = new;
+                                Ok(old)
+                            } else {
+                                Err(old)
+                            }
+                        }
+                    }
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    write!(f, "{}({})", stringify!($name), *self.value())
+                }
+            }
+        };
+    }
+
+    shadow_atomic_int!(AtomicUsize, usize);
+    shadow_atomic_int!(AtomicU64, u64);
+    shadow_atomic_int!(AtomicU32, u32);
+
+    /// Shadow `AtomicBool`.
+    pub struct AtomicBool {
+        v: StdMutex<bool>,
+        id: rt::ObjId,
+    }
+
+    impl AtomicBool {
+        /// Shadow constructor.
+        pub fn new(v: bool) -> Self {
+            Self {
+                v: StdMutex::new(v),
+                id: rt::ObjId::new(),
+            }
+        }
+
+        fn value(&self) -> std::sync::MutexGuard<'_, bool> {
+            match self.v.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+
+        /// Shadow `load`.
+        pub fn load(&self, order: Ordering) -> bool {
+            assert!(
+                !matches!(order, Ordering::Release | Ordering::AcqRel),
+                "invalid ordering for load"
+            );
+            if let Some(ctx) = rt::ctx() {
+                rt::atomic_access(&ctx, &self.id, acquires(order), false);
+            }
+            *self.value()
+        }
+
+        /// Shadow `store`.
+        pub fn store(&self, v: bool, order: Ordering) {
+            assert!(
+                !matches!(order, Ordering::Acquire | Ordering::AcqRel),
+                "invalid ordering for store"
+            );
+            if let Some(ctx) = rt::ctx() {
+                rt::atomic_access(&ctx, &self.id, false, releases(order));
+            }
+            *self.value() = v;
+        }
+
+        /// Shadow `swap`.
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            if let Some(ctx) = rt::ctx() {
+                rt::atomic_access(&ctx, &self.id, acquires(order), releases(order));
+            }
+            let mut g = self.value();
+            let old = *g;
+            *g = v;
+            old
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "AtomicBool({})", *self.value())
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Shadow `std::thread`: controlled inside a model, passthrough outside.
+
+use crate::rt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Shadow join handle. Inside a model, `join` blocks through the scheduler
+/// and records the happens-before edge from the child's last operation.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        target: usize,
+        result: Arc<StdMutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+/// Shadow `thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::ctx() {
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+        Some(ctx) => {
+            let id = rt::register_thread(&ctx);
+            let result = Arc::new(StdMutex::new(None));
+            let slot = Arc::clone(&result);
+            let exec = Arc::clone(&ctx.exec);
+            let handle = std::thread::Builder::new()
+                .name(format!("loom-{id}"))
+                .spawn(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        rt::enter_thread(&exec, id);
+                        f()
+                    }));
+                    if let Err(payload) = &out {
+                        rt::record_failure(&exec, &**payload);
+                    }
+                    match slot.lock() {
+                        Ok(mut g) => *g = Some(out),
+                        Err(p) => *p.into_inner() = Some(out),
+                    }
+                    rt::exit_thread(&exec, id);
+                })
+                .expect("spawn loom shadow thread");
+            match ctx.exec.handles.lock() {
+                Ok(mut g) => g.push(handle),
+                Err(p) => p.into_inner().push(handle),
+            }
+            JoinHandle {
+                inner: Inner::Model { target: id, result },
+            }
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Shadow `JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { target, result } => {
+                let ctx = rt::ctx().expect("loom: joined a model thread outside the model");
+                rt::join_thread(&ctx, target);
+                let taken = match result.lock() {
+                    Ok(mut g) => g.take(),
+                    Err(p) => p.into_inner().take(),
+                };
+                taken.expect("loom: joined thread left no result")
+            }
+        }
+    }
+}
+
+/// Shadow `thread::yield_now`. Inside a model, a yielded thread is not
+/// rescheduled while any other thread can run — this is what makes spin
+/// loops explorable under a bounded scheduler.
+pub fn yield_now() {
+    match rt::ctx() {
+        Some(ctx) => rt::yield_now(&ctx),
+        None => std::thread::yield_now(),
+    }
+}

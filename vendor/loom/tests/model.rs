@@ -1,0 +1,224 @@
+//! Self-tests for the vendored model checker: each known-good pattern must
+//! pass, and each seeded concurrency bug must be caught with the right
+//! diagnostic.
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+
+#[test]
+fn concurrent_increments_explore_multiple_interleavings() {
+    let report = loom::model(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let a2 = Arc::clone(&a);
+        let t = loom::thread::spawn(move || {
+            a2.fetch_add(1, Ordering::SeqCst);
+        });
+        a.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(a.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.complete, "bounded space should be exhausted");
+    assert!(
+        report.interleavings > 1,
+        "two racing threads must produce several schedules, got {}",
+        report.interleavings
+    );
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        loom::model(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let a2 = Arc::clone(&a);
+            let t = loom::thread::spawn(move || {
+                a2.fetch_add(2, Ordering::SeqCst);
+            });
+            a.fetch_add(3, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst), 5);
+        })
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.interleavings, second.interleavings);
+    assert_eq!(first.complete, second.complete);
+}
+
+#[test]
+#[should_panic(expected = "data race")]
+fn relaxed_publish_is_a_data_race() {
+    loom::model(|| {
+        let cell = Arc::new(UnsafeCell::new(0u32));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+        let t = loom::thread::spawn(move || {
+            c2.with_mut(|p| unsafe { *p = 42 });
+            // BUG: Relaxed creates no happens-before edge for the write.
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            let v = cell.with(|p| unsafe { *p });
+            assert_eq!(v, 42);
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn release_acquire_publish_is_clean() {
+    let report = loom::model(|| {
+        let cell = Arc::new(UnsafeCell::new(0u32));
+        let flag = Arc::new(AtomicUsize::new(0));
+        let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+        let t = loom::thread::spawn(move || {
+            c2.with_mut(|p| unsafe { *p = 42 });
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            let v = cell.with(|p| unsafe { *p });
+            assert_eq!(v, 42);
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn abba_lock_order_deadlocks() {
+    loom::model(|| {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = loom::thread::spawn(move || {
+            let _gb = b2.lock().unwrap();
+            let _ga = a2.lock().unwrap();
+        });
+        let _ga = a.lock().unwrap();
+        let _gb = b.lock().unwrap();
+        drop(_gb);
+        drop(_ga);
+        t.join().unwrap();
+    });
+}
+
+#[test]
+#[should_panic(expected = "deadlock")]
+fn lost_wakeup_is_detected_as_deadlock() {
+    loom::model(|| {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = loom::thread::spawn(move || {
+            // BUG: the predicate check and the wait are separate critical
+            // sections. A notify landing in between is lost, and the wait
+            // then sleeps forever.
+            let ready = { *s2.0.lock().unwrap() };
+            if !ready {
+                let guard = s2.0.lock().unwrap();
+                let _guard = s2.1.wait(guard).unwrap();
+            }
+        });
+        {
+            let mut done = state.0.lock().unwrap();
+            *done = true;
+        }
+        // BUG: notify after releasing the lock, racing the waiter's check.
+        state.1.notify_one();
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn predicate_loop_wait_is_clean() {
+    let report = loom::model(|| {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = loom::thread::spawn(move || {
+            let mut guard = s2.0.lock().unwrap();
+            while !*guard {
+                guard = s2.1.wait(guard).unwrap();
+            }
+        });
+        {
+            let mut done = state.0.lock().unwrap();
+            *done = true;
+            drop(done);
+            state.1.notify_one();
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn spawn_and_join_create_happens_before() {
+    let report = loom::model(|| {
+        let cell = Arc::new(UnsafeCell::new(0u32));
+        cell.with_mut(|p| unsafe { *p = 7 });
+        let c2 = Arc::clone(&cell);
+        let t = loom::thread::spawn(move || {
+            // Visible via the spawn edge; no atomics needed.
+            let v = c2.with(|p| unsafe { *p });
+            assert_eq!(v, 7);
+            c2.with_mut(|p| unsafe { *p = 8 });
+        });
+        t.join().unwrap();
+        // Visible via the join edge.
+        let v = cell.with(|p| unsafe { *p });
+        assert_eq!(v, 8);
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn yielding_spin_loop_terminates() {
+    let report = loom::model(|| {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&flag);
+        let t = loom::thread::spawn(move || {
+            f2.store(1, Ordering::SeqCst);
+        });
+        while flag.load(Ordering::SeqCst) == 0 {
+            loom::thread::yield_now();
+        }
+        t.join().unwrap();
+    });
+    assert!(report.interleavings >= 1);
+}
+
+#[test]
+#[should_panic(expected = "assertion")]
+fn model_assertions_are_checked_on_every_interleaving() {
+    loom::model(|| {
+        let a = Arc::new(AtomicUsize::new(0));
+        let a2 = Arc::clone(&a);
+        let t = loom::thread::spawn(move || {
+            a2.store(1, Ordering::SeqCst);
+        });
+        // BUG: holds only on schedules where the child has not run yet.
+        assert_eq!(a.load(Ordering::SeqCst), 0);
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn passthrough_outside_model_behaves_like_std() {
+    // Outside loom::model the shadow types must act like the std ones so a
+    // `--features loom-check` build still passes the regular test suite.
+    let m = Mutex::new(5u32);
+    *m.lock().unwrap() = 6;
+    assert_eq!(*m.lock().unwrap(), 6);
+
+    let a = AtomicUsize::new(1);
+    assert_eq!(a.fetch_add(1, Ordering::Relaxed), 1);
+    assert_eq!(a.load(Ordering::Acquire), 2);
+
+    let c = UnsafeCell::new(3u32);
+    c.with_mut(|p| unsafe { *p = 4 });
+    assert_eq!(c.with(|p| unsafe { *p }), 4);
+
+    let t = loom::thread::spawn(|| 41 + 1);
+    assert_eq!(t.join().unwrap(), 42);
+}
