@@ -92,11 +92,11 @@ fn bench_parallel_runtime(c: &mut Criterion) {
                 |mut pipeline| {
                     for period in stream.chunks(PER_PERIOD) {
                         pipeline.insert_batch(period);
-                        pipeline.end_period();
+                        pipeline.end_period().expect("no shard faults");
                     }
                     // Reassembly joins the workers, so thread teardown is
                     // inside the measurement for every thread count alike.
-                    pipeline.into_sharded()
+                    pipeline.into_sharded().expect("no shard faults")
                 },
                 BatchSize::LargeInput,
             )

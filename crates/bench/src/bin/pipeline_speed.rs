@@ -176,9 +176,9 @@ fn main() {
                     ParallelLtc::with_batch_size(config(per_period, buckets), threads, batch_size);
                 for period in stream.chunks(per_period) {
                     pipeline.insert_batch(period);
-                    pipeline.end_period();
+                    pipeline.end_period().expect("no shard faults");
                 }
-                std::hint::black_box(pipeline.into_sharded());
+                std::hint::black_box(pipeline.into_sharded().expect("no shard faults"));
             });
             eprintln!("       {m:.2} Mops ({:.2}x vs scalar)", m / scalar_mops);
             parallel.push(SweepPoint {

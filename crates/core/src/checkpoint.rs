@@ -1,0 +1,1030 @@
+//! Crash-consistent checkpoints: a framed, versioned, checksummed envelope
+//! around the raw snapshots of [`crate::snapshot`], plus a [`Checkpointer`]
+//! that publishes checkpoint files atomically and falls back across
+//! generations on restore.
+//!
+//! The raw `to_snapshot` bytes are deliberately minimal (no checksum, no
+//! version) because they live in memory. The moment state crosses a crash
+//! boundary — a file, a socket — it needs to defend itself: a torn write
+//! publishes a prefix, media flips bytes, an operator points a restore at
+//! the checkpoint of a differently-configured table. The checkpoint frame
+//! catches all three.
+//!
+//! ## Frame layout (little-endian)
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic          "LTCF"
+//!      4     2  format version (currently 1)
+//!      6     2  flags          (reserved, must be zero)
+//!      8     8  config fingerprint (FNV-1a over the canonical config
+//!                                  encoding; shard configs chained in
+//!                                  order for sharded tables)
+//!     16     4  section count
+//!     20     4  CRC-32 (IEEE) over the body
+//!     24     …  body: per section, u32 length prefix + payload
+//! ```
+//!
+//! Every header field is validated on decode and the CRC covers the whole
+//! body (including the length prefixes), so **any** single-byte corruption
+//! is detected: magic/version/flags/fingerprint flips fail their field
+//! checks, a section-count flip breaks exact-consumption parsing, and any
+//! body flip (CRC field included) fails the checksum. A fuzz test mutates
+//! valid frames at arbitrary offsets to pin this down.
+//!
+//! ## Atomic publication
+//!
+//! [`Checkpointer::save`] writes `prefix.NNN….tmp`, fsyncs it, then
+//! atomically renames it to `prefix.NNN….ckpt` (and fsyncs the directory):
+//! a crash leaves either the complete new generation or none — never a
+//! half-written `.ckpt`. Restore walks generations newest-first and takes
+//! the first frame that decodes cleanly, so even a corrupted published
+//! image (torn by a dying disk, injected via the `checkpoint::write`
+//! failpoint) only costs one generation.
+
+use crate::config::LtcConfig;
+use crate::failpoint::{io_fault, FailAction};
+use crate::pipeline::ParallelLtc;
+use crate::sharded::ShardedLtc;
+use crate::snapshot::SnapshotError;
+use crate::table::Ltc;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// First four bytes of every checkpoint frame.
+pub const CHECKPOINT_MAGIC: &[u8; 4] = b"LTCF";
+
+/// Current frame format version.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+/// Frame header size: magic 4 + version 2 + flags 2 + fingerprint 8 +
+/// section count 4 + CRC 4.
+const HEADER_BYTES: usize = 24;
+
+/// Error decoding, validating or storing a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Not a checkpoint frame.
+    BadMagic,
+    /// Frame format version this build cannot read.
+    BadVersion {
+        /// Version found in the frame.
+        found: u16,
+    },
+    /// Reserved flag bits were set (corruption or a future format).
+    ReservedFlags {
+        /// Flag bits found in the frame.
+        found: u16,
+    },
+    /// The frame was written by a differently-configured table.
+    ConfigMismatch {
+        /// Fingerprint of the restoring table's configuration.
+        expected: u64,
+        /// Fingerprint stored in the frame.
+        found: u64,
+    },
+    /// The body does not match its CRC-32 (corruption).
+    ChecksumMismatch {
+        /// CRC stored in the frame.
+        expected: u32,
+        /// CRC computed over the body.
+        found: u32,
+    },
+    /// The frame ends mid-field or mid-section (torn write).
+    Truncated,
+    /// Bytes remain after the declared sections (corruption or padding).
+    TrailingBytes,
+    /// The frame holds a different number of sections than the restoring
+    /// table has shards.
+    SectionCount {
+        /// Sections the restoring table needs.
+        expected: usize,
+        /// Sections the frame declares.
+        found: usize,
+    },
+    /// A section decoded as a frame but failed snapshot validation.
+    Snapshot(SnapshotError),
+    /// Filesystem error reading or writing checkpoint files.
+    Io(String),
+    /// No generation on disk survived validation.
+    NoCheckpoint,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a checkpoint frame (bad magic)"),
+            CheckpointError::BadVersion { found } => {
+                write!(f, "unsupported checkpoint format version {found}")
+            }
+            CheckpointError::ReservedFlags { found } => {
+                write!(f, "reserved checkpoint flags set: {found:#06x}")
+            }
+            CheckpointError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint config fingerprint {found:#018x} does not match table {expected:#018x}"
+            ),
+            CheckpointError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checkpoint body CRC {found:#010x} does not match stored {expected:#010x}"
+            ),
+            CheckpointError::Truncated => write!(f, "checkpoint frame truncated"),
+            CheckpointError::TrailingBytes => write!(f, "checkpoint frame has trailing bytes"),
+            CheckpointError::SectionCount { expected, found } => write!(
+                f,
+                "checkpoint holds {found} section(s), table needs {expected}"
+            ),
+            CheckpointError::Snapshot(e) => write!(f, "checkpoint section invalid: {e}"),
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::NoCheckpoint => write!(f, "no valid checkpoint generation found"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for CheckpointError {
+    fn from(e: SnapshotError) -> Self {
+        CheckpointError::Snapshot(e)
+    }
+}
+
+fn io_err(e: &std::io::Error) -> CheckpointError {
+    CheckpointError::Io(e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected) — table built at compile time.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit: u32 = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit = bit.wrapping_add(1); // bounded by the `< 8` guard
+        }
+        table[i] = crc;
+        i = i.wrapping_add(1); // bounded by the `< 256` guard
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC32_TABLE.get(idx).copied().unwrap_or(0);
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Config fingerprint — FNV-1a over a canonical encoding.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(state: u64, bytes: &[u8]) -> u64 {
+    let mut hash = state;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Mix one config into a running fingerprint (see
+/// [`config_fingerprint`]).
+fn mix_config(state: u64, config: &LtcConfig) -> u64 {
+    use crate::config::PeriodMode;
+    let mut h = state;
+    h = fnv1a(h, &(config.buckets as u64).to_le_bytes());
+    h = fnv1a(h, &(config.cells_per_bucket as u64).to_le_bytes());
+    h = fnv1a(h, &config.weights.alpha.to_bits().to_le_bytes());
+    h = fnv1a(h, &config.weights.beta.to_bits().to_le_bytes());
+    let (tag, value) = match config.period_mode {
+        PeriodMode::ByCount { records_per_period } => (0u8, records_per_period),
+        PeriodMode::ByTime { units_per_period } => (1u8, units_per_period),
+    };
+    h = fnv1a(h, &[tag]);
+    h = fnv1a(h, &value.to_le_bytes());
+    h = fnv1a(
+        h,
+        &[
+            u8::from(config.variant.deviation_eliminator),
+            u8::from(config.variant.long_tail_replacement),
+        ],
+    );
+    h = fnv1a(h, &config.seed.to_le_bytes());
+    h
+}
+
+/// Fingerprint of one table configuration: every field that affects
+/// snapshot compatibility (shape, weights, period mode, variant, seed) is
+/// hashed in a fixed order, so equal fingerprints mean "a snapshot of one
+/// restores meaningfully into the other".
+pub fn config_fingerprint(config: &LtcConfig) -> u64 {
+    mix_config(FNV_OFFSET, config)
+}
+
+/// Fingerprint of an ordered set of shard configurations (number of shards
+/// and per-shard seed perturbations included).
+pub fn configs_fingerprint<'a>(configs: impl IntoIterator<Item = &'a LtcConfig>) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut count: u64 = 0;
+    for config in configs {
+        h = mix_config(h, config);
+        count = count.saturating_add(1);
+    }
+    fnv1a(h, &count.to_le_bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Frame encode / decode.
+
+fn read_u16(bytes: &[u8], at: usize) -> Option<u16> {
+    let end = at.checked_add(2)?;
+    let slice: [u8; 2] = bytes.get(at..end)?.try_into().ok()?;
+    Some(u16::from_le_bytes(slice))
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let end = at.checked_add(4)?;
+    let slice: [u8; 4] = bytes.get(at..end)?.try_into().ok()?;
+    Some(u32::from_le_bytes(slice))
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    let end = at.checked_add(8)?;
+    let slice: [u8; 8] = bytes.get(at..end)?.try_into().ok()?;
+    Some(u64::from_le_bytes(slice))
+}
+
+/// Wrap `sections` in a checkpoint frame stamped with `fingerprint`.
+pub fn encode_frame(fingerprint: u64, sections: &[Vec<u8>]) -> Vec<u8> {
+    let body_len: usize = sections
+        .iter()
+        .map(|s| s.len().saturating_add(4))
+        .fold(0usize, usize::saturating_add);
+    let mut body = Vec::with_capacity(body_len);
+    for section in sections {
+        let len = u32::try_from(section.len()).expect("checkpoint section under 4 GiB");
+        body.extend_from_slice(&len.to_le_bytes());
+        body.extend_from_slice(section);
+    }
+    let count = u32::try_from(sections.len()).expect("fewer than 2^32 sections");
+    let mut out = Vec::with_capacity(HEADER_BYTES.saturating_add(body.len()));
+    out.extend_from_slice(CHECKPOINT_MAGIC);
+    out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // reserved flags
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Validate a frame against `expected_fingerprint` and return its sections
+/// (borrowed from `bytes`). Rejects truncation, corruption, version or
+/// config mismatch with a precise error; never panics on arbitrary input.
+pub fn decode_frame(
+    bytes: &[u8],
+    expected_fingerprint: u64,
+) -> Result<Vec<&[u8]>, CheckpointError> {
+    if bytes.len() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    if bytes.get(..4) != Some(CHECKPOINT_MAGIC.as_slice()) {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = read_u16(bytes, 4).ok_or(CheckpointError::Truncated)?;
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::BadVersion { found: version });
+    }
+    let flags = read_u16(bytes, 6).ok_or(CheckpointError::Truncated)?;
+    if flags != 0 {
+        return Err(CheckpointError::ReservedFlags { found: flags });
+    }
+    let fingerprint = read_u64(bytes, 8).ok_or(CheckpointError::Truncated)?;
+    let count = read_u32(bytes, 16).ok_or(CheckpointError::Truncated)? as usize;
+    let stored_crc = read_u32(bytes, 20).ok_or(CheckpointError::Truncated)?;
+    let body = bytes
+        .get(HEADER_BYTES..)
+        .ok_or(CheckpointError::Truncated)?;
+    let actual_crc = crc32(body);
+    if actual_crc != stored_crc {
+        return Err(CheckpointError::ChecksumMismatch {
+            expected: stored_crc,
+            found: actual_crc,
+        });
+    }
+    if fingerprint != expected_fingerprint {
+        return Err(CheckpointError::ConfigMismatch {
+            expected: expected_fingerprint,
+            found: fingerprint,
+        });
+    }
+    // Each section needs at least its 4-byte length prefix; this caps the
+    // allocation even if a (CRC-colliding) count lies.
+    let mut sections = Vec::with_capacity(count.min(body.len().checked_div(4).unwrap_or(0)));
+    let mut offset = 0usize;
+    for _ in 0..count {
+        let len = read_u32(body, offset).ok_or(CheckpointError::Truncated)? as usize;
+        let start = offset.checked_add(4).ok_or(CheckpointError::Truncated)?;
+        let end = start.checked_add(len).ok_or(CheckpointError::Truncated)?;
+        let payload = body.get(start..end).ok_or(CheckpointError::Truncated)?;
+        sections.push(payload);
+        offset = end;
+    }
+    if offset != body.len() {
+        return Err(CheckpointError::TrailingBytes);
+    }
+    Ok(sections)
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore for the three table types.
+
+impl Ltc {
+    /// Serialise the table as a self-validating checkpoint frame (one
+    /// section wrapping [`Ltc::to_snapshot`]).
+    pub fn to_checkpoint(&self) -> Vec<u8> {
+        encode_frame(config_fingerprint(self.config()), &[self.to_snapshot()])
+    }
+
+    /// Restore from a checkpoint frame, all-or-nothing: a frame that fails
+    /// any validation (truncation, corruption, version or config mismatch)
+    /// leaves the table untouched.
+    ///
+    /// # Errors
+    /// See [`CheckpointError`].
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let expected = config_fingerprint(self.config());
+        let sections = decode_frame(bytes, expected)?;
+        let [section] = sections.as_slice() else {
+            return Err(CheckpointError::SectionCount {
+                expected: 1,
+                found: sections.len(),
+            });
+        };
+        let mut staged = self.clone();
+        staged.restore_snapshot(section)?;
+        *self = staged;
+        Ok(())
+    }
+}
+
+/// Stage a restore of `sections` into clones of `shards`, committing only
+/// if every section validates (all-or-nothing for multi-shard tables).
+fn staged_restore(shards: &[&Ltc], sections: &[&[u8]]) -> Result<Vec<Ltc>, CheckpointError> {
+    if sections.len() != shards.len() {
+        return Err(CheckpointError::SectionCount {
+            expected: shards.len(),
+            found: sections.len(),
+        });
+    }
+    let mut staged = Vec::with_capacity(shards.len());
+    for (shard, section) in shards.iter().zip(sections) {
+        let mut table = (*shard).clone();
+        table.restore_snapshot(section)?;
+        staged.push(table);
+    }
+    Ok(staged)
+}
+
+impl ShardedLtc {
+    /// Serialise every shard as one checkpoint frame (one section per
+    /// shard, fingerprinted over the full ordered shard configuration).
+    pub fn to_checkpoint(&self) -> Vec<u8> {
+        let sections: Vec<Vec<u8>> = (0..self.num_shards())
+            .map(|i| self.shard(i).to_snapshot())
+            .collect();
+        let fingerprint =
+            configs_fingerprint((0..self.num_shards()).map(|i| self.shard(i).config()));
+        encode_frame(fingerprint, &sections)
+    }
+
+    /// Restore every shard from a checkpoint frame, all-or-nothing.
+    ///
+    /// # Errors
+    /// See [`CheckpointError`].
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let expected = configs_fingerprint((0..self.num_shards()).map(|i| self.shard(i).config()));
+        let sections = decode_frame(bytes, expected)?;
+        let shards: Vec<&Ltc> = (0..self.num_shards()).map(|i| self.shard(i)).collect();
+        let staged = staged_restore(&shards, &sections)?;
+        *self = ShardedLtc::from_shards(staged);
+        Ok(())
+    }
+}
+
+impl ParallelLtc {
+    /// Drain the pipeline (best-effort) and serialise every shard as one
+    /// checkpoint frame. A degraded runtime is still checkpointable: lossy
+    /// shards contribute their last-good state. The frame is compatible
+    /// with a [`ShardedLtc`] of the same configuration.
+    pub fn to_checkpoint(&self) -> Vec<u8> {
+        let _ = self.sync();
+        let tables = self.shard_tables();
+        let mut sections = Vec::with_capacity(tables.len());
+        let mut fingerprint_configs = Vec::with_capacity(tables.len());
+        for table in tables {
+            let guard = match table.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            sections.push(guard.to_snapshot());
+            fingerprint_configs.push(*guard.config());
+        }
+        encode_frame(configs_fingerprint(fingerprint_configs.iter()), &sections)
+    }
+
+    /// Restore every shard from a checkpoint frame, all-or-nothing: the
+    /// pipeline is drained, the frame fully validated and staged, and only
+    /// then committed. Lossy shards are revived with a fresh worker and a
+    /// full retry budget (restoring is an operator-level reset).
+    ///
+    /// # Errors
+    /// See [`CheckpointError`].
+    pub fn restore_checkpoint(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let _ = self.sync(); // workers idle after this (all sends acked)
+        let staged = {
+            let tables = self.shard_tables();
+            let mut guards = Vec::with_capacity(tables.len());
+            for table in tables {
+                guards.push(match table.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                });
+            }
+            let configs: Vec<LtcConfig> = guards.iter().map(|g| *g.config()).collect();
+            let expected = configs_fingerprint(configs.iter());
+            let sections = decode_frame(bytes, expected)?;
+            let shards: Vec<&Ltc> = guards.iter().map(|g| &**g).collect();
+            staged_restore(&shards, &sections)?
+        };
+        let tables = self.shard_tables();
+        for (table, restored) in tables.iter().zip(staged) {
+            let mut guard = match table.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *guard = restored;
+        }
+        self.reset_after_restore();
+        Ok(())
+    }
+
+    /// Checkpoint into `store`, returning the new generation number.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] if the write or rename fails.
+    pub fn checkpoint_to(&self, store: &Checkpointer) -> Result<u64, CheckpointError> {
+        store.save(&self.to_checkpoint())
+    }
+
+    /// Restore from the newest generation in `store` that validates,
+    /// falling back to older generations past any corrupted or torn image.
+    /// Returns the generation restored.
+    ///
+    /// # Errors
+    /// [`CheckpointError::NoCheckpoint`] if no generation validates.
+    pub fn restore_from(&mut self, store: &Checkpointer) -> Result<u64, CheckpointError> {
+        store.restore_with(|bytes| self.restore_checkpoint(bytes))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointer — atomic generation files on disk.
+
+/// Writes checkpoint frames to a directory as numbered generations
+/// (`<prefix>.<generation>.ckpt`), each published atomically (temp file +
+/// fsync + rename + directory fsync), pruned to the newest `keep`
+/// generations. Restore helpers walk generations newest-first so a
+/// corrupted latest image falls back to the previous one.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    dir: PathBuf,
+    prefix: String,
+    keep: usize,
+}
+
+impl Checkpointer {
+    /// A checkpointer over `dir` (created if missing), file prefix `"ltc"`,
+    /// keeping the newest 3 generations.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] if the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err(&e))?;
+        Ok(Self {
+            dir,
+            prefix: "ltc".to_string(),
+            keep: 3,
+        })
+    }
+
+    /// Use `prefix` for checkpoint file names (several checkpointers can
+    /// share a directory under distinct prefixes).
+    #[must_use]
+    pub fn with_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.prefix = prefix.into();
+        self
+    }
+
+    /// Keep the newest `keep` generations (≥ 2 recommended: fallback needs
+    /// a predecessor). Values below 1 are clamped to 1.
+    #[must_use]
+    pub fn keep_generations(mut self, keep: usize) -> Self {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// The directory this checkpointer writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, generation: u64) -> PathBuf {
+        self.dir
+            .join(format!("{}.{generation:020}.ckpt", self.prefix))
+    }
+
+    /// Generation numbers currently on disk, oldest first.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] if the directory cannot be read.
+    pub fn generations(&self) -> Result<Vec<u64>, CheckpointError> {
+        let mut generations = Vec::new();
+        let entries = std::fs::read_dir(&self.dir).map_err(|e| io_err(&e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err(&e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix(self.prefix.as_str()) else {
+                continue;
+            };
+            let Some(middle) = rest.strip_prefix('.') else {
+                continue;
+            };
+            let Some(digits) = middle.strip_suffix(".ckpt") else {
+                continue;
+            };
+            if let Ok(generation) = digits.parse::<u64>() {
+                generations.push(generation);
+            }
+        }
+        generations.sort_unstable();
+        Ok(generations)
+    }
+
+    /// The newest generation on disk, if any.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] if the directory cannot be read.
+    pub fn latest(&self) -> Result<Option<u64>, CheckpointError> {
+        Ok(self.generations()?.last().copied())
+    }
+
+    /// Load one generation's raw frame bytes (not validated — pass them to
+    /// a `restore_checkpoint`).
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] if the file cannot be read.
+    pub fn load(&self, generation: u64) -> Result<Vec<u8>, CheckpointError> {
+        std::fs::read(self.path_for(generation)).map_err(|e| io_err(&e))
+    }
+
+    /// Atomically publish `frame` as the next generation; prunes old
+    /// generations past the keep limit. Returns the generation written.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] if the write or rename fails.
+    pub fn save(&self, frame: &[u8]) -> Result<u64, CheckpointError> {
+        let generation = self.latest()?.map_or(1, |g| g.saturating_add(1));
+        self.write_atomic(&self.path_for(generation), frame)?;
+        self.prune()?;
+        Ok(generation)
+    }
+
+    /// Restore via `try_restore`, walking generations newest-first and
+    /// returning the first generation it accepts. Unreadable or rejected
+    /// images are skipped (that is the crash-fallback path).
+    ///
+    /// # Errors
+    /// [`CheckpointError::NoCheckpoint`] if every generation is rejected.
+    pub fn restore_with(
+        &self,
+        mut try_restore: impl FnMut(&[u8]) -> Result<(), CheckpointError>,
+    ) -> Result<u64, CheckpointError> {
+        for generation in self.generations()?.into_iter().rev() {
+            let Ok(bytes) = self.load(generation) else {
+                continue;
+            };
+            if try_restore(&bytes).is_ok() {
+                return Ok(generation);
+            }
+        }
+        Err(CheckpointError::NoCheckpoint)
+    }
+
+    /// All checkpoint I/O funnels through here: write the temp file, fsync
+    /// it, atomically rename over the final name, fsync the directory. The
+    /// `checkpoint::write` failpoint can tear or corrupt the buffer first
+    /// (simulating a crash mid-write that still published), which is how
+    /// the fault-injection suite proves generation fallback.
+    fn write_atomic(&self, path: &Path, frame: &[u8]) -> Result<(), CheckpointError> {
+        let mut buf = frame.to_vec();
+        match io_fault("checkpoint::write") {
+            Some(FailAction::Truncate { keep }) => buf.truncate(keep),
+            Some(FailAction::CorruptByte { offset }) => {
+                if let Some(byte) = buf.get_mut(offset) {
+                    *byte ^= 0xFF;
+                }
+            }
+            _ => {}
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            // lint:allow(atomic_io): this IS the atomic-rename helper
+            let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&e))?;
+            file.write_all(&buf).map_err(|e| io_err(&e))?;
+            file.sync_all().map_err(|e| io_err(&e))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| io_err(&e))?;
+        // Persist the rename itself. Directory fsync is POSIX-only and
+        // advisory on some filesystems; failure to open is not fatal.
+        #[cfg(unix)]
+        if let Ok(dir) = std::fs::File::open(&self.dir) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    }
+
+    fn prune(&self) -> Result<(), CheckpointError> {
+        let generations = self.generations()?;
+        let excess = generations.len().saturating_sub(self.keep);
+        for &generation in generations.iter().take(excess) {
+            let _ = std::fs::remove_file(self.path_for(generation));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltc_common::{SignificanceQuery, StreamProcessor, Weights};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Unique scratch directory, removed on drop. No external tempdir
+    /// crate: process id + a counter keep parallel tests apart.
+    struct ScratchDir(PathBuf);
+
+    impl ScratchDir {
+        fn new(tag: &str) -> Self {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("ltc-ckpt-{}-{}-{}", std::process::id(), tag, n));
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn config() -> LtcConfig {
+        LtcConfig::builder()
+            .buckets(16)
+            .cells_per_bucket(4)
+            .weights(Weights::BALANCED)
+            .records_per_period(50)
+            .seed(11)
+            .build()
+    }
+
+    fn loaded_table() -> Ltc {
+        let mut ltc = Ltc::new(config());
+        for period in 0..3u64 {
+            for i in 0..50u64 {
+                ltc.insert(if i % 5 == 0 { 7 } else { period * 100 + i });
+            }
+            ltc.end_period();
+        }
+        ltc
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let sections = vec![vec![1u8, 2, 3], vec![], vec![9u8; 100]];
+        let frame = encode_frame(42, &sections);
+        let decoded = decode_frame(&frame, 42).unwrap();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[0], &[1, 2, 3]);
+        assert_eq!(decoded[1], &[] as &[u8]);
+        assert_eq!(decoded[2], &[9u8; 100]);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_rejected() {
+        let frame = encode_frame(42, &[vec![1, 2, 3]]);
+        assert!(matches!(
+            decode_frame(&frame, 43),
+            Err(CheckpointError::ConfigMismatch {
+                expected: 43,
+                found: 42
+            })
+        ));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        // The acceptance property behind the whole frame design: no
+        // one-byte corruption anywhere in the frame decodes silently.
+        let frame = encode_frame(7, &[vec![5u8; 40], vec![6u8; 12]]);
+        for offset in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[offset] ^= 0xFF;
+            assert!(
+                decode_frame(&bad, 7).is_err(),
+                "flip at offset {offset} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let frame = encode_frame(7, &[vec![5u8; 40]]);
+        for len in 0..frame.len() {
+            assert!(
+                decode_frame(&frame[..len], 7).is_err(),
+                "truncation to {len} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut frame = encode_frame(7, &[vec![1, 2, 3]]);
+        frame.push(0);
+        // The CRC covers the body, so the extra byte fails the checksum
+        // before section parsing even sees it.
+        assert!(decode_frame(&frame, 7).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut frame = encode_frame(7, &[vec![1]]);
+        frame[4] = 99;
+        assert!(matches!(
+            decode_frame(&frame, 7),
+            Err(CheckpointError::BadVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn ltc_checkpoint_roundtrip() {
+        let original = loaded_table();
+        let frame = original.to_checkpoint();
+        let mut restored = Ltc::new(config());
+        restored.restore_checkpoint(&frame).unwrap();
+        assert_eq!(restored.top_k(10), original.top_k(10));
+        assert_eq!(restored.periods_completed(), original.periods_completed());
+    }
+
+    #[test]
+    fn ltc_rejects_other_config() {
+        let frame = loaded_table().to_checkpoint();
+        let mut other = Ltc::new(LtcConfig::builder().buckets(16).cells_per_bucket(4).build());
+        let before = format!("{other:?}");
+        assert!(matches!(
+            other.restore_checkpoint(&frame),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+        assert_eq!(
+            format!("{other:?}"),
+            before,
+            "failed restore must not mutate"
+        );
+    }
+
+    #[test]
+    fn corrupted_ltc_checkpoint_leaves_table_untouched() {
+        let original = loaded_table();
+        let mut frame = original.to_checkpoint();
+        let mid = frame.len() / 2;
+        frame[mid] ^= 0x55;
+        let mut target = loaded_table();
+        let before = format!("{target:?}");
+        assert!(target.restore_checkpoint(&frame).is_err());
+        assert_eq!(format!("{target:?}"), before);
+    }
+
+    #[test]
+    fn sharded_checkpoint_roundtrip() {
+        let mut original = ShardedLtc::new(config(), 3);
+        for i in 0..600u64 {
+            original.insert(i % 40);
+        }
+        original.end_period();
+        let frame = original.to_checkpoint();
+        let mut restored = ShardedLtc::new(config(), 3);
+        restored.restore_checkpoint(&frame).unwrap();
+        assert_eq!(restored.top_k(10), original.top_k(10));
+    }
+
+    #[test]
+    fn sharded_rejects_different_shard_count() {
+        let original = ShardedLtc::new(config(), 3);
+        let frame = original.to_checkpoint();
+        let mut other = ShardedLtc::new(config(), 4);
+        // Shard count is part of the fingerprint, so this fails before
+        // section counting.
+        assert!(matches!(
+            other.restore_checkpoint(&frame),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_checkpoint_restores_into_sharded() {
+        let mut parallel = ParallelLtc::with_batch_size(config(), 3, 16);
+        for i in 0..600u64 {
+            parallel.insert(i % 40);
+        }
+        parallel.end_period().unwrap();
+        let frame = parallel.to_checkpoint();
+        let mut sharded = ShardedLtc::new(config(), 3);
+        sharded.restore_checkpoint(&frame).unwrap();
+        let reference = parallel.into_sharded().unwrap();
+        assert_eq!(sharded.top_k(10), reference.top_k(10));
+    }
+
+    #[test]
+    fn parallel_restore_roundtrip_continues_stream() {
+        let mut a = ParallelLtc::with_batch_size(config(), 2, 8);
+        for i in 0..400u64 {
+            a.insert(i % 30);
+        }
+        a.end_period().unwrap();
+        let frame = a.to_checkpoint();
+        drop(a);
+        let mut b = ParallelLtc::with_batch_size(config(), 2, 8);
+        b.restore_checkpoint(&frame).unwrap();
+        for i in 0..400u64 {
+            b.insert(i % 30);
+        }
+        b.end_period().unwrap();
+        b.finish().unwrap();
+        assert!(!b.top_k(5).is_empty());
+    }
+
+    #[test]
+    fn checkpointer_saves_numbered_generations_atomically() {
+        let scratch = ScratchDir::new("gens");
+        let store = Checkpointer::new(scratch.path()).unwrap();
+        assert_eq!(store.latest().unwrap(), None);
+        assert_eq!(store.save(b"one").unwrap(), 1);
+        assert_eq!(store.save(b"two").unwrap(), 2);
+        assert_eq!(store.generations().unwrap(), vec![1, 2]);
+        assert_eq!(store.load(2).unwrap(), b"two");
+        // No temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(scratch.path())
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+    }
+
+    #[test]
+    fn checkpointer_prunes_old_generations() {
+        let scratch = ScratchDir::new("prune");
+        let store = Checkpointer::new(scratch.path())
+            .unwrap()
+            .keep_generations(2);
+        for payload in [b"a", b"b", b"c", b"d"] {
+            store.save(payload).unwrap();
+        }
+        assert_eq!(store.generations().unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn restore_falls_back_past_corrupted_generation() {
+        let scratch = ScratchDir::new("fallback");
+        let store = Checkpointer::new(scratch.path()).unwrap();
+        let good = loaded_table();
+        store.save(&good.to_checkpoint()).unwrap();
+        // Generation 2 is torn: a valid frame prefix, as a crash that beat
+        // the atomic rename discipline would leave (simulated directly).
+        let torn = good.to_checkpoint();
+        store.save(&torn[..torn.len() / 2]).unwrap();
+        let mut restored = Ltc::new(config());
+        let generation = store
+            .restore_with(|bytes| restored.restore_checkpoint(bytes))
+            .unwrap();
+        assert_eq!(generation, 1, "fell back to the previous generation");
+        assert_eq!(restored.top_k(5), good.top_k(5));
+    }
+
+    #[test]
+    fn restore_with_no_valid_generation_errors() {
+        let scratch = ScratchDir::new("empty");
+        let store = Checkpointer::new(scratch.path()).unwrap();
+        let mut table = Ltc::new(config());
+        assert_eq!(
+            store.restore_with(|bytes| table.restore_checkpoint(bytes)),
+            Err(CheckpointError::NoCheckpoint)
+        );
+        store.save(b"garbage").unwrap();
+        assert_eq!(
+            store.restore_with(|bytes| table.restore_checkpoint(bytes)),
+            Err(CheckpointError::NoCheckpoint)
+        );
+    }
+
+    #[test]
+    fn distinct_configs_have_distinct_fingerprints() {
+        let base = config();
+        let mut seed = base;
+        seed.seed = base.seed.wrapping_add(1);
+        let mut shape = base;
+        shape.buckets = base.buckets.saturating_add(1);
+        let mut weights = base;
+        weights.weights = Weights::new(2.0, 1.0);
+        for other in [seed, shape, weights] {
+            assert_ne!(
+                config_fingerprint(&base),
+                config_fingerprint(&other),
+                "{other:?} collided with base"
+            );
+        }
+        // Shard count matters too.
+        let one = configs_fingerprint(std::iter::once(&base));
+        let two = configs_fingerprint([&base, &base]);
+        assert_ne!(one, two);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let errors: Vec<CheckpointError> = vec![
+            CheckpointError::BadMagic,
+            CheckpointError::BadVersion { found: 9 },
+            CheckpointError::ReservedFlags { found: 3 },
+            CheckpointError::ConfigMismatch {
+                expected: 1,
+                found: 2,
+            },
+            CheckpointError::ChecksumMismatch {
+                expected: 1,
+                found: 2,
+            },
+            CheckpointError::Truncated,
+            CheckpointError::TrailingBytes,
+            CheckpointError::SectionCount {
+                expected: 2,
+                found: 3,
+            },
+            CheckpointError::Snapshot(SnapshotError::BadMagic),
+            CheckpointError::Io("disk on fire".to_string()),
+            CheckpointError::NoCheckpoint,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

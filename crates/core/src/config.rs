@@ -1,13 +1,9 @@
 //! LTC configuration: table shape, significance weights, period driving,
-//! and which of the paper's optimizations are enabled.
-
-// Off the per-record hot path: arithmetic here runs per period, merge or
-// snapshot, and the workspace test profile compiles it with overflow
-// checks. Migrating these modules to explicit checked/saturating ops is
-// tracked as a ROADMAP open item.
-#![allow(clippy::arithmetic_side_effects)]
+//! which of the paper's optimizations are enabled, and the supervision
+//! policy of the parallel runtime.
 
 use ltc_common::{memory::LTC_CELL_BYTES, MemoryBudget, Weights};
+use std::time::Duration;
 
 /// Which optimizations are enabled (paper §III-C, §III-D).
 ///
@@ -104,7 +100,7 @@ impl LtcConfig {
     /// through the returned builder.
     pub fn with_memory(budget: MemoryBudget, cells_per_bucket: usize) -> LtcConfigBuilder {
         let cells = budget.entries(LTC_CELL_BYTES);
-        let buckets = (cells / cells_per_bucket).max(1);
+        let buckets = cells.checked_div(cells_per_bucket).unwrap_or(0).max(1);
         LtcConfigBuilder::default()
             .buckets(buckets)
             .cells_per_bucket(cells_per_bucket)
@@ -113,7 +109,56 @@ impl LtcConfig {
     /// Total cells `m = w·d`.
     #[inline]
     pub fn total_cells(&self) -> usize {
-        self.buckets * self.cells_per_bucket
+        self.buckets.saturating_mul(self.cells_per_bucket)
+    }
+}
+
+/// Supervision knobs for [`crate::pipeline::ParallelLtc`]: how hard the
+/// coordinator tries to revive a dead shard worker before degrading the
+/// shard to lossy, and how often workers checkpoint their shard state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Worker restarts allowed per shard before it is marked lossy.
+    pub max_restarts: u32,
+    /// Backoff before the first restart; doubles per subsequent restart.
+    pub backoff_base: Duration,
+    /// Cap on the exponential backoff.
+    pub backoff_max: Duration,
+    /// Capture an in-memory recovery checkpoint every this many completed
+    /// periods (≥ 1). Restarted workers resume from the latest capture;
+    /// records since then are lost (and counted).
+    pub checkpoint_every_periods: u32,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        Self {
+            max_restarts: 3,
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(500),
+            checkpoint_every_periods: 1,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// A test-friendly policy: default budget, no sleeping between
+    /// restarts.
+    pub fn no_backoff() -> Self {
+        Self {
+            backoff_base: Duration::ZERO,
+            ..Self::default()
+        }
+    }
+
+    /// Backoff before restart number `restart` (1-based): `base · 2^(r−1)`,
+    /// capped at [`backoff_max`](FaultPolicy::backoff_max).
+    pub fn backoff_for(&self, restart: u32) -> Duration {
+        let shift = restart.saturating_sub(1).min(20);
+        let factor = 1u32.checked_shl(shift).unwrap_or(u32::MAX);
+        self.backoff_base
+            .saturating_mul(factor)
+            .min(self.backoff_max)
     }
 }
 
@@ -242,6 +287,30 @@ mod tests {
     #[should_panic(expected = "a period must contain records")]
     fn zero_period_rejected() {
         let _ = LtcConfig::builder().records_per_period(0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = FaultPolicy {
+            max_restarts: 10,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(65),
+            checkpoint_every_periods: 1,
+        };
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff_for(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff_for(3), Duration::from_millis(40));
+        assert_eq!(policy.backoff_for(4), Duration::from_millis(65), "capped");
+        assert_eq!(policy.backoff_for(u32::MAX), Duration::from_millis(65));
+    }
+
+    #[test]
+    fn no_backoff_policy_never_sleeps() {
+        let policy = FaultPolicy::no_backoff();
+        assert_eq!(policy.max_restarts, FaultPolicy::default().max_restarts);
+        for r in 1..=5 {
+            assert!(policy.backoff_for(r).is_zero());
+        }
     }
 
     #[test]

@@ -54,8 +54,11 @@
 #![cfg_attr(not(test), warn(clippy::arithmetic_side_effects))]
 
 pub mod cell;
+pub mod checkpoint;
 pub mod clock;
 pub mod config;
+#[macro_use]
+pub mod failpoint;
 pub mod merge;
 pub mod pipeline;
 pub mod sharded;
@@ -72,10 +75,11 @@ pub mod table;
 pub mod window;
 
 pub use cell::Cell;
+pub use checkpoint::{CheckpointError, Checkpointer};
 pub use clock::ClockPointer;
-pub use config::{LtcConfig, LtcConfigBuilder, PeriodMode, Variant};
+pub use config::{FaultPolicy, LtcConfig, LtcConfigBuilder, PeriodMode, Variant};
 pub use merge::MergeError;
-pub use pipeline::ParallelLtc;
+pub use pipeline::{ParallelLtc, RuntimeError, ShardHealth, WorkerFault};
 pub use sharded::ShardedLtc;
 pub use snapshot::SnapshotError;
 pub use spsc::SpscRing;

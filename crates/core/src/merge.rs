@@ -24,12 +24,6 @@
 //! top-k candidates survive whenever their combined significance ranks them
 //! inside their bucket's top `d`.
 
-// Off the per-record hot path: arithmetic here runs per period, merge or
-// snapshot, and the workspace test profile compiles it with overflow
-// checks. Migrating these modules to explicit checked/saturating ops is
-// tracked as a ROADMAP open item.
-#![allow(clippy::arithmetic_side_effects)]
-
 use crate::cell::Cell;
 use crate::table::Ltc;
 
@@ -79,9 +73,9 @@ impl Ltc {
         let weights = a.weights;
 
         for bucket in 0..a.buckets {
-            let base = bucket * d;
+            let base = bucket.saturating_mul(d);
             // Combine both sides' occupied cells, summing duplicates.
-            let mut combined: Vec<Cell> = Vec::with_capacity(2 * d);
+            let mut combined: Vec<Cell> = Vec::with_capacity(d.saturating_mul(2));
             for c in self.bucket_cells(base, d).iter().filter(|c| c.occupied()) {
                 combined.push(*c);
             }

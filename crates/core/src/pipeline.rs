@@ -1,4 +1,4 @@
-//! Multi-threaded sharded ingestion pipeline.
+//! Multi-threaded sharded ingestion pipeline with supervised workers.
 //!
 //! [`ParallelLtc`] is the threaded runtime over the hash-sharding scheme of
 //! [`crate::sharded`]: `N` worker threads, each owning one [`Ltc`] shard,
@@ -14,8 +14,8 @@
 //! [`shard_of_id`] hash in stream order, so after the same records and the
 //! same period boundaries every shard is **bit-identical** to the
 //! corresponding shard of a single-threaded [`ShardedLtc`] fed the same
-//! stream — parallelism changes only who does the work, never the result.
-//! An integration test pins this.
+//! stream — parallelism changes only who does the work, never the result
+//! (on the fault-free path). An integration test pins this.
 //!
 //! ## Period coordination
 //!
@@ -26,6 +26,35 @@
 //! the period closes — the parallel stream observes exactly the same period
 //! boundaries as a sequential one.
 //!
+//! ## Fault model and supervision
+//!
+//! A shard worker that panics (a bug, a poisoned input, an injected
+//! failpoint) no longer aborts the process. The worker catches the unwind,
+//! reports a typed [`WorkerFault`] to the coordinator, poisons its queue
+//! (so the router can never block on it) and marks its [`Progress`] barrier
+//! dead (so a waiting `end_period` returns instead of deadlocking). The
+//! coordinator then *supervises* the lane:
+//!
+//! 1. the dead worker is joined and its fault collected;
+//! 2. the shard table is rolled back to its **last checkpoint** — a
+//!    snapshot the worker captures at every period boundary (configurable
+//!    via [`FaultPolicy::checkpoint_every_periods`]);
+//! 3. within the retry budget ([`FaultPolicy::max_restarts`]) a fresh
+//!    worker is spawned on a fresh queue after an exponential backoff, and
+//!    any barrier message still in flight is re-sent so the epoch
+//!    boundary completes;
+//! 4. once the budget is exhausted the shard is marked **lossy**: records
+//!    routed to it are dropped (and counted), while queries keep serving
+//!    the shard's last-good state alongside the healthy shards.
+//!
+//! Records between the last checkpoint and the fault are lost — that is the
+//! documented recovery semantic (at-most-once per shard epoch), and
+//! [`ShardHealth`] reports both the restarts and a lower bound on the loss.
+//! Operations that can observe a degraded runtime return
+//! `Result<_, RuntimeError>`; the [`StreamProcessor`]/[`SignificanceQuery`]
+//! trait impls stay infallible by design and serve best-effort degraded
+//! answers instead.
+//!
 //! ## Queries
 //!
 //! [`estimate`](SignificanceQuery::estimate) and
@@ -33,7 +62,7 @@
 //! barrier), then read the shard tables under their locks and merge, so a
 //! query observes every record inserted before it.
 
-use crate::config::LtcConfig;
+use crate::config::{FaultPolicy, LtcConfig};
 use crate::sharded::{shard_of_id, ShardedLtc};
 use crate::spsc::SpscRing;
 use crate::table::Ltc;
@@ -62,9 +91,94 @@ enum Msg {
     Shutdown,
 }
 
-/// Poison-tolerant lock. A worker that panicked is surfaced by the barrier
-/// (its progress counter stops advancing) or by `into_sharded`'s join
-/// check — not by cascading poison panics through every query path.
+/// Control messages the barrier can (re-)broadcast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctrl {
+    EndPeriod,
+    Finish,
+    Shutdown,
+}
+
+impl Ctrl {
+    fn to_msg(self) -> Msg {
+        match self {
+            Ctrl::EndPeriod => Msg::EndPeriod,
+            Ctrl::Finish => Msg::Finish,
+            Ctrl::Shutdown => Msg::Shutdown,
+        }
+    }
+}
+
+/// A typed report of one worker death, surfaced to the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFault {
+    /// Which shard's worker died.
+    pub shard: usize,
+    /// The panic message (or a description of the spawn failure).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {} worker died: {}", self.shard, self.message)
+    }
+}
+
+/// Error surface of the supervised runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// One or more shards exhausted their restart budget and are lossy:
+    /// they serve their last-good state but accept no new records. The
+    /// runtime remains usable in this degraded mode.
+    ShardsLost {
+        /// The terminal fault of every lossy shard, in shard order.
+        faults: Vec<WorkerFault>,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::ShardsLost { faults } => {
+                write!(
+                    f,
+                    "{} shard(s) lossy after exhausting restarts:",
+                    faults.len()
+                )?;
+                for fault in faults {
+                    write!(f, " [{fault}]")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Per-shard health as reported by [`ParallelLtc::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// The worker is live (possibly after supervised restarts).
+    Healthy {
+        /// Restarts consumed so far (0 = never faulted).
+        restarts: u32,
+        /// Lower bound on records dropped during past recoveries.
+        records_lost: u64,
+    },
+    /// The restart budget is exhausted; the shard serves its last-good
+    /// state and drops new records.
+    Lossy {
+        /// The terminal fault.
+        fault: WorkerFault,
+        /// Lower bound on records dropped (recoveries + post-degradation).
+        records_lost: u64,
+    },
+}
+
+/// Poison-tolerant lock. A worker that panicked is surfaced by the typed
+/// fault path (its queue is poisoned and its barrier marked dead) — not by
+/// cascading poison panics through every query path.
 fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     match mutex.lock() {
         Ok(guard) => guard,
@@ -72,19 +186,34 @@ fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     }
 }
 
+/// Returned by [`Progress::wait_for`] when the worker behind the barrier
+/// died before reaching the target: the waiter must run supervision
+/// instead of blocking forever.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierPoisoned;
+
+#[derive(Debug)]
+struct ProgressState {
+    done: u64,
+    dead: bool,
+}
+
 /// Monotone completion counter a worker bumps after every message, with a
 /// condvar so the router can wait for a target — the ack half of the epoch
-/// barrier.
+/// barrier — plus a `dead` flag the worker raises when it dies, so the
+/// router's wait returns [`BarrierPoisoned`] instead of deadlocking.
 ///
 /// Built on [`crate::shim`] primitives and exposed (`#[doc(hidden)]`) so
-/// `tests/loom_barrier.rs` can model-check the wait/bump handshake under
-/// every bounded interleaving: `wait_for(t)` must never return before `t`
-/// bumps happened, and must never miss a wakeup (which the model would
-/// report as a deadlock). Not part of the public API.
+/// `tests/loom_barrier.rs` can model-check the wait/bump/mark-dead
+/// handshake under every bounded interleaving: `wait_for(t)` must never
+/// return `Ok` before `t` bumps happened, must never miss a wakeup, and
+/// must return `Err` in every interleaving where the worker dies short of
+/// the target. Not part of the public API.
 #[doc(hidden)]
 #[derive(Debug)]
 pub struct Progress {
-    done: crate::shim::Mutex<u64>,
+    state: crate::shim::Mutex<ProgressState>,
     changed: crate::shim::Condvar,
 }
 
@@ -98,61 +227,105 @@ impl Progress {
     /// A counter at zero.
     pub fn new() -> Self {
         Self {
-            done: crate::shim::Mutex::new(0),
+            state: crate::shim::Mutex::new(ProgressState {
+                done: 0,
+                dead: false,
+            }),
             changed: crate::shim::Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> crate::shim::MutexGuard<'_, ProgressState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
         }
     }
 
     /// Record one completed message and wake any waiting router.
     pub fn bump(&self) {
-        let mut done = match self.done.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        *done = done.saturating_add(1);
-        drop(done);
+        let mut state = self.lock();
+        state.done = state.done.saturating_add(1);
+        drop(state);
         self.changed.notify_all();
     }
 
-    /// Block until at least `target` messages have completed. The
-    /// predicate is (re)checked under the same lock `bump` holds while
-    /// incrementing, so a wakeup between the check and the wait cannot be
-    /// lost — `tests/loom_barrier.rs` proves a check-then-wait variant
-    /// without that discipline deadlocks.
-    pub fn wait_for(&self, target: u64) {
-        let mut done = match self.done.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        while *done < target {
-            done = match self.changed.wait(done) {
+    /// Raise the dead flag (the worker is exiting on a fault) and wake any
+    /// waiting router so it can supervise instead of blocking forever.
+    pub fn mark_dead(&self) {
+        let mut state = self.lock();
+        state.dead = true;
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    /// Block until at least `target` messages have completed (`Ok`), or
+    /// until the worker is marked dead short of the target (`Err`). The
+    /// predicate is (re)checked under the same lock `bump` and `mark_dead`
+    /// hold while mutating, so a wakeup between the check and the wait
+    /// cannot be lost — `tests/loom_barrier.rs` proves a check-then-wait
+    /// variant without that discipline deadlocks.
+    pub fn wait_for(&self, target: u64) -> Result<(), BarrierPoisoned> {
+        let mut state = self.lock();
+        while state.done < target {
+            if state.dead {
+                return Err(BarrierPoisoned);
+            }
+            state = match self.changed.wait(state) {
                 Ok(guard) => guard,
                 Err(poisoned) => poisoned.into_inner(),
             };
         }
+        Ok(())
     }
 }
 
-/// Routing-side state that queries (which only hold `&self`) also need to
-/// mutate, so it lives behind one mutex. The insertion hot path reaches it
-/// through `Mutex::get_mut` — statically exclusive via `&mut self`, no
-/// runtime locking.
-#[derive(Debug)]
-struct Router {
-    /// Per-shard batch under construction.
-    pending: Vec<Vec<ItemId>>,
-    /// Messages enqueued per worker (the barrier's send-side count).
-    sent: Vec<u64>,
+/// Everything a worker thread needs, bundled so respawning is one call.
+struct WorkerCtx {
+    shard_index: usize,
+    queue: Arc<SpscRing<Msg>>,
+    shard: Arc<Mutex<Ltc>>,
+    progress: Arc<Progress>,
+    fault: Arc<Mutex<Option<WorkerFault>>>,
+    last_good: Arc<Mutex<Vec<u8>>>,
+    checkpoint_every: u32,
 }
 
-/// The multi-threaded sharded LTC runtime. See the module docs.
+/// One shard's routing lane: the batch under construction, the channel to
+/// its worker, the barrier state, and the supervision bookkeeping.
+struct Lane {
+    /// Per-shard batch under construction.
+    pending: Vec<ItemId>,
+    /// Messages enqueued to the *current* worker (the barrier's send-side
+    /// count; reset on restart).
+    sent: u64,
+    queue: Arc<SpscRing<Msg>>,
+    progress: Arc<Progress>,
+    /// The worker's fault report slot, written before `mark_dead`.
+    fault: Arc<Mutex<Option<WorkerFault>>>,
+    /// The shard's last checkpoint (raw [`Ltc::to_snapshot`] bytes),
+    /// refreshed by the worker at period boundaries.
+    last_good: Arc<Mutex<Vec<u8>>>,
+    worker: Option<JoinHandle<()>>,
+    /// Restarts consumed from the budget.
+    restarts: u32,
+    /// `Some(fault)` once the budget is exhausted.
+    lossy: Option<WorkerFault>,
+    /// Lower bound on records dropped (salvaged batches + lossy routing).
+    records_lost: u64,
+}
+
+struct Inner {
+    lanes: Vec<Lane>,
+}
+
+/// The multi-threaded sharded LTC runtime with supervised workers. See the
+/// module docs.
 pub struct ParallelLtc {
-    router: Mutex<Router>,
-    queues: Vec<Arc<SpscRing<Msg>>>,
-    progress: Vec<Arc<Progress>>,
+    inner: Mutex<Inner>,
     shards: Vec<Arc<Mutex<Ltc>>>,
-    workers: Vec<JoinHandle<()>>,
     batch_size: usize,
+    policy: FaultPolicy,
 }
 
 impl std::fmt::Debug for ParallelLtc {
@@ -160,13 +333,216 @@ impl std::fmt::Debug for ParallelLtc {
         f.debug_struct("ParallelLtc")
             .field("num_shards", &self.shards.len())
             .field("batch_size", &self.batch_size)
+            .field("policy", &self.policy)
             .finish_non_exhaustive()
+    }
+}
+
+/// Spawn a worker thread over `ctx`. Returns the fault (not a panic) if
+/// the OS refuses the thread, so supervision can degrade gracefully.
+fn spawn_worker(ctx: WorkerCtx) -> Result<JoinHandle<()>, WorkerFault> {
+    let shard_index = ctx.shard_index;
+    std::thread::Builder::new()
+        .name(format!("ltc-shard-{shard_index}"))
+        .spawn(move || worker_loop(&ctx))
+        .map_err(|e| WorkerFault {
+            shard: shard_index,
+            message: format!("spawn failed: {e}"),
+        })
+}
+
+/// Extract a readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn worker_loop(ctx: &WorkerCtx) {
+    // Periods completed since the last checkpoint capture.
+    let mut epochs_since_checkpoint: u32 = 0;
+    loop {
+        let Some(msg) = ctx.queue.pop() else {
+            // Poisoned and drained: the supervisor tore this lane down.
+            return;
+        };
+        let stop = matches!(msg, Msg::Shutdown);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match msg {
+            Msg::Batch(ids) => {
+                fail_point!("worker::batch");
+                lock_recover(&ctx.shard).insert_batch(&ids);
+            }
+            Msg::EndPeriod => {
+                fail_point!("worker::end_period");
+                let mut shard = lock_recover(&ctx.shard);
+                shard.end_period();
+                epochs_since_checkpoint = epochs_since_checkpoint.saturating_add(1);
+                if epochs_since_checkpoint >= ctx.checkpoint_every.max(1) {
+                    epochs_since_checkpoint = 0;
+                    let snapshot = shard.to_snapshot();
+                    drop(shard);
+                    *lock_recover(&ctx.last_good) = snapshot;
+                }
+            }
+            Msg::Finish => {
+                let mut shard = lock_recover(&ctx.shard);
+                shard.finalize();
+                let snapshot = shard.to_snapshot();
+                drop(shard);
+                *lock_recover(&ctx.last_good) = snapshot;
+            }
+            Msg::Shutdown => {}
+        }));
+        if let Err(payload) = outcome {
+            // Typed fault first, then poison + mark dead: the router
+            // observes `dead` only after the report is in place.
+            *lock_recover(&ctx.fault) = Some(WorkerFault {
+                shard: ctx.shard_index,
+                message: panic_message(payload.as_ref()),
+            });
+            ctx.queue.poison();
+            ctx.progress.mark_dead();
+            return;
+        }
+        ctx.progress.bump();
+        if stop {
+            return;
+        }
+    }
+}
+
+/// Push `id` onto a lane's pending batch, handing the whole batch to the
+/// worker's queue once it fills. Returns `false` when the push found the
+/// queue poisoned (worker death) — the caller must supervise the lane.
+#[inline]
+fn route_one(lane: &mut Lane, batch_size: usize, id: ItemId) -> bool {
+    if lane.lossy.is_some() {
+        // Degraded: the record is dropped, but counted.
+        lane.records_lost = lane.records_lost.saturating_add(1);
+        return true;
+    }
+    lane.pending.push(id);
+    if lane.pending.len() >= batch_size {
+        return flush_lane(lane, batch_size);
+    }
+    true
+}
+
+/// Hand a lane's pending batch (if any) to its worker's queue. Returns
+/// `false` on a poisoned queue (worker death).
+fn flush_lane(lane: &mut Lane, batch_size: usize) -> bool {
+    if lane.pending.is_empty() || lane.lossy.is_some() {
+        return true;
+    }
+    let batch = std::mem::replace(&mut lane.pending, Vec::with_capacity(batch_size));
+    let len = batch.len() as u64;
+    lane.sent = lane.sent.saturating_add(1);
+    if lane.queue.push(Msg::Batch(batch)) {
+        true
+    } else {
+        // The ring dropped the batch: the worker is dead and those
+        // records die with the rollback anyway. Count them.
+        lane.records_lost = lane.records_lost.saturating_add(len);
+        false
+    }
+}
+
+/// Supervise a lane whose worker died: join it, salvage what the queue
+/// still holds, roll the shard back to its last checkpoint, and restart
+/// the worker (within the budget, after backoff) or mark the lane lossy.
+/// `resend` is the control message the current barrier still needs acked;
+/// it is re-enqueued to the restarted worker.
+fn supervise_lane(
+    lane: &mut Lane,
+    shard: &Arc<Mutex<Ltc>>,
+    shard_index: usize,
+    policy: &FaultPolicy,
+    resend: Option<Ctrl>,
+) {
+    if lane.lossy.is_some() {
+        return;
+    }
+    // 1. The worker is gone (it poisoned the queue / marked the barrier
+    //    dead on its way out); joining cannot block.
+    if let Some(handle) = lane.worker.take() {
+        let _ = handle.join();
+    }
+    let fault = lock_recover(&lane.fault)
+        .take()
+        .unwrap_or_else(|| WorkerFault {
+            shard: shard_index,
+            message: "worker exited without reporting a fault".to_string(),
+        });
+    // 2. Salvage the backlog. These batches were never applied; they are
+    //    part of the rollback loss, so count them. (Joining the worker
+    //    first transferred the consumer role to this thread.)
+    for msg in lane.queue.drain() {
+        if let Msg::Batch(ids) = msg {
+            lane.records_lost = lane.records_lost.saturating_add(ids.len() as u64);
+        }
+    }
+    // 3. Roll the shard back to the last checkpoint (a period boundary).
+    //    The snapshot was produced by `to_snapshot` on this very table
+    //    shape, so restore cannot fail; tolerate it anyway.
+    {
+        let mut table = lock_recover(shard);
+        let snapshot = lock_recover(&lane.last_good);
+        let _ = table.restore_snapshot(&snapshot);
+    }
+    // 4. Budget check: degrade to lossy once restarts are exhausted.
+    if lane.restarts >= policy.max_restarts {
+        lane.queue.poison();
+        lane.sent = 0;
+        lane.lossy = Some(fault);
+        return;
+    }
+    lane.restarts = lane.restarts.saturating_add(1);
+    let backoff = policy.backoff_for(lane.restarts);
+    if !backoff.is_zero() {
+        std::thread::sleep(backoff);
+    }
+    // 5. Fresh channel, barrier and fault slot; respawn from the restored
+    //    shard state.
+    lane.queue = Arc::new(SpscRing::with_capacity(RING_CAPACITY));
+    lane.progress = Arc::new(Progress::new());
+    lane.fault = Arc::new(Mutex::new(None));
+    lane.sent = 0;
+    let ctx = WorkerCtx {
+        shard_index,
+        queue: Arc::clone(&lane.queue),
+        shard: Arc::clone(shard),
+        progress: Arc::clone(&lane.progress),
+        fault: Arc::clone(&lane.fault),
+        last_good: Arc::clone(&lane.last_good),
+        checkpoint_every: policy.checkpoint_every_periods,
+    };
+    match spawn_worker(ctx) {
+        Ok(handle) => lane.worker = Some(handle),
+        Err(fault) => {
+            lane.queue.poison();
+            lane.lossy = Some(fault);
+            return;
+        }
+    }
+    // 6. Re-send the barrier message still in flight so the epoch closes
+    //    on the restored state.
+    if let Some(ctrl) = resend {
+        lane.sent = lane.sent.saturating_add(1);
+        if !lane.queue.push(ctrl.to_msg()) {
+            // The replacement died instantly; the wait loop will
+            // re-supervise (and burn budget) on the next pass.
+        }
     }
 }
 
 impl ParallelLtc {
     /// Spawn `num_shards` workers, each owning an LTC shard identical to
-    /// shard `i` of `ShardedLtc::new(config, num_shards)`.
+    /// shard `i` of `ShardedLtc::new(config, num_shards)`, under the
+    /// default [`FaultPolicy`].
     pub fn new(config: LtcConfig, num_shards: usize) -> Self {
         Self::with_batch_size(config, num_shards, DEFAULT_BATCH_SIZE)
     }
@@ -175,6 +551,17 @@ impl ParallelLtc {
     /// Larger batches amortise queue synchronisation further but delay when
     /// workers see records; [`DEFAULT_BATCH_SIZE`] suits most streams.
     pub fn with_batch_size(config: LtcConfig, num_shards: usize, batch_size: usize) -> Self {
+        Self::with_fault_policy(config, num_shards, batch_size, FaultPolicy::default())
+    }
+
+    /// Full-control constructor: explicit batch size and supervision
+    /// policy (retry budget, backoff, checkpoint cadence).
+    pub fn with_fault_policy(
+        config: LtcConfig,
+        num_shards: usize,
+        batch_size: usize,
+        policy: FaultPolicy,
+    ) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
         // Delegate shard construction so seeding matches ShardedLtc exactly.
         let shards: Vec<Arc<Mutex<Ltc>>> = ShardedLtc::new(config, num_shards)
@@ -182,36 +569,46 @@ impl ParallelLtc {
             .into_iter()
             .map(|ltc| Arc::new(Mutex::new(ltc)))
             .collect();
-        let queues: Vec<Arc<SpscRing<Msg>>> = (0..num_shards)
-            .map(|_| Arc::new(SpscRing::with_capacity(RING_CAPACITY)))
-            .collect();
-        let progress: Vec<Arc<Progress>> =
-            (0..num_shards).map(|_| Arc::new(Progress::new())).collect();
-        let workers = queues
+        let lanes = shards
             .iter()
-            .zip(&shards)
-            .zip(&progress)
             .enumerate()
-            .map(|(i, ((queue, shard), progress))| {
-                let queue = Arc::clone(queue);
-                let shard = Arc::clone(shard);
-                let progress = Arc::clone(progress);
-                std::thread::Builder::new()
-                    .name(format!("ltc-shard-{i}"))
-                    .spawn(move || worker_loop(&queue, &shard, &progress))
-                    .expect("spawn shard worker") // lint:allow(no_panic): startup-only, cannot be handled locally
+            .map(|(i, shard)| {
+                let queue = Arc::new(SpscRing::with_capacity(RING_CAPACITY));
+                let progress = Arc::new(Progress::new());
+                let fault = Arc::new(Mutex::new(None));
+                // The initial checkpoint is the pristine shard: a worker
+                // that dies before its first period boundary rolls back
+                // to an empty (but correctly configured) table.
+                let last_good = Arc::new(Mutex::new(lock_recover(shard).to_snapshot()));
+                let ctx = WorkerCtx {
+                    shard_index: i,
+                    queue: Arc::clone(&queue),
+                    shard: Arc::clone(shard),
+                    progress: Arc::clone(&progress),
+                    fault: Arc::clone(&fault),
+                    last_good: Arc::clone(&last_good),
+                    checkpoint_every: policy.checkpoint_every_periods,
+                };
+                let worker = spawn_worker(ctx).expect("spawn shard worker"); // lint:allow(no_panic): startup-only, cannot be handled locally
+                Lane {
+                    pending: Vec::with_capacity(batch_size),
+                    sent: 0,
+                    queue,
+                    progress,
+                    fault,
+                    last_good,
+                    worker: Some(worker),
+                    restarts: 0,
+                    lossy: None,
+                    records_lost: 0,
+                }
             })
             .collect();
         Self {
-            router: Mutex::new(Router {
-                pending: vec![Vec::with_capacity(batch_size); num_shards],
-                sent: vec![0; num_shards],
-            }),
-            queues,
-            progress,
+            inner: Mutex::new(Inner { lanes }),
             shards,
-            workers,
             batch_size,
+            policy,
         }
     }
 
@@ -225,24 +622,41 @@ impl ParallelLtc {
         self.batch_size
     }
 
+    /// The supervision policy this runtime was built with.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    /// Statically exclusive access to the lanes (no runtime locking).
+    fn inner_mut(&mut self) -> &mut Inner {
+        match self.inner.get_mut() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
     /// Route one record to its shard's pending batch; hand the batch off
     /// when it fills. The hot path: one shard hash, one push, no locks.
+    /// A dead worker is supervised transparently; records routed to a
+    /// lossy shard are dropped and counted.
     #[inline]
     pub fn insert(&mut self, id: ItemId) {
         let n = self.shards.len();
         let batch_size = self.batch_size;
-        let shard = shard_of_id(id, n);
-        let router = match self.router.get_mut() {
-            Ok(router) => router,
+        let shard_index = shard_of_id(id, n);
+        let policy = self.policy;
+        let shards = &self.shards;
+        let inner = match self.inner.get_mut() {
+            Ok(inner) => inner,
             Err(poisoned) => poisoned.into_inner(),
         };
         // `shard_of_id` returns a value below `n`, so the lookups succeed.
-        if let (Some(pending), Some(sent), Some(queue)) = (
-            router.pending.get_mut(shard),
-            router.sent.get_mut(shard),
-            self.queues.get(shard),
-        ) {
-            route_one(pending, sent, queue, batch_size, id);
+        if let (Some(lane), Some(shard)) =
+            (inner.lanes.get_mut(shard_index), shards.get(shard_index))
+        {
+            if !route_one(lane, batch_size, id) {
+                supervise_lane(lane, shard, shard_index, &policy, None);
+            }
         }
     }
 
@@ -251,82 +665,200 @@ impl ParallelLtc {
     pub fn insert_batch(&mut self, ids: &[ItemId]) {
         let n = self.shards.len();
         let batch_size = self.batch_size;
-        let queues = &self.queues;
-        let router = match self.router.get_mut() {
-            Ok(router) => router,
+        let policy = self.policy;
+        let shards = &self.shards;
+        let inner = match self.inner.get_mut() {
+            Ok(inner) => inner,
             Err(poisoned) => poisoned.into_inner(),
         };
         for &id in ids {
-            let shard = shard_of_id(id, n);
-            if let (Some(pending), Some(sent), Some(queue)) = (
-                router.pending.get_mut(shard),
-                router.sent.get_mut(shard),
-                queues.get(shard),
-            ) {
-                route_one(pending, sent, queue, batch_size, id);
+            let shard_index = shard_of_id(id, n);
+            if let (Some(lane), Some(shard)) =
+                (inner.lanes.get_mut(shard_index), shards.get(shard_index))
+            {
+                if !route_one(lane, batch_size, id) {
+                    supervise_lane(lane, shard, shard_index, &policy, None);
+                }
             }
         }
     }
 
     /// Epoch barrier: every record routed so far reaches its shard, all
-    /// shards close the period, and the call returns only once every worker
-    /// has acknowledged — the parallel stream sees the same period boundary
-    /// on every shard.
-    pub fn end_period(&mut self) {
-        self.broadcast_and_wait(|| Msg::EndPeriod);
+    /// shards close the period, and the call returns only once every live
+    /// worker has acknowledged — the parallel stream sees the same period
+    /// boundary on every shard. Worker deaths during the barrier are
+    /// supervised (restart + re-send, or degradation).
+    ///
+    /// # Errors
+    /// [`RuntimeError::ShardsLost`] if any shard is lossy (the period
+    /// still closed on every live shard; the runtime stays usable).
+    pub fn end_period(&mut self) -> Result<(), RuntimeError> {
+        self.broadcast_and_wait(Ctrl::EndPeriod)
     }
 
     /// Flush + finalize every shard (harvest last-period CLOCK flags), with
     /// the same barrier semantics as [`end_period`](ParallelLtc::end_period).
-    pub fn finish(&mut self) {
-        self.broadcast_and_wait(|| Msg::Finish);
+    ///
+    /// # Errors
+    /// [`RuntimeError::ShardsLost`] if any shard is lossy.
+    pub fn finish(&mut self) -> Result<(), RuntimeError> {
+        self.broadcast_and_wait(Ctrl::Finish)
     }
 
-    /// Drain the pipeline: flush pending batches and wait until every
+    /// Drain the pipeline: flush pending batches and wait until every live
     /// worker has processed everything sent. Queries call this first.
-    pub fn sync(&self) {
-        let targets: Vec<u64> = {
-            let mut router = lock_recover(&self.router);
-            flush_pending(&mut router, &self.queues, self.batch_size);
-            router.sent.clone()
-        };
-        for (progress, &target) in self.progress.iter().zip(&targets) {
-            progress.wait_for(target);
+    ///
+    /// # Errors
+    /// [`RuntimeError::ShardsLost`] if any shard is lossy — the drain
+    /// itself still completed on every live shard, so degraded queries may
+    /// proceed (the trait impls do exactly that).
+    pub fn sync(&self) -> Result<(), RuntimeError> {
+        let mut inner = lock_recover(&self.inner);
+        let inner = &mut *inner;
+        for (shard_index, lane) in inner.lanes.iter_mut().enumerate() {
+            if let Some(shard) = self.shards.get(shard_index) {
+                if !flush_lane(lane, self.batch_size) {
+                    supervise_lane(lane, shard, shard_index, &self.policy, None);
+                }
+            }
+        }
+        self.wait_all(inner, None);
+        runtime_result(inner)
+    }
+
+    /// Per-shard supervision state.
+    pub fn health(&self) -> Vec<ShardHealth> {
+        let inner = lock_recover(&self.inner);
+        inner
+            .lanes
+            .iter()
+            .map(|lane| match &lane.lossy {
+                Some(fault) => ShardHealth::Lossy {
+                    fault: fault.clone(),
+                    records_lost: lane.records_lost,
+                },
+                None => ShardHealth::Healthy {
+                    restarts: lane.restarts,
+                    records_lost: lane.records_lost,
+                },
+            })
+            .collect()
+    }
+
+    /// Wait for every live lane to ack everything sent, supervising lanes
+    /// whose worker dies while we wait. `resend` is re-broadcast to a
+    /// restarted worker so an in-flight barrier completes.
+    fn wait_all(&self, inner: &mut Inner, resend: Option<Ctrl>) {
+        for (shard_index, lane) in inner.lanes.iter_mut().enumerate() {
+            let Some(shard) = self.shards.get(shard_index) else {
+                continue;
+            };
+            loop {
+                if lane.lossy.is_some() {
+                    break;
+                }
+                let target = lane.sent;
+                match lane.progress.wait_for(target) {
+                    Ok(()) => break,
+                    Err(BarrierPoisoned) => {
+                        supervise_lane(lane, shard, shard_index, &self.policy, resend);
+                    }
+                }
+            }
         }
     }
 
-    /// Flush, enqueue a control message (built by `make`) on every queue,
-    /// and wait for full acknowledgment.
-    fn broadcast_and_wait(&mut self, make: impl Fn() -> Msg) {
-        let queues = &self.queues;
-        let router = match self.router.get_mut() {
-            Ok(router) => router,
+    /// Flush, enqueue a control message on every live queue, and wait for
+    /// full acknowledgment (supervising any deaths along the way).
+    fn broadcast_and_wait(&mut self, ctrl: Ctrl) -> Result<(), RuntimeError> {
+        let policy = self.policy;
+        let batch_size = self.batch_size;
+        let shards = &self.shards;
+        let inner = match self.inner.get_mut() {
+            Ok(inner) => inner,
             Err(poisoned) => poisoned.into_inner(),
         };
-        flush_pending(router, queues, self.batch_size);
-        for (sent, queue) in router.sent.iter_mut().zip(queues) {
-            *sent = sent.saturating_add(1);
-            queue.push(make());
+        for (shard_index, lane) in inner.lanes.iter_mut().enumerate() {
+            let Some(shard) = shards.get(shard_index) else {
+                continue;
+            };
+            if !flush_lane(lane, batch_size) {
+                supervise_lane(lane, shard, shard_index, &policy, None);
+            }
+            if lane.lossy.is_some() {
+                continue;
+            }
+            lane.sent = lane.sent.saturating_add(1);
+            if !lane.queue.push(ctrl.to_msg()) {
+                supervise_lane(lane, shard, shard_index, &policy, Some(ctrl));
+            }
         }
-        let targets = router.sent.clone();
-        for (progress, &target) in self.progress.iter().zip(&targets) {
-            progress.wait_for(target);
+        self.wait_all_mut(ctrl);
+        runtime_result(self.inner_mut())
+    }
+
+    /// `wait_all` over `&mut self` (avoids borrowing `self.shards` and
+    /// `self.inner` through the same reference).
+    fn wait_all_mut(&mut self, ctrl: Ctrl) {
+        let policy = self.policy;
+        let shards = &self.shards;
+        let inner = match self.inner.get_mut() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for (shard_index, lane) in inner.lanes.iter_mut().enumerate() {
+            let Some(shard) = shards.get(shard_index) else {
+                continue;
+            };
+            loop {
+                if lane.lossy.is_some() {
+                    break;
+                }
+                let target = lane.sent;
+                match lane.progress.wait_for(target) {
+                    Ok(()) => break,
+                    Err(BarrierPoisoned) => {
+                        supervise_lane(lane, shard, shard_index, &policy, Some(ctrl));
+                    }
+                }
+            }
         }
     }
 
     /// Stop the workers (after draining everything queued) and reassemble
     /// the shards into a single-threaded [`ShardedLtc`] for further use —
     /// the inverse of spinning the runtime up.
-    pub fn into_sharded(mut self) -> ShardedLtc {
-        self.broadcast_and_wait(|| Msg::Shutdown);
-        let mut panicked = false;
-        for worker in self.workers.drain(..) {
-            panicked |= worker.join().is_err();
+    ///
+    /// # Errors
+    /// [`RuntimeError::ShardsLost`] if any shard degraded to lossy; use
+    /// [`into_sharded_lossy`](ParallelLtc::into_sharded_lossy) to recover
+    /// the (partially stale) tables anyway.
+    pub fn into_sharded(self) -> Result<ShardedLtc, RuntimeError> {
+        let (sharded, faults) = self.into_sharded_lossy();
+        if faults.is_empty() {
+            Ok(sharded)
+        } else {
+            Err(RuntimeError::ShardsLost { faults })
         }
-        assert!(!panicked, "shard worker panicked");
-        let shards = self
-            .shards
-            .drain(..)
+    }
+
+    /// [`into_sharded`](ParallelLtc::into_sharded) that always returns the
+    /// tables: lossy shards contribute their last-good (rolled-back)
+    /// state, and their terminal faults ride along.
+    pub fn into_sharded_lossy(mut self) -> (ShardedLtc, Vec<WorkerFault>) {
+        let _ = self.broadcast_and_wait(Ctrl::Shutdown);
+        let inner = self.inner_mut();
+        let mut faults = Vec::new();
+        for lane in &mut inner.lanes {
+            if let Some(handle) = lane.worker.take() {
+                let _ = handle.join();
+            }
+            if let Some(fault) = lane.lossy.clone() {
+                faults.push(fault);
+            }
+        }
+        let shards = std::mem::take(&mut self.shards)
+            .into_iter()
             .map(|arc| match Arc::try_unwrap(arc) {
                 Ok(mutex) => match mutex.into_inner() {
                     Ok(shard) => shard,
@@ -337,67 +869,128 @@ impl ParallelLtc {
                 Err(arc) => lock_recover(&arc).clone(),
             })
             .collect();
-        ShardedLtc::from_shards(shards)
+        (ShardedLtc::from_shards(shards), faults)
     }
-}
 
-impl Drop for ParallelLtc {
-    fn drop(&mut self) {
-        // `into_sharded` already drained and joined; otherwise stop cleanly.
-        if !self.workers.is_empty() {
-            self.broadcast_and_wait(|| Msg::Shutdown);
-            for worker in self.workers.drain(..) {
-                // A panicked worker already surfaced its state as poisoned;
-                // don't double-panic in drop.
-                let _ = worker.join();
+    /// Strict query: drain, then estimate `id`'s significance.
+    ///
+    /// # Errors
+    /// [`RuntimeError::ShardsLost`] if any shard is lossy. For best-effort
+    /// degraded answers use the [`SignificanceQuery`] impl instead.
+    pub fn try_estimate(&self, id: ItemId) -> Result<Option<f64>, RuntimeError> {
+        self.sync()?;
+        Ok(self.read_estimate(id))
+    }
+
+    /// Strict query: drain, then merge the global top-k.
+    ///
+    /// # Errors
+    /// [`RuntimeError::ShardsLost`] if any shard is lossy. For best-effort
+    /// degraded answers use the [`SignificanceQuery`] impl instead.
+    pub fn try_top_k(&self, k: usize) -> Result<Vec<Estimate>, RuntimeError> {
+        self.sync()?;
+        Ok(self.read_top_k(k))
+    }
+
+    fn read_estimate(&self, id: ItemId) -> Option<f64> {
+        let shard = shard_of_id(id, self.shards.len());
+        self.shards
+            .get(shard)
+            .and_then(|shard| lock_recover(shard).estimate(id))
+    }
+
+    fn read_top_k(&self, k: usize) -> Vec<Estimate> {
+        let candidates: Vec<Estimate> = self
+            .shards
+            .iter()
+            .flat_map(|shard| lock_recover(shard).top_k(k))
+            .collect();
+        top_k_of(candidates, k)
+    }
+
+    /// Shared access to the shard tables for the checkpoint layer.
+    pub(crate) fn shard_tables(&self) -> &[Arc<Mutex<Ltc>>] {
+        &self.shards
+    }
+
+    /// After a checkpoint restore rewrote every shard table: refresh each
+    /// lane's last-good snapshot to the restored state so a future
+    /// rollback lands on it, and revive lossy lanes with a fresh worker
+    /// and a full retry budget (the operator restored on purpose).
+    pub(crate) fn reset_after_restore(&mut self) {
+        let policy = self.policy;
+        let batch_size = self.batch_size;
+        let shards = &self.shards;
+        let inner = match self.inner.get_mut() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for (shard_index, lane) in inner.lanes.iter_mut().enumerate() {
+            let Some(shard) = shards.get(shard_index) else {
+                continue;
+            };
+            *lock_recover(&lane.last_good) = lock_recover(shard).to_snapshot();
+            lane.restarts = 0;
+            lane.records_lost = 0;
+            lane.pending = Vec::with_capacity(batch_size);
+            if lane.lossy.take().is_some() {
+                lane.queue = Arc::new(SpscRing::with_capacity(RING_CAPACITY));
+                lane.progress = Arc::new(Progress::new());
+                lane.fault = Arc::new(Mutex::new(None));
+                lane.sent = 0;
+                let ctx = WorkerCtx {
+                    shard_index,
+                    queue: Arc::clone(&lane.queue),
+                    shard: Arc::clone(shard),
+                    progress: Arc::clone(&lane.progress),
+                    fault: Arc::clone(&lane.fault),
+                    last_good: Arc::clone(&lane.last_good),
+                    checkpoint_every: policy.checkpoint_every_periods,
+                };
+                match spawn_worker(ctx) {
+                    Ok(handle) => lane.worker = Some(handle),
+                    Err(fault) => {
+                        lane.queue.poison();
+                        lane.lossy = Some(fault);
+                    }
+                }
             }
         }
     }
 }
 
-/// Push `id` onto a shard's pending batch, handing the whole batch to the
-/// shard's queue once it fills.
-#[inline]
-fn route_one(
-    pending: &mut Vec<ItemId>,
-    sent: &mut u64,
-    queue: &SpscRing<Msg>,
-    batch_size: usize,
-    id: ItemId,
-) {
-    pending.push(id);
-    if pending.len() >= batch_size {
-        let batch = std::mem::replace(pending, Vec::with_capacity(batch_size));
-        *sent = sent.saturating_add(1);
-        queue.push(Msg::Batch(batch));
+/// `Err(ShardsLost)` iff any lane is lossy; the runtime remains usable.
+fn runtime_result(inner: &Inner) -> Result<(), RuntimeError> {
+    let faults: Vec<WorkerFault> = inner
+        .lanes
+        .iter()
+        .filter_map(|lane| lane.lossy.clone())
+        .collect();
+    if faults.is_empty() {
+        Ok(())
+    } else {
+        Err(RuntimeError::ShardsLost { faults })
     }
 }
 
-/// Hand off every non-empty pending batch to its worker's queue.
-fn flush_pending(router: &mut Router, queues: &[Arc<SpscRing<Msg>>], batch_size: usize) {
-    let batches = router.pending.iter_mut().zip(router.sent.iter_mut());
-    for ((pending, sent), queue) in batches.zip(queues) {
-        if !pending.is_empty() {
-            let batch = std::mem::replace(pending, Vec::with_capacity(batch_size));
-            *sent = sent.saturating_add(1);
-            queue.push(Msg::Batch(batch));
+impl Drop for ParallelLtc {
+    fn drop(&mut self) {
+        // `into_sharded_lossy` already drained and joined (lanes emptied of
+        // workers); otherwise stop cleanly without asserting — a dead
+        // worker's queue refuses the message, which is fine.
+        let inner = match self.inner.get_mut() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        for lane in &mut inner.lanes {
+            if lane.worker.is_some() {
+                let _ = lane.queue.push(Msg::Shutdown);
+            }
         }
-    }
-}
-
-fn worker_loop(queue: &SpscRing<Msg>, shard: &Mutex<Ltc>, progress: &Progress) {
-    loop {
-        let msg = queue.pop();
-        let stop = matches!(msg, Msg::Shutdown);
-        match msg {
-            Msg::Batch(ids) => lock_recover(shard).insert_batch(&ids),
-            Msg::EndPeriod => lock_recover(shard).end_period(),
-            Msg::Finish => lock_recover(shard).finalize(),
-            Msg::Shutdown => {}
-        }
-        progress.bump();
-        if stop {
-            return;
+        for lane in &mut inner.lanes {
+            if let Some(handle) = lane.worker.take() {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -409,11 +1002,13 @@ impl StreamProcessor for ParallelLtc {
     }
 
     fn end_period(&mut self) {
-        ParallelLtc::end_period(self);
+        // Best-effort: a degraded runtime still closes the period on
+        // every live shard; `health()` exposes the loss.
+        let _ = ParallelLtc::end_period(self);
     }
 
     fn finish(&mut self) {
-        ParallelLtc::finish(self);
+        let _ = ParallelLtc::finish(self);
     }
 
     fn name(&self) -> &'static str {
@@ -430,21 +1025,15 @@ impl BatchStreamProcessor for ParallelLtc {
 
 impl SignificanceQuery for ParallelLtc {
     fn estimate(&self, id: ItemId) -> Option<f64> {
-        self.sync();
-        let shard = shard_of_id(id, self.shards.len());
-        self.shards
-            .get(shard)
-            .and_then(|shard| lock_recover(shard).estimate(id))
+        // Best-effort: serve the degraded view (lossy shards answer from
+        // their last-good state).
+        let _ = self.sync();
+        self.read_estimate(id)
     }
 
     fn top_k(&self, k: usize) -> Vec<Estimate> {
-        self.sync();
-        let candidates: Vec<Estimate> = self
-            .shards
-            .iter()
-            .flat_map(|shard| lock_recover(shard).top_k(k))
-            .collect();
-        top_k_of(candidates, k)
+        let _ = self.sync();
+        self.read_top_k(k)
     }
 }
 
@@ -478,8 +1067,8 @@ mod tests {
         for i in 0..500u64 {
             p.insert(i % 25);
         }
-        p.end_period();
-        p.finish();
+        p.end_period().unwrap();
+        p.finish().unwrap();
         assert_eq!(p.top_k(5).len(), 5);
     }
 
@@ -498,11 +1087,11 @@ mod tests {
                 parallel.insert(id);
             }
             reference.end_period();
-            parallel.end_period();
+            parallel.end_period().unwrap();
         }
         reference.finalize();
-        parallel.finish();
-        let reassembled = parallel.into_sharded();
+        parallel.finish().unwrap();
+        let reassembled = parallel.into_sharded().unwrap();
         for s in 0..shards {
             assert_eq!(
                 format!("{:?}", reference.shard(s)),
@@ -520,6 +1109,7 @@ mod tests {
         }
         // 42's batch is still pending; the query must flush + drain first.
         assert_eq!(p.estimate(42), Some(10.0));
+        assert_eq!(p.try_estimate(42).unwrap(), Some(10.0));
     }
 
     #[test]
@@ -538,8 +1128,56 @@ mod tests {
     }
 
     #[test]
+    fn health_starts_clean() {
+        let p = ParallelLtc::new(config(), 2);
+        assert_eq!(
+            p.health(),
+            vec![
+                ShardHealth::Healthy {
+                    restarts: 0,
+                    records_lost: 0
+                };
+                2
+            ]
+        );
+    }
+
+    #[test]
+    fn fault_policy_is_exposed() {
+        let policy = FaultPolicy {
+            max_restarts: 7,
+            ..FaultPolicy::default()
+        };
+        let p = ParallelLtc::with_fault_policy(config(), 2, 8, policy);
+        assert_eq!(p.fault_policy().max_restarts, 7);
+    }
+
+    #[test]
     #[should_panic(expected = "batch size must be positive")]
     fn zero_batch_size_rejected() {
         let _ = ParallelLtc::with_batch_size(config(), 2, 0);
+    }
+
+    #[test]
+    fn progress_wait_errs_when_marked_dead() {
+        let progress = Progress::new();
+        progress.bump();
+        progress.mark_dead();
+        assert_eq!(progress.wait_for(1), Ok(()), "reached targets still ack");
+        assert_eq!(progress.wait_for(2), Err(BarrierPoisoned));
+    }
+
+    #[test]
+    fn worker_fault_displays_shard_and_message() {
+        let fault = WorkerFault {
+            shard: 3,
+            message: "boom".to_string(),
+        };
+        assert_eq!(fault.to_string(), "shard 3 worker died: boom");
+        let err = RuntimeError::ShardsLost {
+            faults: vec![fault],
+        };
+        assert!(err.to_string().contains("1 shard(s) lossy"));
+        assert!(err.to_string().contains("shard 3 worker died: boom"));
     }
 }

@@ -22,12 +22,6 @@
 //!
 //! [`ParallelLtc`]: crate::pipeline::ParallelLtc
 
-// Off the per-record hot path: arithmetic here runs per period, merge or
-// snapshot, and the workspace test profile compiles it with overflow
-// checks. Migrating these modules to explicit checked/saturating ops is
-// tracked as a ROADMAP open item.
-#![allow(clippy::arithmetic_side_effects)]
-
 use crate::config::LtcConfig;
 use crate::table::Ltc;
 use ltc_common::{
@@ -44,7 +38,11 @@ const SHARD_SEED: u32 = 0x5aa2_d001;
 #[inline]
 pub fn shard_of_id(id: ItemId, n: usize) -> usize {
     debug_assert!(n > 0);
-    (bob_hash_u64(id, SHARD_SEED) % n as u64) as usize
+    // n == 0 is a caller bug (debug-asserted above); shard 0 is the benign
+    // release-mode answer and `checked_rem` keeps the hot path branch-light.
+    bob_hash_u64(id, SHARD_SEED)
+        .checked_rem(n as u64)
+        .unwrap_or(0) as usize
 }
 
 /// Hash-partitioned collection of LTC tables. See the module docs.
@@ -113,7 +111,8 @@ impl ShardedLtc {
             self.shards[0].insert_batch(ids);
             return;
         }
-        let mut routed: Vec<Vec<ItemId>> = vec![Vec::with_capacity(ids.len() / n + 1); n];
+        let per_shard_hint = ids.len().checked_div(n).unwrap_or(0).saturating_add(1);
+        let mut routed: Vec<Vec<ItemId>> = vec![Vec::with_capacity(per_shard_hint); n];
         for &id in ids {
             routed[shard_of_id(id, n)].push(id);
         }

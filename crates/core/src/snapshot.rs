@@ -18,12 +18,6 @@
 //! cells  w·d × (id u64, freq u32, persist u32, flags u8)
 //! ```
 
-// Off the per-record hot path: arithmetic here runs per period, merge or
-// snapshot, and the workspace test profile compiles it with overflow
-// checks. Migrating these modules to explicit checked/saturating ops is
-// tracked as a ROADMAP open item.
-#![allow(clippy::arithmetic_side_effects)]
-
 use crate::cell::Cell;
 use crate::table::Ltc;
 
@@ -65,12 +59,37 @@ impl std::error::Error for SnapshotError {}
 const CELL_BYTES: usize = 17;
 const HEADER_BYTES: usize = 4 + 4 + 4 + 1 + 8;
 
+/// Little-endian u32 at `at`; `None` past the end.
+fn read_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let end = at.checked_add(4)?;
+    let slice: [u8; 4] = bytes.get(at..end)?.try_into().ok()?;
+    Some(u32::from_le_bytes(slice))
+}
+
+/// Little-endian u64 at `at`; `None` past the end.
+fn read_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    let end = at.checked_add(8)?;
+    let slice: [u8; 8] = bytes.get(at..end)?.try_into().ok()?;
+    Some(u64::from_le_bytes(slice))
+}
+
+/// Decode one serialised cell from a [`CELL_BYTES`]-sized chunk.
+fn cell_from_chunk(chunk: &[u8]) -> Option<Cell> {
+    let id = read_u64(chunk, 0)?;
+    let freq = read_u32(chunk, 8)?;
+    let persist = read_u32(chunk, 12)?;
+    let flags = *chunk.get(16)?;
+    Some(Cell::from_raw(id, freq, persist, flags))
+}
+
 impl Ltc {
     /// Serialise the table state. See the module docs for the format.
     pub fn to_snapshot(&self) -> Vec<u8> {
         let w = self.config().buckets as u32;
         let d = self.config().cells_per_bucket as u32;
-        let mut out = Vec::with_capacity(HEADER_BYTES + self.capacity_cells() * CELL_BYTES);
+        let capacity =
+            HEADER_BYTES.saturating_add(self.capacity_cells().saturating_mul(CELL_BYTES));
+        let mut out = Vec::with_capacity(capacity);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&w.to_le_bytes());
         out.extend_from_slice(&d.to_le_bytes());
@@ -86,16 +105,18 @@ impl Ltc {
     }
 
     /// Restore state from a snapshot into this (same-shaped) table,
-    /// replacing its current contents.
+    /// replacing its current contents. Every field is bounds-checked: a
+    /// truncated, padded or mis-shaped image is rejected without panicking
+    /// and without touching the table (a fuzz test pins this).
     ///
     /// # Errors
     /// See [`SnapshotError`].
     pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
-        if bytes.len() < HEADER_BYTES || &bytes[..4] != MAGIC {
+        if bytes.get(..4) != Some(MAGIC.as_slice()) {
             return Err(SnapshotError::BadMagic);
         }
-        let w = u32::from_le_bytes(bytes[4..8].try_into().expect("sized"));
-        let d = u32::from_le_bytes(bytes[8..12].try_into().expect("sized"));
+        let w = read_u32(bytes, 4).ok_or(SnapshotError::BadLength)?;
+        let d = read_u32(bytes, 8).ok_or(SnapshotError::BadLength)?;
         let my_w = self.config().buckets as u32;
         let my_d = self.config().cells_per_bucket as u32;
         if (w, d) != (my_w, my_d) {
@@ -104,22 +125,30 @@ impl Ltc {
                 table: (my_w, my_d),
             });
         }
-        let cells = (w as usize) * (d as usize);
-        if bytes.len() != HEADER_BYTES + cells * CELL_BYTES {
+        let cells = (w as usize)
+            .checked_mul(d as usize)
+            .ok_or(SnapshotError::BadLength)?;
+        let expected = cells
+            .checked_mul(CELL_BYTES)
+            .and_then(|body| body.checked_add(HEADER_BYTES))
+            .ok_or(SnapshotError::BadLength)?;
+        if bytes.len() != expected {
             return Err(SnapshotError::BadLength);
         }
-        let parity = bytes[12];
-        let periods = u64::from_le_bytes(bytes[13..21].try_into().expect("sized"));
-        let mut offset = HEADER_BYTES;
-        for slot in self.cells_mut() {
-            let id = u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("sized"));
-            let freq =
-                u32::from_le_bytes(bytes[offset + 8..offset + 12].try_into().expect("sized"));
-            let persist =
-                u32::from_le_bytes(bytes[offset + 12..offset + 16].try_into().expect("sized"));
-            let flags = bytes[offset + 16];
-            *slot = Cell::from_raw(id, freq, persist, flags);
-            offset += CELL_BYTES;
+        let parity = *bytes.get(12).ok_or(SnapshotError::BadLength)?;
+        let periods = read_u64(bytes, 13).ok_or(SnapshotError::BadLength)?;
+        let body = bytes.get(HEADER_BYTES..).ok_or(SnapshotError::BadLength)?;
+        // Decode every cell before mutating the table, so a bad image
+        // leaves the receiver untouched.
+        let mut decoded = Vec::with_capacity(cells);
+        for chunk in body.chunks_exact(CELL_BYTES) {
+            decoded.push(cell_from_chunk(chunk).ok_or(SnapshotError::BadLength)?);
+        }
+        if decoded.len() != self.capacity_cells() {
+            return Err(SnapshotError::BadLength);
+        }
+        for (slot, cell) in self.cells_mut().iter_mut().zip(decoded) {
+            *slot = cell;
         }
         self.restore_state(parity, periods);
         Ok(())

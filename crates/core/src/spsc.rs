@@ -35,6 +35,16 @@
 //! Slot storage is rounded up to a power of two and indexed as
 //! `cursor & mask`, so cursor arithmetic stays correct across `usize`
 //! wraparound (`wrapping_sub` for length, masked indexing for position).
+//!
+//! ## Poisoning (worker-death path)
+//!
+//! A consumer that dies (shard-worker panic) would otherwise strand a
+//! producer blocked in [`push`](SpscRing::push) forever. [`poison`]
+//! (SpscRing::poison) marks the ring dead and wakes both sides: `push`
+//! then refuses the item (returning `false`) and `pop` returns `None` once
+//! the queued backlog is gone. The supervisor can salvage that backlog
+//! with [`drain`](SpscRing::drain) *after* joining the dead consumer —
+//! sequencing that keeps the single-consumer contract intact.
 
 use crate::shim::atomic::{AtomicUsize, Ordering};
 use crate::shim::{Condvar, Mutex, MutexGuard, UnsafeCell};
@@ -46,6 +56,9 @@ const CONSUMER_PARKED: usize = 1;
 /// Bit in [`SpscRing::waiting`]: the producer is parked (or about to park)
 /// waiting for `not_full`.
 const PRODUCER_PARKED: usize = 2;
+/// Bit in [`SpscRing::waiting`]: the ring is poisoned (its consumer died
+/// or the supervisor closed it); no message will ever be accepted again.
+const POISONED: usize = 4;
 
 /// Largest capacity whose slot count (next power of two) fits in `usize`.
 const MAX_CAPACITY: usize = (usize::MAX >> 1) + 1;
@@ -149,20 +162,35 @@ impl<T> SpscRing<T> {
         condvar.notify_one();
     }
 
-    /// Enqueue, blocking while the ring is full (backpressure).
-    pub fn push(&self, item: T) {
+    /// Enqueue, blocking while the ring is full (backpressure). Returns
+    /// `true` once the message is queued; `false` if the ring is poisoned
+    /// (the item is dropped — nobody will ever read it).
+    pub fn push(&self, item: T) -> bool {
         // Only the producer writes `tail`, so this plain read is exact.
         // lint:allow(no_relaxed): single-writer cursor reading its own writes
         let tail = self.tail.load(Ordering::Relaxed);
+        // Deterministic queue-full stall (tests only): force one pass
+        // through the park bookkeeping — Dekker flag plus
+        // recheck-under-mutex — even when the ring has space.
+        let mut forced_slow = matches!(
+            crate::failpoint::io_fault("spsc::push"),
+            Some(crate::failpoint::FailAction::Stall)
+        );
         loop {
+            if self.waiting.load(Ordering::SeqCst) & POISONED != 0 {
+                return false;
+            }
             let head = self.head.load(Ordering::Acquire);
-            if tail.wrapping_sub(head) < self.capacity {
+            if tail.wrapping_sub(head) < self.capacity && !forced_slow {
                 break;
             }
+            forced_slow = false;
             // Full: park. Dekker flag first, then recheck under the mutex.
             self.waiting.fetch_or(PRODUCER_PARKED, Ordering::SeqCst);
             let guard = self.sleep_lock();
-            if tail.wrapping_sub(self.head.load(Ordering::SeqCst)) >= self.capacity {
+            if self.waiting.load(Ordering::SeqCst) & POISONED == 0
+                && tail.wrapping_sub(self.head.load(Ordering::SeqCst)) >= self.capacity
+            {
                 drop(self.wait(&self.not_full, guard));
             }
             self.waiting.fetch_and(!PRODUCER_PARKED, Ordering::SeqCst);
@@ -180,10 +208,13 @@ impl<T> SpscRing<T> {
         if self.waiting.load(Ordering::SeqCst) & CONSUMER_PARKED != 0 {
             self.wake(&self.not_empty);
         }
+        true
     }
 
-    /// Dequeue, blocking while the ring is empty.
-    pub fn pop(&self) -> T {
+    /// Dequeue, blocking while the ring is empty. `None` means the ring is
+    /// poisoned *and* its backlog is fully drained — nothing will ever
+    /// arrive again.
+    pub fn pop(&self) -> Option<T> {
         // Only the consumer writes `head`, so this plain read is exact.
         // lint:allow(no_relaxed): single-writer cursor reading its own writes
         let head = self.head.load(Ordering::Relaxed);
@@ -192,15 +223,66 @@ impl<T> SpscRing<T> {
             if tail != head {
                 break;
             }
+            // Empty: deliver the poison verdict only once the backlog is
+            // gone, so no queued message is ever lost to a poison race.
+            if self.waiting.load(Ordering::SeqCst) & POISONED != 0 {
+                // The emptiness observation above may predate a push that
+                // completed just before the poison. Re-read the cursor
+                // *after* the poison flag (both SeqCst, so the single
+                // total order makes a pre-poison publish visible here);
+                // only a still-empty ring gets the verdict. The loom
+                // model caught exactly this lost-message interleaving.
+                if self.tail.load(Ordering::SeqCst) != head {
+                    continue;
+                }
+                return None;
+            }
             // Empty: park. Mirror image of the producer side.
             self.waiting.fetch_or(CONSUMER_PARKED, Ordering::SeqCst);
             let guard = self.sleep_lock();
-            if self.tail.load(Ordering::SeqCst) == head {
+            if self.waiting.load(Ordering::SeqCst) & POISONED == 0
+                && self.tail.load(Ordering::SeqCst) == head
+            {
                 drop(self.wait(&self.not_empty, guard));
             }
             self.waiting.fetch_and(!CONSUMER_PARKED, Ordering::SeqCst);
         }
-        self.take(head)
+        Some(self.take(head))
+    }
+
+    /// Mark the ring dead and wake both sides. Idempotent.
+    ///
+    /// A dying worker (consumer) poisons its ring so the router is never
+    /// left blocked pushing to a queue nobody reads; the supervisor also
+    /// poisons a lane it is tearing down. Messages already queued remain
+    /// poppable/drainable — poison stops *future* traffic, it does not
+    /// destroy the backlog.
+    pub fn poison(&self) {
+        self.waiting.fetch_or(POISONED, Ordering::SeqCst);
+        // Lock round-trip orders this wake after any sleeper's
+        // recheck-under-mutex, exactly like `wake`.
+        drop(self.sleep_lock());
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`poison`](SpscRing::poison) has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.waiting.load(Ordering::SeqCst) & POISONED != 0
+    }
+
+    /// Salvage the queued backlog without blocking.
+    ///
+    /// Intended for the supervisor after the consumer has died: the
+    /// single-consumer contract passes to the caller, which must therefore
+    /// have observed the previous consumer's exit (joined its thread)
+    /// before draining.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(item) = self.try_pop() {
+            out.push(item);
+        }
+        out
     }
 
     /// Dequeue if a message is ready; never blocks.
@@ -271,12 +353,12 @@ mod tests {
     #[test]
     fn fifo_order() {
         let ring = SpscRing::with_capacity(4);
-        ring.push(1);
-        ring.push(2);
-        ring.push(3);
-        assert_eq!(ring.pop(), 1);
-        assert_eq!(ring.pop(), 2);
-        assert_eq!(ring.pop(), 3);
+        assert!(ring.push(1));
+        assert!(ring.push(2));
+        assert!(ring.push(3));
+        assert_eq!(ring.pop(), Some(1));
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.pop(), Some(3));
         assert!(ring.try_pop().is_none());
     }
 
@@ -289,10 +371,10 @@ mod tests {
             let ring = Arc::clone(&ring);
             std::thread::spawn(move || ring.push(3)) // blocks until a pop
         };
-        assert_eq!(ring.pop(), 1);
-        producer.join().expect("producer completes after the pop");
-        assert_eq!(ring.pop(), 2);
-        assert_eq!(ring.pop(), 3);
+        assert_eq!(ring.pop(), Some(1));
+        assert!(producer.join().expect("producer completes after the pop"));
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.pop(), Some(3));
     }
 
     #[test]
@@ -304,8 +386,8 @@ mod tests {
                 let mut sum = 0u64;
                 loop {
                     match ring.pop() {
-                        0 => return sum,
-                        v => sum += v,
+                        Some(0) | None => return sum,
+                        Some(v) => sum += v,
                     }
                 }
             })
@@ -329,7 +411,7 @@ mod tests {
         assert_eq!(ring.capacity(), 1);
         let consumer = {
             let ring = Arc::clone(&ring);
-            std::thread::spawn(move || (0..200).map(|_| ring.pop()).collect::<Vec<u32>>())
+            std::thread::spawn(move || (0..200).map(|_| ring.pop().unwrap()).collect::<Vec<u32>>())
         };
         for v in 0..200u32 {
             ring.push(v); // every push races the single free slot
@@ -352,9 +434,9 @@ mod tests {
         assert_eq!(ring.len(), 2);
         ring.push(13);
         assert_eq!(ring.len(), 3);
-        assert_eq!(ring.pop(), 11);
-        assert_eq!(ring.pop(), 12);
-        assert_eq!(ring.pop(), 13);
+        assert_eq!(ring.pop(), Some(11));
+        assert_eq!(ring.pop(), Some(12));
+        assert_eq!(ring.pop(), Some(13));
         assert!(ring.try_pop().is_none());
     }
 
@@ -368,9 +450,9 @@ mod tests {
             ring.push(round * 10 + 1);
             ring.push(round * 10 + 2);
             assert_eq!(ring.len(), 3);
-            assert_eq!(ring.pop(), round * 10);
-            assert_eq!(ring.pop(), round * 10 + 1);
-            assert_eq!(ring.pop(), round * 10 + 2);
+            assert_eq!(ring.pop(), Some(round * 10));
+            assert_eq!(ring.pop(), Some(round * 10 + 1));
+            assert_eq!(ring.pop(), Some(round * 10 + 2));
         }
         assert!(ring.try_pop().is_none());
         assert!(ring.is_empty());
@@ -385,8 +467,8 @@ mod tests {
                 let mut sum = 0u64;
                 loop {
                     match ring.pop() {
-                        0 => return sum,
-                        v => sum += v,
+                        Some(0) | None => return sum,
+                        Some(v) => sum += v,
                     }
                 }
             })
@@ -424,11 +506,78 @@ mod tests {
     }
 
     #[test]
+    fn poison_refuses_new_but_keeps_backlog() {
+        let ring = SpscRing::with_capacity(4);
+        assert!(ring.push(1));
+        assert!(ring.push(2));
+        assert!(!ring.is_poisoned());
+        ring.poison();
+        assert!(ring.is_poisoned());
+        assert!(!ring.push(3), "poisoned ring refuses new messages");
+        // The backlog queued before the poison is still delivered...
+        assert_eq!(ring.pop(), Some(1));
+        assert_eq!(ring.pop(), Some(2));
+        // ...and only then does pop report the poison verdict.
+        assert_eq!(ring.pop(), None);
+        ring.poison(); // idempotent
+        assert_eq!(ring.pop(), None);
+    }
+
+    #[test]
+    fn poison_unblocks_a_parked_producer() {
+        let ring = Arc::new(SpscRing::with_capacity(1));
+        assert!(ring.push(1));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.push(2)) // blocks: ring full
+        };
+        // Give the producer a moment to park, then poison instead of pop:
+        // it must return false rather than block forever.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ring.poison();
+        assert!(!producer.join().unwrap(), "poison released the producer");
+    }
+
+    #[test]
+    fn poison_unblocks_a_parked_consumer() {
+        let ring = Arc::new(SpscRing::<u32>::with_capacity(2));
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.pop()) // blocks: ring empty
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        ring.poison();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn drain_salvages_backlog_after_consumer_death() {
+        let ring = Arc::new(SpscRing::with_capacity(8));
+        for v in 0..5u32 {
+            ring.push(v);
+        }
+        // A consumer that dies mid-stream: pops two, poisons, exits.
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let got = (ring.pop(), ring.pop());
+                ring.poison();
+                got
+            })
+        };
+        assert_eq!(consumer.join().unwrap(), (Some(0), Some(1)));
+        // The supervisor joined the consumer above, so it now owns the
+        // consumer role and can salvage the rest.
+        assert_eq!(ring.drain(), vec![2, 3, 4]);
+        assert_eq!(ring.drain(), Vec::<u32>::new());
+    }
+
+    #[test]
     fn empty_ring_drops_nothing_extra() {
         let drops = Arc::new(StdAtomicUsize::new(0));
         let ring = SpscRing::with_capacity(2);
         ring.push(DropCounter(Arc::clone(&drops)));
-        drop(ring.pop());
+        drop(ring.pop().unwrap());
         drop(ring);
         assert_eq!(drops.load(StdOrdering::SeqCst), 1);
     }

@@ -21,12 +21,6 @@
 //! Windows are capped at 64 periods by the bitmap width — enough for
 //! "last hour of minutes" or "last two months of days" dashboards.
 
-// Off the per-record hot path: arithmetic here runs per period, merge or
-// snapshot, and the workspace test profile compiles it with overflow
-// checks. Migrating these modules to explicit checked/saturating ops is
-// tracked as a ROADMAP open item.
-#![allow(clippy::arithmetic_side_effects)]
-
 use ltc_common::{
     top_k_of, Estimate, ItemId, MemoryUsage, SignificanceQuery, StreamProcessor, Weights,
 };
@@ -109,10 +103,11 @@ impl WindowedLtc {
         let mask = if window == 64 {
             u64::MAX
         } else {
-            (1u64 << window) - 1
+            // 1 <= window <= 63 here, so the shifted value is at least 2.
+            (1u64 << window).wrapping_sub(1)
         };
         Self {
-            cells: vec![WinCell::default(); buckets * cells_per_bucket],
+            cells: vec![WinCell::default(); buckets.saturating_mul(cells_per_bucket)],
             buckets,
             cells_per_bucket,
             weights,
@@ -145,8 +140,8 @@ impl WindowedLtc {
 
     fn bucket_range(&self, id: ItemId) -> std::ops::Range<usize> {
         let b = self.hash.index(id, self.buckets);
-        let base = b * self.cells_per_bucket;
-        base..base + self.cells_per_bucket
+        let base = b.saturating_mul(self.cells_per_bucket);
+        base..base.saturating_add(self.cells_per_bucket)
     }
 
     fn find(&self, id: ItemId) -> Option<&WinCell> {
@@ -199,7 +194,7 @@ impl WindowedLtc {
             c.freq16 = c.freq16.saturating_sub(16);
             let in_window = c.presence & mask;
             if in_window != 0 {
-                let oldest = 63 - in_window.leading_zeros();
+                let oldest = in_window.ilog2(); // non-zero checked above
                 c.presence &= !(1u64 << oldest);
             }
             c.significance(&weights, mask) == 0.0
@@ -235,7 +230,11 @@ impl WindowedLtc {
                 continue;
             }
             c.presence = (c.presence << 1) & mask;
-            c.freq16 = c.freq16 * (w - 1) / w.max(1);
+            c.freq16 = c
+                .freq16
+                .saturating_mul(w.saturating_sub(1))
+                .checked_div(w)
+                .unwrap_or(0); // w >= 1 by the constructor assert
             if self.window == 1 {
                 c.freq16 = 0;
             }
@@ -244,7 +243,7 @@ impl WindowedLtc {
                 *c = WinCell::default();
             }
         }
-        self.periods_completed += 1;
+        self.periods_completed = self.periods_completed.saturating_add(1);
     }
 }
 
@@ -286,7 +285,7 @@ impl MemoryUsage for WindowedLtc {
     fn memory_bytes(&self) -> usize {
         // id 8 + aged frequency 4 + presence bitmap 8 = 20 B per cell under
         // the workspace cost model.
-        self.cells.len() * 20
+        self.cells.len().saturating_mul(20)
     }
 }
 

@@ -13,7 +13,7 @@
 
 use loom::sync::atomic::{AtomicUsize, Ordering};
 use loom::sync::Arc;
-use ltc_core::pipeline::Progress;
+use ltc_core::pipeline::{BarrierPoisoned, Progress};
 
 #[test]
 fn no_shard_observes_the_next_period_before_all_acked() {
@@ -43,7 +43,7 @@ fn no_shard_observes_the_next_period_before_all_acked() {
             })
             .collect();
         for (progress, _) in &workers {
-            progress.wait_for(1);
+            progress.wait_for(1).expect("no worker died");
         }
         // Barrier passed: only now may the next period begin.
         period.store(2, Ordering::SeqCst);
@@ -73,7 +73,7 @@ fn wait_for_never_misses_a_bump() {
                 progress.bump();
             })
         };
-        progress.wait_for(2);
+        progress.wait_for(2).expect("no worker died");
         worker.join().unwrap();
     });
     assert!(report.complete);
@@ -89,13 +89,60 @@ fn barrier_exploration_is_deterministic() {
                 let progress = Arc::clone(&progress);
                 loom::thread::spawn(move || progress.bump())
             };
-            progress.wait_for(1);
+            progress.wait_for(1).expect("no worker died");
             worker.join().unwrap();
         })
     };
     let first = run();
     let second = run();
     assert_eq!(first.interleavings, second.interleavings);
+}
+
+#[test]
+fn dead_worker_never_deadlocks_the_barrier() {
+    // The fault path: a worker dies mid-epoch (bumps once, then raises the
+    // dead flag on its way out). In *every* interleaving the router's wait
+    // must return — `Ok` for the target the worker did reach, `Err` for
+    // the target it died short of. A missed `mark_dead` wakeup would
+    // strand the router and surface as a loom deadlock report.
+    let report = loom::model(|| {
+        let progress = Arc::new(Progress::new());
+        let worker = {
+            let progress = Arc::clone(&progress);
+            loom::thread::spawn(move || {
+                progress.bump();
+                progress.mark_dead();
+            })
+        };
+        // The bump is sequenced before the death flag, so the reached
+        // target always acks...
+        assert_eq!(progress.wait_for(1), Ok(()));
+        // ...and the unreached one always reports the death instead of
+        // blocking forever.
+        assert_eq!(progress.wait_for(2), Err(BarrierPoisoned));
+        worker.join().unwrap();
+    });
+    assert!(report.complete, "bounded schedule space must be exhausted");
+    assert!(report.interleavings > 1);
+}
+
+#[test]
+fn death_racing_a_parked_router_wakes_it() {
+    // Worst case for the wakeup path: the router is already parked on the
+    // condvar (it saw done == 0) when the worker dies without ever
+    // bumping. mark_dead must take the same lock and notify, or the
+    // router sleeps forever.
+    let report = loom::model(|| {
+        let progress = Arc::new(Progress::new());
+        let worker = {
+            let progress = Arc::clone(&progress);
+            loom::thread::spawn(move || progress.mark_dead())
+        };
+        assert_eq!(progress.wait_for(1), Err(BarrierPoisoned));
+        worker.join().unwrap();
+    });
+    assert!(report.complete);
+    assert!(report.interleavings > 1);
 }
 
 #[test]

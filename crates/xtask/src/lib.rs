@@ -20,6 +20,16 @@
 //!   `wrapping_*`).
 //! * **no_relaxed** — in the configured concurrency files, every
 //!   `Ordering::Relaxed` needs a written justification.
+//! * **failpoint_gate** — `fail_point!` / `failpoint::` may appear only in
+//!   the files listed under `[failpoints] allow`: the fault-injection
+//!   surface stays deliberate, not something that spreads into arbitrary
+//!   modules (and production binaries compile it out via the `failpoints`
+//!   feature).
+//! * **atomic_io** — in the files listed under `[atomic_io] files`, bare
+//!   file-writing calls (`File::create`, `fs::write`, `OpenOptions::new`)
+//!   are banned: checkpoint bytes must flow through the temp-file +
+//!   fsync + atomic-rename helper so a crash can never tear a generation
+//!   in place.
 //!
 //! The analysis is lexical, not syntactic: comments, string/char literals
 //! and raw strings are blanked first (preserving line structure), then the
@@ -75,6 +85,11 @@ pub struct Config {
     pub counter_fields: Vec<String>,
     /// Files where `Ordering::Relaxed` needs a justification.
     pub no_relaxed_files: Vec<String>,
+    /// Files allowed to reference the failpoint facility.
+    pub failpoint_allow: Vec<String>,
+    /// Files whose file-writing calls must go through the atomic-rename
+    /// helper.
+    pub atomic_io_files: Vec<String>,
 }
 
 /// Parse the TOML subset `lint.toml` uses: `[section]` headers and
@@ -121,6 +136,8 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
             ("hot_path", "files") => config.hot_path = values,
             ("counters", "fields") => config.counter_fields = values,
             ("orderings", "no_relaxed_files") => config.no_relaxed_files = values,
+            ("failpoints", "allow") => config.failpoint_allow = values,
+            ("atomic_io", "files") => config.atomic_io_files = values,
             _ => {
                 return Err(format!(
                     "lint.toml:{}: unknown key `{}` in section `[{}]`",
@@ -457,6 +474,8 @@ pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Violation> {
     let unsafe_allowed = config.unsafe_allow.iter().any(|f| f == rel);
     let hot = config.hot_path.iter().any(|f| f == rel);
     let no_relaxed = config.no_relaxed_files.iter().any(|f| f == rel);
+    let failpoint_allowed = config.failpoint_allow.iter().any(|f| f == rel);
+    let atomic_io = config.atomic_io_files.iter().any(|f| f == rel);
 
     let mut push = |line: usize, rule: &'static str, message: String| {
         violations.push(Violation {
@@ -559,6 +578,40 @@ pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Violation> {
                  justification"
                     .to_string(),
             );
+        }
+
+        // failpoint_gate
+        if !failpoint_allowed
+            && (line.contains("fail_point!") || line.contains("failpoint::"))
+            && !waived(&raw_lines, idx, "failpoint_gate")
+        {
+            push(
+                idx,
+                "failpoint_gate",
+                format!(
+                    "failpoint usage outside the allowlist ({}); fault-injection sites \
+                     are deliberate — extend `[failpoints] allow` in lint.toml if this \
+                     module really needs one",
+                    config.failpoint_allow.join(", ")
+                ),
+            );
+        }
+
+        // atomic_io
+        if atomic_io {
+            for pattern in ["File::create", "fs::write", "OpenOptions::new"] {
+                if line.contains(pattern) && !waived(&raw_lines, idx, "atomic_io") {
+                    push(
+                        idx,
+                        "atomic_io",
+                        format!(
+                            "bare `{pattern}` in a checkpoint-I/O module; write through \
+                             the temp-file + fsync + atomic-rename helper (or add \
+                             `// lint:allow(atomic_io): <reason>` on the helper itself)"
+                        ),
+                    );
+                }
+            }
         }
     }
     violations

@@ -16,6 +16,11 @@ fn test_config() -> Config {
         ],
         counter_fields: vec!["freq".to_string(), "harvests".to_string()],
         no_relaxed_files: vec!["crates/core/src/spsc.rs".to_string()],
+        failpoint_allow: vec![
+            "crates/core/src/failpoint.rs".to_string(),
+            "crates/core/src/pipeline.rs".to_string(),
+        ],
+        atomic_io_files: vec!["crates/core/src/checkpoint.rs".to_string()],
     }
 }
 
@@ -45,6 +50,12 @@ fields = ["freq"]
 
 [orderings]
 no_relaxed_files = ["a.rs"]
+
+[failpoints]
+allow = ["crates/core/src/failpoint.rs"]
+
+[atomic_io]
+files = ["crates/core/src/checkpoint.rs"]
 "#;
     let config = parse_config(toml).expect("parses");
     assert_eq!(config.roots, vec!["crates"]);
@@ -53,6 +64,11 @@ no_relaxed_files = ["a.rs"]
     assert_eq!(config.hot_path, vec!["a.rs", "b.rs"]);
     assert_eq!(config.counter_fields, vec!["freq"]);
     assert_eq!(config.no_relaxed_files, vec!["a.rs"]);
+    assert_eq!(config.failpoint_allow, vec!["crates/core/src/failpoint.rs"]);
+    assert_eq!(
+        config.atomic_io_files,
+        vec!["crates/core/src/checkpoint.rs"]
+    );
 }
 
 #[test]
@@ -200,6 +216,58 @@ fn relaxed_ordering_needs_a_justification() {
     // Not a configured concurrency file → no rule.
     let violations = lint_source("crates/core/src/other.rs", source, &test_config());
     assert!(violations.is_empty());
+}
+
+#[test]
+fn failpoint_usage_outside_allowlist_is_flagged() {
+    // A macro site and a module-path reference both count.
+    for snippet in [
+        "fn f() {\n    fail_point!(\"worker::batch\");\n}\n",
+        "fn f() {\n    let _ = crate::failpoint::io_fault(\"x\");\n}\n",
+    ] {
+        let violations = lint_source("crates/core/src/table.rs", snippet, &test_config());
+        assert_eq!(rules(&violations), vec!["failpoint_gate"], "{snippet}");
+        assert_eq!(violations[0].line, 2);
+    }
+
+    // Allowlisted files may use both forms freely.
+    let site = "fn f() {\n    fail_point!(\"worker::batch\");\n    let _ = crate::failpoint::io_fault(\"x\");\n}\n";
+    let violations = lint_source("crates/core/src/pipeline.rs", site, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // An explicit waiver works outside the allowlist too.
+    let waived =
+        "fn f() {\n    // lint:allow(failpoint_gate): migration shim\n    fail_point!(\"x\");\n}\n";
+    let violations = lint_source("crates/core/src/table.rs", waived, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // The bare word `failpoint` (e.g. a module declaration) is not usage.
+    let decl = "pub mod failpoint;\n";
+    let violations = lint_source("crates/core/src/table.rs", decl, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn bare_file_writes_in_checkpoint_io_are_flagged() {
+    for call in [
+        "File::create(&path)",
+        "std::fs::write(&path, bytes)",
+        "OpenOptions::new().write(true)",
+    ] {
+        let source = format!("fn f() {{\n    let _ = {call};\n}}\n");
+        let violations = lint_source("crates/core/src/checkpoint.rs", &source, &test_config());
+        assert_eq!(rules(&violations), vec!["atomic_io"], "for `{call}`");
+    }
+
+    // The atomic-rename helper itself carries the one waiver.
+    let helper = "fn write_atomic(p: &Path, b: &[u8]) {\n    // lint:allow(atomic_io): this IS the atomic-rename helper\n    let f = File::create(p);\n}\n";
+    let violations = lint_source("crates/core/src/checkpoint.rs", helper, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // Other modules are not checkpoint I/O: no rule.
+    let elsewhere = "fn f() {\n    let _ = File::create(\"log.txt\");\n}\n";
+    let violations = lint_source("crates/core/src/table.rs", elsewhere, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
 }
 
 #[test]

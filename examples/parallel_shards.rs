@@ -52,9 +52,9 @@ fn main() {
     let mut pipeline = ParallelLtc::new(config, SHARDS);
     for period in stream.periods() {
         pipeline.insert_batch(period);
-        pipeline.end_period();
+        pipeline.end_period().expect("no shard faults");
     }
-    pipeline.finish();
+    pipeline.finish().expect("no shard faults");
     let elapsed = start.elapsed();
 
     println!(
@@ -81,7 +81,7 @@ fn main() {
 
     // Workers join here; the reassembled single-threaded `ShardedLtc`
     // answers the same queries with no threads left running.
-    let sharded = pipeline.into_sharded();
+    let sharded = pipeline.into_sharded().expect("no shard faults");
     assert_eq!(sharded.top_k(10), live_top10);
     println!("reassembled ShardedLtc agrees with the live pipeline ✓");
 }

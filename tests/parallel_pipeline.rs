@@ -39,17 +39,17 @@ fn run_both(batch_size: usize) -> (ShardedLtc, ParallelLtc) {
         }
         parallel.insert_batch(chunk);
         reference.end_period();
-        parallel.end_period();
+        parallel.end_period().expect("no shard faults in this test");
     }
     reference.finish();
-    parallel.finish();
+    parallel.finish().expect("no shard faults in this test");
     (reference, parallel)
 }
 
 #[test]
 fn per_shard_estimates_match_single_threaded() {
     let (reference, parallel) = run_both(256);
-    let reassembled = parallel.into_sharded();
+    let reassembled = parallel.into_sharded().expect("no shard faults");
     for s in 0..SHARDS {
         // Estimates of every id the reference shard tracks, plus the
         // shard's full ranking, must agree exactly.
@@ -99,10 +99,10 @@ fn equivalence_holds_at_awkward_batch_sizes() {
                 parallel.insert(id);
             }
             reference.end_period();
-            parallel.end_period();
+            parallel.end_period().expect("no shard faults");
         }
         reference.finish();
-        parallel.finish();
+        parallel.finish().expect("no shard faults");
         assert_eq!(
             reference.top_k(50),
             parallel.top_k(50),
