@@ -493,21 +493,47 @@ impl ParallelLtc {
     }
 
     /// Checkpoint into `store`, returning the new generation number.
+    /// When the runtime is observable, the save latency lands in
+    /// `ltc_checkpoint_save_ns` and a `checkpoint_publish` journal event is
+    /// published.
     ///
     /// # Errors
     /// [`CheckpointError::Io`] if the write or rename fails.
     pub fn checkpoint_to(&self, store: &Checkpointer) -> Result<u64, CheckpointError> {
-        store.save(&self.to_checkpoint())
+        let start = std::time::Instant::now();
+        let generation = store.save(&self.to_checkpoint())?;
+        if let Some(obs) = self.obs() {
+            let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            obs.note_checkpoint_publish(generation, elapsed);
+        }
+        Ok(generation)
     }
 
     /// Restore from the newest generation in `store` that validates,
     /// falling back to older generations past any corrupted or torn image.
-    /// Returns the generation restored.
+    /// Returns the generation restored. When the runtime is observable,
+    /// the restore latency lands in `ltc_checkpoint_restore_ns`, every
+    /// newer generation that was skipped bumps
+    /// `ltc_checkpoint_fallbacks_total`, and a `checkpoint_restore`
+    /// journal event carries the restored generation.
     ///
     /// # Errors
     /// [`CheckpointError::NoCheckpoint`] if no generation validates.
     pub fn restore_from(&mut self, store: &Checkpointer) -> Result<u64, CheckpointError> {
-        store.restore_with(|bytes| self.restore_checkpoint(bytes))
+        let obs = self.obs().cloned();
+        let start = std::time::Instant::now();
+        let generation = store.restore_with(|bytes| self.restore_checkpoint(bytes))?;
+        if let Some(obs) = obs {
+            let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // Generations newer than the one that validated were skipped.
+            let skipped = store
+                .generations()
+                .map(|gens| gens.into_iter().filter(|&g| g > generation).count() as u64)
+                .unwrap_or(0);
+            obs.checkpoint_fallbacks.add(skipped);
+            obs.note_checkpoint_restore(generation, elapsed);
+        }
+        Ok(generation)
     }
 }
 

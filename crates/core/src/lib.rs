@@ -60,6 +60,7 @@ pub mod config;
 #[macro_use]
 pub mod failpoint;
 pub mod merge;
+pub mod obs;
 pub mod pipeline;
 pub mod sharded;
 pub(crate) mod shim;
@@ -79,7 +80,8 @@ pub use checkpoint::{CheckpointError, Checkpointer};
 pub use clock::ClockPointer;
 pub use config::{FaultPolicy, LtcConfig, LtcConfigBuilder, PeriodMode, Variant};
 pub use merge::MergeError;
-pub use pipeline::{ParallelLtc, RuntimeError, ShardHealth, WorkerFault};
+pub use obs::{EventJournal, EventKind, MetricsRegistry, RuntimeObs};
+pub use pipeline::{FaultKind, ParallelLtc, RuntimeError, ShardHealth, WorkerFault};
 pub use sharded::ShardedLtc;
 pub use snapshot::SnapshotError;
 pub use spsc::SpscRing;

@@ -1,0 +1,499 @@
+//! Renderers for registry snapshots: Prometheus text exposition format and
+//! JSON. Zero dependencies — both formats are written by hand, with the
+//! escaping each requires.
+//!
+//! Rendering operates on a [`MetricsRegistry::snapshot`], so it holds the
+//! registry lock only long enough to copy the cells; the string building
+//! happens lock-free and off the hot path.
+
+use std::fmt::Write as _;
+
+use super::journal::Event;
+use super::metrics::{bucket_bound, HistogramSnapshot, HISTOGRAM_BUCKETS};
+use super::registry::{FamilySnapshot, MetricValue, MetricsRegistry};
+
+/// Escape a Prometheus label *value*: backslash, double quote and newline
+/// must be backslash-escaped per the exposition format.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escape Prometheus `# HELP` text: backslash and newline only (quotes are
+/// legal in help text).
+fn escape_help(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Render a label set as `{k="v",k2="v2"}`, or the empty string for no
+/// labels. `extra` is appended last (used for histogram `le`).
+fn render_labels(labels: &super::registry::Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Append one histogram series in exposition form: cumulative `_bucket`
+/// lines ending at `le="+Inf"`, then `_sum` and `_count`.
+fn render_histogram_prometheus(
+    out: &mut String,
+    name: &str,
+    labels: &super::registry::Labels,
+    snap: &HistogramSnapshot,
+) {
+    let mut cumulative: u64 = 0;
+    for (i, bucket) in snap.buckets.iter().enumerate() {
+        cumulative = cumulative.saturating_add(*bucket);
+        let le = if i >= HISTOGRAM_BUCKETS {
+            "+Inf".to_string()
+        } else {
+            bucket_bound(i).to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            render_labels(labels, Some(("le", &le)))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_sum{} {}",
+        render_labels(labels, None),
+        snap.sum
+    );
+    let _ = writeln!(
+        out,
+        "{name}_count{} {}",
+        render_labels(labels, None),
+        snap.count
+    );
+}
+
+/// Render families in the Prometheus text exposition format (version
+/// 0.0.4): `# HELP` / `# TYPE` headers per family, one sample line per
+/// series, histograms expanded to cumulative `_bucket`/`_sum`/`_count`.
+pub fn render_prometheus_snapshot(families: &[FamilySnapshot]) -> String {
+    let mut out = String::new();
+    for family in families {
+        if !family.help.is_empty() {
+            let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+        }
+        let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+        for series in &family.series {
+            match &series.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {v}",
+                        family.name,
+                        render_labels(&series.labels, None)
+                    );
+                }
+                MetricValue::Histogram(snap) => {
+                    render_histogram_prometheus(&mut out, &family.name, &series.labels, snap);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Escape a string for a JSON string literal (quotes, backslash, control
+/// characters).
+fn escape_json(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Append a histogram value as JSON: total count, sum, and the cumulative
+/// buckets keyed by upper bound (matching the Prometheus rendering).
+fn render_histogram_json(out: &mut String, snap: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"buckets\":[",
+        snap.count, snap.sum
+    );
+    let mut cumulative: u64 = 0;
+    for (i, bucket) in snap.buckets.iter().enumerate() {
+        cumulative = cumulative.saturating_add(*bucket);
+        if i > 0 {
+            out.push(',');
+        }
+        let le = if i >= HISTOGRAM_BUCKETS {
+            "+Inf".to_string()
+        } else {
+            bucket_bound(i).to_string()
+        };
+        let _ = write!(out, "{{\"le\":\"{le}\",\"count\":{cumulative}}}");
+    }
+    out.push_str("]}");
+}
+
+/// Render families as a JSON document:
+/// `{"families":[{"name":…,"kind":…,"help":…,"series":[{"labels":{…},"value":…}]}]}`.
+/// Counter/gauge values are JSON numbers; histograms are objects with
+/// `count`, `sum` and cumulative `buckets`.
+pub fn render_json_snapshot(families: &[FamilySnapshot]) -> String {
+    let mut out = String::from("{\"families\":[");
+    for (fi, family) in families.iter().enumerate() {
+        if fi > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"kind\":\"{}\",\"help\":\"{}\",\"series\":[",
+            escape_json(&family.name),
+            family.kind.as_str(),
+            escape_json(&family.help)
+        );
+        for (si, series) in family.series.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"labels\":{");
+            for (li, (k, v)) in series.labels.iter().enumerate() {
+                if li > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+            }
+            out.push_str("},\"value\":");
+            match &series.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                MetricValue::Histogram(snap) => render_histogram_json(&mut out, snap),
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render drained journal events as a JSON array:
+/// `[{"seq":…,"kind":"worker_fault","shard":2,"detail":7},…]` (shard is
+/// `null` for process-wide events).
+pub fn render_events_json(events: &[Event]) -> String {
+    let mut out = String::from("[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"kind\":\"{}\",\"shard\":",
+            event.seq,
+            event.kind.name()
+        );
+        match event.shard {
+            Some(s) => {
+                let _ = write!(out, "{s}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(out, ",\"detail\":{}}}", event.detail);
+    }
+    out.push(']');
+    out
+}
+
+/// Convenience: snapshot `registry` and render Prometheus text.
+pub fn render_prometheus(registry: &MetricsRegistry) -> String {
+    render_prometheus_snapshot(&registry.snapshot())
+}
+
+/// Convenience: snapshot `registry` and render JSON.
+pub fn render_json(registry: &MetricsRegistry) -> String {
+    render_json_snapshot(&registry.snapshot())
+}
+
+/// Check that `text` is well-formed Prometheus text exposition format:
+/// every line is a comment, blank, or a `name{labels} value` sample with a
+/// parseable value; `# TYPE` appears at most once per metric and precedes
+/// its samples; histogram `_bucket` series are cumulative in `le` order
+/// and end with `le="+Inf"` matching `_count`. Returns the first problem
+/// found. Used by the test suites and `obs_dump --check`.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut typed: BTreeSet<String> = BTreeSet::new();
+    // (metric base name, labels-without-le) -> (last cumulative count, last le)
+    let mut buckets: BTreeMap<(String, String), (u64, f64)> = BTreeMap::new();
+    let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno.saturating_add(1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().unwrap_or_default();
+            let kind = parts.next().unwrap_or_default();
+            if name.is_empty()
+                || !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                )
+            {
+                return Err(format!("line {n}: malformed TYPE line: {line}"));
+            }
+            if !typed.insert(name.to_string()) {
+                return Err(format!("line {n}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.rsplit_once(' ') {
+            Some(split) => split,
+            None => return Err(format!("line {n}: no value: {line}")),
+        };
+        let value: f64 = match value_part {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse()
+                .map_err(|_| format!("line {n}: unparseable value {v:?}"))?,
+        };
+        let (name, labels_str) = match name_part.split_once('{') {
+            Some((name, rest)) => {
+                let rest = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {n}: unterminated label set: {line}"))?;
+                (name, rest)
+            }
+            None => (name_part, ""),
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            return Err(format!("line {n}: invalid metric name {name:?}"));
+        }
+        // Parse labels respecting escapes inside quoted values.
+        let mut labels: Vec<(String, String)> = Vec::new();
+        let mut chars = labels_str.chars().peekable();
+        while chars.peek().is_some() {
+            let mut key = String::new();
+            for c in chars.by_ref() {
+                if c == '=' {
+                    break;
+                }
+                key.push(c);
+            }
+            if chars.next() != Some('"') {
+                return Err(format!("line {n}: label value not quoted: {line}"));
+            }
+            let mut value = String::new();
+            let mut closed = false;
+            while let Some(c) = chars.next() {
+                match c {
+                    '\\' => match chars.next() {
+                        Some('\\') => value.push('\\'),
+                        Some('"') => value.push('"'),
+                        Some('n') => value.push('\n'),
+                        other => {
+                            return Err(format!("line {n}: bad escape \\{other:?} in label"));
+                        }
+                    },
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    other => value.push(other),
+                }
+            }
+            if !closed {
+                return Err(format!("line {n}: unterminated label value: {line}"));
+            }
+            labels.push((key, value));
+            if chars.peek() == Some(&',') {
+                chars.next();
+            }
+        }
+        // Histogram bookkeeping: cumulative buckets, +Inf == _count.
+        if let Some(base) = name.strip_suffix("_bucket") {
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("line {n}: _bucket without le label"))?;
+            let le_value: f64 = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse()
+                    .map_err(|_| format!("line {n}: unparseable le {le:?}"))?
+            };
+            let rest: String = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v};"))
+                .collect();
+            let key = (base.to_string(), rest);
+            let sample = value as u64;
+            if let Some((prev_count, prev_le)) = buckets.get(&key) {
+                if le_value <= *prev_le {
+                    return Err(format!("line {n}: le values not increasing for {base}"));
+                }
+                if sample < *prev_count {
+                    return Err(format!("line {n}: bucket counts not cumulative for {base}"));
+                }
+            }
+            buckets.insert(key, (sample, le_value));
+        } else if let Some(base) = name.strip_suffix("_count") {
+            let rest: String = labels.iter().map(|(k, v)| format!("{k}={v};")).collect();
+            counts.insert((base.to_string(), rest), value as u64);
+        }
+    }
+    for (key, (cumulative, last_le)) in &buckets {
+        if !last_le.is_infinite() {
+            return Err(format!("histogram {} does not end at le=\"+Inf\"", key.0));
+        }
+        if let Some(count) = counts.get(key) {
+            if count != cumulative {
+                return Err(format!(
+                    "histogram {}: +Inf bucket {} != _count {}",
+                    key.0, cumulative, count
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::registry::{labels, Labels};
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_render() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ltc_inserts_total", "Inserts.", labels([("shard", "0")]))
+            .add(5);
+        reg.gauge("ltc_depth", "Queue depth.", Labels::new()).set(3);
+        let text = render_prometheus(&reg);
+        assert!(text.contains("# HELP ltc_depth Queue depth."));
+        assert!(text.contains("# TYPE ltc_depth gauge"));
+        assert!(text.contains("ltc_depth 3\n"));
+        assert!(text.contains("ltc_inserts_total{shard=\"0\"} 5\n"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m_total", "", labels([("path", "a\\b\"c\nd")]))
+            .inc();
+        let text = render_prometheus(&reg);
+        assert!(text.contains(r#"path="a\\b\"c\nd""#), "got: {text}");
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", "Latency.", Labels::new());
+        h.record(1);
+        h.record(2);
+        h.record(u64::MAX);
+        let text = render_prometheus(&reg);
+        assert!(text.contains("lat_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"2\"} 2\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_count 3\n"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_and_valid() {
+        let reg = MetricsRegistry::new();
+        let text = render_prometheus(&reg);
+        assert!(text.is_empty());
+        validate_exposition(&text).unwrap();
+        assert_eq!(render_json(&reg), "{\"families\":[]}");
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let reg = MetricsRegistry::new();
+        reg.counter("m_total", "say \"hi\"\\", labels([("k", "v\n")]))
+            .inc();
+        let json = render_json(&reg);
+        assert!(json.contains(r#""help":"say \"hi\"\\""#), "got: {json}");
+        assert!(json.contains(r#""k":"v\n""#), "got: {json}");
+    }
+
+    #[test]
+    fn events_render_as_json() {
+        use super::super::journal::{EventJournal, EventKind};
+        let j = EventJournal::new();
+        j.publish(EventKind::WorkerFault, Some(2), 7);
+        j.publish(EventKind::CheckpointPublish, None, 4);
+        let json = render_events_json(&j.drain());
+        assert_eq!(
+            json,
+            "[{\"seq\":0,\"kind\":\"worker_fault\",\"shard\":2,\"detail\":7},\
+             {\"seq\":1,\"kind\":\"checkpoint_publish\",\"shard\":null,\"detail\":4}]"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_text() {
+        assert!(validate_exposition("no_value_here\n").is_err());
+        assert!(validate_exposition("1bad_name 3\n").is_err());
+        assert!(validate_exposition("m{l=unquoted} 3\n").is_err());
+        assert!(validate_exposition("# TYPE m counter\n# TYPE m counter\n").is_err());
+        // Non-cumulative buckets.
+        let bad = "h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n";
+        assert!(validate_exposition(bad).is_err());
+        // Missing +Inf terminator.
+        let bad = "h_bucket{le=\"1\"} 1\n";
+        assert!(validate_exposition(bad).is_err());
+    }
+}

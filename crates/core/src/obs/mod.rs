@@ -1,0 +1,313 @@
+//! Zero-dependency observability layer: wait-free metrics, a lock-free
+//! structured event journal, and Prometheus/JSON export.
+//!
+//! Three tiers, by how hot the touching code path is:
+//!
+//! 1. [`metrics`] — `Relaxed`-atomic [`Counter`]/[`Gauge`]/[`Histogram`]
+//!    handles. These are the only types the per-batch / per-record paths
+//!    may touch, and every update is wait-free. Enforced by the
+//!    `obs_hot_path` rule of `cargo run -p xtask -- lint`.
+//! 2. [`journal`] — a bounded lock-free MPMC [`EventJournal`] for rare
+//!    structured events (faults, rollbacks, checkpoints, period
+//!    rollovers), publishable from workers without blocking and drainable
+//!    without stopping them.
+//! 3. [`registry`] + [`export`] — the `Mutex`-guarded [`MetricsRegistry`]
+//!    and renderers, touched only at construction and export time.
+//!
+//! [`RuntimeObs`] bundles all three for the parallel runtime: one registry
+//! and journal, pre-registered process-wide handles, and per-shard handle
+//! bundles ([`ShardObs`]) for the worker threads.
+
+pub mod export;
+pub mod journal;
+pub mod metrics;
+pub mod registry;
+
+pub use export::{
+    render_events_json, render_json, render_json_snapshot, render_prometheus,
+    render_prometheus_snapshot, validate_exposition,
+};
+pub use journal::{Event, EventJournal, EventKind, DEFAULT_JOURNAL_CAPACITY};
+pub use metrics::{bucket_bound, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use registry::{
+    labels, FamilySnapshot, Labels, MetricKind, MetricValue, MetricsRegistry, SeriesSnapshot,
+};
+
+/// Wait-free metric handles for one shard of the parallel runtime. Handed
+/// to the producer (queue side) and worker (table side) at spawn;
+/// re-created handles after a worker restart share the same cells because
+/// registration is idempotent.
+#[derive(Debug, Clone)]
+pub struct ShardObs {
+    /// Shard index these handles are labeled with.
+    pub shard: u64,
+    /// `ltc_shard_queue_depth` — batches currently queued in the shard's
+    /// SPSC ring (producer-side estimate).
+    pub queue_depth: Gauge,
+    /// `ltc_shard_queue_stalls_total` — times the producer had to park
+    /// because the shard's ring was full (backpressure).
+    pub queue_stalls: Counter,
+    /// `ltc_shard_batches_total` — batches the worker has applied.
+    pub batches: Counter,
+    /// `ltc_shard_records_total` — records the worker has applied.
+    pub records: Counter,
+    /// `ltc_shard_batch_insert_ns` — per-batch `insert_batch` wall time.
+    pub batch_insert_ns: Histogram,
+    /// `ltc_worker_restarts_total` — times this shard's worker was
+    /// respawned after a fault.
+    pub restarts: Counter,
+    /// `ltc_worker_degradations_total` — times this shard exhausted its
+    /// restart budget and went lossy.
+    pub degradations: Counter,
+    /// `ltc_shard_records_lost_total` — records dropped on this shard
+    /// (salvage drains + lossy mode).
+    pub records_lost: Counter,
+}
+
+/// Shared observability state for one runtime: a metric registry, an event
+/// journal, and pre-registered process-wide handles. Cheap to share via
+/// `Arc`; all hot-path access goes through wait-free handles, never the
+/// registry lock.
+#[derive(Debug)]
+pub struct RuntimeObs {
+    registry: MetricsRegistry,
+    journal: EventJournal,
+    /// `ltc_periods_total` — period rollovers completed by the runtime.
+    pub periods: Counter,
+    /// `ltc_barrier_wait_ns` — wall time `end_period`/`finish` spent
+    /// waiting on the worker barrier.
+    pub barrier_wait_ns: Histogram,
+    /// `ltc_checkpoint_save_ns` — wall time of checkpoint serialisation +
+    /// atomic publish.
+    pub checkpoint_save_ns: Histogram,
+    /// `ltc_checkpoint_restore_ns` — wall time of checkpoint restore.
+    pub checkpoint_restore_ns: Histogram,
+    /// `ltc_checkpoint_publishes_total` — checkpoint generations published.
+    pub checkpoint_publishes: Counter,
+    /// `ltc_checkpoint_fallbacks_total` — restores that had to skip a
+    /// newest generation (corrupt/truncated) and fall back to an older one.
+    pub checkpoint_fallbacks: Counter,
+}
+
+impl Default for RuntimeObs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimeObs {
+    /// A fresh registry + journal with the process-wide families
+    /// registered.
+    pub fn new() -> Self {
+        let registry = MetricsRegistry::new();
+        let periods = registry.counter(
+            "ltc_periods_total",
+            "Period rollovers completed by the runtime.",
+            Labels::new(),
+        );
+        let barrier_wait_ns = registry.histogram(
+            "ltc_barrier_wait_ns",
+            "Wall time end_period/finish spent waiting on the worker barrier (ns).",
+            Labels::new(),
+        );
+        let checkpoint_save_ns = registry.histogram(
+            "ltc_checkpoint_save_ns",
+            "Wall time of checkpoint serialisation and atomic publish (ns).",
+            Labels::new(),
+        );
+        let checkpoint_restore_ns = registry.histogram(
+            "ltc_checkpoint_restore_ns",
+            "Wall time of checkpoint restore (ns).",
+            Labels::new(),
+        );
+        let checkpoint_publishes = registry.counter(
+            "ltc_checkpoint_publishes_total",
+            "Checkpoint generations published.",
+            Labels::new(),
+        );
+        let checkpoint_fallbacks = registry.counter(
+            "ltc_checkpoint_fallbacks_total",
+            "Restores that skipped a damaged newest generation.",
+            Labels::new(),
+        );
+        Self {
+            registry,
+            journal: EventJournal::new(),
+            periods,
+            barrier_wait_ns,
+            checkpoint_save_ns,
+            checkpoint_restore_ns,
+            checkpoint_publishes,
+            checkpoint_fallbacks,
+        }
+    }
+
+    /// The underlying registry (for export or extra registrations).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The event journal (drain with [`EventJournal::drain`]).
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// Register (idempotently) and return the wait-free handle bundle for
+    /// one shard. Called at spawn/restart time, never on the hot path.
+    pub fn shard(&self, shard: u64) -> ShardObs {
+        let l = || labels([("shard", shard.to_string())]);
+        ShardObs {
+            shard,
+            queue_depth: self.registry.gauge(
+                "ltc_shard_queue_depth",
+                "Batches queued in the shard's SPSC ring.",
+                l(),
+            ),
+            queue_stalls: self.registry.counter(
+                "ltc_shard_queue_stalls_total",
+                "Producer parks due to a full shard ring (backpressure).",
+                l(),
+            ),
+            batches: self.registry.counter(
+                "ltc_shard_batches_total",
+                "Batches applied by the shard worker.",
+                l(),
+            ),
+            records: self.registry.counter(
+                "ltc_shard_records_total",
+                "Records applied by the shard worker.",
+                l(),
+            ),
+            batch_insert_ns: self.registry.histogram(
+                "ltc_shard_batch_insert_ns",
+                "Per-batch insert_batch wall time (ns).",
+                l(),
+            ),
+            restarts: self.registry.counter(
+                "ltc_worker_restarts_total",
+                "Worker respawns after a fault.",
+                l(),
+            ),
+            degradations: self.registry.counter(
+                "ltc_worker_degradations_total",
+                "Shards degraded to lossy mode after exhausting restarts.",
+                l(),
+            ),
+            records_lost: self.registry.counter(
+                "ltc_shard_records_lost_total",
+                "Records dropped on this shard (salvage drains + lossy mode).",
+                l(),
+            ),
+        }
+    }
+
+    /// Register (idempotently) the fault counter for one fault kind:
+    /// `ltc_worker_faults_total{kind="…"}`. Supervisor path — may take the
+    /// registry lock.
+    pub fn fault_counter(&self, kind: &str) -> Counter {
+        self.registry.counter(
+            "ltc_worker_faults_total",
+            "Worker faults by kind.",
+            labels([("kind", kind)]),
+        )
+    }
+
+    /// Record a worker fault: bumps the per-kind counter and journals a
+    /// [`EventKind::WorkerFault`] event. Returns the event's sequence
+    /// number (if the journal had room).
+    pub fn note_fault(&self, shard: u64, kind: &str, kind_code: u64) -> Option<u64> {
+        self.fault_counter(kind).inc();
+        self.journal
+            .publish(EventKind::WorkerFault, Some(shard), kind_code)
+    }
+
+    /// Record a rollback-to-snapshot during recovery.
+    pub fn note_rollback(&self, shard: u64, restarts: u64) -> Option<u64> {
+        self.journal
+            .publish(EventKind::Rollback, Some(shard), restarts)
+    }
+
+    /// Record a shard degrading to lossy mode.
+    pub fn note_degradation(&self, shard: u64, records_lost: u64) -> Option<u64> {
+        self.journal
+            .publish(EventKind::Degradation, Some(shard), records_lost)
+    }
+
+    /// Record a completed period rollover (runtime-wide).
+    pub fn note_period_rollover(&self, periods: u64) -> Option<u64> {
+        self.periods.inc();
+        self.journal
+            .publish(EventKind::PeriodRollover, None, periods)
+    }
+
+    /// Record a published checkpoint generation.
+    pub fn note_checkpoint_publish(&self, generation: u64, elapsed_ns: u64) -> Option<u64> {
+        self.checkpoint_publishes.inc();
+        self.checkpoint_save_ns.record(elapsed_ns);
+        self.journal
+            .publish(EventKind::CheckpointPublish, None, generation)
+    }
+
+    /// Record a completed restore (from `generation`, after any fallback).
+    pub fn note_checkpoint_restore(&self, generation: u64, elapsed_ns: u64) -> Option<u64> {
+        self.checkpoint_restore_ns.record(elapsed_ns);
+        self.journal
+            .publish(EventKind::CheckpointRestore, None, generation)
+    }
+
+    /// Render the registry in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.registry)
+    }
+
+    /// Render the registry as a JSON document.
+    pub fn render_json(&self) -> String {
+        render_json(&self.registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_obs_registers_expected_families() {
+        let obs = RuntimeObs::new();
+        let shard = obs.shard(3);
+        shard.batches.inc();
+        shard.records.add(256);
+        obs.note_fault(3, "panic", 0);
+        obs.note_period_rollover(1);
+        let text = obs.render_prometheus();
+        assert!(text.contains("ltc_shard_batches_total{shard=\"3\"} 1"));
+        assert!(text.contains("ltc_shard_records_total{shard=\"3\"} 256"));
+        assert!(text.contains("ltc_worker_faults_total{kind=\"panic\"} 1"));
+        assert!(text.contains("ltc_periods_total 1"));
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn shard_handles_are_idempotent_across_restart() {
+        let obs = RuntimeObs::new();
+        let first = obs.shard(0);
+        first.restarts.inc();
+        let respawned = obs.shard(0);
+        respawned.restarts.inc();
+        assert_eq!(first.restarts.get(), 2, "same cells after respawn");
+    }
+
+    #[test]
+    fn note_helpers_journal_events_with_seqs() {
+        let obs = RuntimeObs::new();
+        let a = obs.note_fault(1, "panic", 0).unwrap();
+        let b = obs.note_rollback(1, 1).unwrap();
+        let c = obs.note_degradation(1, 42).unwrap();
+        assert!(a < b && b < c, "monotonic seqs");
+        let events = obs.journal().drain();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::WorkerFault);
+        assert_eq!(events[1].kind, EventKind::Rollback);
+        assert_eq!(events[2].kind, EventKind::Degradation);
+        assert_eq!(events[2].detail, 42);
+    }
+}

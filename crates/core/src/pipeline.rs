@@ -63,8 +63,10 @@
 //! query observes every record inserted before it.
 
 use crate::config::{FaultPolicy, LtcConfig};
+use crate::obs::{RuntimeObs, ShardObs};
 use crate::sharded::{shard_of_id, ShardedLtc};
 use crate::spsc::SpscRing;
+use crate::stats::LtcStats;
 use crate::table::Ltc;
 use ltc_common::{
     top_k_of, BatchStreamProcessor, Estimate, ItemId, MemoryUsage, SignificanceQuery,
@@ -72,6 +74,14 @@ use ltc_common::{
 };
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Nanoseconds elapsed since `start`, clamped into `u64` (580 years — the
+/// clamp is for the type, not a reachable value).
+#[inline]
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Records accumulated per shard before a batch is handed to its worker.
 pub const DEFAULT_BATCH_SIZE: usize = 256;
@@ -109,18 +119,63 @@ impl Ctrl {
     }
 }
 
+/// How a worker died — the typed half of a [`WorkerFault`], also used as
+/// the `kind` label of the `ltc_worker_faults_total` metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The worker's message handler panicked (caught by `catch_unwind`).
+    Panic,
+    /// The OS refused to spawn a replacement thread.
+    SpawnFailed,
+    /// The worker exited without leaving a fault report (should not
+    /// happen; kept typed so it is visible if it ever does).
+    Silent,
+}
+
+impl FaultKind {
+    /// Stable lowercase name, used as a metric label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::SpawnFailed => "spawn_failed",
+            FaultKind::Silent => "silent",
+        }
+    }
+
+    /// Stable numeric code, carried in journal events' `detail` word.
+    pub fn code(self) -> u64 {
+        match self {
+            FaultKind::Panic => 0,
+            FaultKind::SpawnFailed => 1,
+            FaultKind::Silent => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A typed report of one worker death, surfaced to the coordinator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkerFault {
     /// Which shard's worker died.
     pub shard: usize,
+    /// How it died.
+    pub kind: FaultKind,
     /// The panic message (or a description of the spawn failure).
     pub message: String,
 }
 
 impl std::fmt::Display for WorkerFault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "shard {} worker died: {}", self.shard, self.message)
+        write!(
+            f,
+            "shard {} worker died ({}): {}",
+            self.shard, self.kind, self.message
+        )
     }
 }
 
@@ -165,15 +220,44 @@ pub enum ShardHealth {
         restarts: u32,
         /// Lower bound on records dropped during past recoveries.
         records_lost: u64,
+        /// Journal sequence number of this shard's most recent
+        /// [`crate::obs::EventKind::WorkerFault`] event — correlate with
+        /// drained journal events. `None` until the shard first faults
+        /// (or when the runtime was built without observability).
+        last_fault_seq: Option<u64>,
     },
     /// The restart budget is exhausted; the shard serves its last-good
     /// state and drops new records.
     Lossy {
         /// The terminal fault.
         fault: WorkerFault,
+        /// Restarts consumed before the budget ran out.
+        restarts: u32,
         /// Lower bound on records dropped (recoveries + post-degradation).
         records_lost: u64,
+        /// Journal sequence number of the most recent fault event (see
+        /// the `Healthy` variant).
+        last_fault_seq: Option<u64>,
     },
+}
+
+impl ShardHealth {
+    /// Restarts consumed, whatever the state.
+    pub fn restarts(&self) -> u32 {
+        match self {
+            ShardHealth::Healthy { restarts, .. } | ShardHealth::Lossy { restarts, .. } => {
+                *restarts
+            }
+        }
+    }
+
+    /// Journal seq of the most recent fault event on this shard, if any.
+    pub fn last_fault_seq(&self) -> Option<u64> {
+        match self {
+            ShardHealth::Healthy { last_fault_seq, .. }
+            | ShardHealth::Lossy { last_fault_seq, .. } => *last_fault_seq,
+        }
+    }
 }
 
 /// Poison-tolerant lock. A worker that panicked is surfaced by the typed
@@ -289,6 +373,8 @@ struct WorkerCtx {
     fault: Arc<Mutex<Option<WorkerFault>>>,
     last_good: Arc<Mutex<Vec<u8>>>,
     checkpoint_every: u32,
+    /// Wait-free metric handles for this shard (`None` = metrics off).
+    obs: Option<ShardObs>,
 }
 
 /// One shard's routing lane: the batch under construction, the channel to
@@ -313,6 +399,10 @@ struct Lane {
     lossy: Option<WorkerFault>,
     /// Lower bound on records dropped (salvaged batches + lossy routing).
     records_lost: u64,
+    /// Wait-free metric handles for this shard (`None` = metrics off).
+    obs: Option<ShardObs>,
+    /// Journal seq of this shard's most recent fault event.
+    last_fault_seq: Option<u64>,
 }
 
 struct Inner {
@@ -326,6 +416,11 @@ pub struct ParallelLtc {
     shards: Vec<Arc<Mutex<Ltc>>>,
     batch_size: usize,
     policy: FaultPolicy,
+    /// Shared observability state (`None` = metrics off, for overhead
+    /// comparison; the default constructors enable it).
+    obs: Option<Arc<RuntimeObs>>,
+    /// Periods completed (drives the rollover journal events).
+    periods: u64,
 }
 
 impl std::fmt::Debug for ParallelLtc {
@@ -347,6 +442,7 @@ fn spawn_worker(ctx: WorkerCtx) -> Result<JoinHandle<()>, WorkerFault> {
         .spawn(move || worker_loop(&ctx))
         .map_err(|e| WorkerFault {
             shard: shard_index,
+            kind: FaultKind::SpawnFailed,
             message: format!("spawn failed: {e}"),
         })
 }
@@ -374,7 +470,20 @@ fn worker_loop(ctx: &WorkerCtx) {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match msg {
             Msg::Batch(ids) => {
                 fail_point!("worker::batch");
+                // Per-batch timing only — the per-record path inside
+                // `insert_batch` stays untouched, so the instrumentation
+                // cost is two clock reads amortised over the whole batch.
+                let start = ctx.obs.as_ref().map(|_| Instant::now());
                 lock_recover(&ctx.shard).insert_batch(&ids);
+                if let (Some(obs), Some(start)) = (&ctx.obs, start) {
+                    obs.batch_insert_ns.record(elapsed_ns(start));
+                    obs.batches.inc();
+                    obs.records.add(ids.len() as u64);
+                    // `queue_depth` is deliberately NOT updated here: the
+                    // producer already refreshes it on every push, and a
+                    // second writer on this side would ping-pong the gauge's
+                    // cache line between cores on every batch.
+                }
             }
             Msg::EndPeriod => {
                 fail_point!("worker::end_period");
@@ -402,6 +511,7 @@ fn worker_loop(ctx: &WorkerCtx) {
             // observes `dead` only after the report is in place.
             *lock_recover(&ctx.fault) = Some(WorkerFault {
                 shard: ctx.shard_index,
+                kind: FaultKind::Panic,
                 message: panic_message(payload.as_ref()),
             });
             ctx.queue.poison();
@@ -423,6 +533,9 @@ fn route_one(lane: &mut Lane, batch_size: usize, id: ItemId) -> bool {
     if lane.lossy.is_some() {
         // Degraded: the record is dropped, but counted.
         lane.records_lost = lane.records_lost.saturating_add(1);
+        if let Some(obs) = &lane.obs {
+            obs.records_lost.inc();
+        }
         return true;
     }
     lane.pending.push(id);
@@ -442,12 +555,39 @@ fn flush_lane(lane: &mut Lane, batch_size: usize) -> bool {
     let len = batch.len() as u64;
     lane.sent = lane.sent.saturating_add(1);
     if lane.queue.push(Msg::Batch(batch)) {
+        if let Some(obs) = &lane.obs {
+            obs.queue_depth.set(lane.queue.len() as u64);
+        }
         true
     } else {
         // The ring dropped the batch: the worker is dead and those
         // records die with the rollback anyway. Count them.
         lane.records_lost = lane.records_lost.saturating_add(len);
+        if let Some(obs) = &lane.obs {
+            obs.records_lost.add(len);
+        }
         false
+    }
+}
+
+/// A fresh lane ring, with the shard's stall counter attached when the
+/// runtime is observable (so restarted lanes keep counting backpressure
+/// into the same cell).
+fn fresh_ring(obs: Option<&ShardObs>) -> SpscRing<Msg> {
+    let ring = SpscRing::with_capacity(RING_CAPACITY);
+    match obs {
+        Some(shard_obs) => ring.with_stall_counter(shard_obs.queue_stalls.clone()),
+        None => ring,
+    }
+}
+
+/// Count + journal a shard's degradation to lossy mode.
+fn note_degradation(lane: &Lane, shard_index: usize, obs: Option<&RuntimeObs>) {
+    if let Some(shard_obs) = &lane.obs {
+        shard_obs.degradations.inc();
+    }
+    if let Some(o) = obs {
+        o.note_degradation(shard_index as u64, lane.records_lost);
     }
 }
 
@@ -462,6 +602,7 @@ fn supervise_lane(
     shard_index: usize,
     policy: &FaultPolicy,
     resend: Option<Ctrl>,
+    obs: Option<&RuntimeObs>,
 ) {
     if lane.lossy.is_some() {
         return;
@@ -475,15 +616,28 @@ fn supervise_lane(
         .take()
         .unwrap_or_else(|| WorkerFault {
             shard: shard_index,
+            kind: FaultKind::Silent,
             message: "worker exited without reporting a fault".to_string(),
         });
+    // Observe the fault before acting on it, so the journal seq exists by
+    // the time health() can report the new state.
+    if let Some(o) = obs {
+        if let Some(seq) = o.note_fault(shard_index as u64, fault.kind.name(), fault.kind.code()) {
+            lane.last_fault_seq = Some(seq);
+        }
+    }
     // 2. Salvage the backlog. These batches were never applied; they are
     //    part of the rollback loss, so count them. (Joining the worker
     //    first transferred the consumer role to this thread.)
+    let mut salvaged: u64 = 0;
     for msg in lane.queue.drain() {
         if let Msg::Batch(ids) = msg {
-            lane.records_lost = lane.records_lost.saturating_add(ids.len() as u64);
+            salvaged = salvaged.saturating_add(ids.len() as u64);
         }
+    }
+    lane.records_lost = lane.records_lost.saturating_add(salvaged);
+    if let Some(shard_obs) = &lane.obs {
+        shard_obs.records_lost.add(salvaged);
     }
     // 3. Roll the shard back to the last checkpoint (a period boundary).
     //    The snapshot was produced by `to_snapshot` on this very table
@@ -493,21 +647,28 @@ fn supervise_lane(
         let snapshot = lock_recover(&lane.last_good);
         let _ = table.restore_snapshot(&snapshot);
     }
+    if let Some(o) = obs {
+        o.note_rollback(shard_index as u64, lane.restarts as u64);
+    }
     // 4. Budget check: degrade to lossy once restarts are exhausted.
     if lane.restarts >= policy.max_restarts {
         lane.queue.poison();
         lane.sent = 0;
         lane.lossy = Some(fault);
+        note_degradation(lane, shard_index, obs);
         return;
     }
     lane.restarts = lane.restarts.saturating_add(1);
+    if let Some(shard_obs) = &lane.obs {
+        shard_obs.restarts.inc();
+    }
     let backoff = policy.backoff_for(lane.restarts);
     if !backoff.is_zero() {
         std::thread::sleep(backoff);
     }
     // 5. Fresh channel, barrier and fault slot; respawn from the restored
     //    shard state.
-    lane.queue = Arc::new(SpscRing::with_capacity(RING_CAPACITY));
+    lane.queue = Arc::new(fresh_ring(lane.obs.as_ref()));
     lane.progress = Arc::new(Progress::new());
     lane.fault = Arc::new(Mutex::new(None));
     lane.sent = 0;
@@ -519,12 +680,21 @@ fn supervise_lane(
         fault: Arc::clone(&lane.fault),
         last_good: Arc::clone(&lane.last_good),
         checkpoint_every: policy.checkpoint_every_periods,
+        obs: lane.obs.clone(),
     };
     match spawn_worker(ctx) {
         Ok(handle) => lane.worker = Some(handle),
         Err(fault) => {
+            if let Some(o) = obs {
+                if let Some(seq) =
+                    o.note_fault(shard_index as u64, fault.kind.name(), fault.kind.code())
+                {
+                    lane.last_fault_seq = Some(seq);
+                }
+            }
             lane.queue.poison();
             lane.lossy = Some(fault);
+            note_degradation(lane, shard_index, obs);
             return;
         }
     }
@@ -555,12 +725,35 @@ impl ParallelLtc {
     }
 
     /// Full-control constructor: explicit batch size and supervision
-    /// policy (retry budget, backoff, checkpoint cadence).
+    /// policy (retry budget, backoff, checkpoint cadence). Observability
+    /// is on (a fresh [`RuntimeObs`]); use
+    /// [`with_observability`](ParallelLtc::with_observability) to share a
+    /// registry or to turn metrics off.
     pub fn with_fault_policy(
         config: LtcConfig,
         num_shards: usize,
         batch_size: usize,
         policy: FaultPolicy,
+    ) -> Self {
+        Self::with_observability(
+            config,
+            num_shards,
+            batch_size,
+            policy,
+            Some(Arc::new(RuntimeObs::new())),
+        )
+    }
+
+    /// [`with_fault_policy`](ParallelLtc::with_fault_policy) with explicit
+    /// observability: pass a shared [`RuntimeObs`] to aggregate several
+    /// runtimes into one registry, or `None` to run with metrics off (the
+    /// mode the `obs_overhead` bench compares against).
+    pub fn with_observability(
+        config: LtcConfig,
+        num_shards: usize,
+        batch_size: usize,
+        policy: FaultPolicy,
+        obs: Option<Arc<RuntimeObs>>,
     ) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
         // Delegate shard construction so seeding matches ShardedLtc exactly.
@@ -573,7 +766,8 @@ impl ParallelLtc {
             .iter()
             .enumerate()
             .map(|(i, shard)| {
-                let queue = Arc::new(SpscRing::with_capacity(RING_CAPACITY));
+                let shard_obs = obs.as_ref().map(|o| o.shard(i as u64));
+                let queue = Arc::new(fresh_ring(shard_obs.as_ref()));
                 let progress = Arc::new(Progress::new());
                 let fault = Arc::new(Mutex::new(None));
                 // The initial checkpoint is the pristine shard: a worker
@@ -588,6 +782,7 @@ impl ParallelLtc {
                     fault: Arc::clone(&fault),
                     last_good: Arc::clone(&last_good),
                     checkpoint_every: policy.checkpoint_every_periods,
+                    obs: shard_obs.clone(),
                 };
                 let worker = spawn_worker(ctx).expect("spawn shard worker"); // lint:allow(no_panic): startup-only, cannot be handled locally
                 Lane {
@@ -601,6 +796,8 @@ impl ParallelLtc {
                     restarts: 0,
                     lossy: None,
                     records_lost: 0,
+                    obs: shard_obs,
+                    last_fault_seq: None,
                 }
             })
             .collect();
@@ -609,6 +806,8 @@ impl ParallelLtc {
             shards,
             batch_size,
             policy,
+            obs,
+            periods: 0,
         }
     }
 
@@ -625,6 +824,33 @@ impl ParallelLtc {
     /// The supervision policy this runtime was built with.
     pub fn fault_policy(&self) -> FaultPolicy {
         self.policy
+    }
+
+    /// The runtime's observability state (registry + journal), or `None`
+    /// when built with metrics off. Render exports with
+    /// [`RuntimeObs::render_prometheus`] / [`RuntimeObs::render_json`];
+    /// drain events with `obs.journal().drain()`.
+    pub fn obs(&self) -> Option<&Arc<RuntimeObs>> {
+        self.obs.as_ref()
+    }
+
+    /// Merged operational counters across every shard table, after
+    /// draining the pipeline (so the counters cover every record routed
+    /// before the call). Lossy shards contribute their last-good state.
+    /// `periods` reports the stream's period count (see
+    /// [`ShardedLtc::stats`]).
+    pub fn stats(&self) -> LtcStats {
+        let _ = self.sync();
+        let mut merged: LtcStats = self
+            .shards
+            .iter()
+            .map(|shard| lock_recover(shard).stats())
+            .sum();
+        merged.periods = merged
+            .periods
+            .checked_div(self.shards.len() as u64)
+            .unwrap_or(0);
+        merged
     }
 
     /// Statically exclusive access to the lanes (no runtime locking).
@@ -645,6 +871,7 @@ impl ParallelLtc {
         let batch_size = self.batch_size;
         let shard_index = shard_of_id(id, n);
         let policy = self.policy;
+        let obs = self.obs.clone();
         let shards = &self.shards;
         let inner = match self.inner.get_mut() {
             Ok(inner) => inner,
@@ -655,7 +882,7 @@ impl ParallelLtc {
             (inner.lanes.get_mut(shard_index), shards.get(shard_index))
         {
             if !route_one(lane, batch_size, id) {
-                supervise_lane(lane, shard, shard_index, &policy, None);
+                supervise_lane(lane, shard, shard_index, &policy, None, obs.as_deref());
             }
         }
     }
@@ -666,6 +893,7 @@ impl ParallelLtc {
         let n = self.shards.len();
         let batch_size = self.batch_size;
         let policy = self.policy;
+        let obs = self.obs.clone();
         let shards = &self.shards;
         let inner = match self.inner.get_mut() {
             Ok(inner) => inner,
@@ -677,7 +905,7 @@ impl ParallelLtc {
                 (inner.lanes.get_mut(shard_index), shards.get(shard_index))
             {
                 if !route_one(lane, batch_size, id) {
-                    supervise_lane(lane, shard, shard_index, &policy, None);
+                    supervise_lane(lane, shard, shard_index, &policy, None, obs.as_deref());
                 }
             }
         }
@@ -693,7 +921,14 @@ impl ParallelLtc {
     /// [`RuntimeError::ShardsLost`] if any shard is lossy (the period
     /// still closed on every live shard; the runtime stays usable).
     pub fn end_period(&mut self) -> Result<(), RuntimeError> {
-        self.broadcast_and_wait(Ctrl::EndPeriod)
+        let result = self.broadcast_and_wait(Ctrl::EndPeriod);
+        // The period closed on every live shard even when some are lossy,
+        // so the rollover is journalled in both cases.
+        self.periods = self.periods.saturating_add(1);
+        if let Some(obs) = &self.obs {
+            obs.note_period_rollover(self.periods);
+        }
+        result
     }
 
     /// Flush + finalize every shard (harvest last-period CLOCK flags), with
@@ -718,15 +953,29 @@ impl ParallelLtc {
         for (shard_index, lane) in inner.lanes.iter_mut().enumerate() {
             if let Some(shard) = self.shards.get(shard_index) {
                 if !flush_lane(lane, self.batch_size) {
-                    supervise_lane(lane, shard, shard_index, &self.policy, None);
+                    supervise_lane(
+                        lane,
+                        shard,
+                        shard_index,
+                        &self.policy,
+                        None,
+                        self.obs.as_deref(),
+                    );
                 }
             }
         }
+        let start = self.obs.as_ref().map(|_| Instant::now());
         self.wait_all(inner, None);
+        if let (Some(obs), Some(start)) = (&self.obs, start) {
+            obs.barrier_wait_ns.record(elapsed_ns(start));
+        }
         runtime_result(inner)
     }
 
-    /// Per-shard supervision state.
+    /// Per-shard supervision state: restarts consumed, records lost, the
+    /// terminal fault of a lossy shard, and the journal sequence number of
+    /// the shard's most recent fault event (so operators can line health
+    /// up with drained [`crate::obs::Event`]s).
     pub fn health(&self) -> Vec<ShardHealth> {
         let inner = lock_recover(&self.inner);
         inner
@@ -735,11 +984,14 @@ impl ParallelLtc {
             .map(|lane| match &lane.lossy {
                 Some(fault) => ShardHealth::Lossy {
                     fault: fault.clone(),
+                    restarts: lane.restarts,
                     records_lost: lane.records_lost,
+                    last_fault_seq: lane.last_fault_seq,
                 },
                 None => ShardHealth::Healthy {
                     restarts: lane.restarts,
                     records_lost: lane.records_lost,
+                    last_fault_seq: lane.last_fault_seq,
                 },
             })
             .collect()
@@ -761,7 +1013,14 @@ impl ParallelLtc {
                 match lane.progress.wait_for(target) {
                     Ok(()) => break,
                     Err(BarrierPoisoned) => {
-                        supervise_lane(lane, shard, shard_index, &self.policy, resend);
+                        supervise_lane(
+                            lane,
+                            shard,
+                            shard_index,
+                            &self.policy,
+                            resend,
+                            self.obs.as_deref(),
+                        );
                     }
                 }
             }
@@ -773,6 +1032,7 @@ impl ParallelLtc {
     fn broadcast_and_wait(&mut self, ctrl: Ctrl) -> Result<(), RuntimeError> {
         let policy = self.policy;
         let batch_size = self.batch_size;
+        let obs = self.obs.clone();
         let shards = &self.shards;
         let inner = match self.inner.get_mut() {
             Ok(inner) => inner,
@@ -783,17 +1043,28 @@ impl ParallelLtc {
                 continue;
             };
             if !flush_lane(lane, batch_size) {
-                supervise_lane(lane, shard, shard_index, &policy, None);
+                supervise_lane(lane, shard, shard_index, &policy, None, obs.as_deref());
             }
             if lane.lossy.is_some() {
                 continue;
             }
             lane.sent = lane.sent.saturating_add(1);
             if !lane.queue.push(ctrl.to_msg()) {
-                supervise_lane(lane, shard, shard_index, &policy, Some(ctrl));
+                supervise_lane(
+                    lane,
+                    shard,
+                    shard_index,
+                    &policy,
+                    Some(ctrl),
+                    obs.as_deref(),
+                );
             }
         }
+        let start = obs.as_ref().map(|_| Instant::now());
         self.wait_all_mut(ctrl);
+        if let (Some(obs), Some(start)) = (&obs, start) {
+            obs.barrier_wait_ns.record(elapsed_ns(start));
+        }
         runtime_result(self.inner_mut())
     }
 
@@ -801,6 +1072,7 @@ impl ParallelLtc {
     /// `self.inner` through the same reference).
     fn wait_all_mut(&mut self, ctrl: Ctrl) {
         let policy = self.policy;
+        let obs = self.obs.clone();
         let shards = &self.shards;
         let inner = match self.inner.get_mut() {
             Ok(inner) => inner,
@@ -818,7 +1090,14 @@ impl ParallelLtc {
                 match lane.progress.wait_for(target) {
                     Ok(()) => break,
                     Err(BarrierPoisoned) => {
-                        supervise_lane(lane, shard, shard_index, &policy, Some(ctrl));
+                        supervise_lane(
+                            lane,
+                            shard,
+                            shard_index,
+                            &policy,
+                            Some(ctrl),
+                            obs.as_deref(),
+                        );
                     }
                 }
             }
@@ -920,6 +1199,7 @@ impl ParallelLtc {
     pub(crate) fn reset_after_restore(&mut self) {
         let policy = self.policy;
         let batch_size = self.batch_size;
+        let obs = self.obs.clone();
         let shards = &self.shards;
         let inner = match self.inner.get_mut() {
             Ok(inner) => inner,
@@ -932,9 +1212,10 @@ impl ParallelLtc {
             *lock_recover(&lane.last_good) = lock_recover(shard).to_snapshot();
             lane.restarts = 0;
             lane.records_lost = 0;
+            lane.last_fault_seq = None;
             lane.pending = Vec::with_capacity(batch_size);
             if lane.lossy.take().is_some() {
-                lane.queue = Arc::new(SpscRing::with_capacity(RING_CAPACITY));
+                lane.queue = Arc::new(fresh_ring(lane.obs.as_ref()));
                 lane.progress = Arc::new(Progress::new());
                 lane.fault = Arc::new(Mutex::new(None));
                 lane.sent = 0;
@@ -946,10 +1227,20 @@ impl ParallelLtc {
                     fault: Arc::clone(&lane.fault),
                     last_good: Arc::clone(&lane.last_good),
                     checkpoint_every: policy.checkpoint_every_periods,
+                    obs: lane.obs.clone(),
                 };
                 match spawn_worker(ctx) {
                     Ok(handle) => lane.worker = Some(handle),
                     Err(fault) => {
+                        if let Some(o) = &obs {
+                            if let Some(seq) = o.note_fault(
+                                shard_index as u64,
+                                fault.kind.name(),
+                                fault.kind.code(),
+                            ) {
+                                lane.last_fault_seq = Some(seq);
+                            }
+                        }
                         lane.queue.poison();
                         lane.lossy = Some(fault);
                     }
@@ -1135,11 +1426,16 @@ mod tests {
             vec![
                 ShardHealth::Healthy {
                     restarts: 0,
-                    records_lost: 0
+                    records_lost: 0,
+                    last_fault_seq: None,
                 };
                 2
             ]
         );
+        for h in p.health() {
+            assert_eq!(h.restarts(), 0);
+            assert_eq!(h.last_fault_seq(), None);
+        }
     }
 
     #[test]
@@ -1168,16 +1464,130 @@ mod tests {
     }
 
     #[test]
-    fn worker_fault_displays_shard_and_message() {
+    fn worker_fault_displays_shard_kind_and_message() {
         let fault = WorkerFault {
             shard: 3,
+            kind: FaultKind::Panic,
             message: "boom".to_string(),
         };
-        assert_eq!(fault.to_string(), "shard 3 worker died: boom");
+        assert_eq!(fault.to_string(), "shard 3 worker died (panic): boom");
         let err = RuntimeError::ShardsLost {
             faults: vec![fault],
         };
         assert!(err.to_string().contains("1 shard(s) lossy"));
-        assert!(err.to_string().contains("shard 3 worker died: boom"));
+        assert!(err
+            .to_string()
+            .contains("shard 3 worker died (panic): boom"));
+    }
+
+    #[test]
+    fn fault_kinds_have_stable_names_and_codes() {
+        let kinds = [FaultKind::Panic, FaultKind::SpawnFailed, FaultKind::Silent];
+        let mut seen = std::collections::HashSet::new();
+        for kind in kinds {
+            assert!(seen.insert(kind.code()), "codes are distinct");
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    #[test]
+    fn observability_is_on_by_default_and_sees_traffic() {
+        let mut p = ParallelLtc::with_batch_size(config(), 2, 16);
+        for i in 0..300u64 {
+            p.insert(i % 30);
+        }
+        p.end_period().unwrap();
+        p.sync().unwrap();
+        let obs = Arc::clone(p.obs().expect("default constructors enable obs"));
+        let text = obs.render_prometheus();
+        crate::obs::validate_exposition(&text).unwrap();
+        assert!(
+            text.contains("ltc_shard_records_total"),
+            "per-shard record counters registered: {text}"
+        );
+        assert_eq!(obs.periods.get(), 1);
+        // Both shards together saw all 300 records.
+        let recorded: u64 = obs
+            .registry()
+            .snapshot()
+            .into_iter()
+            .filter(|f| f.name == "ltc_shard_records_total")
+            .flat_map(|f| f.series)
+            .map(|s| match s.value {
+                crate::obs::MetricValue::Counter(v) => v,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(recorded, 300);
+        // The barrier wait was measured at least twice (end_period + sync).
+        assert!(obs.barrier_wait_ns.count() >= 2);
+        // Rollover event is in the journal.
+        let events = obs.journal().drain();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == crate::obs::EventKind::PeriodRollover));
+    }
+
+    #[test]
+    fn observability_off_runs_without_metrics() {
+        let mut p = ParallelLtc::with_observability(config(), 2, 16, FaultPolicy::default(), None);
+        for i in 0..200u64 {
+            p.insert(i);
+        }
+        p.end_period().unwrap();
+        assert!(p.obs().is_none());
+        assert_eq!(p.stats().inserts, 200, "stats work without obs");
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards_after_drain() {
+        let mut p = ParallelLtc::with_batch_size(config(), 3, 32);
+        for i in 0..500u64 {
+            p.insert(i % 50);
+        }
+        p.end_period().unwrap();
+        // 500 routed records are visible even though batches were pending
+        // when stats() was called (it drains first).
+        let stats = p.stats();
+        assert_eq!(stats.inserts, 500);
+        assert_eq!(stats.periods, 1);
+        // Sharded reference sees identical merged counters.
+        let reference = {
+            let mut r = ShardedLtc::new(config(), 3);
+            for i in 0..500u64 {
+                r.insert(i % 50);
+            }
+            r.end_period();
+            r.stats()
+        };
+        assert_eq!(stats, reference);
+    }
+
+    #[test]
+    fn shared_registry_aggregates_two_runtimes() {
+        let obs = Arc::new(RuntimeObs::new());
+        let mut a = ParallelLtc::with_observability(
+            config(),
+            1,
+            8,
+            FaultPolicy::default(),
+            Some(Arc::clone(&obs)),
+        );
+        let mut b = ParallelLtc::with_observability(
+            config(),
+            1,
+            8,
+            FaultPolicy::default(),
+            Some(Arc::clone(&obs)),
+        );
+        for i in 0..64u64 {
+            a.insert(i);
+            b.insert(i);
+        }
+        a.sync().unwrap();
+        b.sync().unwrap();
+        let text = obs.render_prometheus();
+        crate::obs::validate_exposition(&text).unwrap();
+        assert!(text.contains("ltc_shard_records_total{shard=\"0\"} 128"));
     }
 }

@@ -23,6 +23,7 @@
 //! [`ParallelLtc`]: crate::pipeline::ParallelLtc
 
 use crate::config::LtcConfig;
+use crate::stats::LtcStats;
 use crate::table::Ltc;
 use ltc_common::{
     top_k_of, BatchStreamProcessor, Estimate, ItemId, MemoryUsage, SignificanceQuery,
@@ -92,6 +93,20 @@ impl ShardedLtc {
     /// Access a shard.
     pub fn shard(&self, i: usize) -> &Ltc {
         &self.shards[i]
+    }
+
+    /// Merged operational counters across every shard: the record-path
+    /// counters (`inserts`, `hits`, `fills`, `decrements`, `admissions`,
+    /// `harvests`) sum, while `periods` reports the *stream's* period
+    /// count — every shard crosses the same boundaries, so the per-shard
+    /// counts are averaged rather than summed.
+    pub fn stats(&self) -> LtcStats {
+        let mut merged: LtcStats = self.shards.iter().map(Ltc::stats).sum();
+        merged.periods = merged
+            .periods
+            .checked_div(self.shards.len() as u64)
+            .unwrap_or(0);
+        merged
     }
 
     /// Finalize every shard (harvest last-period flags).
@@ -260,6 +275,24 @@ mod tests {
     fn memory_sums_over_shards() {
         let t = ShardedLtc::new(config(), 3);
         assert_eq!(t.memory_bytes(), 3 * 32 * 4 * 16);
+    }
+
+    #[test]
+    fn stats_merge_across_shards() {
+        let mut t = ShardedLtc::new(config(), 4);
+        for i in 0..500u64 {
+            t.insert(i % 40);
+        }
+        t.end_period();
+        t.end_period();
+        let merged = t.stats();
+        assert_eq!(merged.inserts, 500, "record counters sum across shards");
+        assert_eq!(merged.periods, 2, "periods report the stream's count");
+        // The merged view equals folding the per-shard stats by hand.
+        let by_hand: LtcStats = (0..4).map(|s| t.shard(s).stats()).sum();
+        assert_eq!(merged.inserts, by_hand.inserts);
+        assert_eq!(merged.hits, by_hand.hits);
+        assert_eq!(merged.harvests, by_hand.harvests);
     }
 
     #[test]

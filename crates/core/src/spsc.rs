@@ -46,6 +46,7 @@
 //! with [`drain`](SpscRing::drain) *after* joining the dead consumer —
 //! sequencing that keeps the single-consumer contract intact.
 
+use crate::obs::Counter;
 use crate::shim::atomic::{AtomicUsize, Ordering};
 use crate::shim::{Condvar, Mutex, MutexGuard, UnsafeCell};
 use std::mem::MaybeUninit;
@@ -82,6 +83,9 @@ pub struct SpscRing<T> {
     sleep: Mutex<()>,
     not_empty: Condvar,
     not_full: Condvar,
+    /// Optional backpressure metric: bumped (wait-free, slow path only)
+    /// each time the producer parks because the ring is full.
+    stalls: Option<Counter>,
 }
 
 // SAFETY: the cursor protocol in the module docs makes every slot access
@@ -121,7 +125,18 @@ impl<T> SpscRing<T> {
             sleep: Mutex::new(()),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            stalls: None,
         }
+    }
+
+    /// Attach a backpressure counter: each producer park on a full ring
+    /// bumps it once. Builder-style, meant for construction time (the
+    /// counter handle is a shared cell from [`crate::obs`]); the increment
+    /// sits on the park slow path only, never on the lock-free fast path.
+    #[must_use]
+    pub fn with_stall_counter(mut self, stalls: Counter) -> Self {
+        self.stalls = Some(stalls);
+        self
     }
 
     /// Maximum number of queued messages.
@@ -185,6 +200,11 @@ impl<T> SpscRing<T> {
                 break;
             }
             forced_slow = false;
+            // Backpressure observed: count the stall (wait-free; we are
+            // about to park anyway, so this is never on the fast path).
+            if let Some(stalls) = &self.stalls {
+                stalls.inc();
+            }
             // Full: park. Dekker flag first, then recheck under the mutex.
             self.waiting.fetch_or(PRODUCER_PARKED, Ordering::SeqCst);
             let guard = self.sleep_lock();
@@ -570,6 +590,24 @@ mod tests {
         // consumer role and can salvage the rest.
         assert_eq!(ring.drain(), vec![2, 3, 4]);
         assert_eq!(ring.drain(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn stall_counter_counts_producer_parks() {
+        use crate::obs::Counter;
+        let stalls = Counter::new();
+        let ring = Arc::new(SpscRing::with_capacity(1).with_stall_counter(stalls.clone()));
+        ring.push(1u32);
+        assert_eq!(stalls.get(), 0, "fast-path pushes never count");
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.push(2)) // full: must park
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(ring.pop(), Some(1));
+        assert!(producer.join().unwrap());
+        assert!(stalls.get() >= 1, "the blocked push counted a stall");
+        assert_eq!(ring.pop(), Some(2));
     }
 
     #[test]

@@ -28,6 +28,24 @@ pub struct LtcStats {
 }
 
 impl LtcStats {
+    /// Counter-wise saturating sum of two stat blocks — the merged view of
+    /// two tables (or shards) treated as one structure. `periods` is
+    /// summed like every other counter; for shards driven through the same
+    /// period boundaries, divide by the shard count to recover the stream
+    /// period count (the sharded runtimes' `stats()` do this).
+    #[must_use]
+    pub fn merge(&self, other: &LtcStats) -> LtcStats {
+        LtcStats {
+            inserts: self.inserts.saturating_add(other.inserts),
+            hits: self.hits.saturating_add(other.hits),
+            fills: self.fills.saturating_add(other.fills),
+            decrements: self.decrements.saturating_add(other.decrements),
+            admissions: self.admissions.saturating_add(other.admissions),
+            harvests: self.harvests.saturating_add(other.harvests),
+            periods: self.periods.saturating_add(other.periods),
+        }
+    }
+
     /// Fraction of records that hit a tracked item (`hits / inserts`).
     pub fn hit_rate(&self) -> f64 {
         if self.inserts == 0 {
@@ -45,6 +63,12 @@ impl LtcStats {
         } else {
             self.decrements as f64 / self.admissions as f64
         }
+    }
+}
+
+impl std::iter::Sum for LtcStats {
+    fn sum<I: Iterator<Item = LtcStats>>(iter: I) -> LtcStats {
+        iter.fold(LtcStats::default(), |acc, s| acc.merge(&s))
     }
 }
 
@@ -75,6 +99,31 @@ mod tests {
         let s = LtcStats::default();
         assert_eq!(s.hit_rate(), 0.0);
         assert_eq!(s.churn_cost(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_every_counter_saturating() {
+        let a = LtcStats {
+            inserts: 10,
+            hits: 5,
+            fills: 2,
+            decrements: 6,
+            admissions: 3,
+            harvests: 4,
+            periods: 1,
+        };
+        let b = LtcStats {
+            inserts: u64::MAX,
+            hits: 1,
+            ..LtcStats::default()
+        };
+        let merged = a.merge(&b);
+        assert_eq!(merged.inserts, u64::MAX, "saturates");
+        assert_eq!(merged.hits, 6);
+        assert_eq!(merged.periods, 1);
+        let summed: LtcStats = [a, a, LtcStats::default()].into_iter().sum();
+        assert_eq!(summed.inserts, 20);
+        assert_eq!(summed.harvests, 8);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use ltc_common::{SignificanceQuery, StreamProcessor, Weights};
 use ltc_core::checkpoint::Checkpointer;
 use ltc_core::failpoint::{self, FailAction, FireSpec};
+use ltc_core::obs::EventKind;
 use ltc_core::pipeline::ShardHealth;
 use ltc_core::{FaultPolicy, LtcConfig, ParallelLtc, ShardedLtc, SpscRing};
 use std::path::{Path, PathBuf};
@@ -337,6 +338,170 @@ fn restore_after_degradation_revives_lossy_shards() {
     p.end_period().expect("healthy again");
     p.finish().expect("healthy again");
     assert!(p.try_estimate(0).expect("healthy").is_some());
+}
+
+// ---------------------------------------------------------------------------
+// Observability under faults: every recovery step leaves a metric and a
+// journal event behind, and health() points at the journal entry.
+
+#[test]
+fn seeded_panic_is_journaled_and_correlated_with_health() {
+    let _guard = scenario();
+    let mut p = runtime(2, 8);
+    for i in 0..200u64 {
+        p.insert(i % 20);
+    }
+    p.end_period().expect("healthy runtime");
+    failpoint::configure("worker::batch", FailAction::Panic, FireSpec::once());
+    for i in 0..200u64 {
+        p.insert(i % 20);
+    }
+    p.end_period().expect("supervision absorbed the panic");
+    failpoint::clear();
+
+    let obs = p.obs().expect("obs on by default");
+
+    // The fault counter carries the typed kind, restarts are counted, and
+    // the exposition stays valid mid-recovery.
+    let text = obs.render_prometheus();
+    ltc_core::obs::validate_exposition(&text).expect("valid during recovery");
+    assert!(
+        text.contains("ltc_worker_faults_total{kind=\"panic\"} 1"),
+        "fault kind counted: {text}"
+    );
+    let restarts: u64 = text
+        .lines()
+        .filter(|l| l.starts_with("ltc_worker_restarts_total{"))
+        .filter_map(|l| l.rsplit_once(' ').and_then(|(_, v)| v.parse::<u64>().ok()))
+        .sum();
+    assert_eq!(restarts, 1, "one restart across all shards: {text}");
+
+    // The journal holds the fault + rollback pair, and health() names the
+    // fault event's sequence number on exactly the shard that died.
+    let events = obs.journal().drain();
+    let fault = events
+        .iter()
+        .find(|e| e.kind == EventKind::WorkerFault)
+        .expect("fault journaled");
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::Rollback),
+        "rollback journaled: {events:?}"
+    );
+    let health = p.health();
+    let faulted: Vec<_> = health
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| h.last_fault_seq().is_some())
+        .collect();
+    assert_eq!(faulted.len(), 1, "exactly one shard faulted: {health:?}");
+    let (shard_index, shard_health) = faulted[0];
+    assert_eq!(shard_health.last_fault_seq(), Some(fault.seq));
+    assert_eq!(fault.shard, Some(shard_index as u64));
+    assert_eq!(shard_health.restarts(), 1);
+}
+
+#[test]
+fn degradation_is_journaled_with_records_lost() {
+    let _guard = scenario();
+    let policy = FaultPolicy {
+        max_restarts: 1,
+        ..FaultPolicy::no_backoff()
+    };
+    let mut p = ParallelLtc::with_fault_policy(config(), 1, 4, policy);
+    for i in 0..100u64 {
+        p.insert(i % 10);
+    }
+    p.end_period().expect("healthy runtime");
+    failpoint::configure("worker::batch", FailAction::Panic, FireSpec::always());
+    for _ in 0..20 {
+        for i in 0..100u64 {
+            p.insert(i % 10);
+        }
+        if p.end_period().is_err() {
+            break;
+        }
+    }
+    failpoint::clear();
+    assert_eq!(lossy_count(&p.health()), 1, "degraded as arranged");
+
+    let obs = p.obs().expect("obs on by default");
+    let events = obs.journal().drain();
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::Degradation),
+        "degradation journaled: {events:?}"
+    );
+    let text = obs.render_prometheus();
+    assert!(
+        text.contains("ltc_worker_degradations_total{shard=\"0\"} 1"),
+        "degradation counted: {text}"
+    );
+    // Post-degradation drops are visible as lost records.
+    let lost: u64 = text
+        .lines()
+        .filter(|l| l.starts_with("ltc_shard_records_lost_total{"))
+        .filter_map(|l| l.rsplit_once(' ').and_then(|(_, v)| v.parse::<u64>().ok()))
+        .sum();
+    assert!(lost > 0, "lossy mode must count dropped records: {text}");
+}
+
+#[test]
+fn checkpoint_fallback_is_counted_and_journaled() {
+    let _guard = scenario();
+    let scratch = ScratchDir::new("obs-fallback");
+    let store = Checkpointer::new(scratch.path()).unwrap();
+    let mut p = runtime(1, 16);
+    for i in 0..200u64 {
+        p.insert(i % 12);
+    }
+    p.end_period().expect("healthy runtime");
+    let gen1 = p.checkpoint_to(&store).expect("good checkpoint");
+    for i in 0..200u64 {
+        p.insert(i % 12);
+    }
+    p.end_period().expect("healthy runtime");
+    failpoint::configure(
+        "checkpoint::write",
+        FailAction::Truncate { keep: 40 },
+        FireSpec::once(),
+    );
+    p.checkpoint_to(&store).expect("write itself succeeds");
+    failpoint::clear();
+    drop(p);
+
+    let mut q = runtime(1, 16);
+    assert_eq!(q.restore_from(&store).expect("fallback"), gen1);
+    let obs = q.obs().expect("obs on by default");
+    let text = obs.render_prometheus();
+    assert!(
+        text.contains("ltc_checkpoint_fallbacks_total 1"),
+        "skipped generation counted: {text}"
+    );
+    let events = obs.journal().drain();
+    let restore = events
+        .iter()
+        .find(|e| e.kind == EventKind::CheckpointRestore)
+        .expect("restore journaled");
+    assert_eq!(restore.detail, gen1, "journal names the generation used");
+}
+
+#[test]
+fn queue_stall_failpoint_bumps_the_backpressure_counter() {
+    let _guard = scenario();
+    failpoint::configure("spsc::push", FailAction::Stall, FireSpec::nth(3));
+    let mut p = runtime(1, 8);
+    for i in 0..400u64 {
+        p.insert(i % 20);
+    }
+    p.sync().expect("stall is not a fault");
+    let text = p.obs().expect("obs on").render_prometheus();
+    failpoint::clear();
+    let stalls: u64 = text
+        .lines()
+        .filter(|l| l.starts_with("ltc_shard_queue_stalls_total{"))
+        .filter_map(|l| l.rsplit_once(' ').and_then(|(_, v)| v.parse::<u64>().ok()))
+        .sum();
+    assert!(stalls >= 1, "forced park must count as a stall: {text}");
+    p.finish().expect("healthy");
 }
 
 // ---------------------------------------------------------------------------

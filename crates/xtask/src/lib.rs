@@ -30,6 +30,13 @@
 //!   are banned: checkpoint bytes must flow through the temp-file +
 //!   fsync + atomic-rename helper so a crash can never tear a generation
 //!   in place.
+//! * **obs_hot_path** — the wait-free metrics contract. Files under
+//!   `[obs] metrics_files` (the metric-cell implementation) may not use
+//!   locks (`Mutex`, `RwLock`, `Condvar`, `.lock(`) or any atomic ordering
+//!   stronger than `Relaxed`; in `[obs] call_site_files` (the hot paths
+//!   that bump metrics) a metric update (`.inc(`, `.record(`, `.add(`,
+//!   `.set(`) must not share a line with a lock or a strong ordering —
+//!   instrumentation must never add a wait to the record path.
 //!
 //! The analysis is lexical, not syntactic: comments, string/char literals
 //! and raw strings are blanked first (preserving line structure), then the
@@ -90,6 +97,12 @@ pub struct Config {
     /// Files whose file-writing calls must go through the atomic-rename
     /// helper.
     pub atomic_io_files: Vec<String>,
+    /// Metric-cell implementation files that must stay wait-free: no locks,
+    /// no atomic ordering stronger than `Relaxed`.
+    pub obs_metrics_files: Vec<String>,
+    /// Hot-path files where a metric update must not share a line with a
+    /// lock or a strong atomic ordering.
+    pub obs_call_site_files: Vec<String>,
 }
 
 /// Parse the TOML subset `lint.toml` uses: `[section]` headers and
@@ -138,6 +151,8 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
             ("orderings", "no_relaxed_files") => config.no_relaxed_files = values,
             ("failpoints", "allow") => config.failpoint_allow = values,
             ("atomic_io", "files") => config.atomic_io_files = values,
+            ("obs", "metrics_files") => config.obs_metrics_files = values,
+            ("obs", "call_site_files") => config.obs_call_site_files = values,
             _ => {
                 return Err(format!(
                     "lint.toml:{}: unknown key `{}` in section `[{}]`",
@@ -456,6 +471,22 @@ fn find_word(haystack: &str, needle: &str) -> Vec<usize> {
     out
 }
 
+/// Tokens that break the wait-free metrics contract: locks and atomic
+/// orderings stronger than `Relaxed`.
+const OBS_BLOCKING_TOKENS: &[&str] = &[
+    "Ordering::SeqCst",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    ".lock(",
+];
+
+/// Metric-update calls whose call sites the obs_hot_path rule guards.
+const OBS_UPDATE_TOKENS: &[&str] = &[".inc(", ".record(", ".add(", ".set("];
+
 const KEYWORDS_BEFORE_BRACKET: &[&str] = &[
     "let", "mut", "in", "if", "else", "match", "return", "break", "continue", "move", "ref", "as",
     "dyn", "where", "unsafe", "const", "static", "pub", "use", "fn", "impl", "for", "while",
@@ -476,6 +507,8 @@ pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Violation> {
     let no_relaxed = config.no_relaxed_files.iter().any(|f| f == rel);
     let failpoint_allowed = config.failpoint_allow.iter().any(|f| f == rel);
     let atomic_io = config.atomic_io_files.iter().any(|f| f == rel);
+    let obs_metrics = config.obs_metrics_files.iter().any(|f| f == rel);
+    let obs_call_site = config.obs_call_site_files.iter().any(|f| f == rel);
 
     let mut push = |line: usize, rule: &'static str, message: String| {
         violations.push(Violation {
@@ -595,6 +628,41 @@ pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Violation> {
                     config.failpoint_allow.join(", ")
                 ),
             );
+        }
+
+        // obs_hot_path: the metric-cell implementation is Relaxed-only.
+        if obs_metrics {
+            for token in OBS_BLOCKING_TOKENS {
+                if line.contains(token) && !waived(&raw_lines, idx, "obs_hot_path") {
+                    push(
+                        idx,
+                        "obs_hot_path",
+                        format!(
+                            "`{token}` in a wait-free metrics module; metric cells must \
+                             use `Relaxed` atomics only — stronger primitives belong to \
+                             the journal/registry tiers"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // obs_hot_path: metric updates on hot paths must not pair with a
+        // lock or a strong ordering on the same statement line.
+        if obs_call_site && OBS_UPDATE_TOKENS.iter().any(|t| line.contains(t)) {
+            for token in OBS_BLOCKING_TOKENS {
+                if line.contains(token) && !waived(&raw_lines, idx, "obs_hot_path") {
+                    push(
+                        idx,
+                        "obs_hot_path",
+                        format!(
+                            "metric update sharing a line with `{token}`; hot-path \
+                             instrumentation must stay wait-free — keep locks and \
+                             strong orderings off the metric-update statement"
+                        ),
+                    );
+                }
+            }
         }
 
         // atomic_io

@@ -21,6 +21,11 @@ fn test_config() -> Config {
             "crates/core/src/pipeline.rs".to_string(),
         ],
         atomic_io_files: vec!["crates/core/src/checkpoint.rs".to_string()],
+        obs_metrics_files: vec!["crates/core/src/obs/metrics.rs".to_string()],
+        obs_call_site_files: vec![
+            "crates/core/src/table.rs".to_string(),
+            "crates/core/src/spsc.rs".to_string(),
+        ],
     }
 }
 
@@ -56,6 +61,10 @@ allow = ["crates/core/src/failpoint.rs"]
 
 [atomic_io]
 files = ["crates/core/src/checkpoint.rs"]
+
+[obs]
+metrics_files = ["crates/core/src/obs/metrics.rs"]
+call_site_files = ["crates/core/src/table.rs"]
 "#;
     let config = parse_config(toml).expect("parses");
     assert_eq!(config.roots, vec!["crates"]);
@@ -69,6 +78,11 @@ files = ["crates/core/src/checkpoint.rs"]
         config.atomic_io_files,
         vec!["crates/core/src/checkpoint.rs"]
     );
+    assert_eq!(
+        config.obs_metrics_files,
+        vec!["crates/core/src/obs/metrics.rs"]
+    );
+    assert_eq!(config.obs_call_site_files, vec!["crates/core/src/table.rs"]);
 }
 
 #[test]
@@ -268,6 +282,107 @@ fn bare_file_writes_in_checkpoint_io_are_flagged() {
     let elsewhere = "fn f() {\n    let _ = File::create(\"log.txt\");\n}\n";
     let violations = lint_source("crates/core/src/table.rs", elsewhere, &test_config());
     assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn obs_metrics_file_must_stay_relaxed_only() {
+    // Every lock token and strong ordering is a violation in the
+    // metric-cell implementation file.
+    for token in [
+        "a.load(Ordering::SeqCst)",
+        "a.store(1, Ordering::Release)",
+        "a.load(Ordering::Acquire)",
+        "a.fetch_add(1, Ordering::AcqRel)",
+        "let m: Mutex<u64> = Mutex::new(0)",
+        "let l: RwLock<u64> = RwLock::new(0)",
+        "let c = Condvar::new()",
+        "let g = m.lock()",
+    ] {
+        let source = format!("fn f() {{\n    let _ = {token};\n}}\n");
+        let violations = lint_source("crates/core/src/obs/metrics.rs", &source, &test_config());
+        assert!(
+            rules(&violations).contains(&"obs_hot_path"),
+            "`{token}` must violate obs_hot_path: {violations:?}"
+        );
+    }
+
+    // Relaxed atomics are the whole point: clean.
+    let relaxed = "fn f(a: &AtomicU64) {\n    a.fetch_add(1, Ordering::Relaxed);\n}\n";
+    let violations = lint_source("crates/core/src/obs/metrics.rs", relaxed, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // The same tokens are fine in the journal/registry tiers (not listed).
+    let journal = "fn f(a: &AtomicU64) {\n    a.store(1, Ordering::Release);\n}\n";
+    let violations = lint_source("crates/core/src/obs/journal.rs", journal, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // An explicit waiver is honored.
+    let waived = "fn f(a: &AtomicU64) {\n    // lint:allow(obs_hot_path): snapshot fence, export path only\n    a.load(Ordering::Acquire);\n}\n";
+    let violations = lint_source("crates/core/src/obs/metrics.rs", waived, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn metric_updates_must_not_pair_with_locks_on_hot_paths() {
+    // A metric update sharing a line with a lock or strong ordering fires.
+    for line in [
+        "self.stats.lock().map(|_| counter.inc());",
+        "while guard.try_lock().is_err() { stalls.inc(); } let _ = m.lock();",
+        "depth.set(queue.len(Ordering::SeqCst));",
+    ] {
+        let source = format!("fn f() {{\n    {line}\n}}\n");
+        let violations = lint_source("crates/core/src/table.rs", &source, &test_config());
+        assert!(
+            rules(&violations).contains(&"obs_hot_path"),
+            "`{line}` must violate obs_hot_path: {violations:?}"
+        );
+    }
+
+    // A bare metric update is clean, and so is a strong ordering with no
+    // metric on the line (the SPSC parking protocol legitimately uses
+    // SeqCst — on its own lines).
+    let clean = "fn f() {\n    stalls.inc();\n    // lint:allow(no_relaxed): test fixture\n    self.waiting.fetch_or(1, Ordering::SeqCst);\n}\n";
+    let violations = lint_source("crates/core/src/spsc.rs", clean, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+
+    // Unlisted files are not call sites: no rule.
+    let elsewhere = "fn f() {\n    self.stats.lock().map(|_| counter.inc());\n}\n";
+    let violations = lint_source("crates/core/src/registry.rs", elsewhere, &test_config());
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn seeded_obs_violation_exits_nonzero() {
+    let scratch = std::env::temp_dir().join(format!("xtask-lint-obs-{}", std::process::id()));
+    let src_dir = scratch.join("crates/core/src/obs");
+    std::fs::create_dir_all(&src_dir).expect("create scratch tree");
+    std::fs::write(
+        scratch.join("lint.toml"),
+        "[paths]\nroots = [\"crates\"]\nskip = []\n[obs]\nmetrics_files = [\"crates/core/src/obs/metrics.rs\"]\n",
+    )
+    .expect("write config");
+    std::fs::write(
+        src_dir.join("metrics.rs"),
+        "pub fn f(a: &std::sync::atomic::AtomicU64) -> u64 {\n    a.load(std::sync::atomic::Ordering::SeqCst)\n}\n",
+    )
+    .expect("write seeded source");
+
+    let args: Vec<String> = ["lint", "--root"]
+        .iter()
+        .map(ToString::to_string)
+        .chain([scratch.to_string_lossy().to_string()])
+        .collect();
+    assert_eq!(run(&args), 1, "seeded obs violation must fail the build");
+
+    // Weaken to Relaxed: the same tree must now pass.
+    std::fs::write(
+        src_dir.join("metrics.rs"),
+        "pub fn f(a: &std::sync::atomic::AtomicU64) -> u64 {\n    a.load(std::sync::atomic::Ordering::Relaxed)\n}\n",
+    )
+    .expect("write clean source");
+    assert_eq!(run(&args), 0, "Relaxed-only metrics file must pass");
+
+    std::fs::remove_dir_all(&scratch).expect("cleanup scratch tree");
 }
 
 #[test]

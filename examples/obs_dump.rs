@@ -1,0 +1,92 @@
+//! Dump the parallel runtime's observability surface: stream a workload,
+//! then print the Prometheus text exposition, the JSON document, the
+//! drained event journal, and the per-shard health report.
+//!
+//! ```sh
+//! cargo run --example obs_dump
+//! # With a seeded worker panic, to see fault events and recovery metrics:
+//! cargo run --example obs_dump --features failpoints
+//! ```
+//!
+//! The exposition is checked with
+//! [`ltc_core::obs::validate_exposition`] before printing, so this binary
+//! doubles as an end-to-end format check.
+
+use ltc_common::{SignificanceQuery, Weights};
+use ltc_core::checkpoint::Checkpointer;
+use ltc_core::obs::{render_events_json, validate_exposition};
+use ltc_core::{LtcConfig, ParallelLtc};
+
+fn main() {
+    let config = LtcConfig::builder()
+        .buckets(256)
+        .cells_per_bucket(8)
+        .weights(Weights::BALANCED)
+        .records_per_period(10_000)
+        .seed(42)
+        .build();
+    let mut runtime = ParallelLtc::new(config, 4);
+
+    // With `--features failpoints`, the second period's first batch panics
+    // its worker: the dump then shows the fault event, the restart counter
+    // and the rollback — the exact trail an operator would follow.
+    #[cfg(feature = "failpoints")]
+    {
+        use ltc_core::failpoint::{self, FailAction, FireSpec};
+        failpoint::configure("worker::batch", FailAction::Panic, FireSpec::nth(60));
+        eprintln!("[failpoints] worker::batch will panic once mid-stream");
+    }
+
+    // Three periods of a skewed synthetic stream: a few heavy items on top
+    // of a long tail of one-off ids.
+    let mut tail = 1_000_000u64;
+    for period in 0..3u64 {
+        for i in 0..10_000u64 {
+            let id = if i % 5 == 0 {
+                i % 40 // heavy ids recur every period
+            } else {
+                tail = tail.wrapping_add(1);
+                tail
+            };
+            runtime.insert(id);
+        }
+        runtime
+            .end_period()
+            .unwrap_or_else(|e| panic!("period {period}: {e}"));
+    }
+    runtime.finish().expect("healthy runtime");
+
+    // Checkpoint once so the save-latency metrics are populated too.
+    let dir = std::env::temp_dir().join(format!("ltc-obs-dump-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let store = Checkpointer::new(&dir).expect("checkpointer");
+    let generation = runtime.checkpoint_to(&store).expect("checkpoint");
+
+    let obs = runtime.obs().expect("observability is on by default");
+
+    let text = obs.render_prometheus();
+    validate_exposition(&text).expect("exposition must be well-formed");
+    println!("==== Prometheus text exposition (validated) ====");
+    print!("{text}");
+
+    println!("\n==== JSON document ====");
+    println!("{}", obs.render_json());
+
+    println!("\n==== Drained journal events ====");
+    println!("{}", render_events_json(&obs.journal().drain()));
+
+    println!("\n==== Per-shard health ====");
+    for (shard, health) in runtime.health().iter().enumerate() {
+        println!("shard {shard}: {health:?}");
+    }
+
+    println!("\n==== Merged stats ====");
+    println!("{}", runtime.stats());
+
+    println!(
+        "\ncheckpoint generation {generation} published to {}",
+        dir.display()
+    );
+    println!("top-3: {:?}", runtime.top_k(3));
+    let _ = std::fs::remove_dir_all(&dir);
+}
