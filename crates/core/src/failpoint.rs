@@ -166,7 +166,7 @@ macro_rules! fail_point {
         #[cfg(feature = "failpoints")]
         {
             if let Some($crate::failpoint::FailAction::Panic) = $crate::failpoint::hit($site) {
-                panic!("failpoint: {}", $site); // lint:allow(no_panic): the whole point of a failpoint
+                panic!("failpoint: {}", $site);
             }
         }
     };

@@ -1,0 +1,322 @@
+//! Structural `#[cfg(...)]` evaluation.
+//!
+//! The linter models the *production* compilation: `cfg(test)` is
+//! definitively false, feature flags and target predicates are
+//! **unknown** (three-valued Kleene logic), and an item is exempt from
+//! every rule only when its `cfg` predicate evaluates to definitively
+//! `False`. That way both arms of a `#[cfg(feature = "...")]` /
+//! `#[cfg(not(feature = "..."))]` pair stay linted — weakening an
+//! ordering behind a feature gate still fails the build — while test
+//! modules and `#[cfg(all(test, ...))]` helpers are excluded
+//! structurally, however they are formatted, with no brace-tracking
+//! heuristics.
+//!
+//! An exempted attribute covers the attribute itself, any further
+//! attributes stacked on the item, and the item through its terminating
+//! `;` or body `{...}` (plus a trailing `;` for `= || { ... };`-style
+//! items). Inner attributes (`#![cfg(...)]`) exempt their enclosing
+//! scope.
+
+use crate::lexer::{Token, TokenKind};
+use crate::tokentree::{Delim, Tree};
+
+/// Kleene three-valued truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    True,
+    False,
+    Unknown,
+}
+
+impl Truth {
+    fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+}
+
+/// A parsed `cfg` predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// Bare flag: `test`, `unix`, `debug_assertions`, …
+    Flag(String),
+    /// `key = "value"`: `feature = "failpoints"`, `target_os = "linux"`.
+    KeyValue(String, String),
+    All(Vec<Pred>),
+    Any(Vec<Pred>),
+    Not(Box<Pred>),
+    /// Anything the grammar above does not cover — evaluates Unknown.
+    Opaque,
+}
+
+/// The evaluation context. `test` is always false (the linter models the
+/// production build); features may be pinned either way, everything else
+/// is unknown.
+#[derive(Debug, Clone, Default)]
+pub struct CfgContext {
+    /// Features treated as enabled (`feature = "x"` → True).
+    pub features_on: Vec<String>,
+    /// Features treated as disabled (`feature = "x"` → False).
+    pub features_off: Vec<String>,
+}
+
+impl Pred {
+    pub fn eval(&self, ctx: &CfgContext) -> Truth {
+        match self {
+            Pred::Flag(name) if name == "test" => Truth::False,
+            Pred::Flag(_) => Truth::Unknown,
+            Pred::KeyValue(key, value) if key == "feature" => {
+                if ctx.features_on.iter().any(|f| f == value) {
+                    Truth::True
+                } else if ctx.features_off.iter().any(|f| f == value) {
+                    Truth::False
+                } else {
+                    Truth::Unknown
+                }
+            }
+            Pred::KeyValue(..) => Truth::Unknown,
+            Pred::All(preds) => preds
+                .iter()
+                .fold(Truth::True, |acc, p| acc.and(p.eval(ctx))),
+            Pred::Any(preds) => preds
+                .iter()
+                .fold(Truth::False, |acc, p| acc.or(p.eval(ctx))),
+            Pred::Not(inner) => inner.eval(ctx).not(),
+            Pred::Opaque => Truth::Unknown,
+        }
+    }
+}
+
+/// Unquote a string literal token's text (`"x"` → `x`). Escapes are left
+/// as-is: feature names never contain them.
+fn unquote(text: &str) -> String {
+    text.trim_matches('"').to_string()
+}
+
+/// Parse one predicate from the children of a `cfg(...)` paren group.
+/// `trees` must be exactly one predicate (possibly with a trailing
+/// comma). Unknown shapes parse as [`Pred::Opaque`], never an error — a
+/// linter must fail safe toward "linted", not "exempt".
+pub fn parse_pred(tokens: &[Token], trees: &[Tree]) -> Pred {
+    // Drop a trailing comma.
+    let trees = match trees.last() {
+        Some(Tree::Leaf(i)) if tokens.get(*i).is_some_and(|t| t.text == ",") => {
+            &trees[..trees.len().saturating_sub(1)]
+        }
+        _ => trees,
+    };
+    match trees {
+        // `flag`
+        [Tree::Leaf(i)] => match tokens.get(*i) {
+            Some(t) if t.kind == TokenKind::Ident => Pred::Flag(t.text.clone()),
+            _ => Pred::Opaque,
+        },
+        // `key = "value"`
+        [Tree::Leaf(k), Tree::Leaf(eq), Tree::Leaf(v)] => {
+            match (tokens.get(*k), tokens.get(*eq), tokens.get(*v)) {
+                (Some(key), Some(op), Some(val))
+                    if key.kind == TokenKind::Ident
+                        && op.text == "="
+                        && val.kind == TokenKind::Str =>
+                {
+                    Pred::KeyValue(key.text.clone(), unquote(&val.text))
+                }
+                _ => Pred::Opaque,
+            }
+        }
+        // `all(...)` / `any(...)` / `not(...)`
+        [Tree::Leaf(i), Tree::Group(g)] if g.delim == Delim::Paren => {
+            let name = match tokens.get(*i) {
+                Some(t) if t.kind == TokenKind::Ident => t.text.as_str(),
+                _ => return Pred::Opaque,
+            };
+            match name {
+                "not" => Pred::Not(Box::new(parse_pred(tokens, &g.children))),
+                "all" | "any" => {
+                    let parts = split_commas(tokens, &g.children)
+                        .into_iter()
+                        .map(|part| parse_pred(tokens, part))
+                        .collect();
+                    if name == "all" {
+                        Pred::All(parts)
+                    } else {
+                        Pred::Any(parts)
+                    }
+                }
+                _ => Pred::Opaque,
+            }
+        }
+        _ => Pred::Opaque,
+    }
+}
+
+/// Split a tree sequence on top-level commas.
+fn split_commas<'a>(tokens: &[Token], trees: &'a [Tree]) -> Vec<&'a [Tree]> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    for (i, tree) in trees.iter().enumerate() {
+        if let Tree::Leaf(t) = tree {
+            if tokens.get(*t).is_some_and(|tok| tok.text == ",") {
+                parts.push(&trees[start..i]);
+                start = i.saturating_add(1);
+            }
+        }
+    }
+    if start < trees.len() {
+        parts.push(&trees[start..]);
+    }
+    parts
+}
+
+/// Per-token exemption mask: `true` means the token sits inside an item
+/// whose `cfg` predicate evaluated to definitively `False` (e.g. a
+/// `#[cfg(test)]` module) and is invisible to every rule.
+pub fn exempt_mask(tokens: &[Token], root: &[Tree], ctx: &CfgContext) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    walk(tokens, root, ctx, &mut mask);
+    mask
+}
+
+fn mark_tree(tree: &Tree, mask: &mut [bool]) {
+    match tree {
+        Tree::Leaf(i) => {
+            if let Some(slot) = mask.get_mut(*i) {
+                *slot = true;
+            }
+        }
+        Tree::Group(g) => {
+            if let Some(slot) = mask.get_mut(g.open) {
+                *slot = true;
+            }
+            if let Some(slot) = mask.get_mut(g.close) {
+                *slot = true;
+            }
+            for child in &g.children {
+                mark_tree(child, mask);
+            }
+        }
+    }
+}
+
+/// Does `trees[at..]` start an attribute, and if so is it a `cfg` whose
+/// predicate is False? Returns `(tokens_in_attr, exempt)`:
+/// the number of *trees* the attribute spans (2 for `#[...]`, 3 for
+/// `#![...]`) and whether it disables the item.
+fn attr_at(
+    tokens: &[Token],
+    trees: &[Tree],
+    at: usize,
+    ctx: &CfgContext,
+) -> Option<(usize, bool, bool)> {
+    let hash = match trees.get(at) {
+        Some(Tree::Leaf(i)) if tokens.get(*i).is_some_and(|t| t.text == "#") => *i,
+        _ => return None,
+    };
+    let _ = hash;
+    let (len, inner) = match trees.get(at.saturating_add(1)) {
+        Some(Tree::Leaf(i)) if tokens.get(*i).is_some_and(|t| t.text == "!") => (3usize, true),
+        _ => (2usize, false),
+    };
+    let group_idx = at.saturating_add(len).saturating_sub(1);
+    let group = match trees.get(group_idx) {
+        Some(Tree::Group(g)) if g.delim == Delim::Bracket => g,
+        _ => return None,
+    };
+    // `cfg ( ... )` inside the bracket?
+    let exempt = match group.children.as_slice() {
+        [Tree::Leaf(i), Tree::Group(args)]
+            if tokens.get(*i).is_some_and(|t| t.text == "cfg") && args.delim == Delim::Paren =>
+        {
+            parse_pred(tokens, &args.children).eval(ctx) == Truth::False
+        }
+        _ => false,
+    };
+    Some((len, inner, exempt))
+}
+
+/// Walk a scope's tree sequence, marking cfg-disabled items; recurse
+/// into every group for nested scopes.
+fn walk(tokens: &[Token], trees: &[Tree], ctx: &CfgContext, mask: &mut [bool]) {
+    let mut i = 0usize;
+    while i < trees.len() {
+        if let Some((len, inner, exempt)) = attr_at(tokens, trees, i, ctx) {
+            if inner {
+                if exempt {
+                    // `#![cfg(false-pred)]`: the whole enclosing scope is
+                    // disabled; the caller already owns these trees, so
+                    // mark them all.
+                    for tree in trees {
+                        mark_tree(tree, mask);
+                    }
+                    return;
+                }
+                i = i.saturating_add(len);
+                continue;
+            }
+            if exempt {
+                // Mark the attribute, any stacked attributes, and the
+                // item through its end.
+                let start = i;
+                let mut j = i.saturating_add(len);
+                // Skip further outer attributes on the same item.
+                while let Some((alen, ainner, _)) = attr_at(tokens, trees, j, ctx) {
+                    if ainner {
+                        break;
+                    }
+                    j = j.saturating_add(alen);
+                }
+                // Consume the item: up to and including the first `;`, or
+                // the first brace group (plus a directly-following `;`).
+                let mut end = trees.len();
+                while j < trees.len() {
+                    match &trees[j] {
+                        Tree::Leaf(t) if tokens.get(*t).is_some_and(|tk| tk.text == ";") => {
+                            end = j.saturating_add(1);
+                            break;
+                        }
+                        Tree::Group(g) if g.delim == Delim::Brace => {
+                            end = j.saturating_add(1);
+                            if let Some(Tree::Leaf(t)) = trees.get(end) {
+                                if tokens.get(*t).is_some_and(|tk| tk.text == ";") {
+                                    end = end.saturating_add(1);
+                                }
+                            }
+                            break;
+                        }
+                        _ => j = j.saturating_add(1),
+                    }
+                }
+                for tree in trees.iter().take(end).skip(start) {
+                    mark_tree(tree, mask);
+                }
+                i = end.max(start.saturating_add(1));
+                continue;
+            }
+            i = i.saturating_add(len);
+            continue;
+        }
+        if let Tree::Group(g) = &trees[i] {
+            walk(tokens, &g.children, ctx, mask);
+        }
+        i = i.saturating_add(1);
+    }
+}

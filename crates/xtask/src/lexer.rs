@@ -1,0 +1,502 @@
+//! Zero-dependency Rust tokenizer for the workspace linter.
+//!
+//! Produces a flat stream of [`Token`]s with byte spans and 1-based
+//! line/column positions. The goal is *lint-grade* lexing: every
+//! construct that can hide or fake rule-relevant text is classified
+//! correctly — string/char/byte literals (plain, raw, any `#` depth),
+//! `b'\''`-style escapes, lifetimes vs char literals, nested block
+//! comments, doc vs plain comments, raw identifiers, shebang lines —
+//! so the rules layer never has to guess whether `unwrap` is code or
+//! prose.
+//!
+//! Numeric literal lexing is deliberately permissive (a linter does not
+//! validate digits), but span boundaries are exact: concatenating every
+//! token's `text` with the intervening whitespace reproduces the source
+//! byte-for-byte, which the round-trip tests assert.
+
+use std::fmt;
+
+/// Token classification. Comments are real tokens (the waiver scanner
+/// needs them); whitespace is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `#!/usr/bin/env ...` — only at byte 0 and only when not an inner
+    /// attribute (`#![...]`).
+    Shebang,
+    /// Identifier or keyword (`is_keyword` distinguishes).
+    Ident,
+    /// `r#ident` raw identifier.
+    RawIdent,
+    /// `'a`, `'static`, `'_` — a quote introducing a name, not a char.
+    Lifetime,
+    /// `'x'`, `'\''`, `'\u{1F600}'`.
+    Char,
+    /// `b'x'`, `b'\''`.
+    ByteChar,
+    /// `"..."` with escapes.
+    Str,
+    /// `r"..."`, `r#"..."#`, any hash depth.
+    RawStr,
+    /// `b"..."`.
+    ByteStr,
+    /// `br"..."`, `br#"..."#`.
+    RawByteStr,
+    /// Integer or float literal, including suffix (`1_000u64`, `2.5e-3`).
+    Num,
+    /// `// ...` (non-doc).
+    LineComment,
+    /// `/// ...` or `//! ...`.
+    DocLineComment,
+    /// `/* ... */`, nested (non-doc).
+    BlockComment,
+    /// `/** ... */` or `/*! ... */`.
+    DocBlockComment,
+    /// Operator or delimiter, maximal-munch (`<<=`, `..=`, `::`, `+=`, …).
+    Punct,
+}
+
+impl TokenKind {
+    /// Comments of any flavor.
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment
+                | TokenKind::DocLineComment
+                | TokenKind::BlockComment
+                | TokenKind::DocBlockComment
+        )
+    }
+
+    /// Doc comments: excluded from waiver scanning (a waiver must be a
+    /// real comment addressed to the linter, not rendered documentation).
+    pub fn is_doc_comment(self) -> bool {
+        matches!(self, TokenKind::DocLineComment | TokenKind::DocBlockComment)
+    }
+
+    /// String-ish literals (anything whose *content* is data, not code).
+    pub fn is_string_like(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Str
+                | TokenKind::RawStr
+                | TokenKind::ByteStr
+                | TokenKind::RawByteStr
+                | TokenKind::Char
+                | TokenKind::ByteChar
+        )
+    }
+}
+
+/// One lexed token. `text` is an owned copy of `source[start..end]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based byte column of the first byte within its line.
+    pub col: usize,
+    pub text: String,
+}
+
+/// A lexing failure with its position; returned instead of guessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+/// Rust's strict and reserved keywords — the set that can legally
+/// precede `[` without the bracket being an index expression, among
+/// other disambiguations.
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "macro", "match", "mod",
+    "move", "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait",
+    "true", "type", "union", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Whether `text` is a Rust keyword.
+pub fn is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}
+
+/// Multi-character operators, longest first so maximal munch is a plain
+/// prefix scan.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "&&", "||", "<<", ">>", "==", "!=", "<=", ">=", "+=", "-=", "*=",
+    "/=", "%=", "^=", "&=", "|=", "::", "->", "=>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    /// Char positions: (byte offset, char) pairs for lookahead.
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    pos: usize,
+    line: usize,
+    col: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars
+            .get(self.pos.saturating_add(ahead))
+            .map(|&(_, c)| c)
+    }
+
+    fn byte_offset(&self) -> usize {
+        self.chars.get(self.pos).map_or(self.src.len(), |&(b, _)| b)
+    }
+
+    /// Advance one char, maintaining line/col.
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.pos) {
+            self.pos = self.pos.saturating_add(1);
+            if c == '\n' {
+                self.line = self.line.saturating_add(1);
+                self.col = 1;
+            } else {
+                self.col = self.col.saturating_add(c.len_utf8());
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn error(&self, message: String) -> LexError {
+        LexError {
+            line: self.line,
+            col: self.col,
+            message,
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: usize, col: usize) {
+        let end = self.byte_offset();
+        self.tokens.push(Token {
+            kind,
+            start,
+            end,
+            line,
+            col,
+            text: self.src.get(start..end).unwrap_or("").to_string(),
+        });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        // Shebang: `#!` at byte 0, but `#![...]` is an inner attribute.
+        if self.src.starts_with("#!") && !self.src[2..].trim_start().starts_with('[') {
+            let (start, line, col) = (0, 1, 1);
+            while self.peek(0).is_some_and(|c| c != '\n') {
+                self.bump();
+            }
+            self.push(TokenKind::Shebang, start, line, col);
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let (start, line, col) = (self.byte_offset(), self.line, self.col);
+            match c {
+                '/' if self.peek(1) == Some('/') => self.line_comment(start, line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(start, line, col)?,
+                '"' => {
+                    self.bump();
+                    self.string_body(0)?;
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                '\'' => self.quote(start, line, col)?,
+                'b' | 'r' => {
+                    if !self.byte_or_raw(start, line, col)? {
+                        while self.peek(0).is_some_and(is_ident_continue) {
+                            self.bump();
+                        }
+                        self.push(TokenKind::Ident, start, line, col);
+                    }
+                }
+                c if is_ident_start(c) => {
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                c if c.is_ascii_digit() => self.number(start, line, col),
+                _ => self.punct(start, line, col),
+            }
+        }
+        Ok(self.tokens)
+    }
+
+    fn line_comment(&mut self, start: usize, line: usize, col: usize) {
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.bump();
+        }
+        let text = &self.src[start..self.byte_offset()];
+        // `///` (but not `////`) and `//!` are doc comments.
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        let kind = if doc {
+            TokenKind::DocLineComment
+        } else {
+            TokenKind::LineComment
+        };
+        self.push(kind, start, line, col);
+    }
+
+    fn block_comment(&mut self, start: usize, line: usize, col: usize) -> Result<(), LexError> {
+        self.bump_n(2); // `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth = depth.saturating_add(1);
+                    self.bump_n(2);
+                }
+                (Some('*'), Some('/')) => {
+                    depth = depth.saturating_sub(1);
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => return Err(self.error("unterminated block comment".to_string())),
+            }
+        }
+        let text = &self.src[start..self.byte_offset()];
+        // `/**` (not `/***` or the empty `/**/`) and `/*!` are doc comments.
+        let doc = (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+            || text.starts_with("/*!");
+        let kind = if doc {
+            TokenKind::DocBlockComment
+        } else {
+            TokenKind::BlockComment
+        };
+        self.push(kind, start, line, col);
+        Ok(())
+    }
+
+    /// Body of a (raw) string after the opening quote: consume through
+    /// the closing quote followed by `hashes` `#`s. `hashes == 0` means a
+    /// plain string, where `\"` escapes are honored.
+    fn string_body(&mut self, hashes: usize) -> Result<(), LexError> {
+        loop {
+            match self.peek(0) {
+                None => return Err(self.error("unterminated string literal".to_string())),
+                Some('\\') if hashes == 0 => self.bump_n(2),
+                Some('"') => {
+                    self.bump();
+                    let mut matched = 0usize;
+                    while matched < hashes && self.peek(0) == Some('#') {
+                        self.bump();
+                        matched = matched.saturating_add(1);
+                    }
+                    if matched == hashes {
+                        return Ok(());
+                    }
+                    // `"` closed fewer hashes than the raw string opened
+                    // with — still inside the literal, keep scanning.
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// `'` — a char literal or a lifetime.
+    fn quote(&mut self, start: usize, line: usize, col: usize) -> Result<(), LexError> {
+        self.bump(); // `'`
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume the escape, then through
+                // the closing quote (covers `'\''`, `'\u{..}'`).
+                self.bump_n(2);
+                while self.peek(0).is_some_and(|c| c != '\'') {
+                    self.bump();
+                }
+                if self.peek(0).is_none() {
+                    return Err(self.error("unterminated char literal".to_string()));
+                }
+                self.bump();
+                self.push(TokenKind::Char, start, line, col);
+            }
+            Some(c) if is_ident_continue(c) => {
+                if self.peek(1) == Some('\'') {
+                    // 'x' — a one-char literal.
+                    self.bump_n(2);
+                    self.push(TokenKind::Char, start, line, col);
+                } else {
+                    // 'ident — a lifetime; no closing quote.
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Lifetime, start, line, col);
+                }
+            }
+            Some(_) => {
+                // A non-identifier char like '(' or '['.
+                self.bump();
+                if self.peek(0) != Some('\'') {
+                    return Err(self.error("unterminated char literal".to_string()));
+                }
+                self.bump();
+                self.push(TokenKind::Char, start, line, col);
+            }
+            None => return Err(self.error("dangling `'` at end of input".to_string())),
+        }
+        Ok(())
+    }
+
+    /// Handle the `b` / `r` prefixes: `b'x'`, `b"..."`, `br#"..."#`,
+    /// `r"..."`, `r#"..."#`, `r#ident`. Returns Ok(false) when the
+    /// prefix turns out to start a plain identifier (caller falls
+    /// through to ident lexing).
+    fn byte_or_raw(&mut self, start: usize, line: usize, col: usize) -> Result<bool, LexError> {
+        let (prefix_len, kind) = match (self.peek(0), self.peek(1)) {
+            (Some('b'), Some('\'')) => {
+                // b'x' / b'\''.
+                self.bump(); // `b`
+                self.quote(start, line, col)?;
+                // Reclassify the Char token the quote lexer pushed.
+                if let Some(tok) = self.tokens.last_mut() {
+                    tok.kind = TokenKind::ByteChar;
+                    tok.start = start;
+                    tok.text = self.src.get(start..tok.end).unwrap_or("").to_string();
+                }
+                return Ok(true);
+            }
+            (Some('b'), Some('"')) => (1, TokenKind::ByteStr),
+            (Some('b'), Some('r')) => (2, TokenKind::RawByteStr),
+            (Some('r'), Some('"')) => (1, TokenKind::RawStr),
+            (Some('r'), Some('#')) => (1, TokenKind::RawStr),
+            _ => return Ok(false),
+        };
+        // Count hashes after the prefix; raw strings need `#...#"`,
+        // `r#ident` has hashes followed by an identifier char.
+        let mut ahead = prefix_len;
+        let mut hashes = 0usize;
+        while self.peek(ahead) == Some('#') {
+            ahead = ahead.saturating_add(1);
+            hashes = hashes.saturating_add(1);
+        }
+        match self.peek(ahead) {
+            Some('"') => {
+                let raw = kind == TokenKind::RawStr || kind == TokenKind::RawByteStr;
+                if !raw && hashes > 0 {
+                    return Err(self.error("`b#` is not a valid literal prefix".to_string()));
+                }
+                self.bump_n(ahead.saturating_add(1)); // prefix + hashes + `"`
+                self.string_body(hashes)?;
+                self.push(kind, start, line, col);
+                Ok(true)
+            }
+            _ if kind == TokenKind::RawStr && hashes == 1 => {
+                // `r#ident` — a raw identifier, not a string.
+                self.bump_n(2); // `r#`
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                self.push(TokenKind::RawIdent, start, line, col);
+                Ok(true)
+            }
+            _ => Ok(false), // `b` / `r` starting a plain identifier
+        }
+    }
+
+    fn number(&mut self, start: usize, line: usize, col: usize) {
+        // Radix prefix.
+        if self.peek(0) == Some('0')
+            && matches!(self.peek(1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B'))
+            && self
+                .peek(2)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+        {
+            self.bump_n(2);
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == '_')
+            {
+                self.bump();
+            }
+        } else {
+            while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+            // Fractional part — only if the dot is followed by a digit, so
+            // ranges (`0..n`) and method calls (`1.max(2)`) stay separate
+            // tokens.
+            if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+                while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+            // Exponent.
+            if matches!(self.peek(0), Some('e' | 'E')) {
+                let sign = usize::from(matches!(self.peek(1), Some('+' | '-')));
+                if self
+                    .peek(1usize.saturating_add(sign))
+                    .is_some_and(|c| c.is_ascii_digit())
+                {
+                    self.bump_n(1usize.saturating_add(sign));
+                    while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, `usize`).
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        self.push(TokenKind::Num, start, line, col);
+    }
+
+    fn punct(&mut self, start: usize, line: usize, col: usize) {
+        let rest = &self.src[self.byte_offset()..];
+        let munch = PUNCTS
+            .iter()
+            .find(|p| rest.starts_with(**p))
+            .map_or(1, |p| p.chars().count());
+        self.bump_n(munch);
+        self.push(TokenKind::Punct, start, line, col);
+    }
+}
+
+/// Tokenize `src`. Every byte is either part of a token or whitespace;
+/// the only failures are genuinely malformed input (unterminated
+/// string/comment/char), which a compiling tree can never contain.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(src).run()
+}

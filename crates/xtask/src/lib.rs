@@ -1,81 +1,117 @@
 //! Workspace invariant linter (`cargo run -p xtask -- lint`).
 //!
-//! Enforces the concurrency-and-overflow discipline that the loom models
-//! and the clippy configuration establish, so it cannot erode silently:
+//! Enforces the concurrency-and-overflow discipline that the loom
+//! models and the clippy configuration establish, so it cannot erode
+//! silently. The analysis is **syntax-aware**, not lexical: a
+//! zero-dependency Rust tokenizer ([`lexer`]) feeds a brace-matched
+//! token tree ([`tokentree`]) with per-token spans; `#[cfg(...)]`
+//! attributes are genuinely evaluated ([`cfg`] — `test` is false,
+//! features are unknown, only a definitively-false predicate exempts
+//! its item); and every rule ([`rules`]) pattern-matches *code tokens*,
+//! so nothing hidden in strings, comments or macros-as-text can fire or
+//! evade a rule.
 //!
-//! * **unsafe_allowlist** — `unsafe` may appear only in the files listed
-//!   under `[unsafe_code] allow` in `lint.toml`.
-//! * **safety_comment** — every `unsafe` token (block or impl) must be
-//!   covered by a `// SAFETY:` comment on the same line or in the comment
-//!   block directly above it.
-//! * **no_panic** — hot-path files must not call `.unwrap()`, `.expect(`,
-//!   or the panicking macros (`panic!`, `unreachable!`, `todo!`,
-//!   `unimplemented!`). `assert!`/`debug_assert!` stay allowed: they state
-//!   entry-point contracts, not per-record control flow.
-//! * **no_index** — hot-path files must not use `expr[...]` indexing;
-//!   `.get()`-based access or an explicit waiver is required.
-//! * **counter_arith** — compound arithmetic assignment (`+=`, `-=`, `*=`)
-//!   on the configured counter fields is banned in hot-path files; the
-//!   overflow mode must be spelled out (`saturating_*`, `checked_*`,
-//!   `wrapping_*`).
-//! * **no_relaxed** — in the configured concurrency files, every
-//!   `Ordering::Relaxed` needs a written justification.
-//! * **failpoint_gate** — `fail_point!` / `failpoint::` may appear only in
-//!   the files listed under `[failpoints] allow`: the fault-injection
-//!   surface stays deliberate, not something that spreads into arbitrary
-//!   modules (and production binaries compile it out via the `failpoints`
-//!   feature).
-//! * **atomic_io** — in the files listed under `[atomic_io] files`, bare
-//!   file-writing calls (`File::create`, `fs::write`, `OpenOptions::new`)
-//!   are banned: checkpoint bytes must flow through the temp-file +
-//!   fsync + atomic-rename helper so a crash can never tear a generation
-//!   in place.
-//! * **obs_hot_path** — the wait-free metrics contract. Files under
-//!   `[obs] metrics_files` (the metric-cell implementation) may not use
-//!   locks (`Mutex`, `RwLock`, `Condvar`, `.lock(`) or any atomic ordering
-//!   stronger than `Relaxed`; in `[obs] call_site_files` (the hot paths
-//!   that bump metrics) a metric update (`.inc(`, `.record(`, `.add(`,
-//!   `.set(`) must not share a line with a lock or a strong ordering —
-//!   instrumentation must never add a wait to the record path.
+//! The rules (configured by `lint.toml`, schema-checked — unknown
+//! sections/keys and dangling paths are hard errors):
 //!
-//! The analysis is lexical, not syntactic: comments, string/char literals
-//! and raw strings are blanked first (preserving line structure), then the
-//! rules pattern-match the remaining code. `#[cfg(test)]` item bodies are
-//! exempt — unit tests may use `unwrap` and plain arithmetic, the test
-//! profile compiles them with overflow checks.
+//! * **unsafe_allowlist** — `unsafe` only in `[unsafe_code] allow`.
+//! * **safety_comment** — every `unsafe` token covered by a
+//!   `// SAFETY:` comment on the same line or the contiguous comment
+//!   block directly above.
+//! * **no_panic** — hot-path files: no `.unwrap()` / `.expect(...)` /
+//!   panicking macros (`assert!`/`debug_assert!` stay allowed).
+//! * **no_index** — hot-path files: no `expr[...]` *index expressions*.
+//!   Attributes, macro invocations, slice patterns, array types and
+//!   array literals are structurally not indexing and never flagged.
+//! * **counter_arith** — no `+=`/`-=`/`*=` on the configured counter
+//!   fields in hot-path files; spell out the overflow mode.
+//! * **no_relaxed** — every `Ordering::Relaxed` in the configured
+//!   concurrency files carries a justification.
+//! * **failpoint_gate** — `fail_point!` / `failpoint::` only in
+//!   `[failpoints] allow`.
+//! * **atomic_io** — no bare `File::create` / `fs::write` /
+//!   `OpenOptions::new` in checkpoint-I/O modules.
+//! * **obs_hot_path** — metric-cell files stay `Relaxed`-only; in
+//!   call-site files a metric update must not share a *statement* with
+//!   a lock or strong ordering (line breaks neither evade nor
+//!   false-positive the rule).
+//! * **unused_waiver** — a waiver that names an unknown rule or
+//!   suppresses nothing is itself a violation, so every shipped waiver
+//!   stays load-bearing.
 //!
-//! Waivers, on the offending line or the line directly above:
+//! Waivers are real comments (never strings or doc text) and attach to
+//! the enclosing **statement**:
 //!
 //! ```text
-//! // lint:allow(<rule>): <reason>
+//! // lint:allow(<rule>): <reason>     — on the statement's line, the
+//! //                                    line above, or inside it
 //! // lint: index-ok (<reason>)        — shorthand for no_index
 //! ```
+//!
+//! Output formats: human `file:line:col: [rule] message` (default),
+//! `--format json` (one `{rule, file, line, col, snippet, waived,
+//! message}` record per line, waived findings included), and
+//! `--format github` (workflow `::error` annotations).
 
 use std::fmt;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
-/// One rule violation, formatted as `file:line: [rule] message`.
+pub mod cfg;
+pub mod lexer;
+pub mod rules;
+pub mod tokentree;
+
+use cfg::CfgContext;
+use lexer::{Token, TokenKind};
+use tokentree::{Delim, Tree};
+
+/// One rule finding with full position information.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Workspace-relative path with forward slashes.
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
     /// Which rule fired.
     pub rule: &'static str,
     /// Human-readable explanation with the expected fix.
     pub message: String,
+    /// The trimmed source line the finding anchors to.
+    pub snippet: String,
+    /// True when an attached waiver suppresses this finding. Waived
+    /// findings are reported in `--format json` but do not fail the
+    /// build.
+    pub waived: bool,
+}
+
+impl Violation {
+    /// Findings that fail the build.
+    pub fn is_active(&self) -> bool {
+        !self.waived
+    }
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
         )
     }
 }
+
+/// Keep only the findings that fail the build.
+pub fn active(violations: &[Violation]) -> Vec<&Violation> {
+    violations.iter().filter(|v| v.is_active()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
 
 /// Parsed `lint.toml`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -97,18 +133,31 @@ pub struct Config {
     /// Files whose file-writing calls must go through the atomic-rename
     /// helper.
     pub atomic_io_files: Vec<String>,
-    /// Metric-cell implementation files that must stay wait-free: no locks,
-    /// no atomic ordering stronger than `Relaxed`.
+    /// Metric-cell implementation files that must stay wait-free.
     pub obs_metrics_files: Vec<String>,
-    /// Hot-path files where a metric update must not share a line with a
-    /// lock or a strong atomic ordering.
+    /// Hot-path files where a metric update must not share a statement
+    /// with a lock or a strong atomic ordering.
     pub obs_call_site_files: Vec<String>,
 }
 
+/// The `lint.toml` schema: every section and the keys it accepts.
+/// Anything outside this table is a hard configuration error — the
+/// config can never silently rot.
+const SCHEMA: &[(&str, &[&str])] = &[
+    ("paths", &["roots", "skip"]),
+    ("unsafe_code", &["allow"]),
+    ("hot_path", &["files"]),
+    ("counters", &["fields"]),
+    ("orderings", &["no_relaxed_files"]),
+    ("failpoints", &["allow"]),
+    ("atomic_io", &["files"]),
+    ("obs", &["metrics_files", "call_site_files"]),
+];
+
 /// Parse the TOML subset `lint.toml` uses: `[section]` headers and
-/// `key = "string"` / `key = ["array", "of", "strings"]` entries (arrays
-/// may span lines). Anything fancier is rejected loudly rather than
-/// misread silently.
+/// `key = "string"` / `key = ["array", "of", "strings"]` entries
+/// (arrays may span lines). Unknown sections and keys are rejected
+/// loudly rather than ignored silently.
 pub fn parse_config(text: &str) -> Result<Config, String> {
     let mut config = Config::default();
     let mut section = String::new();
@@ -120,6 +169,18 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
         }
         if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
             section = name.trim().to_string();
+            if !SCHEMA.iter().any(|(s, _)| *s == section) {
+                return Err(format!(
+                    "lint.toml:{}: unknown section `[{}]` (known: {})",
+                    idx + 1,
+                    section,
+                    SCHEMA
+                        .iter()
+                        .map(|(s, _)| format!("[{s}]"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
             continue;
         }
         let (key, value) = line
@@ -129,15 +190,17 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
         let mut value = value.trim().to_string();
         // Multiline array: keep consuming lines until the closing bracket.
         if value.starts_with('[') && !balanced_array(&value) {
-            for (cont_idx, cont) in lines.by_ref() {
+            let mut closed = false;
+            for (_, cont) in lines.by_ref() {
                 value.push(' ');
                 value.push_str(strip_toml_comment(cont).trim());
                 if balanced_array(&value) {
+                    closed = true;
                     break;
                 }
-                if cont_idx + 1 == text.lines().count() {
-                    return Err(format!("lint.toml:{}: unterminated array", idx + 1));
-                }
+            }
+            if !closed {
+                return Err(format!("lint.toml:{}: unterminated array", idx + 1));
             }
         }
         let values = parse_string_array(&value)
@@ -154,12 +217,17 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
             ("obs", "metrics_files") => config.obs_metrics_files = values,
             ("obs", "call_site_files") => config.obs_call_site_files = values,
             _ => {
+                let known = SCHEMA
+                    .iter()
+                    .find(|(s, _)| *s == section)
+                    .map_or("<none>".to_string(), |(_, keys)| keys.join(", "));
                 return Err(format!(
-                    "lint.toml:{}: unknown key `{}` in section `[{}]`",
+                    "lint.toml:{}: unknown key `{}` in section `[{}]` (known keys: {})",
                     idx + 1,
                     key,
-                    section
-                ))
+                    section,
+                    known
+                ));
             }
         }
     }
@@ -167,6 +235,41 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
         return Err("lint.toml: `[paths] roots` must list at least one directory".to_string());
     }
     Ok(config)
+}
+
+/// Validate that every path the config names actually exists under
+/// `root`, so a rename can never silently drop a file out of a rule's
+/// coverage. `[paths] skip` entries are directory *names*, not paths,
+/// and are exempt.
+pub fn validate_config_paths(config: &Config, root: &Path) -> Result<(), String> {
+    for dir in &config.roots {
+        if !root.join(dir).is_dir() {
+            return Err(format!(
+                "lint.toml: [paths] roots: `{dir}` is not a directory under {}",
+                root.display()
+            ));
+        }
+    }
+    let file_lists: &[(&str, &[String])] = &[
+        ("[unsafe_code] allow", &config.unsafe_allow),
+        ("[hot_path] files", &config.hot_path),
+        ("[orderings] no_relaxed_files", &config.no_relaxed_files),
+        ("[failpoints] allow", &config.failpoint_allow),
+        ("[atomic_io] files", &config.atomic_io_files),
+        ("[obs] metrics_files", &config.obs_metrics_files),
+        ("[obs] call_site_files", &config.obs_call_site_files),
+    ];
+    for (key, list) in file_lists {
+        for file in *list {
+            if !root.join(file).is_file() {
+                return Err(format!(
+                    "lint.toml: {key}: `{file}` does not exist — fix the path or remove \
+                     the stale entry"
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Drop a `#` comment, respecting `"` quoting.
@@ -212,511 +315,362 @@ fn parse_string(value: &str) -> Result<String, String> {
         .ok_or_else(|| format!("expected a double-quoted string, got `{value}`"))
 }
 
-/// Blank comments, string literals, char literals and raw strings from
-/// Rust source, preserving every newline (so line numbers survive) and
-/// replacing other blanked characters with spaces. Lifetimes (`'a`) are
-/// left intact; nested block comments are handled.
-pub fn strip(source: &str) -> String {
-    let bytes: Vec<char> = source.chars().collect();
-    let mut out = String::with_capacity(source.len());
-    let mut i = 0;
-    let blank = |out: &mut String, c: char| {
-        out.push(if c == '\n' { '\n' } else { ' ' });
-    };
-    while i < bytes.len() {
-        let c = bytes[i];
-        let next = bytes.get(i + 1).copied();
-        if c == '/' && next == Some('/') {
-            while i < bytes.len() && bytes[i] != '\n' {
-                out.push(' ');
-                i += 1;
-            }
-        } else if c == '/' && next == Some('*') {
-            let mut depth = 1usize;
-            blank(&mut out, bytes[i]);
-            blank(&mut out, bytes[i + 1]);
-            i += 2;
-            while i < bytes.len() && depth > 0 {
-                if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    blank(&mut out, bytes[i]);
-                    blank(&mut out, bytes[i + 1]);
-                    i += 2;
-                } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    blank(&mut out, bytes[i]);
-                    blank(&mut out, bytes[i + 1]);
-                    i += 2;
-                } else {
-                    blank(&mut out, bytes[i]);
-                    i += 1;
+// ---------------------------------------------------------------------------
+// File analysis
+// ---------------------------------------------------------------------------
+
+/// Everything the rules need to know about one source file: the token
+/// stream, the token tree, the statement map, the cfg-exemption mask
+/// and per-line comment info for SAFETY scanning.
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    pub rel: String,
+    pub tokens: Vec<Token>,
+    pub root: Vec<Tree>,
+    /// Per token: sits inside a cfg-disabled item (e.g. `#[cfg(test)]`).
+    pub exempt: Vec<bool>,
+    /// Per token: innermost statement id (None for comments/shebang).
+    pub stmt_of: Vec<Option<usize>>,
+    pub stmt_count: usize,
+    /// Indices of non-comment, non-shebang tokens, in source order.
+    pub code: Vec<usize>,
+    /// Token index → position in `code`.
+    code_positions: Vec<Option<usize>>,
+    /// Token indices of `[` delimiters that open bracket groups.
+    pub bracket_opens: Vec<usize>,
+    /// Per line (0-based): contains only comment tokens.
+    comment_only_lines: Vec<bool>,
+    /// Per line (0-based): a comment containing `SAFETY:` touches it.
+    safety_lines: Vec<bool>,
+    /// Source lines, for snippets.
+    pub lines: Vec<String>,
+}
+
+impl FileAnalysis {
+    /// Analyze with the default cfg context (`test` false, features
+    /// unknown).
+    pub fn analyze(rel: &str, source: &str) -> Result<FileAnalysis, String> {
+        FileAnalysis::analyze_with(rel, source, &CfgContext::default())
+    }
+
+    pub fn analyze_with(rel: &str, source: &str, ctx: &CfgContext) -> Result<FileAnalysis, String> {
+        let tokens = lexer::tokenize(source).map_err(|e| e.to_string())?;
+        let root = tokentree::build(&tokens)?;
+        let exempt = cfg::exempt_mask(&tokens, &root, ctx);
+        let statements = tokentree::segment(&tokens, &root);
+
+        let mut code = Vec::new();
+        let mut code_positions = vec![None; tokens.len()];
+        for (i, tok) in tokens.iter().enumerate() {
+            if !tok.kind.is_comment() && tok.kind != TokenKind::Shebang {
+                if let Some(slot) = code_positions.get_mut(i) {
+                    *slot = Some(code.len());
                 }
+                code.push(i);
             }
-        } else if is_raw_string_start(&bytes, i) {
-            // r"...", r#"..."#, br#"..."# — skip prefix, count hashes.
-            let start = i;
-            while bytes[i] == 'b' || bytes[i] == 'r' {
-                out.push(bytes[i]);
-                i += 1;
-            }
-            let mut hashes = 0usize;
-            while bytes.get(i) == Some(&'#') {
-                out.push('#');
-                hashes += 1;
-                i += 1;
-            }
-            debug_assert!(bytes.get(i) == Some(&'"'), "raw string at {start}");
-            out.push('"');
-            i += 1;
-            'raw: while i < bytes.len() {
-                if bytes[i] == '"' {
-                    let mut ok = true;
-                    for k in 0..hashes {
-                        if bytes.get(i + 1 + k) != Some(&'#') {
-                            ok = false;
-                            break;
+        }
+
+        let mut bracket_opens = Vec::new();
+        collect_bracket_opens(&root, &mut bracket_opens);
+
+        let lines: Vec<String> = source.lines().map(str::to_string).collect();
+        let n = lines.len();
+        let mut has_code = vec![false; n];
+        let mut has_comment = vec![false; n];
+        let mut safety_lines = vec![false; n];
+        for tok in &tokens {
+            let span = tok.line..=tok.line.saturating_add(tok.text.matches('\n').count());
+            let comment = tok.kind.is_comment();
+            let safety = comment && tok.text.contains("SAFETY:");
+            for line in span {
+                let Some(idx) = line.checked_sub(1) else {
+                    continue;
+                };
+                if comment {
+                    if let Some(slot) = has_comment.get_mut(idx) {
+                        *slot = true;
+                    }
+                    if safety {
+                        if let Some(slot) = safety_lines.get_mut(idx) {
+                            *slot = true;
                         }
                     }
-                    if ok {
-                        out.push('"');
-                        for _ in 0..hashes {
-                            out.push('#');
-                        }
-                        i += 1 + hashes;
-                        break 'raw;
-                    }
+                } else if let Some(slot) = has_code.get_mut(idx) {
+                    *slot = true;
                 }
-                blank(&mut out, bytes[i]);
-                i += 1;
-            }
-        } else if c == '"' {
-            out.push('"');
-            i += 1;
-            while i < bytes.len() {
-                if bytes[i] == '\\' {
-                    blank(&mut out, bytes[i]);
-                    if let Some(&esc) = bytes.get(i + 1) {
-                        blank(&mut out, esc);
-                    }
-                    i += 2;
-                } else if bytes[i] == '"' {
-                    out.push('"');
-                    i += 1;
-                    break;
-                } else {
-                    blank(&mut out, bytes[i]);
-                    i += 1;
-                }
-            }
-        } else if c == '\'' {
-            // Distinguish a char literal from a lifetime: 'x' / '\n' close
-            // with a quote; 'ident does not.
-            if next == Some('\\') {
-                out.push('\'');
-                i += 1;
-                while i < bytes.len() && bytes[i] != '\'' {
-                    blank(&mut out, bytes[i]);
-                    i += 1;
-                }
-                if i < bytes.len() {
-                    out.push('\'');
-                    i += 1;
-                }
-            } else if bytes.get(i + 2) == Some(&'\'') {
-                out.push('\'');
-                blank(&mut out, bytes[i + 1]);
-                out.push('\'');
-                i += 3;
-            } else {
-                out.push('\'');
-                i += 1;
-            }
-        } else {
-            out.push(c);
-            i += 1;
-        }
-    }
-    out
-}
-
-fn is_ident(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
-    // At an identifier boundary, match r" / r# / br" / br# .
-    if i > 0 && is_ident(bytes[i - 1]) {
-        return false;
-    }
-    let rest = &bytes[i..];
-    let after_prefix = match rest {
-        ['b', 'r', ..] => &rest[2..],
-        ['r', ..] => &rest[1..],
-        _ => return false,
-    };
-    let mut j = 0;
-    while after_prefix.get(j) == Some(&'#') {
-        j += 1;
-    }
-    after_prefix.get(j) == Some(&'"')
-}
-
-/// Per-line flags for `#[cfg(test)]` item bodies (true = exempt from the
-/// rules). Detection is brace-matching on blanked code: the attribute arms
-/// the next `{`, whose whole block is exempt.
-pub fn test_exempt_lines(code: &str) -> Vec<bool> {
-    let line_count = code.lines().count();
-    let mut exempt = vec![false; line_count];
-    let mut line = 0usize;
-    let mut depth = 0usize;
-    let mut armed = false;
-    let mut region_depth: Option<usize> = None;
-    let chars: Vec<char> = code.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        match chars[i] {
-            '\n' => line += 1,
-            '#' => {
-                let rest: String = chars[i..].iter().take(16).collect();
-                let compact: String = rest.chars().filter(|c| !c.is_whitespace()).collect();
-                if compact.starts_with("#[cfg(test)]") && region_depth.is_none() {
-                    armed = true;
-                    if let Some(slot) = exempt.get_mut(line) {
-                        *slot = true; // the attribute line itself
-                    }
-                }
-            }
-            '{' => {
-                if armed && region_depth.is_none() {
-                    region_depth = Some(depth);
-                    armed = false;
-                }
-                depth += 1;
-            }
-            '}' => {
-                depth = depth.saturating_sub(1);
-                if region_depth == Some(depth) {
-                    region_depth = None;
-                    if let Some(slot) = exempt.get_mut(line) {
-                        *slot = true; // the closing-brace line
-                    }
-                }
-            }
-            _ => {}
-        }
-        if region_depth.is_some() || armed {
-            if let Some(slot) = exempt.get_mut(line) {
-                *slot = true;
             }
         }
-        i += 1;
-    }
-    exempt
-}
+        let comment_only_lines = has_comment
+            .iter()
+            .zip(&has_code)
+            .map(|(&c, &k)| c && !k)
+            .collect();
 
-/// Whether `raw_lines[line]` (or the line above) waives `rule`.
-fn waived(raw_lines: &[&str], line: usize, rule: &str) -> bool {
-    let marker = format!("lint:allow({rule})");
-    let check = |l: usize| raw_lines.get(l).is_some_and(|text| text.contains(&marker));
-    check(line) || (line > 0 && check(line - 1))
-}
-
-/// The no_index shorthand waiver.
-fn index_waived(raw_lines: &[&str], line: usize) -> bool {
-    let check = |l: usize| {
-        raw_lines.get(l).is_some_and(|text| {
-            text.contains("lint: index-ok") || text.contains("lint:allow(no_index)")
+        Ok(FileAnalysis {
+            rel: rel.to_string(),
+            tokens,
+            root,
+            exempt,
+            stmt_of: statements.stmt_of,
+            stmt_count: statements.count,
+            code,
+            code_positions,
+            bracket_opens,
+            comment_only_lines,
+            safety_lines,
+            lines,
         })
-    };
-    check(line) || (line > 0 && check(line - 1))
+    }
+
+    /// The token at code position `pos`.
+    pub fn code_tok(&self, pos: usize) -> Option<&Token> {
+        self.code.get(pos).and_then(|&i| self.tokens.get(i))
+    }
+
+    /// Position in `code` of token index `i`.
+    pub fn code_pos(&self, i: usize) -> Option<usize> {
+        self.code_positions.get(i).copied().flatten()
+    }
+
+    /// 1-based `line` contains only comments.
+    pub fn line_comment_only(&self, line: usize) -> bool {
+        line.checked_sub(1)
+            .and_then(|i| self.comment_only_lines.get(i).copied())
+            .unwrap_or(false)
+    }
+
+    /// 1-based `line` is touched by a comment containing `SAFETY:`.
+    pub fn line_has_safety(&self, line: usize) -> bool {
+        line.checked_sub(1)
+            .and_then(|i| self.safety_lines.get(i).copied())
+            .unwrap_or(false)
+    }
+
+    /// Trimmed source text of 1-based `line`.
+    fn snippet(&self, line: usize) -> String {
+        line.checked_sub(1)
+            .and_then(|i| self.lines.get(i))
+            .map_or(String::new(), |l| l.trim().to_string())
+    }
 }
 
-/// Whether the `unsafe` token on `line` is covered by a `SAFETY:` comment:
-/// on the same line, or in the contiguous `//` comment block directly
-/// above.
-fn safety_covered(raw_lines: &[&str], line: usize) -> bool {
-    if raw_lines.get(line).is_some_and(|l| l.contains("SAFETY:")) {
-        return true;
-    }
-    let mut l = line;
-    while l > 0 {
-        l -= 1;
-        let text = raw_lines.get(l).map_or("", |t| t.trim_start());
-        if text.starts_with("//") {
-            if text.contains("SAFETY:") {
-                return true;
+fn collect_bracket_opens(trees: &[Tree], out: &mut Vec<usize>) {
+    for tree in trees {
+        if let Tree::Group(g) = tree {
+            if g.delim == Delim::Bracket {
+                out.push(g.open);
             }
-        } else {
+            collect_bracket_opens(&g.children, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waivers
+// ---------------------------------------------------------------------------
+
+/// A waiver parsed from a real (non-doc) comment. Attaches to the
+/// enclosing statement: the statement whose tokens share the comment's
+/// line (looking backward), else the next statement after the comment.
+#[derive(Debug, Clone)]
+struct Waiver {
+    /// Comment token index.
+    token: usize,
+    /// Statement the waiver attaches to.
+    stmt: Option<usize>,
+    /// Rule names the comment waives.
+    rules: Vec<String>,
+    /// Per rule: suppressed at least one finding.
+    used: Vec<bool>,
+}
+
+/// Extract waived rule names from a comment's text: every
+/// `lint:allow(a, b)` list plus the `lint: index-ok` shorthand.
+fn waiver_rules(text: &str) -> Vec<String> {
+    let mut rules = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("lint:allow(") {
+        let args = &rest[at.saturating_add("lint:allow(".len())..];
+        let Some(close) = args.find(')') else {
             break;
+        };
+        for rule in args[..close].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                rules.push(rule.to_string());
+            }
         }
+        rest = &args[close..];
     }
-    false
+    if text.contains("lint: index-ok") && !rules.iter().any(|r| r == "no_index") {
+        rules.push("no_index".to_string());
+    }
+    rules
 }
 
-/// Find word-boundary occurrences of `needle` in `haystack`, returning
-/// byte offsets.
-fn find_word(haystack: &str, needle: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = haystack[from..].find(needle) {
-        let at = from + pos;
-        let before_ok = at == 0 || !haystack[..at].chars().next_back().is_some_and(is_ident);
-        let after = at + needle.len();
-        let after_ok = !haystack[after..].chars().next().is_some_and(is_ident);
-        if before_ok && after_ok {
-            out.push(at);
-        }
-        from = after;
-    }
-    out
-}
-
-/// Tokens that break the wait-free metrics contract: locks and atomic
-/// orderings stronger than `Relaxed`.
-const OBS_BLOCKING_TOKENS: &[&str] = &[
-    "Ordering::SeqCst",
-    "Ordering::Acquire",
-    "Ordering::Release",
-    "Ordering::AcqRel",
-    "Mutex",
-    "RwLock",
-    "Condvar",
-    ".lock(",
-];
-
-/// Metric-update calls whose call sites the obs_hot_path rule guards.
-const OBS_UPDATE_TOKENS: &[&str] = &[".inc(", ".record(", ".add(", ".set("];
-
-const KEYWORDS_BEFORE_BRACKET: &[&str] = &[
-    "let", "mut", "in", "if", "else", "match", "return", "break", "continue", "move", "ref", "as",
-    "dyn", "where", "unsafe", "const", "static", "pub", "use", "fn", "impl", "for", "while",
-    "loop", "box", "await", "yield",
-];
-
-/// Lint one source file. `rel` is the workspace-relative path with forward
-/// slashes; rules apply according to which config lists contain it.
-pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    let raw_lines: Vec<&str> = source.lines().collect();
-    let code = strip(source);
-    let code_lines: Vec<&str> = code.lines().collect();
-    let exempt = test_exempt_lines(&code);
-
-    let unsafe_allowed = config.unsafe_allow.iter().any(|f| f == rel);
-    let hot = config.hot_path.iter().any(|f| f == rel);
-    let no_relaxed = config.no_relaxed_files.iter().any(|f| f == rel);
-    let failpoint_allowed = config.failpoint_allow.iter().any(|f| f == rel);
-    let atomic_io = config.atomic_io_files.iter().any(|f| f == rel);
-    let obs_metrics = config.obs_metrics_files.iter().any(|f| f == rel);
-    let obs_call_site = config.obs_call_site_files.iter().any(|f| f == rel);
-
-    let mut push = |line: usize, rule: &'static str, message: String| {
-        violations.push(Violation {
-            file: rel.to_string(),
-            line: line + 1,
-            rule,
-            message,
-        });
-    };
-
-    for (idx, line) in code_lines.iter().enumerate() {
-        if exempt.get(idx).copied().unwrap_or(false) {
+/// Attach a waiver comment to a statement: the statement of the nearest
+/// preceding code token that ends on the comment's line, else the
+/// statement of the next code token after the comment.
+fn attach_stmt(fa: &FileAnalysis, comment_idx: usize) -> Option<usize> {
+    let comment = fa.tokens.get(comment_idx)?;
+    for j in (0..comment_idx).rev() {
+        let Some(tok) = fa.tokens.get(j) else {
+            continue;
+        };
+        if tok.kind.is_comment() || tok.kind == TokenKind::Shebang {
             continue;
         }
-
-        // unsafe_allowlist + safety_comment
-        if !find_word(line, "unsafe").is_empty() {
-            if !unsafe_allowed {
-                push(
-                    idx,
-                    "unsafe_allowlist",
-                    format!(
-                        "`unsafe` outside the allowlist ({}); move the code behind a safe \
-                         abstraction or extend `[unsafe_code] allow` in lint.toml",
-                        config.unsafe_allow.join(", ")
-                    ),
-                );
-            } else if !safety_covered(&raw_lines, idx) {
-                push(
-                    idx,
-                    "safety_comment",
-                    "`unsafe` without a `// SAFETY:` comment explaining why the invariants hold"
-                        .to_string(),
-                );
-            }
+        let end_line = tok.line.saturating_add(tok.text.matches('\n').count());
+        if end_line == comment.line {
+            return fa.stmt_of.get(j).copied().flatten();
         }
+        break;
+    }
+    for (j, tok) in fa
+        .tokens
+        .iter()
+        .enumerate()
+        .skip(comment_idx.saturating_add(1))
+    {
+        if tok.kind.is_comment() || tok.kind == TokenKind::Shebang {
+            continue;
+        }
+        return fa.stmt_of.get(j).copied().flatten();
+    }
+    None
+}
 
-        if hot {
-            // no_panic
-            for pattern in [
-                ".unwrap()",
-                ".expect(",
-                "panic!",
-                "unreachable!",
-                "todo!",
-                "unimplemented!",
-            ] {
-                if line.contains(pattern) && !waived(&raw_lines, idx, "no_panic") {
-                    push(
-                        idx,
-                        "no_panic",
-                        format!(
-                            "`{pattern}` in a hot-path module; handle the case or add \
-                             `// lint:allow(no_panic): <reason>`"
-                        ),
-                    );
+fn collect_waivers(fa: &FileAnalysis) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for (i, tok) in fa.tokens.iter().enumerate() {
+        // Doc comments are rendered documentation, not linter
+        // directives; strings never carry waivers at all (they are not
+        // comment tokens).
+        if !tok.kind.is_comment() || tok.kind.is_doc_comment() {
+            continue;
+        }
+        let rules = waiver_rules(&tok.text);
+        if rules.is_empty() {
+            continue;
+        }
+        let used = vec![false; rules.len()];
+        waivers.push(Waiver {
+            token: i,
+            stmt: attach_stmt(fa, i),
+            rules,
+            used,
+        });
+    }
+    waivers
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Lint one source file. `rel` is the workspace-relative path with
+/// forward slashes; rules apply according to which config lists contain
+/// it. Returns **all** findings — waived ones carry `waived: true` and
+/// do not fail the build; use [`active`] to filter. A file that fails
+/// to tokenize or brace-match yields a single `syntax` finding.
+pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Violation> {
+    let fa = match FileAnalysis::analyze(rel, source) {
+        Ok(fa) => fa,
+        Err(message) => {
+            // Error strings start with `line:col: `.
+            let mut parts = message.splitn(3, ':');
+            let line = parts.next().and_then(|p| p.parse().ok()).unwrap_or(1);
+            let col = parts.next().and_then(|p| p.parse().ok()).unwrap_or(1);
+            return vec![Violation {
+                file: rel.to_string(),
+                line,
+                col,
+                rule: "syntax",
+                message,
+                snippet: String::new(),
+                waived: false,
+            }];
+        }
+    };
+    let findings = rules::run_all(&fa, config);
+    let mut waivers = collect_waivers(&fa);
+    let mut violations = Vec::new();
+
+    for finding in findings {
+        let Some(tok) = fa.tokens.get(finding.token) else {
+            continue;
+        };
+        let stmt = fa.stmt_of.get(finding.token).copied().flatten();
+        let mut waived = false;
+        if stmt.is_some() {
+            for waiver in &mut waivers {
+                if waiver.stmt != stmt {
+                    continue;
                 }
-            }
-
-            // no_index
-            if !bracket_index_positions(line).is_empty() && !index_waived(&raw_lines, idx) {
-                push(
-                    idx,
-                    "no_index",
-                    "`[...]` indexing in a hot-path module; use `.get()` or add \
-                     `// lint: index-ok (<reason>)`"
-                        .to_string(),
-                );
-            }
-
-            // counter_arith
-            for field in &config.counter_fields {
-                for at in find_word(line, field) {
-                    let rest = line[at + field.len()..].trim_start();
-                    let compound =
-                        rest.starts_with("+=") || rest.starts_with("-=") || rest.starts_with("*=");
-                    if compound && !waived(&raw_lines, idx, "counter_arith") {
-                        push(
-                            idx,
-                            "counter_arith",
-                            format!(
-                                "compound arithmetic on counter `{field}`; use \
-                                 saturating_*/checked_*/wrapping_* instead"
-                            ),
-                        );
+                for (k, rule) in waiver.rules.iter().enumerate() {
+                    if rule == finding.rule {
+                        waived = true;
+                        if let Some(slot) = waiver.used.get_mut(k) {
+                            *slot = true;
+                        }
                     }
                 }
             }
         }
+        violations.push(Violation {
+            file: rel.to_string(),
+            line: tok.line,
+            col: tok.col,
+            rule: finding.rule,
+            message: finding.message,
+            snippet: fa.snippet(tok.line),
+            waived,
+        });
+    }
 
-        // no_relaxed
-        if no_relaxed
-            && line.contains("Ordering::Relaxed")
-            && !waived(&raw_lines, idx, "no_relaxed")
-        {
-            push(
-                idx,
-                "no_relaxed",
-                "`Ordering::Relaxed` without a `// lint:allow(no_relaxed): <reason>` \
-                 justification"
-                    .to_string(),
-            );
+    // Waiver hygiene: unknown rule names and waivers that suppress
+    // nothing are violations themselves, so the shipped set of waivers
+    // stays load-bearing.
+    for waiver in &waivers {
+        let Some(tok) = fa.tokens.get(waiver.token) else {
+            continue;
+        };
+        if fa.exempt.get(waiver.token).copied().unwrap_or(false) {
+            continue;
         }
-
-        // failpoint_gate
-        if !failpoint_allowed
-            && (line.contains("fail_point!") || line.contains("failpoint::"))
-            && !waived(&raw_lines, idx, "failpoint_gate")
-        {
-            push(
-                idx,
-                "failpoint_gate",
+        for (k, rule) in waiver.rules.iter().enumerate() {
+            let message = if !rules::WAIVABLE_RULES.contains(&rule.as_str()) {
                 format!(
-                    "failpoint usage outside the allowlist ({}); fault-injection sites \
-                     are deliberate — extend `[failpoints] allow` in lint.toml if this \
-                     module really needs one",
-                    config.failpoint_allow.join(", ")
-                ),
-            );
-        }
-
-        // obs_hot_path: the metric-cell implementation is Relaxed-only.
-        if obs_metrics {
-            for token in OBS_BLOCKING_TOKENS {
-                if line.contains(token) && !waived(&raw_lines, idx, "obs_hot_path") {
-                    push(
-                        idx,
-                        "obs_hot_path",
-                        format!(
-                            "`{token}` in a wait-free metrics module; metric cells must \
-                             use `Relaxed` atomics only — stronger primitives belong to \
-                             the journal/registry tiers"
-                        ),
-                    );
-                }
-            }
-        }
-
-        // obs_hot_path: metric updates on hot paths must not pair with a
-        // lock or a strong ordering on the same statement line.
-        if obs_call_site && OBS_UPDATE_TOKENS.iter().any(|t| line.contains(t)) {
-            for token in OBS_BLOCKING_TOKENS {
-                if line.contains(token) && !waived(&raw_lines, idx, "obs_hot_path") {
-                    push(
-                        idx,
-                        "obs_hot_path",
-                        format!(
-                            "metric update sharing a line with `{token}`; hot-path \
-                             instrumentation must stay wait-free — keep locks and \
-                             strong orderings off the metric-update statement"
-                        ),
-                    );
-                }
-            }
-        }
-
-        // atomic_io
-        if atomic_io {
-            for pattern in ["File::create", "fs::write", "OpenOptions::new"] {
-                if line.contains(pattern) && !waived(&raw_lines, idx, "atomic_io") {
-                    push(
-                        idx,
-                        "atomic_io",
-                        format!(
-                            "bare `{pattern}` in a checkpoint-I/O module; write through \
-                             the temp-file + fsync + atomic-rename helper (or add \
-                             `// lint:allow(atomic_io): <reason>` on the helper itself)"
-                        ),
-                    );
-                }
-            }
+                    "waiver names unknown rule `{rule}` (waivable rules: {})",
+                    rules::WAIVABLE_RULES.join(", ")
+                )
+            } else if !waiver.used.get(k).copied().unwrap_or(false) {
+                format!("waiver for `{rule}` suppresses nothing on its statement; delete it")
+            } else {
+                continue;
+            };
+            violations.push(Violation {
+                file: rel.to_string(),
+                line: tok.line,
+                col: tok.col,
+                rule: "unused_waiver",
+                message,
+                snippet: fa.snippet(tok.line),
+                waived: false,
+            });
         }
     }
+
+    violations.sort_by(|a, b| {
+        (a.line, a.col, a.rule)
+            .cmp(&(b.line, b.col, b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
     violations
 }
 
-/// Byte offsets of `[` tokens that open an *index* expression: preceded
-/// (ignoring spaces) by an identifier, `)` or `]` — and not by a keyword,
-/// attribute `#`, or macro `!`.
-fn bracket_index_positions(line: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    for (at, c) in line.char_indices() {
-        if c != '[' {
-            continue;
-        }
-        let before = line[..at].trim_end();
-        let Some(prev) = before.chars().next_back() else {
-            continue;
-        };
-        if prev == ')' || prev == ']' {
-            out.push(at);
-        } else if is_ident(prev) {
-            let word_start = before
-                .char_indices()
-                .rev()
-                .take_while(|&(_, c)| is_ident(c))
-                .last()
-                .map_or(0, |(i, _)| i);
-            let word = &before[word_start..];
-            if !KEYWORDS_BEFORE_BRACKET.contains(&word) {
-                out.push(at);
-            }
-        }
-    }
-    out
-}
-
 /// Recursively lint every `.rs` file under the configured roots.
+/// Returns all findings, waived included.
 pub fn lint_tree(root: &Path, config: &Config) -> Result<Vec<Violation>, String> {
     let mut files = Vec::new();
     for dir in &config.roots {
@@ -759,66 +713,183 @@ fn collect_rs_files(dir: &Path, skip: &[String], out: &mut Vec<PathBuf>) -> Resu
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Output formats
+// ---------------------------------------------------------------------------
+
+/// Escape a string for a JSON value.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len().saturating_add(2));
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One machine-readable record:
+/// `{"rule":…,"file":…,"line":…,"col":…,"snippet":…,"waived":…,"message":…}`.
+pub fn json_record(v: &Violation) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"snippet\":\"{}\",\
+         \"waived\":{},\"message\":\"{}\"}}",
+        json_escape(v.rule),
+        json_escape(&v.file),
+        v.line,
+        v.col,
+        json_escape(&v.snippet),
+        v.waived,
+        json_escape(&v.message)
+    )
+}
+
+/// A GitHub Actions workflow annotation (`::error file=…`). Newlines in
+/// the message are `%0A`-encoded per the workflow-command spec.
+pub fn github_annotation(v: &Violation) -> String {
+    let message = v
+        .message
+        .replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A");
+    format!(
+        "::error file={},line={},col={},title=xtask lint ({})::{}",
+        v.file, v.line, v.col, v.rule, message
+    )
+}
+
+/// Output format for the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    Text,
+    Json,
+    Github,
+}
+
+impl Format {
+    fn parse(s: &str) -> Option<Format> {
+        match s {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            "github" => Some(Format::Github),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------------
+
 /// CLI entry point; returns the process exit code. `args` excludes the
-/// binary name.
-pub fn run(args: &[String]) -> i32 {
+/// binary name. All output goes to `out` (the real binary passes
+/// stdout).
+pub fn run_with(args: &[String], out: &mut dyn Write) -> i32 {
+    let mut fail = |message: String| -> i32 {
+        let _ = writeln!(out, "xtask lint: {message}");
+        2
+    };
     let mut args = args.iter();
     match args.next().map(String::as_str) {
         Some("lint") => {}
         other => {
             if let Some(command) = other {
-                eprintln!("unknown command `{command}`");
+                let _ = writeln!(out, "unknown command `{command}`");
             }
-            eprintln!("usage: cargo run -p xtask -- lint [--root <dir>] [--config <lint.toml>]");
+            let _ = writeln!(
+                out,
+                "usage: cargo run -p xtask -- lint [--root <dir>] [--config <lint.toml>] \
+                 [--format text|json|github]"
+            );
             return 2;
         }
     }
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
+    let mut format = Format::Text;
     while let Some(flag) = args.next() {
         let value = args.next();
         match (flag.as_str(), value) {
             ("--root", Some(v)) => root = Some(PathBuf::from(v)),
             ("--config", Some(v)) => config_path = Some(PathBuf::from(v)),
-            _ => {
-                eprintln!("unknown or incomplete option `{flag}`");
-                return 2;
-            }
+            ("--format", Some(v)) => match Format::parse(v) {
+                Some(f) => format = f,
+                None => {
+                    return fail(format!(
+                        "unknown format `{v}` (expected text, json or github)"
+                    ))
+                }
+            },
+            _ => return fail(format!("unknown or incomplete option `{flag}`")),
         }
     }
     let root = root.unwrap_or_else(workspace_root);
     let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
     let config_text = match std::fs::read_to_string(&config_path) {
         Ok(text) => text,
-        Err(e) => {
-            eprintln!("xtask lint: cannot read {}: {e}", config_path.display());
-            return 2;
-        }
+        Err(e) => return fail(format!("cannot read {}: {e}", config_path.display())),
     };
     let config = match parse_config(&config_text) {
         Ok(config) => config,
-        Err(e) => {
-            eprintln!("xtask lint: {e}");
-            return 2;
-        }
+        Err(e) => return fail(e),
     };
-    match lint_tree(&root, &config) {
-        Ok(violations) if violations.is_empty() => {
-            println!("xtask lint: clean");
-            0
-        }
-        Ok(violations) => {
-            for violation in &violations {
-                println!("{violation}");
+    if let Err(e) = validate_config_paths(&config, &root) {
+        return fail(e);
+    }
+    let violations = match lint_tree(&root, &config) {
+        Ok(violations) => violations,
+        Err(e) => return fail(e),
+    };
+    let active: Vec<&Violation> = violations.iter().filter(|v| v.is_active()).collect();
+    let waived_count = violations.len().saturating_sub(active.len());
+    match format {
+        Format::Text => {
+            for violation in &active {
+                let _ = writeln!(out, "{violation}");
             }
-            println!("xtask lint: {} violation(s)", violations.len());
-            1
+            if active.is_empty() {
+                let _ = writeln!(out, "xtask lint: clean ({waived_count} waived)");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "xtask lint: {} violation(s) ({waived_count} waived)",
+                    active.len()
+                );
+            }
         }
-        Err(e) => {
-            eprintln!("xtask lint: {e}");
-            2
+        Format::Json => {
+            // Machine-readable: every finding, waived included, one
+            // record per line; no summary line.
+            for violation in &violations {
+                let _ = writeln!(out, "{}", json_record(violation));
+            }
+        }
+        Format::Github => {
+            for violation in &active {
+                let _ = writeln!(out, "{}", github_annotation(violation));
+            }
+            let _ = writeln!(
+                out,
+                "xtask lint: {} violation(s), {waived_count} waived",
+                active.len()
+            );
         }
     }
+    i32::from(!active.is_empty())
+}
+
+/// CLI entry point writing to stdout.
+pub fn run(args: &[String]) -> i32 {
+    let mut stdout = std::io::stdout();
+    run_with(args, &mut stdout)
 }
 
 /// The workspace root, two levels above this crate's manifest.

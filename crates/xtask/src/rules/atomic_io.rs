@@ -1,0 +1,41 @@
+//! `atomic_io`: in checkpoint-I/O modules, bare file-writing calls
+//! (`File::create`, `fs::write`, `OpenOptions::new`) are banned —
+//! checkpoint bytes must flow through the temp-file + fsync +
+//! atomic-rename helper so a crash can never tear a published
+//! generation in place. The helper itself carries the one waiver.
+
+use super::{exempt_at, listed, path_at, push_at, Finding};
+use crate::{Config, FileAnalysis};
+
+const BARE_WRITE_PATHS: &[&[&str]] = &[
+    &["File", "::", "create"],
+    &["fs", "::", "write"],
+    &["OpenOptions", "::", "new"],
+];
+
+pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
+    if !listed(&config.atomic_io_files, &fa.rel) {
+        return;
+    }
+    for pos in 0..fa.code.len() {
+        if exempt_at(fa, pos) {
+            continue;
+        }
+        for path in BARE_WRITE_PATHS {
+            if path_at(fa, pos, path) {
+                push_at(
+                    fa,
+                    out,
+                    pos,
+                    "atomic_io",
+                    format!(
+                        "bare `{}` in a checkpoint-I/O module; write through the \
+                         temp-file + fsync + atomic-rename helper (or add \
+                         `// lint:allow(atomic_io): <reason>` on the helper itself)",
+                        path.join("")
+                    ),
+                );
+            }
+        }
+    }
+}

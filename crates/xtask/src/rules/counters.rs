@@ -1,0 +1,42 @@
+//! `counter_arith`: compound arithmetic assignment (`+=`, `-=`, `*=`)
+//! on the configured counter fields is banned in hot-path files — the
+//! overflow mode must be spelled out (`saturating_*` / `checked_*` /
+//! `wrapping_*`). Tokenization gives exact word boundaries: `freq += 1`
+//! fires, `frequency += 1` does not.
+
+use super::{exempt_at, ident_at, listed, push_at, Finding};
+use crate::{Config, FileAnalysis};
+
+const COMPOUND_OPS: &[&str] = &["+=", "-=", "*="];
+
+pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
+    if !listed(&config.hot_path, &fa.rel) {
+        return;
+    }
+    for pos in 0..fa.code.len() {
+        if exempt_at(fa, pos) {
+            continue;
+        }
+        let Some(name) = ident_at(fa, pos) else {
+            continue;
+        };
+        if !config.counter_fields.iter().any(|f| f == name) {
+            continue;
+        }
+        let compound = fa
+            .code_tok(pos.saturating_add(1))
+            .is_some_and(|t| COMPOUND_OPS.contains(&t.text.as_str()));
+        if compound {
+            push_at(
+                fa,
+                out,
+                pos,
+                "counter_arith",
+                format!(
+                    "compound arithmetic on counter `{name}`; use \
+                     saturating_*/checked_*/wrapping_* instead"
+                ),
+            );
+        }
+    }
+}

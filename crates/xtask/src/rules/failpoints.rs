@@ -1,0 +1,35 @@
+//! `failpoint_gate`: `fail_point!` sites and `failpoint::` paths may
+//! appear only in the allowlisted files — the fault-injection surface
+//! stays deliberate, not something that spreads into arbitrary modules
+//! unreviewed. A bare `failpoint` identifier (e.g. `pub mod failpoint;`)
+//! is not usage.
+
+use super::{exempt_at, listed, macro_call, path_at, push_at, Finding};
+use crate::{Config, FileAnalysis};
+
+pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
+    if listed(&config.failpoint_allow, &fa.rel) {
+        return;
+    }
+    for pos in 0..fa.code.len() {
+        if exempt_at(fa, pos) {
+            continue;
+        }
+        let hit = macro_call(fa, pos, &["fail_point"]).is_some()
+            || path_at(fa, pos, &["failpoint", "::"]);
+        if hit {
+            push_at(
+                fa,
+                out,
+                pos,
+                "failpoint_gate",
+                format!(
+                    "failpoint usage outside the allowlist ({}); fault-injection sites \
+                     are deliberate — extend `[failpoints] allow` in lint.toml if this \
+                     module really needs one",
+                    config.failpoint_allow.join(", ")
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! `no_index`: expression-level `[...]` indexing detection in hot-path
+//! files.
+//!
+//! A `[` opening a bracket group is an *index expression* iff the
+//! previous code token can end an indexable expression: an identifier
+//! that is not a keyword, a raw identifier, or a closing `)` / `]`.
+//! Everything else — attributes (`#[...]`), macro invocations
+//! (`vec![...]`), slice patterns (`let [a, b] = ..`), array types
+//! (`[u8; 4]`), array literals (`= [1, 2]`) — is structurally not an
+//! index and never flagged, so no waiver is needed for them.
+
+use crate::lexer::{is_keyword, TokenKind};
+use crate::rules::{listed, Finding};
+use crate::{Config, FileAnalysis};
+
+pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
+    if !listed(&config.hot_path, &fa.rel) {
+        return;
+    }
+    for &open in &fa.bracket_opens {
+        if fa.exempt.get(open).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(pos) = fa.code_pos(open) else {
+            continue;
+        };
+        let Some(prev) = pos.checked_sub(1).and_then(|p| fa.code_tok(p)) else {
+            continue;
+        };
+        let indexes = match prev.kind {
+            TokenKind::Ident => !is_keyword(&prev.text),
+            TokenKind::RawIdent => true,
+            TokenKind::Punct => prev.text == ")" || prev.text == "]",
+            _ => false,
+        };
+        if indexes {
+            out.push(Finding {
+                token: open,
+                rule: "no_index",
+                message: format!(
+                    "`{}[...]` indexing in a hot-path module; use `.get()` or add \
+                     `// lint: index-ok (<reason>)`",
+                    prev.text
+                ),
+            });
+        }
+    }
+}

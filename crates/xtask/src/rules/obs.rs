@@ -1,0 +1,114 @@
+//! `obs_hot_path`: the wait-free metrics contract, in two parts.
+//!
+//! * **Metrics files** (the metric-cell implementation) must stay
+//!   `Relaxed`-only: no locks (`Mutex`/`RwLock`/`Condvar`/`.lock()`)
+//!   and no atomic ordering stronger than `Relaxed`.
+//! * **Call-site files** (hot paths that bump metrics): a metric update
+//!   (`.inc(` / `.record(` / `.add(` / `.set(`) must not share a
+//!   **statement** with a lock or a strong ordering. Statement-level
+//!   analysis closes the old line-break evasion (`lock()\n.map(|_|
+//!   c.inc())` fires) and drops the old false positive where two
+//!   independent statements merely shared a line (`stalls.inc(); let g
+//!   = m.lock();` is clean — the lock is not on the metric's path).
+
+use super::{exempt_at, ident_at, listed, method_call, path_at, Finding};
+use crate::{Config, FileAnalysis};
+
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock", "Condvar"];
+const LOCK_METHODS: &[&str] = &["lock", "try_lock"];
+const STRONG_ORDERINGS: &[&str] = &["SeqCst", "Acquire", "Release", "AcqRel"];
+const UPDATE_METHODS: &[&str] = &["inc", "record", "add", "set"];
+
+/// If code position `pos` starts a blocking construct, a short label
+/// for it.
+fn blocking_at(fa: &FileAnalysis, pos: usize) -> Option<String> {
+    if let Some(name) = ident_at(fa, pos) {
+        if LOCK_TYPES.contains(&name) {
+            return Some(format!("`{name}`"));
+        }
+        if name == "Ordering" {
+            for ordering in STRONG_ORDERINGS {
+                if path_at(fa, pos, &["Ordering", "::", ordering]) {
+                    return Some(format!("`Ordering::{ordering}`"));
+                }
+            }
+        }
+    }
+    if let Some(name) = method_call(fa, pos, LOCK_METHODS) {
+        return Some(format!("`.{name}()`"));
+    }
+    None
+}
+
+pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
+    // Part 1: the metric-cell implementation is Relaxed-only.
+    if listed(&config.obs_metrics_files, &fa.rel) {
+        for pos in 0..fa.code.len() {
+            if exempt_at(fa, pos) {
+                continue;
+            }
+            if let Some(label) = blocking_at(fa, pos) {
+                if let Some(&token) = fa.code.get(pos) {
+                    out.push(Finding {
+                        token,
+                        rule: "obs_hot_path",
+                        message: format!(
+                            "{label} in a wait-free metrics module; metric cells must \
+                             use `Relaxed` atomics only — stronger primitives belong to \
+                             the journal/registry tiers"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Part 2: call sites — update and blocking construct in the same
+    // statement.
+    if !listed(&config.obs_call_site_files, &fa.rel) {
+        return;
+    }
+    // Per statement: first update position and first blocking label.
+    let mut updates: Vec<Option<usize>> = vec![None; fa.stmt_count];
+    let mut blockers: Vec<Option<String>> = vec![None; fa.stmt_count];
+    for pos in 0..fa.code.len() {
+        if exempt_at(fa, pos) {
+            continue;
+        }
+        let Some(stmt) = fa
+            .code
+            .get(pos)
+            .and_then(|&i| fa.stmt_of.get(i).copied().flatten())
+        else {
+            continue;
+        };
+        if method_call(fa, pos, UPDATE_METHODS).is_some() {
+            if let Some(slot) = updates.get_mut(stmt) {
+                // Anchor on the method name token.
+                slot.get_or_insert(pos.saturating_add(1));
+            }
+        }
+        if let Some(label) = blocking_at(fa, pos) {
+            if let Some(slot) = blockers.get_mut(stmt) {
+                slot.get_or_insert(label);
+            }
+        }
+    }
+    for (stmt, update) in updates.iter().enumerate() {
+        let (Some(update_pos), Some(label)) = (update, blockers.get(stmt).and_then(|b| b.as_ref()))
+        else {
+            continue;
+        };
+        if let Some(&token) = fa.code.get(*update_pos) {
+            out.push(Finding {
+                token,
+                rule: "obs_hot_path",
+                message: format!(
+                    "metric update sharing a statement with {label}; hot-path \
+                     instrumentation must stay wait-free — keep locks and strong \
+                     orderings out of the metric-update statement"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! `no_relaxed`: in the configured concurrency files every
+//! `Ordering::Relaxed` must carry a written justification — the loom
+//! models check the orderings that are there, not the ones someone
+//! quietly weakens later.
+
+use super::{exempt_at, listed, path_at, push_at, Finding};
+use crate::{Config, FileAnalysis};
+
+pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
+    if !listed(&config.no_relaxed_files, &fa.rel) {
+        return;
+    }
+    for pos in 0..fa.code.len() {
+        if exempt_at(fa, pos) {
+            continue;
+        }
+        if path_at(fa, pos, &["Ordering", "::", "Relaxed"]) {
+            push_at(
+                fa,
+                out,
+                pos.saturating_add(2),
+                "no_relaxed",
+                "`Ordering::Relaxed` without a `// lint:allow(no_relaxed): <reason>` \
+                 justification"
+                    .to_string(),
+            );
+        }
+    }
+}

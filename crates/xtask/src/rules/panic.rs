@@ -1,0 +1,46 @@
+//! `no_panic`: hot-path files must not call `.unwrap()` / `.expect(...)`
+//! or invoke the panicking macros. `assert!`/`debug_assert!` stay
+//! allowed — they state entry-point contracts, not per-record control
+//! flow.
+
+use super::{exempt_at, listed, macro_call, method_call, push_at, Finding};
+use crate::{Config, FileAnalysis};
+
+const PANICKING_METHODS: &[&str] = &["unwrap", "expect"];
+const PANICKING_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
+    if !listed(&config.hot_path, &fa.rel) {
+        return;
+    }
+    for pos in 0..fa.code.len() {
+        if exempt_at(fa, pos) {
+            continue;
+        }
+        if let Some(name) = method_call(fa, pos, PANICKING_METHODS) {
+            // Anchor on the method name, one past the dot.
+            push_at(
+                fa,
+                out,
+                pos.saturating_add(1),
+                "no_panic",
+                format!(
+                    "`.{name}(...)` in a hot-path module; handle the case or add \
+                     `// lint:allow(no_panic): <reason>`"
+                ),
+            );
+        }
+        if let Some(name) = macro_call(fa, pos, PANICKING_MACROS) {
+            push_at(
+                fa,
+                out,
+                pos,
+                "no_panic",
+                format!(
+                    "`{name}!` in a hot-path module; handle the case or add \
+                     `// lint:allow(no_panic): <reason>`"
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! `unsafe_allowlist` + `safety_comment`: `unsafe` may appear only in
+//! the configured files, and every `unsafe` token there must be covered
+//! by a `// SAFETY:` comment on the same line or in the contiguous
+//! comment block directly above.
+
+use super::{exempt_at, ident_at, listed, push_at, Finding};
+use crate::{Config, FileAnalysis};
+
+pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
+    let allowed = listed(&config.unsafe_allow, &fa.rel);
+    for pos in 0..fa.code.len() {
+        if ident_at(fa, pos) != Some("unsafe") || exempt_at(fa, pos) {
+            continue;
+        }
+        if !allowed {
+            push_at(
+                fa,
+                out,
+                pos,
+                "unsafe_allowlist",
+                format!(
+                    "`unsafe` outside the allowlist ({}); move the code behind a safe \
+                     abstraction or extend `[unsafe_code] allow` in lint.toml",
+                    config.unsafe_allow.join(", ")
+                ),
+            );
+        } else if !safety_covered(fa, pos) {
+            push_at(
+                fa,
+                out,
+                pos,
+                "safety_comment",
+                "`unsafe` without a `// SAFETY:` comment explaining why the invariants hold"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// SAFETY coverage: a comment containing `SAFETY:` on the token's line,
+/// or in the contiguous run of comment-only lines directly above it.
+fn safety_covered(fa: &FileAnalysis, pos: usize) -> bool {
+    let Some(tok) = fa.code_tok(pos) else {
+        return false;
+    };
+    let line = tok.line; // 1-based
+    if fa.line_has_safety(line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l = l.saturating_sub(1);
+        if !fa.line_comment_only(l) {
+            return false;
+        }
+        if fa.line_has_safety(l) {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,233 @@
+//! Brace-matched token trees and statement segmentation.
+//!
+//! The tree layer groups the flat token stream into nested
+//! `(...)`/`[...]`/`{...}` groups (comments and the shebang are left
+//! out, so "previous sibling" means the previous *code* token), then
+//! assigns every code token to its innermost **statement** — the unit
+//! the rules and waivers operate on.
+//!
+//! Statement model: only `{...}` groups open a statement scope. Within
+//! a scope, statements split at `;` and after a nested brace group,
+//! unless the token following the group continues the expression
+//! (`.`, `?`, `;`, `=>`, `else`) — so `match x { .. }` headers,
+//! `if/else` chains and `S { .. }.method()` stay one statement while
+//! consecutive items (`fn a() {..} fn b() {..}`) split. Paren/bracket
+//! group contents belong to the enclosing statement; a closure body
+//! `|| { ... }` opens its own scope like any other brace group.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Delimiter of a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    Paren,
+    Bracket,
+    Brace,
+}
+
+impl Delim {
+    fn of(text: &str) -> Option<(Delim, bool)> {
+        match text {
+            "(" => Some((Delim::Paren, true)),
+            ")" => Some((Delim::Paren, false)),
+            "[" => Some((Delim::Bracket, true)),
+            "]" => Some((Delim::Bracket, false)),
+            "{" => Some((Delim::Brace, true)),
+            "}" => Some((Delim::Brace, false)),
+            _ => None,
+        }
+    }
+}
+
+/// A node: either a single non-delimiter token (by index into the token
+/// vector) or a delimited group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tree {
+    Leaf(usize),
+    Group(Group),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    pub delim: Delim,
+    /// Token index of the opening delimiter.
+    pub open: usize,
+    /// Token index of the closing delimiter.
+    pub close: usize,
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    /// Token index of the first token of this node.
+    pub fn first_token(&self) -> usize {
+        match self {
+            Tree::Leaf(i) => *i,
+            Tree::Group(g) => g.open,
+        }
+    }
+}
+
+/// Build the forest for a whole file. Comments and the shebang are
+/// excluded. Fails on unbalanced or mismatched delimiters.
+pub fn build(tokens: &[Token]) -> Result<Vec<Tree>, String> {
+    let mut stack: Vec<Group> = Vec::new();
+    let mut root: Vec<Tree> = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind.is_comment() || tok.kind == TokenKind::Shebang {
+            continue;
+        }
+        let delim = if tok.kind == TokenKind::Punct {
+            Delim::of(&tok.text)
+        } else {
+            None
+        };
+        match delim {
+            Some((d, true)) => stack.push(Group {
+                delim: d,
+                open: i,
+                close: i,
+                children: Vec::new(),
+            }),
+            Some((d, false)) => {
+                let mut group = stack
+                    .pop()
+                    .ok_or_else(|| format!("{}:{}: unmatched `{}`", tok.line, tok.col, tok.text))?;
+                if group.delim != d {
+                    return Err(format!(
+                        "{}:{}: mismatched delimiter `{}`",
+                        tok.line, tok.col, tok.text
+                    ));
+                }
+                group.close = i;
+                let tree = Tree::Group(group);
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(tree),
+                    None => root.push(tree),
+                }
+            }
+            None => {
+                let tree = Tree::Leaf(i);
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(tree),
+                    None => root.push(tree),
+                }
+            }
+        }
+    }
+    if let Some(open) = stack.last() {
+        let tok = &tokens[open.open];
+        return Err(format!("{}:{}: unclosed `{}`", tok.line, tok.col, tok.text));
+    }
+    Ok(root)
+}
+
+/// Per-token statement assignment: `stmt_of[token_index]` is the id of
+/// the innermost statement containing that token (`None` for comments
+/// and the shebang).
+#[derive(Debug, Clone)]
+pub struct Statements {
+    pub stmt_of: Vec<Option<usize>>,
+    /// Number of statements assigned.
+    pub count: usize,
+}
+
+/// Tokens that, when following a `}` group, continue the current
+/// statement instead of ending it.
+fn continues_statement(tok: &Token) -> bool {
+    match tok.kind {
+        TokenKind::Punct => matches!(tok.text.as_str(), "." | "?" | ";" | "=>"),
+        TokenKind::Ident => tok.text == "else",
+        _ => false,
+    }
+}
+
+struct Segmenter<'a> {
+    tokens: &'a [Token],
+    stmt_of: Vec<Option<usize>>,
+    /// Global id counter — statement ids are unique across all scopes.
+    counter: usize,
+}
+
+impl Segmenter<'_> {
+    fn new_id(&mut self) -> usize {
+        let id = self.counter;
+        self.counter = self.counter.saturating_add(1);
+        id
+    }
+
+    fn assign(&mut self, i: usize, stmt: usize) {
+        if let Some(slot) = self.stmt_of.get_mut(i) {
+            *slot = Some(stmt);
+        }
+    }
+
+    /// Assign a subtree to statement `stmt`; nested brace groups open
+    /// their own statement scopes (delimiters stay with `stmt`).
+    fn assign_tree(&mut self, tree: &Tree, stmt: usize) {
+        match tree {
+            Tree::Leaf(i) => self.assign(*i, stmt),
+            Tree::Group(g) => {
+                self.assign(g.open, stmt);
+                self.assign(g.close, stmt);
+                if g.delim == Delim::Brace {
+                    self.scope(&g.children);
+                } else {
+                    for child in &g.children {
+                        self.assign_tree(child, stmt);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Segment a brace scope (or the file root) into statements.
+    fn scope(&mut self, trees: &[Tree]) {
+        let mut current: Option<usize> = None;
+        let mut iter = trees.iter().peekable();
+        while let Some(tree) = iter.next() {
+            let stmt = match current {
+                Some(id) => id,
+                None => {
+                    let id = self.new_id();
+                    current = Some(id);
+                    id
+                }
+            };
+            match tree {
+                Tree::Leaf(i) => {
+                    self.assign(*i, stmt);
+                    if self.tokens.get(*i).is_some_and(|t| t.text == ";") {
+                        current = None;
+                    }
+                }
+                Tree::Group(g) if g.delim == Delim::Brace => {
+                    self.assign(g.open, stmt);
+                    self.assign(g.close, stmt);
+                    self.scope(&g.children);
+                    let cont = iter.peek().is_some_and(|next| match next {
+                        Tree::Leaf(j) => self.tokens.get(*j).is_some_and(continues_statement),
+                        Tree::Group(_) => false,
+                    });
+                    if !cont {
+                        current = None;
+                    }
+                }
+                Tree::Group(_) => self.assign_tree(tree, stmt),
+            }
+        }
+    }
+}
+
+/// Compute the statement assignment for a file.
+pub fn segment(tokens: &[Token], root: &[Tree]) -> Statements {
+    let mut seg = Segmenter {
+        tokens,
+        stmt_of: vec![None; tokens.len()],
+        counter: 0,
+    };
+    seg.scope(root);
+    Statements {
+        stmt_of: seg.stmt_of,
+        count: seg.counter,
+    }
+}

@@ -1,0 +1,256 @@
+//! Structural `#[cfg(...)]` evaluation tests: the linter models the
+//! production build — `test` is definitively false, features are
+//! unknown unless pinned — and an item is exempt only when its
+//! predicate is definitively false.
+
+use xtask::cfg::{exempt_mask, CfgContext};
+use xtask::lexer::tokenize;
+use xtask::tokentree::build;
+
+/// For each `needle`, whether the first code token with that text is
+/// exempt.
+fn exemptions(src: &str, ctx: &CfgContext, needles: &[&str]) -> Vec<bool> {
+    let tokens = tokenize(src).expect("lex");
+    let root = build(&tokens).expect("tree");
+    let mask = exempt_mask(&tokens, &root, ctx);
+    needles
+        .iter()
+        .map(|needle| {
+            let (i, _) = tokens
+                .iter()
+                .enumerate()
+                .find(|(_, t)| t.text == *needle)
+                .unwrap_or_else(|| panic!("token `{needle}` not found"));
+            mask[i]
+        })
+        .collect()
+}
+
+fn default_ctx() -> CfgContext {
+    CfgContext::default()
+}
+
+#[test]
+fn cfg_test_mod_is_exempt() {
+    let src = "
+        pub fn live() {}
+        #[cfg(test)]
+        mod tests {
+            fn helper() { banned(); }
+        }
+        pub fn also_live() {}
+    ";
+    assert_eq!(
+        exemptions(src, &default_ctx(), &["live", "banned", "also_live"]),
+        vec![false, true, false]
+    );
+}
+
+#[test]
+fn cfg_test_fn_with_stacked_attrs_is_exempt() {
+    let src = "
+        #[cfg(test)]
+        #[allow(dead_code)]
+        fn helper() { banned(); }
+        fn live() {}
+    ";
+    assert_eq!(
+        exemptions(src, &default_ctx(), &["banned", "live"]),
+        vec![true, false]
+    );
+}
+
+#[test]
+fn attr_order_does_not_matter() {
+    let src = "
+        #[allow(dead_code)]
+        #[cfg(test)]
+        fn helper() { banned(); }
+    ";
+    assert_eq!(exemptions(src, &default_ctx(), &["banned"]), vec![true]);
+}
+
+#[test]
+fn cfg_test_on_statement_and_semicolon_items() {
+    let src = "
+        #[cfg(test)]
+        use crate::test_helpers::banned;
+        use crate::live;
+    ";
+    assert_eq!(
+        exemptions(src, &default_ctx(), &["banned", "live"]),
+        vec![true, false]
+    );
+}
+
+#[test]
+fn feature_gates_stay_linted_both_arms() {
+    // A feature is Unknown in the default context: neither arm may be
+    // exempted, or weakening an ordering behind a gate escapes the lint.
+    let src = "
+        #[cfg(feature = \"failpoints\")]
+        fn armed() { on_arm(); }
+        #[cfg(not(feature = \"failpoints\"))]
+        fn disarmed() { off_arm(); }
+    ";
+    assert_eq!(
+        exemptions(src, &default_ctx(), &["on_arm", "off_arm"]),
+        vec![false, false]
+    );
+}
+
+#[test]
+fn pinned_features_evaluate_definitively() {
+    let src = "
+        #[cfg(feature = \"x\")]
+        fn gated() { on_arm(); }
+        #[cfg(not(feature = \"x\"))]
+        fn ungated() { off_arm(); }
+    ";
+    let on = CfgContext {
+        features_on: vec!["x".to_string()],
+        features_off: vec![],
+    };
+    // Feature pinned on: the not() arm is definitively false.
+    assert_eq!(
+        exemptions(src, &on, &["on_arm", "off_arm"]),
+        vec![false, true]
+    );
+    let off = CfgContext {
+        features_on: vec![],
+        features_off: vec!["x".to_string()],
+    };
+    assert_eq!(
+        exemptions(src, &off, &["on_arm", "off_arm"]),
+        vec![true, false]
+    );
+}
+
+#[test]
+fn all_with_test_is_false_regardless_of_unknowns() {
+    // all(test, feature = "f") is False even though the feature is
+    // Unknown — False absorbs in Kleene conjunction.
+    let src = "
+        #[cfg(all(test, feature = \"failpoints\"))]
+        mod t { fn helper() { banned(); } }
+    ";
+    assert_eq!(exemptions(src, &default_ctx(), &["banned"]), vec![true]);
+}
+
+#[test]
+fn any_with_test_depends_on_the_other_arm() {
+    // any(test, unix): test is False, unix is Unknown → Unknown → linted.
+    let src = "
+        #[cfg(any(test, unix))]
+        fn maybe() { kept(); }
+    ";
+    assert_eq!(exemptions(src, &default_ctx(), &["kept"]), vec![false]);
+}
+
+#[test]
+fn not_test_is_true_and_linted() {
+    let src = "
+        #[cfg(not(test))]
+        fn production() { kept(); }
+    ";
+    assert_eq!(exemptions(src, &default_ctx(), &["kept"]), vec![false]);
+}
+
+#[test]
+fn unknown_flags_and_exotic_predicates_stay_linted() {
+    // unix, target_os, and anything unparseable must fail toward
+    // "linted", never "exempt".
+    let src = "
+        #[cfg(unix)]
+        fn a() { one(); }
+        #[cfg(target_os = \"linux\")]
+        fn b() { two(); }
+        #[cfg(version(\"1.70\"))]
+        fn c() { three(); }
+    ";
+    assert_eq!(
+        exemptions(src, &default_ctx(), &["one", "two", "three"]),
+        vec![false, false, false]
+    );
+}
+
+#[test]
+fn nested_cfg_test_inside_function_body() {
+    let src = "
+        fn live() {
+            work();
+            #[cfg(test)]
+            check_invariants();
+            more_work();
+        }
+    ";
+    assert_eq!(
+        exemptions(
+            src,
+            &default_ctx(),
+            &["work", "check_invariants", "more_work"]
+        ),
+        vec![false, true, false]
+    );
+}
+
+#[test]
+fn inner_cfg_test_exempts_enclosing_scope() {
+    let src = "
+        mod helpers {
+            #![cfg(test)]
+            fn helper() { banned(); }
+        }
+        fn live() {}
+    ";
+    assert_eq!(
+        exemptions(src, &default_ctx(), &["banned", "live"]),
+        vec![true, false]
+    );
+}
+
+#[test]
+fn cfg_attr_and_non_cfg_attrs_do_not_exempt() {
+    let src = "
+        #[cfg_attr(test, allow(dead_code))]
+        fn a() { one(); }
+        #[derive(Debug)]
+        struct S { two: u64 }
+        #[inline]
+        fn b() { three(); }
+    ";
+    assert_eq!(
+        exemptions(src, &default_ctx(), &["one", "two", "three"]),
+        vec![false, false, false]
+    );
+}
+
+#[test]
+fn item_with_body_then_semicolon_is_covered() {
+    // `= || { ... };`-style items: the brace group is followed by a `;`
+    // that belongs to the same item.
+    let src = "
+        #[cfg(test)]
+        static HOOK: fn() = || { banned(); };
+        fn live() {}
+    ";
+    assert_eq!(
+        exemptions(src, &default_ctx(), &["banned", "live"]),
+        vec![true, false]
+    );
+}
+
+#[test]
+fn exemption_is_format_independent() {
+    // The old brace-tracking heuristic keyed on `#[cfg(test)]` being on
+    // its own line. The structural version cannot care.
+    let one_line = "#[cfg(test)] mod t { fn h() { banned(); } } fn live() {}";
+    let split = "#[cfg(\n    test\n)]\nmod t {\n    fn h() { banned(); }\n}\nfn live() {}";
+    for src in [one_line, split] {
+        assert_eq!(
+            exemptions(src, &default_ctx(), &["banned", "live"]),
+            vec![true, false],
+            "layout: {src:?}"
+        );
+    }
+}

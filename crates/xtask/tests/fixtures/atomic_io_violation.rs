@@ -1,0 +1,18 @@
+//! Seeded atomic_io violations: lint as a checkpoint-I/O file.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+pub fn save(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)
+}
+
+pub fn save_quick(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    fs::write(path, bytes)
+}
+
+pub fn open_append(path: &Path) -> std::io::Result<File> {
+    OpenOptions::new().append(true).open(path)
+}

@@ -1,0 +1,14 @@
+//! Seeded counter_arith violation: lint as a hot-path file with
+//! counter fields including `freq`.
+
+pub struct Cell {
+    freq: u64,
+    other: u64,
+}
+
+impl Cell {
+    pub fn bump(&mut self) {
+        self.freq += 1;
+        self.other += 1; // not a counter field: silent
+    }
+}

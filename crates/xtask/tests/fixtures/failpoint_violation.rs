@@ -1,0 +1,10 @@
+//! Seeded failpoint_gate violations: lint as a file *not* on the
+//! failpoint allowlist.
+
+pub fn risky() {
+    fail_point!("table.before-insert");
+}
+
+pub fn also_risky() -> bool {
+    failpoint::armed("spsc.push")
+}

@@ -1,0 +1,21 @@
+//! Seeded no_index violations: lint as a hot-path file. The attribute,
+//! slice pattern, array type and array literal below are *not* index
+//! expressions and must stay silent.
+
+#[derive(Debug, Clone)]
+pub struct Table {
+    slots: Vec<u64>,
+    pair: [u64; 2],
+}
+
+impl Table {
+    pub fn get(&self, i: usize) -> u64 {
+        self.slots[i]
+    }
+
+    pub fn head(&self) -> u64 {
+        let [a, _b] = self.pair;
+        let arr: [u64; 2] = [a, 0];
+        (arr)[0]
+    }
+}

@@ -1,0 +1,16 @@
+//! Seeded obs_hot_path metrics-file violations: a lock type and a
+//! strong ordering inside the wait-free metric-cell module.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Cell {
+    value: AtomicU64,
+    fallback: Mutex<u64>,
+}
+
+impl Cell {
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,29 @@
+//! Seeded obs_hot_path call-site violations: a metric update sharing a
+//! statement with a lock or a strong ordering — including the
+//! line-break spelling the old lexical linter could not see. The two
+//! trailing functions are clean: independent statements on one line,
+//! and a while-header lock with the update in the (separate) body
+//! statement.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub fn split_across_lines(m: &Mutex<Vec<u64>>, stalls: &Counter) {
+    m.lock()
+        .map(|_q| stalls.inc())
+        .ok();
+}
+
+pub fn strong_ordering_same_stmt(depth: &Gauge, queue: &AtomicU64) {
+    depth.set(queue.load(Ordering::SeqCst));
+}
+
+pub fn clean_shared_line(m: &Mutex<Vec<u64>>, stalls: &Counter) {
+    stalls.inc(); let _g = m.lock();
+}
+
+pub fn clean_while_header(m: &Mutex<Vec<u64>>, stalls: &Counter) {
+    while m.try_lock().is_err() {
+        stalls.inc();
+    }
+}

@@ -1,0 +1,18 @@
+//! Seeded no_panic violations: lint as a hot-path file.
+
+pub fn hot(v: Option<u64>, w: Result<u64, ()>) -> u64 {
+    let x = v.unwrap();
+    let y = w.expect("present");
+    if x > y {
+        panic!("impossible: {x} <= {y}");
+    }
+    x
+}
+
+pub fn todo_branch(mode: u8) -> u64 {
+    match mode {
+        0 => 1,
+        1 => unreachable!(),
+        _ => todo!("later"),
+    }
+}

@@ -1,0 +1,7 @@
+//! Seeded no_relaxed violation: lint as a no_relaxed file.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn load(head: &AtomicU64) -> u64 {
+    head.load(Ordering::Relaxed)
+}

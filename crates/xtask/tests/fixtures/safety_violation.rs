@@ -1,0 +1,11 @@
+//! Seeded safety_comment violation: lint as an *allowlisted* unsafe
+//! file — the `unsafe` below has no SAFETY comment.
+
+pub fn peek(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+pub fn covered(p: *const u64) -> u64 {
+    // SAFETY: caller guarantees `p` is valid; this one is fine.
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+//! Seeded unsafe_allowlist violation: lint as a file *not* on the
+//! unsafe allowlist. The SAFETY comment is present so only the
+//! allowlist rule fires.
+
+pub fn peek(p: *const u64) -> u64 {
+    // SAFETY: caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}

@@ -1,0 +1,12 @@
+//! Seeded unused_waiver violations: a waiver that suppresses nothing
+//! and a waiver naming an unknown rule.
+
+pub fn tidy() -> u64 {
+    // lint:allow(no_panic): nothing on this statement panics
+    42
+}
+
+pub fn typo(v: Option<u64>) -> Option<u64> {
+    // lint:allow(no_panics): misspelled rule name
+    v
+}

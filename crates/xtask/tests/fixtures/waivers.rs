@@ -1,0 +1,35 @@
+//! Waiver semantics fixture: lint as a hot-path file.
+//!
+//! * `real_waiver` / `waiver_above` / `multiline_waived`: legitimate
+//!   comment waivers attach to the statement and suppress the finding.
+//! * `string_waiver` / `doc_waiver`: waiver text inside a string
+//!   literal or a doc comment is NOT a waiver — both findings stay
+//!   active (the regression for the old waiver-in-string bug).
+
+pub fn real_waiver(v: Option<u64>) -> u64 {
+    v.unwrap() // lint:allow(no_panic): fixture — waiver on the same line
+}
+
+pub fn waiver_above(v: Option<u64>) -> u64 {
+    // lint:allow(no_panic): fixture — waiver on the line above
+    v.unwrap()
+}
+
+pub fn multiline_waived(v: Result<u64, ()>) -> u64 {
+    v.map(|x| x.saturating_add(1))
+        // lint:allow(no_panic): fixture — statement continues past the comment
+        .unwrap()
+}
+
+pub fn string_waiver(v: Result<u64, ()>) -> u64 {
+    v.expect("// lint:allow(no_panic): inside a string, not a waiver")
+}
+
+pub fn doc_waiver(v: Option<u64>) -> u64 {
+    /** lint:allow(no_panic): doc comment, not a waiver */
+    v.unwrap()
+}
+
+pub fn index_ok(slots: &[u64], mask: usize, seq: usize) -> u64 {
+    slots[seq & mask] // lint: index-ok (mask keeps this in bounds)
+}

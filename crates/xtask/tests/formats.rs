@@ -1,0 +1,179 @@
+//! Machine-readable output tests: `--format json` record shape and
+//! `--format github` workflow annotations, at both the renderer and
+//! CLI levels.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use xtask::{github_annotation, json_record, run_with, Violation};
+
+fn sample() -> Violation {
+    Violation {
+        file: "crates/core/src/table.rs".to_string(),
+        line: 42,
+        col: 7,
+        rule: "no_panic",
+        message: "`.unwrap(...)` in a hot-path module".to_string(),
+        snippet: "v.unwrap()".to_string(),
+        waived: false,
+    }
+}
+
+#[test]
+fn json_record_shape() {
+    let record = json_record(&sample());
+    assert_eq!(
+        record,
+        "{\"rule\":\"no_panic\",\"file\":\"crates/core/src/table.rs\",\"line\":42,\
+         \"col\":7,\"snippet\":\"v.unwrap()\",\"waived\":false,\
+         \"message\":\"`.unwrap(...)` in a hot-path module\"}"
+    );
+}
+
+#[test]
+fn json_record_escapes_special_characters() {
+    let mut v = sample();
+    v.snippet = "say \"hi\"\tback\\now".to_string();
+    v.message = "line\nbreak".to_string();
+    let record = json_record(&v);
+    assert!(record.contains("say \\\"hi\\\"\\tback\\\\now"), "{record}");
+    assert!(record.contains("line\\nbreak"), "{record}");
+    assert!(
+        !record.contains('\n'),
+        "JSON Lines records must be one line"
+    );
+}
+
+#[test]
+fn json_record_marks_waived() {
+    let mut v = sample();
+    v.waived = true;
+    assert!(json_record(&v).contains("\"waived\":true"));
+}
+
+#[test]
+fn github_annotation_shape() {
+    assert_eq!(
+        github_annotation(&sample()),
+        "::error file=crates/core/src/table.rs,line=42,col=7,\
+         title=xtask lint (no_panic)::`.unwrap(...)` in a hot-path module"
+    );
+}
+
+#[test]
+fn github_annotation_encodes_newlines_and_percents() {
+    let mut v = sample();
+    v.message = "50% of\nthe time".to_string();
+    let line = github_annotation(&v);
+    assert!(line.contains("50%25 of%0Athe time"), "{line}");
+    assert!(!line.contains('\n'));
+}
+
+// ---- CLI-level checks over a scratch tree ----
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xtask-formats-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("src")).expect("mkdir");
+    dir
+}
+
+/// A tree with one active violation (unwrap in a hot-path file) and one
+/// waived violation.
+fn seeded_tree(name: &str) -> PathBuf {
+    let root = scratch(name);
+    fs::write(
+        root.join("src/hot.rs"),
+        "pub fn f(v: Option<u64>) -> u64 {\n    v.unwrap()\n}\n\
+         pub fn g(w: Option<u64>) -> u64 {\n    w.unwrap() // lint:allow(no_panic): test waiver\n}\n",
+    )
+    .expect("write");
+    fs::write(
+        root.join("lint.toml"),
+        "[paths]\nroots = [\"src\"]\n\n[hot_path]\nfiles = [\"src/hot.rs\"]\n",
+    )
+    .expect("write");
+    root
+}
+
+fn run_lint(root: &Path, extra: &[&str]) -> (i32, String) {
+    let mut args: Vec<String> = vec![
+        "lint".to_string(),
+        "--root".to_string(),
+        root.to_str().expect("utf8").to_string(),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let mut out = Vec::new();
+    let code = run_with(&args, &mut out);
+    (code, String::from_utf8(out).expect("utf8 output"))
+}
+
+#[test]
+fn cli_json_emits_one_record_per_finding_including_waived() {
+    let root = seeded_tree("json");
+    let (code, out) = run_lint(&root, &["--format", "json"]);
+    assert_eq!(code, 1, "output: {out}");
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 2, "output: {out}");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        for field in [
+            "\"rule\":",
+            "\"file\":",
+            "\"line\":",
+            "\"col\":",
+            "\"snippet\":",
+            "\"waived\":",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
+    }
+    assert!(out.contains("\"waived\":false"), "{out}");
+    assert!(out.contains("\"waived\":true"), "{out}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cli_github_emits_error_annotations() {
+    let root = seeded_tree("github");
+    let (code, out) = run_lint(&root, &["--format", "github"]);
+    assert_eq!(code, 1, "output: {out}");
+    let annotations: Vec<&str> = out.lines().filter(|l| l.starts_with("::error ")).collect();
+    // Only the active violation annotates; the waived one does not.
+    assert_eq!(annotations.len(), 1, "output: {out}");
+    assert!(
+        annotations[0].contains("file=src/hot.rs,line=2,"),
+        "output: {out}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cli_text_is_the_default_format() {
+    let root = seeded_tree("text");
+    let (code, out) = run_lint(&root, &[]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.contains("src/hot.rs:2:"), "output: {out}");
+    assert!(out.contains("[no_panic]"), "output: {out}");
+    assert!(out.contains("1 violation(s) (1 waived)"), "output: {out}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cli_unknown_format_exits_two() {
+    let root = seeded_tree("badfmt");
+    let (code, out) = run_lint(&root, &["--format", "xml"]);
+    assert_eq!(code, 2, "output: {out}");
+    assert!(out.contains("unknown format `xml`"), "output: {out}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn cli_json_clean_tree_emits_nothing_and_exits_zero() {
+    let root = scratch("jsonclean");
+    fs::write(root.join("src/lib.rs"), "pub fn f() -> u64 { 1 }\n").expect("write");
+    fs::write(root.join("lint.toml"), "[paths]\nroots = [\"src\"]\n").expect("write");
+    let (code, out) = run_lint(&root, &["--format", "json"]);
+    assert_eq!(code, 0, "output: {out}");
+    assert!(out.is_empty(), "clean JSON output must be empty: {out:?}");
+    let _ = fs::remove_dir_all(&root);
+}

@@ -1,0 +1,375 @@
+//! Table-driven lexer tests: token kinds, exact texts, and span
+//! round-trips for every construct that can hide rule-relevant text.
+
+use xtask::lexer::{is_keyword, tokenize, LexError, Token, TokenKind};
+use TokenKind::*;
+
+fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+    tokenize(src)
+        .unwrap_or_else(|e| panic!("lex failed for {src:?}: {e}"))
+        .into_iter()
+        .map(|t| (t.kind, t.text))
+        .collect()
+}
+
+fn toks(src: &str) -> Vec<Token> {
+    tokenize(src).unwrap_or_else(|e| panic!("lex failed for {src:?}: {e}"))
+}
+
+/// `(name, source, expected kind/text pairs)`.
+type Case = (&'static str, &'static str, Vec<(TokenKind, &'static str)>);
+
+fn table() -> Vec<Case> {
+    vec![
+        (
+            "plain_statement",
+            "let x = 1;",
+            vec![
+                (Ident, "let"),
+                (Ident, "x"),
+                (Punct, "="),
+                (Num, "1"),
+                (Punct, ";"),
+            ],
+        ),
+        (
+            "raw_string_one_hash",
+            r###"let s = r#"a "quoted" part"#;"###,
+            vec![
+                (Ident, "let"),
+                (Ident, "s"),
+                (Punct, "="),
+                (RawStr, r##"r#"a "quoted" part"#"##),
+                (Punct, ";"),
+            ],
+        ),
+        (
+            "raw_string_two_hashes_with_inner_hash_quote",
+            r####"r##"ends "# but not here"##"####,
+            vec![(RawStr, r####"r##"ends "# but not here"##"####)],
+        ),
+        (
+            "raw_string_zero_hashes",
+            r#"r"no escapes \ here""#,
+            vec![(RawStr, r#"r"no escapes \ here""#)],
+        ),
+        (
+            "byte_string",
+            r#"b"bytes\n""#,
+            vec![(ByteStr, r#"b"bytes\n""#)],
+        ),
+        (
+            "raw_byte_string",
+            r###"br#"raw "bytes""#"###,
+            vec![(RawByteStr, r###"br#"raw "bytes""#"###)],
+        ),
+        (
+            "string_with_escaped_quote",
+            r#""a \" b""#,
+            vec![(Str, r#""a \" b""#)],
+        ),
+        ("char_simple", "'a'", vec![(Char, "'a'")]),
+        ("char_escaped_quote", r"'\''", vec![(Char, r"'\''")]),
+        ("char_escaped_backslash", r"'\\'", vec![(Char, r"'\\'")]),
+        ("char_unicode", r"'\u{1F600}'", vec![(Char, r"'\u{1F600}'")]),
+        ("char_open_bracket", "'['", vec![(Char, "'['")]),
+        ("byte_char", "b'x'", vec![(ByteChar, "b'x'")]),
+        (
+            "byte_char_escaped_quote",
+            r"b'\''",
+            vec![(ByteChar, r"b'\''")],
+        ),
+        (
+            "lifetime_in_ref",
+            "&'a str",
+            vec![(Punct, "&"), (Lifetime, "'a"), (Ident, "str")],
+        ),
+        ("lifetime_static", "'static", vec![(Lifetime, "'static")]),
+        ("lifetime_underscore", "'_", vec![(Lifetime, "'_")]),
+        (
+            "lifetime_then_char",
+            "<'a> = 'a'",
+            vec![
+                (Punct, "<"),
+                (Lifetime, "'a"),
+                (Punct, ">"),
+                (Punct, "="),
+                (Char, "'a'"),
+            ],
+        ),
+        (
+            "nested_block_comment",
+            "/* outer /* inner */ still outer */ x",
+            vec![
+                (BlockComment, "/* outer /* inner */ still outer */"),
+                (Ident, "x"),
+            ],
+        ),
+        (
+            "line_comment_non_doc",
+            "// plain\nx",
+            vec![(LineComment, "// plain"), (Ident, "x")],
+        ),
+        (
+            "doc_line_comment",
+            "/// docs\nx",
+            vec![(DocLineComment, "/// docs"), (Ident, "x")],
+        ),
+        (
+            "four_slashes_is_not_doc",
+            "//// not docs\nx",
+            vec![(LineComment, "//// not docs"), (Ident, "x")],
+        ),
+        (
+            "inner_doc_line",
+            "//! module docs\nx",
+            vec![(DocLineComment, "//! module docs"), (Ident, "x")],
+        ),
+        (
+            "doc_block",
+            "/** docs */ x",
+            vec![(DocBlockComment, "/** docs */"), (Ident, "x")],
+        ),
+        (
+            "inner_doc_block",
+            "/*! module */ x",
+            vec![(DocBlockComment, "/*! module */"), (Ident, "x")],
+        ),
+        (
+            "three_star_block_is_not_doc",
+            "/*** not docs */ x",
+            vec![(BlockComment, "/*** not docs */"), (Ident, "x")],
+        ),
+        (
+            "empty_block_is_not_doc",
+            "/**/ x",
+            vec![(BlockComment, "/**/"), (Ident, "x")],
+        ),
+        (
+            "shebang",
+            "#!/usr/bin/env run\nfn main() {}",
+            vec![
+                (Shebang, "#!/usr/bin/env run"),
+                (Ident, "fn"),
+                (Ident, "main"),
+                (Punct, "("),
+                (Punct, ")"),
+                (Punct, "{"),
+                (Punct, "}"),
+            ],
+        ),
+        (
+            "inner_attribute_is_not_shebang",
+            "#![allow(dead_code)]",
+            vec![
+                (Punct, "#"),
+                (Punct, "!"),
+                (Punct, "["),
+                (Ident, "allow"),
+                (Punct, "("),
+                (Ident, "dead_code"),
+                (Punct, ")"),
+                (Punct, "]"),
+            ],
+        ),
+        ("raw_ident", "r#match", vec![(RawIdent, "r#match")]),
+        (
+            "raw_ident_then_string",
+            r##"r#type = r"s""##,
+            vec![(RawIdent, "r#type"), (Punct, "="), (RawStr, r#"r"s""#)],
+        ),
+        (
+            "b_and_r_plain_idents",
+            "b + r * br / br2",
+            vec![
+                (Ident, "b"),
+                (Punct, "+"),
+                (Ident, "r"),
+                (Punct, "*"),
+                (Ident, "br"),
+                (Punct, "/"),
+                (Ident, "br2"),
+            ],
+        ),
+        (
+            "numbers",
+            "0xFF 0b1010 1_000u64 2.5e-3 1.0f32 7usize",
+            vec![
+                (Num, "0xFF"),
+                (Num, "0b1010"),
+                (Num, "1_000u64"),
+                (Num, "2.5e-3"),
+                (Num, "1.0f32"),
+                (Num, "7usize"),
+            ],
+        ),
+        (
+            "range_is_not_a_float",
+            "0..n",
+            vec![(Num, "0"), (Punct, ".."), (Ident, "n")],
+        ),
+        (
+            "tuple_field_access",
+            "x.0",
+            vec![(Ident, "x"), (Punct, "."), (Num, "0")],
+        ),
+        (
+            "maximal_munch_puncts",
+            "a <<= 1; b ..= c; d => e :: f -> g",
+            vec![
+                (Ident, "a"),
+                (Punct, "<<="),
+                (Num, "1"),
+                (Punct, ";"),
+                (Ident, "b"),
+                (Punct, "..="),
+                (Ident, "c"),
+                (Punct, ";"),
+                (Ident, "d"),
+                (Punct, "=>"),
+                (Ident, "e"),
+                (Punct, "::"),
+                (Ident, "f"),
+                (Punct, "->"),
+                (Ident, "g"),
+            ],
+        ),
+        (
+            "compound_assign_ops",
+            "x += 1; y -= 2; z *= 3",
+            vec![
+                (Ident, "x"),
+                (Punct, "+="),
+                (Num, "1"),
+                (Punct, ";"),
+                (Ident, "y"),
+                (Punct, "-="),
+                (Num, "2"),
+                (Punct, ";"),
+                (Ident, "z"),
+                (Punct, "*="),
+                (Num, "3"),
+            ],
+        ),
+    ]
+}
+
+#[test]
+fn table_kinds_and_texts() {
+    for (name, src, expected) in table() {
+        let got = kinds(src);
+        let want: Vec<(TokenKind, String)> =
+            expected.iter().map(|(k, t)| (*k, t.to_string())).collect();
+        assert_eq!(got, want, "case `{name}` on {src:?}");
+    }
+}
+
+#[test]
+fn table_spans_round_trip() {
+    // Every token's recorded span must slice the source back to its text,
+    // and concatenating tokens + whitespace must reproduce the input.
+    for (name, src, _) in table() {
+        let tokens = toks(src);
+        let mut cursor = 0usize;
+        for tok in &tokens {
+            assert_eq!(
+                &src[tok.start..tok.end],
+                tok.text,
+                "span mismatch in `{name}`"
+            );
+            assert!(
+                src[cursor..tok.start].chars().all(char::is_whitespace),
+                "non-whitespace gap before token {:?} in `{name}`",
+                tok.text
+            );
+            cursor = tok.end;
+        }
+        assert!(
+            src[cursor..].chars().all(char::is_whitespace),
+            "non-whitespace tail in `{name}`"
+        );
+    }
+}
+
+#[test]
+fn line_and_col_positions() {
+    let src = "let a = 1;\n  let bb = \"x\";\n";
+    let tokens = toks(src);
+    let positions: Vec<(&str, usize, usize)> = tokens
+        .iter()
+        .map(|t| (t.text.as_str(), t.line, t.col))
+        .collect();
+    assert_eq!(
+        positions,
+        vec![
+            ("let", 1, 1),
+            ("a", 1, 5),
+            ("=", 1, 7),
+            ("1", 1, 9),
+            (";", 1, 10),
+            ("let", 2, 3),
+            ("bb", 2, 7),
+            ("=", 2, 10),
+            ("\"x\"", 2, 12),
+            (";", 2, 15),
+        ]
+    );
+}
+
+#[test]
+fn multiline_string_advances_lines() {
+    let src = "a\n\"two\nlines\"\nb";
+    let tokens = toks(src);
+    assert_eq!(tokens[1].kind, Str);
+    assert_eq!(tokens[1].line, 2);
+    assert_eq!(tokens[2].text, "b");
+    assert_eq!(tokens[2].line, 4);
+}
+
+#[test]
+fn banned_text_inside_strings_is_one_token() {
+    // The motivating property: rule-relevant text inside any string-like
+    // literal is a single opaque token.
+    for src in [
+        "\".unwrap() panic!(x)\"",
+        "r#\"fail_point!(\"site\")\"#",
+        "b\"Ordering::Relaxed\"",
+        "br#\"File::create\"#",
+    ] {
+        let tokens = toks(src);
+        assert_eq!(tokens.len(), 1, "{src:?} lexed as {tokens:?}");
+        assert!(tokens[0].kind.is_string_like());
+    }
+}
+
+#[test]
+fn unterminated_inputs_error_with_position() {
+    for (src, what) in [
+        ("\"open", "string"),
+        ("r#\"open\"", "string"),
+        ("/* open /* nested */", "comment"),
+        ("'", "'"),
+    ] {
+        let err: LexError = tokenize(src).expect_err(src);
+        assert!(
+            err.message.contains(what),
+            "{src:?} gave {err:?}, expected mention of {what:?}"
+        );
+        assert!(err.line >= 1 && err.col >= 1);
+    }
+}
+
+#[test]
+fn keyword_classification() {
+    assert!(is_keyword("match"));
+    assert!(is_keyword("unsafe"));
+    assert!(!is_keyword("matches"));
+    assert!(!is_keyword("freq"));
+}
+
+#[test]
+fn shebang_only_at_byte_zero() {
+    let src = "x\n#!/not/a/shebang";
+    let tokens = toks(src);
+    assert!(tokens.iter().all(|t| t.kind != Shebang));
+}

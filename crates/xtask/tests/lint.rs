@@ -1,468 +1,271 @@
-//! Tests for the workspace invariant linter: each rule fires on a seeded
-//! violation, each waiver is honored, `#[cfg(test)]` bodies are exempt,
-//! and — the acceptance criterion — the shipped tree is clean while a
-//! seeded violation makes `xtask lint` exit nonzero.
+//! End-to-end linter tests: the shipped tree is clean, and each seeded
+//! fixture drives `xtask lint` (the real CLI entry point) to a nonzero
+//! exit.
 
-use xtask::{lint_source, lint_tree, parse_config, run, strip, test_exempt_lines, Config};
+use std::fs;
+use std::path::{Path, PathBuf};
+use xtask::{lint_tree, parse_config, run_with, workspace_root};
 
-fn test_config() -> Config {
-    Config {
-        roots: vec!["crates".to_string()],
-        skip: vec!["tests".to_string(), "target".to_string()],
-        unsafe_allow: vec!["crates/core/src/spsc.rs".to_string()],
-        hot_path: vec![
-            "crates/core/src/table.rs".to_string(),
-            "crates/core/src/spsc.rs".to_string(),
-        ],
-        counter_fields: vec!["freq".to_string(), "harvests".to_string()],
-        no_relaxed_files: vec!["crates/core/src/spsc.rs".to_string()],
-        failpoint_allow: vec![
-            "crates/core/src/failpoint.rs".to_string(),
-            "crates/core/src/pipeline.rs".to_string(),
-        ],
-        atomic_io_files: vec!["crates/core/src/checkpoint.rs".to_string()],
-        obs_metrics_files: vec!["crates/core/src/obs/metrics.rs".to_string()],
-        obs_call_site_files: vec![
-            "crates/core/src/table.rs".to_string(),
-            "crates/core/src/spsc.rs".to_string(),
-        ],
-    }
-}
-
-fn rules(violations: &[xtask::Violation]) -> Vec<&'static str> {
-    violations.iter().map(|v| v.rule).collect()
-}
-
-#[test]
-fn config_parses_sections_and_multiline_arrays() {
-    let toml = r#"
-# comment
-[paths]
-roots = ["crates"] # trailing comment
-skip = [
-    "tests",
-    "target",
-]
-
-[unsafe_code]
-allow = ["crates/core/src/spsc.rs"]
-
-[hot_path]
-files = ["a.rs", "b.rs"]
-
-[counters]
-fields = ["freq"]
-
-[orderings]
-no_relaxed_files = ["a.rs"]
-
-[failpoints]
-allow = ["crates/core/src/failpoint.rs"]
-
-[atomic_io]
-files = ["crates/core/src/checkpoint.rs"]
-
-[obs]
-metrics_files = ["crates/core/src/obs/metrics.rs"]
-call_site_files = ["crates/core/src/table.rs"]
-"#;
-    let config = parse_config(toml).expect("parses");
-    assert_eq!(config.roots, vec!["crates"]);
-    assert_eq!(config.skip, vec!["tests", "target"]);
-    assert_eq!(config.unsafe_allow, vec!["crates/core/src/spsc.rs"]);
-    assert_eq!(config.hot_path, vec!["a.rs", "b.rs"]);
-    assert_eq!(config.counter_fields, vec!["freq"]);
-    assert_eq!(config.no_relaxed_files, vec!["a.rs"]);
-    assert_eq!(config.failpoint_allow, vec!["crates/core/src/failpoint.rs"]);
-    assert_eq!(
-        config.atomic_io_files,
-        vec!["crates/core/src/checkpoint.rs"]
-    );
-    assert_eq!(
-        config.obs_metrics_files,
-        vec!["crates/core/src/obs/metrics.rs"]
-    );
-    assert_eq!(config.obs_call_site_files, vec!["crates/core/src/table.rs"]);
-}
-
-#[test]
-fn config_rejects_unknown_keys_and_missing_roots() {
-    assert!(parse_config("[paths]\nbogus = [\"x\"]\n").is_err());
-    assert!(
-        parse_config("[unsafe_code]\nallow = [\"a.rs\"]\n").is_err(),
-        "no roots"
-    );
-}
-
-#[test]
-fn strip_blanks_comments_strings_and_chars_but_keeps_lifetimes() {
-    let source = "let s = \"panic!\"; // panic!\nlet c = '['; /* [ */ fn f<'a>() {}";
-    let code = strip(source);
-    assert!(
-        !code.contains("panic!"),
-        "string and comment blanked: {code}"
-    );
-    assert!(
-        !code.contains('['),
-        "char literal and block comment blanked"
-    );
-    assert!(code.contains("<'a>"), "lifetime preserved: {code}");
-    assert_eq!(
-        source.lines().count(),
-        code.lines().count(),
-        "line structure preserved"
-    );
-}
-
-#[test]
-fn strip_handles_raw_strings_and_nested_block_comments() {
-    let source =
-        "let r = r#\"unsafe [0] panic!\"#;\n/* outer /* unsafe */ still comment */ let x = 1;";
-    let code = strip(source);
-    assert!(!code.contains("unsafe"));
-    assert!(!code.contains("panic"));
-    assert!(
-        code.contains("let x = 1;"),
-        "code after nested comment kept: {code}"
-    );
-}
-
-#[test]
-fn unsafe_outside_allowlist_is_flagged() {
-    let source = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
-    let violations = lint_source("crates/core/src/table.rs", source, &test_config());
-    assert!(
-        rules(&violations).contains(&"unsafe_allowlist"),
-        "{violations:?}"
-    );
-    let v = violations
-        .iter()
-        .find(|v| v.rule == "unsafe_allowlist")
-        .unwrap();
-    assert_eq!(v.line, 2);
-    assert_eq!(v.file, "crates/core/src/table.rs");
-}
-
-#[test]
-fn unsafe_in_allowlisted_file_requires_safety_comment() {
-    let bare = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
-    let violations = lint_source("crates/core/src/spsc.rs", bare, &test_config());
-    assert_eq!(rules(&violations), vec!["safety_comment"], "{violations:?}");
-
-    let commented = "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees validity.\n    unsafe { *p }\n}\n";
-    let violations = lint_source("crates/core/src/spsc.rs", commented, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-
-    let same_line = "unsafe impl Send for X {} // SAFETY: no shared state.\n";
-    let violations = lint_source("crates/core/src/spsc.rs", same_line, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-}
-
-#[test]
-fn panicking_calls_in_hot_path_are_flagged_unless_waived() {
-    let source = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
-    let violations = lint_source("crates/core/src/table.rs", source, &test_config());
-    assert_eq!(rules(&violations), vec!["no_panic"]);
-
-    let waived = "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(no_panic): startup only\n    x.unwrap()\n}\n";
-    let violations = lint_source("crates/core/src/table.rs", waived, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-
-    for call in [
-        "y.expect(\"msg\")",
-        "panic!(\"boom\")",
-        "unreachable!()",
-        "todo!()",
-    ] {
-        let source = format!("fn f() {{\n    {call};\n}}\n");
-        let violations = lint_source("crates/core/src/table.rs", &source, &test_config());
-        assert_eq!(rules(&violations), vec!["no_panic"], "for `{call}`");
-    }
-
-    // Not hot path → no rule.
-    let violations = lint_source("crates/core/src/other.rs", source, &test_config());
-    assert!(violations.is_empty());
-}
-
-#[test]
-fn indexing_in_hot_path_is_flagged_unless_waived() {
-    let source = "fn f(v: &[u32]) -> u32 {\n    v[0]\n}\n";
-    let violations = lint_source("crates/core/src/table.rs", source, &test_config());
-    assert_eq!(rules(&violations), vec!["no_index"]);
-
-    let waived = "fn f(v: &[u32]) -> u32 {\n    v[0] // lint: index-ok (caller checked)\n}\n";
-    let violations = lint_source("crates/core/src/table.rs", waived, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-
-    // Array types, attributes, macros and array literals are not indexing.
-    let benign = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\nfn g() -> Vec<u32> { vec![1, 2] }\nfn h() { let [a, _b] = [1, 2]; let _ = a; }\n";
-    let violations = lint_source("crates/core/src/table.rs", benign, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-}
-
-#[test]
-fn counter_compound_assignment_is_flagged() {
-    let source = "fn f(s: &mut Stats) {\n    s.harvests += 1;\n}\n";
-    let violations = lint_source("crates/core/src/table.rs", source, &test_config());
-    assert_eq!(rules(&violations), vec!["counter_arith"]);
-
-    // saturating ops and non-counter fields are fine.
-    let fine = "fn f(s: &mut Stats) {\n    s.harvests = s.harvests.saturating_add(1);\n    s.other += 1;\n}\n";
-    let violations = lint_source("crates/core/src/table.rs", fine, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-
-    // `freq` must match as a word, not inside `frequency`.
-    let word = "fn f(s: &mut Stats) {\n    s.frequency += 1;\n}\n";
-    let violations = lint_source("crates/core/src/table.rs", word, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-}
-
-#[test]
-fn relaxed_ordering_needs_a_justification() {
-    let source = "fn f(a: &AtomicUsize) -> usize {\n    a.load(Ordering::Relaxed)\n}\n";
-    let violations = lint_source("crates/core/src/spsc.rs", source, &test_config());
-    assert_eq!(rules(&violations), vec!["no_relaxed"]);
-
-    let waived = "fn f(a: &AtomicUsize) -> usize {\n    // lint:allow(no_relaxed): single-writer cursor\n    a.load(Ordering::Relaxed)\n}\n";
-    let violations = lint_source("crates/core/src/spsc.rs", waived, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-
-    // Not a configured concurrency file → no rule.
-    let violations = lint_source("crates/core/src/other.rs", source, &test_config());
-    assert!(violations.is_empty());
-}
-
-#[test]
-fn failpoint_usage_outside_allowlist_is_flagged() {
-    // A macro site and a module-path reference both count.
-    for snippet in [
-        "fn f() {\n    fail_point!(\"worker::batch\");\n}\n",
-        "fn f() {\n    let _ = crate::failpoint::io_fault(\"x\");\n}\n",
-    ] {
-        let violations = lint_source("crates/core/src/table.rs", snippet, &test_config());
-        assert_eq!(rules(&violations), vec!["failpoint_gate"], "{snippet}");
-        assert_eq!(violations[0].line, 2);
-    }
-
-    // Allowlisted files may use both forms freely.
-    let site = "fn f() {\n    fail_point!(\"worker::batch\");\n    let _ = crate::failpoint::io_fault(\"x\");\n}\n";
-    let violations = lint_source("crates/core/src/pipeline.rs", site, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-
-    // An explicit waiver works outside the allowlist too.
-    let waived =
-        "fn f() {\n    // lint:allow(failpoint_gate): migration shim\n    fail_point!(\"x\");\n}\n";
-    let violations = lint_source("crates/core/src/table.rs", waived, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-
-    // The bare word `failpoint` (e.g. a module declaration) is not usage.
-    let decl = "pub mod failpoint;\n";
-    let violations = lint_source("crates/core/src/table.rs", decl, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-}
-
-#[test]
-fn bare_file_writes_in_checkpoint_io_are_flagged() {
-    for call in [
-        "File::create(&path)",
-        "std::fs::write(&path, bytes)",
-        "OpenOptions::new().write(true)",
-    ] {
-        let source = format!("fn f() {{\n    let _ = {call};\n}}\n");
-        let violations = lint_source("crates/core/src/checkpoint.rs", &source, &test_config());
-        assert_eq!(rules(&violations), vec!["atomic_io"], "for `{call}`");
-    }
-
-    // The atomic-rename helper itself carries the one waiver.
-    let helper = "fn write_atomic(p: &Path, b: &[u8]) {\n    // lint:allow(atomic_io): this IS the atomic-rename helper\n    let f = File::create(p);\n}\n";
-    let violations = lint_source("crates/core/src/checkpoint.rs", helper, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-
-    // Other modules are not checkpoint I/O: no rule.
-    let elsewhere = "fn f() {\n    let _ = File::create(\"log.txt\");\n}\n";
-    let violations = lint_source("crates/core/src/table.rs", elsewhere, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-}
-
-#[test]
-fn obs_metrics_file_must_stay_relaxed_only() {
-    // Every lock token and strong ordering is a violation in the
-    // metric-cell implementation file.
-    for token in [
-        "a.load(Ordering::SeqCst)",
-        "a.store(1, Ordering::Release)",
-        "a.load(Ordering::Acquire)",
-        "a.fetch_add(1, Ordering::AcqRel)",
-        "let m: Mutex<u64> = Mutex::new(0)",
-        "let l: RwLock<u64> = RwLock::new(0)",
-        "let c = Condvar::new()",
-        "let g = m.lock()",
-    ] {
-        let source = format!("fn f() {{\n    let _ = {token};\n}}\n");
-        let violations = lint_source("crates/core/src/obs/metrics.rs", &source, &test_config());
-        assert!(
-            rules(&violations).contains(&"obs_hot_path"),
-            "`{token}` must violate obs_hot_path: {violations:?}"
-        );
-    }
-
-    // Relaxed atomics are the whole point: clean.
-    let relaxed = "fn f(a: &AtomicU64) {\n    a.fetch_add(1, Ordering::Relaxed);\n}\n";
-    let violations = lint_source("crates/core/src/obs/metrics.rs", relaxed, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-
-    // The same tokens are fine in the journal/registry tiers (not listed).
-    let journal = "fn f(a: &AtomicU64) {\n    a.store(1, Ordering::Release);\n}\n";
-    let violations = lint_source("crates/core/src/obs/journal.rs", journal, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-
-    // An explicit waiver is honored.
-    let waived = "fn f(a: &AtomicU64) {\n    // lint:allow(obs_hot_path): snapshot fence, export path only\n    a.load(Ordering::Acquire);\n}\n";
-    let violations = lint_source("crates/core/src/obs/metrics.rs", waived, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-}
-
-#[test]
-fn metric_updates_must_not_pair_with_locks_on_hot_paths() {
-    // A metric update sharing a line with a lock or strong ordering fires.
-    for line in [
-        "self.stats.lock().map(|_| counter.inc());",
-        "while guard.try_lock().is_err() { stalls.inc(); } let _ = m.lock();",
-        "depth.set(queue.len(Ordering::SeqCst));",
-    ] {
-        let source = format!("fn f() {{\n    {line}\n}}\n");
-        let violations = lint_source("crates/core/src/table.rs", &source, &test_config());
-        assert!(
-            rules(&violations).contains(&"obs_hot_path"),
-            "`{line}` must violate obs_hot_path: {violations:?}"
-        );
-    }
-
-    // A bare metric update is clean, and so is a strong ordering with no
-    // metric on the line (the SPSC parking protocol legitimately uses
-    // SeqCst — on its own lines).
-    let clean = "fn f() {\n    stalls.inc();\n    // lint:allow(no_relaxed): test fixture\n    self.waiting.fetch_or(1, Ordering::SeqCst);\n}\n";
-    let violations = lint_source("crates/core/src/spsc.rs", clean, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-
-    // Unlisted files are not call sites: no rule.
-    let elsewhere = "fn f() {\n    self.stats.lock().map(|_| counter.inc());\n}\n";
-    let violations = lint_source("crates/core/src/registry.rs", elsewhere, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-}
-
-#[test]
-fn seeded_obs_violation_exits_nonzero() {
-    let scratch = std::env::temp_dir().join(format!("xtask-lint-obs-{}", std::process::id()));
-    let src_dir = scratch.join("crates/core/src/obs");
-    std::fs::create_dir_all(&src_dir).expect("create scratch tree");
-    std::fs::write(
-        scratch.join("lint.toml"),
-        "[paths]\nroots = [\"crates\"]\nskip = []\n[obs]\nmetrics_files = [\"crates/core/src/obs/metrics.rs\"]\n",
-    )
-    .expect("write config");
-    std::fs::write(
-        src_dir.join("metrics.rs"),
-        "pub fn f(a: &std::sync::atomic::AtomicU64) -> u64 {\n    a.load(std::sync::atomic::Ordering::SeqCst)\n}\n",
-    )
-    .expect("write seeded source");
-
-    let args: Vec<String> = ["lint", "--root"]
-        .iter()
-        .map(ToString::to_string)
-        .chain([scratch.to_string_lossy().to_string()])
-        .collect();
-    assert_eq!(run(&args), 1, "seeded obs violation must fail the build");
-
-    // Weaken to Relaxed: the same tree must now pass.
-    std::fs::write(
-        src_dir.join("metrics.rs"),
-        "pub fn f(a: &std::sync::atomic::AtomicU64) -> u64 {\n    a.load(std::sync::atomic::Ordering::Relaxed)\n}\n",
-    )
-    .expect("write clean source");
-    assert_eq!(run(&args), 0, "Relaxed-only metrics file must pass");
-
-    std::fs::remove_dir_all(&scratch).expect("cleanup scratch tree");
-}
-
-#[test]
-fn cfg_test_bodies_are_exempt() {
-    let source = "fn hot() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let v = vec![1];\n        assert_eq!(v[0], Some(1).unwrap());\n    }\n}\n";
-    let violations = lint_source("crates/core/src/table.rs", source, &test_config());
-    assert!(violations.is_empty(), "{violations:?}");
-
-    let exempt = test_exempt_lines(&strip(source));
-    assert!(!exempt[0], "hot code is not exempt");
-    assert!(exempt[7], "test body line is exempt");
-}
-
-#[test]
-fn violations_format_as_file_line_rule() {
-    let source = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
-    let violations = lint_source("crates/core/src/table.rs", source, &test_config());
-    let rendered = violations[0].to_string();
-    assert!(
-        rendered.starts_with("crates/core/src/table.rs:2: [no_panic]"),
-        "diagnostic shape: {rendered}"
-    );
-}
-
-/// Acceptance criterion: the shipped tree passes its own linter.
 #[test]
 fn shipped_tree_is_clean() {
-    let root = xtask::workspace_root();
-    let config_text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists");
-    let config = parse_config(&config_text).expect("lint.toml parses");
-    let violations = lint_tree(&root, &config).expect("tree lints");
+    let root = workspace_root();
+    let text = fs::read_to_string(root.join("lint.toml")).expect("lint.toml");
+    let config = parse_config(&text).expect("config parses");
+    let violations = lint_tree(&root, &config).expect("lint runs");
+    let active: Vec<_> = violations.iter().filter(|v| v.is_active()).collect();
     assert!(
-        violations.is_empty(),
-        "shipped tree must be lint-clean, found:\n{}",
-        violations
+        active.is_empty(),
+        "shipped tree has active lint violations:\n{}",
+        active
             .iter()
-            .map(ToString::to_string)
+            .map(|v| v.to_string())
             .collect::<Vec<_>>()
             .join("\n")
     );
 }
 
-/// Acceptance criterion: a seeded violation makes `xtask lint` exit
-/// nonzero, end to end through the CLI entry point.
 #[test]
-fn seeded_violation_exits_nonzero() {
-    let scratch = std::env::temp_dir().join(format!("xtask-lint-seeded-{}", std::process::id()));
-    let src_dir = scratch.join("crates/core/src");
-    std::fs::create_dir_all(&src_dir).expect("create scratch tree");
-    std::fs::write(
-        scratch.join("lint.toml"),
-        "[paths]\nroots = [\"crates\"]\nskip = []\n[unsafe_code]\nallow = []\n[hot_path]\nfiles = [\"crates/core/src/table.rs\"]\n[counters]\nfields = [\"freq\"]\n[orderings]\nno_relaxed_files = []\n",
-    )
-    .expect("write config");
-    std::fs::write(
-        src_dir.join("table.rs"),
-        "pub fn f(x: Option<u32>) -> u32 {\n    unsafe { x.unwrap() }\n}\n",
-    )
-    .expect("write seeded source");
-
-    let args: Vec<String> = ["lint", "--root"]
-        .iter()
-        .map(ToString::to_string)
-        .chain([scratch.to_string_lossy().to_string()])
-        .collect();
-    assert_eq!(run(&args), 1, "seeded violations must fail the build");
-
-    // Fix the file: the same tree must now pass with exit code 0.
-    std::fs::write(
-        src_dir.join("table.rs"),
-        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0)\n}\n",
-    )
-    .expect("write clean source");
-    assert_eq!(run(&args), 0, "clean tree must pass");
-
-    std::fs::remove_dir_all(&scratch).expect("cleanup scratch tree");
+fn shipped_tree_waivers_are_all_load_bearing() {
+    // Every waiver in the shipped tree must suppress something — the
+    // unused_waiver rule turns a dead waiver into an active violation
+    // (covered by shipped_tree_is_clean), and this asserts the
+    // complementary bound: the waived findings really exist.
+    let root = workspace_root();
+    let text = fs::read_to_string(root.join("lint.toml")).expect("lint.toml");
+    let config = parse_config(&text).expect("config parses");
+    let violations = lint_tree(&root, &config).expect("lint runs");
+    let waived = violations.iter().filter(|v| v.waived).count();
+    assert!(
+        waived >= 1,
+        "expected at least one waived finding in the shipped tree"
+    );
 }
 
 #[test]
-fn unknown_command_is_a_usage_error() {
-    assert_eq!(run(&["frobnicate".to_string()]), 2);
-    assert_eq!(run(&[]), 2);
+fn cli_runs_clean_on_the_workspace() {
+    let mut out = Vec::new();
+    let code = run_with(&["lint".to_string()], &mut out);
+    let text = String::from_utf8(out).expect("utf8");
+    assert_eq!(code, 0, "xtask lint failed on the workspace:\n{text}");
+    assert!(text.contains("clean"), "{text}");
+}
+
+#[test]
+fn cli_usage_errors_exit_two() {
+    let mut out = Vec::new();
+    assert_eq!(run_with(&[], &mut out), 2);
+    let mut out = Vec::new();
+    assert_eq!(run_with(&["frobnicate".to_string()], &mut out), 2);
+    let mut out = Vec::new();
+    assert_eq!(
+        run_with(&["lint".to_string(), "--bogus".to_string()], &mut out),
+        2
+    );
+}
+
+// ---- seeded fixtures through the real CLI ----
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xtask-lint-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("src")).expect("mkdir");
+    dir
+}
+
+fn run_lint(root: &Path) -> (i32, String) {
+    let args: Vec<String> = ["lint", "--root", root.to_str().expect("utf8")]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut out = Vec::new();
+    let code = run_with(&args, &mut out);
+    (code, String::from_utf8(out).expect("utf8 output"))
+}
+
+/// Install `fixture` as `src/seeded.rs` in a scratch tree whose
+/// lint.toml has `extra` sections targeting it; assert the CLI exits 1
+/// and names `rule`.
+fn assert_seeded(name: &str, fixture: &str, extra: &str, rule: &str) {
+    let root = scratch(name);
+    fs::write(root.join("src/seeded.rs"), fixture).expect("write fixture");
+    fs::write(
+        root.join("lint.toml"),
+        format!("[paths]\nroots = [\"src\"]\n{extra}"),
+    )
+    .expect("write config");
+    let (code, out) = run_lint(&root);
+    assert_eq!(code, 1, "fixture `{name}` should fail the lint:\n{out}");
+    assert!(
+        out.contains(&format!("[{rule}]")),
+        "fixture `{name}` should name rule `{rule}`:\n{out}"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn seeded_unsafe_allowlist_fails() {
+    assert_seeded(
+        "unsafe",
+        include_str!("fixtures/unsafe_violation.rs"),
+        "",
+        "unsafe_allowlist",
+    );
+}
+
+#[test]
+fn seeded_safety_comment_fails() {
+    assert_seeded(
+        "safety",
+        include_str!("fixtures/safety_violation.rs"),
+        "[unsafe_code]\nallow = [\"src/seeded.rs\"]\n",
+        "safety_comment",
+    );
+}
+
+#[test]
+fn seeded_no_panic_fails() {
+    assert_seeded(
+        "panic",
+        include_str!("fixtures/panic_violation.rs"),
+        "[hot_path]\nfiles = [\"src/seeded.rs\"]\n",
+        "no_panic",
+    );
+}
+
+#[test]
+fn seeded_no_index_fails() {
+    assert_seeded(
+        "index",
+        include_str!("fixtures/index_violation.rs"),
+        "[hot_path]\nfiles = [\"src/seeded.rs\"]\n",
+        "no_index",
+    );
+}
+
+#[test]
+fn seeded_counter_arith_fails() {
+    assert_seeded(
+        "counter",
+        include_str!("fixtures/counter_violation.rs"),
+        "[hot_path]\nfiles = [\"src/seeded.rs\"]\n[counters]\nfields = [\"freq\"]\n",
+        "counter_arith",
+    );
+}
+
+#[test]
+fn seeded_no_relaxed_fails() {
+    assert_seeded(
+        "relaxed",
+        include_str!("fixtures/relaxed_violation.rs"),
+        "[orderings]\nno_relaxed_files = [\"src/seeded.rs\"]\n",
+        "no_relaxed",
+    );
+}
+
+#[test]
+fn seeded_failpoint_gate_fails() {
+    assert_seeded(
+        "failpoint",
+        include_str!("fixtures/failpoint_violation.rs"),
+        "",
+        "failpoint_gate",
+    );
+}
+
+#[test]
+fn seeded_atomic_io_fails() {
+    assert_seeded(
+        "atomicio",
+        include_str!("fixtures/atomic_io_violation.rs"),
+        "[atomic_io]\nfiles = [\"src/seeded.rs\"]\n",
+        "atomic_io",
+    );
+}
+
+#[test]
+fn seeded_obs_call_site_fails() {
+    assert_seeded(
+        "obscall",
+        include_str!("fixtures/obs_violation.rs"),
+        "[obs]\ncall_site_files = [\"src/seeded.rs\"]\n",
+        "obs_hot_path",
+    );
+}
+
+#[test]
+fn seeded_obs_metrics_fails() {
+    assert_seeded(
+        "obsmetrics",
+        include_str!("fixtures/obs_metrics_violation.rs"),
+        "[obs]\nmetrics_files = [\"src/seeded.rs\"]\n",
+        "obs_hot_path",
+    );
+}
+
+#[test]
+fn seeded_unused_waiver_fails() {
+    assert_seeded(
+        "unusedwaiver",
+        include_str!("fixtures/unused_waiver_violation.rs"),
+        "[hot_path]\nfiles = [\"src/seeded.rs\"]\n",
+        "unused_waiver",
+    );
+}
+
+#[test]
+fn seeded_evasion_corpus_passes() {
+    // The inverse of the seeded tests: the evasion corpus is loaded
+    // with rule-shaped bait and must come back clean through the CLI.
+    let root = scratch("evasion");
+    fs::write(
+        root.join("src/seeded.rs"),
+        include_str!("fixtures/evasion.rs"),
+    )
+    .expect("write fixture");
+    fs::write(
+        root.join("lint.toml"),
+        "[paths]\nroots = [\"src\"]\n\
+         [hot_path]\nfiles = [\"src/seeded.rs\"]\n\
+         [counters]\nfields = [\"freq\"]\n\
+         [orderings]\nno_relaxed_files = [\"src/seeded.rs\"]\n\
+         [atomic_io]\nfiles = [\"src/seeded.rs\"]\n\
+         [obs]\ncall_site_files = [\"src/seeded.rs\"]\n",
+    )
+    .expect("write config");
+    let (code, out) = run_lint(&root);
+    assert_eq!(code, 0, "evasion corpus must lint clean:\n{out}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn skip_directories_are_not_linted() {
+    let root = scratch("skipdir");
+    fs::create_dir_all(root.join("src/tests")).expect("mkdir");
+    fs::write(
+        root.join("src/tests/seeded.rs"),
+        "pub fn f(v: Option<u64>) -> u64 { v.unwrap() }\n",
+    )
+    .expect("write");
+    fs::write(
+        root.join("lint.toml"),
+        "[paths]\nroots = [\"src\"]\nskip = [\"tests\"]\n\
+         [hot_path]\nfiles = [\"src/tests/seeded.rs\"]\n",
+    )
+    .expect("write");
+    let (code, out) = run_lint(&root);
+    // The hot_path entry exists on disk (path validation passes) but the
+    // directory is skipped, so nothing is linted.
+    assert_eq!(code, 0, "output: {out}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn syntax_errors_fail_the_lint() {
+    let root = scratch("syntax");
+    fs::write(root.join("src/seeded.rs"), "fn f() { \"unterminated\n").expect("write");
+    fs::write(root.join("lint.toml"), "[paths]\nroots = [\"src\"]\n").expect("write");
+    let (code, out) = run_lint(&root);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.contains("[syntax]"), "output: {out}");
+    let _ = fs::remove_dir_all(&root);
 }

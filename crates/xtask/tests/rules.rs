@@ -1,0 +1,219 @@
+//! Per-rule tests over the seeded-violation fixtures: each lint.toml
+//! rule must fire on its fixture, anchored at the right line, and stay
+//! silent on the structures that merely resemble its pattern.
+
+use xtask::{lint_source, Config, Violation};
+
+/// A config that routes the fixture `rel` names onto every rule list.
+fn fixture_config() -> Config {
+    Config {
+        roots: vec!["src".to_string()],
+        skip: vec![],
+        unsafe_allow: vec!["src/allowed_unsafe.rs".to_string()],
+        hot_path: vec!["src/hot.rs".to_string()],
+        counter_fields: vec!["freq".to_string(), "persist".to_string()],
+        no_relaxed_files: vec!["src/conc.rs".to_string()],
+        failpoint_allow: vec!["src/failpoint.rs".to_string()],
+        atomic_io_files: vec!["src/ckpt.rs".to_string()],
+        obs_metrics_files: vec!["src/metrics.rs".to_string()],
+        obs_call_site_files: vec!["src/hot.rs".to_string()],
+    }
+}
+
+fn active_rules(rel: &str, src: &str) -> Vec<(&'static str, usize)> {
+    lint_source(rel, src, &fixture_config())
+        .into_iter()
+        .filter(Violation::is_active)
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+#[test]
+fn no_panic_fires_on_fixture() {
+    let src = include_str!("fixtures/panic_violation.rs");
+    let hits = active_rules("src/hot.rs", src);
+    assert_eq!(hits.len(), 5, "{hits:?}");
+    assert!(hits.iter().all(|(rule, _)| *rule == "no_panic"));
+    // unwrap, expect, panic!, unreachable!, todo!
+    let lines: Vec<usize> = hits.iter().map(|(_, l)| *l).collect();
+    assert_eq!(lines, vec![4, 5, 7, 15, 16]);
+}
+
+#[test]
+fn no_panic_ignores_the_same_file_off_hot_path() {
+    let src = include_str!("fixtures/panic_violation.rs");
+    assert!(active_rules("src/other.rs", src).is_empty());
+}
+
+#[test]
+fn no_index_fires_only_on_index_expressions() {
+    let src = include_str!("fixtures/index_violation.rs");
+    let hits = active_rules("src/hot.rs", src);
+    // `self.slots[i]` and `(arr)[0]`; the attribute, slice pattern,
+    // array type and array literal stay silent.
+    assert_eq!(
+        hits,
+        vec![("no_index", 13), ("no_index", 19)],
+        "full: {hits:?}"
+    );
+}
+
+#[test]
+fn counter_arith_fires_on_counter_fields_only() {
+    let src = include_str!("fixtures/counter_violation.rs");
+    let hits = active_rules("src/hot.rs", src);
+    assert_eq!(hits, vec![("counter_arith", 11)]);
+}
+
+#[test]
+fn no_relaxed_fires_on_fixture() {
+    let src = include_str!("fixtures/relaxed_violation.rs");
+    let hits = active_rules("src/conc.rs", src);
+    assert_eq!(hits, vec![("no_relaxed", 6)]);
+    // The same file outside the configured list is silent.
+    assert!(active_rules("src/other.rs", src).is_empty());
+}
+
+#[test]
+fn failpoint_gate_fires_outside_allowlist() {
+    let src = include_str!("fixtures/failpoint_violation.rs");
+    let hits = active_rules("src/other.rs", src);
+    assert_eq!(hits, vec![("failpoint_gate", 5), ("failpoint_gate", 9)]);
+    assert!(active_rules("src/failpoint.rs", src).is_empty());
+}
+
+#[test]
+fn atomic_io_fires_on_bare_write_calls() {
+    let src = include_str!("fixtures/atomic_io_violation.rs");
+    let hits = active_rules("src/ckpt.rs", src);
+    assert_eq!(
+        hits,
+        vec![("atomic_io", 8), ("atomic_io", 13), ("atomic_io", 17)]
+    );
+    assert!(active_rules("src/other.rs", src).is_empty());
+}
+
+#[test]
+fn obs_call_site_statement_semantics() {
+    let src = include_str!("fixtures/obs_violation.rs");
+    let hits = active_rules("src/hot.rs", src);
+    let obs: Vec<usize> = hits
+        .iter()
+        .filter(|(rule, _)| *rule == "obs_hot_path")
+        .map(|(_, l)| *l)
+        .collect();
+    // The multi-line lock+inc statement and the SeqCst+set statement
+    // fire; the shared-line pair and the while-header case are clean.
+    assert_eq!(obs, vec![13, 18], "full: {hits:?}");
+}
+
+#[test]
+fn obs_metrics_file_must_stay_wait_free() {
+    let src = include_str!("fixtures/obs_metrics_violation.rs");
+    let hits = active_rules("src/metrics.rs", src);
+    let obs: Vec<usize> = hits
+        .iter()
+        .filter(|(rule, _)| *rule == "obs_hot_path")
+        .map(|(_, l)| *l)
+        .collect();
+    // `Mutex` (use), `Mutex` (field type), `Ordering::SeqCst`.
+    assert_eq!(obs, vec![5, 9, 14], "full: {hits:?}");
+}
+
+#[test]
+fn unsafe_allowlist_fires_off_list() {
+    let src = include_str!("fixtures/unsafe_violation.rs");
+    let hits = active_rules("src/other.rs", src);
+    assert_eq!(hits, vec![("unsafe_allowlist", 7)]);
+    // On the allowlist (and SAFETY-covered) it is clean.
+    assert!(active_rules("src/allowed_unsafe.rs", src).is_empty());
+}
+
+#[test]
+fn safety_comment_required_even_on_allowlisted_files() {
+    let src = include_str!("fixtures/safety_violation.rs");
+    let hits = active_rules("src/allowed_unsafe.rs", src);
+    assert_eq!(hits, vec![("safety_comment", 5)]);
+}
+
+#[test]
+fn unused_and_unknown_waivers_are_violations() {
+    let src = include_str!("fixtures/unused_waiver_violation.rs");
+    let hits = lint_source("src/hot.rs", src, &fixture_config());
+    let msgs: Vec<&str> = hits
+        .iter()
+        .filter(|v| v.rule == "unused_waiver")
+        .map(|v| v.message.as_str())
+        .collect();
+    assert_eq!(msgs.len(), 2, "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("suppresses nothing")));
+    assert!(msgs.iter().any(|m| m.contains("unknown rule `no_panics`")));
+}
+
+#[test]
+fn waiver_semantics_fixture() {
+    let src = include_str!("fixtures/waivers.rs");
+    let all = lint_source("src/hot.rs", src, &fixture_config());
+    let waived: Vec<usize> = all.iter().filter(|v| v.waived).map(|v| v.line).collect();
+    let active: Vec<(usize, &'static str)> = all
+        .iter()
+        .filter(|v| v.is_active())
+        .map(|v| (v.line, v.rule))
+        .collect();
+    // Same-line, line-above, mid-chain and index-ok waivers suppress.
+    assert_eq!(waived, vec![10, 15, 21, 34], "all: {all:?}");
+    // String-embedded and doc-comment "waivers" do not.
+    assert_eq!(
+        active,
+        vec![(25, "no_panic"), (30, "no_panic")],
+        "all: {all:?}"
+    );
+}
+
+#[test]
+fn violation_positions_and_snippets() {
+    let src = "pub fn f(v: Option<u64>) -> u64 {\n    v.unwrap()\n}\n";
+    let mut config = fixture_config();
+    config.hot_path = vec!["src/hot.rs".to_string()];
+    let hits = lint_source("src/hot.rs", src, &config);
+    assert_eq!(hits.len(), 1);
+    let v = &hits[0];
+    assert_eq!((v.line, v.rule), (2, "no_panic"));
+    assert_eq!(v.snippet, "v.unwrap()");
+    assert!(
+        v.col > 1,
+        "column should point at the method, got {}",
+        v.col
+    );
+    let shown = format!("{v}");
+    assert!(shown.starts_with("src/hot.rs:2:"), "display was {shown:?}");
+}
+
+#[test]
+fn syntax_error_becomes_a_violation() {
+    let hits = lint_source(
+        "src/bad.rs",
+        "fn f() { \"unterminated \n",
+        &fixture_config(),
+    );
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].rule, "syntax");
+    assert!(hits[0].is_active());
+}
+
+#[test]
+fn cfg_test_exempts_rule_hits_structurally() {
+    let src = "
+pub fn live(v: Option<u64>) -> Option<u64> { v }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}
+";
+    assert!(active_rules("src/hot.rs", src).is_empty());
+}

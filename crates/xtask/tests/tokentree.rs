@@ -1,0 +1,159 @@
+//! Token-tree construction and statement-segmentation tests: the
+//! statement is the unit waivers and the obs rule operate on, so its
+//! boundaries are load-bearing.
+
+use xtask::lexer::tokenize;
+use xtask::tokentree::{build, segment, Delim, Tree};
+
+/// Statement id of the first token with text `needle` (None = no
+/// statement, e.g. a comment).
+fn stmt_of(src: &str, needle: &str) -> Option<usize> {
+    let tokens = tokenize(src).expect("lex");
+    let root = build(&tokens).expect("tree");
+    let stmts = segment(&tokens, &root);
+    let (i, _) = tokens
+        .iter()
+        .enumerate()
+        .find(|(_, t)| t.text == needle)
+        .unwrap_or_else(|| panic!("token `{needle}` not found in {src:?}"));
+    stmts.stmt_of[i]
+}
+
+fn same_stmt(src: &str, a: &str, b: &str) -> bool {
+    let sa = stmt_of(src, a);
+    let sb = stmt_of(src, b);
+    sa.is_some() && sa == sb
+}
+
+#[test]
+fn build_groups_and_delims() {
+    let tokens = tokenize("fn f(a: u64) -> [u64; 2] { [a, a] }").expect("lex");
+    let root = build(&tokens).expect("tree");
+    // fn f (..) -> [..] {..}
+    let delims: Vec<Delim> = root
+        .iter()
+        .filter_map(|t| match t {
+            Tree::Group(g) => Some(g.delim),
+            Tree::Leaf(_) => None,
+        })
+        .collect();
+    assert_eq!(delims, vec![Delim::Paren, Delim::Bracket, Delim::Brace]);
+}
+
+#[test]
+fn build_rejects_unbalanced() {
+    for src in ["fn f( {", "fn f) ", "(]"] {
+        let tokens = tokenize(src).expect("lex");
+        assert!(build(&tokens).is_err(), "{src:?} built a tree");
+    }
+}
+
+#[test]
+fn build_error_carries_position() {
+    let tokens = tokenize("fn f() {\n    (]\n}").expect("lex");
+    let err = build(&tokens).expect_err("mismatched");
+    assert!(err.starts_with("2:"), "error was {err:?}");
+}
+
+#[test]
+fn comments_are_not_tree_nodes() {
+    // A comment between `.` and the method name must not split the tree
+    // or the statement.
+    let src = "let x = a /* note */ . b();";
+    let tokens = tokenize(src).expect("lex");
+    let root = build(&tokens).expect("tree");
+    let leaf_texts: Vec<&str> = root
+        .iter()
+        .filter_map(|t| match t {
+            Tree::Leaf(i) => Some(tokens[*i].text.as_str()),
+            Tree::Group(_) => None,
+        })
+        .collect();
+    assert!(!leaf_texts.iter().any(|t| t.starts_with("/*")));
+}
+
+#[test]
+fn semicolons_split_statements() {
+    let src = "fn f() { a(); b(); }";
+    assert!(!same_stmt(src, "a", "b"));
+}
+
+#[test]
+fn multiline_chain_is_one_statement() {
+    let src = "fn f() {\n    m.lock()\n        .map(|q| c.inc())\n        .ok();\n}";
+    assert!(same_stmt(src, "lock", "inc"));
+    assert!(same_stmt(src, "lock", "ok"));
+}
+
+#[test]
+fn two_statements_on_one_line_are_distinct() {
+    let src = "fn f() { c.inc(); let g = m.lock(); }";
+    assert!(!same_stmt(src, "inc", "lock"));
+}
+
+#[test]
+fn while_header_and_body_are_distinct_statements() {
+    let src = "fn f() { while m.try_lock().is_err() { c.inc(); } }";
+    assert!(!same_stmt(src, "try_lock", "inc"));
+}
+
+#[test]
+fn match_header_and_arm_bodies() {
+    // The match header is one statement; each arm body in braces opens
+    // its own scope.
+    let src = "fn f() { match x { A => { a(); } B => { b(); } } }";
+    assert!(!same_stmt(src, "a", "b"));
+    assert!(!same_stmt(src, "x", "a"));
+}
+
+#[test]
+fn if_else_chain_is_one_header_statement() {
+    let src = "fn f() { if p { a(); } else { b(); } c(); }";
+    // `else` continues the if statement, so `if`/`else` share one id...
+    assert!(same_stmt(src, "if", "else"));
+    // ...but the branch bodies and the trailing call are their own.
+    assert!(!same_stmt(src, "a", "b"));
+    assert!(!same_stmt(src, "if", "c"));
+}
+
+#[test]
+fn struct_literal_followed_by_method_continues() {
+    let src = "fn f() { let v = Foo { a: 1 }.clone(); next(); }";
+    assert!(same_stmt(src, "Foo", "clone"));
+    assert!(!same_stmt(src, "Foo", "next"));
+}
+
+#[test]
+fn consecutive_items_split() {
+    let src = "fn a() { one(); } fn b() { two(); }";
+    assert!(!same_stmt(src, "a", "b"));
+}
+
+#[test]
+fn paren_and_bracket_contents_stay_with_statement() {
+    let src = "fn f() { g(h[i], (j)); }";
+    assert!(same_stmt(src, "g", "h"));
+    assert!(same_stmt(src, "g", "i"));
+    assert!(same_stmt(src, "g", "j"));
+}
+
+#[test]
+fn closure_body_opens_its_own_scope() {
+    let src = "fn f() { spawn(move || { inner(); }); after(); }";
+    assert!(!same_stmt(src, "spawn", "inner"));
+    assert!(!same_stmt(src, "inner", "after"));
+}
+
+#[test]
+fn comments_have_no_statement() {
+    let src = "fn f() { a(); /* note */ b(); }";
+    assert_eq!(stmt_of(src, "/* note */"), None);
+}
+
+#[test]
+fn statement_ids_are_globally_unique() {
+    // Ids must never collide across sibling scopes — a waiver in one
+    // function must not leak into another.
+    let src = "fn a() { one(); } fn b() { two(); }";
+    assert!(!same_stmt(src, "one", "two"));
+}
