@@ -70,6 +70,26 @@ impl ClockPointer {
     /// step size and panics in all build profiles.
     #[inline]
     pub fn tick(&mut self, numerator: u64, denominator: u64, mut scan: impl FnMut(usize)) {
+        self.tick_ranges(numerator, denominator, |start, len| {
+            for i in start..start.saturating_add(len) {
+                scan(i);
+            }
+        });
+    }
+
+    /// [`tick`](ClockPointer::tick), but the scan callback receives whole
+    /// contiguous slot runs `(start, len)` instead of single slots — at most
+    /// two per call (the sweep wraps at most once, because a period's scans
+    /// are capped at one sweep). The SoA table points this at a flag-lane
+    /// harvest loop; emitting runs keeps that loop contiguous and
+    /// vectorizable instead of re-entering per slot.
+    #[inline]
+    pub fn tick_ranges(
+        &mut self,
+        numerator: u64,
+        denominator: u64,
+        mut scan: impl FnMut(usize, usize),
+    ) {
         assert!(
             denominator > 0,
             "CLOCK tick denominator (records or time units per period) must be positive"
@@ -91,19 +111,24 @@ impl ClockPointer {
             self.acc = self.acc.saturating_sub(due.saturating_mul(denominator));
             due
         };
-        for _ in 0..steps {
-            scan(self.pos);
-            self.advance_pos();
-        }
+        self.emit_runs(steps, &mut scan);
         self.scanned_this_period = self.scanned_this_period.saturating_add(steps);
     }
 
-    /// One slot forward, wrapping at `total` without a modulo.
-    #[inline]
-    fn advance_pos(&mut self) {
-        self.pos = self.pos.wrapping_add(1);
-        if self.pos >= self.total {
-            self.pos = 0;
+    /// Advance the pointer by `steps` slots, reporting the ground covered as
+    /// contiguous `(start, len)` runs. `steps` never exceeds `total` (the
+    /// once-per-period cap), so at most two runs are emitted.
+    fn emit_runs(&mut self, steps: u64, scan: &mut impl FnMut(usize, usize)) {
+        let mut left = steps;
+        while left > 0 {
+            let to_end = self.total.saturating_sub(self.pos) as u64;
+            let run = to_end.min(left) as usize;
+            scan(self.pos, run);
+            self.pos = self.pos.saturating_add(run);
+            if self.pos >= self.total {
+                self.pos = 0;
+            }
+            left = left.saturating_sub(run as u64);
         }
     }
 
@@ -157,11 +182,18 @@ impl ClockPointer {
     /// exactly-once-per-period invariant even when a period holds fewer
     /// records than expected.
     pub fn finish_period(&mut self, mut scan: impl FnMut(usize)) {
-        while self.scanned_this_period < self.total as u64 {
-            scan(self.pos);
-            self.advance_pos();
-            self.scanned_this_period = self.scanned_this_period.saturating_add(1);
-        }
+        self.finish_period_ranges(|start, len| {
+            for i in start..start.saturating_add(len) {
+                scan(i);
+            }
+        });
+    }
+
+    /// [`finish_period`](ClockPointer::finish_period) with contiguous
+    /// `(start, len)` runs, for lane-based harvesting.
+    pub fn finish_period_ranges(&mut self, mut scan: impl FnMut(usize, usize)) {
+        let left = (self.total as u64).saturating_sub(self.scanned_this_period);
+        self.emit_runs(left, &mut scan);
         self.acc = 0;
         self.scanned_this_period = 0;
     }
@@ -169,13 +201,22 @@ impl ClockPointer {
     /// Scan every cell once *without* touching period state — used for the
     /// final harvest after the stream ends.
     pub fn full_sweep(&self, mut scan: impl FnMut(usize)) {
-        let mut pos = self.pos;
-        for _ in 0..self.total {
-            scan(pos);
-            pos = pos.wrapping_add(1);
-            if pos >= self.total {
-                pos = 0;
+        self.full_sweep_ranges(|start, len| {
+            for i in start..start.saturating_add(len) {
+                scan(i);
             }
+        });
+    }
+
+    /// [`full_sweep`](ClockPointer::full_sweep) with contiguous
+    /// `(start, len)` runs: the wrap-around sweep is at most two runs.
+    pub fn full_sweep_ranges(&self, mut scan: impl FnMut(usize, usize)) {
+        let first = self.total.saturating_sub(self.pos);
+        if first > 0 {
+            scan(self.pos, first);
+        }
+        if self.pos > 0 {
+            scan(0, self.pos);
         }
     }
 }
@@ -313,6 +354,47 @@ mod tests {
         // must still deliver the exactly-once sweep.
         let counts = drive(16, 10, 0);
         assert!(counts.iter().all(|&c| c == 1), "{counts:?}");
+    }
+
+    #[test]
+    fn range_ticks_cover_the_same_slots_as_unit_ticks() {
+        // The (start, len) runs must concatenate to exactly the slot
+        // sequence the per-slot callback sees, for wrapping and
+        // non-wrapping sweeps alike.
+        for &(total, denom) in &[(8usize, 3u64), (5, 17), (16, 16), (7, 1)] {
+            let mut by_slot = ClockPointer::new(total);
+            let mut by_range = ClockPointer::new(total);
+            for step in [1u64, 2, 5, 0, 40, 3, 100, 7] {
+                let mut slots = Vec::new();
+                let mut ranged = Vec::new();
+                by_slot.tick(step, denom, |i| slots.push(i));
+                by_range.tick_ranges(step, denom, |start, len| {
+                    ranged.extend(start..start + len);
+                });
+                assert_eq!(slots, ranged, "total={total} denom={denom} step={step}");
+                assert_eq!(by_slot, by_range, "pointer state diverged");
+            }
+            let mut slots = Vec::new();
+            let mut ranged = Vec::new();
+            by_slot.finish_period(|i| slots.push(i));
+            by_range.finish_period_ranges(|start, len| ranged.extend(start..start + len));
+            assert_eq!(slots, ranged);
+            assert_eq!(by_slot, by_range);
+        }
+    }
+
+    #[test]
+    fn full_sweep_ranges_emit_at_most_two_runs() {
+        let mut clock = ClockPointer::new(10);
+        clock.tick(10 * 3, 10, |_| {}); // park the pointer mid-table
+        assert_eq!(clock.position(), 3);
+        let mut runs = Vec::new();
+        clock.full_sweep_ranges(|start, len| runs.push((start, len)));
+        assert_eq!(runs, vec![(3, 7), (0, 3)]);
+        let covered: Vec<usize> = runs.iter().flat_map(|&(s, l)| s..s + l).collect();
+        let mut sorted = covered.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>(), "each slot once");
     }
 
     #[test]

@@ -62,14 +62,16 @@ pub mod failpoint;
 pub mod merge;
 pub mod obs;
 pub mod pipeline;
+pub mod reference;
 pub mod sharded;
 pub(crate) mod shim;
+// Explicit `core::arch` bucket scans, compiled only with `--features simd`.
+// Like `spsc`, the module carries its own file-level `#![allow(unsafe_code)]`
+// with per-block SAFETY comments, and `cargo run -p xtask -- lint` pins
+// intrinsics and the allow to exactly the modules listed in lint.toml.
+#[cfg(feature = "simd")]
+pub mod simd;
 pub mod snapshot;
-// The SPSC ring is the one module allowed to use `unsafe` (raw slot
-// storage); every block carries a SAFETY comment and the whole protocol is
-// model-checked in `tests/loom_spsc.rs`. `cargo run -p xtask -- lint`
-// enforces that this allowlist does not silently grow.
-#[allow(unsafe_code)]
 pub mod spsc;
 pub mod stats;
 pub mod table;

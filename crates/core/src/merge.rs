@@ -76,15 +76,13 @@ impl Ltc {
             let base = bucket.saturating_mul(d);
             // Combine both sides' occupied cells, summing duplicates.
             let mut combined: Vec<Cell> = Vec::with_capacity(d.saturating_mul(2));
-            for c in self.bucket_cells(base, d).iter().filter(|c| c.occupied()) {
-                combined.push(*c);
-            }
-            for c in other.bucket_cells(base, d).iter().filter(|c| c.occupied()) {
+            combined.extend(self.bucket_cells(base, d).filter(|c| c.occupied()));
+            for c in other.bucket_cells(base, d).filter(|c| c.occupied()) {
                 if let Some(existing) = combined.iter_mut().find(|e| e.id == c.id) {
                     existing.freq = existing.freq.saturating_add(c.freq);
                     existing.persist = existing.persist.saturating_add(c.persist);
                 } else {
-                    combined.push(*c);
+                    combined.push(c);
                 }
             }
             // Keep the top-d by significance.

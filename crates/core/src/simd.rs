@@ -1,0 +1,154 @@
+//! Explicit SIMD bucket-match scan (`--features simd`).
+//!
+//! The default build relies on LLVM autovectorizing the safe lane scans in
+//! [`crate::cell`]; this module is the measured alternative for the one
+//! probe that dominates the insert path: find-match over a bucket tile's id
+//! lane. On x86-64 with SSE4.1 it compares two ids per instruction
+//! (`_mm_cmpeq_epi64`) and reads two slots' occupancy with one
+//! `_mm_movemask_pd` — the packed meta word keeps the OCCUPIED flag in the
+//! sign bit for exactly this reason. Everywhere else it falls back to the
+//! safe scan, so enabling the feature never changes results — a property
+//! suite pins [`find_match`] bit-exact against [`crate::cell::scan_match`].
+//!
+//! This is the only module besides `spsc` permitted to contain `unsafe`
+//! (`cargo run -p xtask -- lint`, rules `unsafe_allowlist` and
+//! `simd_gate`), and the only one permitted to name `core::arch`.
+#![allow(unsafe_code)]
+
+use crate::cell::scan_match;
+use ltc_common::ItemId;
+
+/// Find `id`'s slot within one bucket tile's id/meta lanes — bit-exact twin
+/// of [`crate::cell::scan_match`] (same "last occupied match wins"
+/// reduction, though buckets never hold duplicate occupied ids in practice).
+#[inline]
+pub fn find_match(ids: &[ItemId], metas: &[u64], id: ItemId) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("sse4.1") {
+            // SAFETY: SSE4.1 support was verified at runtime on this CPU,
+            // which is the only precondition of `find_match_sse41`.
+            return unsafe { find_match_sse41(ids, metas, id) };
+        }
+    }
+    scan_match(ids, metas, id)
+}
+
+/// SSE4.1 find-match: two 64-bit id compares per vector op, with occupancy
+/// read off the meta lane's sign bits in one movemask.
+///
+/// # Safety
+/// The caller must ensure the CPU supports SSE4.1 (runtime-detected in
+/// [`find_match`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.1")]
+// SAFETY: `unsafe fn` because of #[target_feature] — the only dispatch site
+// ([`find_match`]) runtime-detects SSE4.1 before calling.
+unsafe fn find_match_sse41(ids: &[ItemId], metas: &[u64], id: ItemId) -> Option<usize> {
+    use core::arch::x86_64::{
+        __m128i, _mm_castsi128_pd, _mm_cmpeq_epi64, _mm_loadu_si128, _mm_movemask_pd,
+        _mm_set1_epi64x,
+    };
+
+    debug_assert_eq!(ids.len(), metas.len());
+    let n = ids.len().min(metas.len());
+    // Register-only intrinsics (`_mm_set1_epi64x`, compare, movemask) are
+    // safe inside this `target_feature` fn; only the raw-pointer loads below
+    // need unsafe blocks.
+    let needle = _mm_set1_epi64x(id as i64);
+    let pairs = n / 2;
+    let mut hit = usize::MAX;
+    for pair in 0..pairs {
+        let k = pair.saturating_mul(2);
+        // SAFETY: `k + 1 < n ≤ ids.len(), metas.len()` (k ranges over full
+        // pairs), so both 16-byte unaligned loads read entirely inside their
+        // slices; `_mm_loadu_si128` permits any alignment.
+        let (lanes, meta): (__m128i, __m128i) = unsafe {
+            (
+                _mm_loadu_si128(ids.as_ptr().add(k).cast()),
+                _mm_loadu_si128(metas.as_ptr().add(k).cast()),
+            )
+        };
+        let eq = _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(lanes, needle)));
+        // META_OCCUPIED is bit 63 of each meta word = the sign bit that
+        // `_mm_movemask_pd` extracts.
+        let occupied = _mm_movemask_pd(_mm_castsi128_pd(meta));
+        let mask = eq & occupied;
+        if mask != 0 {
+            for off in 0..2usize {
+                if (mask as u32) & (1u32 << off) != 0 {
+                    hit = k.saturating_add(off);
+                }
+            }
+        }
+    }
+    // Odd trailing slot (d is usually even; d = 1 and merge-era odd shapes
+    // still must match the safe scan exactly).
+    for i in pairs.saturating_mul(2)..n {
+        let matched = ids.get(i).copied() == Some(id);
+        let occupied = metas.get(i).copied().unwrap_or(0) & crate::cell::META_OCCUPIED != 0;
+        if matched && occupied {
+            hit = i;
+        }
+    }
+    (hit != usize::MAX).then_some(hit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, TableStore};
+
+    /// Build one bucket tile's lanes via the store so meta packing matches
+    /// production.
+    fn lanes(cells: &[(ItemId, bool)]) -> (Vec<ItemId>, Vec<u64>) {
+        let mut store = TableStore::new(cells.len(), cells.len());
+        for (i, &(id, occupied)) in cells.iter().enumerate() {
+            if occupied {
+                store.occupy(i, id, 1, 0);
+            } else {
+                store.set_cell(i, Cell::from_raw(id, 0, 0, 0));
+            }
+        }
+        let (ids, metas) = store.lanes(store.tile_base(0));
+        (ids.to_vec(), metas.to_vec())
+    }
+
+    #[test]
+    fn simd_matches_safe_scan_on_crafted_buckets() {
+        let cases: Vec<Vec<(ItemId, bool)>> = vec![
+            vec![],
+            vec![(7, true)],
+            vec![(7, false)],
+            vec![(1, true), (7, true), (3, true), (4, true)],
+            vec![(1, true), (2, true), (3, true), (7, true)],
+            vec![(7, false), (7, true), (0, false), (9, true)],
+            (0..8).map(|i| (i as ItemId, i % 2 == 0)).collect(),
+            (0..16).map(|i| (i as ItemId * 3, true)).collect(),
+            vec![(u64::MAX, true), (7, true), (u64::MAX, false)],
+        ];
+        for cells in &cases {
+            let (ids, metas) = lanes(cells);
+            for probe in [0u64, 1, 3, 7, 9, 21, 45, u64::MAX] {
+                assert_eq!(
+                    find_match(&ids, &metas, probe),
+                    scan_match(&ids, &metas, probe),
+                    "cells {cells:?} probe {probe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_handles_odd_lengths_and_duplicates() {
+        for d in 1..=9usize {
+            let cells: Vec<(ItemId, bool)> = (0..d).map(|i| (42, i != 1)).collect();
+            let (ids, metas) = lanes(&cells);
+            assert_eq!(
+                find_match(&ids, &metas, 42),
+                scan_match(&ids, &metas, 42),
+                "d = {d}: duplicate-id reduction must agree"
+            );
+        }
+    }
+}

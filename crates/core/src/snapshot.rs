@@ -147,9 +147,7 @@ impl Ltc {
         if decoded.len() != self.capacity_cells() {
             return Err(SnapshotError::BadLength);
         }
-        for (slot, cell) in self.cells_mut().iter_mut().zip(decoded) {
-            *slot = cell;
-        }
+        self.load_cells(&decoded);
         self.restore_state(parity, periods);
         Ok(())
     }

@@ -1,6 +1,17 @@
 //! The LTC lossy table (paper §III).
+//!
+//! Storage is the bucket-tiled, packed struct-of-arrays [`TableStore`]:
+//! each bucket is one contiguous tile of `d` id words and `d` packed
+//! `⟨freq, persist, flags⟩` meta words — 16 bytes per cell, the paper's
+//! memory model, in one cache-line-friendly region. The three hot probes —
+//! find-match, find-empty, find-min-significance — are branch-light loops
+//! over the tile's lane slices (see [`crate::cell`]), and the CLOCK sweep
+//! harvests whole contiguous meta-lane runs ([`ClockPointer::tick_ranges`]).
+//! The retained array-of-structs implementation lives in
+//! [`crate::reference`] and a property suite pins this table bit-exact
+//! against it.
 
-use crate::cell::Cell;
+use crate::cell::{scan_empty, scan_min, Cell, TableStore};
 use crate::clock::ClockPointer;
 use crate::config::{LtcConfig, PeriodMode};
 use crate::stats::LtcStats;
@@ -21,7 +32,7 @@ use ltc_hash::SeededHash;
 #[derive(Debug, Clone)]
 pub struct Ltc {
     config: LtcConfig,
-    cells: Vec<Cell>,
+    store: TableStore,
     clock: ClockPointer,
     bucket_hash: SeededHash,
     /// Parity of the current period (0 = even). Only meaningful with the
@@ -41,7 +52,7 @@ impl Ltc {
         let total = config.total_cells();
         Self {
             config,
-            cells: vec![Cell::EMPTY; total],
+            store: TableStore::new(total, config.cells_per_bucket),
             clock: ClockPointer::new(total),
             bucket_hash: SeededHash::new(config.seed as u32),
             parity: 0,
@@ -61,7 +72,7 @@ impl Ltc {
     /// Total number of cells `m = w·d`.
     #[inline]
     pub fn capacity_cells(&self) -> usize {
-        self.cells.len()
+        self.store.len()
     }
 
     /// Number of periods ended so far.
@@ -111,7 +122,7 @@ impl Ltc {
             }
         };
         self.process(id);
-        self.tick(self.cells.len() as u64, n);
+        self.tick(self.store.len() as u64, n);
     }
 
     /// Insert a run of records (count-driven mode) — the batched hot path.
@@ -142,8 +153,37 @@ impl Ltc {
                 panic!("time-driven LTC must be fed via insert_batch_at(items)")
             }
         };
-        let m = self.cells.len() as u64;
+        let m = self.store.len() as u64;
         let bases = self.hash_batch(ids);
+        // Width dispatch happens once for the whole batch, so the record
+        // loop below runs inside a single fixed-width monomorphization.
+        match self.config.cells_per_bucket {
+            4 => self.insert_batch_run::<4>(ids, &bases, m, n),
+            8 => self.insert_batch_run::<8>(ids, &bases, m, n),
+            16 => self.insert_batch_run::<16>(ids, &bases, m, n),
+            _ => self.insert_batch_run::<0>(ids, &bases, m, n),
+        }
+    }
+
+    /// The record loop of [`insert_batch`](Ltc::insert_batch), monomorphized
+    /// on the bucket width (see [`process_at`](Ltc::process_at) for the `D`
+    /// contract).
+    fn insert_batch_run<const D: usize>(
+        &mut self,
+        ids: &[ItemId],
+        bases: &[usize],
+        m: u64,
+        n: u64,
+    ) {
+        // Case counters accumulate in registers for the whole batch and
+        // flush once — per-record saturating read-modify-writes on the
+        // stats block are measurable at this loop's cycle budget, and a
+        // single saturating add of the batch total lands on the exact same
+        // final counts.
+        let mut tally = CaseTally::default();
+        // Loop-invariant config reads, snapshotted once for the batch
+        // (`end_period` — the only parity flip — never runs mid-batch).
+        let ctx = self.record_ctx();
         let mut i = 0;
         while i < ids.len() {
             // Records until the CLOCK next crosses a scan boundary: process
@@ -154,21 +194,22 @@ impl Ltc {
                 .min(ids.len().saturating_sub(i) as u64) as usize;
             let scan_free_end = i.saturating_add(free);
             for j in i..scan_free_end {
-                self.prefetch_bucket(&bases, j);
+                self.prefetch_bucket(bases, j);
                 if let (Some(&id), Some(&base)) = (ids.get(j), bases.get(j)) {
-                    self.process_at(id, base);
+                    self.process_at::<D>(id, base, ctx, &mut tally);
                 }
             }
             self.clock.advance_scan_free(free as u64, m, n);
             i = scan_free_end;
             if let (Some(&id), Some(&base)) = (ids.get(i), bases.get(i)) {
                 // This record's tick performs the due scan(s).
-                self.prefetch_bucket(&bases, i);
-                self.process_at(id, base);
+                self.prefetch_bucket(bases, i);
+                self.process_at::<D>(id, base, ctx, &mut tally);
                 self.tick(m, n);
                 i = i.saturating_add(1);
             }
         }
+        tally.flush(&mut self.stats);
     }
 
     /// Insert a run of timestamped records (time-driven mode) — the batched
@@ -200,33 +241,36 @@ impl Ltc {
             }
             let reference = self.last_time.max(self.period_start_time);
             let elapsed = time.saturating_sub(reference);
-            self.tick(elapsed.saturating_mul(self.cells.len() as u64), t);
+            self.tick(elapsed.saturating_mul(self.store.len() as u64), t);
             self.last_time = time;
-            self.process_at(id, base);
+            self.process_dispatch(id, base);
         }
     }
 
-    /// Hash every id of a batch to its bucket base offset.
+    /// Hash every id of a batch to its bucket's tile base.
     fn hash_batch(&self, ids: &[ItemId]) -> Vec<usize> {
-        let d = self.config.cells_per_bucket;
-        // `bucket_index < buckets`, so `bucket_index * d < buckets * d`,
-        // which the cell vector's existence proves fits in usize.
+        // `bucket_index < buckets`, so the tile base fits in usize (the
+        // store's word buffer exists at exactly that size).
         ids.iter()
-            .map(|&id| self.bucket_index(id).saturating_mul(d))
+            .map(|&id| self.store.tile_base(self.bucket_index(id)))
             .collect()
     }
 
-    /// Touch the bucket a few records ahead so its cache line is in flight
-    /// by the time [`process_at`](Ltc::process_at) reads it. The core crate
-    /// forbids `unsafe`, so instead of `_mm_prefetch` this issues a plain
-    /// read the optimiser must keep (`black_box`).
+    /// Touch a bucket's tile a few records ahead
+    /// ([`LtcConfig::prefetch_distance`]) so its cache lines are in flight
+    /// by the time [`process_at`](Ltc::process_at) reads them. A whole
+    /// probe (match, vacancy, min-significance) reads one contiguous
+    /// `16·d`-byte tile, so the touch covers every line a probe can need.
+    /// The core crate forbids `unsafe`, so instead of `_mm_prefetch` this
+    /// issues plain reads the optimiser must keep (`black_box`).
     #[inline]
     fn prefetch_bucket(&self, bases: &[usize], j: usize) {
-        const PREFETCH_DISTANCE: usize = 8;
-        if let Some(&base) = bases.get(j.saturating_add(PREFETCH_DISTANCE)) {
-            if let Some(cell) = self.cells.get(base) {
-                std::hint::black_box(cell);
-            }
+        let distance = self.config.prefetch_distance;
+        if distance == 0 {
+            return;
+        }
+        if let Some(&base) = bases.get(j.saturating_add(distance)) {
+            self.store.prefetch_tile(base);
         }
     }
 
@@ -257,7 +301,7 @@ impl Ltc {
         // (x−y)/t·m time slots").
         let reference = self.last_time.max(self.period_start_time);
         let elapsed = time.saturating_sub(reference);
-        self.tick(elapsed.saturating_mul(self.cells.len() as u64), t);
+        self.tick(elapsed.saturating_mul(self.store.len() as u64), t);
         self.last_time = time;
         self.process(id);
     }
@@ -267,12 +311,10 @@ impl Ltc {
     /// flag parity — the "refreshment elimination" of §III-C.
     pub fn end_period(&mut self) {
         let hp = self.harvest_parity();
-        let cells = &mut self.cells;
+        let store = &mut self.store;
         let mut harvested = 0u64;
-        self.clock.finish_period(|i| {
-            if cells.get_mut(i).is_some_and(|c| c.harvest(hp)) {
-                harvested = harvested.saturating_add(1);
-            }
+        self.clock.finish_period_ranges(|start, len| {
+            harvested = harvested.saturating_add(store.harvest_range(start, len, hp));
         });
         self.stats.harvests = self.stats.harvests.saturating_add(harvested);
         if self.config.variant.deviation_eliminator {
@@ -296,34 +338,35 @@ impl Ltc {
     /// consumed.
     pub fn finalize(&mut self) {
         let hp = self.harvest_parity();
-        let cells = &mut self.cells;
+        let store = &mut self.store;
         let mut harvested = 0u64;
-        self.clock.full_sweep(|i| {
-            if cells.get_mut(i).is_some_and(|c| c.harvest(hp)) {
-                harvested = harvested.saturating_add(1);
-            }
+        self.clock.full_sweep_ranges(|start, len| {
+            harvested = harvested.saturating_add(store.harvest_range(start, len, hp));
         });
         self.stats.harvests = self.stats.harvests.saturating_add(harvested);
     }
 
     /// Whether `id` currently occupies a cell.
     pub fn contains(&self, id: ItemId) -> bool {
-        self.bucket(id).iter().any(|c| c.occupied() && c.id == id)
+        self.find_slot(id).is_some()
     }
 
     /// Estimated frequency of `id`, if tracked.
     pub fn frequency_of(&self, id: ItemId) -> Option<u64> {
-        self.find(id).map(|c| u64::from(c.freq))
+        self.find_slot(id)
+            .map(|i| u64::from(self.store.cell(i).freq))
     }
 
     /// Estimated persistency of `id`, if tracked.
     pub fn persistency_of(&self, id: ItemId) -> Option<u64> {
-        self.find(id).map(|c| u64::from(c.persist))
+        self.find_slot(id)
+            .map(|i| u64::from(self.store.cell(i).persist))
     }
 
-    /// Iterate over all cells (diagnostics, tests, theory validation).
-    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
-        self.cells.iter()
+    /// Iterate over all cells, materialised from the lanes (diagnostics,
+    /// tests, theory validation).
+    pub fn cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        self.store.iter_cells()
     }
 
     /// Cells scanned by the CLOCK since the current period began.
@@ -337,39 +380,42 @@ impl Ltc {
         self.bucket_hash.index(id, self.config.buckets)
     }
 
+    /// Slot index of `id`'s cell, if tracked (query path).
     #[inline]
-    fn bucket(&self, id: ItemId) -> &[Cell] {
-        let d = self.config.cells_per_bucket;
-        let base = self.bucket_index(id).saturating_mul(d);
-        self.cells.get(base..base.saturating_add(d)).unwrap_or(&[])
+    fn find_slot(&self, id: ItemId) -> Option<usize> {
+        let bucket = self.bucket_index(id);
+        let (ids, metas) = self.store.lanes(self.store.tile_base(bucket));
+        bucket_match(ids, metas, id).map(|k| {
+            bucket
+                .saturating_mul(self.config.cells_per_bucket)
+                .saturating_add(k)
+        })
     }
 
-    #[inline]
-    fn find(&self, id: ItemId) -> Option<&Cell> {
-        self.bucket(id).iter().find(|c| c.occupied() && c.id == id)
-    }
-
-    /// Raw view of one bucket (merge support).
-    pub(crate) fn bucket_cells(&self, base: usize, d: usize) -> &[Cell] {
-        self.cells.get(base..base.saturating_add(d)).unwrap_or(&[])
+    /// One bucket's cells, materialised from the lanes (merge support).
+    pub(crate) fn bucket_cells(&self, base: usize, d: usize) -> impl Iterator<Item = Cell> + '_ {
+        let end = base.saturating_add(d).min(self.store.len());
+        (base..end).map(move |i| self.store.cell(i))
     }
 
     /// Overwrite one bucket with up to `d` cells, clearing the rest
     /// (merge support).
     pub(crate) fn replace_bucket(&mut self, base: usize, d: usize, cells: &[Cell]) {
         debug_assert!(cells.len() <= d);
-        let bucket = self
-            .cells
-            .get_mut(base..base.saturating_add(d))
-            .unwrap_or_default();
-        for (i, slot) in bucket.iter_mut().enumerate() {
-            *slot = cells.get(i).copied().unwrap_or(Cell::EMPTY);
+        let end = base.saturating_add(d).min(self.store.len());
+        for (k, i) in (base..end).enumerate() {
+            let cell = cells.get(k).copied().unwrap_or(Cell::EMPTY);
+            self.store.set_cell(i, cell);
         }
     }
 
-    /// Raw cell snapshot/restore support: the full cell array.
-    pub(crate) fn cells_mut(&mut self) -> &mut [Cell] {
-        &mut self.cells
+    /// Overwrite the whole table from decoded cells, scattering each into
+    /// the lanes (snapshot restore support).
+    pub(crate) fn load_cells(&mut self, cells: &[Cell]) {
+        debug_assert_eq!(cells.len(), self.store.len());
+        for (i, cell) in cells.iter().enumerate() {
+            self.store.set_cell(i, *cell);
+        }
     }
 
     /// Current parity (snapshot support).
@@ -384,7 +430,7 @@ impl Ltc {
     pub(crate) fn restore_state(&mut self, parity: u8, periods_completed: u64) {
         self.parity = parity & 1;
         self.periods_completed = periods_completed;
-        self.clock = ClockPointer::new(self.cells.len());
+        self.clock = ClockPointer::new(self.store.len());
     }
 
     /// All tracked items whose estimated significance is at least
@@ -393,8 +439,8 @@ impl Ltc {
     pub fn items_above(&self, threshold: f64) -> Vec<Estimate> {
         let weights = self.config.weights;
         let mut out: Vec<Estimate> = self
-            .cells
-            .iter()
+            .store
+            .iter_cells()
             .filter(|c| c.occupied())
             .map(|c| Estimate::new(c.id, c.significance(&weights)))
             .filter(|e| e.value >= threshold)
@@ -406,102 +452,128 @@ impl Ltc {
     }
 
     /// Advance the CLOCK by `numerator/denominator` of a sweep, harvesting.
+    /// The pointer emits whole contiguous slot runs and the harvest walks
+    /// each run's flag and persistency lanes in one branch-light pass.
     #[inline]
     fn tick(&mut self, numerator: u64, denominator: u64) {
         let hp = self.harvest_parity();
-        let cells = &mut self.cells;
+        let store = &mut self.store;
         let mut harvested = 0u64;
-        self.clock.tick(numerator, denominator, |i| {
-            if cells.get_mut(i).is_some_and(|c| c.harvest(hp)) {
-                harvested = harvested.saturating_add(1);
-            }
-        });
+        self.clock
+            .tick_ranges(numerator, denominator, |start, len| {
+                harvested = harvested.saturating_add(store.harvest_range(start, len, hp));
+            });
         self.stats.harvests = self.stats.harvests.saturating_add(harvested);
     }
 
     /// The insertion state machine of §III-B1 (cases 1–3) with the
     /// Long-tail Replacement admission rule of §III-D when enabled.
     fn process(&mut self, id: ItemId) {
-        let base = self
-            .bucket_index(id)
-            .saturating_mul(self.config.cells_per_bucket);
-        self.process_at(id, base);
+        let base = self.store.tile_base(self.bucket_index(id));
+        self.process_dispatch(id, base);
     }
 
-    /// [`process`](Ltc::process) with the bucket base precomputed — the
-    /// batched path hashes whole batches up front and feeds bases here.
-    fn process_at(&mut self, id: ItemId, base: usize) {
-        let weights = self.config.weights;
-        let variant = self.config.variant;
-        let parity = self.set_parity();
-        let d = self.config.cells_per_bucket;
-        let end = base.saturating_add(d);
-
-        self.stats.inserts = self.stats.inserts.saturating_add(1);
-        let mut hit_slot = None;
-        let mut empty_slot = None;
-        let mut min_slot = base;
-        let mut min_sig = f64::INFINITY;
-        for (offset, c) in self.cells.get(base..end).unwrap_or(&[]).iter().enumerate() {
-            let i = base.saturating_add(offset);
-            if c.occupied() {
-                if c.id == id {
-                    hit_slot = Some(i);
-                    break;
-                }
-                let sig = c.significance(&weights);
-                if sig < min_sig {
-                    min_sig = sig;
-                    min_slot = i;
-                }
-            } else if empty_slot.is_none() {
-                empty_slot = Some(i);
-            }
+    /// Route one record to the fixed-width [`process_at`](Ltc::process_at)
+    /// monomorphization matching the configured bucket width (`0` = the
+    /// runtime-width build, for merge-era and test shapes). The batched
+    /// count-driven path hoists this match out of its record loop entirely.
+    #[inline]
+    fn process_dispatch(&mut self, id: ItemId, base: usize) {
+        let ctx = self.record_ctx();
+        let mut tally = CaseTally::default();
+        match self.config.cells_per_bucket {
+            4 => self.process_at::<4>(id, base, ctx, &mut tally),
+            8 => self.process_at::<8>(id, base, ctx, &mut tally),
+            16 => self.process_at::<16>(id, base, ctx, &mut tally),
+            _ => self.process_at::<0>(id, base, ctx, &mut tally),
         }
+        tally.flush(&mut self.stats);
+    }
 
-        if let Some(i) = hit_slot {
-            // Case 1: raise the current-period flag, count the hit.
-            self.stats.hits = self.stats.hits.saturating_add(1);
-            if let Some(c) = self.cells.get_mut(i) {
-                c.freq = c.freq.saturating_add(1);
-                c.set_flag(parity);
-            }
-            return;
+    /// Snapshot the [`RecordCtx`] invariants for a batch of `process_at`
+    /// calls.
+    #[inline]
+    fn record_ctx(&self) -> RecordCtx {
+        RecordCtx {
+            weights: self.config.weights,
+            long_tail_replacement: self.config.variant.long_tail_replacement,
+            parity: self.set_parity(),
         }
+    }
 
-        if let Some(i) = empty_slot {
-            // Case 2: fresh item in an empty cell, counters (1, 0).
-            self.stats.fills = self.stats.fills.saturating_add(1);
-            if let Some(c) = self.cells.get_mut(i) {
-                c.occupy(id, 1, 0);
-                c.set_flag(parity);
-            }
-            return;
-        }
+    /// [`process`](Ltc::process) with the bucket's tile base precomputed —
+    /// the batched path hashes whole batches up front and feeds bases here.
+    ///
+    /// The probe phase is pure — three branch-light scans over the tile's
+    /// lanes deciding which case applies ([`probe_tile`]). `D` pins the
+    /// bucket width at compile time (`0` = runtime width): callers dispatch
+    /// *once per batch* ([`Self::process_dispatch`]), so each
+    /// monomorphization carries exactly one width's straight-line scan code
+    /// instead of every width's — keeping the per-record instruction
+    /// footprint L1I-sized. Only after the probe does the mutation phase
+    /// touch the store.
+    ///
+    /// Always inlined into the batch loop so `ctx` and `tally` live in
+    /// registers across records instead of crossing a call per record.
+    #[inline(always)]
+    fn process_at<const D: usize>(
+        &mut self,
+        id: ItemId,
+        base: usize,
+        ctx: RecordCtx,
+        tally: &mut CaseTally,
+    ) {
+        let RecordCtx {
+            weights,
+            long_tail_replacement,
+            parity,
+        } = ctx;
 
-        // Case 3: Significance-Decrement the smallest cell; admit the new
-        // item only once that cell's significance is worn down to zero.
-        let Some(c) = self.cells.get_mut(min_slot) else {
-            return;
+        tally.inserts = tally.inserts.saturating_add(1);
+
+        // One mutable split serves both phases: the probe reads the lanes
+        // reborrowed shared, and cases 1–2 write back through the same
+        // slices — no second index derivation or bounds check per mutation.
+        let (ids, metas) = self.store.lanes_mut(base);
+        let decision = if D == 0 {
+            probe_tile_runtime(ids, metas, id, &weights)
+        } else {
+            probe_tile_fixed::<D>(ids, metas, id, &weights)
         };
-        c.significance_decrement();
-        if !c.significance_is_zero(&weights) {
-            self.stats.decrements = self.stats.decrements.saturating_add(1);
+
+        let min_k = match decision {
+            // Case 1: raise the current-period flag, count the hit.
+            Probe::Hit(k) => {
+                tally.hits = tally.hits.saturating_add(1);
+                TableStore::lane_record_hit(metas, k, parity);
+                return;
+            }
+            // Case 2: fresh item in an empty cell, counters (1, 0).
+            Probe::Fill(k) => {
+                tally.fills = tally.fills.saturating_add(1);
+                TableStore::lane_fill(ids, metas, k, id, parity);
+                return;
+            }
+            // Case 3: Significance-Decrement the smallest cell; admit the
+            // new item only once that cell's significance is worn to zero.
+            // The bucket is full (no match, no vacancy), so the min scan
+            // ran over all `d` slots unconditionally.
+            Probe::Decrement(k) => k,
+        };
+        self.store.significance_decrement_at(base, min_k);
+        if !self.store.significance_is_zero_at(base, min_k, &weights) {
+            tally.decrements = tally.decrements.saturating_add(1);
             return;
         }
-        self.stats.admissions = self.stats.admissions.saturating_add(1);
-        if let Some(c) = self.cells.get_mut(min_slot) {
-            c.clear();
-        }
-        let (f0, p0) = if variant.long_tail_replacement {
-            self.long_tail_initial(base, d, &weights)
+        tally.admissions = tally.admissions.saturating_add(1);
+        self.store.clear_at(base, min_k);
+        let (f0, p0) = if long_tail_replacement {
+            self.long_tail_initial(base, &weights)
         } else {
             (1, 0)
         };
-        if let Some(c) = self.cells.get_mut(min_slot) {
-            c.occupy(id, f0, p0);
-            c.set_flag(parity);
-        }
+        self.store.occupy_at(base, min_k, id, f0, p0);
+        self.store.set_flag_at(base, min_k, parity);
     }
 
     /// Long-tail Replacement initial counters: the second-smallest cell of
@@ -512,14 +584,22 @@ impl Ltc {
     /// frequency and persistency. We copy `(f₂, p₂)` and decrement the
     /// α-weighted coordinate (or the β-weighted one when α = 0), which keeps
     /// the admitted cell no larger than its neighbours under any weights.
-    fn long_tail_initial(&self, base: usize, d: usize, weights: &Weights) -> (u32, u32) {
-        let second = self
-            .cells
-            .get(base..base.saturating_add(d))
-            .unwrap_or(&[])
+    fn long_tail_initial(&self, tile_base: usize, weights: &Weights) -> (u32, u32) {
+        let (ids, metas) = self.store.lanes(tile_base);
+        let cells = ids
             .iter()
-            .filter(|c| c.occupied())
-            .min_by(|a, b| a.significance(weights).total_cmp(&b.significance(weights)));
+            .zip(metas)
+            .map(|(&id, &m)| crate::cell::unpack(id, m))
+            .filter(|c| c.occupied());
+        // For α = β = 1 the significance f + p is an exact f64 integer, so an
+        // integer key gives the same winner and the same first-minimal
+        // tie-break as the float comparator (see `cell::scan_min`) without
+        // touching the FPU on the admission path.
+        let second = if weights.alpha == 1.0 && weights.beta == 1.0 {
+            cells.min_by_key(|c| u64::from(c.freq).wrapping_add(u64::from(c.persist)))
+        } else {
+            cells.min_by(|a, b| a.significance(weights).total_cmp(&b.significance(weights)))
+        };
         match second {
             Some(c) => {
                 if weights.alpha > 0.0 {
@@ -563,14 +643,15 @@ impl BatchStreamProcessor for Ltc {
 
 impl SignificanceQuery for Ltc {
     fn estimate(&self, id: ItemId) -> Option<f64> {
-        self.find(id).map(|c| c.significance(&self.config.weights))
+        self.find_slot(id)
+            .map(|i| self.store.cell(i).significance(&self.config.weights))
     }
 
     fn top_k(&self, k: usize) -> Vec<Estimate> {
         let weights = self.config.weights;
         let candidates = self
-            .cells
-            .iter()
+            .store
+            .iter_cells()
             .filter(|c| c.occupied())
             .map(|c| Estimate::new(c.id, c.significance(&weights)))
             .collect();
@@ -580,8 +661,120 @@ impl SignificanceQuery for Ltc {
 
 impl MemoryUsage for Ltc {
     fn memory_bytes(&self) -> usize {
-        self.cells.len().saturating_mul(LTC_CELL_BYTES)
+        self.store.len().saturating_mul(LTC_CELL_BYTES)
     }
+}
+
+/// Per-batch case counters, accumulated in locals and flushed into
+/// [`LtcStats`] once per batch (or per record on the unbatched path).
+/// Saturation commutes with the split — `saturating_add` of a batch total
+/// equals that many per-record saturating increments — so deferring the
+/// flush is invisible in the final counts.
+#[derive(Debug, Default, Clone, Copy)]
+struct CaseTally {
+    inserts: u64,
+    hits: u64,
+    fills: u64,
+    decrements: u64,
+    admissions: u64,
+}
+
+impl CaseTally {
+    #[inline]
+    fn flush(self, stats: &mut LtcStats) {
+        stats.inserts = stats.inserts.saturating_add(self.inserts);
+        stats.hits = stats.hits.saturating_add(self.hits);
+        stats.fills = stats.fills.saturating_add(self.fills);
+        stats.decrements = stats.decrements.saturating_add(self.decrements);
+        stats.admissions = stats.admissions.saturating_add(self.admissions);
+    }
+}
+
+/// The per-record loop invariants of [`process_at`](Ltc::process_at),
+/// snapshotted once per batch. `process_at` cannot hoist these itself:
+/// the store writes it performs go through pointers LLVM cannot prove
+/// disjoint from `self.config`, so reloading them per record survives
+/// optimization unless the caller pins them in locals. None of the three
+/// can change mid-batch — weights and variant are fixed at construction,
+/// and parity only flips in `end_period`.
+#[derive(Debug, Clone, Copy)]
+struct RecordCtx {
+    weights: Weights,
+    long_tail_replacement: bool,
+    parity: u8,
+}
+
+/// Outcome of the pure probe phase over one bucket tile: which of the
+/// paper's three insertion cases applies, and at which lane offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Probe {
+    /// Case 1: `id` occupies this slot.
+    Hit(usize),
+    /// Case 2: first vacant slot.
+    Fill(usize),
+    /// Case 3: bucket full; this slot holds the minimum significance.
+    Decrement(usize),
+}
+
+/// Decide the insertion case for `id` from the tile's lanes — scans only,
+/// no mutation. The three scans short-circuit: a hit (the overwhelmingly
+/// common case on skewed streams) runs find-match alone, and the
+/// find-min-significance float math only runs for a full-bucket miss.
+#[inline(always)]
+fn probe_tile(ids: &[ItemId], metas: &[u64], id: ItemId, weights: &Weights) -> Probe {
+    if let Some(k) = bucket_match(ids, metas, id) {
+        return Probe::Hit(k);
+    }
+    if let Some(k) = scan_empty(metas) {
+        return Probe::Fill(k);
+    }
+    Probe::Decrement(scan_min(metas, weights).0)
+}
+
+/// Outlined runtime-width [`probe_tile`]: one shared copy serves the
+/// `D = 0` monomorphization's main path and every fixed monomorphization's
+/// (unreachable) shape-mismatch fallback, so the all-widths scan dispatch
+/// inside the generic scans is never inlined into the fixed-width record
+/// loops — keeping each of those loops one width's code.
+#[inline(never)]
+fn probe_tile_runtime(ids: &[ItemId], metas: &[u64], id: ItemId, weights: &Weights) -> Probe {
+    probe_tile(ids, metas, id, weights)
+}
+
+/// [`probe_tile`] with the bucket width pinned at compile time: converting
+/// the lanes to fixed-size arrays lets every scan inline with a constant
+/// trip count (straight-line compare-and-mask code instead of generic loops
+/// with epilogues). Falls back to the runtime-width probe on a shape
+/// mismatch, which the dispatcher in `process_at` makes unreachable.
+#[inline(always)]
+fn probe_tile_fixed<const D: usize>(
+    ids: &[ItemId],
+    metas: &[u64],
+    id: ItemId,
+    weights: &Weights,
+) -> Probe {
+    match (<&[ItemId; D]>::try_from(ids), <&[u64; D]>::try_from(metas)) {
+        (Ok(ids), Ok(metas)) => probe_tile(ids.as_slice(), metas.as_slice(), id, weights),
+        _ => probe_tile_runtime(ids, metas, id, weights),
+    }
+}
+
+/// Find `id`'s slot within one bucket's id/meta lanes. The default build
+/// uses the safe autovectorized scan; the `simd` feature swaps in explicit
+/// `core::arch` intrinsics with an identical contract (a property suite
+/// pins the two bit-exact).
+#[cfg(not(feature = "simd"))]
+#[inline(always)]
+fn bucket_match(ids: &[ItemId], metas: &[u64], id: ItemId) -> Option<usize> {
+    crate::cell::scan_match(ids, metas, id)
+}
+
+/// `simd`-feature twin of the safe [`bucket_match`]: dispatches to the
+/// intrinsics module, which itself falls back to the safe scan off x86-64.
+#[cfg(feature = "simd")]
+#[inline]
+fn bucket_match(ids: &[ItemId], metas: &[u64], id: ItemId) -> Option<usize> {
+    crate::simd::find_match(ids, metas, id)
 }
 
 #[cfg(test)]

@@ -20,13 +20,19 @@
 //! Replacement) is inherited unchanged; only the significance inputs change.
 //! Windows are capped at 64 periods by the bitmap width — enough for
 //! "last hour of minutes" or "last two months of days" dashboards.
+//!
+//! Storage follows the main table's struct-of-arrays layout ([`WinStore`]):
+//! one lane per field, bucket-major. The find-match probe touches only the
+//! id and occupancy lanes, and the period-boundary aging (bitmap shift,
+//! frequency scaling) runs as unconditional whole-lane passes — empty slots
+//! hold zeroes, which both transforms map to zeroes.
 
 use ltc_common::{
     top_k_of, Estimate, ItemId, MemoryUsage, SignificanceQuery, StreamProcessor, Weights,
 };
 use ltc_hash::SeededHash;
 
-/// A cell of the windowed table.
+/// A cell of the windowed table, materialised from the lanes.
 #[derive(Debug, Clone, Copy, Default)]
 struct WinCell {
     id: ItemId,
@@ -56,6 +62,73 @@ impl WinCell {
     }
 }
 
+/// Struct-of-arrays storage for [`WinCell`]s: one lane per field, slot `i`
+/// of every lane is the same logical cell.
+#[derive(Debug, Clone)]
+struct WinStore {
+    ids: Vec<ItemId>,
+    freq16s: Vec<u64>,
+    presences: Vec<u64>,
+    occupied: Vec<bool>,
+}
+
+impl WinStore {
+    fn new(total: usize) -> Self {
+        Self {
+            ids: vec![0; total],
+            freq16s: vec![0; total],
+            presences: vec![0; total],
+            occupied: vec![false; total],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn cell(&self, i: usize) -> WinCell {
+        WinCell {
+            id: self.ids.get(i).copied().unwrap_or(0),
+            freq16: self.freq16s.get(i).copied().unwrap_or(0),
+            presence: self.presences.get(i).copied().unwrap_or(0),
+            occupied: self.occupied.get(i).copied().unwrap_or(false),
+        }
+    }
+
+    fn set_cell(&mut self, i: usize, cell: WinCell) {
+        if let Some(slot) = self.ids.get_mut(i) {
+            *slot = cell.id;
+        }
+        if let Some(slot) = self.freq16s.get_mut(i) {
+            *slot = cell.freq16;
+        }
+        if let Some(slot) = self.presences.get_mut(i) {
+            *slot = cell.presence;
+        }
+        if let Some(slot) = self.occupied.get_mut(i) {
+            *slot = cell.occupied;
+        }
+    }
+
+    fn clear(&mut self, i: usize) {
+        self.set_cell(i, WinCell::default());
+    }
+
+    fn iter_cells(&self) -> impl Iterator<Item = WinCell> + '_ {
+        self.ids
+            .iter()
+            .zip(&self.freq16s)
+            .zip(&self.presences)
+            .zip(&self.occupied)
+            .map(|(((&id, &freq16), &presence), &occupied)| WinCell {
+                id,
+                freq16,
+                presence,
+                occupied,
+            })
+    }
+}
+
 /// LTC with sliding-window significance. See the module docs.
 ///
 /// # Examples
@@ -75,7 +148,7 @@ impl WinCell {
 /// ```
 #[derive(Debug, Clone)]
 pub struct WindowedLtc {
-    cells: Vec<WinCell>,
+    store: WinStore,
     buckets: usize,
     cells_per_bucket: usize,
     weights: Weights,
@@ -107,7 +180,7 @@ impl WindowedLtc {
             (1u64 << window).wrapping_sub(1)
         };
         Self {
-            cells: vec![WinCell::default(); buckets.saturating_mul(cells_per_bucket)],
+            store: WinStore::new(buckets.saturating_mul(cells_per_bucket)),
             buckets,
             cells_per_bucket,
             weights,
@@ -144,10 +217,23 @@ impl WindowedLtc {
         base..base.saturating_add(self.cells_per_bucket)
     }
 
-    fn find(&self, id: ItemId) -> Option<&WinCell> {
-        self.cells[self.bucket_range(id)]
-            .iter()
-            .find(|c| c.occupied && c.id == id)
+    /// Find `id`'s slot: a branch-light reduction over the id and occupancy
+    /// lanes only (the windowed analogue of [`crate::cell::scan_match`]).
+    fn find_slot(&self, range: std::ops::Range<usize>, id: ItemId) -> Option<usize> {
+        let ids = self.store.ids.get(range.clone()).unwrap_or(&[]);
+        let occ = self.store.occupied.get(range.clone()).unwrap_or(&[]);
+        let mut hit = usize::MAX;
+        for (k, (&cid, &o)) in ids.iter().zip(occ).enumerate() {
+            if (cid == id) & o {
+                hit = k;
+            }
+        }
+        (hit != usize::MAX).then(|| range.start.saturating_add(hit))
+    }
+
+    fn find(&self, id: ItemId) -> Option<WinCell> {
+        self.find_slot(self.bucket_range(id), id)
+            .map(|i| self.store.cell(i))
     }
 
     /// Record one occurrence of `id` in the current period.
@@ -156,54 +242,66 @@ impl WindowedLtc {
         let weights = self.weights;
         let mask = self.mask;
 
-        let mut empty = None;
-        let mut min_i = range.start;
-        let mut min_sig = f64::INFINITY;
-        for i in range.clone() {
-            let c = &self.cells[i];
-            if c.occupied {
-                if c.id == id {
-                    let c = &mut self.cells[i];
-                    c.freq16 = c.freq16.saturating_add(16);
-                    c.presence |= 1;
-                    return;
-                }
-                let sig = c.significance(&weights, mask);
-                if sig < min_sig {
-                    min_sig = sig;
-                    min_i = i;
-                }
-            } else if empty.is_none() {
-                empty = Some(i);
+        if let Some(i) = self.find_slot(range.clone(), id) {
+            if let Some(f) = self.store.freq16s.get_mut(i) {
+                *f = f.saturating_add(16);
             }
-        }
-        if let Some(i) = empty {
-            self.cells[i] = WinCell {
-                id,
-                freq16: 16,
-                presence: 1,
-                occupied: true,
-            };
+            if let Some(p) = self.store.presences.get_mut(i) {
+                *p |= 1;
+            }
             return;
         }
+
+        // First vacancy, scanning the occupancy lane alone.
+        let occ = self.store.occupied.get(range.clone()).unwrap_or(&[]);
+        if let Some(k) = occ.iter().position(|&o| !o) {
+            self.store.set_cell(
+                range.start.saturating_add(k),
+                WinCell {
+                    id,
+                    freq16: 16,
+                    presence: 1,
+                    occupied: true,
+                },
+            );
+            return;
+        }
+
+        // Bucket full: find the windowed minimum over the counter lanes
+        // (every slot is occupied here, so the scan runs unconditionally).
+        let f16 = self.store.freq16s.get(range.clone()).unwrap_or(&[]);
+        let pres = self.store.presences.get(range.clone()).unwrap_or(&[]);
+        let mut min_k = 0usize;
+        let mut min_sig = f64::INFINITY;
+        for (k, (&f, &p)) in f16.iter().zip(pres).enumerate() {
+            let sig = weights.significance(f >> 4, u64::from((p & mask).count_ones()));
+            if sig < min_sig {
+                min_sig = sig;
+                min_k = k;
+            }
+        }
+        let min_i = range.start.saturating_add(min_k);
+
         // Significance-Decrement the windowed minimum: take one frequency
         // unit and the *oldest* presence bit (the windowed analogue of
         // decrementing the persistency counter).
-        let worn_out = {
-            let c = &mut self.cells[min_i];
-            c.freq16 = c.freq16.saturating_sub(16);
-            let in_window = c.presence & mask;
+        if let Some(f) = self.store.freq16s.get_mut(min_i) {
+            *f = f.saturating_sub(16);
+        }
+        if let Some(p) = self.store.presences.get_mut(min_i) {
+            let in_window = *p & mask;
             if in_window != 0 {
                 let oldest = in_window.ilog2(); // non-zero checked above
-                c.presence &= !(1u64 << oldest);
+                *p &= !(1u64 << oldest);
             }
-            c.significance(&weights, mask) == 0.0
-        };
+        }
+        let worn_out = self.store.cell(min_i).significance(&weights, mask) == 0.0;
         if worn_out {
             // Long-tail Replacement against the remaining minimum.
-            let evicted = self.cells[min_i].id;
-            let second = self.cells[range]
-                .iter()
+            let evicted = self.store.cell(min_i).id;
+            let second = range
+                .clone()
+                .map(|i| self.store.cell(i))
                 .filter(|x| x.occupied && x.id != evicted)
                 .map(|x| (x.freq16, x.presence & mask))
                 .min_by(|a, b| a.0.cmp(&b.0));
@@ -211,36 +309,45 @@ impl WindowedLtc {
                 Some((f2, p2)) => (f2.saturating_sub(16).max(16), p2 >> 1),
                 None => (16, 0),
             };
-            self.cells[min_i] = WinCell {
-                id,
-                freq16: f16,
-                presence: presence | 1,
-                occupied: true,
-            };
+            self.store.set_cell(
+                min_i,
+                WinCell {
+                    id,
+                    freq16: f16,
+                    presence: presence | 1,
+                    occupied: true,
+                },
+            );
         }
     }
 
     /// Close the current period: shift every presence bitmap, age every
     /// frequency by `(W-1)/W`, and drop cells whose window emptied.
+    ///
+    /// The shift and the scaling are unconditional whole-lane passes —
+    /// unoccupied slots carry zeroes, which both transforms preserve — so
+    /// only the reclamation pass consults occupancy.
     pub fn end_period(&mut self) {
         let mask = self.mask;
         let w = u64::from(self.window);
-        for c in &mut self.cells {
-            if !c.occupied {
-                continue;
+        for p in &mut self.store.presences {
+            *p = (*p << 1) & mask;
+        }
+        if self.window == 1 {
+            for f in &mut self.store.freq16s {
+                *f = 0;
             }
-            c.presence = (c.presence << 1) & mask;
-            c.freq16 = c
-                .freq16
-                .saturating_mul(w.saturating_sub(1))
-                .checked_div(w)
-                .unwrap_or(0); // w >= 1 by the constructor assert
-            if self.window == 1 {
-                c.freq16 = 0;
+        } else {
+            let scale = w.saturating_sub(1);
+            for f in &mut self.store.freq16s {
+                *f = f.saturating_mul(scale).checked_div(w).unwrap_or(0);
             }
-            if c.presence == 0 && c.freq16 < 16 {
+        }
+        for i in 0..self.store.len() {
+            let c = self.store.cell(i);
+            if c.occupied && c.presence == 0 && c.freq16 < 16 {
                 // Aged out of the window entirely.
-                *c = WinCell::default();
+                self.store.clear(i);
             }
         }
         self.periods_completed = self.periods_completed.saturating_add(1);
@@ -271,8 +378,8 @@ impl SignificanceQuery for WindowedLtc {
         let weights = self.weights;
         let mask = self.mask;
         top_k_of(
-            self.cells
-                .iter()
+            self.store
+                .iter_cells()
                 .filter(|c| c.occupied)
                 .map(|c| Estimate::new(c.id, c.significance(&weights, mask)))
                 .collect(),
@@ -285,7 +392,7 @@ impl MemoryUsage for WindowedLtc {
     fn memory_bytes(&self) -> usize {
         // id 8 + aged frequency 4 + presence bitmap 8 = 20 B per cell under
         // the workspace cost model.
-        self.cells.len().saturating_mul(20)
+        self.store.len().saturating_mul(20)
     }
 }
 

@@ -57,6 +57,7 @@ use std::fmt;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+pub mod bench_compare;
 pub mod cfg;
 pub mod lexer;
 pub mod rules;
@@ -122,6 +123,9 @@ pub struct Config {
     pub skip: Vec<String>,
     /// Files allowed to contain `unsafe`.
     pub unsafe_allow: Vec<String>,
+    /// Modules allowed to name `core::arch`/`std::arch` and carry a
+    /// file-level `allow(unsafe_code)` (simd_gate rule).
+    pub simd_allow: Vec<String>,
     /// Hot-path files subject to no_panic / no_index / counter_arith.
     pub hot_path: Vec<String>,
     /// Counter field names checked by counter_arith.
@@ -146,6 +150,7 @@ pub struct Config {
 const SCHEMA: &[(&str, &[&str])] = &[
     ("paths", &["roots", "skip"]),
     ("unsafe_code", &["allow"]),
+    ("simd", &["modules"]),
     ("hot_path", &["files"]),
     ("counters", &["fields"]),
     ("orderings", &["no_relaxed_files"]),
@@ -209,6 +214,7 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
             ("paths", "roots") => config.roots = values,
             ("paths", "skip") => config.skip = values,
             ("unsafe_code", "allow") => config.unsafe_allow = values,
+            ("simd", "modules") => config.simd_allow = values,
             ("hot_path", "files") => config.hot_path = values,
             ("counters", "fields") => config.counter_fields = values,
             ("orderings", "no_relaxed_files") => config.no_relaxed_files = values,
@@ -252,6 +258,7 @@ pub fn validate_config_paths(config: &Config, root: &Path) -> Result<(), String>
     }
     let file_lists: &[(&str, &[String])] = &[
         ("[unsafe_code] allow", &config.unsafe_allow),
+        ("[simd] modules", &config.simd_allow),
         ("[hot_path] files", &config.hot_path),
         ("[orderings] no_relaxed_files", &config.no_relaxed_files),
         ("[failpoints] allow", &config.failpoint_allow),
@@ -800,6 +807,10 @@ pub fn run_with(args: &[String], out: &mut dyn Write) -> i32 {
     let mut args = args.iter();
     match args.next().map(String::as_str) {
         Some("lint") => {}
+        Some("bench-compare") => {
+            let rest: Vec<String> = args.cloned().collect();
+            return bench_compare::run(&rest, out);
+        }
         other => {
             if let Some(command) = other {
                 let _ = writeln!(out, "unknown command `{command}`");
@@ -807,7 +818,9 @@ pub fn run_with(args: &[String], out: &mut dyn Write) -> i32 {
             let _ = writeln!(
                 out,
                 "usage: cargo run -p xtask -- lint [--root <dir>] [--config <lint.toml>] \
-                 [--format text|json|github]"
+                 [--format text|json|github]\n       \
+                 cargo run -p xtask -- bench-compare <baseline.json> <new.json> \
+                 [--max-regress <pct>] [--key-filter <substr>]"
             );
             return 2;
         }

@@ -1,0 +1,71 @@
+//! `simd_gate`: explicit SIMD stays quarantined.
+//!
+//! Two patterns are restricted to the modules listed in `[simd] modules`
+//! (lint.toml):
+//!
+//! * `core::arch` / `std::arch` paths — naming an intrinsic module
+//!   anywhere else means vector code is leaking out of the gated,
+//!   runtime-detected scan module.
+//! * `allow(unsafe_code)` — the file-level escape hatch from the crate's
+//!   `#![deny(unsafe_code)]`. It is additionally permitted in the
+//!   `[unsafe_code] allow` files (the SPSC ring), since those files hold
+//!   their own file-level allow; anywhere else it would silently widen
+//!   the unsafe surface without tripping `unsafe_allowlist` until real
+//!   `unsafe` tokens appear.
+//!
+//! Deliberately not waivable: like `unsafe_allowlist`, the config list
+//! *is* the waiver mechanism.
+
+use super::{ident_at, listed, path_at, push_at, Finding};
+use crate::{Config, FileAnalysis};
+
+pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
+    let simd_listed = listed(&config.simd_allow, &fa.rel);
+    let unsafe_listed = listed(&config.unsafe_allow, &fa.rel);
+    for pos in 0..fa.code.len() {
+        // Arch-intrinsic paths. No exempt_at: a cfg-gated intrinsic in the
+        // wrong file is still vector code in the wrong file.
+        if !simd_listed
+            && (path_at(fa, pos, &["core", "::", "arch"])
+                || path_at(fa, pos, &["std", "::", "arch"]))
+        {
+            push_at(
+                fa,
+                out,
+                pos,
+                "simd_gate",
+                format!(
+                    "arch intrinsics outside the simd modules ({}); keep explicit \
+                     vector code in the gated scan module or extend `[simd] modules` \
+                     in lint.toml",
+                    join_or_none(&config.simd_allow)
+                ),
+            );
+        }
+        // `allow ( unsafe_code )` — both `#![allow(...)]` and `#[allow(...)]`
+        // reduce to this token run once delimiters are individual tokens.
+        if !simd_listed
+            && !unsafe_listed
+            && ident_at(fa, pos) == Some("allow")
+            && path_at(fa, pos.saturating_add(1), &["(", "unsafe_code", ")"])
+        {
+            push_at(
+                fa,
+                out,
+                pos,
+                "simd_gate",
+                "`allow(unsafe_code)` outside the unsafe/simd allowlists; the crate-level \
+                 `deny(unsafe_code)` must not be overridden elsewhere"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn join_or_none(list: &[String]) -> String {
+    if list.is_empty() {
+        "<none configured>".to_string()
+    } else {
+        list.join(", ")
+    }
+}

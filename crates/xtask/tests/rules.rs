@@ -10,6 +10,7 @@ fn fixture_config() -> Config {
         roots: vec!["src".to_string()],
         skip: vec![],
         unsafe_allow: vec!["src/allowed_unsafe.rs".to_string()],
+        simd_allow: vec!["src/simd.rs".to_string()],
         hot_path: vec!["src/hot.rs".to_string()],
         counter_fields: vec!["freq".to_string(), "persist".to_string()],
         no_relaxed_files: vec!["src/conc.rs".to_string()],
@@ -127,6 +128,46 @@ fn unsafe_allowlist_fires_off_list() {
     assert_eq!(hits, vec![("unsafe_allowlist", 7)]);
     // On the allowlist (and SAFETY-covered) it is clean.
     assert!(active_rules("src/allowed_unsafe.rs", src).is_empty());
+}
+
+#[test]
+fn simd_gate_fires_off_list() {
+    let src = include_str!("fixtures/simd_violation.rs");
+    let hits = active_rules("src/other.rs", src);
+    // The file-level `allow(unsafe_code)` and the `core::arch` path;
+    // comments, the decoy `#[allow(dead_code)]` and the module merely
+    // *named* arch stay silent.
+    assert_eq!(
+        hits,
+        vec![("simd_gate", 4), ("simd_gate", 6)],
+        "full: {hits:?}"
+    );
+    // Inside the simd module both patterns are the point.
+    assert!(active_rules("src/simd.rs", src).is_empty());
+}
+
+#[test]
+fn simd_gate_allows_unsafe_override_in_unsafe_allowlist_files() {
+    let src = include_str!("fixtures/simd_violation.rs");
+    // The SPSC-style file may carry `allow(unsafe_code)` (it is on the
+    // unsafe allowlist) but still must not name arch intrinsics.
+    let hits = active_rules("src/allowed_unsafe.rs", src);
+    assert_eq!(hits, vec![("simd_gate", 6)], "full: {hits:?}");
+}
+
+#[test]
+fn simd_gate_is_not_waivable() {
+    // simd_gate is not in WAIVABLE_RULES: a waiver naming it is itself
+    // an active violation, so the build still fails — the [simd] modules
+    // list is the only escape hatch.
+    let src = "use core::arch::x86_64::_mm_set1_epi64x; // lint:allow(simd_gate): nope\n";
+    let hits = lint_source("src/other.rs", src, &fixture_config());
+    assert!(
+        hits.iter().any(|v| v.rule == "unused_waiver"
+            && v.is_active()
+            && v.message.contains("unknown rule `simd_gate`")),
+        "{hits:?}"
+    );
 }
 
 #[test]

@@ -14,6 +14,9 @@ skip = ["tests"]
 [unsafe_code]
 allow = ["src/spsc.rs"]
 
+[simd]
+modules = ["src/simd.rs"]
+
 [hot_path]
 files = ["src/table.rs"]
 

@@ -149,6 +149,20 @@ pub trait Deserialize: Sized {
 
 // ---- primitive impls -------------------------------------------------------
 
+// A `Value` round-trips as itself, so code can parse a document, edit the
+// tree in place and re-serialize it.
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_unsigned {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
