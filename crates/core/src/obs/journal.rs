@@ -20,7 +20,7 @@
 //!
 //! [`ShardHealth`]: crate::pipeline::ShardHealth
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::shim::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Default journal capacity (events). Power of two; plenty for the rare
 /// fault/rollover cadence the runtime produces between drains.
@@ -109,10 +109,15 @@ pub struct Event {
 /// release and read after the stamp acquire.
 #[derive(Debug)]
 struct Slot {
+    // ordering: load=Acquire, store=Release -- the Vyukov stamp is the slot's publication point: payload words are written before the release store and read after the acquire load
     stamp: AtomicUsize,
+    // ordering: load=Relaxed, store=Relaxed -- payload word, ordered solely by the stamp edge
     seq: AtomicU64,
+    // ordering: load=Relaxed, store=Relaxed -- payload word, ordered solely by the stamp edge
     kind: AtomicU64,
+    // ordering: load=Relaxed, store=Relaxed -- payload word, ordered solely by the stamp edge
     shard: AtomicU64,
+    // ordering: load=Relaxed, store=Relaxed -- payload word, ordered solely by the stamp edge
     detail: AtomicU64,
 }
 
@@ -123,8 +128,11 @@ pub struct EventJournal {
     slots: Vec<Slot>,
     mask: usize,
     /// Next claim position for producers; doubles as the seq counter.
+    // ordering: load=Relaxed, rmw=Relaxed -- claim counter; the CAS only needs atomicity, publication rides the stamp edge
     enqueue_pos: AtomicUsize,
+    // ordering: load=Relaxed, rmw=Relaxed -- claim counter; the CAS only needs atomicity, recycling rides the stamp edge
     dequeue_pos: AtomicUsize,
+    // ordering: load=Relaxed, rmw=Relaxed -- statistic; no ordering obligations
     dropped: AtomicU64,
 }
 

@@ -35,6 +35,7 @@ pub const HISTOGRAM_BUCKETS: usize = 40;
 #[derive(Debug, Default)]
 #[repr(align(64))]
 struct Cell {
+    // ordering: load=Relaxed, store=Relaxed, rmw=Relaxed -- wait-free statistic; readers tolerate torn cross-metric snapshots by design
     value: AtomicU64,
 }
 
@@ -106,8 +107,11 @@ struct HistogramCells {
     /// Finite buckets plus one overflow (`+Inf`) bucket at the end. Each
     /// holds the count of observations in *its own* range (non-cumulative;
     /// the exporter accumulates).
+    // ordering: load=Relaxed, rmw=Relaxed -- wait-free statistic; bucket/count/sum need not be mutually consistent at read time
     buckets: [AtomicU64; HISTOGRAM_BUCKETS + 1],
+    // ordering: load=Relaxed, rmw=Relaxed -- wait-free statistic; bucket/count/sum need not be mutually consistent at read time
     count: AtomicU64,
+    // ordering: load=Relaxed, rmw=Relaxed -- wait-free statistic; bucket/count/sum need not be mutually consistent at read time
     sum: AtomicU64,
 }
 

@@ -57,6 +57,77 @@ use crate::shim::atomic::{AtomicUsize, Ordering};
 use crate::shim::{Condvar, Mutex, MutexGuard, UnsafeCell};
 use std::mem::MaybeUninit;
 
+/// Seeded-weakening seams for the loom refutation tests
+/// (`tests/loom_weakening.rs`).
+///
+/// Each [`Point`] names one ordering-critical store in the ring protocol.
+/// In production builds [`publish`] is a compile-time identity — the
+/// declared `Ordering` token stays in the call site, so the static
+/// `ordering_protocol` lint still checks the real ordering. Under
+/// `--features loom-check` a test can *demote* a point to `Release`,
+/// seeding exactly the ordering bug the weak-memory explorer must refute
+/// (and the SC-value explorer provably cannot see).
+#[doc(hidden)]
+pub mod seam {
+    use super::Ordering;
+
+    /// An ordering-critical store that can be weakened under test.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Point {
+        /// `tail.store(…, SeqCst)` in `push` — the producer's publish,
+        /// which doubles as its half of the Dekker handshake.
+        TailPublish,
+        /// `head.store(…, SeqCst)` in `take` — the consumer's slot
+        /// release, the mirror half of the handshake.
+        HeadPublish,
+    }
+
+    #[cfg(feature = "loom-check")]
+    mod knobs {
+        use std::sync::atomic::AtomicBool;
+
+        // ordering: load=SeqCst, store=SeqCst -- test-only knob, read per publish under loom; strongest ordering is the cheapest correct choice
+        pub static TAIL_PUBLISH: AtomicBool = AtomicBool::new(false);
+        // ordering: load=SeqCst, store=SeqCst -- test-only knob, read per publish under loom; strongest ordering is the cheapest correct choice
+        pub static HEAD_PUBLISH: AtomicBool = AtomicBool::new(false);
+    }
+
+    #[cfg(feature = "loom-check")]
+    fn knob(point: Point) -> &'static std::sync::atomic::AtomicBool {
+        match point {
+            Point::TailPublish => &knobs::TAIL_PUBLISH,
+            Point::HeadPublish => &knobs::HEAD_PUBLISH,
+        }
+    }
+
+    /// Demote `point` from its declared ordering to `Release` (`on`) or
+    /// restore it (`off`). Process-global: weakening tests serialize on a
+    /// lock and restore the knob before releasing it.
+    #[cfg(feature = "loom-check")]
+    pub fn demote(point: Point, on: bool) {
+        knob(point).store(on, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// The ordering actually used at `point`: the declared one, unless a
+    /// weakening test demoted it.
+    #[cfg(feature = "loom-check")]
+    #[inline]
+    pub fn publish(point: Point, declared: Ordering) -> Ordering {
+        if knob(point).load(std::sync::atomic::Ordering::SeqCst) {
+            Ordering::Release
+        } else {
+            declared
+        }
+    }
+
+    /// Production builds: the declared ordering, verbatim.
+    #[cfg(not(feature = "loom-check"))]
+    #[inline(always)]
+    pub fn publish(_point: Point, declared: Ordering) -> Ordering {
+        declared
+    }
+}
+
 /// Bit in [`SpscRing::waiting`]: the consumer is parked (or about to park)
 /// waiting for `not_empty`.
 const CONSUMER_PARKED: usize = 1;
@@ -80,11 +151,14 @@ pub struct SpscRing<T> {
     mask: usize,
     capacity: usize,
     /// Next cursor to pop; written only by the consumer.
+    // ordering: load=Acquire, store=SeqCst -- producer acquires published slots; the SeqCst store is the consumer's half of the Dekker handshake (audit: Release loses the store/park total order and strands a parked producer)
     head: AtomicUsize,
     /// Next cursor to push; written only by the producer.
+    // ordering: load=Acquire, store=SeqCst -- consumer acquires published items; the SeqCst store is the producer's half of the Dekker handshake (audit: Release loses the store/park total order and strands a parked consumer)
     tail: AtomicUsize,
     /// Dekker flag word: which sides are parked ([`CONSUMER_PARKED`] /
     /// [`PRODUCER_PARKED`]).
+    // ordering: load=SeqCst, store=SeqCst, rmw=SeqCst -- every access participates in the Dekker total order against the cursor publishes; nothing here may be weakened in isolation
     waiting: AtomicUsize,
     sleep: Mutex<()>,
     not_empty: Condvar,
@@ -188,7 +262,7 @@ impl<T> SpscRing<T> {
     /// (the item is dropped — nobody will ever read it).
     pub fn push(&self, item: T) -> bool {
         // Only the producer writes `tail`, so this plain read is exact.
-        // lint:allow(no_relaxed): single-writer cursor reading its own writes
+        // lint:allow(no_relaxed, ordering_protocol): single-writer cursor reading its own writes
         let tail = self.tail.load(Ordering::Relaxed);
         // Deterministic queue-full stall (tests only): force one pass
         // through the park bookkeeping — Dekker flag plus
@@ -230,7 +304,12 @@ impl<T> SpscRing<T> {
         });
         // SeqCst, not just Release: the store also anchors the Dekker
         // handshake against a consumer concurrently deciding to park.
-        self.tail.store(tail.wrapping_add(1), Ordering::SeqCst);
+        // (`seam::publish` is an identity in production builds; weakening
+        // tests demote it to seed the exact bug this ordering prevents.)
+        self.tail.store(
+            tail.wrapping_add(1),
+            seam::publish(seam::Point::TailPublish, Ordering::SeqCst),
+        );
         if self.waiting.load(Ordering::SeqCst) & CONSUMER_PARKED != 0 {
             self.wake(&self.not_empty);
         }
@@ -242,7 +321,7 @@ impl<T> SpscRing<T> {
     /// arrive again.
     pub fn pop(&self) -> Option<T> {
         // Only the consumer writes `head`, so this plain read is exact.
-        // lint:allow(no_relaxed): single-writer cursor reading its own writes
+        // lint:allow(no_relaxed, ordering_protocol): single-writer cursor reading its own writes
         let head = self.head.load(Ordering::Relaxed);
         loop {
             let tail = self.tail.load(Ordering::Acquire);
@@ -313,7 +392,7 @@ impl<T> SpscRing<T> {
 
     /// Dequeue if a message is ready; never blocks.
     pub fn try_pop(&self) -> Option<T> {
-        // lint:allow(no_relaxed): single-writer cursor reading its own writes
+        // lint:allow(no_relaxed, ordering_protocol): single-writer cursor reading its own writes
         let head = self.head.load(Ordering::Relaxed);
         let tail = self.tail.load(Ordering::Acquire);
         if tail == head {
@@ -330,7 +409,10 @@ impl<T> SpscRing<T> {
         // and only once per cursor position.
         let item = self.slot(head).with(|p| unsafe { (*p).assume_init_read() });
         // SeqCst for the same Dekker reason as the `tail` store in `push`.
-        self.head.store(head.wrapping_add(1), Ordering::SeqCst);
+        self.head.store(
+            head.wrapping_add(1),
+            seam::publish(seam::Point::HeadPublish, Ordering::SeqCst),
+        );
         if self.waiting.load(Ordering::SeqCst) & PRODUCER_PARKED != 0 {
             self.wake(&self.not_full);
         }

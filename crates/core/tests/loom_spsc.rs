@@ -22,8 +22,14 @@ use ltc_core::SpscRing;
 /// Exchange `count` items through a ring of `capacity`, checking order and
 /// exactness in every interleaving. `base` positions the cursors (e.g.
 /// just below `usize::MAX` to cross wraparound mid-model).
+///
+/// Weak-memory value exploration multiplies the schedule space by the
+/// reads-from choices, so the exchange models need a bigger interleaving
+/// budget than the default 20k to stay exhaustive.
 fn exchange(capacity: usize, count: u32, base: usize) -> loom::Report {
-    loom::model(move || {
+    let mut builder = loom::Builder::new();
+    builder.max_interleavings = 2_000_000;
+    builder.check(move || {
         let ring = Arc::new(SpscRing::with_capacity_and_base(capacity, base));
         let producer = {
             let ring = Arc::clone(&ring);

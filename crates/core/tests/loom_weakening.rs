@@ -1,0 +1,167 @@
+//! Seeded-weakening refutations: demote one ordering in the SPSC Dekker
+//! protocol (via `spsc::seam`) and prove the checkers' teeth.
+//!
+//! For each seeded bug — `tail`/`head` publish store demoted from `SeqCst`
+//! to `Release` — the suite shows:
+//!
+//! * the **SC-value** explorer ([`ValueModel::SeqCstValues`], the
+//!   historical semantics) still passes: every load sees the newest store,
+//!   so the park-side recheck can never miss the publish;
+//! * the **weak-memory** explorer ([`ValueModel::Weak`]) refutes it with a
+//!   deterministic lost-wakeup counterexample: the recheck-under-mutex
+//!   legally reads a stale cursor (a `Release` store creates no `SeqCst`
+//!   total-order edge and no happens-before edge to an unsynchronized
+//!   reader), the sleeper parks, the waker has already read `waiting` —
+//!   deadlock;
+//! * the race detector stays silent either way (`Release` still publishes
+//!   the slot data), so *only* value-level weak exploration sees the bug.
+//!
+//! The static mirror of these tests lives in the xtask `ordering_protocol`
+//! rule: the same demotions, written literally, are flagged against the
+//! `// ordering:` contracts in `src/spsc.rs`.
+//!
+//! Run with: `cargo test -p ltc-core --features loom-check --test loom_weakening`
+#![cfg(feature = "loom-check")]
+
+use loom::sync::Arc;
+use loom::ValueModel;
+use ltc_core::spsc::seam::{self, Point};
+use ltc_core::SpscRing;
+use std::sync::Mutex as StdMutex;
+
+/// The seam knobs are process-global, so weakening tests serialize on this
+/// lock and restore the knob before releasing it (RAII below).
+static SEAM_LOCK: StdMutex<()> = StdMutex::new(());
+
+/// RAII demotion: holds the seam lock, demotes `point` on construction and
+/// restores it on drop (including the unwind path of a failed assertion).
+struct Demoted {
+    point: Point,
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl Demoted {
+    fn new(point: Point) -> Self {
+        // A previous test's assertion failure would poison the lock; the
+        // guarded state is just the knob, which we reset anyway.
+        let lock = SEAM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        seam::demote(point, true);
+        Self { point, _lock: lock }
+    }
+}
+
+impl Drop for Demoted {
+    fn drop(&mut self) {
+        seam::demote(self.point, false);
+    }
+}
+
+/// Consumer-side lost wakeup shape: the consumer pops from an empty ring
+/// (parking until the producer publishes). A missed `tail` publish strands
+/// it forever.
+fn consumer_parks_scenario() {
+    let ring = Arc::new(SpscRing::with_capacity(1));
+    let producer = {
+        let ring = Arc::clone(&ring);
+        loom::thread::spawn(move || {
+            assert!(ring.push(1u32));
+        })
+    };
+    assert_eq!(ring.pop(), Some(1));
+    producer.join().unwrap();
+}
+
+/// Producer-side lost wakeup shape: the second push finds the capacity-1
+/// ring full (parking until the consumer frees the slot). A missed `head`
+/// publish strands it forever.
+fn producer_parks_scenario() {
+    let ring = Arc::new(SpscRing::with_capacity(1));
+    let producer = {
+        let ring = Arc::clone(&ring);
+        loom::thread::spawn(move || {
+            assert!(ring.push(1u32));
+            assert!(ring.push(2u32));
+        })
+    };
+    assert_eq!(ring.pop(), Some(1));
+    assert_eq!(ring.pop(), Some(2));
+    producer.join().unwrap();
+}
+
+/// Explore `scenario` to completion under `model`; panics on any failure.
+fn explore(scenario: fn(), model: ValueModel) -> loom::Report {
+    let mut builder = loom::Builder::new();
+    builder.max_interleavings = 2_000_000;
+    builder.value_model = model;
+    builder.check(scenario)
+}
+
+/// Run `scenario` under weak semantics expecting a refutation; returns the
+/// panic message (which embeds the counterexample schedule).
+fn refutation_message(scenario: fn()) -> String {
+    let result = std::panic::catch_unwind(|| explore(scenario, ValueModel::Weak));
+    let payload = result.expect_err("the weak checker must refute the demoted protocol");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("model failures panic with a string message")
+}
+
+fn assert_lost_wakeup(msg: &str) {
+    assert!(
+        msg.contains("deadlock"),
+        "counterexample must be a lost wakeup (deadlock): {msg}"
+    );
+    assert!(
+        msg.contains("failing schedule"),
+        "counterexample must carry the interleaving trace: {msg}"
+    );
+    assert!(
+        msg.contains("STALE"),
+        "the trace must name the stale read that missed the publish: {msg}"
+    );
+}
+
+#[test]
+fn demoted_tail_publish_fools_the_sc_value_checker() {
+    let _demoted = Demoted::new(Point::TailPublish);
+    let report = explore(consumer_parks_scenario, ValueModel::SeqCstValues);
+    assert!(report.complete, "SC-value space must be exhausted");
+}
+
+#[test]
+fn demoted_tail_publish_is_refuted_under_weak_memory() {
+    let _demoted = Demoted::new(Point::TailPublish);
+    assert_lost_wakeup(&refutation_message(consumer_parks_scenario));
+}
+
+#[test]
+fn demoted_head_publish_fools_the_sc_value_checker() {
+    let _demoted = Demoted::new(Point::HeadPublish);
+    let report = explore(producer_parks_scenario, ValueModel::SeqCstValues);
+    assert!(report.complete, "SC-value space must be exhausted");
+}
+
+#[test]
+fn demoted_head_publish_is_refuted_under_weak_memory() {
+    let _demoted = Demoted::new(Point::HeadPublish);
+    assert_lost_wakeup(&refutation_message(producer_parks_scenario));
+}
+
+#[test]
+fn refutations_are_deterministic() {
+    let _demoted = Demoted::new(Point::TailPublish);
+    let first = refutation_message(consumer_parks_scenario);
+    let second = refutation_message(consumer_parks_scenario);
+    assert_eq!(first, second, "counterexample must replay identically");
+}
+
+#[test]
+fn undemoted_protocol_survives_the_weak_checker() {
+    // Control: with the seam at its declared orderings the same scenarios
+    // pass under weak memory — the refutations above are caused by the
+    // demotion, not by the scenarios or the explorer.
+    let _lock = SEAM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    assert!(explore(consumer_parks_scenario, ValueModel::Weak).complete);
+    assert!(explore(producer_parks_scenario, ValueModel::Weak).complete);
+}

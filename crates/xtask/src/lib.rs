@@ -115,7 +115,7 @@ pub fn active(violations: &[Violation]) -> Vec<&Violation> {
 // ---------------------------------------------------------------------------
 
 /// Parsed `lint.toml`.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Config {
     /// Directories (relative to the workspace root) to lint.
     pub roots: Vec<String>,
@@ -132,6 +132,9 @@ pub struct Config {
     pub counter_fields: Vec<String>,
     /// Files where `Ordering::Relaxed` needs a justification.
     pub no_relaxed_files: Vec<String>,
+    /// Files whose atomics must each declare an `// ordering:` contract,
+    /// checked against every access (ordering_protocol rule).
+    pub protocol_files: Vec<String>,
     /// Files allowed to reference the failpoint facility.
     pub failpoint_allow: Vec<String>,
     /// Files whose file-writing calls must go through the atomic-rename
@@ -142,6 +145,10 @@ pub struct Config {
     /// Hot-path files where a metric update must not share a statement
     /// with a lock or a strong atomic ordering.
     pub obs_call_site_files: Vec<String>,
+    /// Default relative tolerance (percent) for `bench-compare`, from
+    /// `[bench] tolerance`. `None` falls back to the built-in default;
+    /// the `--tolerance` / `--max-regress` flags override either.
+    pub bench_tolerance: Option<f64>,
 }
 
 /// The `lint.toml` schema: every section and the keys it accepts.
@@ -153,10 +160,11 @@ const SCHEMA: &[(&str, &[&str])] = &[
     ("simd", &["modules"]),
     ("hot_path", &["files"]),
     ("counters", &["fields"]),
-    ("orderings", &["no_relaxed_files"]),
+    ("orderings", &["no_relaxed_files", "protocol_files"]),
     ("failpoints", &["allow"]),
     ("atomic_io", &["files"]),
     ("obs", &["metrics_files", "call_site_files"]),
+    ("bench", &["tolerance"]),
 ];
 
 /// Parse the TOML subset `lint.toml` uses: `[section]` headers and
@@ -208,6 +216,23 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
                 return Err(format!("lint.toml:{}: unterminated array", idx + 1));
             }
         }
+        // `[bench] tolerance` is the one numeric key in the schema.
+        if section == "bench" && key == "tolerance" {
+            let pct: f64 = value.parse().map_err(|_| {
+                format!(
+                    "lint.toml:{}: `tolerance` must be a number (percent), got `{value}`",
+                    idx + 1
+                )
+            })?;
+            if !pct.is_finite() || pct < 0.0 {
+                return Err(format!(
+                    "lint.toml:{}: `tolerance` must be a finite non-negative percent",
+                    idx + 1
+                ));
+            }
+            config.bench_tolerance = Some(pct);
+            continue;
+        }
         let values = parse_string_array(&value)
             .map_err(|e| format!("lint.toml:{}: {} (key `{}`)", idx + 1, e, key))?;
         match (section.as_str(), key) {
@@ -218,6 +243,7 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
             ("hot_path", "files") => config.hot_path = values,
             ("counters", "fields") => config.counter_fields = values,
             ("orderings", "no_relaxed_files") => config.no_relaxed_files = values,
+            ("orderings", "protocol_files") => config.protocol_files = values,
             ("failpoints", "allow") => config.failpoint_allow = values,
             ("atomic_io", "files") => config.atomic_io_files = values,
             ("obs", "metrics_files") => config.obs_metrics_files = values,
@@ -261,6 +287,7 @@ pub fn validate_config_paths(config: &Config, root: &Path) -> Result<(), String>
         ("[simd] modules", &config.simd_allow),
         ("[hot_path] files", &config.hot_path),
         ("[orderings] no_relaxed_files", &config.no_relaxed_files),
+        ("[orderings] protocol_files", &config.protocol_files),
         ("[failpoints] allow", &config.failpoint_allow),
         ("[atomic_io] files", &config.atomic_io_files),
         ("[obs] metrics_files", &config.obs_metrics_files),
@@ -808,7 +835,16 @@ pub fn run_with(args: &[String], out: &mut dyn Write) -> i32 {
     match args.next().map(String::as_str) {
         Some("lint") => {}
         Some("bench-compare") => {
-            let rest: Vec<String> = args.cloned().collect();
+            let mut rest: Vec<String> = args.cloned().collect();
+            // Default the tolerance source to the workspace lint.toml
+            // (`[bench] tolerance`) unless the caller names a config.
+            if !rest.iter().any(|a| a == "--config") {
+                let shipped = workspace_root().join("lint.toml");
+                if shipped.is_file() {
+                    rest.push("--config".to_string());
+                    rest.push(shipped.display().to_string());
+                }
+            }
             return bench_compare::run(&rest, out);
         }
         other => {
@@ -820,7 +856,7 @@ pub fn run_with(args: &[String], out: &mut dyn Write) -> i32 {
                 "usage: cargo run -p xtask -- lint [--root <dir>] [--config <lint.toml>] \
                  [--format text|json|github]\n       \
                  cargo run -p xtask -- bench-compare <baseline.json> <new.json> \
-                 [--max-regress <pct>] [--key-filter <substr>]"
+                 [--tolerance <pct>] [--key-filter <substr>] [--config <lint.toml>]"
             );
             return 2;
         }

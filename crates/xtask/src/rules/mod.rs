@@ -39,6 +39,7 @@ pub const WAIVABLE_RULES: &[&str] = &[
     "no_index",
     "counter_arith",
     "no_relaxed",
+    "ordering_protocol",
     "failpoint_gate",
     "atomic_io",
     "obs_hot_path",

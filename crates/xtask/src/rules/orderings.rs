@@ -1,12 +1,58 @@
-//! `no_relaxed`: in the configured concurrency files every
-//! `Ordering::Relaxed` must carry a written justification — the loom
-//! models check the orderings that are there, not the ones someone
-//! quietly weakens later.
+//! Atomic-ordering rules over the configured concurrency files.
+//!
+//! * `no_relaxed`: in `[orderings] no_relaxed_files` every
+//!   `Ordering::Relaxed` must carry a written justification — the loom
+//!   models check the orderings that are there, not the ones someone
+//!   quietly weakens later.
+//!
+//! * `ordering_protocol`: in `[orderings] protocol_files` every atomic
+//!   declaration must carry a structured contract comment
+//!
+//!   ```text
+//!   // ordering: load=Acquire, store=SeqCst -- why these orderings
+//!   ```
+//!
+//!   on its own line directly above the declaration (or trailing on the
+//!   declaration line). The rule then walks every `load`/`store`/RMW
+//!   statement touching that field and flags:
+//!
+//!   1. an access **weaker than the contract** (per-kind lattices:
+//!      loads `Relaxed < Acquire < SeqCst`, stores
+//!      `Relaxed < Release < SeqCst`, RMWs
+//!      `Relaxed < Acquire = Release < AcqRel < SeqCst`);
+//!   2. an access of a kind the contract **does not declare**;
+//!   3. an **undeclared atomic** (declaration without a contract);
+//!   4. a **malformed contract** (unknown kind, invalid ordering for the
+//!      kind, missing `--` rationale, or not attached to a declaration);
+//!   5. a contract declaring `load=Acquire` with **no Release-or-stronger
+//!      write** to the same field anywhere in the file — an acquire with
+//!      nothing to pair with synchronizes nothing;
+//!   6. an access whose ordering is **not a literal** `Ordering::` path —
+//!      a computed ordering cannot be checked, so it must be justified
+//!      with a waiver.
+//!
+//!   Like every rule, `// lint:allow(ordering_protocol): <reason>` on the
+//!   access statement waives a finding (the SPSC single-writer cursor
+//!   reads use this: the contract says `load=Acquire`, but a cursor's own
+//!   writer may read it `Relaxed`).
+//!
+//!   Known under-approximations, on purpose: accesses are recognized as
+//!   `receiver.field.method(...)` (plus one `[index]` step), so an atomic
+//!   reached through a local binding or an iterator is not attributed;
+//!   declarations are recognized as `name: AtomicT` / `name: [AtomicT; N]`,
+//!   so generic wrappers (`Arc<AtomicU64>`) are not. Both patterns cover
+//!   every protocol file in this workspace; the loom models remain the
+//!   semantic backstop.
 
-use super::{exempt_at, listed, path_at, push_at, Finding};
+use super::{exempt_at, ident_at, listed, method_call, path_at, punct_at, push_at, Finding};
 use crate::{Config, FileAnalysis};
 
 pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
+    no_relaxed(fa, config, out);
+    ordering_protocol(fa, config, out);
+}
+
+fn no_relaxed(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
     if !listed(&config.no_relaxed_files, &fa.rel) {
         return;
     }
@@ -25,5 +71,481 @@ pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
                     .to_string(),
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ordering_protocol
+// ---------------------------------------------------------------------------
+
+const RULE: &str = "ordering_protocol";
+
+/// Atomic integer/bool/pointer type names recognized as declarations.
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccessKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+impl AccessKind {
+    fn name(self) -> &'static str {
+        match self {
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+            AccessKind::Rmw => "rmw",
+        }
+    }
+
+    /// Position of `ordering` in this kind's strength lattice; `None` if
+    /// the ordering is not legal for the kind (e.g. `Release` on a load).
+    fn rank(self, ordering: &str) -> Option<u8> {
+        match (self, ordering) {
+            (AccessKind::Load, "Relaxed") => Some(0),
+            (AccessKind::Load, "Acquire") => Some(1),
+            (AccessKind::Load, "SeqCst") => Some(2),
+            (AccessKind::Store, "Relaxed") => Some(0),
+            (AccessKind::Store, "Release") => Some(1),
+            (AccessKind::Store, "SeqCst") => Some(2),
+            (AccessKind::Rmw, "Relaxed") => Some(0),
+            (AccessKind::Rmw, "Acquire" | "Release") => Some(1),
+            (AccessKind::Rmw, "AcqRel") => Some(2),
+            (AccessKind::Rmw, "SeqCst") => Some(3),
+            _ => None,
+        }
+    }
+
+    /// Whether an access of this kind with this ordering has release
+    /// semantics (can be the write half of an acquire/release pair).
+    fn releases(self, ordering: &str) -> bool {
+        match self {
+            AccessKind::Load => false,
+            AccessKind::Store => matches!(ordering, "Release" | "SeqCst"),
+            AccessKind::Rmw => matches!(ordering, "Release" | "AcqRel" | "SeqCst"),
+        }
+    }
+}
+
+/// Atomic access methods and how the contract judges them. The second
+/// ordering of the two-ordering methods (`compare_exchange*`,
+/// `fetch_update`) is the failure/fetch *load*.
+const METHODS: &[(&str, AccessKind)] = &[
+    ("load", AccessKind::Load),
+    ("store", AccessKind::Store),
+    ("swap", AccessKind::Rmw),
+    ("fetch_add", AccessKind::Rmw),
+    ("fetch_sub", AccessKind::Rmw),
+    ("fetch_and", AccessKind::Rmw),
+    ("fetch_or", AccessKind::Rmw),
+    ("fetch_xor", AccessKind::Rmw),
+    ("fetch_update", AccessKind::Rmw),
+    ("compare_exchange", AccessKind::Rmw),
+    ("compare_exchange_weak", AccessKind::Rmw),
+];
+
+const METHOD_NAMES: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const TWO_ORDERING_METHODS: &[&str] =
+    &["compare_exchange", "compare_exchange_weak", "fetch_update"];
+
+/// One parsed `// ordering:` contract. Each kind maps to
+/// `(ordering name, rank)` when declared.
+#[derive(Debug)]
+struct Contract {
+    field: String,
+    /// Code position of the declared field's identifier (decl anchor).
+    decl_pos: usize,
+    load: Option<(String, u8)>,
+    store: Option<(String, u8)>,
+    rmw: Option<(String, u8)>,
+}
+
+impl Contract {
+    fn get(&self, kind: AccessKind) -> Option<&(String, u8)> {
+        match kind {
+            AccessKind::Load => self.load.as_ref(),
+            AccessKind::Store => self.store.as_ref(),
+            AccessKind::Rmw => self.rmw.as_ref(),
+        }
+    }
+}
+
+fn ordering_protocol(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
+    if !listed(&config.protocol_files, &fa.rel) {
+        return;
+    }
+    let contracts = collect_contracts(fa, out);
+    check_declarations(fa, &contracts, out);
+    let released = check_accesses(fa, &contracts, out);
+    // Violation class 5: an Acquire-load contract with nothing to pair
+    // with in this file.
+    for c in &contracts {
+        let needs_release = c.load.as_ref().is_some_and(|(name, _)| name == "Acquire");
+        if needs_release && !released.contains(&c.field) {
+            push_at(
+                fa,
+                out,
+                c.decl_pos,
+                RULE,
+                format!(
+                    "`{}` declares `load=Acquire` but this file has no Release-or-stronger \
+                     write to `{}` — an acquire load with no matching release store \
+                     synchronizes nothing",
+                    c.field, c.field
+                ),
+            );
+        }
+    }
+}
+
+/// Scan comment tokens for `// ordering:` contracts, parse them, and
+/// attach each to the field declared on the same or next code line.
+fn collect_contracts(fa: &FileAnalysis, out: &mut Vec<Finding>) -> Vec<Contract> {
+    let mut contracts: Vec<Contract> = Vec::new();
+    for tok in &fa.tokens {
+        // A contract must be a real comment addressed to the linter (like
+        // a waiver), not rendered documentation or prose mentioning the
+        // word: `ordering:` has to lead the comment text.
+        if !tok.kind.is_comment() || tok.kind.is_doc_comment() {
+            continue;
+        }
+        let body = tok
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim_start();
+        let Some(spec) = body.strip_prefix("ordering:") else {
+            continue;
+        };
+        let spec = spec.trim_end_matches("*/");
+        // Attach to the first code token at or below the comment's line:
+        // its line is the declaration line (covers both the
+        // comment-above and trailing-comment placements).
+        let decl = fa
+            .code
+            .iter()
+            .position(|&i| fa.tokens.get(i).is_some_and(|t| t.line >= tok.line));
+        let Some(first) = decl else {
+            push_at(
+                fa,
+                out,
+                fa.code.len().saturating_sub(1),
+                RULE,
+                "`// ordering:` contract with no declaration below it".to_string(),
+            );
+            continue;
+        };
+        let decl_line = fa.code_tok(first).map(|t| t.line).unwrap_or(0);
+        let mut field: Option<(String, usize)> = None;
+        let mut pos = first;
+        while let Some(t) = fa.code_tok(pos) {
+            if t.line != decl_line {
+                break;
+            }
+            if ident_at(fa, pos).is_some() && punct_at(fa, pos.saturating_add(1), ":") {
+                field = ident_at(fa, pos).map(|name| (name.to_string(), pos));
+                break;
+            }
+            pos = pos.saturating_add(1);
+        }
+        let Some((field, decl_pos)) = field else {
+            push_at(
+                fa,
+                out,
+                first,
+                RULE,
+                "`// ordering:` contract is not attached to a `name: AtomicT` declaration"
+                    .to_string(),
+            );
+            continue;
+        };
+        match parse_contract(spec) {
+            Ok((load, store, rmw)) => contracts.push(Contract {
+                field,
+                decl_pos,
+                load,
+                store,
+                rmw,
+            }),
+            Err(e) => push_at(
+                fa,
+                out,
+                decl_pos,
+                RULE,
+                format!("malformed `// ordering:` contract on `{field}`: {e}"),
+            ),
+        }
+    }
+    contracts
+}
+
+type ContractEntries = (
+    Option<(String, u8)>,
+    Option<(String, u8)>,
+    Option<(String, u8)>,
+);
+
+/// Parse `load=X, store=Y, rmw=Z -- rationale` (each kind optional, at
+/// least one required, rationale required).
+fn parse_contract(spec: &str) -> Result<ContractEntries, String> {
+    let (entries, rationale) = spec
+        .split_once("--")
+        .ok_or("missing `-- <rationale>` (say why these orderings)")?;
+    if rationale.trim().is_empty() {
+        return Err("empty rationale after `--`".to_string());
+    }
+    let (mut load, mut store, mut rmw) = (None, None, None);
+    for entry in entries.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            return Err("empty entry (stray comma?)".to_string());
+        }
+        let (kind_name, ordering) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("`{entry}` is not `kind=Ordering`"))?;
+        let ordering = ordering.trim();
+        let (kind, slot) = match kind_name.trim() {
+            "load" => (AccessKind::Load, &mut load),
+            "store" => (AccessKind::Store, &mut store),
+            "rmw" => (AccessKind::Rmw, &mut rmw),
+            other => return Err(format!("unknown kind `{other}` (load/store/rmw)")),
+        };
+        let rank = kind
+            .rank(ordering)
+            .ok_or_else(|| format!("`{ordering}` is not a valid {} ordering", kind.name()))?;
+        if slot.replace((ordering.to_string(), rank)).is_some() {
+            return Err(format!("duplicate `{}` entry", kind.name()));
+        }
+    }
+    if load.is_none() && store.is_none() && rmw.is_none() {
+        return Err("contract declares no orderings".to_string());
+    }
+    Ok((load, store, rmw))
+}
+
+/// Violation class 3: every atomic declaration in the file must have a
+/// contract. Declarations are `name: AtomicT` or `name: [AtomicT; N]`
+/// outside cfg-disabled items; `AtomicT::new(...)` initializer
+/// expressions are filtered by the trailing `::`.
+fn check_declarations(fa: &FileAnalysis, contracts: &[Contract], out: &mut Vec<Finding>) {
+    for pos in 0..fa.code.len() {
+        if exempt_at(fa, pos) {
+            continue;
+        }
+        let Some(name) = ident_at(fa, pos) else {
+            continue;
+        };
+        if !ATOMIC_TYPES.contains(&name) || punct_at(fa, pos.saturating_add(1), "::") {
+            continue;
+        }
+        let field_pos = if punct_at(fa, pos.wrapping_sub(1), ":") {
+            pos.checked_sub(2)
+        } else if punct_at(fa, pos.wrapping_sub(1), "[") && punct_at(fa, pos.wrapping_sub(2), ":") {
+            pos.checked_sub(3)
+        } else {
+            continue;
+        };
+        let Some(field) = field_pos.and_then(|p| ident_at(fa, p)) else {
+            continue;
+        };
+        if !contracts.iter().any(|c| c.field == field) {
+            push_at(
+                fa,
+                out,
+                pos,
+                RULE,
+                format!(
+                    "atomic `{field}` in a protocol file has no `// ordering:` contract — \
+                     declare `// ordering: load=…, store=…, rmw=… -- <why>` on the line above"
+                ),
+            );
+        }
+    }
+}
+
+/// Violation classes 1, 2 and 6 over every attributed access; returns the
+/// set of fields that have a Release-or-stronger write in this file.
+fn check_accesses(
+    fa: &FileAnalysis,
+    contracts: &[Contract],
+    out: &mut Vec<Finding>,
+) -> Vec<String> {
+    let mut released: Vec<String> = Vec::new();
+    for pos in 0..fa.code.len() {
+        if exempt_at(fa, pos) {
+            continue;
+        }
+        let Some(name) = ident_at(fa, pos) else {
+            continue;
+        };
+        let Some(contract) = contracts.iter().find(|c| c.field == name) else {
+            continue;
+        };
+        // Field accesses only (`recv.field.method(…)`): requiring the
+        // leading `.` keeps same-named locals out.
+        if !punct_at(fa, pos.wrapping_sub(1), ".") {
+            continue;
+        }
+        // Skip one `[index]` group (`cells.buckets[i].fetch_add(…)`).
+        let mut after = pos.saturating_add(1);
+        if punct_at(fa, after, "[") {
+            let mut depth = 0usize;
+            loop {
+                if punct_at(fa, after, "[") {
+                    depth = depth.saturating_add(1);
+                } else if punct_at(fa, after, "]") {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        after = after.saturating_add(1);
+                        break;
+                    }
+                } else if fa.code_tok(after).is_none() {
+                    break;
+                }
+                after = after.saturating_add(1);
+            }
+        }
+        let Some(method) = method_call(fa, after, METHOD_NAMES) else {
+            continue;
+        };
+        let kind = METHODS
+            .iter()
+            .find(|(m, _)| *m == method)
+            .map(|&(_, k)| k)
+            .unwrap_or(AccessKind::Rmw);
+        // Collect the literal `Ordering::X` arguments inside this
+        // statement (the statement bound keeps a neighbouring statement's
+        // orderings from leaking in; multi-line calls are one statement).
+        let method_pos = after.saturating_add(1);
+        let stmt = fa
+            .code
+            .get(method_pos)
+            .and_then(|&i| fa.stmt_of.get(i).copied().flatten());
+        let mut orderings: Vec<(usize, String)> = Vec::new();
+        let mut q = after.saturating_add(3);
+        while let Some(&ti) = fa.code.get(q) {
+            if fa.stmt_of.get(ti).copied().flatten() != stmt {
+                break;
+            }
+            if path_at(fa, q, &["Ordering", "::"]) {
+                if let Some(x) = ident_at(fa, q.saturating_add(2)) {
+                    orderings.push((q.saturating_add(2), x.to_string()));
+                    q = q.saturating_add(3);
+                    continue;
+                }
+            }
+            q = q.saturating_add(1);
+        }
+        let two = TWO_ORDERING_METHODS.contains(&method);
+        let needed = if two { 2 } else { 1 };
+        if orderings.len() < needed {
+            push_at(
+                fa,
+                out,
+                method_pos,
+                RULE,
+                format!(
+                    "`{name}.{method}(…)` without a literal `Ordering::` argument — a \
+                     computed ordering cannot be checked against the contract"
+                ),
+            );
+            continue;
+        }
+        // Primary ordering: the access's own kind. For two-ordering
+        // methods the second is the failure/fetch load.
+        check_one(fa, out, contract, name, method, kind, &orderings[0]);
+        if two {
+            check_one(
+                fa,
+                out,
+                contract,
+                name,
+                method,
+                AccessKind::Load,
+                &orderings[1],
+            );
+        }
+        if kind.releases(&orderings[0].1) && !released.iter().any(|f| f == name) {
+            released.push(name.to_string());
+        }
+    }
+    released
+}
+
+/// Judge one literal ordering of one access against the contract.
+fn check_one(
+    fa: &FileAnalysis,
+    out: &mut Vec<Finding>,
+    contract: &Contract,
+    field: &str,
+    method: &str,
+    kind: AccessKind,
+    &(ord_pos, ref ordering): &(usize, String),
+) {
+    let Some(rank) = kind.rank(ordering) else {
+        push_at(
+            fa,
+            out,
+            ord_pos,
+            RULE,
+            format!(
+                "`Ordering::{ordering}` is not a valid {} ordering on `{field}.{method}(…)`",
+                kind.name()
+            ),
+        );
+        return;
+    };
+    match contract.get(kind) {
+        None => push_at(
+            fa,
+            out,
+            ord_pos,
+            RULE,
+            format!(
+                "`{field}.{method}(…)` is a {} access but the `// ordering:` contract for \
+                 `{field}` declares no {} ordering — extend the contract",
+                kind.name(),
+                kind.name()
+            ),
+        ),
+        Some((want, want_rank)) if rank < *want_rank => push_at(
+            fa,
+            out,
+            ord_pos,
+            RULE,
+            format!(
+                "`{field}.{method}(Ordering::{ordering})` is weaker than the declared \
+                 `{}={want}` contract",
+                kind.name()
+            ),
+        ),
+        Some(_) => {}
     }
 }

@@ -16,10 +16,12 @@ fn everything_config(rel: &str) -> Config {
         hot_path: vec![rel.to_string()],
         counter_fields: vec!["freq".to_string()],
         no_relaxed_files: vec![rel.to_string()],
+        protocol_files: vec![rel.to_string()],
         failpoint_allow: vec![],
         atomic_io_files: vec![rel.to_string()],
         obs_metrics_files: vec![],
         obs_call_site_files: vec![rel.to_string()],
+        bench_tolerance: None,
     }
 }
 

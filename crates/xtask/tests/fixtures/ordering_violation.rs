@@ -1,0 +1,56 @@
+//! Seeded `ordering_protocol` violations: a demoted publish store (the
+//! static mirror of the loom_weakening.rs runtime demotion), an
+//! undeclared atomic, a malformed contract, an unpaired acquire and a
+//! computed ordering. The waived owner-read and the Relaxed statistic
+//! must stay silent.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+pub struct Ring {
+    // ordering: load=Acquire, store=SeqCst -- consumer acquires published slots
+    tail: AtomicUsize,
+    head: AtomicUsize,
+    // ordering: load=Acquire store=SeqCst -- the missing comma malforms this
+    mark: AtomicU64,
+    // ordering: load=Acquire -- nothing in this file ever releases it
+    lonely: AtomicU64,
+    // ordering: load=Relaxed, store=Relaxed, rmw=Relaxed -- statistic
+    drops: AtomicU64,
+}
+
+impl Ring {
+    pub fn publish(&self, v: usize) {
+        // The demotion mirror: the contract says `store=SeqCst`.
+        self.tail.store(v, Ordering::Release);
+    }
+
+    pub fn take(&self) -> usize {
+        self.tail.load(Ordering::Acquire)
+    }
+
+    pub fn count(&self) -> usize {
+        // The contract for `tail` declares no rmw ordering.
+        self.tail.fetch_add(1, Ordering::SeqCst)
+    }
+
+    pub fn peek(&self) -> u64 {
+        self.lonely.load(Ordering::Acquire)
+    }
+
+    pub fn computed(&self, order: Ordering) -> usize {
+        self.tail.load(order)
+    }
+
+    pub fn owner(&self) -> usize {
+        // lint:allow(ordering_protocol): single-writer cursor reading its own write
+        self.tail.load(Ordering::Relaxed)
+    }
+
+    pub fn stat(&self) {
+        self.drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn level(&self) -> usize {
+        self.head.load(Ordering::Acquire)
+    }
+}

@@ -163,6 +163,16 @@ fn seeded_no_relaxed_fails() {
 }
 
 #[test]
+fn seeded_ordering_protocol_fails() {
+    assert_seeded(
+        "orderingprotocol",
+        include_str!("fixtures/ordering_violation.rs"),
+        "[orderings]\nprotocol_files = [\"src/seeded.rs\"]\n",
+        "ordering_protocol",
+    );
+}
+
+#[test]
 fn seeded_failpoint_gate_fails() {
     assert_seeded(
         "failpoint",

@@ -14,10 +14,12 @@ fn fixture_config() -> Config {
         hot_path: vec!["src/hot.rs".to_string()],
         counter_fields: vec!["freq".to_string(), "persist".to_string()],
         no_relaxed_files: vec!["src/conc.rs".to_string()],
+        protocol_files: vec!["src/protocol.rs".to_string()],
         failpoint_allow: vec!["src/failpoint.rs".to_string()],
         atomic_io_files: vec!["src/ckpt.rs".to_string()],
         obs_metrics_files: vec!["src/metrics.rs".to_string()],
         obs_call_site_files: vec!["src/hot.rs".to_string()],
+        bench_tolerance: None,
     }
 }
 
@@ -73,6 +75,119 @@ fn no_relaxed_fires_on_fixture() {
     assert_eq!(hits, vec![("no_relaxed", 6)]);
     // The same file outside the configured list is silent.
     assert!(active_rules("src/other.rs", src).is_empty());
+}
+
+#[test]
+fn ordering_protocol_fires_on_fixture() {
+    let src = include_str!("fixtures/ordering_violation.rs");
+    let mut hits = active_rules("src/protocol.rs", src);
+    hits.sort_by_key(|&(_, line)| line);
+    // 12: `head` has no contract; 14: malformed contract on `mark` AND
+    // the resulting missing contract; 16: `lonely` declares load=Acquire
+    // with no releasing write in the file; 24: the demotion mirror
+    // (store=SeqCst contract, Release store — the static twin of the
+    // loom_weakening.rs runtime refutation); 33: rmw access with no rmw
+    // entry in the contract; 41: computed (non-literal) ordering.
+    assert_eq!(
+        hits,
+        vec![
+            ("ordering_protocol", 12),
+            ("ordering_protocol", 14),
+            ("ordering_protocol", 14),
+            ("ordering_protocol", 16),
+            ("ordering_protocol", 24),
+            ("ordering_protocol", 33),
+            ("ordering_protocol", 41),
+        ],
+        "full: {hits:?}"
+    );
+    // The same file off the protocol list is silent — except the now
+    // load-free waiver, which the unused_waiver rule correctly calls out.
+    let off = active_rules("src/other.rs", src);
+    assert_eq!(off, vec![("unused_waiver", 45)], "full: {off:?}");
+}
+
+#[test]
+fn ordering_protocol_waiver_is_load_bearing() {
+    let src = include_str!("fixtures/ordering_violation.rs");
+    let all = lint_source("src/protocol.rs", src, &fixture_config());
+    // The single-writer Relaxed read on line 46 is found but waived —
+    // same shape as the shipped spsc.rs cursor reads.
+    assert!(
+        all.iter()
+            .any(|v| v.rule == "ordering_protocol" && v.waived && v.line == 46),
+        "all: {all:?}"
+    );
+}
+
+#[test]
+fn ordering_protocol_messages_name_the_contract() {
+    let src = include_str!("fixtures/ordering_violation.rs");
+    let msgs: Vec<String> = lint_source("src/protocol.rs", src, &fixture_config())
+        .into_iter()
+        .filter(|v| v.is_active() && v.rule == "ordering_protocol")
+        .map(|v| v.message)
+        .collect();
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("weaker than the declared `store=SeqCst` contract")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("no `// ordering:` contract")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("malformed") && m.contains("not a valid load ordering")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("no Release-or-stronger write")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("declares no rmw ordering")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter()
+            .any(|m| m.contains("without a literal `Ordering::` argument")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn ordering_protocol_two_ordering_methods_judge_both() {
+    // compare_exchange's success ordering is judged as an RMW, the
+    // failure ordering as a load — demoting either below the contract
+    // fires, and satisfying both stays clean.
+    let contract = "// ordering: load=Acquire, rmw=AcqRel -- handshake\n";
+    let decl = format!("pub struct S {{\n    {contract}    state: AtomicU64,\n}}\n");
+    let ok = format!(
+        "{decl}impl S {{\n    pub fn claim(&self) {{\n        let _ = self.state.compare_exchange(\n            0, 1, Ordering::AcqRel, Ordering::Acquire);\n    }}\n}}\n"
+    );
+    assert!(active_rules("src/protocol.rs", &ok).is_empty());
+    let weak_failure = ok.replace(
+        "Ordering::AcqRel, Ordering::Acquire",
+        "Ordering::AcqRel, Ordering::Relaxed",
+    );
+    assert_eq!(
+        active_rules("src/protocol.rs", &weak_failure).len(),
+        1,
+        "demoted failure load must fire"
+    );
+    let weak_success = ok.replace(
+        "Ordering::AcqRel, Ordering::Acquire",
+        "Ordering::Release, Ordering::Acquire",
+    );
+    assert_eq!(
+        active_rules("src/protocol.rs", &weak_success).len(),
+        1,
+        "demoted success rmw must fire"
+    );
 }
 
 #[test]

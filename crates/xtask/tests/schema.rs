@@ -25,6 +25,7 @@ fields = ["freq", "persist"]
 
 [orderings]
 no_relaxed_files = ["src/spsc.rs"]
+protocol_files = ["src/spsc.rs"]
 
 [failpoints]
 allow = ["src/table.rs"]
@@ -35,6 +36,9 @@ files = ["src/table.rs"]
 [obs]
 metrics_files = ["src/metrics.rs"]
 call_site_files = ["src/table.rs"]
+
+[bench]
+tolerance = 7.5
 "#;
 
 #[test]
@@ -43,6 +47,39 @@ fn full_schema_parses() {
     assert_eq!(config.roots, vec!["src"]);
     assert_eq!(config.counter_fields, vec!["freq", "persist"]);
     assert_eq!(config.obs_call_site_files, vec!["src/table.rs"]);
+    assert_eq!(config.protocol_files, vec!["src/spsc.rs"]);
+    assert_eq!(config.bench_tolerance, Some(7.5));
+}
+
+#[test]
+fn bench_tolerance_rejects_non_numeric_and_negative_values() {
+    for bad in ["-1", "abc", "inf", "nan", "[5.0]"] {
+        let err = parse_config(&format!(
+            "[paths]\nroots = [\"src\"]\n[bench]\ntolerance = {bad}\n"
+        ))
+        .expect_err(bad);
+        assert!(err.contains("tolerance"), "`{bad}`: {err}");
+    }
+}
+
+#[test]
+fn bench_tolerance_is_optional() {
+    let config = parse_config("[paths]\nroots = [\"src\"]\n").expect("valid");
+    assert_eq!(config.bench_tolerance, None);
+}
+
+#[test]
+fn protocol_files_paths_are_validated() {
+    let root = scratch("protocol");
+    write(&root, "src/real.rs", "pub fn f() {}\n");
+    let config = parse_config(
+        "[paths]\nroots = [\"src\"]\n[orderings]\nprotocol_files = [\"src/gone.rs\"]\n",
+    )
+    .expect("parses");
+    let err = validate_config_paths(&config, &root).expect_err("must reject");
+    assert!(err.contains("[orderings] protocol_files"), "{err}");
+    assert!(err.contains("src/gone.rs"), "{err}");
+    let _ = fs::remove_dir_all(&root);
 }
 
 #[test]

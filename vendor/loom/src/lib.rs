@@ -16,15 +16,28 @@
 //! * **assertion failures / panics** in the model closure on *any*
 //!   explored interleaving, reported with the failing schedule.
 //!
+//! ## The value model
+//!
+//! Under the default [`ValueModel::Weak`] semantics, atomic *values* are
+//! weak-memory: each location carries a modification order, and which
+//! store a load observes is itself an explored decision, constrained by
+//! coherence, release/acquire synchronization and the `SeqCst` total
+//! order — so a `Relaxed` load can legally return a stale value, exactly
+//! as real hardware permits. [`ValueModel::SeqCstValues`] restores the
+//! historical every-load-sees-the-newest-store semantics (useful for
+//! comparing the two explorations; the weak space is a strict superset).
+//! See the crate's `rt` module docs and DESIGN.md "Memory model" for the
+//! precise statement of what is and is not modeled.
+//!
 //! ## Fidelity limits (vs. real `loom`)
 //!
-//! Atomic *values* are sequentially consistent: a load observes the most
-//! recent store of the executed interleaving, and store-buffer style
-//! weak-memory value reordering is not enumerated. Happens-before *is*
-//! ordering-sensitive, which is what the race detector keys off. The
-//! exploration is bounded (preemption bound + interleaving cap) rather
-//! than exhaustive-with-reduction; [`Report::complete`] says whether the
-//! bounded space was fully enumerated.
+//! The exploration is bounded (preemption bound + staleness bound +
+//! interleaving cap) rather than exhaustive-with-reduction;
+//! [`Report::complete`] says whether the bounded space was fully
+//! enumerated. RMWs always read the modification-order tail, stores are
+//! never inserted before existing stores, `compare_exchange_weak` never
+//! fails spuriously, loads cannot observe stores that have not executed
+//! yet (no load buffering), and fences are not modeled.
 //!
 //! ## Usage
 //!
@@ -51,6 +64,8 @@ pub mod cell;
 mod rt;
 pub mod sync;
 pub mod thread;
+
+pub use rt::ValueModel;
 
 use std::sync::Arc;
 
@@ -88,6 +103,15 @@ pub struct Builder {
     /// Per-execution step limit; exceeding it fails the model (livelock
     /// guard).
     pub max_steps: usize,
+    /// Which atomic value semantics to enumerate (default
+    /// [`ValueModel::Weak`]).
+    pub value_model: ValueModel,
+    /// Per-(thread, location) cap on *stale* reads (reads that do not
+    /// observe the newest store). Without it an unsynchronized spin loop
+    /// could legally read stale forever and the depth-first exploration
+    /// would diverge — this is the staleness analogue of the preemption
+    /// bound. Only meaningful under [`ValueModel::Weak`].
+    pub staleness_bound: u64,
 }
 
 impl Default for Builder {
@@ -96,6 +120,8 @@ impl Default for Builder {
             preemption_bound: 3,
             max_interleavings: 20_000,
             max_steps: 100_000,
+            value_model: ValueModel::Weak,
+            staleness_bound: 2,
         }
     }
 }
@@ -123,21 +149,22 @@ impl Builder {
         F: Fn() + Send + Sync + 'static,
     {
         let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let config = rt::RunConfig {
+            preemption_bound: self.preemption_bound,
+            max_steps: self.max_steps,
+            value_model: self.value_model,
+            staleness_bound: self.staleness_bound,
+        };
         let mut replay: Vec<usize> = Vec::new();
         let mut interleavings = 0usize;
         loop {
-            let outcome = rt::run_once(
-                Arc::clone(&f),
-                std::mem::take(&mut replay),
-                self.preemption_bound,
-                self.max_steps,
-            );
+            let outcome = rt::run_once(Arc::clone(&f), std::mem::take(&mut replay), config);
             interleavings += 1;
             if let Some(msg) = outcome.failed {
                 panic!(
                     "loom: model failed on interleaving #{interleavings}: {msg}\n\
-                     failing schedule (thread id per decision): {:?}",
-                    outcome.trace
+                     failing schedule:\n{}",
+                    outcome.trace.join("\n")
                 );
             }
             if interleavings >= self.max_interleavings {

@@ -1,4 +1,5 @@
-//! The deterministic scheduler behind [`crate::model`].
+//! The deterministic scheduler and weak-memory engine behind
+//! [`crate::model`].
 //!
 //! ## How interleavings are explored
 //!
@@ -16,23 +17,56 @@
 //! keeps the schedule space polynomial while catching the vast majority of
 //! interleaving bugs). Switches forced by blocking are free.
 //!
-//! ## What is and is not modeled
+//! ## The value model
 //!
-//! * Values are **sequentially consistent**: a load always observes the
-//!   most recent store in the executed interleaving. Store-buffer style
-//!   weak-memory reorderings are *not* enumerated.
-//! * Happens-before **is** tracked precisely with vector clocks: `Acquire`
-//!   loads join the clock released by `Release` stores, mutexes carry the
-//!   releasing thread's clock, spawn/join edges are recorded, and
-//!   `Ordering::Relaxed` transfers *nothing*. Every [`crate::cell::UnsafeCell`]
+//! Under the default [`ValueModel::Weak`] semantics each atomic location
+//! carries a **modification order**: the list of every store performed on
+//! it, in execution order. A load does not simply observe the newest store
+//! — it gets a **reads-from candidate set**, and which candidate it
+//! observes is itself a decision point explored by the same depth-first
+//! driver as scheduling. The candidate set is the suffix of the
+//! modification order allowed by:
+//!
+//! * **coherence** — a thread never reads older than what it has already
+//!   read or written on that location (per-thread floor), and never older
+//!   than the newest store it has *seen* via happens-before;
+//! * **release/acquire synchronization** — an `Acquire` load that reads
+//!   from a `Release` store (or a store in its release sequence — RMWs
+//!   continue the sequence, an intervening relaxed plain store breaks it)
+//!   joins the releasing thread's vector clock. `Relaxed` transfers
+//!   nothing, so a relaxed load can legally return a stale value *and*
+//!   creates no edge for the race detector;
+//! * **the SeqCst total order** — `SeqCst` operations are totally ordered
+//!   (by execution order, which is well-defined because operations are
+//!   serialized). A `SeqCst` load may not read a store that precedes the
+//!   latest `SeqCst` store in the modification order.
+//!
+//! [`ValueModel::SeqCstValues`] restores the historical semantics (every
+//! load reads the newest store) and exists so the weak explorer can be
+//! shown to admit a strict superset of the SC-value outcomes.
+//!
+//! Deliberate under-approximations, all bounded and deterministic (see
+//! DESIGN.md "Memory model" for the full statement): RMWs read the
+//! modification-order tail (no reads-from choice), stores append to the
+//! modification order (no insertion before existing stores), a failed or
+//! `_weak` compare-exchange never fails spuriously, there is no load
+//! buffering (a load cannot observe a store that has not executed yet),
+//! and fences are not modeled. Stale reads per (thread, location) are
+//! capped by [`crate::Builder::staleness_bound`] so unsynchronized spin
+//! loops stay finite — the staleness analogue of the preemption bound.
+//!
+//! ## What else is checked
+//!
+//! * Happens-before is tracked precisely with vector clocks: acquire
+//!   edges as above, mutexes carry the releasing thread's clock,
+//!   spawn/join edges are recorded. Every [`crate::cell::UnsafeCell`]
 //!   access is checked against those clocks, so publishing data through a
-//!   `Relaxed` store (or reading it through a `Relaxed` load) is reported
-//!   as a data race even though the value itself would have been "correct"
-//!   under SC.
-//! * `Condvar::notify_one` wakes *every* waiter (a sound over-approximation:
-//!   std condvars may wake spuriously, so code must tolerate extra wakeups
-//!   anyway). A waiter that is never notified deadlocks, and deadlocks are
-//!   detected and reported with the full schedule.
+//!   `Relaxed` store is reported as a data race.
+//! * `Condvar::notify_one` wakes *every* waiter (a sound
+//!   over-approximation: std condvars may wake spuriously, so code must
+//!   tolerate extra wakeups anyway). A waiter that is never notified
+//!   deadlocks, and deadlocks are detected and reported with the full
+//!   schedule — including which stale read led there.
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -42,6 +76,18 @@ use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as Std
 /// A vector clock: component `i` counts the operations thread `i` has
 /// performed that are visible to the clock's owner.
 pub(crate) type VClock = Vec<u64>;
+
+/// Which value semantics the explorer enumerates. See the module docs of
+/// [`crate`] and the fields of [`crate::Builder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueModel {
+    /// C11-style weak memory: per-location modification order with
+    /// reads-from candidate sets (the default).
+    Weak,
+    /// Historical semantics: every load observes the newest store. Kept so
+    /// the superset oracle can compare the two explorations.
+    SeqCstValues,
+}
 
 pub(crate) fn clock_join(into: &mut VClock, other: &VClock) {
     if into.len() < other.len() {
@@ -87,10 +133,95 @@ struct CellRec {
     reads: Vec<(usize, VClock)>,
 }
 
-/// One scheduling decision: the ordered enabled set and the index chosen.
+/// One store in a location's modification order. Values are widened to
+/// `u64` by the shadow atomics in [`crate::sync::atomic`].
+struct StoreRec {
+    value: u64,
+    /// The writer's clock at the store (including the store itself): a
+    /// load may not read *past* a store whose `hb` it has already seen.
+    hb: VClock,
+    /// The release-sequence clock an acquiring reader joins. A release
+    /// store starts it; an RMW continues the predecessor's sequence
+    /// (joining its own clock if releasing); a relaxed plain store breaks
+    /// it (empty clock — C++20 semantics).
+    sync: VClock,
+    /// Writer thread id (`usize::MAX` for the initial value). `SeqCst`
+    /// membership is not stored per-record: [`AtomicRec::last_sc`] tracks
+    /// the only index the load path needs.
+    writer: usize,
+}
+
+/// One atomic location: modification order plus per-thread coherence state.
+struct AtomicRec {
+    /// Modification order; index 0 is the initial value.
+    history: Vec<StoreRec>,
+    /// Index of the latest `SeqCst` store, the floor for `SeqCst` loads.
+    last_sc: Option<usize>,
+    /// Per-thread coherence floor: the oldest index the thread may read.
+    floor: Vec<usize>,
+    /// Per-thread count of stale (non-newest) reads on this location, for
+    /// the staleness bound.
+    stale_reads: Vec<u64>,
+}
+
+impl AtomicRec {
+    fn floor_of(&self, thread: usize) -> usize {
+        self.floor.get(thread).copied().unwrap_or(0)
+    }
+
+    fn raise_floor(&mut self, thread: usize, index: usize) {
+        if self.floor.len() <= thread {
+            self.floor.resize(thread + 1, 0);
+        }
+        if self.floor[thread] < index {
+            self.floor[thread] = index;
+        }
+    }
+
+    fn count_stale(&mut self, thread: usize) {
+        if self.stale_reads.len() <= thread {
+            self.stale_reads.resize(thread + 1, 0);
+        }
+        self.stale_reads[thread] = self.stale_reads[thread].saturating_add(1);
+    }
+}
+
+/// What a decision point chose between.
+pub(crate) enum DecisionInfo {
+    /// Scheduling: which thread performs the next operation.
+    Schedule { enabled: Vec<usize> },
+    /// Reads-from: which store in the modification order a load observed.
+    ReadsFrom {
+        thread: usize,
+        atomic: usize,
+        /// Number of admissible stores (the arity of this decision).
+        candidates: usize,
+        /// Modification-order length at the time of the load.
+        mod_len: usize,
+        /// Index actually read.
+        index: usize,
+        /// Value actually read.
+        value: u64,
+        /// Thread that performed the store read from (`usize::MAX` for
+        /// the initial value).
+        writer: usize,
+    },
+}
+
+/// One explored decision: the alternatives and the index chosen.
 pub(crate) struct Decision {
-    pub enabled: Vec<usize>,
+    pub info: DecisionInfo,
     pub chosen: usize,
+}
+
+impl Decision {
+    /// How many alternatives this decision had (for backtracking).
+    pub(crate) fn arity(&self) -> usize {
+        match &self.info {
+            DecisionInfo::Schedule { enabled } => enabled.len(),
+            DecisionInfo::ReadsFrom { candidates, .. } => *candidates,
+        }
+    }
 }
 
 pub(crate) struct ExecState {
@@ -102,11 +233,13 @@ pub(crate) struct ExecState {
     preemption_bound: usize,
     steps: usize,
     max_steps: usize,
+    value_model: ValueModel,
+    staleness_bound: u64,
     pub failed: Option<String>,
     finished: usize,
     mutexes: Vec<MutexRec>,
     condvars: Vec<Vec<usize>>,
-    atomics: Vec<VClock>,
+    atomics: Vec<AtomicRec>,
     cells: Vec<CellRec>,
 }
 
@@ -163,12 +296,21 @@ impl ObjId {
 pub(crate) enum ObjKind {
     Mutex,
     Condvar,
-    Atomic,
     Cell,
 }
 
+/// Exploration parameters forwarded from [`crate::Builder`] to each
+/// execution.
+#[derive(Clone, Copy)]
+pub(crate) struct RunConfig {
+    pub preemption_bound: usize,
+    pub max_steps: usize,
+    pub value_model: ValueModel,
+    pub staleness_bound: u64,
+}
+
 impl Execution {
-    fn new(replay: Vec<usize>, preemption_bound: usize, max_steps: usize) -> Self {
+    fn new(replay: Vec<usize>, config: RunConfig) -> Self {
         Self {
             serial: SERIAL.fetch_add(1, StdOrdering::Relaxed),
             state: StdMutex::new(ExecState {
@@ -177,9 +319,11 @@ impl Execution {
                 replay,
                 decisions: Vec::new(),
                 preemptions: 0,
-                preemption_bound,
+                preemption_bound: config.preemption_bound,
                 steps: 0,
-                max_steps,
+                max_steps: config.max_steps,
+                value_model: config.value_model,
+                staleness_bound: config.staleness_bound,
                 failed: None,
                 finished: 0,
                 mutexes: Vec::new(),
@@ -200,11 +344,15 @@ impl Execution {
     }
 }
 
-fn resolve(st: &mut ExecState, exec: &Execution, id: &ObjId, kind: ObjKind) -> usize {
-    let mut slot = match id.slot.lock() {
+fn obj_slot(id: &ObjId) -> StdMutexGuard<'_, Option<(u64, usize)>> {
+    match id.slot.lock() {
         Ok(g) => g,
         Err(p) => p.into_inner(),
-    };
+    }
+}
+
+fn resolve(st: &mut ExecState, exec: &Execution, id: &ObjId, kind: ObjKind) -> usize {
+    let mut slot = obj_slot(id);
     if let Some((serial, idx)) = *slot {
         if serial == exec.serial {
             return idx;
@@ -222,10 +370,6 @@ fn resolve(st: &mut ExecState, exec: &Execution, id: &ObjId, kind: ObjKind) -> u
             st.condvars.push(Vec::new());
             st.condvars.len() - 1
         }
-        ObjKind::Atomic => {
-            st.atomics.push(Vec::new());
-            st.atomics.len() - 1
-        }
         ObjKind::Cell => {
             st.cells.push(CellRec::default());
             st.cells.len() - 1
@@ -233,6 +377,49 @@ fn resolve(st: &mut ExecState, exec: &Execution, id: &ObjId, kind: ObjKind) -> u
     };
     *slot = Some((exec.serial, idx));
     idx
+}
+
+/// Register an atomic location on first use, seeding the modification
+/// order with its construction-time value.
+fn resolve_atomic(st: &mut ExecState, exec: &Execution, id: &ObjId, init: u64) -> usize {
+    let mut slot = obj_slot(id);
+    if let Some((serial, idx)) = *slot {
+        if serial == exec.serial {
+            return idx;
+        }
+    }
+    st.atomics.push(AtomicRec {
+        history: vec![StoreRec {
+            value: init,
+            hb: Vec::new(),
+            sync: Vec::new(),
+            writer: usize::MAX,
+        }],
+        last_sc: None,
+        floor: Vec::new(),
+        stale_reads: Vec::new(),
+    });
+    let idx = st.atomics.len() - 1;
+    *slot = Some((exec.serial, idx));
+    idx
+}
+
+/// The replayed-or-default choice for a decision of `arity` alternatives
+/// at the current depth. The caller must push the matching [`Decision`]
+/// immediately after.
+fn next_choice(st: &ExecState, arity: usize) -> usize {
+    let depth = st.decisions.len();
+    let mut chosen = if depth < st.replay.len() {
+        st.replay[depth]
+    } else {
+        0
+    };
+    if chosen >= arity {
+        // A replay mismatch can only follow a nondeterministic model
+        // closure; degrade to the default rather than crash the explorer.
+        chosen = 0;
+    }
+    chosen
 }
 
 /// Choose the next thread to run. `caller` is the thread making the choice
@@ -282,22 +469,15 @@ fn pick_next(st: &mut ExecState, caller: usize) -> Result<Option<usize>, String>
             enabled.truncate(1);
         }
     }
-    let depth = st.decisions.len();
-    let mut chosen = if depth < st.replay.len() {
-        st.replay[depth]
-    } else {
-        0
-    };
-    if chosen >= enabled.len() {
-        // A replay mismatch can only follow a nondeterministic model
-        // closure; degrade to the default rather than crash the explorer.
-        chosen = 0;
-    }
+    let chosen = next_choice(st, enabled.len());
     let next = enabled[chosen];
     if caller_enabled && next != caller {
         st.preemptions += 1;
     }
-    st.decisions.push(Decision { enabled, chosen });
+    st.decisions.push(Decision {
+        info: DecisionInfo::Schedule { enabled },
+        chosen,
+    });
     Ok(Some(next))
 }
 
@@ -478,39 +658,223 @@ pub(crate) fn condvar_notify(ctx: &Ctx, cv: &ObjId) {
 
 // ---------------------------------------------------------------- atomics
 
-/// Scheduling point + happens-before bookkeeping for one atomic access.
-/// `acquire`/`release` reflect the user's `Ordering`; `Relaxed` transfers
-/// no clock, which is exactly what lets the race detector flag it.
-pub(crate) fn atomic_access(ctx: &Ctx, id: &ObjId, acquire: bool, release: bool) {
+/// The oldest modification-order index thread `me` may legally read:
+/// its coherence floor, raised past every store it has already seen via
+/// happens-before, and past the latest `SeqCst` store for `SeqCst` loads.
+fn read_floor(a: &AtomicRec, me: usize, my_clock: &VClock, seq_cst: bool) -> usize {
+    let mut lo = a.floor_of(me);
+    for (i, s) in a.history.iter().enumerate().skip(lo + 1) {
+        // `s.hb` includes the writer's tick for the store itself, so
+        // `hb ≤ my_clock` means the store is in this thread's past and
+        // write-read coherence forbids reading anything older.
+        if clock_leq(&s.hb, my_clock) {
+            lo = i;
+        }
+    }
+    if seq_cst {
+        if let Some(sc) = a.last_sc {
+            lo = lo.max(sc);
+        }
+    }
+    lo
+}
+
+/// A value-level atomic load: pick a reads-from candidate (a decision
+/// point under [`ValueModel::Weak`]), apply coherence bookkeeping, and
+/// join the store's release-sequence clock if `acquire`.
+pub(crate) fn atomic_load(ctx: &Ctx, id: &ObjId, init: u64, acquire: bool, seq_cst: bool) -> u64 {
     step(ctx);
     let exec = &*ctx.exec;
     let mut st = exec.lock();
     secondary_check(exec, &st);
-    let aid = resolve(&mut st, exec, id, ObjKind::Atomic);
+    let aid = resolve_atomic(&mut st, exec, id, init);
+    let me = ctx.id;
+    let my_clock = st.threads[me].clock.clone();
+    let (lo, hi, stale_spent) = {
+        let a = &st.atomics[aid];
+        let lo = read_floor(a, me, &my_clock, seq_cst);
+        let spent = a.stale_reads.get(me).copied().unwrap_or(0);
+        (lo, a.history.len() - 1, spent)
+    };
+    // Candidates are ordered newest-first, so choice 0 (the default DFS
+    // path) behaves exactly like the SC-value explorer. The staleness
+    // bound keeps unsynchronized spin loops finite.
+    let candidates =
+        if st.value_model == ValueModel::SeqCstValues || stale_spent >= st.staleness_bound {
+            1
+        } else {
+            hi - lo + 1
+        };
+    let chosen = next_choice(&st, candidates);
+    let index = hi - chosen;
+    let (value, writer) = {
+        let s = &st.atomics[aid].history[index];
+        (s.value, s.writer)
+    };
+    st.decisions.push(Decision {
+        info: DecisionInfo::ReadsFrom {
+            thread: me,
+            atomic: aid,
+            candidates,
+            mod_len: hi + 1,
+            index,
+            value,
+            writer,
+        },
+        chosen,
+    });
     if acquire {
-        let c = st.atomics[aid].clone();
-        clock_join(&mut st.threads[ctx.id].clock, &c);
+        let sync = st.atomics[aid].history[index].sync.clone();
+        clock_join(&mut st.threads[me].clock, &sync);
     }
-    if release {
-        let tc = st.threads[ctx.id].clock.clone();
-        clock_join(&mut st.atomics[aid], &tc);
+    let a = &mut st.atomics[aid];
+    if index < hi {
+        a.count_stale(me);
+    }
+    a.raise_floor(me, index);
+    value
+}
+
+/// A value-level atomic store: appends to the modification order
+/// (insertion before existing stores is deliberately not modeled).
+pub(crate) fn atomic_store(
+    ctx: &Ctx,
+    id: &ObjId,
+    init: u64,
+    value: u64,
+    release: bool,
+    seq_cst: bool,
+) {
+    step(ctx);
+    let exec = &*ctx.exec;
+    let mut st = exec.lock();
+    secondary_check(exec, &st);
+    let aid = resolve_atomic(&mut st, exec, id, init);
+    let me = ctx.id;
+    let my_clock = st.threads[me].clock.clone();
+    // A plain relaxed store *breaks* any release sequence headed earlier
+    // in the modification order (empty sync clock).
+    let sync = if release {
+        my_clock.clone()
+    } else {
+        Vec::new()
+    };
+    let a = &mut st.atomics[aid];
+    a.history.push(StoreRec {
+        value,
+        hb: my_clock,
+        sync,
+        writer: me,
+    });
+    let index = a.history.len() - 1;
+    a.raise_floor(me, index);
+    if seq_cst {
+        a.last_sc = Some(index);
     }
 }
 
-/// Happens-before bookkeeping only, no scheduling point. Used by RMW ops
-/// that already took their [`step`] and apply the success/failure ordering
-/// once the outcome is known.
-pub(crate) fn atomic_hb(ctx: &Ctx, id: &ObjId, acquire: bool, release: bool) {
+/// A value-level read-modify-write. RMWs read the modification-order tail
+/// (a documented under-approximation: no reads-from choice) and continue
+/// the tail store's release sequence.
+pub(crate) fn atomic_rmw(
+    ctx: &Ctx,
+    id: &ObjId,
+    init: u64,
+    acquire: bool,
+    release: bool,
+    seq_cst: bool,
+    f: impl FnOnce(u64) -> u64,
+) -> u64 {
+    step(ctx);
     let exec = &*ctx.exec;
     let mut st = exec.lock();
-    let aid = resolve(&mut st, exec, id, ObjKind::Atomic);
+    secondary_check(exec, &st);
+    let aid = resolve_atomic(&mut st, exec, id, init);
+    let me = ctx.id;
+    let (old, tail_sync) = {
+        let tail = st.atomics[aid].history.last().expect("non-empty history");
+        (tail.value, tail.sync.clone())
+    };
     if acquire {
-        let c = st.atomics[aid].clone();
-        clock_join(&mut st.threads[ctx.id].clock, &c);
+        clock_join(&mut st.threads[me].clock, &tail_sync);
     }
+    let my_clock = st.threads[me].clock.clone();
+    // C++20 release sequences: an RMW continues the sequence of the store
+    // it reads from, adding its own clock if it is itself releasing.
+    let mut sync = tail_sync;
     if release {
-        let tc = st.threads[ctx.id].clock.clone();
-        clock_join(&mut st.atomics[aid], &tc);
+        clock_join(&mut sync, &my_clock);
+    }
+    let a = &mut st.atomics[aid];
+    a.history.push(StoreRec {
+        value: f(old),
+        hb: my_clock,
+        sync,
+        writer: me,
+    });
+    let index = a.history.len() - 1;
+    a.raise_floor(me, index);
+    if seq_cst {
+        a.last_sc = Some(index);
+    }
+    old
+}
+
+/// A value-level compare-exchange. Both the comparison and a failed
+/// exchange read the modification-order tail (documented
+/// under-approximation: a failed CAS never observes a stale value, and
+/// the `_weak` variant never fails spuriously).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn atomic_cas(
+    ctx: &Ctx,
+    id: &ObjId,
+    init: u64,
+    current: u64,
+    new: u64,
+    acq_success: bool,
+    rel_success: bool,
+    sc_success: bool,
+    acq_failure: bool,
+) -> Result<u64, u64> {
+    step(ctx);
+    let exec = &*ctx.exec;
+    let mut st = exec.lock();
+    secondary_check(exec, &st);
+    let aid = resolve_atomic(&mut st, exec, id, init);
+    let me = ctx.id;
+    let (old, tail_sync, tail_index) = {
+        let a = &st.atomics[aid];
+        let tail = a.history.last().expect("non-empty history");
+        (tail.value, tail.sync.clone(), a.history.len() - 1)
+    };
+    if old == current {
+        if acq_success {
+            clock_join(&mut st.threads[me].clock, &tail_sync);
+        }
+        let my_clock = st.threads[me].clock.clone();
+        let mut sync = tail_sync;
+        if rel_success {
+            clock_join(&mut sync, &my_clock);
+        }
+        let a = &mut st.atomics[aid];
+        a.history.push(StoreRec {
+            value: new,
+            hb: my_clock,
+            sync,
+            writer: me,
+        });
+        let index = a.history.len() - 1;
+        a.raise_floor(me, index);
+        if sc_success {
+            a.last_sc = Some(index);
+        }
+        Ok(old)
+    } else {
+        if acq_failure {
+            clock_join(&mut st.threads[me].clock, &tail_sync);
+        }
+        st.atomics[aid].raise_floor(me, tail_index);
+        Err(old)
     }
 }
 
@@ -652,10 +1016,11 @@ pub(crate) fn record_failure(exec: &Execution, payload: &(dyn std::any::Any + Se
 }
 
 pub(crate) struct RunOutcome {
-    /// `(enabled_len, chosen)` per decision, in order.
+    /// `(arity, chosen)` per decision, in order — scheduling and
+    /// reads-from choices in one backtracking list.
     pub decisions: Vec<(usize, usize)>,
-    /// Chosen thread id per decision (for failure traces).
-    pub trace: Vec<usize>,
+    /// Human-readable line per decision; built only for failed runs.
+    pub trace: Vec<String>,
     pub failed: Option<String>,
 }
 
@@ -669,13 +1034,53 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Render a failed run's decision list as one readable line per decision,
+/// so a counterexample names the stale reads that produced it.
+fn render_trace(decisions: &[Decision]) -> Vec<String> {
+    decisions
+        .iter()
+        .enumerate()
+        .map(|(i, d)| match &d.info {
+            DecisionInfo::Schedule { enabled } => {
+                format!(
+                    "#{i}: run thread {} (enabled: {enabled:?})",
+                    enabled.get(d.chosen).copied().unwrap_or(usize::MAX)
+                )
+            }
+            DecisionInfo::ReadsFrom {
+                thread,
+                atomic,
+                candidates,
+                mod_len,
+                index,
+                value,
+                writer,
+            } => {
+                let source = if *writer == usize::MAX {
+                    "the initial value".to_string()
+                } else {
+                    format!("thread {writer}'s store")
+                };
+                let staleness = if index + 1 < *mod_len {
+                    format!(" [STALE: store {} of {}]", index + 1, mod_len)
+                } else {
+                    String::new()
+                };
+                format!(
+                    "#{i}: thread {thread} reads atomic a{atomic} = {value} from {source}\
+                     {staleness} ({candidates} candidate(s))"
+                )
+            }
+        })
+        .collect()
+}
+
 pub(crate) fn run_once(
     f: Arc<dyn Fn() + Send + Sync>,
     replay: Vec<usize>,
-    preemption_bound: usize,
-    max_steps: usize,
+    config: RunConfig,
 ) -> RunOutcome {
-    let exec = Arc::new(Execution::new(replay, preemption_bound, max_steps));
+    let exec = Arc::new(Execution::new(replay, config));
     {
         let mut st = exec.lock();
         st.threads.push(ThreadRec {
@@ -725,12 +1130,12 @@ pub(crate) fn run_once(
     }
     let st = exec.lock();
     RunOutcome {
-        decisions: st
-            .decisions
-            .iter()
-            .map(|d| (d.enabled.len(), d.chosen))
-            .collect(),
-        trace: st.decisions.iter().map(|d| d.enabled[d.chosen]).collect(),
+        decisions: st.decisions.iter().map(|d| (d.arity(), d.chosen)).collect(),
+        trace: if st.failed.is_some() {
+            render_trace(&st.decisions)
+        } else {
+            Vec::new()
+        },
         failed: st.failed.clone(),
     }
 }

@@ -206,7 +206,14 @@ impl std::fmt::Debug for Condvar {
     }
 }
 
-/// Shadow atomics with vector-clock happens-before tracking.
+/// Shadow atomics with value-level weak-memory semantics.
+///
+/// Inside a model, every load/store/RMW routes through the runtime's
+/// per-location modification order (see [`crate::rt`] module docs): which
+/// store a load observes is an explored decision, constrained by
+/// coherence, release/acquire synchronization and the `SeqCst` total
+/// order. Outside a model the types are plain mutex-backed passthroughs.
+/// Values are widened to `u64` for the runtime; all shadowed types fit.
 pub mod atomic {
     use crate::rt;
     use std::sync::Mutex as StdMutex;
@@ -227,13 +234,24 @@ pub mod atomic {
         )
     }
 
+    fn seq_cst(order: Ordering) -> bool {
+        matches!(order, Ordering::SeqCst)
+    }
+
     macro_rules! shadow_atomic_int {
         ($name:ident, $ty:ty) => {
-            /// Shadow atomic integer. Values are sequentially consistent;
-            /// happens-before follows the given `Ordering`, so `Relaxed`
-            /// publishes nothing and the race detector can flag it.
+            /// Shadow atomic integer. Inside a model, loads may observe
+            /// stale values exactly as the chosen `Ordering` permits
+            /// (see [`crate::ValueModel`]); outside, a passthrough.
             pub struct $name {
+                /// Newest value — passthrough storage and `Debug` mirror.
+                /// Inside a model the runtime's modification order is
+                /// authoritative; this tracks its tail.
                 v: StdMutex<$ty>,
+                /// Construction-time value, seeding the modification
+                /// order when the location registers with an execution.
+                /// Immutable so re-registration replays deterministically.
+                init: $ty,
                 id: rt::ObjId,
             }
 
@@ -242,6 +260,7 @@ pub mod atomic {
                 pub fn new(v: $ty) -> Self {
                     Self {
                         v: StdMutex::new(v),
+                        init: v,
                         id: rt::ObjId::new(),
                     }
                 }
@@ -259,10 +278,16 @@ pub mod atomic {
                         !matches!(order, Ordering::Release | Ordering::AcqRel),
                         "invalid ordering for load"
                     );
-                    if let Some(ctx) = rt::ctx() {
-                        rt::atomic_access(&ctx, &self.id, acquires(order), false);
+                    match rt::ctx() {
+                        Some(ctx) => rt::atomic_load(
+                            &ctx,
+                            &self.id,
+                            self.init as u64,
+                            acquires(order),
+                            seq_cst(order),
+                        ) as $ty,
+                        None => *self.value(),
                     }
-                    *self.value()
                 }
 
                 /// Shadow `store`.
@@ -272,43 +297,58 @@ pub mod atomic {
                         "invalid ordering for store"
                     );
                     if let Some(ctx) = rt::ctx() {
-                        rt::atomic_access(&ctx, &self.id, false, releases(order));
+                        rt::atomic_store(
+                            &ctx,
+                            &self.id,
+                            self.init as u64,
+                            v as u64,
+                            releases(order),
+                            seq_cst(order),
+                        );
                     }
                     *self.value() = v;
                 }
 
                 /// Shadow `swap`.
                 pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
-                    self.rmw(order, |_| v)
+                    self.rmw(order, move |_| v)
                 }
 
                 /// Shadow `fetch_add` (wrapping, like std).
                 pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
-                    self.rmw(order, |old| old.wrapping_add(v))
+                    self.rmw(order, move |old| old.wrapping_add(v))
                 }
 
                 /// Shadow `fetch_sub` (wrapping, like std).
                 pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
-                    self.rmw(order, |old| old.wrapping_sub(v))
+                    self.rmw(order, move |old| old.wrapping_sub(v))
                 }
 
                 /// Shadow `fetch_or`.
                 pub fn fetch_or(&self, v: $ty, order: Ordering) -> $ty {
-                    self.rmw(order, |old| old | v)
+                    self.rmw(order, move |old| old | v)
                 }
 
                 /// Shadow `fetch_and`.
                 pub fn fetch_and(&self, v: $ty, order: Ordering) -> $ty {
-                    self.rmw(order, |old| old & v)
+                    self.rmw(order, move |old| old & v)
                 }
 
-                fn rmw(&self, order: Ordering, f: impl FnOnce($ty) -> $ty) -> $ty {
+                fn rmw(&self, order: Ordering, f: impl Fn($ty) -> $ty) -> $ty {
                     match rt::ctx() {
                         Some(ctx) => {
-                            rt::atomic_access(&ctx, &self.id, acquires(order), releases(order));
-                            let mut v = self.value();
-                            let old = *v;
-                            *v = f(old);
+                            // Arithmetic happens in the native width, so
+                            // wrapping semantics survive the u64 detour.
+                            let old = rt::atomic_rmw(
+                                &ctx,
+                                &self.id,
+                                self.init as u64,
+                                acquires(order),
+                                releases(order),
+                                seq_cst(order),
+                                |old| f(old as $ty) as u64,
+                            ) as $ty;
+                            *self.value() = f(old);
                             old
                         }
                         None => {
@@ -328,29 +368,27 @@ pub mod atomic {
                     success: Ordering,
                     failure: Ordering,
                 ) -> Result<$ty, $ty> {
+                    assert!(
+                        !matches!(failure, Ordering::Release | Ordering::AcqRel),
+                        "invalid failure ordering for compare_exchange"
+                    );
                     match rt::ctx() {
                         Some(ctx) => {
-                            rt::step(&ctx);
-                            let outcome = {
-                                let mut v = self.value();
-                                let old = *v;
-                                if old == current {
-                                    *v = new;
-                                    Ok(old)
-                                } else {
-                                    Err(old)
-                                }
-                            };
-                            match outcome {
-                                Ok(_) => rt::atomic_hb(
-                                    &ctx,
-                                    &self.id,
-                                    acquires(success),
-                                    releases(success),
-                                ),
-                                Err(_) => rt::atomic_hb(&ctx, &self.id, acquires(failure), false),
+                            let res = rt::atomic_cas(
+                                &ctx,
+                                &self.id,
+                                self.init as u64,
+                                current as u64,
+                                new as u64,
+                                acquires(success),
+                                releases(success),
+                                seq_cst(success),
+                                acquires(failure),
+                            );
+                            if res.is_ok() {
+                                *self.value() = new;
                             }
-                            outcome
+                            res.map(|v| v as $ty).map_err(|v| v as $ty)
                         }
                         None => {
                             let mut v = self.value();
@@ -363,6 +401,21 @@ pub mod atomic {
                             }
                         }
                     }
+                }
+
+                /// Shadow `compare_exchange_weak`. Spurious failure is
+                /// deliberately not modeled (documented in DESIGN.md):
+                /// callers must already tolerate it, so exploring only the
+                /// non-spurious outcomes under-approximates soundly for
+                /// code that retries in a loop.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
                 }
             }
 
@@ -378,9 +431,11 @@ pub mod atomic {
     shadow_atomic_int!(AtomicU64, u64);
     shadow_atomic_int!(AtomicU32, u32);
 
-    /// Shadow `AtomicBool`.
+    /// Shadow `AtomicBool`, routed through the same value-level runtime
+    /// with `false`/`true` as `0`/`1`.
     pub struct AtomicBool {
         v: StdMutex<bool>,
+        init: bool,
         id: rt::ObjId,
     }
 
@@ -389,6 +444,7 @@ pub mod atomic {
         pub fn new(v: bool) -> Self {
             Self {
                 v: StdMutex::new(v),
+                init: v,
                 id: rt::ObjId::new(),
             }
         }
@@ -406,10 +462,18 @@ pub mod atomic {
                 !matches!(order, Ordering::Release | Ordering::AcqRel),
                 "invalid ordering for load"
             );
-            if let Some(ctx) = rt::ctx() {
-                rt::atomic_access(&ctx, &self.id, acquires(order), false);
+            match rt::ctx() {
+                Some(ctx) => {
+                    rt::atomic_load(
+                        &ctx,
+                        &self.id,
+                        self.init as u64,
+                        acquires(order),
+                        seq_cst(order),
+                    ) != 0
+                }
+                None => *self.value(),
             }
-            *self.value()
         }
 
         /// Shadow `store`.
@@ -419,20 +483,41 @@ pub mod atomic {
                 "invalid ordering for store"
             );
             if let Some(ctx) = rt::ctx() {
-                rt::atomic_access(&ctx, &self.id, false, releases(order));
+                rt::atomic_store(
+                    &ctx,
+                    &self.id,
+                    self.init as u64,
+                    v as u64,
+                    releases(order),
+                    seq_cst(order),
+                );
             }
             *self.value() = v;
         }
 
         /// Shadow `swap`.
         pub fn swap(&self, v: bool, order: Ordering) -> bool {
-            if let Some(ctx) = rt::ctx() {
-                rt::atomic_access(&ctx, &self.id, acquires(order), releases(order));
+            match rt::ctx() {
+                Some(ctx) => {
+                    let old = rt::atomic_rmw(
+                        &ctx,
+                        &self.id,
+                        self.init as u64,
+                        acquires(order),
+                        releases(order),
+                        seq_cst(order),
+                        move |_| v as u64,
+                    ) != 0;
+                    *self.value() = v;
+                    old
+                }
+                None => {
+                    let mut g = self.value();
+                    let old = *g;
+                    *g = v;
+                    old
+                }
             }
-            let mut g = self.value();
-            let old = *g;
-            *g = v;
-            old
         }
     }
 

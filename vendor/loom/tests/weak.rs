@@ -1,0 +1,241 @@
+//! Value-model oracle tests: the weak-memory explorer must admit every
+//! outcome the SC-value explorer admits (strict-superset oracle), must
+//! admit strictly more on the classic store-buffering litmus, and must
+//! still respect coherence and release/acquire synchronization at the
+//! value level. Failure traces are deterministic and name stale reads.
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+use loom::ValueModel;
+use std::collections::BTreeSet;
+use std::sync::Arc as StdArc;
+use std::sync::Mutex as StdMutex;
+
+/// Explore the classic store-buffering shape —
+///
+/// ```text
+/// T1: x.store(1, store); r1 = y.load(load)
+/// T2: y.store(1, store); r2 = x.load(load)
+/// ```
+///
+/// — and collect every `(r1, r2)` outcome observed across the bounded
+/// exploration. The sink lives outside the model (its contents never feed
+/// back into the closure, so determinism is preserved).
+fn sb_outcomes(store: Ordering, load: Ordering, model: ValueModel) -> BTreeSet<(u64, u64)> {
+    let outcomes: StdArc<StdMutex<BTreeSet<(u64, u64)>>> =
+        StdArc::new(StdMutex::new(BTreeSet::new()));
+    let sink = StdArc::clone(&outcomes);
+    let mut builder = loom::Builder::new();
+    builder.value_model = model;
+    let report = builder.check(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = loom::thread::spawn(move || {
+            x2.store(1, store);
+            y2.load(load)
+        });
+        y.store(1, store);
+        let r2 = x.load(load);
+        let r1 = t.join().unwrap();
+        sink.lock().unwrap().insert((r1, r2));
+    });
+    assert!(report.complete, "litmus exploration must be exhaustive");
+    let set = outcomes.lock().unwrap().clone();
+    set
+}
+
+/// Message passing: `T1: x.store(42, Relaxed); flag.store(1, flag_store)`,
+/// `T2: if flag.load(flag_load) == 1 { record x.load(Relaxed) }`. Returns
+/// the set of payload values observed after seeing the flag.
+fn mp_payloads(flag_store: Ordering, flag_load: Ordering) -> BTreeSet<u64> {
+    let outcomes: StdArc<StdMutex<BTreeSet<u64>>> = StdArc::new(StdMutex::new(BTreeSet::new()));
+    let sink = StdArc::clone(&outcomes);
+    let report = loom::model(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (x2, flag2) = (Arc::clone(&x), Arc::clone(&flag));
+        let t = loom::thread::spawn(move || {
+            x2.store(42, Ordering::Relaxed);
+            flag2.store(1, flag_store);
+        });
+        if flag.load(flag_load) == 1 {
+            sink.lock().unwrap().insert(x.load(Ordering::Relaxed));
+        }
+        t.join().unwrap();
+    });
+    assert!(report.complete);
+    let set = outcomes.lock().unwrap().clone();
+    set
+}
+
+#[test]
+fn weak_admits_every_sc_value_outcome_on_store_buffering() {
+    // Strict-superset oracle over the litmus family: whatever the old
+    // SC-value semantics admitted, the weak semantics must admit too.
+    for (store, load) in [
+        (Ordering::Relaxed, Ordering::Relaxed),
+        (Ordering::Release, Ordering::Relaxed),
+        (Ordering::Release, Ordering::Acquire),
+        (Ordering::SeqCst, Ordering::SeqCst),
+    ] {
+        let sc = sb_outcomes(store, load, ValueModel::SeqCstValues);
+        let weak = sb_outcomes(store, load, ValueModel::Weak);
+        assert!(
+            sc.is_subset(&weak),
+            "({store:?}, {load:?}): SC admits {sc:?} but weak admits only {weak:?}"
+        );
+    }
+}
+
+#[test]
+fn weak_admits_strictly_more_on_store_buffering() {
+    // Release/acquire does not forbid store buffering: both loads may
+    // legally miss the other thread's store. The SC-value explorer can
+    // never produce (0, 0) — an interleaving cycle would be required.
+    let sc = sb_outcomes(
+        Ordering::Release,
+        Ordering::Acquire,
+        ValueModel::SeqCstValues,
+    );
+    let weak = sb_outcomes(Ordering::Release, Ordering::Acquire, ValueModel::Weak);
+    assert!(!sc.contains(&(0, 0)), "SC values must forbid (0,0): {sc:?}");
+    assert!(
+        weak.contains(&(0, 0)),
+        "weak memory must admit store buffering: {weak:?}"
+    );
+    assert!(sc.is_subset(&weak) && sc != weak, "strictly more: {weak:?}");
+}
+
+#[test]
+fn seq_cst_forbids_store_buffering_even_under_weak_values() {
+    // The SeqCst total order is what rules (0,0) out — and only SeqCst.
+    let weak = sb_outcomes(Ordering::SeqCst, Ordering::SeqCst, ValueModel::Weak);
+    assert!(
+        !weak.contains(&(0, 0)),
+        "SeqCst litmus leaked (0,0): {weak:?}"
+    );
+    assert_eq!(
+        weak,
+        sb_outcomes(Ordering::SeqCst, Ordering::SeqCst, ValueModel::SeqCstValues),
+        "all-SeqCst weak exploration must collapse to the SC-value outcomes"
+    );
+}
+
+#[test]
+fn acquire_flag_makes_the_payload_visible() {
+    // Message passing with a Release→Acquire flag edge: once the flag is
+    // seen, coherence + the synchronized clock force the payload read to
+    // observe the store, never the stale initial value.
+    assert_eq!(
+        mp_payloads(Ordering::Release, Ordering::Acquire),
+        [42].into_iter().collect::<BTreeSet<u64>>()
+    );
+}
+
+#[test]
+fn relaxed_flag_leaks_the_stale_payload() {
+    // Demote the flag edge to Relaxed and the stale payload is reachable:
+    // this is exactly the class of bug the SC-value explorer missed.
+    let seen = mp_payloads(Ordering::Relaxed, Ordering::Relaxed);
+    assert!(
+        seen.contains(&0),
+        "stale payload must be reachable: {seen:?}"
+    );
+    assert!(
+        seen.contains(&42),
+        "fresh payload must stay reachable: {seen:?}"
+    );
+}
+
+#[test]
+fn coherence_forbids_backwards_reads() {
+    // CoRR: two same-thread reads may both be stale, but never *go back*
+    // in the modification order.
+    let outcomes: StdArc<StdMutex<BTreeSet<(u64, u64)>>> =
+        StdArc::new(StdMutex::new(BTreeSet::new()));
+    let sink = StdArc::clone(&outcomes);
+    let report = loom::model(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = loom::thread::spawn(move || {
+            let r1 = x2.load(Ordering::Relaxed);
+            let r2 = x2.load(Ordering::Relaxed);
+            (r1, r2)
+        });
+        x.store(1, Ordering::Relaxed);
+        let pair = t.join().unwrap();
+        sink.lock().unwrap().insert(pair);
+    });
+    assert!(report.complete);
+    let seen = outcomes.lock().unwrap().clone();
+    assert!(!seen.contains(&(1, 0)), "coherence violated: {seen:?}");
+    assert!(seen.contains(&(0, 0)) && seen.contains(&(1, 1)), "{seen:?}");
+}
+
+#[test]
+fn rmw_reads_the_tail_and_never_loses_increments() {
+    // Concurrent relaxed fetch_adds still sum exactly: RMWs read the
+    // modification-order tail (documented under-approximation), so
+    // atomicity of the increment is preserved even with no ordering.
+    let report = loom::model(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let a2 = Arc::clone(&a);
+        let t = loom::thread::spawn(move || {
+            a2.fetch_add(1, Ordering::Relaxed);
+        });
+        a.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        // The final load must see both increments: it happens-after both
+        // threads via join, so coherence pins it to the tail.
+        assert_eq!(a.load(Ordering::Relaxed), 2);
+    });
+    assert!(report.complete);
+}
+
+/// Run a model that fails under weak semantics and return the panic
+/// message (which embeds the rendered counterexample schedule).
+fn failing_sb_message() -> String {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let y = Arc::new(AtomicU64::new(0));
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let t = loom::thread::spawn(move || {
+                x2.store(1, Ordering::Release);
+                y2.load(Ordering::Acquire)
+            });
+            y.store(1, Ordering::Release);
+            let r2 = x.load(Ordering::Acquire);
+            let r1 = t.join().unwrap();
+            assert!(
+                r1 != 0 || r2 != 0,
+                "store buffering observed: both loads stale"
+            );
+        });
+    });
+    let payload = result.expect_err("the store-buffering assertion must be refuted");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("panic message is a string")
+}
+
+#[test]
+fn counterexample_traces_are_deterministic_and_name_the_stale_read() {
+    let first = failing_sb_message();
+    let second = failing_sb_message();
+    assert_eq!(first, second, "counterexample must replay identically");
+    assert!(
+        first.contains("store buffering observed"),
+        "message must carry the assertion: {first}"
+    );
+    assert!(
+        first.contains("STALE"),
+        "trace must name the stale read that produced the outcome: {first}"
+    );
+    assert!(
+        first.contains("failing schedule"),
+        "trace must include the schedule: {first}"
+    );
+}
