@@ -276,6 +276,16 @@ pub(crate) struct TableStore {
     slots: usize,
     /// Word index of tile 0 inside `buf` (0..=[`TILE_ALIGN_PAD`]).
     base: usize,
+    /// Per-bucket dirty stamps for delta snapshots: bucket `b` has changed
+    /// since the last [`Self::begin_dirty_epoch`] iff `dirty[b] == epoch`.
+    /// An epoch bump is the O(1) "clear all" — no per-bucket write on the
+    /// snapshot path, and the single stamp store on the mutation path is
+    /// plain (non-atomic) because the table is externally synchronised
+    /// (each shard lives under its own mutex).
+    dirty: Vec<u64>,
+    /// Current dirty epoch (starts at 1 with every bucket stamped, so a
+    /// fresh table's first delta is a full image).
+    epoch: u64,
 }
 
 /// Cache-line size the tiles align to, in bytes.
@@ -304,11 +314,16 @@ impl TableStore {
             .checked_rem(TILE_ALIGN_BYTES)
             .and_then(|b| b.checked_div(std::mem::size_of::<u64>()))
             .unwrap_or(0);
+        let buckets = total.checked_div(d).unwrap_or(0);
         Self {
             buf,
             d,
             slots: total,
             base,
+            // Every bucket starts dirty (stamp 1 == initial epoch): the
+            // first delta after construction must carry the whole table.
+            dirty: vec![1; buckets],
+            epoch: 1,
         }
     }
 
@@ -332,6 +347,56 @@ impl TableStore {
     pub(crate) fn tile_base(&self, bucket: usize) -> usize {
         self.base
             .saturating_add(bucket.saturating_mul(self.d.saturating_mul(2)))
+    }
+
+    /// Stamp bucket `b` dirty in the current epoch. Out-of-range buckets
+    /// are ignored (the callers derive `b` from their own hash/tile math).
+    #[inline(always)]
+    fn mark_dirty_bucket(&mut self, b: usize) {
+        if let Some(w) = self.dirty.get_mut(b) {
+            *w = self.epoch;
+        }
+    }
+
+    /// Stamp the bucket whose tile starts at word index `tb` dirty. `D` is
+    /// the monomorphised bucket width (0 = use the runtime `d`): for the
+    /// production widths the division by `2·D` folds into a shift, so the
+    /// per-record cost on the insert path is one compare and one store.
+    #[inline(always)]
+    pub(crate) fn mark_dirty_tile<const D: usize>(&mut self, tb: usize) {
+        let width = if D == 0 { self.d } else { D };
+        let bucket = tb
+            .saturating_sub(self.base)
+            .checked_div(width.saturating_mul(2).max(1))
+            .unwrap_or(0);
+        self.mark_dirty_bucket(bucket);
+    }
+
+    /// Open a new dirty epoch: every bucket is considered clean until its
+    /// next mutation. O(1) — the old stamps are invalidated by bumping the
+    /// epoch, not rewritten. Call under the same lock that guards the
+    /// snapshot read so no mutation can slip between "read buckets" and
+    /// "clear dirty".
+    pub(crate) fn begin_dirty_epoch(&mut self) {
+        // Saturating: if the counter ever pinned at u64::MAX (2^64 epochs),
+        // every stamped bucket would simply stay dirty forever — the safe
+        // direction (deltas over-report, never under-report).
+        self.epoch = self.epoch.saturating_add(1);
+    }
+
+    /// Bucket indices dirtied since the last [`Self::begin_dirty_epoch`],
+    /// in ascending order.
+    pub(crate) fn dirty_buckets(&self) -> impl Iterator<Item = usize> + '_ {
+        let epoch = self.epoch;
+        self.dirty
+            .iter()
+            .enumerate()
+            .filter_map(move |(b, &w)| (w == epoch).then_some(b))
+    }
+
+    /// Number of buckets dirtied since the last [`Self::begin_dirty_epoch`].
+    pub(crate) fn dirty_bucket_count(&self) -> usize {
+        self.dirty_buckets().count()
     }
 
     /// Slot `i` → (bucket, in-bucket offset). Production bucket widths are
@@ -378,6 +443,8 @@ impl TableStore {
     /// path depends on (see [`scan_match`]).
     #[inline]
     pub(crate) fn set_cell(&mut self, i: usize, cell: Cell) {
+        let (bucket, _) = self.split_slot(i);
+        self.mark_dirty_bucket(bucket);
         let (ii, mi) = self.indices(i);
         if let Some(w) = self.buf.get_mut(ii) {
             *w = if cell.occupied() { cell.id } else { 0 };
@@ -633,12 +700,19 @@ impl TableStore {
                 .buf
                 .get_mut(mb..mb.saturating_add(run))
                 .unwrap_or_default();
+            let before = harvested;
             for m in metas {
                 let hit = *m & bit != 0;
                 *m &= !bit;
                 let can_grow = hit && *m & META_PERSIST_MASK != META_PERSIST_MASK;
                 *m = (*m).saturating_add(u64::from(can_grow) << META_PERSIST_SHIFT);
                 harvested = harvested.saturating_add(u64::from(hit));
+            }
+            // A meta word changed in this tile iff a flag was consumed
+            // (clearing the bit and growing persistency both require it),
+            // so "harvests grew" is an exact dirty test for the bucket.
+            if harvested != before {
+                self.mark_dirty_bucket(bucket);
             }
             s = s.saturating_add(run);
             bucket = bucket.saturating_add(1);
@@ -658,6 +732,11 @@ impl Clone for TableStore {
         if let Some(dst) = out.buf.get_mut(out.base..end) {
             dst.copy_from_slice(self.words());
         }
+        // The clone inherits the dirty state too: a snapshot taken from a
+        // worker's period-boundary copy must report the same delta set as
+        // the original would have.
+        out.dirty.copy_from_slice(&self.dirty);
+        out.epoch = self.epoch;
         out
     }
 }
@@ -1165,5 +1244,63 @@ mod tests {
         let (_, metas) = store.lanes(store.tile_base(0));
         let (k, sig) = scan_min(metas, &Weights::FREQUENT);
         assert_eq!((k, sig), (1, 2.0), "ties break to the first slot");
+    }
+
+    #[test]
+    fn fresh_store_is_fully_dirty_and_epoch_clears_it() {
+        let mut store = TableStore::new(16, 4);
+        assert_eq!(
+            store.dirty_buckets().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "a new table's first delta must cover everything"
+        );
+        store.begin_dirty_epoch();
+        assert_eq!(store.dirty_bucket_count(), 0);
+    }
+
+    #[test]
+    fn set_cell_and_tile_stamp_mark_only_their_bucket() {
+        let mut store = TableStore::new(16, 4);
+        store.begin_dirty_epoch();
+        store.set_cell(5, Cell::from_raw(42, 1, 0, FLAG_OCCUPIED));
+        assert_eq!(store.dirty_buckets().collect::<Vec<_>>(), vec![1]);
+        store.begin_dirty_epoch();
+        let tb = store.tile_base(3);
+        store.mark_dirty_tile::<4>(tb);
+        assert_eq!(store.dirty_buckets().collect::<Vec<_>>(), vec![3]);
+        // The runtime-width (D = 0) form resolves the same bucket.
+        store.begin_dirty_epoch();
+        store.mark_dirty_tile::<0>(tb);
+        assert_eq!(store.dirty_buckets().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn harvest_marks_exactly_the_buckets_with_consumed_flags() {
+        let mut store = TableStore::new(16, 4);
+        store.occupy(1, 7, 1, 0);
+        store.occupy(9, 8, 1, 0);
+        store.set_flag(1, 0); // bucket 0
+        store.set_flag(9, 0); // bucket 2
+        store.begin_dirty_epoch();
+        let harvested = store.harvest_range(0, 16, 0);
+        assert_eq!(harvested, 2);
+        assert_eq!(
+            store.dirty_buckets().collect::<Vec<_>>(),
+            vec![0, 2],
+            "flag-free buckets stay clean across a sweep"
+        );
+        store.begin_dirty_epoch();
+        assert_eq!(store.harvest_range(0, 16, 0), 0, "flags consumed");
+        assert_eq!(store.dirty_bucket_count(), 0, "no-op sweep dirties nothing");
+    }
+
+    #[test]
+    fn clone_carries_the_dirty_state() {
+        let mut store = TableStore::new(8, 4);
+        store.begin_dirty_epoch();
+        store.set_cell(6, Cell::from_raw(9, 2, 1, FLAG_OCCUPIED));
+        let copy = store.clone();
+        assert_eq!(copy.dirty_buckets().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(copy, store, "dirty state is not part of logical equality");
     }
 }

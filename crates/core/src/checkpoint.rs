@@ -41,15 +41,32 @@
 //! the first frame that decodes cleanly, so even a corrupted published
 //! image (torn by a dying disk, injected via the `checkpoint::write`
 //! failpoint) only costs one generation.
+//!
+//! ## Delta chains
+//!
+//! A *delta frame* is an ordinary `LTCF` frame whose first section is a
+//! 20-byte `DLTA` chain header (magic, base generation u64, base CRC u32,
+//! chain length u32) and whose remaining sections are per-shard `LTCD`
+//! delta snapshots ([`crate::snapshot`]) carrying only the buckets dirtied
+//! since the chain's *base* — the full frame whose publication opened the
+//! current dirty epoch. Deltas are cumulative, so restore needs exactly
+//! two frames: the base and the newest delta. The chain header links them
+//! with the CRC-32 of the base's published bytes; if the base is missing,
+//! unreadable, or its bytes no longer match that CRC, the chain is broken
+//! ([`CheckpointError::BrokenChain`]) and restore falls back a generation
+//! instead of reviving torn or mixed state. Periodic *compaction* (a fresh
+//! full frame) bounds chain length and lets old generations prune away.
 
 use crate::config::LtcConfig;
 use crate::failpoint::{io_fault, FailAction};
+use crate::obs::RuntimeObs;
 use crate::pipeline::ParallelLtc;
 use crate::sharded::ShardedLtc;
 use crate::snapshot::SnapshotError;
 use crate::table::Ltc;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// First four bytes of every checkpoint frame.
 pub const CHECKPOINT_MAGIC: &[u8; 4] = b"LTCF";
@@ -104,6 +121,14 @@ pub enum CheckpointError {
     },
     /// A section decoded as a frame but failed snapshot validation.
     Snapshot(SnapshotError),
+    /// A delta frame's base full frame is missing, unreadable, or does not
+    /// match the chain CRC the delta recorded (torn or reordered chain).
+    BrokenChain {
+        /// Generation of the delta whose chain failed validation.
+        delta: u64,
+        /// Base generation the delta pointed at.
+        base: u64,
+    },
     /// Filesystem error reading or writing checkpoint files.
     Io(String),
     /// No generation on disk survived validation.
@@ -135,6 +160,10 @@ impl std::fmt::Display for CheckpointError {
                 "checkpoint holds {found} section(s), table needs {expected}"
             ),
             CheckpointError::Snapshot(e) => write!(f, "checkpoint section invalid: {e}"),
+            CheckpointError::BrokenChain { delta, base } => write!(
+                f,
+                "delta generation {delta} has a broken chain to base generation {base}"
+            ),
             CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
             CheckpointError::NoCheckpoint => write!(f, "no valid checkpoint generation found"),
         }
@@ -360,6 +389,56 @@ pub fn decode_frame(
 }
 
 // ---------------------------------------------------------------------------
+// Delta chains: DLTA section header + chain state.
+
+/// Magic of a delta-chain header section (section 0 of a delta frame).
+pub const DELTA_SECTION_MAGIC: &[u8; 4] = b"DLTA";
+
+/// Serialised size of a delta-chain header section: magic 4 +
+/// base generation 8 + base CRC 4 + chain index 4.
+const DELTA_SECTION_BYTES: usize = 20;
+
+/// Links a run of delta frames back to the full frame they are relative
+/// to. Returned by [`ParallelLtc::save_full_checkpoint`] and threaded
+/// through [`ParallelLtc::save_delta_checkpoint`]; the recorded CRC is of
+/// the base generation's *published file bytes*, so any post-publish
+/// tearing or reordering of the base invalidates every delta that points
+/// at it (restore then falls back a generation instead of applying a delta
+/// to the wrong base).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaChain {
+    /// Generation number of the base full frame on disk.
+    pub base_generation: u64,
+    /// CRC-32 of the base generation's published frame bytes.
+    pub base_crc: u32,
+    /// Deltas published since the base (0 right after a full save).
+    pub length: u32,
+}
+
+/// Encode a delta-chain header section.
+fn encode_delta_header(chain: &DeltaChain) -> Vec<u8> {
+    let mut out = Vec::with_capacity(DELTA_SECTION_BYTES);
+    out.extend_from_slice(DELTA_SECTION_MAGIC);
+    out.extend_from_slice(&chain.base_generation.to_le_bytes());
+    out.extend_from_slice(&chain.base_crc.to_le_bytes());
+    out.extend_from_slice(&chain.length.to_le_bytes());
+    out
+}
+
+/// Decode a delta-chain header section; `None` if `bytes` is not one.
+fn decode_delta_header(bytes: &[u8]) -> Option<DeltaChain> {
+    if bytes.len() != DELTA_SECTION_BYTES || bytes.get(..4) != Some(DELTA_SECTION_MAGIC.as_slice())
+    {
+        return None;
+    }
+    Some(DeltaChain {
+        base_generation: read_u64(bytes, 4)?,
+        base_crc: read_u32(bytes, 12)?,
+        length: read_u32(bytes, 16)?,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Checkpoint/restore for the three table types.
 
 impl Ltc {
@@ -511,30 +590,259 @@ impl ParallelLtc {
 
     /// Restore from the newest generation in `store` that validates,
     /// falling back to older generations past any corrupted or torn image.
-    /// Returns the generation restored. When the runtime is observable,
-    /// the restore latency lands in `ltc_checkpoint_restore_ns`, every
-    /// newer generation that was skipped bumps
-    /// `ltc_checkpoint_fallbacks_total`, and a `checkpoint_restore`
-    /// journal event carries the restored generation.
+    /// Both frame flavours restore: a full frame loads directly, a delta
+    /// frame loads its base full frame (verified against the chain CRC the
+    /// delta recorded) and applies the delta on top. A delta whose base is
+    /// missing, unreadable, or CRC-mismatched is skipped like a corrupt
+    /// frame — the chain falls back a generation. Returns the generation
+    /// restored. When the runtime is observable, the restore latency lands
+    /// in `ltc_checkpoint_restore_ns`, every newer generation that was
+    /// skipped bumps `ltc_checkpoint_fallbacks_total` (broken chains also
+    /// bump `ltc_chain_fallbacks_total` and journal a `chain_fallback`
+    /// event), and a `checkpoint_restore` journal event carries the
+    /// restored generation.
     ///
     /// # Errors
     /// [`CheckpointError::NoCheckpoint`] if no generation validates.
     pub fn restore_from(&mut self, store: &Checkpointer) -> Result<u64, CheckpointError> {
         let obs = self.obs().cloned();
         let start = std::time::Instant::now();
-        let generation = store.restore_with(|bytes| self.restore_checkpoint(bytes))?;
-        if let Some(obs) = obs {
-            let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            // Generations newer than the one that validated were skipped.
-            let skipped = store
-                .generations()
-                .map(|gens| gens.into_iter().filter(|&g| g > generation).count() as u64)
-                .unwrap_or(0);
-            obs.checkpoint_fallbacks.add(skipped);
-            obs.note_checkpoint_restore(generation, elapsed);
+        let mut skipped = 0u64;
+        for generation in store.generations()?.into_iter().rev() {
+            match self.try_restore_generation(store, generation) {
+                Ok(()) => {
+                    if let Some(obs) = obs {
+                        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        obs.checkpoint_fallbacks.add(skipped);
+                        obs.note_checkpoint_restore(generation, elapsed);
+                    }
+                    return Ok(generation);
+                }
+                Err(CheckpointError::BrokenChain { delta, .. }) => {
+                    if let Some(obs) = obs.as_ref() {
+                        obs.note_chain_fallback(delta);
+                    }
+                    skipped = skipped.saturating_add(1);
+                }
+                Err(_) => skipped = skipped.saturating_add(1),
+            }
         }
-        Ok(generation)
+        Err(CheckpointError::NoCheckpoint)
     }
+
+    /// Restore one generation: route a delta frame through its chain, a
+    /// full frame straight in.
+    fn try_restore_generation(
+        &mut self,
+        store: &Checkpointer,
+        generation: u64,
+    ) -> Result<(), CheckpointError> {
+        let bytes = store.load(generation)?;
+        let Some(chain) = peek_delta(&bytes) else {
+            return self.restore_checkpoint(&bytes);
+        };
+        let broken = CheckpointError::BrokenChain {
+            delta: generation,
+            base: chain.base_generation,
+        };
+        let Ok(base_bytes) = store.load(chain.base_generation) else {
+            return Err(broken);
+        };
+        if crc32(&base_bytes) != chain.base_crc {
+            return Err(broken);
+        }
+        self.restore_chained(&base_bytes, &bytes)
+    }
+
+    /// Restore base-then-delta, all-or-nothing: both frames fully validate
+    /// against this runtime's configuration and stage into shard clones
+    /// before anything commits.
+    fn restore_chained(&mut self, base: &[u8], delta: &[u8]) -> Result<(), CheckpointError> {
+        let _ = self.sync(); // workers idle after this (all sends acked)
+        let staged = {
+            let tables = self.shard_tables();
+            let mut guards = Vec::with_capacity(tables.len());
+            for table in tables {
+                guards.push(match table.lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                });
+            }
+            let configs: Vec<LtcConfig> = guards.iter().map(|g| *g.config()).collect();
+            let expected = configs_fingerprint(configs.iter());
+            let base_sections = decode_frame(base, expected)?;
+            let delta_sections = decode_frame(delta, expected)?;
+            // A delta frame is the DLTA header plus one LTCD per shard; the
+            // base must be a plain full frame (one LTC1 per shard).
+            let payloads = delta_sections.get(1..).unwrap_or(&[]);
+            if base_sections.len() != guards.len() || payloads.len() != guards.len() {
+                return Err(CheckpointError::SectionCount {
+                    expected: guards.len(),
+                    found: payloads.len(),
+                });
+            }
+            let mut staged = Vec::with_capacity(guards.len());
+            for ((guard, base_section), delta_section) in
+                guards.iter().zip(&base_sections).zip(payloads)
+            {
+                let mut table = (**guard).clone();
+                table.restore_snapshot(base_section)?;
+                table.apply_delta_snapshot(delta_section)?;
+                staged.push(table);
+            }
+            staged
+        };
+        let tables = self.shard_tables();
+        for (table, restored) in tables.iter().zip(staged) {
+            let mut guard = match table.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *guard = restored;
+        }
+        self.reset_after_restore();
+        Ok(())
+    }
+
+    /// Serialise every shard as a full checkpoint frame *and open a new
+    /// dirty epoch* per shard (atomically with each shard's snapshot read,
+    /// under its lock), publish it to `store`, and return the chain state
+    /// future deltas link against.
+    ///
+    /// If the publish fails the epochs are already cleared, so the caller
+    /// must not fall back to delta saves until a full save succeeds (the
+    /// [`crate::durability::DurabilityService`] enforces this); a full
+    /// frame never depends on the dirty state, so retrying the full save
+    /// loses nothing.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] if the write or rename fails.
+    pub fn save_full_checkpoint(
+        &self,
+        store: &Checkpointer,
+    ) -> Result<DeltaChain, CheckpointError> {
+        let _ = self.sync();
+        save_full_over(
+            self.shard_tables(),
+            self.obs().map(Arc::as_ref),
+            store,
+            "checkpoint::write",
+            false,
+        )
+    }
+
+    /// Serialise only the buckets dirtied since `chain`'s base full frame
+    /// (cumulative — the newest delta alone reconstructs the table on top
+    /// of the base) and publish it to `store`. On success the chain's
+    /// length grows by one.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] if the write or rename fails (the chain is
+    /// left unchanged — a later retry simply carries the same buckets).
+    pub fn save_delta_checkpoint(
+        &self,
+        store: &Checkpointer,
+        chain: &mut DeltaChain,
+    ) -> Result<u64, CheckpointError> {
+        let _ = self.sync();
+        save_delta_over(
+            self.shard_tables(),
+            self.obs().map(Arc::as_ref),
+            store,
+            chain,
+        )
+    }
+}
+
+/// [`ParallelLtc::save_full_checkpoint`] over bare shard handles, with the
+/// failpoint site and observability flavour (initial/periodic full vs
+/// compaction) chosen by the caller. This is what the background
+/// [`crate::durability::DurabilityService`] runs: it holds clones of the
+/// shard `Arc`s (whose identity survives restore) rather than the runtime
+/// itself, and deliberately does **not** drain the pipeline — in-flight
+/// records simply aren't acknowledged into this frame and land in the
+/// next one.
+pub(crate) fn save_full_over(
+    tables: &[Arc<Mutex<Ltc>>],
+    obs: Option<&RuntimeObs>,
+    store: &Checkpointer,
+    site: &str,
+    compaction: bool,
+) -> Result<DeltaChain, CheckpointError> {
+    let start = std::time::Instant::now();
+    let mut sections = Vec::with_capacity(tables.len());
+    let mut fingerprint_configs = Vec::with_capacity(tables.len());
+    for table in tables {
+        let mut guard = match table.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Snapshot and epoch-open under the same lock: every mutation
+        // after this instant lands in the next delta, every mutation
+        // before it is in this frame — no gap, no overlap.
+        sections.push(guard.to_snapshot());
+        guard.begin_delta_epoch();
+        fingerprint_configs.push(*guard.config());
+    }
+    let frame = encode_frame(configs_fingerprint(fingerprint_configs.iter()), &sections);
+    let generation = store.save_with_site(&frame, site)?;
+    if let Some(obs) = obs {
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if compaction {
+            obs.note_compaction(generation, elapsed);
+        } else {
+            obs.note_checkpoint_publish(generation, elapsed);
+            obs.chain_length.set(0);
+        }
+    }
+    Ok(DeltaChain {
+        base_generation: generation,
+        base_crc: crc32(&frame),
+        length: 0,
+    })
+}
+
+/// [`ParallelLtc::save_delta_checkpoint`] over bare shard handles — see
+/// [`save_full_over`] for why the durability service uses this form.
+pub(crate) fn save_delta_over(
+    tables: &[Arc<Mutex<Ltc>>],
+    obs: Option<&RuntimeObs>,
+    store: &Checkpointer,
+    chain: &mut DeltaChain,
+) -> Result<u64, CheckpointError> {
+    let start = std::time::Instant::now();
+    let mut sections = Vec::with_capacity(tables.len().saturating_add(1));
+    let mut fingerprint_configs = Vec::with_capacity(tables.len());
+    sections.push(encode_delta_header(&DeltaChain {
+        length: chain.length.saturating_add(1),
+        ..*chain
+    }));
+    for table in tables {
+        let guard = match table.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        sections.push(guard.to_delta_snapshot());
+        fingerprint_configs.push(*guard.config());
+    }
+    let frame = encode_frame(configs_fingerprint(fingerprint_configs.iter()), &sections);
+    let generation = store.save_with_site(&frame, "checkpoint::delta_write")?;
+    chain.length = chain.length.saturating_add(1);
+    if let Some(obs) = obs {
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        obs.note_delta_publish(generation, elapsed, u64::from(chain.length));
+    }
+    Ok(generation)
+}
+
+/// Structurally parse `bytes` as a delta frame: a frame that decodes
+/// against its *own stored* fingerprint (magic, version, flags, CRC and
+/// section structure all validate — configuration is checked later by the
+/// restore proper) whose first section is a DLTA chain header.
+fn peek_delta(bytes: &[u8]) -> Option<DeltaChain> {
+    let fingerprint = read_u64(bytes, 8)?;
+    let sections = decode_frame(bytes, fingerprint).ok()?;
+    decode_delta_header(sections.first()?)
 }
 
 // ---------------------------------------------------------------------------
@@ -630,6 +938,11 @@ impl Checkpointer {
         Ok(self.generations()?.last().copied())
     }
 
+    /// The configured keep limit (newest generations retained on save).
+    pub fn keep_limit(&self) -> usize {
+        self.keep
+    }
+
     /// Load one generation's raw frame bytes (not validated — pass them to
     /// a `restore_checkpoint`).
     ///
@@ -645,8 +958,17 @@ impl Checkpointer {
     /// # Errors
     /// [`CheckpointError::Io`] if the write or rename fails.
     pub fn save(&self, frame: &[u8]) -> Result<u64, CheckpointError> {
+        self.save_with_site(frame, "checkpoint::write")
+    }
+
+    /// [`Checkpointer::save`] with the buffer-corruption failpoint site
+    /// named by the caller, so the fault-injection suite can target a
+    /// *specific* save flavour (full write, delta write, compaction)
+    /// without firing on the others. Production builds compile the site
+    /// lookup away entirely.
+    pub(crate) fn save_with_site(&self, frame: &[u8], site: &str) -> Result<u64, CheckpointError> {
         let generation = self.latest()?.map_or(1, |g| g.saturating_add(1));
-        self.write_atomic(&self.path_for(generation), frame)?;
+        self.write_atomic(&self.path_for(generation), frame, site)?;
         self.prune()?;
         Ok(generation)
     }
@@ -673,13 +995,18 @@ impl Checkpointer {
     }
 
     /// All checkpoint I/O funnels through here: write the temp file, fsync
-    /// it, atomically rename over the final name, fsync the directory. The
-    /// `checkpoint::write` failpoint can tear or corrupt the buffer first
-    /// (simulating a crash mid-write that still published), which is how
-    /// the fault-injection suite proves generation fallback.
-    fn write_atomic(&self, path: &Path, frame: &[u8]) -> Result<(), CheckpointError> {
+    /// it, atomically rename over the final name, fsync the directory.
+    /// Three failpoints cover the distinct crash surfaces: `site` (the
+    /// caller-named buffer site, e.g. `checkpoint::write` or
+    /// `checkpoint::delta_write`) can tear or corrupt the buffer before it
+    /// is written (a crash mid-write that still published), while
+    /// `checkpoint::fsync` and `checkpoint::rename` inject *syscall
+    /// failures* at the two publication steps — which must surface as
+    /// [`CheckpointError::Io`] without renaming a half-durable temp file
+    /// into place.
+    fn write_atomic(&self, path: &Path, frame: &[u8], site: &str) -> Result<(), CheckpointError> {
         let mut buf = frame.to_vec();
-        match io_fault("checkpoint::write") {
+        match io_fault(site) {
             Some(FailAction::Truncate { keep }) => buf.truncate(keep),
             Some(FailAction::CorruptByte { offset }) => {
                 if let Some(byte) = buf.get_mut(offset) {
@@ -693,7 +1020,17 @@ impl Checkpointer {
             // lint:allow(atomic_io): this IS the atomic-rename helper
             let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&e))?;
             file.write_all(&buf).map_err(|e| io_err(&e))?;
+            if let Some(FailAction::Error) = io_fault("checkpoint::fsync") {
+                // The injected failure must behave like a real one: the
+                // temp file is abandoned un-durable and never renamed.
+                let _ = std::fs::remove_file(&tmp);
+                return Err(CheckpointError::Io("injected fsync failure".to_string()));
+            }
             file.sync_all().map_err(|e| io_err(&e))?;
+        }
+        if let Some(FailAction::Error) = io_fault("checkpoint::rename") {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(CheckpointError::Io("injected rename failure".to_string()));
         }
         std::fs::rename(&tmp, path).map_err(|e| io_err(&e))?;
         // Persist the rename itself. Directory fsync is POSIX-only and
@@ -1048,9 +1385,169 @@ mod tests {
             CheckpointError::Snapshot(SnapshotError::BadMagic),
             CheckpointError::Io("disk on fire".to_string()),
             CheckpointError::NoCheckpoint,
+            CheckpointError::BrokenChain { delta: 4, base: 2 },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn delta_header_roundtrips_and_rejects_noise() {
+        let chain = DeltaChain {
+            base_generation: 42,
+            base_crc: 0xDEAD_BEEF,
+            length: 3,
+        };
+        let bytes = encode_delta_header(&chain);
+        assert_eq!(bytes.len(), DELTA_SECTION_BYTES);
+        assert_eq!(decode_delta_header(&bytes), Some(chain));
+        // Wrong magic, short, and long inputs all refuse to parse.
+        let mut wrong = bytes.clone();
+        wrong[0] ^= 0xFF;
+        assert_eq!(decode_delta_header(&wrong), None);
+        assert_eq!(decode_delta_header(&bytes[..DELTA_SECTION_BYTES - 1]), None);
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(decode_delta_header(&long), None);
+        // An LTC1 snapshot section is never mistaken for a chain header.
+        assert_eq!(decode_delta_header(&Ltc::new(config()).to_snapshot()), None);
+    }
+
+    #[test]
+    fn delta_chain_restores_base_plus_newest_delta() {
+        let scratch = ScratchDir::new("chain");
+        let store = Checkpointer::new(scratch.path()).unwrap();
+        let mut live = ParallelLtc::with_batch_size(config(), 2, 8);
+        for i in 0..400u64 {
+            live.insert(i % 30);
+        }
+        live.end_period().unwrap();
+        let mut chain = live.save_full_checkpoint(&store).unwrap();
+        assert_eq!(chain.base_generation, 1);
+        assert_eq!(chain.length, 0);
+        // Two deltas: the second is cumulative, so restore only needs the
+        // base and the newest frame.
+        for i in 0..100u64 {
+            live.insert(if i % 2 == 0 { 7 } else { 19 });
+        }
+        live.save_delta_checkpoint(&store, &mut chain).unwrap();
+        for i in 0..100u64 {
+            live.insert(if i % 2 == 0 { 7 } else { 23 });
+        }
+        let generation = live.save_delta_checkpoint(&store, &mut chain).unwrap();
+        assert_eq!(generation, 3);
+        assert_eq!(chain.length, 2);
+        let expected = live.to_checkpoint();
+        let mut restored = ParallelLtc::with_batch_size(config(), 2, 8);
+        assert_eq!(restored.restore_from(&store).unwrap(), 3);
+        assert_eq!(
+            restored.to_checkpoint(),
+            expected,
+            "base + newest delta reproduce the live table bit-exactly"
+        );
+        restored.finish().unwrap();
+        live.finish().unwrap();
+    }
+
+    #[test]
+    fn torn_base_breaks_the_chain_and_falls_back_a_generation() {
+        let scratch = ScratchDir::new("torn-base");
+        // Keep every generation: the fallback target's base (gen 1) must
+        // still exist. (The durability service clamps its keep limit so a
+        // live chain's base is never pruned; here we manage it by hand.)
+        let store = Checkpointer::new(scratch.path())
+            .unwrap()
+            .keep_generations(8);
+        let mut live = ParallelLtc::with_batch_size(config(), 2, 8);
+        for i in 0..400u64 {
+            live.insert(i % 30);
+        }
+        live.end_period().unwrap();
+        // Chain 1: full gen 1 + delta gen 2.
+        let mut chain = live.save_full_checkpoint(&store).unwrap();
+        for i in 0..100u64 {
+            live.insert(if i % 2 == 0 { 7 } else { 19 });
+        }
+        live.save_delta_checkpoint(&store, &mut chain).unwrap();
+        let expected_at_2 = live.to_checkpoint();
+        // Chain 2: full gen 3 (compaction) + delta gen 4.
+        let mut chain = live.save_full_checkpoint(&store).unwrap();
+        assert_eq!(chain.base_generation, 3);
+        for i in 0..100u64 {
+            live.insert(if i % 2 == 0 { 11 } else { 23 });
+        }
+        live.save_delta_checkpoint(&store, &mut chain).unwrap();
+        // Tear the *base* of the newest chain after publication (a dying
+        // disk, not a torn rename): gen 4's header CRC no longer matches,
+        // so the whole newest chain must be abandoned, landing on gen 2
+        // (whose own base, gen 1, is intact).
+        let base_path = scratch.path().join(format!("ltc.{:020}.ckpt", 3));
+        let mut bytes = std::fs::read(&base_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&base_path, &bytes).unwrap();
+        let mut restored = ParallelLtc::with_batch_size(config(), 2, 8);
+        assert_eq!(restored.restore_from(&store).unwrap(), 2);
+        assert_eq!(
+            restored.to_checkpoint(),
+            expected_at_2,
+            "fell back to the last chain whose base survived"
+        );
+        restored.finish().unwrap();
+        live.finish().unwrap();
+    }
+
+    #[test]
+    fn missing_base_breaks_the_chain() {
+        let scratch = ScratchDir::new("missing-base");
+        let store = Checkpointer::new(scratch.path()).unwrap();
+        let mut live = ParallelLtc::with_batch_size(config(), 2, 8);
+        for i in 0..200u64 {
+            live.insert(i % 20);
+        }
+        live.end_period().unwrap();
+        let mut chain = live.save_full_checkpoint(&store).unwrap();
+        for i in 0..50u64 {
+            live.insert(i % 5);
+        }
+        live.save_delta_checkpoint(&store, &mut chain).unwrap();
+        std::fs::remove_file(scratch.path().join(format!("ltc.{:020}.ckpt", 1))).unwrap();
+        let mut restored = ParallelLtc::with_batch_size(config(), 2, 8);
+        // The delta survives on disk but its base is gone: nothing left to
+        // restore from.
+        assert_eq!(
+            restored.restore_from(&store),
+            Err(CheckpointError::NoCheckpoint)
+        );
+        restored.finish().unwrap();
+        live.finish().unwrap();
+    }
+
+    #[test]
+    fn delta_frames_are_smaller_than_full_frames_under_skew() {
+        let mut live = ParallelLtc::with_batch_size(config(), 2, 8);
+        for i in 0..400u64 {
+            live.insert(i % 30);
+        }
+        live.end_period().unwrap();
+        let scratch = ScratchDir::new("delta-size");
+        let store = Checkpointer::new(scratch.path()).unwrap();
+        let mut chain = live.save_full_checkpoint(&store).unwrap();
+        // A hot-key phase touches few buckets; the delta should carry only
+        // those.
+        for _ in 0..100u64 {
+            live.insert(7);
+        }
+        let generation = live.save_delta_checkpoint(&store, &mut chain).unwrap();
+        let full = store.load(chain.base_generation).unwrap();
+        let delta = store.load(generation).unwrap();
+        assert!(
+            delta.len() < full.len(),
+            "skewed delta frame ({} B) should undercut the full frame ({} B)",
+            delta.len(),
+            full.len()
+        );
+        live.finish().unwrap();
     }
 }

@@ -1,0 +1,649 @@
+//! Background durability: a supervised service thread that checkpoints a
+//! [`ParallelLtc`] to disk off the hot path.
+//!
+//! The ingest path never touches disk. A [`DurabilityService`] owns clones
+//! of the runtime's shard handles (`Arc<Mutex<Ltc>>` — identity survives a
+//! checkpoint restore) and, on its own thread, periodically publishes
+//! checkpoint frames through a [`Checkpointer`]:
+//!
+//! * the first frame — and every *compaction* — is a **full** frame
+//!   ([`ParallelLtc::save_full_checkpoint`] semantics): each shard's
+//!   complete snapshot, which also opens a fresh dirty epoch per shard;
+//! * frames in between are **delta** frames carrying only the buckets
+//!   dirtied since the chain's base full frame, linked to it by the
+//!   `DLTA` chain header's base CRC (see [`crate::checkpoint`]).
+//!
+//! Snapshots are taken under each shard's lock — a brief pause per shard,
+//! not a pipeline drain. Records still in flight through the SPSC queues
+//! at snapshot time are simply not acknowledged into that frame; they land
+//! in the next one. That is the same at-most-once-per-epoch semantic the
+//! worker-supervision layer already documents.
+//!
+//! ## Fault handling
+//!
+//! A failed save (fsync error, rename error, disk full — or an injected
+//! failpoint) is retried under the service's [`FaultPolicy`]: up to
+//! `max_restarts` retries with the same exponential backoff the worker
+//! supervisor uses. A failed **full** save clears the chain — the dirty
+//! epochs were already opened, so the service must not fall back to delta
+//! frames until a full frame lands (a full frame never depends on dirty
+//! state, so nothing is lost by retrying). Once the budget is exhausted
+//! the [`OnFault`] policy decides: `Degrade` skips the tick and tries
+//! again at the next one (durability lags, ingest is unaffected);
+//! `Stop` shuts the service down and flags it in
+//! [`DurabilityStatus::stopped_on_fault`].
+//!
+//! ## Prune safety
+//!
+//! A delta frame is useless without its base, so the service clamps the
+//! [`Checkpointer`]'s keep limit to at least `max_chain_len + 2`
+//! generations: the live chain (base + deltas) plus the previous chain's
+//! base always survive pruning, and restore can always fall back a full
+//! generation chain.
+//!
+//! ## Deterministic checkpoints
+//!
+//! [`DurabilityService::checkpoint_now`] queues an explicit checkpoint and
+//! blocks until the service publishes it, returning the generation. Tests
+//! (and operators wanting a barrier) quiesce the stream, call it, and know
+//! exactly which records the frame covers.
+
+use crate::checkpoint::{
+    save_delta_over, save_full_over, CheckpointError, Checkpointer, DeltaChain,
+};
+use crate::config::FaultPolicy;
+use crate::obs::RuntimeObs;
+use crate::pipeline::ParallelLtc;
+use crate::table::Ltc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// What the service does once a save has exhausted its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnFault {
+    /// Skip the failed tick and try again at the next interval. Ingest is
+    /// unaffected; durability lags until a save succeeds. Failures are
+    /// counted in [`DurabilityStatus::failed_saves`].
+    #[default]
+    Degrade,
+    /// Shut the service down. [`DurabilityStatus::stopped_on_fault`] is
+    /// set and any blocked [`DurabilityService::checkpoint_now`] callers
+    /// receive the error.
+    Stop,
+}
+
+/// Knobs for the background durability service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityPolicy {
+    /// Time between automatic checkpoint ticks. Explicit
+    /// [`DurabilityService::checkpoint_now`] requests are served
+    /// immediately regardless.
+    pub interval: Duration,
+    /// Delta frames between full frames: after this many deltas the next
+    /// frame is a compaction (a fresh full frame). `0` makes every frame
+    /// full.
+    pub full_every: u32,
+    /// Hard cap on chain length: a chain that reaches this many deltas is
+    /// compacted at the next tick even if `full_every` hasn't elapsed
+    /// (they differ when failed saves stretch a chain). Also sets the
+    /// prune clamp — see the module docs.
+    pub max_chain_len: u32,
+    /// Retry budget and backoff for failed saves (reuses the worker
+    /// supervisor's policy type).
+    pub faults: FaultPolicy,
+    /// Behaviour once the retry budget is exhausted.
+    pub on_fault: OnFault,
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(200),
+            full_every: 8,
+            max_chain_len: 16,
+            faults: FaultPolicy::default(),
+            on_fault: OnFault::Degrade,
+        }
+    }
+}
+
+/// A snapshot of the service's counters, via
+/// [`DurabilityService::status`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DurabilityStatus {
+    /// Full frames published (initial fulls and compactions).
+    pub full_saves: u64,
+    /// Delta frames published.
+    pub delta_saves: u64,
+    /// Full frames that were compactions (a chain existed before them).
+    pub compactions: u64,
+    /// Individual save attempts that failed (each retry counts).
+    pub failed_saves: u64,
+    /// Length of the live delta chain (0 right after a full frame).
+    pub chain_length: u32,
+    /// Newest generation the service published.
+    pub last_generation: Option<u64>,
+    /// The service stopped because [`OnFault::Stop`] fired.
+    pub stopped_on_fault: bool,
+}
+
+/// Cross-thread control block: explicit-checkpoint tickets and shutdown.
+#[derive(Default)]
+struct Control {
+    stop: bool,
+    /// Explicit checkpoint tickets issued ([`DurabilityService::checkpoint_now`]).
+    tickets: u64,
+    /// Explicit tickets the worker has served.
+    served: u64,
+    /// Result of the most recent explicitly-requested save.
+    last: Option<Result<u64, CheckpointError>>,
+}
+
+/// The background durability service. Construct with
+/// [`DurabilityService::attach`]; dropped or [`stop`](Self::stop)ped, it
+/// signals its thread and joins it.
+pub struct DurabilityService {
+    control: Arc<(Mutex<Control>, Condvar)>,
+    status: Arc<Mutex<DurabilityStatus>>,
+    store: Arc<Checkpointer>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DurabilityService {
+    /// Attach a durability service to `runtime`, publishing through
+    /// `store` (its keep limit is clamped to `max_chain_len + 2` — see the
+    /// module docs). The service holds shard handles, not the runtime:
+    /// `runtime` stays fully usable (including a later
+    /// [`ParallelLtc::restore_from`], after stopping the service).
+    ///
+    /// # Errors
+    /// [`CheckpointError::Io`] if the service thread cannot be spawned.
+    pub fn attach(
+        runtime: &ParallelLtc,
+        store: Checkpointer,
+        policy: DurabilityPolicy,
+    ) -> Result<Self, CheckpointError> {
+        let min_keep = (policy.max_chain_len as usize).saturating_add(2);
+        let store = if store.keep_limit() < min_keep {
+            store.keep_generations(min_keep)
+        } else {
+            store
+        };
+        let store = Arc::new(store);
+        let shards: Vec<Arc<Mutex<Ltc>>> = runtime.shard_tables().to_vec();
+        let obs = runtime.obs().cloned();
+        let control = Arc::new((Mutex::new(Control::default()), Condvar::new()));
+        let status = Arc::new(Mutex::new(DurabilityStatus::default()));
+        let worker = Worker {
+            shards,
+            obs,
+            store: Arc::clone(&store),
+            policy,
+            control: Arc::clone(&control),
+            status: Arc::clone(&status),
+            chain: None,
+            deltas_since_full: 0,
+        };
+        let handle = std::thread::Builder::new()
+            .name("ltc-durability".to_string())
+            .spawn(move || worker.run())
+            .map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Ok(Self {
+            control,
+            status,
+            store,
+            handle: Some(handle),
+        })
+    }
+
+    /// Queue an explicit checkpoint and block until the service publishes
+    /// it; returns the generation written. Call after quiescing the
+    /// stream (e.g. [`ParallelLtc::sync`]) for a frame that covers an
+    /// exact record prefix.
+    ///
+    /// # Errors
+    /// The save's error if its retry budget is exhausted, or
+    /// [`CheckpointError::Io`] if the service has stopped.
+    pub fn checkpoint_now(&self) -> Result<u64, CheckpointError> {
+        let (lock, cvar) = &*self.control;
+        let mut guard = match lock.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if guard.stop {
+            return Err(CheckpointError::Io("durability service stopped".into()));
+        }
+        guard.tickets = guard.tickets.saturating_add(1);
+        let ticket = guard.tickets;
+        cvar.notify_all();
+        while guard.served < ticket {
+            if guard.stop {
+                // The worker acks outstanding tickets on shutdown; if we
+                // raced past that, surface the stop instead of hanging.
+                return guard.last.clone().unwrap_or(Err(CheckpointError::Io(
+                    "durability service stopped".into(),
+                )));
+            }
+            guard = match cvar.wait(guard) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        guard
+            .last
+            .clone()
+            .unwrap_or(Err(CheckpointError::NoCheckpoint))
+    }
+
+    /// A snapshot of the service's counters.
+    pub fn status(&self) -> DurabilityStatus {
+        match self.status.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// The store the service publishes through (keep-limit clamp applied).
+    pub fn store(&self) -> &Checkpointer {
+        &self.store
+    }
+
+    /// Signal the service to stop and join its thread. Idempotent; also
+    /// runs on drop. Blocked [`Self::checkpoint_now`] callers are released
+    /// with an error.
+    pub fn stop(&mut self) {
+        {
+            let (lock, cvar) = &*self.control;
+            let mut guard = match lock.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.stop = true;
+            cvar.notify_all();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DurabilityService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// State owned by the service thread.
+struct Worker {
+    shards: Vec<Arc<Mutex<Ltc>>>,
+    obs: Option<Arc<RuntimeObs>>,
+    store: Arc<Checkpointer>,
+    policy: DurabilityPolicy,
+    control: Arc<(Mutex<Control>, Condvar)>,
+    status: Arc<Mutex<DurabilityStatus>>,
+    /// Live delta chain; `None` until a full frame lands (and again after
+    /// a failed full save — see the module docs).
+    chain: Option<DeltaChain>,
+    /// Delta frames published since the last full frame.
+    deltas_since_full: u32,
+}
+
+/// Why the wait loop woke up.
+enum Wake {
+    /// The interval elapsed: one automatic save.
+    Tick,
+    /// An explicit ticket is pending: serve it and publish the result.
+    Explicit,
+    /// Shutdown requested.
+    Stop,
+}
+
+impl Worker {
+    fn run(mut self) {
+        loop {
+            match self.wait() {
+                Wake::Stop => break,
+                Wake::Tick => {
+                    let _ = self.save_once();
+                    if self.stopped_on_fault() {
+                        break;
+                    }
+                }
+                Wake::Explicit => {
+                    let result = self.save_once();
+                    let (lock, cvar) = &*self.control;
+                    let mut guard = match lock.lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard.served = guard.served.saturating_add(1);
+                    guard.last = Some(result);
+                    cvar.notify_all();
+                    if self.stopped_on_fault() {
+                        break;
+                    }
+                }
+            }
+        }
+        // Release anyone still blocked in checkpoint_now.
+        let (lock, cvar) = &*self.control;
+        let mut guard = match lock.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.stop = true;
+        guard.served = guard.tickets;
+        if guard.last.is_none() {
+            guard.last = Some(Err(CheckpointError::Io(
+                "durability service stopped".into(),
+            )));
+        }
+        cvar.notify_all();
+    }
+
+    /// Block until the next tick, an explicit ticket, or shutdown.
+    fn wait(&self) -> Wake {
+        let (lock, cvar) = &*self.control;
+        let mut guard = match lock.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        loop {
+            if guard.stop {
+                return Wake::Stop;
+            }
+            if guard.tickets > guard.served {
+                return Wake::Explicit;
+            }
+            let (next, timeout) = match cvar.wait_timeout(guard, self.policy.interval) {
+                Ok(pair) => pair,
+                Err(poisoned) => {
+                    let (next, timeout) = poisoned.into_inner();
+                    (next, timeout)
+                }
+            };
+            guard = next;
+            if timeout.timed_out() {
+                // Re-check flags before acting on the tick.
+                if guard.stop {
+                    return Wake::Stop;
+                }
+                if guard.tickets > guard.served {
+                    return Wake::Explicit;
+                }
+                return Wake::Tick;
+            }
+        }
+    }
+
+    /// One logical save — full or delta per the cadence — with the fault
+    /// policy's retry budget around it.
+    fn save_once(&mut self) -> Result<u64, CheckpointError> {
+        let mut attempt = 0u32;
+        loop {
+            let result = self.try_save();
+            match result {
+                Ok(generation) => {
+                    self.with_status(|s| s.last_generation = Some(generation));
+                    return Ok(generation);
+                }
+                Err(error) => {
+                    self.with_status(|s| s.failed_saves = s.failed_saves.saturating_add(1));
+                    attempt = attempt.saturating_add(1);
+                    if attempt > self.policy.faults.max_restarts {
+                        if self.policy.on_fault == OnFault::Stop {
+                            self.with_status(|s| s.stopped_on_fault = true);
+                        }
+                        return Err(error);
+                    }
+                    let backoff = self.policy.faults.backoff_for(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One save attempt. Full when there is no live chain or the cadence
+    /// says so; delta otherwise. A failed full save drops the chain so no
+    /// delta is attempted until a full frame lands.
+    fn try_save(&mut self) -> Result<u64, CheckpointError> {
+        let compact = self.chain.as_ref().is_some_and(|chain| {
+            self.deltas_since_full >= self.policy.full_every
+                || chain.length >= self.policy.max_chain_len
+        });
+        match self.chain {
+            Some(ref mut chain) if !compact => {
+                let generation =
+                    save_delta_over(&self.shards, self.obs.as_deref(), &self.store, chain)?;
+                self.deltas_since_full = self.deltas_since_full.saturating_add(1);
+                let length = chain.length;
+                self.with_status(|s| {
+                    s.delta_saves = s.delta_saves.saturating_add(1);
+                    s.chain_length = length;
+                });
+                Ok(generation)
+            }
+            _ => {
+                let site = if compact {
+                    "checkpoint::compact"
+                } else {
+                    "checkpoint::write"
+                };
+                let result = save_full_over(
+                    &self.shards,
+                    self.obs.as_deref(),
+                    &self.store,
+                    site,
+                    compact,
+                );
+                match result {
+                    Ok(chain) => {
+                        let generation = chain.base_generation;
+                        self.chain = Some(chain);
+                        self.deltas_since_full = 0;
+                        self.with_status(|s| {
+                            s.full_saves = s.full_saves.saturating_add(1);
+                            if compact {
+                                s.compactions = s.compactions.saturating_add(1);
+                            }
+                            s.chain_length = 0;
+                        });
+                        Ok(generation)
+                    }
+                    Err(error) => {
+                        self.chain = None;
+                        Err(error)
+                    }
+                }
+            }
+        }
+    }
+
+    fn stopped_on_fault(&self) -> bool {
+        match self.status.lock() {
+            Ok(guard) => guard.stopped_on_fault,
+            Err(poisoned) => poisoned.into_inner().stopped_on_fault,
+        }
+    }
+
+    fn with_status(&self, f: impl FnOnce(&mut DurabilityStatus)) {
+        let mut guard = match self.status.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(&mut guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LtcConfig;
+    use ltc_common::Weights;
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct ScratchDir(PathBuf);
+
+    impl ScratchDir {
+        fn new(tag: &str) -> Self {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("ltc-dur-{}-{}-{}", std::process::id(), tag, n));
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn config() -> LtcConfig {
+        LtcConfig::builder()
+            .buckets(16)
+            .cells_per_bucket(4)
+            .weights(Weights::BALANCED)
+            .records_per_period(50)
+            .seed(11)
+            .build()
+    }
+
+    /// A policy that never ticks on its own: every save is an explicit
+    /// `checkpoint_now`, so tests are deterministic.
+    fn manual_policy() -> DurabilityPolicy {
+        DurabilityPolicy {
+            interval: Duration::from_secs(3_600),
+            faults: FaultPolicy::no_backoff(),
+            ..DurabilityPolicy::default()
+        }
+    }
+
+    #[test]
+    fn explicit_checkpoints_follow_the_cadence() {
+        let scratch = ScratchDir::new("cadence");
+        let runtime = ParallelLtc::with_batch_size(config(), 2, 8);
+        let policy = DurabilityPolicy {
+            full_every: 2,
+            ..manual_policy()
+        };
+        let service =
+            DurabilityService::attach(&runtime, Checkpointer::new(scratch.path()).unwrap(), policy)
+                .unwrap();
+        // full, delta, delta, compaction(full), delta
+        for _ in 0..5 {
+            service.checkpoint_now().unwrap();
+        }
+        let status = service.status();
+        assert_eq!(status.full_saves, 2);
+        assert_eq!(status.delta_saves, 3);
+        assert_eq!(status.compactions, 1);
+        assert_eq!(status.failed_saves, 0);
+        assert_eq!(status.last_generation, Some(5));
+        assert_eq!(status.chain_length, 1, "one delta after the compaction");
+    }
+
+    #[test]
+    fn background_checkpoints_restore_the_acknowledged_stream() {
+        let scratch = ScratchDir::new("restore");
+        let mut runtime = ParallelLtc::with_batch_size(config(), 2, 8);
+        for i in 0..400u64 {
+            runtime.insert(i % 30);
+        }
+        runtime.end_period().unwrap();
+        runtime.sync().unwrap();
+        let service = DurabilityService::attach(
+            &runtime,
+            Checkpointer::new(scratch.path()).unwrap(),
+            manual_policy(),
+        )
+        .unwrap();
+        service.checkpoint_now().unwrap();
+        for i in 0..100u64 {
+            runtime.insert(if i % 2 == 0 { 7 } else { 19 });
+        }
+        runtime.sync().unwrap();
+        let generation = service.checkpoint_now().unwrap();
+        assert_eq!(generation, 2);
+        let expected = runtime.to_checkpoint();
+        drop(service);
+        runtime.finish().unwrap();
+        let mut recovered = ParallelLtc::with_batch_size(config(), 2, 8);
+        let store = Checkpointer::new(scratch.path()).unwrap();
+        assert_eq!(recovered.restore_from(&store).unwrap(), 2);
+        assert_eq!(recovered.to_checkpoint(), expected);
+        recovered.finish().unwrap();
+    }
+
+    #[test]
+    fn keep_limit_is_clamped_for_chain_safety() {
+        let scratch = ScratchDir::new("clamp");
+        let runtime = ParallelLtc::with_batch_size(config(), 2, 8);
+        let policy = DurabilityPolicy {
+            max_chain_len: 6,
+            ..manual_policy()
+        };
+        let store = Checkpointer::new(scratch.path()).unwrap(); // default keep = 3
+        let service = DurabilityService::attach(&runtime, store, policy).unwrap();
+        assert_eq!(service.store().keep_limit(), 8, "max_chain_len + 2");
+    }
+
+    #[test]
+    fn stopped_service_rejects_checkpoint_requests() {
+        let scratch = ScratchDir::new("stopped");
+        let runtime = ParallelLtc::with_batch_size(config(), 2, 8);
+        let mut service = DurabilityService::attach(
+            &runtime,
+            Checkpointer::new(scratch.path()).unwrap(),
+            manual_policy(),
+        )
+        .unwrap();
+        service.checkpoint_now().unwrap();
+        service.stop();
+        service.stop(); // idempotent
+        assert!(matches!(
+            service.checkpoint_now(),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn timed_ticks_checkpoint_without_explicit_requests() {
+        let scratch = ScratchDir::new("ticks");
+        let mut runtime = ParallelLtc::with_batch_size(config(), 2, 8);
+        for i in 0..200u64 {
+            runtime.insert(i % 20);
+        }
+        runtime.sync().unwrap();
+        let policy = DurabilityPolicy {
+            interval: Duration::from_millis(5),
+            faults: FaultPolicy::no_backoff(),
+            ..DurabilityPolicy::default()
+        };
+        let service =
+            DurabilityService::attach(&runtime, Checkpointer::new(scratch.path()).unwrap(), policy)
+                .unwrap();
+        // Wait for the timer (not an explicit request) to publish.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while service.status().last_generation.is_none() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timer tick never published a checkpoint"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        drop(service);
+        let store = Checkpointer::new(scratch.path()).unwrap();
+        assert!(store.latest().unwrap().is_some());
+        runtime.finish().unwrap();
+    }
+}

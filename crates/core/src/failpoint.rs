@@ -46,6 +46,10 @@ pub enum FailAction {
     /// Report the queue as full once so the caller takes its slow/park
     /// path deterministically (queue sites).
     Stall,
+    /// Surface an injected I/O error (`ErrorKind::Other`) from the site
+    /// (fsync/rename sites): simulates the syscall itself failing, which
+    /// must abort the operation with an error instead of publishing.
+    Error,
 }
 
 /// When a configured site actually fires.

@@ -57,6 +57,7 @@ pub mod cell;
 pub mod checkpoint;
 pub mod clock;
 pub mod config;
+pub mod durability;
 #[macro_use]
 pub mod failpoint;
 pub mod merge;
@@ -78,9 +79,10 @@ pub mod table;
 pub mod window;
 
 pub use cell::Cell;
-pub use checkpoint::{CheckpointError, Checkpointer};
+pub use checkpoint::{CheckpointError, Checkpointer, DeltaChain};
 pub use clock::ClockPointer;
 pub use config::{FaultPolicy, LtcConfig, LtcConfigBuilder, PeriodMode, Variant};
+pub use durability::{DurabilityPolicy, DurabilityService, DurabilityStatus, OnFault};
 pub use merge::MergeError;
 pub use obs::{EventJournal, EventKind, MetricsRegistry, RuntimeObs};
 pub use pipeline::{FaultKind, ParallelLtc, RuntimeError, ShardHealth, WorkerFault};

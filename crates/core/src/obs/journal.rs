@@ -51,6 +51,15 @@ pub enum EventKind {
     /// State was restored from a checkpoint; `detail` = the generation
     /// restored from (after any newest-first fallback).
     CheckpointRestore,
+    /// A delta checkpoint generation was published; `detail` = the
+    /// generation number.
+    DeltaPublish,
+    /// A delta chain was compacted into a fresh full frame; `detail` = the
+    /// new base generation.
+    Compaction,
+    /// A restore found a delta whose base frame was missing or damaged and
+    /// fell back past the chain; `detail` = the broken delta's generation.
+    ChainFallback,
 }
 
 impl EventKind {
@@ -62,6 +71,9 @@ impl EventKind {
             EventKind::Degradation => 3,
             EventKind::CheckpointPublish => 4,
             EventKind::CheckpointRestore => 5,
+            EventKind::DeltaPublish => 6,
+            EventKind::Compaction => 7,
+            EventKind::ChainFallback => 8,
         }
     }
 
@@ -72,6 +84,9 @@ impl EventKind {
             2 => EventKind::Rollback,
             3 => EventKind::Degradation,
             4 => EventKind::CheckpointPublish,
+            6 => EventKind::DeltaPublish,
+            7 => EventKind::Compaction,
+            8 => EventKind::ChainFallback,
             _ => EventKind::CheckpointRestore,
         }
     }
@@ -85,6 +100,9 @@ impl EventKind {
             EventKind::Degradation => "degradation",
             EventKind::CheckpointPublish => "checkpoint_publish",
             EventKind::CheckpointRestore => "checkpoint_restore",
+            EventKind::DeltaPublish => "delta_publish",
+            EventKind::Compaction => "compaction",
+            EventKind::ChainFallback => "chain_fallback",
         }
     }
 }
@@ -401,6 +419,9 @@ mod tests {
             EventKind::Degradation,
             EventKind::CheckpointPublish,
             EventKind::CheckpointRestore,
+            EventKind::DeltaPublish,
+            EventKind::Compaction,
+            EventKind::ChainFallback,
         ] {
             assert_eq!(EventKind::from_code(kind.code()), kind);
             assert!(!kind.name().is_empty());

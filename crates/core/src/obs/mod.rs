@@ -87,6 +87,21 @@ pub struct RuntimeObs {
     /// `ltc_checkpoint_fallbacks_total` — restores that had to skip a
     /// newest generation (corrupt/truncated) and fall back to an older one.
     pub checkpoint_fallbacks: Counter,
+    /// `ltc_delta_save_ns` — wall time of delta-frame serialisation +
+    /// atomic publish (background durability service).
+    pub delta_save_ns: Histogram,
+    /// `ltc_delta_publishes_total` — delta checkpoint generations
+    /// published.
+    pub delta_publishes: Counter,
+    /// `ltc_compactions_total` — delta chains compacted into fresh full
+    /// frames.
+    pub compactions: Counter,
+    /// `ltc_chain_fallbacks_total` — restores that found a delta whose
+    /// base was missing or damaged and fell back past the chain.
+    pub chain_fallbacks: Counter,
+    /// `ltc_delta_chain_length` — deltas published since the current base
+    /// full frame.
+    pub chain_length: Gauge,
 }
 
 impl Default for RuntimeObs {
@@ -130,6 +145,31 @@ impl RuntimeObs {
             "Restores that skipped a damaged newest generation.",
             Labels::new(),
         );
+        let delta_save_ns = registry.histogram(
+            "ltc_delta_save_ns",
+            "Wall time of delta-frame serialisation and atomic publish (ns).",
+            Labels::new(),
+        );
+        let delta_publishes = registry.counter(
+            "ltc_delta_publishes_total",
+            "Delta checkpoint generations published.",
+            Labels::new(),
+        );
+        let compactions = registry.counter(
+            "ltc_compactions_total",
+            "Delta chains compacted into fresh full frames.",
+            Labels::new(),
+        );
+        let chain_fallbacks = registry.counter(
+            "ltc_chain_fallbacks_total",
+            "Restores that fell back past a delta chain with a damaged base.",
+            Labels::new(),
+        );
+        let chain_length = registry.gauge(
+            "ltc_delta_chain_length",
+            "Deltas published since the current base full frame.",
+            Labels::new(),
+        );
         Self {
             registry,
             journal: EventJournal::new(),
@@ -139,6 +179,11 @@ impl RuntimeObs {
             checkpoint_restore_ns,
             checkpoint_publishes,
             checkpoint_fallbacks,
+            delta_save_ns,
+            delta_publishes,
+            compactions,
+            chain_fallbacks,
+            chain_length,
         }
     }
 
@@ -253,6 +298,40 @@ impl RuntimeObs {
         self.checkpoint_restore_ns.record(elapsed_ns);
         self.journal
             .publish(EventKind::CheckpointRestore, None, generation)
+    }
+
+    /// Record a published delta generation (`chain_length` deltas since the
+    /// current base).
+    pub fn note_delta_publish(
+        &self,
+        generation: u64,
+        elapsed_ns: u64,
+        chain_length: u64,
+    ) -> Option<u64> {
+        self.delta_publishes.inc();
+        self.delta_save_ns.record(elapsed_ns);
+        self.chain_length.set(chain_length);
+        self.journal
+            .publish(EventKind::DeltaPublish, None, generation)
+    }
+
+    /// Record a delta chain compacted into a fresh full frame at
+    /// `generation`.
+    pub fn note_compaction(&self, generation: u64, elapsed_ns: u64) -> Option<u64> {
+        self.compactions.inc();
+        self.checkpoint_publishes.inc();
+        self.checkpoint_save_ns.record(elapsed_ns);
+        self.chain_length.set(0);
+        self.journal
+            .publish(EventKind::Compaction, None, generation)
+    }
+
+    /// Record a restore skipping a delta generation whose base was missing
+    /// or damaged.
+    pub fn note_chain_fallback(&self, generation: u64) -> Option<u64> {
+        self.chain_fallbacks.inc();
+        self.journal
+            .publish(EventKind::ChainFallback, None, generation)
     }
 
     /// Render the registry in Prometheus text exposition format.

@@ -433,6 +433,24 @@ impl Ltc {
         self.clock = ClockPointer::new(self.store.len());
     }
 
+    /// Bucket indices mutated since the last [`Ltc::begin_delta_epoch`]
+    /// (delta-snapshot support), ascending.
+    pub(crate) fn dirty_buckets(&self) -> impl Iterator<Item = usize> + '_ {
+        self.store.dirty_buckets()
+    }
+
+    /// Number of buckets mutated since the last [`Ltc::begin_delta_epoch`].
+    pub fn dirty_bucket_count(&self) -> usize {
+        self.store.dirty_bucket_count()
+    }
+
+    /// Open a new dirty epoch: subsequent [`Ltc::dirty_buckets`] calls
+    /// report only buckets mutated from this point on. Call right after
+    /// taking the snapshot the next delta will be relative to.
+    pub fn begin_delta_epoch(&mut self) {
+        self.store.begin_dirty_epoch();
+    }
+
     /// All tracked items whose estimated significance is at least
     /// `threshold`, descending — the "report everything significant" query
     /// shape (threshold form of top-k).
@@ -530,6 +548,12 @@ impl Ltc {
         } = ctx;
 
         tally.inserts = tally.inserts.saturating_add(1);
+
+        // Every case below mutates this bucket (hit raises a flag, fill and
+        // admission rewrite a slot, decrement lowers counters), so one
+        // up-front dirty stamp covers the whole state machine — a compare
+        // and a store, off the probe scans entirely.
+        self.store.mark_dirty_tile::<D>(base);
 
         // One mutable split serves both phases: the probe reads the lanes
         // reborrowed shared, and cases 1–2 write back through the same
