@@ -59,6 +59,7 @@
 
 use crate::config::LtcConfig;
 use crate::failpoint::{io_fault, FailAction};
+use crate::obs::trace::names;
 use crate::obs::RuntimeObs;
 use crate::pipeline::ParallelLtc;
 use crate::sharded::ShardedLtc;
@@ -579,8 +580,16 @@ impl ParallelLtc {
     /// # Errors
     /// [`CheckpointError::Io`] if the write or rename fails.
     pub fn checkpoint_to(&self, store: &Checkpointer) -> Result<u64, CheckpointError> {
+        // Parent the save span under the most recent barrier so the
+        // batch's causal tree runs enqueue → process → barrier → publish.
+        let trace = self.trace_handle();
+        let pending = trace.as_ref().map(|(track, parent)| track.begin(*parent));
         let start = std::time::Instant::now();
-        let generation = store.save(&self.to_checkpoint())?;
+        let result = store.save(&self.to_checkpoint());
+        if let (Some((track, _)), Some(p)) = (&trace, &pending) {
+            track.finish(p, names::CHECKPOINT_SAVE);
+        }
+        let generation = result?;
         if let Some(obs) = self.obs() {
             let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             obs.note_checkpoint_publish(generation, elapsed);
@@ -606,8 +615,12 @@ impl ParallelLtc {
     /// [`CheckpointError::NoCheckpoint`] if no generation validates.
     pub fn restore_from(&mut self, store: &Checkpointer) -> Result<u64, CheckpointError> {
         let obs = self.obs().cloned();
+        // A restore starts a new causal epoch, so its span is a root.
+        let trace = self.trace_handle();
+        let pending = trace.as_ref().map(|(track, _)| track.begin(None));
         let start = std::time::Instant::now();
         let mut skipped = 0u64;
+        let mut outcome = Err(CheckpointError::NoCheckpoint);
         for generation in store.generations()?.into_iter().rev() {
             match self.try_restore_generation(store, generation) {
                 Ok(()) => {
@@ -616,7 +629,8 @@ impl ParallelLtc {
                         obs.checkpoint_fallbacks.add(skipped);
                         obs.note_checkpoint_restore(generation, elapsed);
                     }
-                    return Ok(generation);
+                    outcome = Ok(generation);
+                    break;
                 }
                 Err(CheckpointError::BrokenChain { delta, .. }) => {
                     if let Some(obs) = obs.as_ref() {
@@ -627,7 +641,10 @@ impl ParallelLtc {
                 Err(_) => skipped = skipped.saturating_add(1),
             }
         }
-        Err(CheckpointError::NoCheckpoint)
+        if let (Some((track, _)), Some(p)) = (&trace, &pending) {
+            track.finish(p, names::CHECKPOINT_RESTORE);
+        }
+        outcome
     }
 
     /// Restore one generation: route a delta frame through its chain, a

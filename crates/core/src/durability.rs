@@ -52,6 +52,7 @@ use crate::checkpoint::{
     save_delta_over, save_full_over, CheckpointError, Checkpointer, DeltaChain,
 };
 use crate::config::FaultPolicy;
+use crate::obs::trace::{names, TraceTrack};
 use crate::obs::RuntimeObs;
 use crate::pipeline::ParallelLtc;
 use crate::table::Ltc;
@@ -172,11 +173,16 @@ impl DurabilityService {
         let store = Arc::new(store);
         let shards: Vec<Arc<Mutex<Ltc>>> = runtime.shard_tables().to_vec();
         let obs = runtime.obs().cloned();
+        let trace = obs
+            .as_ref()
+            .and_then(|o| o.tracer())
+            .map(|t| t.register(names::TRACK_DURABILITY));
         let control = Arc::new((Mutex::new(Control::default()), Condvar::new()));
         let status = Arc::new(Mutex::new(DurabilityStatus::default()));
         let worker = Worker {
             shards,
             obs,
+            trace,
             store: Arc::clone(&store),
             policy,
             control: Arc::clone(&control),
@@ -277,6 +283,9 @@ impl Drop for DurabilityService {
 struct Worker {
     shards: Vec<Arc<Mutex<Ltc>>>,
     obs: Option<Arc<RuntimeObs>>,
+    /// Span track for the durability thread; saves are root spans (this
+    /// thread runs off the batch path, so there is no batch to parent to).
+    trace: Option<TraceTrack>,
     store: Arc<Checkpointer>,
     policy: DurabilityPolicy,
     control: Arc<(Mutex<Control>, Condvar)>,
@@ -415,6 +424,7 @@ impl Worker {
         });
         match self.chain {
             Some(ref mut chain) if !compact => {
+                let _span = self.trace.as_ref().map(|t| t.span(names::DELTA_SAVE, None));
                 let generation =
                     save_delta_over(&self.shards, self.obs.as_deref(), &self.store, chain)?;
                 self.deltas_since_full = self.deltas_since_full.saturating_add(1);
@@ -431,6 +441,12 @@ impl Worker {
                 } else {
                     "checkpoint::write"
                 };
+                let span_name = if compact {
+                    names::COMPACTION
+                } else {
+                    names::CHECKPOINT_SAVE
+                };
+                let _span = self.trace.as_ref().map(|t| t.span(span_name, None));
                 let result = save_full_over(
                     &self.shards,
                     self.obs.as_deref(),

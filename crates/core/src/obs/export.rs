@@ -143,13 +143,18 @@ fn escape_json(value: &str) -> String {
     out
 }
 
-/// Append a histogram value as JSON: total count, sum, and the cumulative
-/// buckets keyed by upper bound (matching the Prometheus rendering).
+/// Append a histogram value as JSON: total count, sum, interpolated
+/// percentile estimates, and the cumulative buckets keyed by upper bound
+/// (matching the Prometheus rendering).
 fn render_histogram_json(out: &mut String, snap: &HistogramSnapshot) {
     let _ = write!(
         out,
-        "{{\"count\":{},\"sum\":{},\"buckets\":[",
-        snap.count, snap.sum
+        "{{\"count\":{},\"sum\":{},\"p50\":{:.3},\"p99\":{:.3},\"p999\":{:.3},\"buckets\":[",
+        snap.count,
+        snap.sum,
+        snap.p50(),
+        snap.p99(),
+        snap.p999()
     );
     let mut cumulative: u64 = 0;
     for (i, bucket) in snap.buckets.iter().enumerate() {

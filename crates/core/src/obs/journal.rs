@@ -60,6 +60,9 @@ pub enum EventKind {
     /// A restore found a delta whose base frame was missing or damaged and
     /// fell back past the chain; `detail` = the broken delta's generation.
     ChainFallback,
+    /// The per-period algorithm-health auditor published a report;
+    /// `detail` = the report's drift-flag bits (see `obs::audit::drift`).
+    HealthReport,
 }
 
 impl EventKind {
@@ -74,6 +77,7 @@ impl EventKind {
             EventKind::DeltaPublish => 6,
             EventKind::Compaction => 7,
             EventKind::ChainFallback => 8,
+            EventKind::HealthReport => 9,
         }
     }
 
@@ -87,6 +91,7 @@ impl EventKind {
             6 => EventKind::DeltaPublish,
             7 => EventKind::Compaction,
             8 => EventKind::ChainFallback,
+            9 => EventKind::HealthReport,
             _ => EventKind::CheckpointRestore,
         }
     }
@@ -103,6 +108,7 @@ impl EventKind {
             EventKind::DeltaPublish => "delta_publish",
             EventKind::Compaction => "compaction",
             EventKind::ChainFallback => "chain_fallback",
+            EventKind::HealthReport => "health_report",
         }
     }
 }
@@ -422,6 +428,7 @@ mod tests {
             EventKind::DeltaPublish,
             EventKind::Compaction,
             EventKind::ChainFallback,
+            EventKind::HealthReport,
         ] {
             assert_eq!(EventKind::from_code(kind.code()), kind);
             assert!(!kind.name().is_empty());

@@ -144,6 +144,61 @@ pub struct HistogramSnapshot {
     pub sum: u64,
 }
 
+impl HistogramSnapshot {
+    /// Interpolated quantile estimate, `q` in `[0, 1]`. The target rank is
+    /// located in the cumulative bucket counts, then the value is linearly
+    /// interpolated between the bucket's bounds — exact for streams
+    /// uniform within a bucket, within one bucket's width otherwise.
+    /// Returns `0.0` for an empty histogram; ranks landing in the overflow
+    /// bucket report its lower bound (there is no upper bound to
+    /// interpolate toward).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cumulative.saturating_add(n);
+            if (next as f64) >= target {
+                let lower = if i == 0 {
+                    0.0
+                } else {
+                    bucket_bound(i.saturating_sub(1)) as f64
+                };
+                if i >= HISTOGRAM_BUCKETS {
+                    return lower;
+                }
+                let upper = bucket_bound(i) as f64;
+                let position = (target - cumulative as f64) / n as f64;
+                return lower + position.clamp(0.0, 1.0) * (upper - lower);
+            }
+            cumulative = next;
+        }
+        // Concurrent records can leave count ahead of the bucket total;
+        // the best available answer is the largest populated bound.
+        bucket_bound(HISTOGRAM_BUCKETS.saturating_sub(1)) as f64
+    }
+
+    /// Interpolated median estimate (`quantile(0.50)`).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// Interpolated 99th-percentile estimate (`quantile(0.99)`).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Interpolated 99.9th-percentile estimate (`quantile(0.999)`).
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+}
+
 /// Upper bound of finite bucket `i`, i.e. `2^i`. Out-of-range indices
 /// saturate to `u64::MAX` (the exporter never asks for them).
 pub fn bucket_bound(i: usize) -> u64 {
@@ -277,6 +332,86 @@ mod tests {
         assert_eq!(
             h.sum(),
             0u64.wrapping_add(1 + 2 + 3 + 1000).wrapping_add(u64::MAX)
+        );
+    }
+
+    /// Exact quantile of a sorted sample at rank `ceil(q*n)`.
+    fn exact_quantile(sorted: &[u64], q: f64) -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1] as f64
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_stream_interpolate_exactly() {
+        // Uniform 1..=1000: every log2 bucket is filled uniformly, so the
+        // interpolation is exact at the median.
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.p50(), 500.0, "uniform fill interpolates exactly");
+        let sample: Vec<u64> = (1..=1000).collect();
+        for (q, est) in [(0.99, snap.p99()), (0.999, snap.p999())] {
+            let exact = exact_quantile(&sample, q);
+            let err = (est - exact).abs() / exact;
+            assert!(
+                err < 0.05,
+                "q={q}: estimate {est} vs exact {exact} (err {err:.4})"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_skewed_stream_stay_within_one_bucket() {
+        // 990 fast observations (~16) and 10 slow outliers (~5000): the tail
+        // quantiles must land in the outlier bucket, the median must not.
+        let h = Histogram::new();
+        let mut sample = vec![16u64; 990];
+        sample.extend(std::iter::repeat_n(5000, 10));
+        for &v in &sample {
+            h.record(v);
+        }
+        sample.sort_unstable();
+        let snap = h.snapshot();
+        let p50 = snap.p50();
+        // Exact p50 is 16; the estimate interpolates within its bucket
+        // (8, 16].
+        assert!(
+            p50 > 8.0 && p50 <= 16.0,
+            "median {p50} must land in the fast mode's bucket"
+        );
+        // Exact p99 is 16 (rank 990 of 1000 is still a fast observation):
+        // the estimate must hit the fast bucket's upper bound exactly.
+        assert_eq!(snap.p99(), 16.0);
+        // Exact p999 is 5000; the estimate may be anywhere in its bucket
+        // (4096, 8192].
+        let p999 = snap.p999();
+        assert!(
+            p999 > 4096.0 && p999 <= 8192.0,
+            "p999 {p999} must land in the outlier bucket"
+        );
+        assert!(p999 >= snap.p99(), "quantiles are monotone");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.p50(), 0.0);
+        let h = Histogram::new();
+        h.record(7);
+        let one = h.snapshot();
+        // A single observation answers every quantile from its bucket.
+        let p50 = one.p50();
+        assert!(p50 > 4.0 && p50 <= 8.0, "7 lives in (4, 8], got {p50}");
+        assert_eq!(one.quantile(0.0), one.quantile(1.0));
+        h.record(u64::MAX);
+        let with_overflow = h.snapshot();
+        let top = with_overflow.quantile(1.0);
+        assert_eq!(
+            top,
+            bucket_bound(HISTOGRAM_BUCKETS - 1) as f64,
+            "overflow bucket reports its lower bound"
         );
     }
 

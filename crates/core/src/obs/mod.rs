@@ -14,15 +14,26 @@
 //! 3. [`registry`] + [`export`] — the `Mutex`-guarded [`MetricsRegistry`]
 //!    and renderers, touched only at construction and export time.
 //!
-//! [`RuntimeObs`] bundles all three for the parallel runtime: one registry
-//! and journal, pre-registered process-wide handles, and per-shard handle
-//! bundles ([`ShardObs`]) for the worker threads.
+//! Two further modules ride the same tiers: [`trace`] — wait-free span
+//! rings (tier 1 on the record side, externally synchronized drains) with
+//! Chrome-trace/folded-stack rendering in [`trace_export`] — and
+//! [`audit`] — a per-period algorithm-health auditor publishing gauges
+//! (tier 1 cells, written off the hot path) and
+//! [`EventKind::HealthReport`] journal events (tier 2).
+//!
+//! [`RuntimeObs`] bundles all of it for the parallel runtime: one registry,
+//! journal, and (optional) tracer, pre-registered process-wide handles, and
+//! per-shard handle bundles ([`ShardObs`]) for the worker threads.
 
+pub mod audit;
 pub mod export;
 pub mod journal;
 pub mod metrics;
 pub mod registry;
+pub mod trace;
+pub mod trace_export;
 
+pub use audit::{HealthAuditor, HealthReport};
 pub use export::{
     render_events_json, render_json, render_json_snapshot, render_prometheus,
     render_prometheus_snapshot, validate_exposition,
@@ -32,6 +43,10 @@ pub use metrics::{bucket_bound, Counter, Gauge, Histogram, HistogramSnapshot, HI
 pub use registry::{
     labels, FamilySnapshot, Labels, MetricKind, MetricValue, MetricsRegistry, SeriesSnapshot,
 };
+pub use trace::{Span, SpanCtx, SpanGuard, TraceTrack, Tracer};
+pub use trace_export::{render_chrome_trace, render_folded, validate_chrome_trace};
+
+use std::sync::Arc;
 
 /// Wait-free metric handles for one shard of the parallel runtime. Handed
 /// to the producer (queue side) and worker (table side) at spawn;
@@ -72,6 +87,17 @@ pub struct ShardObs {
 pub struct RuntimeObs {
     registry: MetricsRegistry,
     journal: EventJournal,
+    tracer: Option<Arc<Tracer>>,
+    /// `ltc_journal_dropped_events` — events the journal refused because
+    /// its ring was full (drop-newest). Synced from the journal at render
+    /// time.
+    journal_dropped: Gauge,
+    /// `ltc_trace_dropped_spans` — spans the tracer refused because a ring
+    /// was full (drop-newest). Synced from the tracer at render time.
+    trace_dropped: Gauge,
+    /// `ltc_trace_queued_spans` — spans currently buffered awaiting a
+    /// drain. Synced from the tracer at render time.
+    trace_queued: Gauge,
     /// `ltc_periods_total` — period rollovers completed by the runtime.
     pub periods: Counter,
     /// `ltc_barrier_wait_ns` — wall time `end_period`/`finish` spent
@@ -111,9 +137,20 @@ impl Default for RuntimeObs {
 }
 
 impl RuntimeObs {
-    /// A fresh registry + journal with the process-wide families
-    /// registered.
+    /// A fresh registry + journal + tracer with the process-wide families
+    /// registered. Tracing is on by default (its record path is wait-free
+    /// and bounded); use [`RuntimeObs::without_tracing`] to opt out.
     pub fn new() -> Self {
+        Self::build(true)
+    }
+
+    /// A fresh registry + journal with span tracing disabled (metrics and
+    /// journal only).
+    pub fn without_tracing() -> Self {
+        Self::build(false)
+    }
+
+    fn build(tracing: bool) -> Self {
         let registry = MetricsRegistry::new();
         let periods = registry.counter(
             "ltc_periods_total",
@@ -170,9 +207,28 @@ impl RuntimeObs {
             "Deltas published since the current base full frame.",
             Labels::new(),
         );
+        let journal_dropped = registry.gauge(
+            "ltc_journal_dropped_events",
+            "Events refused by the full journal ring (drop-newest).",
+            Labels::new(),
+        );
+        let trace_dropped = registry.gauge(
+            "ltc_trace_dropped_spans",
+            "Spans refused by a full trace ring (drop-newest).",
+            Labels::new(),
+        );
+        let trace_queued = registry.gauge(
+            "ltc_trace_queued_spans",
+            "Spans buffered in trace rings awaiting a drain.",
+            Labels::new(),
+        );
         Self {
             registry,
             journal: EventJournal::new(),
+            tracer: tracing.then(|| Arc::new(Tracer::new())),
+            journal_dropped,
+            trace_dropped,
+            trace_queued,
             periods,
             barrier_wait_ns,
             checkpoint_save_ns,
@@ -195,6 +251,31 @@ impl RuntimeObs {
     /// The event journal (drain with [`EventJournal::drain`]).
     pub fn journal(&self) -> &EventJournal {
         &self.journal
+    }
+
+    /// The span tracer, if tracing is enabled for this runtime.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Drain every trace ring's buffered spans (empty when tracing is
+    /// disabled). Call only where all recording threads are quiescent or
+    /// joined — see [`Tracer::drain`].
+    pub fn drain_spans(&self) -> Vec<Span> {
+        self.tracer
+            .as_deref()
+            .map(Tracer::drain)
+            .unwrap_or_default()
+    }
+
+    /// Sync the drop/queue-depth gauges from the journal and tracer (done
+    /// automatically by the render methods).
+    fn sync_loss_gauges(&self) {
+        self.journal_dropped.set(self.journal.dropped());
+        if let Some(tracer) = self.tracer.as_deref() {
+            self.trace_dropped.set(tracer.dropped());
+            self.trace_queued.set(tracer.queued());
+        }
     }
 
     /// Register (idempotently) and return the wait-free handle bundle for
@@ -334,13 +415,17 @@ impl RuntimeObs {
             .publish(EventKind::ChainFallback, None, generation)
     }
 
-    /// Render the registry in Prometheus text exposition format.
+    /// Render the registry in Prometheus text exposition format (syncs the
+    /// journal/trace loss gauges first).
     pub fn render_prometheus(&self) -> String {
+        self.sync_loss_gauges();
         render_prometheus(&self.registry)
     }
 
-    /// Render the registry as a JSON document.
+    /// Render the registry as a JSON document (syncs the journal/trace
+    /// loss gauges first).
     pub fn render_json(&self) -> String {
+        self.sync_loss_gauges();
         render_json(&self.registry)
     }
 }

@@ -1,0 +1,649 @@
+//! Render drained spans for external tooling: Chrome trace-event JSON
+//! (load in `chrome://tracing` / Perfetto) and folded-stack text (feed to
+//! `flamegraph.pl` / inferno).
+//!
+//! Mirroring `obs::export`, the renderers are hand-rolled and paired with
+//! a real structural checker: [`validate_chrome_trace`] parses the JSON
+//! with a small self-contained parser and checks the trace-event shape
+//! (the same role [`super::export::validate_exposition`] plays for the
+//! Prometheus text format), so the test suite and `examples/obs_dump.rs`
+//! verify actual output bytes, not the renderer's opinion of itself.
+//! [`single_causal_tree`] checks the *semantic* acceptance contract: that
+//! a set of spans contains one well-formed causal tree covering a list of
+//! required span names.
+
+use super::trace::{names, Span};
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event rendering
+// ---------------------------------------------------------------------------
+
+/// Microseconds with fractional nanoseconds, as Chrome's `ts`/`dur`
+/// expect (the format is specified in microseconds).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Render spans as a Chrome trace-event JSON document: one `M` metadata
+/// record naming each claimed track (pass [`crate::obs::Tracer::tracks`])
+/// and one `X` complete event per span, with the causal identities in
+/// `args`. Validated by [`validate_chrome_trace`].
+pub fn render_chrome_trace(spans: &[Span], tracks: &[(u64, u64)]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for &(track, name_code) in tracks {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{}-{}\"}}}}",
+            track,
+            names::span_name(name_code),
+            track
+        ));
+    }
+    for span in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\
+             \"args\":{{\"trace_id\":{},\"span_id\":{},\"parent_id\":{}}}}}",
+            names::span_name(span.name),
+            us(span.start_ns),
+            us(span.dur_ns),
+            span.track,
+            span.trace_id,
+            span.span_id,
+            span.parent_id
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// A small JSON value parser (validator substrate)
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON value for the structural checker. Numbers stay `f64`;
+/// object keys keep insertion order (duplicates rejected at parse time).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("byte {}: {}", self.pos, msg)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        self.pos = self.pos.saturating_add(1);
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos = self.pos.saturating_add(1);
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        for &w in word.as_bytes() {
+            if self.bump() != Some(w) {
+                return Err(self.err(&format!("bad literal (expected `{word}`)")));
+            }
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(&format!("unexpected byte `{}`", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos = self.pos.saturating_add(1);
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate key `{key}`")));
+            }
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Json::Obj(fields)),
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos = self.pos.saturating_add(1);
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Json::Arr(items)),
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        if self.bump() != Some(b'"') {
+            return Err(self.err("expected string"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let mut code: u32 = 0;
+                        for _ in 0..4 {
+                            let d = self
+                                .bump()
+                                .and_then(|b| (b as char).to_digit(16))
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            code = code.wrapping_mul(16).wrapping_add(d);
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(b) => {
+                    // Reassemble UTF-8 multibyte sequences byte-wise.
+                    let mut buf = vec![b];
+                    while self.peek().is_some_and(|n| n & 0xC0 == 0x80) {
+                        if let Some(n) = self.bump() {
+                            buf.push(n);
+                        }
+                    }
+                    match std::str::from_utf8(&buf) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return Err(self.err("invalid UTF-8 in string")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos = self.pos.saturating_add(1);
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos = self.pos.saturating_add(1);
+        }
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .unwrap_or("");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(&format!("bad number `{text}`")))
+    }
+
+    fn parse_document(text: &str) -> Result<Json, String> {
+        let mut parser = Parser::new(text);
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing bytes after document"));
+        }
+        Ok(value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural validator
+// ---------------------------------------------------------------------------
+
+/// Structurally validate a Chrome trace-event JSON document (the
+/// format-checker counterpart of `validate_exposition`):
+///
+/// * the document is a single JSON object with a `traceEvents` array;
+/// * every event is an object with a non-empty string `name` and a `ph`
+///   of `"X"` (complete event) or `"M"` (metadata);
+/// * every `X` event carries finite non-negative numeric `ts` and `dur`
+///   and numeric `pid`/`tid`;
+/// * every `M` event carries an `args.name` string;
+/// * `X` events' `args` carry numeric `trace_id`/`span_id`/`parent_id`
+///   with `span_id` non-zero and unique across the document.
+///
+/// # Errors
+/// A description of the first structural violation found.
+pub fn validate_chrome_trace(text: &str) -> Result<(), String> {
+    let doc = Parser::parse_document(text)?;
+    let events = doc.get("traceEvents").ok_or("missing `traceEvents` key")?;
+    let Json::Arr(events) = events else {
+        return Err("`traceEvents` is not an array".to_string());
+    };
+    let mut seen_span_ids: Vec<u64> = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let fail = |msg: &str| format!("event {i}: {msg}");
+        if !matches!(event, Json::Obj(_)) {
+            return Err(fail("not an object"));
+        }
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing string `name`"))?;
+        if name.is_empty() {
+            return Err(fail("empty `name`"));
+        }
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing string `ph`"))?;
+        match ph {
+            "M" => {
+                event
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| fail("metadata event without `args.name`"))?;
+            }
+            "X" => {
+                for key in ["ts", "dur", "pid", "tid"] {
+                    let n = event
+                        .get(key)
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| fail(&format!("missing numeric `{key}`")))?;
+                    if !n.is_finite() || n < 0.0 {
+                        return Err(fail(&format!(
+                            "`{key}` is not a finite non-negative number"
+                        )));
+                    }
+                }
+                let args = event.get("args").ok_or_else(|| fail("missing `args`"))?;
+                let mut ids = [0u64; 3];
+                for (slot, key) in ids.iter_mut().zip(["trace_id", "span_id", "parent_id"]) {
+                    let n = args
+                        .get(key)
+                        .and_then(Json::as_num)
+                        .ok_or_else(|| fail(&format!("missing numeric `args.{key}`")))?;
+                    *slot = n as u64;
+                }
+                let span_id = *ids.get(1).unwrap_or(&0);
+                if span_id == 0 {
+                    return Err(fail("`args.span_id` is zero"));
+                }
+                if seen_span_ids.contains(&span_id) {
+                    return Err(fail(&format!("duplicate span id {span_id}")));
+                }
+                seen_span_ids.push(span_id);
+            }
+            other => return Err(fail(&format!("unknown `ph` value `{other}`"))),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Folded stacks
+// ---------------------------------------------------------------------------
+
+/// Bound on parent-chain walks, so a corrupt (torn-read) parent loop
+/// cannot hang the renderer.
+const MAX_STACK_DEPTH: usize = 64;
+
+/// Render spans as folded-stack lines (`root;child;leaf <ns>`), one line
+/// per distinct stack, sorted, with **self time** (duration minus the
+/// children's, clamped at zero) as the sample value — the input format of
+/// `flamegraph.pl` and inferno.
+pub fn render_folded(spans: &[Span]) -> String {
+    // Self time: a span's duration minus its children's durations.
+    let mut self_ns: Vec<u64> = spans.iter().map(|s| s.dur_ns).collect();
+    for span in spans {
+        if span.parent_id == 0 {
+            continue;
+        }
+        if let Some(pos) = spans.iter().position(|p| p.span_id == span.parent_id) {
+            if let Some(parent_self) = self_ns.get_mut(pos) {
+                *parent_self = parent_self.saturating_sub(span.dur_ns);
+            }
+        }
+    }
+    let mut lines: Vec<(String, u64)> = Vec::new();
+    for (span, &self_time) in spans.iter().zip(self_ns.iter()) {
+        let mut stack: Vec<&str> = Vec::new();
+        let mut cursor = Some(span);
+        for _ in 0..MAX_STACK_DEPTH {
+            let Some(s) = cursor else { break };
+            stack.push(names::span_name(s.name));
+            cursor = if s.parent_id == 0 {
+                None
+            } else {
+                spans.iter().find(|p| p.span_id == s.parent_id)
+            };
+        }
+        stack.reverse();
+        let key = stack.join(";");
+        match lines.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, total)) => *total = total.saturating_add(self_time),
+            None => lines.push((key, self_time)),
+        }
+    }
+    lines.sort();
+    let mut out = String::new();
+    for (stack, total) in lines {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&total.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Causal-tree checking
+// ---------------------------------------------------------------------------
+
+/// Find a trace that forms a **single well-formed causal tree** covering
+/// every span name in `required`: exactly one root (`parent_id == 0`),
+/// every other span's parent present in the same trace, and at least one
+/// span of each required name code. Returns the matching trace id.
+///
+/// This is the acceptance check behind `examples/obs_dump.rs`: with
+/// `required = [BATCH_ENQUEUE, BATCH_PROCESS, BARRIER_WAIT,
+/// CHECKPOINT_SAVE]` it proves a batch's enqueue → worker process →
+/// barrier-wait → checkpoint-publish spans were stitched into one tree
+/// across the SPSC boundary.
+///
+/// # Errors
+/// A description of why no trace qualifies.
+pub fn single_causal_tree(spans: &[Span], required: &[u64]) -> Result<u64, String> {
+    let mut trace_ids: Vec<u64> = spans.iter().map(|s| s.trace_id).collect();
+    trace_ids.sort_unstable();
+    trace_ids.dedup();
+    let mut last_reason = String::from("no spans drained");
+    'traces: for &trace_id in &trace_ids {
+        let members: Vec<&Span> = spans.iter().filter(|s| s.trace_id == trace_id).collect();
+        let roots = members.iter().filter(|s| s.parent_id == 0).count();
+        if roots != 1 {
+            last_reason = format!("trace {trace_id}: {roots} roots (want exactly 1)");
+            continue;
+        }
+        for span in &members {
+            if span.parent_id != 0 && !members.iter().any(|p| p.span_id == span.parent_id) {
+                last_reason = format!(
+                    "trace {trace_id}: span {} ({}) has dangling parent {}",
+                    span.span_id,
+                    names::span_name(span.name),
+                    span.parent_id
+                );
+                continue 'traces;
+            }
+        }
+        for &name in required {
+            if !members.iter().any(|s| s.name == name) {
+                last_reason = format!(
+                    "trace {trace_id}: missing required span `{}`",
+                    names::span_name(name)
+                );
+                continue 'traces;
+            }
+        }
+        return Ok(trace_id);
+    }
+    Err(last_reason)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u64, parent: u64, name: u64, start: u64, dur: u64) -> Span {
+        Span {
+            trace_id: trace,
+            span_id: id,
+            parent_id: parent,
+            name,
+            track: 0,
+            start_ns: start,
+            dur_ns: dur,
+        }
+    }
+
+    fn sample_spans() -> Vec<Span> {
+        vec![
+            span(1, 1, 0, names::BATCH_ENQUEUE, 100, 5_000),
+            span(1, 2, 1, names::BATCH_PROCESS, 1_100, 3_000),
+            span(1, 3, 1, names::BARRIER_WAIT, 5_200, 2_000),
+            span(1, 4, 3, names::CHECKPOINT_SAVE, 7_300, 1_000),
+        ]
+    }
+
+    #[test]
+    fn rendered_trace_validates() {
+        let rendered = render_chrome_trace(
+            &sample_spans(),
+            &[(0, names::TRACK_ROUTER), (1, names::TRACK_SHARD)],
+        );
+        validate_chrome_trace(&rendered).expect("structurally valid");
+        assert!(rendered.contains("\"name\":\"batch_process\""));
+        assert!(rendered.contains("\"name\":\"router-0\""));
+        // 5000 ns -> 5.000 us.
+        assert!(rendered.contains("\"dur\":5.000"));
+    }
+
+    #[test]
+    fn empty_trace_validates() {
+        validate_chrome_trace(&render_chrome_trace(&[], &[])).expect("empty doc is valid");
+    }
+
+    #[test]
+    fn validator_rejects_structural_breakage() {
+        let cases: &[(&str, &str)] = &[
+            ("{}", "missing `traceEvents`"),
+            ("{\"traceEvents\":{}}", "not an array"),
+            (
+                "{\"traceEvents\":[{\"ph\":\"X\"}]}",
+                "missing string `name`",
+            ),
+            (
+                "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"Q\"}]}",
+                "unknown `ph`",
+            ),
+            (
+                "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"ts\":-1,\"dur\":0,\
+                 \"pid\":1,\"tid\":0,\"args\":{}}]}",
+                "negative ts",
+            ),
+            (
+                "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"X\",\"ts\":0,\"dur\":0,\
+                 \"pid\":1,\"tid\":0,\"args\":{\"trace_id\":1,\"span_id\":0,\"parent_id\":0}}]}",
+                "zero span id",
+            ),
+            ("{\"traceEvents\":[", "truncated"),
+            ("{\"traceEvents\":[]} trailing", "trailing bytes"),
+        ];
+        for (doc, why) in cases {
+            assert!(
+                validate_chrome_trace(doc).is_err(),
+                "validator accepted broken doc ({why}): {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_span_ids() {
+        let mut spans = sample_spans();
+        if let Some(s) = spans.get_mut(1) {
+            s.span_id = 1;
+            s.parent_id = 0;
+        }
+        let rendered = render_chrome_trace(&spans, &[]);
+        let err = validate_chrome_trace(&rendered).expect_err("duplicate ids must fail");
+        assert!(err.contains("duplicate span id"), "got: {err}");
+    }
+
+    #[test]
+    fn folded_stacks_use_self_time() {
+        let folded = render_folded(&sample_spans());
+        // Enqueue root: 5000 total - 3000 (process child) - 2000 (barrier
+        // child) = 0 self.
+        assert!(folded.contains("batch_enqueue 0\n"), "got: {folded}");
+        assert!(
+            folded.contains("batch_enqueue;batch_process 3000\n"),
+            "got: {folded}"
+        );
+        assert!(
+            folded.contains("batch_enqueue;barrier_wait;checkpoint_save 1000\n"),
+            "got: {folded}"
+        );
+        // Barrier: 2000 - 1000 (checkpoint child) = 1000 self.
+        assert!(
+            folded.contains("batch_enqueue;barrier_wait 1000\n"),
+            "got: {folded}"
+        );
+    }
+
+    #[test]
+    fn folded_stacks_merge_identical_stacks() {
+        let spans = vec![
+            span(1, 1, 0, names::BATCH_ENQUEUE, 0, 10),
+            span(2, 2, 0, names::BATCH_ENQUEUE, 20, 30),
+        ];
+        assert_eq!(render_folded(&spans), "batch_enqueue 40\n");
+    }
+
+    #[test]
+    fn causal_tree_accepts_the_full_chain() {
+        let required = [
+            names::BATCH_ENQUEUE,
+            names::BATCH_PROCESS,
+            names::BARRIER_WAIT,
+            names::CHECKPOINT_SAVE,
+        ];
+        assert_eq!(single_causal_tree(&sample_spans(), &required), Ok(1));
+    }
+
+    #[test]
+    fn causal_tree_rejects_dangling_parent_and_missing_name() {
+        let mut spans = sample_spans();
+        if let Some(s) = spans.get_mut(3) {
+            s.parent_id = 99;
+        }
+        let err = single_causal_tree(&spans, &[names::BATCH_ENQUEUE])
+            .expect_err("dangling parent must fail");
+        assert!(err.contains("dangling parent"), "got: {err}");
+
+        let err = single_causal_tree(&sample_spans(), &[names::DELTA_SAVE])
+            .expect_err("missing name must fail");
+        assert!(err.contains("missing required span"), "got: {err}");
+    }
+
+    #[test]
+    fn causal_tree_rejects_two_roots_in_one_trace() {
+        let spans = vec![
+            span(1, 1, 0, names::BATCH_ENQUEUE, 0, 10),
+            span(1, 2, 0, names::BARRIER_WAIT, 20, 10),
+        ];
+        let err = single_causal_tree(&spans, &[names::BATCH_ENQUEUE]).expect_err("two roots");
+        assert!(err.contains("2 roots"), "got: {err}");
+    }
+}

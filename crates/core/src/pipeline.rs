@@ -63,6 +63,8 @@
 //! query observes every record inserted before it.
 
 use crate::config::{FaultPolicy, LtcConfig};
+use crate::obs::audit::HealthAuditor;
+use crate::obs::trace::{names, SpanCtx, TraceTrack};
 use crate::obs::{RuntimeObs, ShardObs};
 use crate::sharded::{shard_of_id, ShardedLtc};
 use crate::spsc::SpscRing;
@@ -89,14 +91,19 @@ pub const DEFAULT_BATCH_SIZE: usize = 256;
 /// Messages queued per worker before the router blocks (backpressure).
 const RING_CAPACITY: usize = 8;
 
-/// One unit of work for a shard worker.
+/// One unit of work for a shard worker. Each message carries the trace
+/// context of the router-side span that produced it (`None` when tracing
+/// is off), so the worker's apply span joins the same causal tree across
+/// the SPSC boundary.
 enum Msg {
     /// Ingest a run of records (already routed to this shard, in order).
-    Batch(Vec<ItemId>),
-    /// Close the current period (epoch barrier point).
-    EndPeriod,
+    /// The context is the router's `batch_enqueue` span.
+    Batch(Vec<ItemId>, Option<SpanCtx>),
+    /// Close the current period (epoch barrier point). The context is the
+    /// router's `barrier_wait` span.
+    EndPeriod(Option<SpanCtx>),
     /// Stream over: harvest final-period flags.
-    Finish,
+    Finish(Option<SpanCtx>),
     /// Exit the worker loop.
     Shutdown,
 }
@@ -110,10 +117,13 @@ enum Ctrl {
 }
 
 impl Ctrl {
-    fn to_msg(self) -> Msg {
+    /// The queue message for this control, carrying the barrier span's
+    /// context (re-sends after a restart pass `None`: the original barrier
+    /// span has already closed by then).
+    fn to_msg(self, ctx: Option<SpanCtx>) -> Msg {
         match self {
-            Ctrl::EndPeriod => Msg::EndPeriod,
-            Ctrl::Finish => Msg::Finish,
+            Ctrl::EndPeriod => Msg::EndPeriod(ctx),
+            Ctrl::Finish => Msg::Finish(ctx),
             Ctrl::Shutdown => Msg::Shutdown,
         }
     }
@@ -375,6 +385,9 @@ struct WorkerCtx {
     checkpoint_every: u32,
     /// Wait-free metric handles for this shard (`None` = metrics off).
     obs: Option<ShardObs>,
+    /// This shard's span ring (`None` = tracing off). Wait-free record
+    /// path; drained by the router behind the epoch barrier.
+    trace: Option<TraceTrack>,
 }
 
 /// One shard's routing lane: the batch under construction, the channel to
@@ -401,12 +414,31 @@ struct Lane {
     records_lost: u64,
     /// Wait-free metric handles for this shard (`None` = metrics off).
     obs: Option<ShardObs>,
+    /// The shard worker's span ring; cloned into every respawned worker so
+    /// restarted workers keep recording into the same ring.
+    trace: Option<TraceTrack>,
     /// Journal seq of this shard's most recent fault event.
     last_fault_seq: Option<u64>,
 }
 
+/// The router's tracing state: its own span ring plus the contexts that
+/// stitch the causal tree together — each batch's `batch_enqueue` span is
+/// a tree root, the next `barrier_wait` span parents under the most recent
+/// enqueue, and a checkpoint publish parents under the most recent
+/// barrier, so one batch's enqueue → process → barrier → checkpoint chain
+/// shares one `trace_id`.
+struct RouterTrace {
+    track: TraceTrack,
+    /// Context of the most recent `batch_enqueue` span.
+    last_enqueue: Option<SpanCtx>,
+    /// Context of the most recent `barrier_wait` span.
+    last_barrier: Option<SpanCtx>,
+}
+
 struct Inner {
     lanes: Vec<Lane>,
+    /// Router-side tracing state (`None` = tracing off).
+    trace: Option<RouterTrace>,
 }
 
 /// The multi-threaded sharded LTC runtime with supervised workers. See the
@@ -419,8 +451,13 @@ pub struct ParallelLtc {
     /// Shared observability state (`None` = metrics off, for overhead
     /// comparison; the default constructors enable it).
     obs: Option<Arc<RuntimeObs>>,
+    /// Per-period algorithm-health auditor (`None` = metrics off).
+    auditor: Option<HealthAuditor>,
     /// Periods completed (drives the rollover journal events).
     periods: u64,
+    /// Checkpoint restores performed (feeds the auditor's rollback drift
+    /// signal alongside the per-lane restart counts).
+    restores: u64,
 }
 
 impl std::fmt::Debug for ParallelLtc {
@@ -467,47 +504,78 @@ fn worker_loop(ctx: &WorkerCtx) {
             return;
         };
         let stop = matches!(msg, Msg::Shutdown);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match msg {
-            Msg::Batch(ids) => {
-                fail_point!("worker::batch");
-                // Per-batch timing only — the per-record path inside
-                // `insert_batch` stays untouched, so the instrumentation
-                // cost is two clock reads amortised over the whole batch.
-                let start = ctx.obs.as_ref().map(|_| Instant::now());
-                lock_recover(&ctx.shard).insert_batch(&ids);
-                if let (Some(obs), Some(start)) = (&ctx.obs, start) {
-                    obs.batch_insert_ns.record(elapsed_ns(start));
-                    obs.batches.inc();
-                    obs.records.add(ids.len() as u64);
-                    // `queue_depth` is deliberately NOT updated here: the
-                    // producer already refreshes it on every push, and a
-                    // second writer on this side would ping-pong the gauge's
-                    // cache line between cores on every batch.
-                }
+        // Pre-derive the apply span's identity from the shipped context
+        // *before* entering `catch_unwind`: a panicking handler still
+        // records its (partial) span via the guard's `Drop`, and the fault
+        // event below parents under the same context.
+        let span_plan = ctx.trace.as_ref().and_then(|t| {
+            let plan = |parent: Option<SpanCtx>, name: u64| {
+                let span = t.child_or_root(parent);
+                let parent_id = parent.map(|p| p.span_id).unwrap_or(0);
+                (span, parent_id, name)
+            };
+            match &msg {
+                Msg::Batch(_, enqueue) => Some(plan(*enqueue, names::BATCH_PROCESS)),
+                Msg::EndPeriod(barrier) => Some(plan(*barrier, names::END_PERIOD_APPLY)),
+                Msg::Finish(barrier) => Some(plan(*barrier, names::FINISH_APPLY)),
+                Msg::Shutdown => None,
             }
-            Msg::EndPeriod => {
-                fail_point!("worker::end_period");
-                let mut shard = lock_recover(&ctx.shard);
-                shard.end_period();
-                epochs_since_checkpoint = epochs_since_checkpoint.saturating_add(1);
-                if epochs_since_checkpoint >= ctx.checkpoint_every.max(1) {
-                    epochs_since_checkpoint = 0;
+        });
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _apply_span = match (&ctx.trace, &span_plan) {
+                (Some(t), Some((span, parent_id, name))) => {
+                    Some(t.span_at(*span, *name, *parent_id))
+                }
+                _ => None,
+            };
+            match msg {
+                Msg::Batch(ids, _) => {
+                    fail_point!("worker::batch");
+                    // Per-batch timing only — the per-record path inside
+                    // `insert_batch` stays untouched, so the instrumentation
+                    // cost is two clock reads amortised over the whole batch.
+                    let start = ctx.obs.as_ref().map(|_| Instant::now());
+                    lock_recover(&ctx.shard).insert_batch(&ids);
+                    if let (Some(obs), Some(start)) = (&ctx.obs, start) {
+                        obs.batch_insert_ns.record(elapsed_ns(start));
+                        obs.batches.inc();
+                        obs.records.add(ids.len() as u64);
+                        // `queue_depth` is deliberately NOT updated here: the
+                        // producer already refreshes it on every push, and a
+                        // second writer on this side would ping-pong the gauge's
+                        // cache line between cores on every batch.
+                    }
+                }
+                Msg::EndPeriod(_) => {
+                    fail_point!("worker::end_period");
+                    let mut shard = lock_recover(&ctx.shard);
+                    shard.end_period();
+                    epochs_since_checkpoint = epochs_since_checkpoint.saturating_add(1);
+                    if epochs_since_checkpoint >= ctx.checkpoint_every.max(1) {
+                        epochs_since_checkpoint = 0;
+                        let snapshot = shard.to_snapshot();
+                        drop(shard);
+                        *lock_recover(&ctx.last_good) = snapshot;
+                    }
+                }
+                Msg::Finish(_) => {
+                    let mut shard = lock_recover(&ctx.shard);
+                    shard.finalize();
                     let snapshot = shard.to_snapshot();
                     drop(shard);
                     *lock_recover(&ctx.last_good) = snapshot;
                 }
+                Msg::Shutdown => {}
             }
-            Msg::Finish => {
-                let mut shard = lock_recover(&ctx.shard);
-                shard.finalize();
-                let snapshot = shard.to_snapshot();
-                drop(shard);
-                *lock_recover(&ctx.last_good) = snapshot;
-            }
-            Msg::Shutdown => {}
         }));
         if let Err(payload) = outcome {
-            // Typed fault first, then poison + mark dead: the router
+            // Mark the fault in the trace first: a zero-duration
+            // `worker_fault` span parented under the apply span that died,
+            // so the panic shows up inside the batch's causal tree.
+            if let (Some(t), Some((span, _, _))) = (&ctx.trace, &span_plan) {
+                t.event(names::WORKER_FAULT, Some(*span));
+            }
+            // Typed fault next, then poison + mark dead: the router
             // observes `dead` only after the report is in place.
             *lock_recover(&ctx.fault) = Some(WorkerFault {
                 shard: ctx.shard_index,
@@ -529,7 +597,12 @@ fn worker_loop(ctx: &WorkerCtx) {
 /// worker's queue once it fills. Returns `false` when the push found the
 /// queue poisoned (worker death) — the caller must supervise the lane.
 #[inline]
-fn route_one(lane: &mut Lane, batch_size: usize, id: ItemId) -> bool {
+fn route_one(
+    lane: &mut Lane,
+    batch_size: usize,
+    id: ItemId,
+    trace: Option<&mut RouterTrace>,
+) -> bool {
     if lane.lossy.is_some() {
         // Degraded: the record is dropped, but counted.
         lane.records_lost = lane.records_lost.saturating_add(1);
@@ -540,21 +613,28 @@ fn route_one(lane: &mut Lane, batch_size: usize, id: ItemId) -> bool {
     }
     lane.pending.push(id);
     if lane.pending.len() >= batch_size {
-        return flush_lane(lane, batch_size);
+        return flush_lane(lane, batch_size, trace);
     }
     true
 }
 
-/// Hand a lane's pending batch (if any) to its worker's queue. Returns
-/// `false` on a poisoned queue (worker death).
-fn flush_lane(lane: &mut Lane, batch_size: usize) -> bool {
+/// Hand a lane's pending batch (if any) to its worker's queue, opening a
+/// root `batch_enqueue` span around the hand-off (the batch's causal tree
+/// grows from it). Returns `false` on a poisoned queue (worker death).
+fn flush_lane(lane: &mut Lane, batch_size: usize, trace: Option<&mut RouterTrace>) -> bool {
     if lane.pending.is_empty() || lane.lossy.is_some() {
         return true;
     }
     let batch = std::mem::replace(&mut lane.pending, Vec::with_capacity(batch_size));
     let len = batch.len() as u64;
     lane.sent = lane.sent.saturating_add(1);
-    if lane.queue.push(Msg::Batch(batch)) {
+    let pending_span = trace.as_ref().map(|t| t.track.begin(None));
+    let enqueue_ctx = pending_span.as_ref().map(|p| p.ctx);
+    if lane.queue.push(Msg::Batch(batch, enqueue_ctx)) {
+        if let (Some(t), Some(p)) = (trace, pending_span) {
+            t.track.finish(&p, names::BATCH_ENQUEUE);
+            t.last_enqueue = Some(p.ctx);
+        }
         if let Some(obs) = &lane.obs {
             obs.queue_depth.set(lane.queue.len() as u64);
         }
@@ -631,7 +711,7 @@ fn supervise_lane(
     //    first transferred the consumer role to this thread.)
     let mut salvaged: u64 = 0;
     for msg in lane.queue.drain() {
-        if let Msg::Batch(ids) = msg {
+        if let Msg::Batch(ids, _) = msg {
             salvaged = salvaged.saturating_add(ids.len() as u64);
         }
     }
@@ -681,6 +761,7 @@ fn supervise_lane(
         last_good: Arc::clone(&lane.last_good),
         checkpoint_every: policy.checkpoint_every_periods,
         obs: lane.obs.clone(),
+        trace: lane.trace.clone(),
     };
     match spawn_worker(ctx) {
         Ok(handle) => lane.worker = Some(handle),
@@ -702,7 +783,9 @@ fn supervise_lane(
     //    on the restored state.
     if let Some(ctrl) = resend {
         lane.sent = lane.sent.saturating_add(1);
-        if !lane.queue.push(ctrl.to_msg()) {
+        // The original barrier span has already closed; the re-sent apply
+        // starts a fresh tree on the worker's side.
+        if !lane.queue.push(ctrl.to_msg(None)) {
             // The replacement died instantly; the wait loop will
             // re-supervise (and burn budget) on the next pass.
         }
@@ -762,11 +845,13 @@ impl ParallelLtc {
             .into_iter()
             .map(|ltc| Arc::new(Mutex::new(ltc)))
             .collect();
+        let tracer = obs.as_ref().and_then(|o| o.tracer()).cloned();
         let lanes = shards
             .iter()
             .enumerate()
             .map(|(i, shard)| {
                 let shard_obs = obs.as_ref().map(|o| o.shard(i as u64));
+                let lane_trace = tracer.as_ref().map(|t| t.register(names::TRACK_SHARD));
                 let queue = Arc::new(fresh_ring(shard_obs.as_ref()));
                 let progress = Arc::new(Progress::new());
                 let fault = Arc::new(Mutex::new(None));
@@ -783,6 +868,7 @@ impl ParallelLtc {
                     last_good: Arc::clone(&last_good),
                     checkpoint_every: policy.checkpoint_every_periods,
                     obs: shard_obs.clone(),
+                    trace: lane_trace.clone(),
                 };
                 let worker = spawn_worker(ctx).expect("spawn shard worker"); // lint:allow(no_panic): startup-only, cannot be handled locally
                 Lane {
@@ -797,17 +883,26 @@ impl ParallelLtc {
                     lossy: None,
                     records_lost: 0,
                     obs: shard_obs,
+                    trace: lane_trace,
                     last_fault_seq: None,
                 }
             })
             .collect();
+        let trace = tracer.as_ref().map(|t| RouterTrace {
+            track: t.register(names::TRACK_ROUTER),
+            last_enqueue: None,
+            last_barrier: None,
+        });
+        let auditor = obs.as_ref().map(|o| HealthAuditor::new(o));
         Self {
-            inner: Mutex::new(Inner { lanes }),
+            inner: Mutex::new(Inner { lanes, trace }),
             shards,
             batch_size,
             policy,
             obs,
+            auditor,
             periods: 0,
+            restores: 0,
         }
     }
 
@@ -877,11 +972,10 @@ impl ParallelLtc {
             Ok(inner) => inner,
             Err(poisoned) => poisoned.into_inner(),
         };
+        let Inner { lanes, trace } = inner;
         // `shard_of_id` returns a value below `n`, so the lookups succeed.
-        if let (Some(lane), Some(shard)) =
-            (inner.lanes.get_mut(shard_index), shards.get(shard_index))
-        {
-            if !route_one(lane, batch_size, id) {
+        if let (Some(lane), Some(shard)) = (lanes.get_mut(shard_index), shards.get(shard_index)) {
+            if !route_one(lane, batch_size, id, trace.as_mut()) {
                 supervise_lane(lane, shard, shard_index, &policy, None, obs.as_deref());
             }
         }
@@ -899,12 +993,12 @@ impl ParallelLtc {
             Ok(inner) => inner,
             Err(poisoned) => poisoned.into_inner(),
         };
+        let Inner { lanes, trace } = inner;
         for &id in ids {
             let shard_index = shard_of_id(id, n);
-            if let (Some(lane), Some(shard)) =
-                (inner.lanes.get_mut(shard_index), shards.get(shard_index))
+            if let (Some(lane), Some(shard)) = (lanes.get_mut(shard_index), shards.get(shard_index))
             {
-                if !route_one(lane, batch_size, id) {
+                if !route_one(lane, batch_size, id, trace.as_mut()) {
                     supervise_lane(lane, shard, shard_index, &policy, None, obs.as_deref());
                 }
             }
@@ -928,7 +1022,46 @@ impl ParallelLtc {
         if let Some(obs) = &self.obs {
             obs.note_period_rollover(self.periods);
         }
+        // The barrier just completed: every table is quiescent, so the
+        // health audit reads consistent per-period state.
+        self.run_audit();
         result
+    }
+
+    /// Run the per-period health audit (no-op with metrics off). The
+    /// tables are quiescent here — `end_period` calls this right after its
+    /// barrier — so the audit's brief table locks contend with nothing.
+    fn run_audit(&mut self) {
+        let Some(obs) = self.obs.clone() else {
+            return;
+        };
+        let period = self.periods;
+        let mut rollbacks = self.restores;
+        let audit_span = {
+            let inner = match self.inner.get_mut() {
+                Ok(inner) => inner,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            for lane in &inner.lanes {
+                rollbacks = rollbacks.saturating_add(u64::from(lane.restarts));
+                if lane.lossy.is_some() {
+                    // The terminal rollback before degradation never
+                    // consumed a restart from the budget.
+                    rollbacks = rollbacks.saturating_add(1);
+                }
+            }
+            inner
+                .trace
+                .as_ref()
+                .map(|t| (t.track.clone(), t.last_barrier))
+        };
+        let shards = &self.shards;
+        if let Some(auditor) = self.auditor.as_mut() {
+            let _span = audit_span
+                .as_ref()
+                .map(|(track, parent)| track.span(names::AUDIT, *parent));
+            auditor.audit(shards, period, rollbacks, &obs);
+        }
     }
 
     /// Flush + finalize every shard (harvest last-period CLOCK flags), with
@@ -949,10 +1082,10 @@ impl ParallelLtc {
     /// proceed (the trait impls do exactly that).
     pub fn sync(&self) -> Result<(), RuntimeError> {
         let mut inner = lock_recover(&self.inner);
-        let inner = &mut *inner;
-        for (shard_index, lane) in inner.lanes.iter_mut().enumerate() {
+        let Inner { lanes, trace } = &mut *inner;
+        for (shard_index, lane) in lanes.iter_mut().enumerate() {
             if let Some(shard) = self.shards.get(shard_index) {
-                if !flush_lane(lane, self.batch_size) {
+                if !flush_lane(lane, self.batch_size, trace.as_mut()) {
                     supervise_lane(
                         lane,
                         shard,
@@ -964,12 +1097,23 @@ impl ParallelLtc {
                 }
             }
         }
+        // The barrier span parents under the most recent enqueue, so the
+        // drained batch's tree contains the wait that drained it.
+        let barrier = trace
+            .as_ref()
+            .map(|t| (t.track.clone(), t.track.begin(t.last_enqueue)));
         let start = self.obs.as_ref().map(|_| Instant::now());
-        self.wait_all(inner, None);
+        self.wait_all(lanes, None);
         if let (Some(obs), Some(start)) = (&self.obs, start) {
             obs.barrier_wait_ns.record(elapsed_ns(start));
         }
-        runtime_result(inner)
+        if let Some((track, pending)) = barrier {
+            track.finish(&pending, names::BARRIER_WAIT);
+            if let Some(t) = trace.as_mut() {
+                t.last_barrier = Some(pending.ctx);
+            }
+        }
+        runtime_result(lanes)
     }
 
     /// Per-shard supervision state: restarts consumed, records lost, the
@@ -1000,8 +1144,8 @@ impl ParallelLtc {
     /// Wait for every live lane to ack everything sent, supervising lanes
     /// whose worker dies while we wait. `resend` is re-broadcast to a
     /// restarted worker so an in-flight barrier completes.
-    fn wait_all(&self, inner: &mut Inner, resend: Option<Ctrl>) {
-        for (shard_index, lane) in inner.lanes.iter_mut().enumerate() {
+    fn wait_all(&self, lanes: &mut [Lane], resend: Option<Ctrl>) {
+        for (shard_index, lane) in lanes.iter_mut().enumerate() {
             let Some(shard) = self.shards.get(shard_index) else {
                 continue;
             };
@@ -1028,7 +1172,11 @@ impl ParallelLtc {
     }
 
     /// Flush, enqueue a control message on every live queue, and wait for
-    /// full acknowledgment (supervising any deaths along the way).
+    /// full acknowledgment (supervising any deaths along the way). The
+    /// barrier's `barrier_wait` span opens after the flush pass (parented
+    /// under the last `batch_enqueue`, so the batch's tree contains it),
+    /// ships its context inside the control messages, and closes once
+    /// every worker has acknowledged.
     fn broadcast_and_wait(&mut self, ctrl: Ctrl) -> Result<(), RuntimeError> {
         let policy = self.policy;
         let batch_size = self.batch_size;
@@ -1038,18 +1186,32 @@ impl ParallelLtc {
             Ok(inner) => inner,
             Err(poisoned) => poisoned.into_inner(),
         };
-        for (shard_index, lane) in inner.lanes.iter_mut().enumerate() {
+        let Inner { lanes, trace } = inner;
+        // Pass 1: flush every lane's pending batch.
+        for (shard_index, lane) in lanes.iter_mut().enumerate() {
             let Some(shard) = shards.get(shard_index) else {
                 continue;
             };
-            if !flush_lane(lane, batch_size) {
+            if !flush_lane(lane, batch_size, trace.as_mut()) {
                 supervise_lane(lane, shard, shard_index, &policy, None, obs.as_deref());
             }
+        }
+        // The barrier span covers enqueueing the control messages and the
+        // wait for acknowledgment.
+        let barrier = trace
+            .as_ref()
+            .map(|t| (t.track.clone(), t.track.begin(t.last_enqueue)));
+        let barrier_ctx = barrier.as_ref().map(|(_, p)| p.ctx);
+        // Pass 2: enqueue the control message on every live queue.
+        for (shard_index, lane) in lanes.iter_mut().enumerate() {
+            let Some(shard) = shards.get(shard_index) else {
+                continue;
+            };
             if lane.lossy.is_some() {
                 continue;
             }
             lane.sent = lane.sent.saturating_add(1);
-            if !lane.queue.push(ctrl.to_msg()) {
+            if !lane.queue.push(ctrl.to_msg(barrier_ctx)) {
                 supervise_lane(
                     lane,
                     shard,
@@ -1065,7 +1227,14 @@ impl ParallelLtc {
         if let (Some(obs), Some(start)) = (&obs, start) {
             obs.barrier_wait_ns.record(elapsed_ns(start));
         }
-        runtime_result(self.inner_mut())
+        let inner = self.inner_mut();
+        if let Some((track, pending)) = barrier {
+            track.finish(&pending, names::BARRIER_WAIT);
+            if let Some(t) = inner.trace.as_mut() {
+                t.last_barrier = Some(pending.ctx);
+            }
+        }
+        runtime_result(&inner.lanes)
     }
 
     /// `wait_all` over `&mut self` (avoids borrowing `self.shards` and
@@ -1192,11 +1361,23 @@ impl ParallelLtc {
         &self.shards
     }
 
+    /// Router trace track plus the context of the most recent barrier
+    /// span, for the checkpoint layer to parent its `checkpoint_save`
+    /// span under (keeps save spans inside the batch's causal tree).
+    pub(crate) fn trace_handle(&self) -> Option<(TraceTrack, Option<SpanCtx>)> {
+        let inner = lock_recover(&self.inner);
+        inner
+            .trace
+            .as_ref()
+            .map(|t| (t.track.clone(), t.last_barrier))
+    }
+
     /// After a checkpoint restore rewrote every shard table: refresh each
     /// lane's last-good snapshot to the restored state so a future
     /// rollback lands on it, and revive lossy lanes with a fresh worker
     /// and a full retry budget (the operator restored on purpose).
     pub(crate) fn reset_after_restore(&mut self) {
+        self.restores = self.restores.saturating_add(1);
         let policy = self.policy;
         let batch_size = self.batch_size;
         let obs = self.obs.clone();
@@ -1228,6 +1409,7 @@ impl ParallelLtc {
                     last_good: Arc::clone(&lane.last_good),
                     checkpoint_every: policy.checkpoint_every_periods,
                     obs: lane.obs.clone(),
+                    trace: lane.trace.clone(),
                 };
                 match spawn_worker(ctx) {
                     Ok(handle) => lane.worker = Some(handle),
@@ -1251,12 +1433,8 @@ impl ParallelLtc {
 }
 
 /// `Err(ShardsLost)` iff any lane is lossy; the runtime remains usable.
-fn runtime_result(inner: &Inner) -> Result<(), RuntimeError> {
-    let faults: Vec<WorkerFault> = inner
-        .lanes
-        .iter()
-        .filter_map(|lane| lane.lossy.clone())
-        .collect();
+fn runtime_result(lanes: &[Lane]) -> Result<(), RuntimeError> {
+    let faults: Vec<WorkerFault> = lanes.iter().filter_map(|lane| lane.lossy.clone()).collect();
     if faults.is_empty() {
         Ok(())
     } else {

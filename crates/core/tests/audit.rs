@@ -1,0 +1,166 @@
+//! Integration tests for the algorithm-health self-audit: every
+//! `end_period` must publish one `HealthReport` journal event and refresh
+//! the `ltc_audit_*` gauges (occupancy, in-bucket significance floor and
+//! median, eviction/decay counts, the paper's error bound, drift flags).
+
+use ltc_common::Weights;
+use ltc_core::obs::EventKind;
+use ltc_core::{LtcConfig, ParallelLtc, Variant};
+
+fn config() -> LtcConfig {
+    LtcConfig::builder()
+        .buckets(64)
+        .cells_per_bucket(4)
+        .weights(Weights::BALANCED)
+        .records_per_period(1_000)
+        .seed(21)
+        .build()
+}
+
+/// Skewed workload: heavy hitters over a long tail of one-off ids, enough
+/// volume to fill buckets and trigger evictions.
+fn stream(p: &mut ParallelLtc, periods: u64) {
+    let mut tail = 1_000_000u64;
+    for _ in 0..periods {
+        for i in 0..4_000u64 {
+            let id = if i % 4 == 0 {
+                i % 32
+            } else {
+                tail = tail.wrapping_add(1);
+                tail
+            };
+            p.insert(id);
+        }
+        p.end_period().expect("healthy runtime");
+    }
+}
+
+#[test]
+fn health_report_journaled_once_per_period() {
+    let mut p = ParallelLtc::new(config(), 2);
+    stream(&mut p, 3);
+    let obs = p.obs().expect("obs on by default");
+    let reports: Vec<_> = obs
+        .journal()
+        .drain()
+        .into_iter()
+        .filter(|e| e.kind == EventKind::HealthReport)
+        .collect();
+    assert_eq!(reports.len(), 3, "one report per end_period");
+    // A healthy run raises no drift flags — including the first report,
+    // which has no baseline to drift from.
+    for report in &reports {
+        assert_eq!(report.detail, 0, "no drift on a healthy run: {report:?}");
+    }
+}
+
+/// Parse the value of a single-sample gauge out of the text exposition.
+fn gauge(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .unwrap_or_else(|| panic!("gauge {name} missing from exposition:\n{text}"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|_| panic!("gauge {name} must be integral"))
+}
+
+#[test]
+fn audit_gauges_reflect_a_heavy_stream() {
+    let mut p = ParallelLtc::new(config(), 2);
+    stream(&mut p, 3);
+    let obs = p.obs().expect("obs on by default");
+    let text = obs.render_prometheus();
+
+    // The long tail saturates the 64x4 tables: occupancy is substantial and
+    // evictions have happened, so the significance floor is meaningful.
+    assert!(
+        gauge(&text, "ltc_audit_occupancy_ppm") > 500_000,
+        "table over half full"
+    );
+    assert!(
+        gauge(&text, "ltc_audit_occupancy_ppm") <= 1_000_000,
+        "ppm bounded"
+    );
+    assert!(
+        gauge(&text, "ltc_audit_evictions") > 0,
+        "long tail forces evictions"
+    );
+    assert!(
+        gauge(&text, "ltc_audit_median_significance_milli")
+            >= gauge(&text, "ltc_audit_min_significance_milli"),
+        "median dominates the floor"
+    );
+    assert_eq!(
+        gauge(&text, "ltc_audit_drift_flags"),
+        0,
+        "healthy run: no drift"
+    );
+}
+
+#[test]
+fn decay_pressure_feeds_the_error_bound() {
+    // Under FULL, a contested tail cell wears to zero in one decrement and
+    // counts as an eviction, so the decrement mass — and with it the error
+    // bound — stays zero. BASIC grinds resident frequencies down gradually,
+    // which is exactly the underestimation the paper's bound charges for.
+    let config = LtcConfig::builder()
+        .buckets(8)
+        .cells_per_bucket(4)
+        .weights(Weights::BALANCED)
+        .records_per_period(1_000)
+        .variant(Variant::BASIC)
+        .seed(21)
+        .build();
+    let mut p = ParallelLtc::new(config, 2);
+    // Warm residents up to freq ~8, then hammer with distinct misses: each
+    // contested miss decrements a bucket minimum that stays above zero.
+    for _ in 0..8 {
+        for id in 0..64u64 {
+            p.insert(id);
+        }
+    }
+    for id in 1_000..1_400u64 {
+        p.insert(id);
+    }
+    p.end_period().expect("healthy runtime");
+    let obs = p.obs().expect("obs on by default");
+    let text = obs.render_prometheus();
+    assert!(
+        gauge(&text, "ltc_audit_decays") > 0,
+        "contested misses decay residents"
+    );
+    assert!(
+        gauge(&text, "ltc_audit_error_bound_milli") > 0,
+        "paper bound rises with decrement mass"
+    );
+}
+
+#[test]
+fn occupancy_jump_raises_the_drift_flag() {
+    let mut p = ParallelLtc::new(config(), 2);
+    // Near-empty first period: a handful of ids barely touch the table.
+    for i in 0..8u64 {
+        p.insert(i);
+    }
+    p.end_period().expect("healthy runtime");
+    // Then a flood: occupancy jumps far past the 10-percentage-point
+    // threshold between consecutive audits.
+    stream(&mut p, 1);
+    let obs = p.obs().expect("obs on by default");
+    let reports: Vec<u64> = obs
+        .journal()
+        .drain()
+        .into_iter()
+        .filter(|e| e.kind == EventKind::HealthReport)
+        .map(|e| e.detail)
+        .collect();
+    assert_eq!(reports.len(), 2);
+    assert_eq!(reports[0], 0, "no baseline yet, no drift");
+    assert_eq!(
+        reports[1] & 2,
+        2,
+        "occupancy-jump drift bit fires on the flood: {reports:?}"
+    );
+}

@@ -59,6 +59,9 @@ fn runtime_exposition_is_valid_and_complete() {
         "ltc_checkpoint_restore_ns",
         "ltc_checkpoint_publishes_total",
         "ltc_checkpoint_fallbacks_total",
+        "ltc_journal_dropped_events",
+        "ltc_trace_dropped_spans",
+        "ltc_trace_queued_spans",
     ] {
         assert!(
             text.contains(&format!("# TYPE {family} ")),
@@ -69,6 +72,35 @@ fn runtime_exposition_is_valid_and_complete() {
     assert!(text.contains("ltc_shard_records_total{shard=\"0\"}"));
     assert!(text.contains("ltc_shard_records_total{shard=\"1\"}"));
     assert!(text.contains("ltc_periods_total 1\n"));
+}
+
+#[test]
+fn journal_overflow_and_queue_depth_are_exported() {
+    use ltc_core::obs::DEFAULT_JOURNAL_CAPACITY;
+    let obs = RuntimeObs::new();
+    // Overflow the journal: drop-newest refuses the excess and the render
+    // path surfaces the loss as a gauge.
+    let excess = 17u64;
+    for i in 0..(DEFAULT_JOURNAL_CAPACITY as u64 + excess) {
+        obs.journal().publish(EventKind::PeriodRollover, None, i);
+    }
+    let text = obs.render_prometheus();
+    validate_exposition(&text).expect("overflowed journal still renders validly");
+    assert!(
+        text.contains(&format!("ltc_journal_dropped_events {excess}\n")),
+        "journal drop count must be exported:\n{text}"
+    );
+    // The per-shard ring queue-depth gauge rides the same exposition.
+    let (_p, runtime_text) = exercised_runtime();
+    validate_exposition(&runtime_text).expect("runtime exposition stays valid");
+    assert!(
+        runtime_text.contains("ltc_shard_queue_depth{shard=\"0\"}"),
+        "queue depth gauge must be exported per shard:\n{runtime_text}"
+    );
+    // JSON rendering carries the same gauge families.
+    let json = obs.render_json();
+    assert!(json.contains("ltc_journal_dropped_events"));
+    assert!(json.contains("ltc_trace_dropped_spans"));
 }
 
 #[test]

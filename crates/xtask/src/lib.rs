@@ -142,6 +142,9 @@ pub struct Config {
     pub atomic_io_files: Vec<String>,
     /// Metric-cell implementation files that must stay wait-free.
     pub obs_metrics_files: Vec<String>,
+    /// Span-ring implementation files under the same wait-free contract
+    /// as the metric cells (trace record sits on the hot path).
+    pub obs_trace_files: Vec<String>,
     /// Hot-path files where a metric update must not share a statement
     /// with a lock or a strong atomic ordering.
     pub obs_call_site_files: Vec<String>,
@@ -163,7 +166,7 @@ const SCHEMA: &[(&str, &[&str])] = &[
     ("orderings", &["no_relaxed_files", "protocol_files"]),
     ("failpoints", &["allow"]),
     ("atomic_io", &["files"]),
-    ("obs", &["metrics_files", "call_site_files"]),
+    ("obs", &["metrics_files", "trace_files", "call_site_files"]),
     ("bench", &["tolerance"]),
 ];
 
@@ -247,6 +250,7 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
             ("failpoints", "allow") => config.failpoint_allow = values,
             ("atomic_io", "files") => config.atomic_io_files = values,
             ("obs", "metrics_files") => config.obs_metrics_files = values,
+            ("obs", "trace_files") => config.obs_trace_files = values,
             ("obs", "call_site_files") => config.obs_call_site_files = values,
             _ => {
                 let known = SCHEMA
@@ -291,6 +295,7 @@ pub fn validate_config_paths(config: &Config, root: &Path) -> Result<(), String>
         ("[failpoints] allow", &config.failpoint_allow),
         ("[atomic_io] files", &config.atomic_io_files),
         ("[obs] metrics_files", &config.obs_metrics_files),
+        ("[obs] trace_files", &config.obs_trace_files),
         ("[obs] call_site_files", &config.obs_call_site_files),
     ];
     for (key, list) in file_lists {

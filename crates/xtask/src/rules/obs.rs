@@ -41,8 +41,10 @@ fn blocking_at(fa: &FileAnalysis, pos: usize) -> Option<String> {
 }
 
 pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
-    // Part 1: the metric-cell implementation is Relaxed-only.
-    if listed(&config.obs_metrics_files, &fa.rel) {
+    // Part 1: the metric-cell and span-ring implementations are
+    // Relaxed-only (a span record sits on the same hot path a counter
+    // bump does).
+    if listed(&config.obs_metrics_files, &fa.rel) || listed(&config.obs_trace_files, &fa.rel) {
         for pos in 0..fa.code.len() {
             if exempt_at(fa, pos) {
                 continue;
@@ -53,9 +55,9 @@ pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
                         token,
                         rule: "obs_hot_path",
                         message: format!(
-                            "{label} in a wait-free metrics module; metric cells must \
-                             use `Relaxed` atomics only — stronger primitives belong to \
-                             the journal/registry tiers"
+                            "{label} in a wait-free obs module; metric cells and span \
+                             rings must use `Relaxed` atomics only — stronger \
+                             primitives belong to the journal/registry tiers"
                         ),
                     });
                 }

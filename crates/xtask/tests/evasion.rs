@@ -20,6 +20,7 @@ fn everything_config(rel: &str) -> Config {
         failpoint_allow: vec![],
         atomic_io_files: vec![rel.to_string()],
         obs_metrics_files: vec![],
+        obs_trace_files: vec![],
         obs_call_site_files: vec![rel.to_string()],
         bench_tolerance: None,
     }

@@ -1,0 +1,20 @@
+//! Seeded obs_hot_path trace-file violations: a lock on the span-record
+//! path and an ordering stronger than `Relaxed` in the span ring —
+//! both break the wait-free contract the tracer shares with metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Ring {
+    head: AtomicU64,
+    spans: Mutex<Vec<u64>>,
+}
+
+impl Ring {
+    pub fn record(&self, start_ns: u64) {
+        if let Ok(mut spans) = self.spans.lock() {
+            spans.push(start_ns);
+        }
+        let _ = self.head.load(Ordering::Acquire);
+    }
+}

@@ -18,6 +18,7 @@ fn fixture_config() -> Config {
         failpoint_allow: vec!["src/failpoint.rs".to_string()],
         atomic_io_files: vec!["src/ckpt.rs".to_string()],
         obs_metrics_files: vec!["src/metrics.rs".to_string()],
+        obs_trace_files: vec!["src/trace.rs".to_string()],
         obs_call_site_files: vec!["src/hot.rs".to_string()],
         bench_tolerance: None,
     }
@@ -234,6 +235,23 @@ fn obs_metrics_file_must_stay_wait_free() {
         .collect();
     // `Mutex` (use), `Mutex` (field type), `Ordering::SeqCst`.
     assert_eq!(obs, vec![5, 9, 14], "full: {hits:?}");
+}
+
+#[test]
+fn obs_trace_file_must_stay_wait_free() {
+    let src = include_str!("fixtures/obs_trace_violation.rs");
+    let hits = active_rules("src/trace.rs", src);
+    let obs: Vec<usize> = hits
+        .iter()
+        .filter(|(rule, _)| *rule == "obs_hot_path")
+        .map(|(_, l)| *l)
+        .collect();
+    // `Mutex` (use), `Mutex` (field type), `.lock()`, `Ordering::Acquire`.
+    assert_eq!(obs, vec![6, 10, 15, 18], "full: {hits:?}");
+    // The same file outside the trace list is silent.
+    assert!(active_rules("src/other.rs", src)
+        .iter()
+        .all(|(rule, _)| *rule != "obs_hot_path"));
 }
 
 #[test]

@@ -1,6 +1,8 @@
 //! Dump the parallel runtime's observability surface: stream a workload,
 //! then print the Prometheus text exposition, the JSON document, the
-//! drained event journal, and the per-shard health report.
+//! drained event journal, the per-shard health report, and write a
+//! Chrome trace-event file plus a folded-stack dump from the drained
+//! span rings.
 //!
 //! ```sh
 //! cargo run --example obs_dump
@@ -9,12 +11,22 @@
 //! ```
 //!
 //! The exposition is checked with
-//! [`ltc_core::obs::validate_exposition`] before printing, so this binary
-//! doubles as an end-to-end format check.
+//! [`ltc_core::obs::validate_exposition`] and the trace file with
+//! [`ltc_core::obs::validate_chrome_trace`] +
+//! [`ltc_core::obs::trace_export::single_causal_tree`] before printing,
+//! so this binary doubles as an end-to-end format check: it proves at
+//! least one batch's enqueue → worker process → barrier-wait →
+//! checkpoint-publish spans form a single causal tree across the SPSC
+//! boundary.
 
 use ltc_common::{SignificanceQuery, Weights};
 use ltc_core::checkpoint::Checkpointer;
-use ltc_core::obs::{render_events_json, validate_exposition};
+use ltc_core::obs::trace::names;
+use ltc_core::obs::trace_export::single_causal_tree;
+use ltc_core::obs::{
+    render_chrome_trace, render_events_json, render_folded, validate_chrome_trace,
+    validate_exposition,
+};
 use ltc_core::{LtcConfig, ParallelLtc};
 
 fn main() {
@@ -82,6 +94,39 @@ fn main() {
 
     println!("\n==== Merged stats ====");
     println!("{}", runtime.stats());
+
+    // Drain the span rings and publish them two ways: Chrome trace-event
+    // JSON (load in chrome://tracing or Perfetto) and folded stacks (feed
+    // to flamegraph.pl). Both are validated before they are written.
+    let spans = obs.drain_spans();
+    let tracks = obs.tracer().map(|t| t.tracks()).unwrap_or_default();
+    let chrome = render_chrome_trace(&spans, &tracks);
+    validate_chrome_trace(&chrome).expect("chrome trace must be well-formed");
+    let tree = single_causal_tree(
+        &spans,
+        &[
+            names::BATCH_ENQUEUE,
+            names::BATCH_PROCESS,
+            names::BARRIER_WAIT,
+            names::CHECKPOINT_SAVE,
+        ],
+    )
+    .expect("one batch must form a causal tree through the checkpoint");
+    let folded = render_folded(&spans);
+    let trace_path =
+        std::env::temp_dir().join(format!("ltc-obs-dump-{}.trace.json", std::process::id()));
+    let folded_path =
+        std::env::temp_dir().join(format!("ltc-obs-dump-{}.folded", std::process::id()));
+    std::fs::write(&trace_path, &chrome).expect("write chrome trace");
+    std::fs::write(&folded_path, &folded).expect("write folded stacks");
+
+    println!("\n==== Span trace ====");
+    println!(
+        "{} spans drained; trace {tree} forms a causal tree enqueue -> process -> barrier -> checkpoint",
+        spans.len()
+    );
+    println!("chrome trace (validated): {}", trace_path.display());
+    println!("folded stacks:            {}", folded_path.display());
 
     println!(
         "\ncheckpoint generation {generation} published to {}",
