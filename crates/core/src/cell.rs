@@ -934,16 +934,16 @@ fn argmin_key_fixed<const D: usize>(metas: &[u64], key: impl Fn(u64) -> u64 + Co
         return argmin_key_any(metas, key);
     };
     let mut keys = [u64::MAX; D];
-    for k in 0..D {
-        keys[k] = key(metas[k]);
+    for (slot, &m) in keys.iter_mut().zip(metas.iter()) {
+        *slot = key(m);
     }
     let mut min = u64::MAX;
     for &x in &keys {
         min = min.min(x);
     }
     let mut min_k = 0usize;
-    for k in (0..D).rev() {
-        if keys[k] == min {
+    for (k, &x) in keys.iter().enumerate().rev() {
+        if x == min {
             min_k = k;
         }
     }
@@ -992,17 +992,16 @@ fn scan_min_fixed<const D: usize>(metas: &[u64], weights: &Weights) -> (usize, f
         return scan_min_any(metas, weights);
     };
     let mut sigs = [f64::INFINITY; D];
-    for k in 0..D {
-        let m = metas[k];
-        sigs[k] = weights.significance(u64::from(meta_freq(m)), u64::from(meta_persist(m)));
+    for (sig, &m) in sigs.iter_mut().zip(metas.iter()) {
+        *sig = weights.significance(u64::from(meta_freq(m)), u64::from(meta_persist(m)));
     }
     let mut min_sig = f64::INFINITY;
     for &s in &sigs {
         min_sig = min_sig.min(s);
     }
     let mut min_k = 0usize;
-    for k in (0..D).rev() {
-        if sigs[k] == min_sig {
+    for (k, &s) in sigs.iter().enumerate().rev() {
+        if s == min_sig {
             min_k = k;
         }
     }

@@ -243,6 +243,9 @@ impl<T> SpscRing<T> {
     }
 
     fn sleep_lock(&self) -> MutexGuard<'_, ()> {
+        // lint:allow(hot_path_purity): backpressure park path — push/pop
+        // block by contract when the ring is full/empty; the fast path
+        // never takes this lock (Dekker flag checked first)
         match self.sleep.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
@@ -420,6 +423,8 @@ impl<T> SpscRing<T> {
     }
 
     fn wait<'a>(&self, condvar: &Condvar, guard: MutexGuard<'a, ()>) -> MutexGuard<'a, ()> {
+        // lint:allow(hot_path_purity): parking slow path — blocking while
+        // full/empty is the documented contract of push/pop themselves
         match condvar.wait(guard) {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),

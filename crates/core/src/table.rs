@@ -109,6 +109,10 @@ impl Ltc {
 
     /// Insert one record (count-driven mode).
     ///
+    /// Bucket probing dispatches through the [`simd`](crate::simd)
+    /// vectorized scan when that feature is enabled (safe scalar
+    /// fallback otherwise).
+    ///
     /// # Panics
     /// Panics if the table was configured time-driven; use
     /// [`insert_at`](Ltc::insert_at) there.
@@ -141,6 +145,9 @@ impl Ltc {
     ///    fires ([`ClockPointer::ticks_before_scan`]), so those records run
     ///    in a tight scan-free loop and the accumulator is advanced once
     ///    for the whole run.
+    ///
+    /// Bucket probing dispatches through the [`simd`](crate::simd)
+    /// vectorized scan when that feature is enabled.
     ///
     /// # Panics
     /// Panics if the table was configured time-driven; use
@@ -216,7 +223,9 @@ impl Ltc {
     /// twin of [`insert_at`](Ltc::insert_at). Bit-identical to inserting the
     /// pairs one by one; the batch gains come from up-front hashing and
     /// bucket prefetch (CLOCK stepping in time-driven mode is already
-    /// amortised per record by the division-based tick).
+    /// amortised per record by the division-based tick). Bucket probing
+    /// dispatches through the [`simd`](crate::simd) vectorized scan when
+    /// that feature is enabled.
     ///
     /// # Panics
     /// Panics if the table was configured count-driven.
@@ -276,7 +285,8 @@ impl Ltc {
 
     /// Insert one record with a timestamp (time-driven mode). Periods roll
     /// over automatically when `time` crosses a boundary; timestamps must be
-    /// non-decreasing.
+    /// non-decreasing. Bucket probing dispatches through the
+    /// [`simd`](crate::simd) vectorized scan when that feature is enabled.
     ///
     /// # Panics
     /// Panics if the table was configured count-driven.
@@ -346,18 +356,22 @@ impl Ltc {
         self.stats.harvests = self.stats.harvests.saturating_add(harvested);
     }
 
-    /// Whether `id` currently occupies a cell.
+    /// Whether `id` currently occupies a cell. The lookup probes through
+    /// the [`simd`](crate::simd) bucket scan when that feature is enabled.
     pub fn contains(&self, id: ItemId) -> bool {
         self.find_slot(id).is_some()
     }
 
-    /// Estimated frequency of `id`, if tracked.
+    /// Estimated frequency of `id`, if tracked. The lookup probes through
+    /// the [`simd`](crate::simd) bucket scan when that feature is enabled.
     pub fn frequency_of(&self, id: ItemId) -> Option<u64> {
         self.find_slot(id)
             .map(|i| u64::from(self.store.cell(i).freq))
     }
 
-    /// Estimated persistency of `id`, if tracked.
+    /// Estimated persistency of `id`, if tracked. The lookup probes
+    /// through the [`simd`](crate::simd) bucket scan when that feature is
+    /// enabled.
     pub fn persistency_of(&self, id: ItemId) -> Option<u64> {
         self.find_slot(id)
             .map(|i| u64::from(self.store.cell(i).persist))

@@ -58,8 +58,10 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 
 pub mod bench_compare;
+pub mod callgraph;
 pub mod cfg;
 pub mod lexer;
+pub mod resolve;
 pub mod rules;
 pub mod tokentree;
 
@@ -76,6 +78,9 @@ pub struct Violation {
     pub line: usize,
     /// 1-based byte column.
     pub col: usize,
+    /// 1-based byte column one past the anchor token (for range
+    /// annotations; equals `col + token length` on single-line anchors).
+    pub end_col: usize,
     /// Which rule fired.
     pub rule: &'static str,
     /// Human-readable explanation with the expected fix.
@@ -152,6 +157,26 @@ pub struct Config {
     /// `[bench] tolerance`. `None` falls back to the built-in default;
     /// the `--tolerance` / `--max-regress` flags override either.
     pub bench_tolerance: Option<f64>,
+    /// Hot-path entry points for the interprocedural purity analysis:
+    /// `"path/to/file.rs::Type::fn"` (or `file.rs::fn` for free fns).
+    pub callgraph_entries: Vec<String>,
+    /// Effect categories denied transitively from the entry points
+    /// (subset of panic/index/arith/lock/alloc/io). Empty means the
+    /// default deny set (panic, index, lock, io).
+    pub purity_deny: Vec<String>,
+    /// Max unresolved indirect calls per hot-path function
+    /// (opaque_call_budget rule). `None` disables the rule.
+    pub opaque_budget: Option<u64>,
+    /// Files whose public fns are audited by unsafe_reach: reaching an
+    /// `unsafe` block requires the unsafe module's name in the doc text.
+    pub unsafe_reach_files: Vec<String>,
+}
+
+impl Config {
+    /// Whether any interprocedural (call-graph) analysis is configured.
+    pub fn callgraph_enabled(&self) -> bool {
+        !self.callgraph_entries.is_empty() || !self.unsafe_reach_files.is_empty()
+    }
 }
 
 /// The `lint.toml` schema: every section and the keys it accepts.
@@ -168,6 +193,15 @@ const SCHEMA: &[(&str, &[&str])] = &[
     ("atomic_io", &["files"]),
     ("obs", &["metrics_files", "trace_files", "call_site_files"]),
     ("bench", &["tolerance"]),
+    (
+        "callgraph",
+        &[
+            "entries",
+            "purity_deny",
+            "opaque_budget",
+            "unsafe_reach_files",
+        ],
+    ),
 ];
 
 /// Parse the TOML subset `lint.toml` uses: `[section]` headers and
@@ -236,6 +270,17 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
             config.bench_tolerance = Some(pct);
             continue;
         }
+        // `[callgraph] opaque_budget` is the one integer key.
+        if section == "callgraph" && key == "opaque_budget" {
+            let n: u64 = value.parse().map_err(|_| {
+                format!(
+                    "lint.toml:{}: `opaque_budget` must be a non-negative integer, got `{value}`",
+                    idx + 1
+                )
+            })?;
+            config.opaque_budget = Some(n);
+            continue;
+        }
         let values = parse_string_array(&value)
             .map_err(|e| format!("lint.toml:{}: {} (key `{}`)", idx + 1, e, key))?;
         match (section.as_str(), key) {
@@ -252,6 +297,20 @@ pub fn parse_config(text: &str) -> Result<Config, String> {
             ("obs", "metrics_files") => config.obs_metrics_files = values,
             ("obs", "trace_files") => config.obs_trace_files = values,
             ("obs", "call_site_files") => config.obs_call_site_files = values,
+            ("callgraph", "entries") => config.callgraph_entries = values,
+            ("callgraph", "purity_deny") => {
+                for v in &values {
+                    if callgraph::EffectKind::parse(v).is_none() {
+                        return Err(format!(
+                            "lint.toml:{}: unknown effect `{v}` in `purity_deny` (known: {})",
+                            idx + 1,
+                            callgraph::EffectKind::ALL.join(", ")
+                        ));
+                    }
+                }
+                config.purity_deny = values;
+            }
+            ("callgraph", "unsafe_reach_files") => config.unsafe_reach_files = values,
             _ => {
                 let known = SCHEMA
                     .iter()
@@ -297,6 +356,7 @@ pub fn validate_config_paths(config: &Config, root: &Path) -> Result<(), String>
         ("[obs] metrics_files", &config.obs_metrics_files),
         ("[obs] trace_files", &config.obs_trace_files),
         ("[obs] call_site_files", &config.obs_call_site_files),
+        ("[callgraph] unsafe_reach_files", &config.unsafe_reach_files),
     ];
     for (key, list) in file_lists {
         for file in *list {
@@ -308,7 +368,34 @@ pub fn validate_config_paths(config: &Config, root: &Path) -> Result<(), String>
             }
         }
     }
+    // Entry specs: the file part must exist; the fn part is resolved
+    // against the collected workspace symbols at analysis time.
+    for spec in &config.callgraph_entries {
+        let (file, _, _) = parse_entry_spec(spec)?;
+        if !root.join(&file).is_file() {
+            return Err(format!(
+                "lint.toml: [callgraph] entries: `{file}` does not exist — fix the path \
+                 or remove the stale entry"
+            ));
+        }
+    }
     Ok(())
+}
+
+/// Split `"path/file.rs::Type::fn"` / `"path/file.rs::fn"` into
+/// `(file, Some(type), fn)` / `(file, None, fn)`.
+pub(crate) fn parse_entry_spec(spec: &str) -> Result<(String, Option<String>, String), String> {
+    let parts: Vec<&str> = spec.split("::").collect();
+    match parts.as_slice() {
+        [file, name] if file.ends_with(".rs") => Ok((file.to_string(), None, name.to_string())),
+        [file, ty, name] if file.ends_with(".rs") => {
+            Ok((file.to_string(), Some(ty.to_string()), name.to_string()))
+        }
+        _ => Err(format!(
+            "lint.toml: [callgraph] entries: `{spec}` is not of the form \
+             `path/to/file.rs::fn` or `path/to/file.rs::Type::fn`"
+        )),
+    }
 }
 
 /// Drop a `#` comment, respecting `"` quoting.
@@ -486,7 +573,7 @@ impl FileAnalysis {
     }
 
     /// Trimmed source text of 1-based `line`.
-    fn snippet(&self, line: usize) -> String {
+    pub(crate) fn snippet(&self, line: usize) -> String {
         line.checked_sub(1)
             .and_then(|i| self.lines.get(i))
             .map_or(String::new(), |l| l.trim().to_string())
@@ -512,15 +599,15 @@ fn collect_bracket_opens(trees: &[Tree], out: &mut Vec<usize>) {
 /// enclosing statement: the statement whose tokens share the comment's
 /// line (looking backward), else the next statement after the comment.
 #[derive(Debug, Clone)]
-struct Waiver {
+pub(crate) struct Waiver {
     /// Comment token index.
-    token: usize,
+    pub(crate) token: usize,
     /// Statement the waiver attaches to.
-    stmt: Option<usize>,
+    pub(crate) stmt: Option<usize>,
     /// Rule names the comment waives.
-    rules: Vec<String>,
+    pub(crate) rules: Vec<String>,
     /// Per rule: suppressed at least one finding.
-    used: Vec<bool>,
+    pub(crate) used: Vec<bool>,
 }
 
 /// Extract waived rule names from a comment's text: every
@@ -579,7 +666,7 @@ fn attach_stmt(fa: &FileAnalysis, comment_idx: usize) -> Option<usize> {
     None
 }
 
-fn collect_waivers(fa: &FileAnalysis) -> Vec<Waiver> {
+pub(crate) fn collect_waivers(fa: &FileAnalysis) -> Vec<Waiver> {
     let mut waivers = Vec::new();
     for (i, tok) in fa.tokens.iter().enumerate() {
         // Doc comments are rendered documentation, not linter
@@ -607,38 +694,72 @@ fn collect_waivers(fa: &FileAnalysis) -> Vec<Waiver> {
 // Engine
 // ---------------------------------------------------------------------------
 
+/// Build a [`Violation`] anchored at token `token` of `fa`.
+pub(crate) fn violation_at(
+    fa: &FileAnalysis,
+    token: usize,
+    rule: &'static str,
+    message: String,
+    waived: bool,
+) -> Option<Violation> {
+    let tok = fa.tokens.get(token)?;
+    let end_col = if tok.text.contains('\n') {
+        tok.col.saturating_add(1)
+    } else {
+        tok.col.saturating_add(tok.text.len())
+    };
+    Some(Violation {
+        file: fa.rel.clone(),
+        line: tok.line,
+        col: tok.col,
+        end_col,
+        rule,
+        message,
+        snippet: fa.snippet(tok.line),
+        waived,
+    })
+}
+
 /// Lint one source file. `rel` is the workspace-relative path with
 /// forward slashes; rules apply according to which config lists contain
 /// it. Returns **all** findings — waived ones carry `waived: true` and
 /// do not fail the build; use [`active`] to filter. A file that fails
 /// to tokenize or brace-match yields a single `syntax` finding.
 pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Violation> {
-    let fa = match FileAnalysis::analyze(rel, source) {
-        Ok(fa) => fa,
-        Err(message) => {
-            // Error strings start with `line:col: `.
-            let mut parts = message.splitn(3, ':');
-            let line = parts.next().and_then(|p| p.parse().ok()).unwrap_or(1);
-            let col = parts.next().and_then(|p| p.parse().ok()).unwrap_or(1);
-            return vec![Violation {
-                file: rel.to_string(),
-                line,
-                col,
-                rule: "syntax",
-                message,
-                snippet: String::new(),
-                waived: false,
-            }];
-        }
-    };
-    let findings = rules::run_all(&fa, config);
-    let mut waivers = collect_waivers(&fa);
+    match FileAnalysis::analyze(rel, source) {
+        Ok(fa) => file_violations(&fa, config),
+        Err(message) => vec![syntax_violation(rel, message)],
+    }
+}
+
+fn syntax_violation(rel: &str, message: String) -> Violation {
+    // Error strings start with `line:col: `.
+    let mut parts = message.splitn(3, ':');
+    let line = parts.next().and_then(|p| p.parse().ok()).unwrap_or(1);
+    let col: usize = parts.next().and_then(|p| p.parse().ok()).unwrap_or(1);
+    Violation {
+        file: rel.to_string(),
+        line,
+        col,
+        end_col: col.saturating_add(1),
+        rule: "syntax",
+        message,
+        snippet: String::new(),
+        waived: false,
+    }
+}
+
+/// Per-file rules + waiver matching for one analyzed file. Graph-rule
+/// waivers (`hot_path_purity` etc.) are skipped by the unused-waiver
+/// hygiene check here — only a whole-tree run can tell whether they
+/// suppress anything, and [`lint_tree`]'s graph phase performs that
+/// check.
+pub(crate) fn file_violations(fa: &FileAnalysis, config: &Config) -> Vec<Violation> {
+    let findings = rules::run_all(fa, config);
+    let mut waivers = collect_waivers(fa);
     let mut violations = Vec::new();
 
     for finding in findings {
-        let Some(tok) = fa.tokens.get(finding.token) else {
-            continue;
-        };
         let stmt = fa.stmt_of.get(finding.token).copied().flatten();
         let mut waived = false;
         if stmt.is_some() {
@@ -656,24 +777,15 @@ pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Violation> {
                 }
             }
         }
-        violations.push(Violation {
-            file: rel.to_string(),
-            line: tok.line,
-            col: tok.col,
-            rule: finding.rule,
-            message: finding.message,
-            snippet: fa.snippet(tok.line),
-            waived,
-        });
+        if let Some(v) = violation_at(fa, finding.token, finding.rule, finding.message, waived) {
+            violations.push(v);
+        }
     }
 
     // Waiver hygiene: unknown rule names and waivers that suppress
     // nothing are violations themselves, so the shipped set of waivers
     // stays load-bearing.
     for waiver in &waivers {
-        let Some(tok) = fa.tokens.get(waiver.token) else {
-            continue;
-        };
         if fa.exempt.get(waiver.token).copied().unwrap_or(false) {
             continue;
         }
@@ -683,20 +795,16 @@ pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Violation> {
                     "waiver names unknown rule `{rule}` (waivable rules: {})",
                     rules::WAIVABLE_RULES.join(", ")
                 )
+            } else if rules::graph::GRAPH_RULES.contains(&rule.as_str()) {
+                continue; // usage is only known after the graph phase
             } else if !waiver.used.get(k).copied().unwrap_or(false) {
                 format!("waiver for `{rule}` suppresses nothing on its statement; delete it")
             } else {
                 continue;
             };
-            violations.push(Violation {
-                file: rel.to_string(),
-                line: tok.line,
-                col: tok.col,
-                rule: "unused_waiver",
-                message,
-                snippet: fa.snippet(tok.line),
-                waived: false,
-            });
+            if let Some(v) = violation_at(fa, waiver.token, "unused_waiver", message, false) {
+                violations.push(v);
+            }
         }
     }
 
@@ -708,15 +816,29 @@ pub fn lint_source(rel: &str, source: &str, config: &Config) -> Vec<Violation> {
     violations
 }
 
-/// Recursively lint every `.rs` file under the configured roots.
-/// Returns all findings, waived included.
+/// Recursively lint every `.rs` file under the configured roots, then
+/// run the interprocedural graph rules over the whole workspace (when
+/// `[callgraph]` is configured). Returns all findings, waived included.
 pub fn lint_tree(root: &Path, config: &Config) -> Result<Vec<Violation>, String> {
+    lint_tree_filtered(root, config, None)
+}
+
+/// [`lint_tree`] with an optional changed-file filter: per-file
+/// findings are restricted to `changed` paths, but the graph rules are
+/// inherently cross-file and always run over (and report against) the
+/// full workspace.
+pub fn lint_tree_filtered(
+    root: &Path,
+    config: &Config,
+    changed: Option<&[String]>,
+) -> Result<Vec<Violation>, String> {
     let mut files = Vec::new();
     for dir in &config.roots {
         collect_rs_files(&root.join(dir), &config.skip, &mut files)?;
     }
     files.sort();
     let mut violations = Vec::new();
+    let mut ws = resolve::Workspace::default();
     for path in files {
         let source =
             std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -727,9 +849,57 @@ pub fn lint_tree(root: &Path, config: &Config) -> Result<Vec<Violation>, String>
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        violations.extend(lint_source(&rel, &source, config));
+        let include = changed.is_none_or(|list| list.iter().any(|f| f == &rel));
+        match FileAnalysis::analyze(&rel, &source) {
+            Ok(fa) => {
+                if include {
+                    violations.extend(file_violations(&fa, config));
+                }
+                ws.add_file(&rel, fa);
+            }
+            Err(message) => {
+                if include {
+                    violations.push(syntax_violation(&rel, message));
+                }
+            }
+        }
     }
+    if config.callgraph_enabled() {
+        let graph = callgraph::build(&ws);
+        violations.extend(rules::graph::run(&ws, &graph, config)?);
+    }
+    violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule)
+            .cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
     Ok(violations)
+}
+
+/// Build the resolved workspace for export commands (no linting).
+pub fn build_workspace(root: &Path, config: &Config) -> Result<resolve::Workspace, String> {
+    let mut files = Vec::new();
+    for dir in &config.roots {
+        collect_rs_files(&root.join(dir), &config.skip, &mut files)?;
+    }
+    files.sort();
+    let mut ws = resolve::Workspace::default();
+    for path in files {
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        match FileAnalysis::analyze(&rel, &source) {
+            Ok(fa) => ws.add_file(&rel, fa),
+            Err(message) => return Err(format!("{rel}: {message}")),
+        }
+    }
+    Ok(ws)
 }
 
 fn collect_rs_files(dir: &Path, skip: &[String], out: &mut Vec<PathBuf>) -> Result<(), String> {
@@ -792,16 +962,19 @@ pub fn json_record(v: &Violation) -> String {
 }
 
 /// A GitHub Actions workflow annotation (`::error file=…`). Newlines in
-/// the message are `%0A`-encoded per the workflow-command spec.
+/// the message are `%0A`-encoded per the workflow-command spec. The
+/// annotation carries the full column range (`col`/`endColumn`) and
+/// repeats the rule name inside the message body — the `title`
+/// property is dropped by some renderers (e.g. the PR files tab), so
+/// the rule must survive in the message itself.
 pub fn github_annotation(v: &Violation) -> String {
-    let message = v
-        .message
+    let message = format!("[{}] {}", v.rule, v.message)
         .replace('%', "%25")
         .replace('\r', "%0D")
         .replace('\n', "%0A");
     format!(
-        "::error file={},line={},col={},title=xtask lint ({})::{}",
-        v.file, v.line, v.col, v.rule, message
+        "::error file={},line={},endLine={},col={},endColumn={},title=xtask lint ({})::{}",
+        v.file, v.line, v.line, v.col, v.end_col, v.rule, message
     )
 }
 
@@ -832,13 +1005,15 @@ impl Format {
 /// binary name. All output goes to `out` (the real binary passes
 /// stdout).
 pub fn run_with(args: &[String], out: &mut dyn Write) -> i32 {
-    let mut fail = |message: String| -> i32 {
+    fn fail(out: &mut dyn Write, message: String) -> i32 {
         let _ = writeln!(out, "xtask lint: {message}");
         2
-    };
+    }
     let mut args = args.iter();
+    let mut callgraph_cmd = false;
     match args.next().map(String::as_str) {
         Some("lint") => {}
+        Some("callgraph") => callgraph_cmd = true,
         Some("bench-compare") => {
             let mut rest: Vec<String> = args.cloned().collect();
             // Default the tolerance source to the workspace lint.toml
@@ -859,7 +1034,9 @@ pub fn run_with(args: &[String], out: &mut dyn Write) -> i32 {
             let _ = writeln!(
                 out,
                 "usage: cargo run -p xtask -- lint [--root <dir>] [--config <lint.toml>] \
-                 [--format text|json|github]\n       \
+                 [--format text|json|github] [--changed]\n       \
+                 cargo run -p xtask -- callgraph [--root <dir>] [--config <lint.toml>] \
+                 [--format dot|json]\n       \
                  cargo run -p xtask -- bench-compare <baseline.json> <new.json> \
                  [--tolerance <pct>] [--key-filter <substr>] [--config <lint.toml>]"
             );
@@ -868,39 +1045,84 @@ pub fn run_with(args: &[String], out: &mut dyn Write) -> i32 {
     }
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
-    let mut format = Format::Text;
+    let mut format_arg: Option<String> = None;
+    let mut changed_only = false;
     while let Some(flag) = args.next() {
-        let value = args.next();
-        match (flag.as_str(), value) {
-            ("--root", Some(v)) => root = Some(PathBuf::from(v)),
-            ("--config", Some(v)) => config_path = Some(PathBuf::from(v)),
-            ("--format", Some(v)) => match Format::parse(v) {
-                Some(f) => format = f,
-                None => {
-                    return fail(format!(
-                        "unknown format `{v}` (expected text, json or github)"
-                    ))
+        match flag.as_str() {
+            "--changed" => changed_only = true,
+            "--root" | "--config" | "--format" => {
+                let Some(v) = args.next() else {
+                    return fail(out, format!("option `{flag}` needs a value"));
+                };
+                match flag.as_str() {
+                    "--root" => root = Some(PathBuf::from(v)),
+                    "--config" => config_path = Some(PathBuf::from(v)),
+                    _ => format_arg = Some(v.clone()),
                 }
-            },
-            _ => return fail(format!("unknown or incomplete option `{flag}`")),
+            }
+            _ => return fail(out, format!("unknown or incomplete option `{flag}`")),
         }
     }
     let root = root.unwrap_or_else(workspace_root);
     let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
     let config_text = match std::fs::read_to_string(&config_path) {
         Ok(text) => text,
-        Err(e) => return fail(format!("cannot read {}: {e}", config_path.display())),
+        Err(e) => return fail(out, format!("cannot read {}: {e}", config_path.display())),
     };
     let config = match parse_config(&config_text) {
         Ok(config) => config,
-        Err(e) => return fail(e),
+        Err(e) => return fail(out, e),
     };
     if let Err(e) = validate_config_paths(&config, &root) {
-        return fail(e);
+        return fail(out, e);
     }
-    let violations = match lint_tree(&root, &config) {
+    if callgraph_cmd {
+        let format = format_arg.as_deref().unwrap_or("dot");
+        if format != "dot" && format != "json" {
+            return fail(
+                out,
+                format!("unknown format `{format}` (expected dot or json)"),
+            );
+        }
+        let ws = match build_workspace(&root, &config) {
+            Ok(ws) => ws,
+            Err(e) => return fail(out, e),
+        };
+        let graph = callgraph::build(&ws);
+        let text = if format == "dot" {
+            callgraph::to_dot(&ws, &graph)
+        } else {
+            callgraph::to_json(&ws, &graph)
+        };
+        let _ = writeln!(out, "{text}");
+        return 0;
+    }
+    let format = match format_arg.as_deref() {
+        None => Format::Text,
+        Some(v) => match Format::parse(v) {
+            Some(f) => f,
+            None => {
+                return fail(
+                    out,
+                    format!("unknown format `{v}` (expected text, json or github)"),
+                )
+            }
+        },
+    };
+    let changed_list = if changed_only {
+        changed_files(&root)
+    } else {
+        None
+    };
+    if changed_only && changed_list.is_none() && format == Format::Text {
+        let _ = writeln!(
+            out,
+            "xtask lint: --changed: not a git checkout (or git unavailable); running full lint"
+        );
+    }
+    let violations = match lint_tree_filtered(&root, &config, changed_list.as_deref()) {
         Ok(violations) => violations,
-        Err(e) => return fail(e),
+        Err(e) => return fail(out, e),
     };
     let active: Vec<&Violation> = violations.iter().filter(|v| v.is_active()).collect();
     let waived_count = violations.len().saturating_sub(active.len());
@@ -944,6 +1166,53 @@ pub fn run_with(args: &[String], out: &mut dyn Write) -> i32 {
 pub fn run(args: &[String]) -> i32 {
     let mut stdout = std::io::stdout();
     run_with(args, &mut stdout)
+}
+
+/// Workspace-relative paths of files changed in the enclosing git
+/// checkout (unstaged + staged), for `lint --changed`. `None` when the
+/// root is not inside a work tree or git is unavailable — the caller
+/// falls back to a full run.
+pub fn changed_files(root: &Path) -> Option<Vec<String>> {
+    fn git(root: &Path, args: &[&str]) -> Option<String> {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        Some(String::from_utf8_lossy(&out.stdout).into_owned())
+    }
+    // Paths come back relative to the repository toplevel; the
+    // workspace root may sit deeper, so strip its prefix.
+    let prefix = git(root, &["rev-parse", "--show-prefix"])?;
+    let prefix = prefix.trim();
+    let mut files = std::collections::BTreeSet::new();
+    for extra in [None, Some("--cached")] {
+        let mut args = vec!["diff", "--name-only"];
+        if let Some(extra) = extra {
+            args.push(extra);
+        }
+        let listing = git(root, &args)?;
+        for line in listing.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let rel = if prefix.is_empty() {
+                line
+            } else {
+                match line.strip_prefix(prefix) {
+                    Some(rest) => rest,
+                    None => continue, // changed outside the workspace
+                }
+            };
+            files.insert(rel.to_string());
+        }
+    }
+    Some(files.into_iter().collect())
 }
 
 /// The workspace root, two levels above this crate's manifest.

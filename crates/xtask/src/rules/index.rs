@@ -13,6 +13,23 @@ use crate::lexer::{is_keyword, TokenKind};
 use crate::rules::{listed, Finding};
 use crate::{Config, FileAnalysis};
 
+/// Shared predicate: the `[` at token index `open` starts an *index
+/// expression* (as opposed to an attribute, macro body, slice pattern,
+/// array type or array literal). Returns the text of the indexed
+/// expression's last token when it does. Reused by the interprocedural
+/// purity analysis so both layers agree on what indexing *is*.
+pub(crate) fn index_expr_open(fa: &FileAnalysis, open: usize) -> Option<String> {
+    let pos = fa.code_pos(open)?;
+    let prev = pos.checked_sub(1).and_then(|p| fa.code_tok(p))?;
+    let indexes = match prev.kind {
+        TokenKind::Ident => !is_keyword(&prev.text),
+        TokenKind::RawIdent => true,
+        TokenKind::Punct => prev.text == ")" || prev.text == "]",
+        _ => false,
+    };
+    indexes.then(|| prev.text.clone())
+}
+
 pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
     if !listed(&config.hot_path, &fa.rel) {
         return;
@@ -21,26 +38,13 @@ pub fn check(fa: &FileAnalysis, config: &Config, out: &mut Vec<Finding>) {
         if fa.exempt.get(open).copied().unwrap_or(false) {
             continue;
         }
-        let Some(pos) = fa.code_pos(open) else {
-            continue;
-        };
-        let Some(prev) = pos.checked_sub(1).and_then(|p| fa.code_tok(p)) else {
-            continue;
-        };
-        let indexes = match prev.kind {
-            TokenKind::Ident => !is_keyword(&prev.text),
-            TokenKind::RawIdent => true,
-            TokenKind::Punct => prev.text == ")" || prev.text == "]",
-            _ => false,
-        };
-        if indexes {
+        if let Some(prev) = index_expr_open(fa, open) {
             out.push(Finding {
                 token: open,
                 rule: "no_index",
                 message: format!(
-                    "`{}[...]` indexing in a hot-path module; use `.get()` or add \
-                     `// lint: index-ok (<reason>)`",
-                    prev.text
+                    "`{prev}[...]` indexing in a hot-path module; use `.get()` or add \
+                     `// lint: index-ok (<reason>)`"
                 ),
             });
         }

@@ -14,6 +14,7 @@ use crate::FileAnalysis;
 pub mod atomic_io;
 pub mod counters;
 pub mod failpoints;
+pub mod graph;
 pub mod index;
 pub mod obs;
 pub mod orderings;
@@ -43,6 +44,9 @@ pub const WAIVABLE_RULES: &[&str] = &[
     "failpoint_gate",
     "atomic_io",
     "obs_hot_path",
+    "hot_path_purity",
+    "unsafe_reach",
+    "opaque_call_budget",
 ];
 
 /// Run every rule over one analyzed file.

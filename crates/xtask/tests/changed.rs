@@ -1,0 +1,179 @@
+//! Tests for `lint --changed`: per-file findings scope to files git
+//! reports as modified (unstaged + staged), graph rules always run over
+//! the whole workspace, and outside a git checkout the flag degrades to
+//! a full run with a notice.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use xtask::run_with;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xtask-changed-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("src")).expect("mkdir");
+    dir
+}
+
+fn git(root: &Path, args: &[&str]) {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args([
+            "-c",
+            "user.email=lint@test",
+            "-c",
+            "user.name=lint-test",
+            "-c",
+            "commit.gpgsign=false",
+        ])
+        .args(args)
+        .output()
+        .expect("spawn git");
+    assert!(
+        out.status.success(),
+        "git {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn run_lint(root: &Path, extra: &[&str]) -> (i32, String) {
+    let mut args: Vec<String> = vec![
+        "lint".to_string(),
+        "--root".to_string(),
+        root.to_str().expect("utf8").to_string(),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let mut out = Vec::new();
+    let code = run_with(&args, &mut out);
+    (code, String::from_utf8(out).expect("utf8 output"))
+}
+
+/// Two violating hot-path files, both committed; only one modified.
+/// `--changed` must report the modified one and stay silent about the
+/// other.
+#[test]
+fn changed_scopes_per_file_findings_to_modified_files() {
+    let root = scratch("scope");
+    fs::write(
+        root.join("src/stale.rs"),
+        "pub fn f(v: Option<u64>) -> u64 {\n    v.unwrap()\n}\n",
+    )
+    .expect("write");
+    fs::write(
+        root.join("src/fresh.rs"),
+        "pub fn g(w: Option<u64>) -> u64 {\n    w.clone().unwrap_or(0)\n}\n",
+    )
+    .expect("write");
+    fs::write(
+        root.join("lint.toml"),
+        "[paths]\nroots = [\"src\"]\n\n[hot_path]\nfiles = [\"src/stale.rs\", \"src/fresh.rs\"]\n",
+    )
+    .expect("write");
+    git(&root, &["init", "-q"]);
+    git(&root, &["add", "."]);
+    git(&root, &["commit", "-q", "-m", "seed"]);
+
+    // Nothing modified: --changed lints nothing, even though a full run
+    // would flag src/stale.rs.
+    let (code, out) = run_lint(&root, &["--changed"]);
+    assert_eq!(code, 0, "output: {out}");
+
+    // Introduce a violation in fresh.rs only.
+    fs::write(
+        root.join("src/fresh.rs"),
+        "pub fn g(w: Option<u64>) -> u64 {\n    w.unwrap()\n}\n",
+    )
+    .expect("write");
+    let (code, out) = run_lint(&root, &["--changed"]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.contains("src/fresh.rs:2:"), "{out}");
+    assert!(!out.contains("src/stale.rs"), "{out}");
+
+    // The full run still sees both.
+    let (code, out) = run_lint(&root, &[]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.contains("src/stale.rs"), "{out}");
+    assert!(out.contains("src/fresh.rs"), "{out}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Staged-but-uncommitted modifications count as changed too.
+#[test]
+fn changed_includes_staged_files() {
+    let root = scratch("staged");
+    fs::write(root.join("src/hot.rs"), "pub fn f() -> u64 {\n    1\n}\n").expect("write");
+    fs::write(
+        root.join("lint.toml"),
+        "[paths]\nroots = [\"src\"]\n\n[hot_path]\nfiles = [\"src/hot.rs\"]\n",
+    )
+    .expect("write");
+    git(&root, &["init", "-q"]);
+    git(&root, &["add", "."]);
+    git(&root, &["commit", "-q", "-m", "seed"]);
+    fs::write(
+        root.join("src/hot.rs"),
+        "pub fn f(v: Option<u64>) -> u64 {\n    v.unwrap()\n}\n",
+    )
+    .expect("write");
+    git(&root, &["add", "src/hot.rs"]);
+    let (code, out) = run_lint(&root, &["--changed"]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.contains("src/hot.rs:2:"), "{out}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Graph rules see the whole workspace even under `--changed`: a
+/// cross-file purity violation reports although no file is modified.
+#[test]
+fn changed_still_runs_graph_rules_over_full_workspace() {
+    let root = scratch("graphfull");
+    fs::write(
+        root.join("src/hot.rs"),
+        "pub fn entry(v: Option<u64>) -> u64 {\n    crate::util::helper(v)\n}\n",
+    )
+    .expect("write");
+    fs::write(
+        root.join("src/util.rs"),
+        "pub fn helper(v: Option<u64>) -> u64 {\n    v.unwrap()\n}\n",
+    )
+    .expect("write");
+    fs::write(
+        root.join("lint.toml"),
+        "[paths]\nroots = [\"src\"]\n\n[callgraph]\nentries = [\"src/hot.rs::entry\"]\n\
+         purity_deny = [\"panic\"]\n",
+    )
+    .expect("write");
+    git(&root, &["init", "-q"]);
+    git(&root, &["add", "."]);
+    git(&root, &["commit", "-q", "-m", "seed"]);
+    let (code, out) = run_lint(&root, &["--changed"]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(out.contains("[hot_path_purity]"), "{out}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Outside a git checkout the flag cannot scope, so it degrades to the
+/// full run — loudly, and without changing the exit semantics.
+#[test]
+fn changed_outside_git_falls_back_to_full_run_with_notice() {
+    let root = scratch("nogit");
+    fs::write(
+        root.join("src/hot.rs"),
+        "pub fn f(v: Option<u64>) -> u64 {\n    v.unwrap()\n}\n",
+    )
+    .expect("write");
+    fs::write(
+        root.join("lint.toml"),
+        "[paths]\nroots = [\"src\"]\n\n[hot_path]\nfiles = [\"src/hot.rs\"]\n",
+    )
+    .expect("write");
+    let (code, out) = run_lint(&root, &["--changed"]);
+    assert_eq!(code, 1, "output: {out}");
+    assert!(
+        out.contains("not a git checkout (or git unavailable); running full lint"),
+        "{out}"
+    );
+    assert!(out.contains("src/hot.rs:2:"), "{out}");
+    let _ = fs::remove_dir_all(&root);
+}

@@ -1,0 +1,12 @@
+//! Seeded `opaque_call_budget` violation: two fn-pointer invocations the
+//! name-based resolver cannot follow, against a budget of one.
+
+pub fn entry(f: fn(u64) -> u64, g: fn(u64) -> u64, v: u64) -> u64 {
+    let a = (f)(v);
+    let b = (g)(a);
+    a.wrapping_add(b)
+}
+
+pub fn within_budget(f: fn(u64) -> u64, v: u64) -> u64 {
+    (f)(v)
+}

@@ -1,0 +1,14 @@
+//! Seeded violation: the hot-path entry below never panics *locally*,
+//! but the helper it calls — two hops away, in another crate root —
+//! unwraps. Only an interprocedural analysis can see it.
+
+pub struct Eng {
+    count: u64,
+}
+
+impl Eng {
+    pub fn ingest(&mut self, v: Option<u64>) -> u64 {
+        self.count = self.count.saturating_add(1);
+        crate::util::normalize(v)
+    }
+}

@@ -1,0 +1,10 @@
+//! The far end of the seeded chain: a public shim over a private
+//! helper that unwraps. The panic is two calls away from the entry.
+
+pub fn normalize(v: Option<u64>) -> u64 {
+    scale(v)
+}
+
+fn scale(v: Option<u64>) -> u64 {
+    v.unwrap()
+}

@@ -1,0 +1,3 @@
+pub fn quiet(v: Option<u64>) -> u64 {
+    v.unwrap()
+}

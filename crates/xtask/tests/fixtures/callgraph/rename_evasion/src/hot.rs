@@ -1,0 +1,9 @@
+//! Evasion attempt: the panicking helper is imported under a rename, so
+//! no token in this file names `quiet`. Alias resolution must still
+//! connect `calm(..)` to the definition.
+
+use crate::helpers::quiet as calm;
+
+pub fn entry(v: Option<u64>) -> u64 {
+    calm(v)
+}

@@ -1,0 +1,8 @@
+//! Evasion attempt: the panic hides behind a trait method. The
+//! receiver's declared type pins the impl, so the edge stays precise.
+
+use crate::stage::Widget;
+
+pub fn drive(w: Widget) -> u64 {
+    w.step()
+}

@@ -1,0 +1,15 @@
+pub trait Stage {
+    fn step(&self) -> u64;
+}
+
+pub struct Widget;
+
+impl Stage for Widget {
+    fn step(&self) -> u64 {
+        deep()
+    }
+}
+
+fn deep() -> u64 {
+    panic!("boom")
+}

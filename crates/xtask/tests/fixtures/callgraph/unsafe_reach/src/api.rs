@@ -1,0 +1,14 @@
+//! Seeded `unsafe_reach` pair: two public fns with the same unsafe
+//! dependency; only one documents it.
+
+use crate::unchecked;
+
+/// Fast path into the shared slot.
+pub fn send(v: u64) {
+    unchecked::put(v);
+}
+
+/// Stores through the `unchecked` core; see its SAFETY notes.
+pub fn send_documented(v: u64) {
+    unchecked::put(v);
+}

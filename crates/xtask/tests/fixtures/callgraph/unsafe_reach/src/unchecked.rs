@@ -1,0 +1,14 @@
+use std::cell::UnsafeCell;
+
+pub struct Slot(UnsafeCell<u64>);
+
+unsafe impl Sync for Slot {} // SAFETY: fixture; single-threaded use only
+
+pub static SLOT: Slot = Slot(UnsafeCell::new(0));
+
+pub fn put(v: u64) {
+    // SAFETY: fixture; no concurrent access
+    unsafe {
+        *SLOT.0.get() = v;
+    }
+}

@@ -11,6 +11,7 @@ fn sample() -> Violation {
         file: "crates/core/src/table.rs".to_string(),
         line: 42,
         col: 7,
+        end_col: 13,
         rule: "no_panic",
         message: "`.unwrap(...)` in a hot-path module".to_string(),
         snippet: "v.unwrap()".to_string(),
@@ -54,9 +55,20 @@ fn json_record_marks_waived() {
 fn github_annotation_shape() {
     assert_eq!(
         github_annotation(&sample()),
-        "::error file=crates/core/src/table.rs,line=42,col=7,\
-         title=xtask lint (no_panic)::`.unwrap(...)` in a hot-path module"
+        "::error file=crates/core/src/table.rs,line=42,endLine=42,col=7,endColumn=13,\
+         title=xtask lint (no_panic)::[no_panic] `.unwrap(...)` in a hot-path module"
     );
+}
+
+/// The annotation must carry the column range and repeat the rule name
+/// in the message body (the `title` property is dropped by some GitHub
+/// renderers).
+#[test]
+fn github_annotation_has_columns_and_rule_in_message() {
+    let line = github_annotation(&sample());
+    assert!(line.contains("col=7"), "{line}");
+    assert!(line.contains("endColumn=13"), "{line}");
+    assert!(line.contains("::[no_panic] "), "{line}");
 }
 
 #[test]
@@ -144,6 +156,12 @@ fn cli_github_emits_error_annotations() {
         annotations[0].contains("file=src/hot.rs,line=2,"),
         "output: {out}"
     );
+    // The seeded violation is `v.unwrap()` on line 2: the annotation
+    // must carry the real column range of the `unwrap` token and name
+    // the rule inside the message body.
+    assert!(annotations[0].contains("col=7"), "output: {out}");
+    assert!(annotations[0].contains("endColumn=13"), "output: {out}");
+    assert!(annotations[0].contains("::[no_panic] "), "output: {out}");
     let _ = fs::remove_dir_all(&root);
 }
 

@@ -373,3 +373,181 @@ fn shebang_only_at_byte_zero() {
     let tokens = toks(src);
     assert!(tokens.iter().all(|t| t.kind != Shebang));
 }
+
+// ---- macro-heavy input ----
+
+/// Sources dense with macro machinery: `macro_rules!` definitions,
+/// fragment specifiers, repetition operators and nested `#[cfg_attr]`
+/// attributes. The resolver *skips* `macro_rules!` bodies wholesale, and
+/// it can only skip what the lexer delivered faithfully — a mis-lexed
+/// `$(`…`)*` group would desynchronize the token tree and make the skip
+/// swallow (or miss) real items.
+fn macro_table() -> Vec<Case> {
+    vec![
+        (
+            "macro_rules_with_fragment_specifier",
+            "macro_rules! m { ($x:expr) => { $x + 1 }; }",
+            vec![
+                (Ident, "macro_rules"),
+                (Punct, "!"),
+                (Ident, "m"),
+                (Punct, "{"),
+                (Punct, "("),
+                (Punct, "$"),
+                (Ident, "x"),
+                (Punct, ":"),
+                (Ident, "expr"),
+                (Punct, ")"),
+                (Punct, "=>"),
+                (Punct, "{"),
+                (Punct, "$"),
+                (Ident, "x"),
+                (Punct, "+"),
+                (Num, "1"),
+                (Punct, "}"),
+                (Punct, ";"),
+                (Punct, "}"),
+            ],
+        ),
+        (
+            "repetition_with_separator_and_optional_trailer",
+            "m!($($id:ident),* $(,)?);",
+            vec![
+                (Ident, "m"),
+                (Punct, "!"),
+                (Punct, "("),
+                (Punct, "$"),
+                (Punct, "("),
+                (Punct, "$"),
+                (Ident, "id"),
+                (Punct, ":"),
+                (Ident, "ident"),
+                (Punct, ")"),
+                (Punct, ","),
+                (Punct, "*"),
+                (Punct, "$"),
+                (Punct, "("),
+                (Punct, ","),
+                (Punct, ")"),
+                (Punct, "?"),
+                (Punct, ")"),
+                (Punct, ";"),
+            ],
+        ),
+        (
+            "nested_cfg_attr",
+            "#[cfg_attr(test, allow(dead_code), cfg_attr(feature = \"x\", inline))]",
+            vec![
+                (Punct, "#"),
+                (Punct, "["),
+                (Ident, "cfg_attr"),
+                (Punct, "("),
+                (Ident, "test"),
+                (Punct, ","),
+                (Ident, "allow"),
+                (Punct, "("),
+                (Ident, "dead_code"),
+                (Punct, ")"),
+                (Punct, ","),
+                (Ident, "cfg_attr"),
+                (Punct, "("),
+                (Ident, "feature"),
+                (Punct, "="),
+                (Str, "\"x\""),
+                (Punct, ","),
+                (Ident, "inline"),
+                (Punct, ")"),
+                (Punct, ")"),
+                (Punct, "]"),
+            ],
+        ),
+        (
+            "macro_body_with_fake_fn_and_unbalanced_quote_in_string",
+            "macro_rules! t { () => { fn ghost() { s.unwrap() } }; }",
+            vec![
+                (Ident, "macro_rules"),
+                (Punct, "!"),
+                (Ident, "t"),
+                (Punct, "{"),
+                (Punct, "("),
+                (Punct, ")"),
+                (Punct, "=>"),
+                (Punct, "{"),
+                (Ident, "fn"),
+                (Ident, "ghost"),
+                (Punct, "("),
+                (Punct, ")"),
+                (Punct, "{"),
+                (Ident, "s"),
+                (Punct, "."),
+                (Ident, "unwrap"),
+                (Punct, "("),
+                (Punct, ")"),
+                (Punct, "}"),
+                (Punct, "}"),
+                (Punct, ";"),
+                (Punct, "}"),
+            ],
+        ),
+        (
+            "dollar_crate_path_in_macro_body",
+            "macro_rules! p { () => { $crate::inner::go() }; }",
+            vec![
+                (Ident, "macro_rules"),
+                (Punct, "!"),
+                (Ident, "p"),
+                (Punct, "{"),
+                (Punct, "("),
+                (Punct, ")"),
+                (Punct, "=>"),
+                (Punct, "{"),
+                (Punct, "$"),
+                (Ident, "crate"),
+                (Punct, "::"),
+                (Ident, "inner"),
+                (Punct, "::"),
+                (Ident, "go"),
+                (Punct, "("),
+                (Punct, ")"),
+                (Punct, "}"),
+                (Punct, ";"),
+                (Punct, "}"),
+            ],
+        ),
+    ]
+}
+
+#[test]
+fn macro_table_kinds_and_texts() {
+    for (name, src, expected) in macro_table() {
+        let got = kinds(src);
+        let want: Vec<(TokenKind, String)> =
+            expected.iter().map(|(k, t)| (*k, t.to_string())).collect();
+        assert_eq!(got, want, "case `{name}` on {src:?}");
+    }
+}
+
+#[test]
+fn macro_table_spans_round_trip() {
+    for (name, src, _) in macro_table() {
+        let tokens = toks(src);
+        let mut cursor = 0usize;
+        for tok in &tokens {
+            assert_eq!(
+                &src[tok.start..tok.end],
+                tok.text,
+                "span mismatch in `{name}`"
+            );
+            assert!(
+                src[cursor..tok.start].chars().all(char::is_whitespace),
+                "non-whitespace gap before token {:?} in `{name}`",
+                tok.text
+            );
+            cursor = tok.end;
+        }
+        assert!(
+            src[cursor..].chars().all(char::is_whitespace),
+            "non-whitespace tail in `{name}`"
+        );
+    }
+}

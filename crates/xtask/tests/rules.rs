@@ -21,6 +21,10 @@ fn fixture_config() -> Config {
         obs_trace_files: vec!["src/trace.rs".to_string()],
         obs_call_site_files: vec!["src/hot.rs".to_string()],
         bench_tolerance: None,
+        callgraph_entries: vec![],
+        purity_deny: vec![],
+        opaque_budget: None,
+        unsafe_reach_files: vec![],
     }
 }
 
